@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Figure benchmarks are full experiments, so each runs exactly once
+(``benchmark.pedantic(rounds=1)``); the value of pytest-benchmark here is
+the recorded wall-clock and the uniform harness, not statistics over
+repeats.  Networks / datasets / trained profiles are shared through
+``repro.experiments.common``'s process-level caches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark harness."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Fixture wrapper for run_once."""
+
+    def _run(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return _run

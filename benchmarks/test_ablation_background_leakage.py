@@ -1,0 +1,46 @@
+"""Ablation: detection under realistic background leakage.
+
+The paper's Sec. I: 14-18% of treated water is lost through damaged
+pipelines — meaning a real deployment's "baseline" already leaks.  This
+ablation trains and tests profiles on networks carrying that persistent
+loss and compares with the pristine-baseline condition.  Because the
+background sits in both readings of every Δ-feature, detection should
+survive largely intact — the result that makes the approach deployable.
+"""
+
+from repro.core import ProfileModel
+from repro.datasets import generate_dataset
+from repro.experiments import cached_network
+from repro.sensing import background_leakage, kmedoids_placement, percentage_to_count
+
+
+def test_ablation_background_leakage(once):
+    network = cached_network("epanet")
+    sensors = kmedoids_placement(network, percentage_to_count(network, 100), seed=0)
+
+    def run():
+        scores = {}
+        for label, loss in (("pristine", None), ("15% loss", 0.15), ("25% loss", 0.25)):
+            emitters = (
+                background_leakage(network, loss_fraction=loss, seed=5)
+                if loss is not None
+                else None
+            )
+            train = generate_dataset(
+                network, 1000, kind="single", seed=61,
+                background_emitters=emitters,
+            )
+            test = generate_dataset(
+                network, 120, kind="single", seed=62,
+                background_emitters=emitters,
+            )
+            profile = ProfileModel(network, sensors, classifier="svm", random_state=0)
+            profile.fit(train)
+            scores[label] = profile.evaluate(test)
+        return scores
+
+    scores = once(run)
+    print("\nscore under background leakage:", {k: round(v, 3) for k, v in scores.items()})
+    # Detection survives a leaking baseline with modest degradation.
+    assert scores["15% loss"] > 0.6 * scores["pristine"]
+    assert scores["25% loss"] > 0.4 * scores["pristine"]

@@ -1,0 +1,73 @@
+"""Robustness ablation: sensing degradation at inference time.
+
+Real deployments lose devices and gain noise after the profile is
+trained.  This ablation measures how the trained pipeline degrades when
+(a) a growing fraction of sensors go dead (report zero Δ) and (b) reading
+noise at inference is a multiple of the training noise — and whether the
+external observations buy back some of the loss.
+"""
+
+import numpy as np
+
+from repro.experiments import cached_dataset, cached_model
+from repro.ml import mean_hamming_score
+
+
+def _score_with_corruption(model, dataset, dead_fraction=0.0, noise_multiple=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    features = dataset.features_for(model.sensors).copy()
+    if dead_fraction > 0.0:
+        n_dead = int(dead_fraction * features.shape[1])
+        dead = rng.choice(features.shape[1], size=n_dead, replace=False)
+        features[:, dead] = 0.0
+    if noise_multiple > 0.0:
+        noise = np.array(
+            [s.noise_std for s in model.sensors.sensors]
+        )
+        features = features + rng.normal(
+            0.0, 1.0, size=features.shape
+        ) * noise[None, :] * noise_multiple
+    results = model.engine.infer_batch(features)
+    predictions = np.vstack([r.label_vector() for r in results])
+    return mean_hamming_score(dataset.Y, predictions)
+
+
+def test_ablation_dead_sensors(once):
+    model = cached_model(
+        "epanet", "hybrid-rsl", iot_percent=50.0,
+        train_samples=800, train_kind="multi", seed=1234,
+    )
+    test = cached_dataset("epanet", 80, "multi", 66)
+
+    def run():
+        return {
+            fraction: _score_with_corruption(model, test, dead_fraction=fraction)
+            for fraction in (0.0, 0.1, 0.3, 0.5)
+        }
+
+    scores = once(run)
+    print("\nscore vs dead-sensor fraction:", {k: round(v, 3) for k, v in scores.items()})
+    # Degradation is monotone-ish and graceful, not a cliff.
+    assert scores[0.1] >= scores[0.5] - 0.02
+    assert scores[0.0] > 0.1
+    assert scores[0.5] >= 0.0
+
+
+def test_ablation_inference_noise(once):
+    model = cached_model(
+        "epanet", "hybrid-rsl", iot_percent=50.0,
+        train_samples=800, train_kind="multi", seed=1234,
+    )
+    test = cached_dataset("epanet", 80, "multi", 66)
+
+    def run():
+        return {
+            multiple: _score_with_corruption(model, test, noise_multiple=multiple)
+            for multiple in (0.0, 1.0, 3.0, 10.0)
+        }
+
+    scores = once(run)
+    print("\nscore vs extra noise multiple:", {k: round(v, 3) for k, v in scores.items()})
+    assert scores[0.0] >= scores[10.0] - 0.02
+    # Moderate extra noise (1x the rated noise) should not destroy it.
+    assert scores[1.0] > 0.5 * scores[0.0]

@@ -1,0 +1,28 @@
+"""Fig. 2 benchmark: pressure-change-vs-distance profiles.
+
+Regenerates the three failure scenarios and checks the paper's
+observation: the single-leak profile decays monotonically with distance
+while concurrent failures break the pattern.
+"""
+
+from repro.experiments import fig02_pressure_profiles
+
+
+def test_fig02_pressure_profiles(once):
+    result = once(fig02_pressure_profiles.run)
+    result.print_report()
+
+    single = fig02_pressure_profiles.monotone_fraction(result, "scenario-1")
+    two = fig02_pressure_profiles.monotone_fraction(result, "scenario-2")
+    three = fig02_pressure_profiles.monotone_fraction(result, "scenario-3")
+    print(
+        f"\nmonotone-decay fraction: single={single:.2f} "
+        f"two={two:.2f} three={three:.2f}"
+    )
+    # Paper shape: single-leak decays cleanly; multi-leak does not.
+    assert single == 1.0
+    assert min(two, three) < 1.0
+    # Every ring shows a pressure *drop* (leaks lower heads everywhere).
+    assert all(
+        row["sum_pressure_change_m"] < 0 for row in result.rows if row["n_nodes"]
+    )

@@ -1,0 +1,26 @@
+"""Fig. 3 benchmark: pipe breaks/day vs ambient temperature.
+
+Regenerates the two-county, five-year series and checks the paper's
+claim that break rates rise sharply as temperature drops.
+"""
+
+import numpy as np
+
+from repro.experiments import fig03_breaks_vs_temperature
+
+
+def test_fig03_breaks_vs_temperature(once):
+    result = once(fig03_breaks_vs_temperature.run)
+    result.print_report()
+
+    for county in ("prince-georges", "montgomery"):
+        ratio = fig03_breaks_vs_temperature.cold_warm_ratio(result, county)
+        print(f"{county}: cold(<25F) / warm(>55F) breaks ratio = {ratio:.2f}")
+        assert ratio > 2.0
+
+    # Break rate correlates negatively with temperature in both series.
+    for county in ("prince-georges", "montgomery"):
+        rows = [r for r in result.rows if r["county"] == county]
+        temps = np.array([r["temperature_f"] for r in rows])
+        breaks = np.array([r["breaks_per_day"] for r in rows])
+        assert np.corrcoef(temps, breaks)[0, 1] < -0.6

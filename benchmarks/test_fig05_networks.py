@@ -1,0 +1,13 @@
+"""Fig. 5 benchmark: evaluation-network inventories match the caption."""
+
+from repro.experiments import fig05_networks
+
+
+def test_fig05_network_inventories(once):
+    result = once(fig05_networks.run)
+    result.print_report()
+    assert fig05_networks.matches_paper_counts(result)
+    by_name = {row["network"]: row for row in result.rows}
+    # The structural contrast the evaluation relies on: EPA-NET is a
+    # looped canonical zone, WSSC-SUBNET a mostly-branched district.
+    assert by_name["EPA-NET"]["loops"] > by_name["WSSC-SUBNET"]["loops"]

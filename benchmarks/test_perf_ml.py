@@ -1,0 +1,69 @@
+"""ML-substrate performance benchmarks (tree splitters, estimators)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GradientBoostingClassifier,
+    LinearSVC,
+    LogisticRegression,
+    RandomForestClassifier,
+)
+
+
+@pytest.fixture(scope="module")
+def wide_data():
+    """A leak-localisation-shaped problem: wide, few informative columns."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(1500, 200))
+    y = ((X[:, 17] < -0.5) | ((X[:, 90] > 0.7) & (X[:, 140] > 0.0))).astype(int)
+    return X, y
+
+
+@pytest.mark.parametrize("splitter", ["exact", "hist"])
+def test_random_forest_fit(benchmark, wide_data, splitter):
+    X, y = wide_data
+
+    def fit():
+        return RandomForestClassifier(
+            n_estimators=12, max_depth=12, max_features=0.5,
+            splitter=splitter, random_state=0,
+        ).fit(X, y)
+
+    model = benchmark.pedantic(fit, rounds=1, iterations=1)
+    assert model.score(X, y) > 0.9
+
+
+def test_logistic_fit(benchmark, wide_data):
+    X, y = wide_data
+    model = benchmark(lambda: LogisticRegression().fit(X, y))
+    assert model.score(X, y) > 0.7
+
+
+def test_svm_fit(benchmark, wide_data):
+    X, y = wide_data
+    model = benchmark.pedantic(
+        lambda: LinearSVC(random_state=0).fit(X, y), rounds=1, iterations=1
+    )
+    assert model.score(X, y) > 0.7
+
+
+def test_gradient_boosting_fit(benchmark, wide_data):
+    X, y = wide_data
+    model = benchmark.pedantic(
+        lambda: GradientBoostingClassifier(
+            n_estimators=25, max_depth=3, max_features=0.5, random_state=0
+        ).fit(X, y),
+        rounds=1,
+        iterations=1,
+    )
+    assert model.score(X, y) > 0.85
+
+
+def test_forest_predict_proba(benchmark, wide_data):
+    X, y = wide_data
+    model = RandomForestClassifier(
+        n_estimators=12, splitter="hist", random_state=0
+    ).fit(X, y)
+    proba = benchmark(model.predict_proba, X)
+    assert proba.shape == (1500, 2)

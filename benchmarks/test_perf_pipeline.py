@@ -1,0 +1,71 @@
+"""Pipeline performance: dataset generation, Phase I cost, Phase II latency.
+
+The paper's headline speed claim is that localization moves from
+hours/days (simulation matching) to seconds/minutes (profile inference);
+``test_phase2_latency`` measures exactly the online path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dataset
+from repro.experiments import cached_dataset, cached_model, cached_network
+
+
+def test_dataset_generation_epanet(benchmark):
+    """Featurising 50 multi-failure scenarios (one leaky solve each)."""
+    network = cached_network("epanet")
+
+    def make():
+        return generate_dataset(network, 50, kind="multi", seed=321)
+
+    dataset = benchmark.pedantic(make, rounds=1, iterations=1)
+    assert dataset.n_samples == 50
+
+
+def test_phase1_profile_training(benchmark):
+    """Offline cost: HybridRSL profile on EPA-NET (the paper's Phase I)."""
+
+    def train():
+        from repro.core import AquaScale
+
+        model = AquaScale(
+            cached_network("epanet"), iot_percent=50.0,
+            classifier="hybrid-rsl", seed=1234,
+        )
+        model.train(dataset=cached_dataset("epanet", 800, "multi", 99))
+        return model
+
+    model = benchmark.pedantic(train, rounds=1, iterations=1)
+    assert model.engine is not None
+
+
+def test_phase2_latency(benchmark):
+    """Online cost per scenario — must be far below one IoT slot (15 min).
+
+    The paper's claim is detection time reduced from hours/days to
+    minutes; here a single inference runs in milliseconds.
+    """
+    model = cached_model(
+        "epanet", "hybrid-rsl", iot_percent=50.0,
+        train_samples=800, train_kind="multi", seed=1234,
+    )
+    test = cached_dataset("epanet", 40, "multi", 55)
+    features = test.features_for(model.sensors)
+
+    result = benchmark(model.engine.infer, features[0])
+    assert result.junction_names
+    # Sub-second per-scenario inference (paper: "seconds/minutes").
+    assert benchmark.stats["mean"] < 1.0
+
+
+def test_phase2_batch_throughput(benchmark):
+    model = cached_model(
+        "epanet", "hybrid-rsl", iot_percent=50.0,
+        train_samples=800, train_kind="multi", seed=1234,
+    )
+    test = cached_dataset("epanet", 40, "multi", 55)
+    features = test.features_for(model.sensors)
+
+    results = benchmark(model.engine.infer_batch, features)
+    assert len(results) == 40

@@ -1,0 +1,50 @@
+"""Hydraulic-solver performance benchmarks.
+
+These quantify the claim that makes the two-phase design viable: a
+steady-state solve on the evaluation networks costs milliseconds, so tens
+of thousands of training scenarios are tractable offline.
+"""
+
+import pytest
+
+from repro.experiments import cached_network
+from repro.hydraulics import ExtendedPeriodSimulator, GGASolver
+
+
+@pytest.fixture(scope="module")
+def epanet_solver():
+    return GGASolver(cached_network("epanet"))
+
+
+@pytest.fixture(scope="module")
+def wssc_solver():
+    return GGASolver(cached_network("wssc"))
+
+
+def test_steady_state_epanet(benchmark, epanet_solver):
+    solution = benchmark(epanet_solver.solve)
+    assert solution.converged
+
+
+def test_steady_state_wssc(benchmark, wssc_solver):
+    solution = benchmark(wssc_solver.solve)
+    assert solution.converged
+
+
+def test_steady_state_with_leaks_wssc(benchmark, wssc_solver):
+    junctions = cached_network("wssc").junction_names()
+    emitters = {junctions[50]: (2e-3, 0.5), junctions[150]: (1e-3, 0.5)}
+    solution = benchmark(wssc_solver.solve, emitters=emitters)
+    assert solution.total_leak_flow() > 0
+
+
+def test_eps_day_epanet(benchmark):
+    """A full 24 h extended-period run at 15-minute steps (96 solves)."""
+    network = cached_network("epanet")
+    simulator = ExtendedPeriodSimulator(network)
+
+    def run_day():
+        return simulator.run(duration=24 * 3600.0, timestep=900.0)
+
+    results = benchmark.pedantic(run_day, rounds=1, iterations=1)
+    assert results.n_timesteps == 97

@@ -1,0 +1,69 @@
+"""Triage-quality benchmarks: severity estimation and near-miss credit.
+
+Two post-localization capabilities the paper leaves to future work:
+
+* leak-size estimation at the localized node (a dozen solves via
+  golden-section instead of enumeration's size guessing);
+* topology-aware scoring, which shows how much of the "missed" Jaccard
+  mass actually lands within one pipe hop of the truth.
+"""
+
+import numpy as np
+
+from repro.core import LeakSizeEstimator, TopologicalScorer
+from repro.experiments import cached_dataset, cached_model, cached_network
+from repro.failures import ScenarioGenerator
+from repro.ml import mean_hamming_score
+from repro.sensing import SensorNetwork, full_candidate_set
+
+
+def test_leak_size_estimation_accuracy(once):
+    """Estimated EC within ~10% of truth across a size sweep."""
+    network = cached_network("epanet")
+    sensors = SensorNetwork(full_candidate_set(network))
+
+    def run():
+        estimator = LeakSizeEstimator(network, sensors)
+        generator = ScenarioGenerator(network, seed=91, ec_range=(5e-4, 8e-3))
+        errors = []
+        for _ in range(10):
+            scenario = generator.single_failure()
+            event = scenario.events[0]
+            observed = estimator._delta_for(event.location, event.size)
+            estimate = estimator.estimate(event.location, observed)
+            errors.append(abs(estimate.ec - event.size) / event.size)
+        return errors
+
+    errors = once(run)
+    print(f"\nsize-estimation relative errors: median={np.median(errors):.3f} "
+          f"max={max(errors):.3f}")
+    assert np.median(errors) < 0.10
+    assert max(errors) < 0.35
+
+
+def test_topological_vs_jaccard_scoring(once):
+    """Near-miss credit: the topological score should sit clearly above
+    the exact-node Jaccard on the same predictions — most 'misses' land
+    in the immediate neighbourhood of the true break."""
+    network = cached_network("epanet")
+    model = cached_model(
+        "epanet", "hybrid-rsl", iot_percent=50.0,
+        train_samples=800, train_kind="multi", seed=1234,
+    )
+    test = cached_dataset("epanet", 80, "multi", 66)
+
+    def run():
+        features = test.features_for(model.sensors)
+        results = model.engine.infer_batch(features)
+        predictions = np.vstack([r.label_vector() for r in results])
+        jaccard = mean_hamming_score(test.Y, predictions)
+        scorer = TopologicalScorer(network, max_hops=2)
+        true_sets = [set(s.leak_nodes) for s in test.scenarios]
+        predicted_sets = [set(r.leak_nodes) for r in results]
+        topo = scorer.mean_score(true_sets, predicted_sets)
+        return jaccard, topo
+
+    jaccard, topo = once(run)
+    print(f"\njaccard={jaccard:.3f}  topological(2-hop)={topo:.3f}")
+    assert topo >= jaccard
+    assert topo > jaccard + 0.02  # near-misses exist and get credit

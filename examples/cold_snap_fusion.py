@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Cold-snap scenario: multi-source fusion on WSSC-SUBNET.
+
+Reproduces the paper's motivating use case — *Multiple Pipe Failures due
+to Low Temperature* — on the real-world-scale network.  A 12F cold snap
+freezes pipes across the district; several break simultaneously.  The
+script localizes them three ways and shows how each information source
+changes the answer:
+
+* IoT telemetry alone,
+* IoT + ambient-temperature (freeze priors, Bayes-fused),
+* IoT + temperature + human reports (tweet cliques, event tuning).
+
+Run:  python examples/cold_snap_fusion.py        (~2 minutes)
+"""
+
+from __future__ import annotations
+
+from repro.core import AquaScale
+from repro.failures import ScenarioGenerator
+from repro.ml import hamming_score
+from repro.networks import wssc_subnet
+
+
+def main() -> None:
+    print("Building WSSC-SUBNET (299 nodes, 316 links, gravity-fed) ...")
+    network = wssc_subnet()
+
+    # A sparse deployment: 30% IoT penetration — exactly the regime where
+    # the paper shows external observations matter most.
+    aqua = AquaScale(network, iot_percent=30.0, classifier="hybrid-rsl", seed=0)
+    print(f"  deployed {len(aqua.sensors)} devices (30% of |V| + |E|)")
+
+    print("Phase I: training on 800 freeze-driven scenarios ...")
+    aqua.train(n_train=800, kind="low-temperature")
+
+    print("Simulating a cold-snap failure ...")
+    generator = ScenarioGenerator(network, seed=777)
+    scenario = generator.low_temperature_failure(max_events=4)
+    truth = sorted(scenario.leak_nodes)
+    print(f"  temperature: {scenario.temperature_f:.0f} F")
+    print(f"  frozen junctions: {len(scenario.frozen_nodes)}")
+    print(f"  true breaks: {truth}")
+
+    labels = scenario.label_vector(network.junction_names())
+    elapsed = 4  # one hour of 15-minute slots since onset
+
+    print(f"\nLocalizing with increasing information ({elapsed} slots elapsed):")
+    for sources in ("iot", "iot+temp", "all"):
+        result = aqua.localize_scenario(
+            scenario, elapsed_slots=elapsed, sources=sources
+        )
+        predicted = sorted(result.leak_nodes)
+        score = hamming_score(labels, result.label_vector())
+        flips = len(result.tuning_steps)
+        print(f"  {sources:9s} -> score {score:.2f}  predicted {predicted}"
+              + (f"  ({flips} human-input flips)" if flips else ""))
+
+    print("\nThe fused result should recover more of the true break set —")
+    print("the paper's core claim about integrating incomplete sources.")
+
+
+if __name__ == "__main__":
+    main()

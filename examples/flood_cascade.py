@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Cascading-impact exploration: from pipe bursts to street flooding.
+
+Reproduces the paper's Sec. V-D / Fig. 11 workflow: two simultaneous
+bursts discharge through the Eq.-(1) emitter model, the outflow feeds the
+BreZo-substitute flood solver on a DEM interpolated from node elevations,
+and the result is a depth map water agencies can use for damage control
+and evacuation planning.
+
+Run:  python examples/flood_cascade.py          (~30 seconds)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.failures import LeakEvent
+from repro.flood import dem_from_network, leak_outflows, predict_flood
+from repro.networks import wssc_subnet
+
+
+def ascii_depth_map(depth: np.ndarray, levels: str = " .:*#@") -> str:
+    """Render a depth field as coarse ASCII art (deepest = '@')."""
+    peak = depth.max()
+    if peak <= 0:
+        return "(dry)"
+    rows = []
+    step = max(depth.shape[0] // 30, 1)
+    for row in depth[::step]:
+        cells = row[:: max(depth.shape[1] // 60, 1)]
+        indices = np.minimum(
+            (np.sqrt(cells / peak) * (len(levels) - 1)).astype(int),
+            len(levels) - 1,
+        )
+        rows.append("".join(levels[i] for i in indices))
+    return "\n".join(reversed(rows))  # north up
+
+
+def main() -> None:
+    print("Building WSSC-SUBNET and its DEM ...")
+    network = wssc_subnet()
+
+    # Two bursts on low-lying mains, same start time (paper Fig. 11).
+    junctions = sorted(
+        network.junction_names(),
+        key=lambda name: network.nodes[name].elevation,
+    )
+    v1, v2 = junctions[20], junctions[45]
+    events = [LeakEvent(v1, 4e-2), LeakEvent(v2, 1.5e-2)]
+
+    outflows = leak_outflows(network, events)
+    print("Burst outflows from Eq. (1) at solved pressures:")
+    for node, flow in outflows.items():
+        print(f"  {node}: {flow * 1000:.1f} L/s")
+
+    print("Running the diffusive-wave flood simulation (4 h horizon) ...")
+    dem, flood = predict_flood(
+        network, events, duration=4 * 3600.0, cell_size=40.0,
+        snapshot_interval=3600.0,
+    )
+
+    print(f"  DEM: {dem.shape[0]} x {dem.shape[1]} cells at {dem.cell_size:.0f} m")
+    print(f"  water released: {flood.total_inflow_volume:.0f} m^3")
+    print(f"  max depth H:    {flood.max_depth.max():.3f} m")
+    print(f"  flooded area (H > 1 cm): "
+          f"{flood.flooded_area(dem.cell_area, 0.01):.0f} m^2")
+    for time, snapshot in zip(flood.times, flood.snapshots):
+        wet = int(np.sum(snapshot > 0.01))
+        print(f"    t = {time / 3600:.1f} h: {wet} cells above 1 cm")
+
+    print("\nMax-depth map (north up, '@' = deepest):")
+    print(ascii_depth_map(flood.max_depth))
+
+
+if __name__ == "__main__":
+    main()

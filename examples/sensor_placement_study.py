@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Sensor placement study: accuracy vs IoT budget, k-medoids vs random.
+
+AquaSCALE's decision-support module exists to let operators "address
+accuracy/cost tradeoffs and optimize sensor placement".  This example
+quantifies that tradeoff on EPA-NET: for each IoT budget it trains a
+profile with (a) k-medoids placement (the paper's choice) and (b) random
+placement, and reports the hamming score of each.
+
+Run:  python examples/sensor_placement_study.py   (~3 minutes)
+"""
+
+from __future__ import annotations
+
+from repro.core import ProfileModel
+from repro.datasets import generate_dataset
+from repro.networks import epanet_canonical
+from repro.sensing import kmedoids_placement, percentage_to_count, random_placement
+
+
+def main() -> None:
+    print("Building EPA-NET and the evaluation datasets ...")
+    network = epanet_canonical()
+    train = generate_dataset(network, 1000, kind="single", seed=1)
+    test = generate_dataset(network, 150, kind="single", seed=2)
+
+    print(f"{'IoT %':>6} {'devices':>8} {'k-medoids':>10} {'random':>8}")
+    for percent in (10.0, 20.0, 40.0, 70.0, 100.0):
+        count = percentage_to_count(network, percent)
+        scores = {}
+        for label, placer in (("kmedoids", kmedoids_placement), ("random", random_placement)):
+            deployment = placer(network, count, seed=0)
+            profile = ProfileModel(
+                network, deployment, classifier="svm", random_state=0
+            )
+            profile.fit(train)
+            scores[label] = profile.evaluate(test)
+        print(
+            f"{percent:6.0f} {count:8d} {scores['kmedoids']:10.3f} "
+            f"{scores['random']:8.3f}"
+        )
+
+    print("\nk-medoids should dominate at sparse budgets — informed placement")
+    print("matters exactly when devices are scarce (paper Sec. IV-A).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""AquaSCALE reproduction.
+
+A full-system reproduction of *"Toward An Integrated Approach to Localizing
+Failures in Community Water Networks"* (ICDCS 2017): a cyber-physical-human
+framework that localizes single and multiple concurrent pipe leaks by fusing
+IoT telemetry from a hydraulic simulator, weather-derived freeze priors and
+geo-tagged human reports, through an offline-profile / online-inference
+two-phase algorithm.
+
+Subpackages:
+    hydraulics:   EPANET++ substitute (GGA solver, EPS, leak emitters).
+    networks:     EPA-NET and WSSC-SUBNET network generators.
+    failures:     leak events, failure scenarios, break-rate models.
+    sensing:      IoT sensors, telemetry, k-medoids placement.
+    ml:           from-scratch sklearn-style estimators.
+    core:         the two-phase composite leak-identification algorithm.
+    observations: weather and social (tweet) observation models.
+    flood:        BreZo substitute (DEM + 2D flood spreading).
+    datasets:     simulation-driven sample generation.
+    platform:     Sec-VI workflow modules (observe-analyze-adapt).
+    experiments:  per-figure reproduction drivers.
+"""
+
+__version__ = "1.0.0"

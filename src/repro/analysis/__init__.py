@@ -1,0 +1,16 @@
+"""Network analysis: baselines, isolation planning, resilience metrics."""
+
+from .centrality import CentralityResult, CurrentFlowLocalizer
+from .isolation import IsolationAnalyzer, IsolationSegment, ShutdownPlan
+from .resilience import ResilienceReport, resilience_report, todini_index
+
+__all__ = [
+    "CentralityResult",
+    "CurrentFlowLocalizer",
+    "IsolationAnalyzer",
+    "IsolationSegment",
+    "ResilienceReport",
+    "ShutdownPlan",
+    "resilience_report",
+    "todini_index",
+]

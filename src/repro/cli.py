@@ -1,0 +1,372 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror how a utility would operate the system:
+
+* ``networks``    — list/describe the built-in evaluation networks;
+* ``simulate``    — run an extended-period simulation, optionally with
+  injected leaks, and print a hydraulic summary;
+* ``generate``    — build a training dataset and save it to disk;
+* ``train``       — train a profile model on a dataset and save it;
+* ``localize``    — run Phase II on a simulated scenario with a saved
+  profile;
+* ``experiment``  — run a paper-figure experiment and print its table;
+* ``flood``       — predict flooding from specified leak events.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+
+def _add_networks(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser("networks", help="list/describe evaluation networks")
+    parser.add_argument("--name", help="describe one network in detail")
+
+
+def _add_simulate(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser("simulate", help="run an extended-period simulation")
+    parser.add_argument("--network", default="epanet")
+    parser.add_argument("--hours", type=float, default=24.0)
+    parser.add_argument(
+        "--leak",
+        action="append",
+        default=[],
+        metavar="NODE:EC[:START_SLOT]",
+        help="inject a leak, e.g. --leak J12:0.002:4 (repeatable)",
+    )
+    parser.add_argument("--write-inp", metavar="PATH", help="also write the INP file")
+
+
+def _add_generate(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser("generate", help="generate a training dataset")
+    parser.add_argument("--network", default="epanet")
+    parser.add_argument("--samples", type=int, default=1000)
+    parser.add_argument(
+        "--kind", choices=("single", "multi", "low-temperature"), default="multi"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", required=True, metavar="PATH.npz")
+
+
+def _add_train(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser("train", help="train and save a profile model")
+    parser.add_argument("--network", default="epanet")
+    parser.add_argument("--dataset", metavar="PATH.npz", help="saved dataset; generated on the fly when omitted")
+    parser.add_argument("--samples", type=int, default=1000, help="samples when generating")
+    parser.add_argument(
+        "--kind", choices=("single", "multi", "low-temperature"), default="multi"
+    )
+    parser.add_argument("--classifier", default="hybrid-rsl")
+    parser.add_argument("--iot-percent", type=float, default=100.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", required=True, metavar="PROFILE.pkl")
+
+
+def _add_localize(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "localize", help="localize a simulated failure with a saved profile"
+    )
+    parser.add_argument("--profile", required=True, metavar="PROFILE.pkl")
+    parser.add_argument(
+        "--kind", choices=("single", "multi", "low-temperature"), default="multi"
+    )
+    parser.add_argument("--sources", default="all",
+                        choices=("iot", "iot+temp", "iot+human", "all"))
+    parser.add_argument("--elapsed-slots", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_experiment(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser("experiment", help="run a paper-figure experiment")
+    parser.add_argument(
+        "figure",
+        choices=(
+            "fig02", "fig03", "fig05", "fig06", "fig07",
+            "fig08", "fig09", "fig10", "fig11",
+        ),
+    )
+
+
+def _add_isolate(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "isolate", help="shutdown plan for a failing node or link"
+    )
+    parser.add_argument("--network", default="wssc")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--node", help="failing junction")
+    group.add_argument("--link", help="failing pipe")
+
+
+def _add_resilience(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "resilience", help="resilience report, optionally under leaks"
+    )
+    parser.add_argument("--network", default="epanet")
+    parser.add_argument(
+        "--leak", action="append", default=[], metavar="NODE:EC",
+        help="active leak (repeatable)",
+    )
+    parser.add_argument("--required-pressure", type=float, default=20.0)
+
+
+def _add_flood(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser("flood", help="predict flooding from leak events")
+    parser.add_argument("--network", default="wssc")
+    parser.add_argument(
+        "--leak", action="append", required=True, metavar="NODE:EC",
+        help="burst location and size (repeatable)",
+    )
+    parser.add_argument("--hours", type=float, default=4.0)
+    parser.add_argument("--cell-size", type=float, default=40.0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AquaSCALE reproduction: leak localization for water networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_networks(sub)
+    _add_simulate(sub)
+    _add_generate(sub)
+    _add_train(sub)
+    _add_localize(sub)
+    _add_experiment(sub)
+    _add_isolate(sub)
+    _add_resilience(sub)
+    _add_flood(sub)
+    return parser
+
+
+def _parse_leak(token: str, with_slot: bool = True):
+    from .failures import LeakEvent
+
+    parts = token.split(":")
+    if len(parts) < 2:
+        raise SystemExit(f"bad --leak {token!r}: expected NODE:EC[:START_SLOT]")
+    node, ec = parts[0], float(parts[1])
+    slot = int(parts[2]) if with_slot and len(parts) > 2 else 0
+    return LeakEvent(location=node, size=ec, start_slot=slot)
+
+
+# ----------------------------------------------------------------------
+def cmd_networks(args) -> int:
+    """List or describe the built-in networks."""
+    from .networks import available_networks, build_network
+
+    if args.name:
+        network = build_network(args.name)
+        print(f"{network.name}:")
+        for key, value in network.describe().items():
+            print(f"  {key:12s} {value}")
+        return 0
+    for name in available_networks():
+        network = build_network(name)
+        counts = network.describe()
+        print(
+            f"{name:10s} nodes={counts['nodes']:4d} links={counts['links']:4d} "
+            f"pumps={counts['pumps']} valves={counts['valves']} tanks={counts['tanks']}"
+        )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """Run an EPS and print a hydraulic summary."""
+    from .hydraulics import write_inp
+    from .hydraulics.simulation import simulate
+    from .networks import build_network
+
+    network = build_network(args.network)
+    step = network.options.hydraulic_timestep
+    leaks = [
+        _parse_leak(token).to_timed_leak(step) for token in args.leak
+    ]
+    results = simulate(network, duration=args.hours * 3600.0, leaks=leaks or None)
+    pressures = results.pressure[:, [results.node_column(j) for j in network.junction_names()]]
+    print(f"simulated {results.n_timesteps} steps of {step:.0f}s on {network.name}")
+    print(f"  junction pressure: min={pressures.min():.1f} "
+          f"mean={pressures.mean():.1f} max={pressures.max():.1f} m")
+    loss = results.total_water_loss()
+    if loss > 0:
+        print(f"  water lost to leaks: {loss:.1f} m^3")
+    if args.write_inp:
+        write_inp(network, args.write_inp)
+        print(f"  wrote {args.write_inp}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    """Generate a training dataset and save it."""
+    from .datasets import generate_dataset, save_dataset
+    from .networks import build_network
+
+    network = build_network(args.network)
+    dataset = generate_dataset(
+        network, args.samples, kind=args.kind, seed=args.seed
+    )
+    save_dataset(dataset, args.out)
+    print(
+        f"wrote {args.out}: {dataset.n_samples} samples x "
+        f"{dataset.X_candidates.shape[1]} candidate features"
+    )
+    return 0
+
+
+def cmd_train(args) -> int:
+    """Train a profile model and save it."""
+    from .core import AquaScale
+    from .datasets import generate_dataset, load_dataset, save_profile
+    from .networks import build_network
+
+    network = build_network(args.network)
+    model = AquaScale(
+        network,
+        iot_percent=args.iot_percent,
+        classifier=args.classifier,
+        seed=args.seed,
+    )
+    if args.dataset:
+        dataset = load_dataset(args.dataset)
+    else:
+        dataset = generate_dataset(
+            network, args.samples, kind=args.kind, seed=args.seed
+        )
+    model.train(dataset=dataset)
+    save_profile(model, args.out)
+    print(
+        f"wrote {args.out}: {args.classifier} profile, "
+        f"{len(model.sensors)} sensors ({args.iot_percent:.0f}% IoT)"
+    )
+    return 0
+
+
+def cmd_localize(args) -> int:
+    """Localize a simulated failure with a saved profile."""
+    from .datasets import load_profile
+    from .failures import ScenarioGenerator
+
+    model = load_profile(args.profile)
+    generator = ScenarioGenerator(model.network, seed=args.seed)
+    if args.kind == "single":
+        scenario = generator.single_failure()
+    elif args.kind == "multi":
+        scenario = generator.multi_failure()
+    else:
+        scenario = generator.low_temperature_failure()
+    result = model.localize_scenario(
+        scenario, elapsed_slots=args.elapsed_slots, sources=args.sources
+    )
+    print(f"ground truth : {sorted(scenario.leak_nodes)}")
+    print(f"predicted    : {sorted(result.leak_nodes)}")
+    print("top suspects :")
+    for name, probability in result.top_suspects(5):
+        print(f"  {name:8s} {probability:.3f}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """Run a paper-figure experiment and print its table."""
+    import importlib
+
+    modules = {
+        "fig02": "fig02_pressure_profiles",
+        "fig03": "fig03_breaks_vs_temperature",
+        "fig05": "fig05_networks",
+        "fig06": "fig06_ml_comparison",
+        "fig07": "fig07_hybrid_comparison",
+        "fig08": "fig08_wssc_surface",
+        "fig09": "fig09_coarseness",
+        "fig10": "fig10_max_leaks",
+        "fig11": "fig11_flood",
+    }
+    module = importlib.import_module(f"repro.experiments.{modules[args.figure]}")
+    result = module.run()
+    result.print_report()
+    return 0
+
+
+def cmd_flood(args) -> int:
+    """Predict flooding from the given leak events."""
+    from .flood import predict_flood
+    from .networks import build_network
+
+    network = build_network(args.network)
+    events = [_parse_leak(token, with_slot=False) for token in args.leak]
+    dem, flood = predict_flood(
+        network, events, duration=args.hours * 3600.0, cell_size=args.cell_size
+    )
+    print(f"DEM {dem.shape[0]} x {dem.shape[1]} cells at {dem.cell_size:.0f} m")
+    print(f"released : {flood.total_inflow_volume:.0f} m^3")
+    print(f"max depth: {flood.max_depth.max():.3f} m")
+    print(f"flooded  : {flood.flooded_area(dem.cell_area, 0.01):.0f} m^2 (H > 1 cm)")
+    return 0
+
+
+def cmd_isolate(args) -> int:
+    """Print the shutdown plan isolating a failing component."""
+    from .analysis import IsolationAnalyzer
+    from .networks import build_network
+
+    network = build_network(args.network)
+    analyzer = IsolationAnalyzer(network)
+    if args.node:
+        plan = analyzer.shutdown_plan_for_node(args.node)
+    else:
+        plan = analyzer.shutdown_plan_for_link(args.link)
+    print(f"target            : {plan.target}")
+    print(f"valves to close   : {sorted(plan.valves_to_close) or '(none: unbounded segment)'}")
+    print(f"demand interrupted: {plan.demand_lost * 1000:.1f} L/s")
+    print(f"customers affected: {plan.customers_affected}")
+    if plan.contains_source:
+        print("WARNING: the shutdown contains a source — zone-wide outage")
+    return 0
+
+
+def cmd_resilience(args) -> int:
+    """Print a resilience report, optionally under leaks."""
+    from .analysis import resilience_report
+    from .failures import events_to_emitters
+    from .hydraulics import GGASolver
+    from .networks import build_network
+
+    network = build_network(args.network)
+    events = [_parse_leak(token, with_slot=False) for token in args.leak]
+    solver = GGASolver(network)
+    solution = solver.solve(
+        emitters=events_to_emitters(events) if events else None
+    )
+    report = resilience_report(
+        network, solution, required_pressure=args.required_pressure
+    )
+    print(f"todini index          : {report.todini_index:.3f}")
+    print(f"min junction pressure : {report.min_pressure:.1f} m")
+    print(f"pressure-deficit nodes: {report.pressure_deficit_nodes}")
+    print(f"supply ratio          : {report.supply_ratio:.3f}")
+    print(f"leak flow             : {report.total_leak_flow * 1000:.1f} L/s")
+    return 0
+
+
+_HANDLERS = {
+    "networks": cmd_networks,
+    "simulate": cmd_simulate,
+    "generate": cmd_generate,
+    "train": cmd_train,
+    "localize": cmd_localize,
+    "experiment": cmd_experiment,
+    "isolate": cmd_isolate,
+    "resilience": cmd_resilience,
+    "flood": cmd_flood,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

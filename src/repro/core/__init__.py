@@ -1,0 +1,58 @@
+"""The paper's contribution: the two-phase composite leak identifier.
+
+Phase I (:mod:`profile`) trains per-node classifiers offline on simulated
+telemetry (Algorithm 1).  Phase II (:mod:`inference`) fuses live IoT
+features with weather freeze priors (Bayes, Eqs. 5-6) and human-report
+cliques (higher-order potentials, Eqs. 9-10) to output the leak set
+(Algorithm 2).  :mod:`pipeline` wires everything into the
+:class:`AquaScale` facade, and :mod:`registry` provides the plug-and-play
+classifier catalogue including HybridRSL.
+"""
+
+from .baseline import EnumerationLocalizer, EnumerationResult
+from .entropy import binary_entropy, total_uncertainty
+from .fusion import aggregate_freeze_evidence, aggregate_probabilities, odds
+from .inference import InferenceResult, LeakInferenceEngine
+from .pipeline import SOURCE_MIXES, AquaScale, ObservationFactory
+from .potentials import (
+    TuningStep,
+    apply_event_tuning,
+    clique_potential,
+    total_energy,
+)
+from .profile import ProfileModel
+from .registry import (
+    PAPER_NAMES,
+    available_classifiers,
+    make_classifier,
+    register_classifier,
+)
+from .scoring import TopologicalScorer
+from .sizing import LeakSizeEstimator, SizeEstimate
+
+__all__ = [
+    "AquaScale",
+    "EnumerationLocalizer",
+    "EnumerationResult",
+    "InferenceResult",
+    "LeakInferenceEngine",
+    "LeakSizeEstimator",
+    "ObservationFactory",
+    "PAPER_NAMES",
+    "ProfileModel",
+    "SOURCE_MIXES",
+    "SizeEstimate",
+    "TopologicalScorer",
+    "TuningStep",
+    "aggregate_freeze_evidence",
+    "aggregate_probabilities",
+    "apply_event_tuning",
+    "available_classifiers",
+    "binary_entropy",
+    "clique_potential",
+    "make_classifier",
+    "odds",
+    "register_classifier",
+    "total_energy",
+    "total_uncertainty",
+]

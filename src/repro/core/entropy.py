@@ -1,0 +1,32 @@
+"""Prediction-uncertainty measures (paper Eqs. 7-8).
+
+Phase II quantifies how uncertain each node's leak prediction is with the
+binary entropy of its probability; the sum over nodes is the energy term
+the human-input tuning minimises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def binary_entropy(p: float | np.ndarray) -> np.ndarray | float:
+    """H(p) = -p log p - (1-p) log(1-p), in nats; H(0) = H(1) = 0.
+
+    Eq. (7) with the two-outcome label set L = {0, 1}.
+    """
+    p = np.asarray(p, dtype=float)
+    if np.any((p < 0.0) | (p > 1.0)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    out = np.zeros_like(p)
+    interior = (p > 0.0) & (p < 1.0)
+    pi = p[interior]
+    out[interior] = -pi * np.log(pi) - (1.0 - pi) * np.log(1.0 - pi)
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def total_uncertainty(p_leak: np.ndarray) -> float:
+    """Eq. (8): sum of per-node entropies, E[y] without clique terms."""
+    return float(np.sum(binary_entropy(np.asarray(p_leak, dtype=float))))

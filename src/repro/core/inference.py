@@ -1,0 +1,194 @@
+"""Phase II: online inference over live data (paper Algorithm 2).
+
+The inference engine takes live Δ-features plus whatever external
+observations arrived, and produces the updated leak set:
+
+1. *Event prediction* — the profile model scores every junction; frozen
+   nodes fuse the freeze prior via Bayes (Eqs. 5-6).
+2. *Event tuning* — human-report cliques with infinite potential flip
+   their highest-entropy member (Eq. 10), minimising the energy (Eq. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..observations import HumanObservation, WeatherObservation
+from .entropy import total_uncertainty
+from .fusion import aggregate_freeze_evidence
+from .potentials import TuningStep, apply_event_tuning, total_energy
+from .profile import ProfileModel
+
+
+@dataclass
+class InferenceResult:
+    """Everything Phase II produces for one live sample.
+
+    Attributes:
+        probabilities: (n_junctions,) final P(leak) per junction.
+        junction_names: column order of ``probabilities``.
+        leak_nodes: the predicted set S.
+        tuning_steps: human-input flips applied (explainability record).
+        energy: Eq. (9) after tuning.
+        stages: P(leak) snapshots after each stage, keyed
+            "iot" / "weather" / "human" — handy for the fusion ablation.
+    """
+
+    probabilities: np.ndarray
+    junction_names: list[str]
+    leak_nodes: set[str]
+    tuning_steps: list[TuningStep] = field(default_factory=list)
+    energy: float = 0.0
+    stages: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def label_vector(self) -> np.ndarray:
+        """Binary indicator over ``junction_names``."""
+        return (self.probabilities > 0.5).astype(np.int64)
+
+    def entropy(self) -> float:
+        """Total remaining prediction uncertainty (Eq. 8)."""
+        return total_uncertainty(self.probabilities)
+
+    def top_suspects(self, k: int = 5) -> list[tuple[str, float]]:
+        """The k most probable leak locations, most probable first."""
+        order = np.argsort(self.probabilities)[::-1][:k]
+        return [(self.junction_names[i], float(self.probabilities[i])) for i in order]
+
+
+class LeakInferenceEngine:
+    """Runs Algorithm 2 against a fitted profile model.
+
+    Args:
+        profile: the Phase I model.
+        entropy_threshold: Gamma of Eq. (10); the paper evaluates with 0.
+        min_clique_confidence: drop cliques below this Eq.-(3) confidence
+            (0 = paper behaviour, every clique applies).
+    """
+
+    def __init__(
+        self,
+        profile: ProfileModel,
+        entropy_threshold: float = 0.0,
+        min_clique_confidence: float = 0.0,
+    ):
+        self.profile = profile
+        self.entropy_threshold = entropy_threshold
+        self.min_clique_confidence = min_clique_confidence
+
+    def infer(
+        self,
+        features: np.ndarray,
+        weather: WeatherObservation | None = None,
+        human: HumanObservation | None = None,
+    ) -> InferenceResult:
+        """Localize leaks for one live sample.
+
+        Args:
+            features: Δ-readings from the deployed sensors (1-D).
+            weather: freeze evidence, or None when unavailable.
+            human: tweet cliques, or None when unavailable.
+        """
+        junction_names = self.profile.junction_names
+        stages: dict[str, np.ndarray] = {}
+
+        # --- event prediction: IoT through the profile model ----------
+        p = self.profile.predict_proba(features)[0]
+        stages["iot"] = p.copy()
+
+        # --- weather fusion (Algorithm 2 lines 6-13) -------------------
+        if weather is not None and weather.active:
+            frozen_mask = np.array(
+                [name in weather.frozen_nodes for name in junction_names]
+            )
+            p = aggregate_freeze_evidence(
+                p, frozen_mask, weather.p_leak_given_freeze
+            )
+            stages["weather"] = p.copy()
+
+        # --- event tuning with human cliques (lines 14-26) -------------
+        tuning_steps: list[TuningStep] = []
+        cliques = human.cliques if human is not None else ()
+        if cliques:
+            p, tuning_steps = apply_event_tuning(
+                p,
+                junction_names,
+                cliques,
+                entropy_threshold=self.entropy_threshold,
+                min_confidence=self.min_clique_confidence,
+            )
+            stages["human"] = p.copy()
+
+        leak_nodes = {
+            name for name, prob in zip(junction_names, p) if prob > 0.5
+        }
+        energy = total_energy(
+            p, junction_names, cliques, self.entropy_threshold
+        )
+        return InferenceResult(
+            probabilities=p,
+            junction_names=junction_names,
+            leak_nodes=leak_nodes,
+            tuning_steps=tuning_steps,
+            energy=energy,
+            stages=stages,
+        )
+
+    def infer_batch(
+        self,
+        features: np.ndarray,
+        weather: list[WeatherObservation | None] | None = None,
+        human: list[HumanObservation | None] | None = None,
+    ) -> list[InferenceResult]:
+        """Vector of :meth:`infer` calls sharing one proba batch.
+
+        The profile model scores the whole batch at once (the expensive
+        part); fusion and tuning then run per sample.
+        """
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError("infer_batch expects (n_samples, n_features)")
+        n = features.shape[0]
+        weather = weather if weather is not None else [None] * n
+        human = human if human is not None else [None] * n
+        if len(weather) != n or len(human) != n:
+            raise ValueError("observation lists must match the batch size")
+        proba = self.profile.predict_proba(features)
+        results = []
+        junction_names = self.profile.junction_names
+        for i in range(n):
+            p = proba[i].copy()
+            stages = {"iot": p.copy()}
+            w = weather[i]
+            if w is not None and w.active:
+                frozen_mask = np.array(
+                    [name in w.frozen_nodes for name in junction_names]
+                )
+                p = aggregate_freeze_evidence(p, frozen_mask, w.p_leak_given_freeze)
+                stages["weather"] = p.copy()
+            h = human[i]
+            steps: list[TuningStep] = []
+            cliques = h.cliques if h is not None else ()
+            if cliques:
+                p, steps = apply_event_tuning(
+                    p,
+                    junction_names,
+                    cliques,
+                    entropy_threshold=self.entropy_threshold,
+                    min_confidence=self.min_clique_confidence,
+                )
+                stages["human"] = p.copy()
+            results.append(
+                InferenceResult(
+                    probabilities=p,
+                    junction_names=junction_names,
+                    leak_nodes={
+                        name for name, prob in zip(junction_names, p) if prob > 0.5
+                    },
+                    tuning_steps=steps,
+                    energy=total_energy(p, junction_names, cliques, self.entropy_threshold),
+                    stages=stages,
+                )
+            )
+        return results

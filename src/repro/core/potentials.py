@@ -1,0 +1,128 @@
+"""Higher-order clique potentials and event tuning (paper Eq. 10,
+Algorithm 2 lines 15-26).
+
+Human reports identify subzones (cliques).  An *inconsistent* event — a
+clique none of whose nodes is currently predicted to leak — carries an
+infinite potential; tuning eliminates it by flipping the clique's most
+uncertain (highest-entropy) node to "leak", driving the energy of Eq. (9)
+down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..observations import Clique
+from .entropy import binary_entropy
+
+
+def clique_potential(
+    clique_nodes: tuple[str, ...],
+    predicted_set: set[str],
+    entropies: dict[str, float],
+    entropy_threshold: float,
+) -> float:
+    """Eq. (10): 0 if consistent or confidently negative, else infinity.
+
+    Args:
+        clique_nodes: the nodes of clique c.
+        predicted_set: current leak set S.
+        entropies: H(y_v) per node.
+        entropy_threshold: Gamma — predictions with entropy below it are
+            trusted over the subzone-level human report.
+    """
+    if any(node in predicted_set for node in clique_nodes):
+        return 0.0
+    if all(entropies.get(node, 0.0) < entropy_threshold for node in clique_nodes):
+        return 0.0
+    return math.inf
+
+
+@dataclass(frozen=True)
+class TuningStep:
+    """Record of one event-tuning flip (for explainability)."""
+
+    clique_centre: tuple[float, float]
+    flipped_node: str
+    entropy_before: float
+    report_count: int
+
+
+def apply_event_tuning(
+    p_leak: np.ndarray,
+    junction_names: list[str],
+    cliques: tuple[Clique, ...] | list[Clique],
+    entropy_threshold: float = 0.0,
+    min_confidence: float = 0.0,
+) -> tuple[np.ndarray, list[TuningStep]]:
+    """Algorithm 2 lines 15-26: enforce event consistency with cliques.
+
+    For each clique with infinite potential, the member with the highest
+    entropy is forced to leak (p -> 1, entropy -> 0).
+
+    Args:
+        p_leak: (n_junctions,) current leak probabilities (updated copy
+            is returned; the input is not mutated).
+        junction_names: column order of ``p_leak``.
+        cliques: human-input cliques.
+        entropy_threshold: Gamma; the paper's experiments use 0 ("always
+            consider human effect").
+        min_confidence: ignore cliques whose Eq.-(3) confidence is lower
+            (0 reproduces the paper, which applies every clique).
+
+    Returns:
+        (updated probabilities, tuning steps applied).
+    """
+    p = np.array(p_leak, dtype=float)
+    index = {name: i for i, name in enumerate(junction_names)}
+    steps: list[TuningStep] = []
+    for clique in cliques:
+        if clique.confidence < min_confidence:
+            continue
+        members = [node for node in clique.nodes if node in index]
+        if not members:
+            continue
+        predicted = {junction_names[i] for i in np.nonzero(p > 0.5)[0]}
+        entropies = {node: float(binary_entropy(p[index[node]])) for node in members}
+        potential = clique_potential(
+            tuple(members), predicted, entropies, entropy_threshold
+        )
+        if not math.isinf(potential):
+            continue
+        best = max(members, key=lambda node: entropies[node])
+        if entropies[best] > entropy_threshold:
+            steps.append(
+                TuningStep(
+                    clique_centre=clique.centre,
+                    flipped_node=best,
+                    entropy_before=entropies[best],
+                    report_count=clique.report_count,
+                )
+            )
+            p[index[best]] = 1.0
+    return p, steps
+
+
+def total_energy(
+    p_leak: np.ndarray,
+    junction_names: list[str],
+    cliques: tuple[Clique, ...] | list[Clique],
+    entropy_threshold: float = 0.0,
+) -> float:
+    """Eq. (9): sum of entropies plus clique potentials."""
+    p = np.asarray(p_leak, dtype=float)
+    energy = float(np.sum(binary_entropy(p)))
+    index = {name: i for i, name in enumerate(junction_names)}
+    predicted = {junction_names[i] for i in np.nonzero(p > 0.5)[0]}
+    for clique in cliques:
+        members = [node for node in clique.nodes if node in index]
+        if not members:
+            continue
+        entropies = {node: float(binary_entropy(p[index[node]])) for node in members}
+        energy += clique_potential(
+            tuple(members), predicted, entropies, entropy_threshold
+        )
+    return energy

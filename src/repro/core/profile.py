@@ -1,0 +1,155 @@
+"""Phase I: the offline profile model (paper Algorithm 1).
+
+A :class:`ProfileModel` binds a classifier technique, a sensor deployment
+and a network together: it standardises the Δ-features visible to the
+deployment and trains one binary classifier per junction (the multi-output
+decomposition of Sec. III-B).  Fitting it on a simulated
+:class:`~repro.datasets.LeakDataset` is the expensive offline step that
+makes online inference take seconds instead of the hours/days of
+simulation-matching approaches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets import LeakDataset
+from ..hydraulics import WaterNetwork
+from ..ml import BaseEstimator, MultiOutputClassifier, StandardScaler, clone
+from ..sensing import SensorNetwork
+from .registry import make_classifier
+
+
+class ProfileModel:
+    """Per-node leak classifiers behind one ``fit`` / ``predict`` surface.
+
+    Args:
+        network: the target network (fixes the junction label order).
+        sensor_network: the deployed IoT devices (fixes the feature
+            columns).
+        classifier: a registry name ("rf", "svm", "hybrid-rsl", ...) or a
+            ready estimator instance to clone per node.
+        random_state: seed for stochastic classifiers.
+        scale_features: standardise features before fitting (recommended
+            for the linear techniques; harmless for trees).
+    """
+
+    def __init__(
+        self,
+        network: WaterNetwork,
+        sensor_network: SensorNetwork,
+        classifier: str | BaseEstimator = "hybrid-rsl",
+        random_state: int | None = 0,
+        scale_features: bool = True,
+        negative_ratio: float | None = 6.0,
+        detrend: bool = True,
+    ):
+        self.network = network
+        self.sensor_network = sensor_network
+        self.junction_names = network.junction_names()
+        self.random_state = random_state
+        self.scale_features = scale_features
+        self.negative_ratio = negative_ratio
+        self.detrend = detrend
+        self._pressure_columns: np.ndarray | None = None
+        self._flow_columns: np.ndarray | None = None
+        if isinstance(classifier, str):
+            self.classifier_name = classifier
+            self._template = make_classifier(classifier, random_state=random_state)
+        else:
+            self.classifier_name = type(classifier).__name__
+            self._template = classifier
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: LeakDataset) -> "ProfileModel":
+        """Algorithm 1: for v in V, f_v.fit(T, X, Y_v).
+
+        Raises:
+            ValueError: if the dataset's junction order differs from the
+                network's (mixed-network datasets are a user error).
+        """
+        if dataset.junction_names != self.junction_names:
+            raise ValueError("dataset junctions do not match the network")
+        X = self._detrend(dataset.features_for(self.sensor_network))
+        if self.scale_features:
+            self._scaler = StandardScaler().fit(X)
+            X = self._scaler.transform(X)
+        else:
+            self._scaler = None
+        self._model = MultiOutputClassifier(
+            clone(self._template),
+            negative_ratio=self.negative_ratio,
+            random_state=self.random_state,
+        )
+        self._model.fit(X, dataset.Y)
+        return self
+
+    def _detrend(self, X: np.ndarray) -> np.ndarray:
+        """Remove the network-wide common-mode Δ from each modality.
+
+        Diurnal demand drift between the ``t - 1`` and ``t + n`` readings
+        shifts *every* pressure (and scales flows) regardless of leaks;
+        subtracting the per-sample median turns features into relative
+        drops, which localise.  Controlled by ``detrend`` and ablated in
+        ``benchmarks/test_ablation_detrend.py``.
+        """
+        if not self.detrend:
+            return X
+        if self._pressure_columns is None:
+            kinds = [s.sensor_type.value for s in self.sensor_network.sensors]
+            self._pressure_columns = np.array(
+                [i for i, k in enumerate(kinds) if k == "pressure"], dtype=np.int64
+            )
+            self._flow_columns = np.array(
+                [i for i, k in enumerate(kinds) if k == "flow"], dtype=np.int64
+            )
+        X = np.array(X, dtype=float)
+        if len(self._pressure_columns) > 1:
+            med = np.median(X[:, self._pressure_columns], axis=1, keepdims=True)
+            X[:, self._pressure_columns] -= med
+        if len(self._flow_columns) > 1:
+            med = np.median(X[:, self._flow_columns], axis=1, keepdims=True)
+            X[:, self._flow_columns] -= med
+        return X
+
+    def _prepare(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[None, :]
+        features = self._detrend(features)
+        if self._scaler is not None:
+            features = self._scaler.transform(features)
+        return features
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(leak) per junction; accepts one sample or a batch.
+
+        Mirrors the paper's ``f.predict_proba``: output P with
+        ``p_v(1)`` per node (``p_v(0)`` is the complement).
+        """
+        if not hasattr(self, "_model"):
+            raise RuntimeError("ProfileModel is not fitted; call fit() first")
+        return self._model.predict_proba(self._prepare(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Binary leak indicators per junction (the paper's set S)."""
+        return (self.predict_proba(features) > 0.5).astype(np.int64)
+
+    def predicted_set(self, features: np.ndarray) -> set[str]:
+        """S = {v : p_v(1) > p_v(0)} for a single sample."""
+        proba = self.predict_proba(features)
+        if proba.shape[0] != 1:
+            raise ValueError("predicted_set expects a single sample")
+        return {
+            name
+            for name, flag in zip(self.junction_names, proba[0] > 0.5)
+            if flag
+        }
+
+    def evaluate(self, dataset: LeakDataset) -> float:
+        """Mean per-scenario hamming score on a dataset."""
+        from ..ml import mean_hamming_score
+
+        predictions = self.predict(dataset.features_for(self.sensor_network))
+        return mean_hamming_score(dataset.Y, predictions)

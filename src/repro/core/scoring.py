@@ -1,0 +1,92 @@
+"""Topology-aware localization scoring.
+
+The paper's hamming (Jaccard) score counts only exact node hits, but a
+utility digging one junction away from the true break still saved the
+day.  :func:`topological_score` grants distance-discounted credit: a
+prediction within ``max_hops`` pipe hops of a true leak earns
+``1 / (1 + hops)``; anything farther is a miss.  This quantifies the
+"near miss" structure that the binary score hides — several of our
+benchmarks show top suspects adjacent to the truth.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..hydraulics import WaterNetwork
+
+
+class TopologicalScorer:
+    """Distance-discounted leak-set scorer bound to one network."""
+
+    def __init__(self, network: WaterNetwork, max_hops: int = 2):
+        if max_hops < 0:
+            raise ValueError(f"max_hops must be >= 0, got {max_hops}")
+        self.network = network
+        self.max_hops = max_hops
+        graph = network.to_networkx()
+        # Hop distances between junctions, capped at max_hops.
+        self._near: dict[str, dict[str, int]] = {}
+        for junction in network.junction_names():
+            lengths = nx.single_source_shortest_path_length(
+                graph, junction, cutoff=max_hops
+            )
+            self._near[junction] = {
+                name: hops
+                for name, hops in lengths.items()
+                if name in set(network.junction_names())
+            }
+
+    def credit(self, true_node: str, predicted_node: str) -> float:
+        """Distance-discounted credit for one (true, predicted) pair."""
+        hops = self._near.get(true_node, {}).get(predicted_node)
+        if hops is None:
+            return 0.0
+        return 1.0 / (1.0 + hops)
+
+    def score(self, true_nodes: set[str], predicted_nodes: set[str]) -> float:
+        """Greedy one-to-one matching of predictions to true leaks.
+
+        Each true leak is matched to its best unused prediction; the
+        total credit is normalised by ``max(|true|, |predicted|)`` so
+        spraying predictions is penalised like the Jaccard denominator
+        does.
+        """
+        if not true_nodes and not predicted_nodes:
+            return 1.0
+        if not true_nodes or not predicted_nodes:
+            return 0.0
+        remaining = set(predicted_nodes)
+        total = 0.0
+        # Greedy: process pairs by decreasing credit.
+        pairs = sorted(
+            (
+                (self.credit(t, p), t, p)
+                for t in true_nodes
+                for p in remaining
+            ),
+            reverse=True,
+        )
+        matched_true: set[str] = set()
+        for credit_value, t, p in pairs:
+            if credit_value <= 0.0:
+                break
+            if t in matched_true or p not in remaining:
+                continue
+            matched_true.add(t)
+            remaining.discard(p)
+            total += credit_value
+        return total / max(len(true_nodes), len(predicted_nodes))
+
+    def mean_score(
+        self, true_sets: list[set[str]], predicted_sets: list[set[str]]
+    ) -> float:
+        """Average :meth:`score` over paired scenario lists."""
+        if len(true_sets) != len(predicted_sets):
+            raise ValueError("true and predicted lists must align")
+        if not true_sets:
+            return 0.0
+        return float(
+            np.mean([self.score(t, p) for t, p in zip(true_sets, predicted_sets)])
+        )

@@ -1,0 +1,13 @@
+"""Simulation-driven dataset generation for profile training."""
+
+from .cache import load_dataset, load_profile, save_dataset, save_profile
+from .generation import LeakDataset, generate_dataset
+
+__all__ = [
+    "LeakDataset",
+    "generate_dataset",
+    "load_dataset",
+    "load_profile",
+    "save_dataset",
+    "save_profile",
+]

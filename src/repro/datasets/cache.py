@@ -1,0 +1,115 @@
+"""Dataset and model persistence.
+
+Profile training is the expensive offline phase, and the datasets behind
+it take minutes of hydraulics to regenerate; utilities would train once
+and ship artifacts to the operations floor.  Datasets serialise to a
+portable ``.npz`` + JSON bundle (no pickle, so they are safe to share);
+trained profile models serialise with pickle (they contain fitted
+estimators and are trusted artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from ..failures import FailureScenario, LeakEvent
+from .generation import LeakDataset
+
+#: Bumped whenever the on-disk layout changes.
+FORMAT_VERSION = 1
+
+
+def _scenario_to_dict(scenario: FailureScenario) -> dict:
+    return {
+        "events": [
+            {
+                "location": e.location,
+                "size": e.size,
+                "start_slot": e.start_slot,
+                "beta": e.beta,
+            }
+            for e in scenario.events
+        ],
+        "start_slot": scenario.start_slot,
+        "frozen_nodes": sorted(scenario.frozen_nodes),
+        "temperature_f": scenario.temperature_f,
+    }
+
+
+def _scenario_from_dict(data: dict) -> FailureScenario:
+    events = tuple(
+        LeakEvent(
+            location=e["location"],
+            size=e["size"],
+            start_slot=e["start_slot"],
+            beta=e.get("beta", 0.5),
+        )
+        for e in data["events"]
+    )
+    return FailureScenario(
+        events=events,
+        start_slot=data["start_slot"],
+        frozen_nodes=frozenset(data.get("frozen_nodes", [])),
+        temperature_f=data.get("temperature_f", 55.0),
+    )
+
+
+def save_dataset(dataset: LeakDataset, path: str | Path) -> None:
+    """Write a dataset as ``<path>`` (.npz) with embedded JSON metadata."""
+    path = Path(path)
+    metadata = {
+        "version": FORMAT_VERSION,
+        "candidate_keys": dataset.candidate_keys,
+        "junction_names": dataset.junction_names,
+        "elapsed_slots": dataset.elapsed_slots,
+        "scenarios": [_scenario_to_dict(s) for s in dataset.scenarios],
+    }
+    np.savez_compressed(
+        path,
+        X_candidates=dataset.X_candidates,
+        Y=dataset.Y,
+        metadata=np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+
+
+def load_dataset(path: str | Path) -> LeakDataset:
+    """Read a dataset written by :func:`save_dataset`.
+
+    Raises:
+        ValueError: on unknown format versions.
+    """
+    with np.load(Path(path)) as bundle:
+        metadata = json.loads(bytes(bundle["metadata"].tobytes()).decode("utf-8"))
+        if metadata.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version {metadata.get('version')!r}"
+            )
+        return LeakDataset(
+            X_candidates=bundle["X_candidates"],
+            Y=bundle["Y"],
+            candidate_keys=list(metadata["candidate_keys"]),
+            junction_names=list(metadata["junction_names"]),
+            scenarios=[_scenario_from_dict(s) for s in metadata["scenarios"]],
+            elapsed_slots=int(metadata["elapsed_slots"]),
+        )
+
+
+def save_profile(profile, path: str | Path) -> None:
+    """Persist a fitted :class:`~repro.core.ProfileModel` (pickle)."""
+    with open(Path(path), "wb") as handle:
+        pickle.dump(profile, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_profile(path: str | Path):
+    """Load a profile written by :func:`save_profile`.
+
+    Only load artifacts you produced yourself — pickle executes code.
+    """
+    with open(Path(path), "rb") as handle:
+        return pickle.load(handle)

@@ -1,0 +1,35 @@
+"""Per-figure reproduction drivers (one module per paper figure)."""
+
+from . import (
+    fig02_pressure_profiles,
+    fig03_breaks_vs_temperature,
+    fig06_ml_comparison,
+    fig07_hybrid_comparison,
+    fig08_wssc_surface,
+    fig09_coarseness,
+    fig10_max_leaks,
+    fig11_flood,
+)
+from .common import (
+    ExperimentResult,
+    cached_dataset,
+    cached_model,
+    cached_network,
+    clear_caches,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "cached_dataset",
+    "cached_model",
+    "cached_network",
+    "clear_caches",
+    "fig02_pressure_profiles",
+    "fig03_breaks_vs_temperature",
+    "fig06_ml_comparison",
+    "fig07_hybrid_comparison",
+    "fig08_wssc_surface",
+    "fig09_coarseness",
+    "fig10_max_leaks",
+    "fig11_flood",
+]

@@ -1,0 +1,151 @@
+"""Shared experiment infrastructure.
+
+Every figure module exposes ``run(config) -> ExperimentResult`` with a
+default config small enough for CI; ``EXPERIMENTS.md`` records the
+paper-vs-measured comparison produced by these defaults.  Datasets and
+trained profiles are memoised per process so a benchmark session does not
+regenerate identical hydraulics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+from ..core import AquaScale
+from ..datasets import LeakDataset, generate_dataset
+from ..hydraulics import WaterNetwork
+from ..networks import build_network
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of a reproduced table/figure plus its provenance.
+
+    Attributes:
+        experiment: identifier, e.g. ``"fig07"``.
+        title: human-readable description.
+        rows: list of dict rows (the figure's series points).
+        config: the parameters that produced the rows.
+    """
+
+    experiment: str
+    title: str
+    rows: list[dict[str, Any]]
+    config: dict[str, Any] = field(default_factory=dict)
+
+    def to_table(self) -> str:
+        """Render rows as a GitHub-flavoured markdown table."""
+        if not self.rows:
+            return "(no rows)"
+        columns = list(self.rows[0].keys())
+        lines = ["| " + " | ".join(columns) + " |"]
+        lines.append("|" + "|".join("---" for _ in columns) + "|")
+        for row in self.rows:
+            cells = []
+            for column in columns:
+                value = row.get(column, "")
+                if isinstance(value, float):
+                    cells.append(f"{value:.3f}")
+                else:
+                    cells.append(str(value))
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+    def print_report(self) -> None:
+        """Print the figure header and table (bench harness output)."""
+        print(f"\n=== {self.experiment}: {self.title} ===")
+        for key, value in self.config.items():
+            print(f"    {key} = {value}")
+        print(self.to_table())
+
+    def series(self, x_key: str, y_key: str, **filters: Any) -> tuple[list, list]:
+        """Extract an (x, y) series from rows matching ``filters``."""
+        xs, ys = [], []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in filters.items()):
+                xs.append(row[x_key])
+                ys.append(row[y_key])
+        return xs, ys
+
+
+# ----------------------------------------------------------------------
+# Process-level caches (benchmarks share networks/datasets/profiles).
+# ----------------------------------------------------------------------
+_NETWORK_CACHE: dict[str, WaterNetwork] = {}
+_DATASET_CACHE: dict[tuple, LeakDataset] = {}
+_MODEL_CACHE: dict[tuple, AquaScale] = {}
+
+
+def cached_network(name: str) -> WaterNetwork:
+    """Build (or reuse) a catalog network."""
+    if name not in _NETWORK_CACHE:
+        _NETWORK_CACHE[name] = build_network(name)
+    return _NETWORK_CACHE[name]
+
+
+def cached_dataset(
+    network_name: str,
+    n_samples: int,
+    kind: str,
+    seed: int,
+    elapsed_slots: int = 1,
+    max_events: int = 5,
+) -> LeakDataset:
+    """Generate (or reuse) a dataset keyed by its full parameter tuple."""
+    key = (network_name, n_samples, kind, seed, elapsed_slots, max_events)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = generate_dataset(
+            cached_network(network_name),
+            n_samples,
+            kind=kind,
+            seed=seed,
+            elapsed_slots=elapsed_slots,
+            max_events=max_events,
+        )
+    return _DATASET_CACHE[key]
+
+
+def cached_model(
+    network_name: str,
+    classifier: str,
+    iot_percent: float,
+    train_samples: int,
+    train_kind: str,
+    seed: int = 0,
+    max_events: int = 5,
+    gamma: float = 30.0,
+) -> AquaScale:
+    """Train (or reuse) an AquaScale pipeline for a sweep point."""
+    key = (
+        network_name,
+        classifier,
+        iot_percent,
+        train_samples,
+        train_kind,
+        seed,
+        max_events,
+        gamma,
+    )
+    if key not in _MODEL_CACHE:
+        model = AquaScale(
+            cached_network(network_name),
+            iot_percent=iot_percent,
+            classifier=classifier,
+            seed=seed,
+            gamma=gamma,
+        )
+        dataset = cached_dataset(
+            network_name, train_samples, train_kind, seed + 11, max_events=max_events
+        )
+        model.train(dataset=dataset)
+        _MODEL_CACHE[key] = model
+    return _MODEL_CACHE[key]
+
+
+def clear_caches() -> None:
+    """Drop all memoised networks/datasets/models (tests use this)."""
+    _NETWORK_CACHE.clear()
+    _DATASET_CACHE.clear()
+    _MODEL_CACHE.clear()

@@ -1,0 +1,119 @@
+"""Fig. 2: pressure-change-vs-distance profiles for 1/2/3 concurrent leaks.
+
+The paper's empirical observation: with a single leak at ``e1``, the sum
+of pressure-head changes of nodes within a distance ring of ``e1.l``
+decays with distance — a learnable signature.  With 2-3 concurrent leaks
+the profile no longer follows that pattern, which is why external sources
+are needed.  This experiment reproduces the three scenarios on EPA-NET.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..failures import LeakEvent, events_to_emitters
+from ..hydraulics import GGASolver
+from .common import ExperimentResult, cached_network
+
+#: Distance rings (m) used to bucket nodes around e1.
+DEFAULT_RING_EDGES = (0.0, 400.0, 800.0, 1200.0, 1600.0, 2000.0, 2600.0, 3400.0)
+
+
+def run(
+    network_name: str = "epanet",
+    leak_size: float = 2.5e-3,
+    ring_edges: tuple[float, ...] = DEFAULT_RING_EDGES,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Reproduce the three Fig. 2 scenarios.
+
+    Scenario 1: {e1}; scenario 2: {e1, e2}; scenario 3: {e1, e3, e4} —
+    the extra events are placed at increasing distance from e1, like the
+    paper's sketch.
+    """
+    network = cached_network(network_name)
+    rng = np.random.default_rng(seed)
+    junctions = network.junction_names()
+
+    # e1 near the topological centre; companions at spread-out locations.
+    e1 = junctions[len(junctions) // 2]
+    distances = network.shortest_path_lengths(e1)
+    ordered = sorted(
+        (name for name in junctions if name != e1), key=lambda n: distances[n]
+    )
+    e2 = ordered[2 * len(ordered) // 3]
+    e3 = ordered[len(ordered) // 2]
+    e4 = ordered[3 * len(ordered) // 4]
+
+    # Companion leaks are larger so their signatures visibly interfere
+    # with e1's decay pattern, as in the paper's sketch.
+    scenarios = {
+        "scenario-1 (single: e1)": [LeakEvent(e1, leak_size)],
+        "scenario-2 (two: e1, e2)": [
+            LeakEvent(e1, leak_size),
+            LeakEvent(e2, leak_size * 1.5),
+        ],
+        "scenario-3 (three: e1, e3, e4)": [
+            LeakEvent(e1, leak_size),
+            LeakEvent(e3, leak_size * 1.5),
+            LeakEvent(e4, leak_size * 1.5),
+        ],
+    }
+
+    solver = GGASolver(network)
+    baseline = solver.solve()
+    rows = []
+    for label, events in scenarios.items():
+        solution = solver.solve(emitters=events_to_emitters(events))
+        for lo, hi in zip(ring_edges, ring_edges[1:]):
+            total_change = 0.0
+            count = 0
+            for name in junctions:
+                d = distances.get(name, np.inf)
+                if lo <= d < hi:
+                    total_change += (
+                        solution.node_pressure[name] - baseline.node_pressure[name]
+                    )
+                    count += 1
+            rows.append(
+                {
+                    "scenario": label,
+                    "ring_lo_m": lo,
+                    "ring_hi_m": hi,
+                    "n_nodes": count,
+                    "sum_pressure_change_m": total_change,
+                    # Rings farther out contain more nodes, so the decay
+                    # pattern shows in the per-node mean change.
+                    "mean_pressure_change_m": (
+                        total_change / count if count else 0.0
+                    ),
+                }
+            )
+    return ExperimentResult(
+        experiment="fig02",
+        title="Sum of pressure-head changes vs distance from e1",
+        rows=rows,
+        config={
+            "network": network_name,
+            "e1": e1,
+            "companions": [e2, e3, e4],
+            "leak_size_EC": leak_size,
+        },
+    )
+
+
+def monotone_fraction(result: ExperimentResult, scenario_substring: str) -> float:
+    """Fraction of consecutive ring pairs with shrinking per-node |change|.
+
+    Near 1.0 for the single-leak scenario (the paper's decaying pattern);
+    visibly lower for the multi-leak scenarios.
+    """
+    values = [
+        abs(row["mean_pressure_change_m"])
+        for row in result.rows
+        if scenario_substring in row["scenario"] and row["n_nodes"] > 0
+    ]
+    if len(values) < 2:
+        return 1.0
+    good = sum(1 for a, b in zip(values, values[1:]) if b <= a + 1e-9)
+    return good / (len(values) - 1)

@@ -1,0 +1,107 @@
+"""Fig. 7: RF vs SVM vs HybridRSL across the IoT sweep (EPA-NET).
+
+(a) single failures, (b) multiple failures: hamming score as the IoT
+percentage grows; HybridRSL should dominate both base techniques, RF
+should lead at low penetration with SVM catching up as sensors are added.
+(c) the average score increment from adding weather + human inputs, which
+grows as IoT coverage shrinks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import PAPER_NAMES
+from .common import ExperimentResult, cached_dataset, cached_model
+
+DEFAULT_TECHNIQUES = ("rf", "svm", "hybrid-rsl")
+DEFAULT_IOT_SWEEP = (10.0, 25.0, 50.0, 75.0, 100.0)
+
+
+def run(
+    network_name: str = "epanet",
+    techniques: tuple[str, ...] = DEFAULT_TECHNIQUES,
+    iot_sweep: tuple[float, ...] = DEFAULT_IOT_SWEEP,
+    n_train: int = 1500,
+    n_test: int = 150,
+    seed: int = 0,
+    fusion_technique: str = "hybrid-rsl",
+) -> ExperimentResult:
+    """Panels (a)/(b): technique x IoT sweep; panel (c): fusion increment."""
+    rows = []
+    for kind, panel in (("single", "a"), ("multi", "b")):
+        test = cached_dataset(network_name, n_test, kind, seed + 201)
+        for iot in iot_sweep:
+            for technique in techniques:
+                model = cached_model(
+                    network_name,
+                    technique,
+                    iot_percent=iot,
+                    train_samples=n_train,
+                    train_kind=kind,
+                    seed=seed,
+                )
+                score = model.evaluate(test, sources="iot")
+                rows.append(
+                    {
+                        "panel": panel,
+                        "failure_kind": kind,
+                        "iot_percent": iot,
+                        "technique": PAPER_NAMES.get(technique, technique),
+                        "hamming_score": score,
+                    }
+                )
+
+    # Panel (c): increment from weather+human, low-temperature scenarios.
+    test_lt = cached_dataset(network_name, n_test, "low-temperature", seed + 301)
+    for iot in iot_sweep:
+        model = cached_model(
+            network_name,
+            fusion_technique,
+            iot_percent=iot,
+            train_samples=n_train,
+            train_kind="low-temperature",
+            seed=seed,
+        )
+        base = model.evaluate(test_lt, sources="iot")
+        fused = model.evaluate(test_lt, sources="all")
+        rows.append(
+            {
+                "panel": "c",
+                "failure_kind": "low-temperature",
+                "iot_percent": iot,
+                "technique": PAPER_NAMES.get(fusion_technique, fusion_technique),
+                "hamming_score": fused,
+                "iot_only_score": base,
+                "increment": fused - base,
+            }
+        )
+    return ExperimentResult(
+        experiment="fig07",
+        title="RF / SVM / HybridRSL across IoT sweep + fusion increment",
+        rows=rows,
+        config={
+            "network": network_name,
+            "n_train": n_train,
+            "n_test": n_test,
+            "seed": seed,
+        },
+    )
+
+
+def hybrid_dominates(result: ExperimentResult, panel: str, slack: float = 0.05) -> bool:
+    """Whether HybridRSL >= max(RF, SVM) - slack at every sweep point."""
+    points: dict[float, dict[str, float]] = {}
+    for row in result.rows:
+        if row["panel"] != panel:
+            continue
+        points.setdefault(row["iot_percent"], {})[row["technique"]] = row[
+            "hamming_score"
+        ]
+    for iot, scores in points.items():
+        if "HybridRSL" not in scores:
+            return False
+        best_base = max(v for k, v in scores.items() if k != "HybridRSL")
+        if scores["HybridRSL"] < best_base - slack:
+            return False
+    return True

@@ -1,0 +1,87 @@
+"""Fig. 10: score vs the maximum number of concurrent leak events.
+
+Detection using only IoT data degrades as more simultaneous leaks
+interact; aggregating temperature and human input flattens the curve.
+Scenarios draw U(1, m) events for m = 2..8 on WSSC-SUBNET.
+"""
+
+from __future__ import annotations
+
+from ..datasets import generate_dataset
+from ..failures import ScenarioGenerator
+from .common import ExperimentResult, cached_model, cached_network
+
+DEFAULT_MAX_EVENTS_SWEEP = (2, 3, 4, 5, 6, 7, 8)
+
+
+def run(
+    network_name: str = "wssc",
+    max_events_sweep: tuple[int, ...] = DEFAULT_MAX_EVENTS_SWEEP,
+    iot_percent: float = 100.0,
+    n_train: int = 1000,
+    n_test: int = 100,
+    elapsed_slots: int = 2,
+    seed: int = 0,
+    technique: str = "hybrid-rsl",
+    train_max_events: int = 5,
+) -> ExperimentResult:
+    """Score per (max events, source mix).
+
+    The profile is trained once on the paper's dataset condition —
+    U(1, ``train_max_events``) with the paper's 5 — and the test
+    population sweeps the maximum to 8, exactly as the paper's x-axis
+    does.  Beyond the training condition the IoT-only profile faces
+    concurrency levels it never saw, which is where its sensitivity
+    shows; the external sources are unaffected by that shift.
+    """
+    network = cached_network(network_name)
+    model = cached_model(
+        network_name,
+        technique,
+        iot_percent=iot_percent,
+        train_samples=n_train,
+        train_kind="low-temperature",
+        seed=seed,
+        max_events=train_max_events,
+    )
+    rows = []
+    for max_events in max_events_sweep:
+        generator = ScenarioGenerator(network, seed=seed + 601 + max_events)
+        scenarios = [
+            generator.low_temperature_failure(max_events=max_events)
+            for _ in range(n_test)
+        ]
+        test = generate_dataset(
+            network,
+            n_test,
+            seed=seed + 601 + max_events,
+            elapsed_slots=elapsed_slots,
+            scenarios=scenarios,
+        )
+        rows.append(
+            {
+                "max_events": max_events,
+                "iot_only_score": model.evaluate(
+                    test, sources="iot", elapsed_slots=elapsed_slots
+                ),
+                "iot_human_score": model.evaluate(
+                    test, sources="iot+human", elapsed_slots=elapsed_slots
+                ),
+                "all_sources_score": model.evaluate(
+                    test, sources="all", elapsed_slots=elapsed_slots
+                ),
+            }
+        )
+    return ExperimentResult(
+        experiment="fig10",
+        title="Score vs maximum number of concurrent leak events (WSSC-SUBNET)",
+        rows=rows,
+        config={
+            "network": network_name,
+            "technique": technique,
+            "iot_percent": iot_percent,
+            "n_train": n_train,
+            "n_test": n_test,
+            "seed": seed,
+        },
+    )

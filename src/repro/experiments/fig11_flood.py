@@ -1,0 +1,80 @@
+"""Fig. 11: flood prediction from two leaks on the WSSC-SUBNET DEM.
+
+Two leak events with different sizes but the same start time discharge
+through Eq. (1); the outflow feeds the diffusive-wave flood solver on the
+DEM interpolated from node elevations.  The reproduced artefacts are the
+flood summary statistics and the depth field ("H represents the flood
+depth in meter").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..failures import LeakEvent
+from ..flood import predict_flood
+from .common import ExperimentResult, cached_network
+
+
+def run(
+    network_name: str = "wssc",
+    leak_sizes: tuple[float, float] = (4e-2, 1.5e-2),
+    duration: float = 4 * 3600.0,
+    cell_size: float = 40.0,
+    seed: int = 5,
+) -> ExperimentResult:
+    """Simulate the two-leak flood and summarise the depth field.
+
+    The leak sizes model a main burst (tens of L/s), matching the paper's
+    burst-driven flooding scene rather than a pinhole leak.
+    """
+    network = cached_network(network_name)
+    rng = np.random.default_rng(seed)
+    junctions = network.junction_names()
+    # Two leaks in the low-lying half of the network (water pools there).
+    elevations = {
+        name: network.nodes[name].elevation for name in junctions
+    }
+    low_half = sorted(junctions, key=lambda n: elevations[n])[: len(junctions) // 2]
+    v1, v2 = rng.choice(low_half, size=2, replace=False)
+    events = [LeakEvent(str(v1), leak_sizes[0]), LeakEvent(str(v2), leak_sizes[1])]
+
+    dem, flood = predict_flood(
+        network, events, duration=duration, cell_size=cell_size
+    )
+    depth = flood.max_depth
+    rows = [
+        {
+            "quantity": "leak v1 node",
+            "value": str(v1),
+        },
+        {"quantity": "leak v2 node", "value": str(v2)},
+        {
+            "quantity": "total outflow volume (m^3)",
+            "value": round(flood.total_inflow_volume, 1),
+        },
+        {"quantity": "max flood depth H (m)", "value": round(float(depth.max()), 3)},
+        {
+            "quantity": "flooded cells (H > 1 cm)",
+            "value": flood.flooded_cells(0.01),
+        },
+        {
+            "quantity": "flooded area (m^2, H > 1 cm)",
+            "value": round(flood.flooded_area(dem.cell_area, 0.01), 0),
+        },
+        {
+            "quantity": "DEM relief (m)",
+            "value": round(float(dem.elevation.max() - dem.elevation.min()), 1),
+        },
+    ]
+    return ExperimentResult(
+        experiment="fig11",
+        title="Flood prediction from two simultaneous leaks (WSSC-SUBNET DEM)",
+        rows=rows,
+        config={
+            "network": network_name,
+            "leak_sizes_EC": list(leak_sizes),
+            "duration_s": duration,
+            "cell_size_m": cell_size,
+        },
+    )

@@ -1,0 +1,23 @@
+"""Pipe-failure modeling: leak events, scenarios, break-rate models."""
+
+from .breaks import (
+    COUNTY_MODELS,
+    BreakRateModel,
+    breaks_by_temperature_bin,
+    synthetic_daily_temperatures,
+)
+from .events import DEFAULT_BETA, DEFAULT_EC_RANGE, LeakEvent, events_to_emitters
+from .scenarios import FailureScenario, ScenarioGenerator
+
+__all__ = [
+    "BreakRateModel",
+    "COUNTY_MODELS",
+    "DEFAULT_BETA",
+    "DEFAULT_EC_RANGE",
+    "FailureScenario",
+    "LeakEvent",
+    "ScenarioGenerator",
+    "breaks_by_temperature_bin",
+    "events_to_emitters",
+    "synthetic_daily_temperatures",
+]

@@ -1,0 +1,68 @@
+"""Leak events — the paper's ``e = (l, s, t)`` triple.
+
+An event is identified by its location (a junction name), its size (the
+emitter coefficient ``EC`` of Eq. 1 — larger means a more severe leak) and
+its starting time slot.  Scenario generators produce sets of these events;
+the injector turns them into emitters for the hydraulic solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hydraulics import TimedLeak
+
+#: Default emitter pressure exponent (paper: beta = 0.5).
+DEFAULT_BETA = 0.5
+
+#: EC range producing leak flows between roughly 2 and 25 L/s at the
+#: 35-75 m pressures of the evaluation networks — severe enough to matter,
+#: small enough not to collapse the zone.
+DEFAULT_EC_RANGE = (5e-4, 4e-3)
+
+
+@dataclass(frozen=True)
+class LeakEvent:
+    """One pipe-failure event.
+
+    Attributes:
+        location: junction name (``e.l``); the paper places leaks at nodes
+            because pipe joints are the most failure-prone points.
+        size: emitter coefficient ``EC`` (``e.s``), SI (m^3/s per m^0.5).
+        start_slot: starting time slot index (``e.t``), in units of the
+            IoT sampling interval (15 minutes).
+        beta: pressure exponent of Eq. (1).
+    """
+
+    location: str
+    size: float
+    start_slot: int = 0
+    beta: float = DEFAULT_BETA
+
+    def __post_init__(self) -> None:
+        if self.size <= 0.0:
+            raise ValueError(f"leak size must be > 0, got {self.size}")
+        if self.start_slot < 0:
+            raise ValueError(f"start_slot must be >= 0, got {self.start_slot}")
+
+    def to_timed_leak(self, slot_seconds: float = 900.0) -> TimedLeak:
+        """Convert to the simulator's timed-leak representation."""
+        return TimedLeak(
+            node=self.location,
+            emitter_coefficient=self.size,
+            start_time=self.start_slot * slot_seconds,
+            emitter_exponent=self.beta,
+        )
+
+
+def events_to_emitters(events: list[LeakEvent]) -> dict[str, tuple[float, float]]:
+    """Merge events into the solver's emitter-override mapping.
+
+    Multiple events at the same node add their coefficients (two breaks on
+    joints of the same node leak more).
+    """
+    emitters: dict[str, tuple[float, float]] = {}
+    for event in events:
+        previous = emitters.get(event.location, (0.0, event.beta))
+        emitters[event.location] = (previous[0] + event.size, event.beta)
+    return emitters

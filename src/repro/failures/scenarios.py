@@ -1,0 +1,237 @@
+"""Failure-scenario generation.
+
+The paper evaluates two scenario families (Sec. V-A):
+
+* *Single Pipe Failure* — one event per run.
+* *Multiple Pipe Failures* / *Pipe Failures due to Low Temperature* —
+  U(1, m) concurrent events with identical start slots; in the
+  low-temperature use case, leaks concentrate on frozen nodes.
+
+All generation is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hydraulics import WaterNetwork
+from .events import DEFAULT_EC_RANGE, LeakEvent
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """One simulated situation: concurrent leak events + context.
+
+    Attributes:
+        events: the concurrent leak events (same ``start_slot``).
+        start_slot: shared starting slot (redundant with the events,
+            kept for convenient access).
+        frozen_nodes: junctions frozen at scenario time (empty unless the
+            scenario was driven by low temperature).
+        temperature_f: ambient temperature (Fahrenheit) for the scenario.
+    """
+
+    events: tuple[LeakEvent, ...]
+    start_slot: int
+    frozen_nodes: frozenset[str] = field(default_factory=frozenset)
+    temperature_f: float = 55.0
+
+    @property
+    def leak_nodes(self) -> set[str]:
+        return {event.location for event in self.events}
+
+    def label_vector(self, junction_names: list[str]) -> np.ndarray:
+        """Binary indicator over ``junction_names`` (the y of Sec. III-B)."""
+        leaks = self.leak_nodes
+        return np.array([1 if name in leaks else 0 for name in junction_names], dtype=np.int64)
+
+
+class ScenarioGenerator:
+    """Draws failure scenarios for a network.
+
+    Args:
+        network: the target network (junction names are sampled from it).
+        seed: RNG seed.
+        ec_range: (low, high) emitter-coefficient range; sizes are drawn
+            log-uniformly so small and large leaks are both represented.
+        slots_per_day: time slots per day (96 for 15-minute slots);
+            start slots are drawn uniformly over a day so the diurnal
+            demand pattern varies across samples.
+    """
+
+    def __init__(
+        self,
+        network: WaterNetwork,
+        seed: int = 0,
+        ec_range: tuple[float, float] = DEFAULT_EC_RANGE,
+        slots_per_day: int = 96,
+    ):
+        self.network = network
+        self.junction_names = network.junction_names()
+        self.ec_range = ec_range
+        self.slots_per_day = slots_per_day
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _draw_size(self) -> float:
+        low, high = self.ec_range
+        return float(np.exp(self._rng.uniform(np.log(low), np.log(high))))
+
+    def _draw_slot(self) -> int:
+        # Slot 0 has no predecessor to difference against; start at 1.
+        return int(self._rng.integers(1, self.slots_per_day))
+
+    # ------------------------------------------------------------------
+    def single_failure(self) -> FailureScenario:
+        """One leak at a uniformly random junction."""
+        slot = self._draw_slot()
+        location = str(self._rng.choice(self.junction_names))
+        event = LeakEvent(location=location, size=self._draw_size(), start_slot=slot)
+        return FailureScenario(events=(event,), start_slot=slot)
+
+    def multi_failure(self, max_events: int = 5) -> FailureScenario:
+        """U(1, max_events) concurrent leaks at distinct junctions.
+
+        Matches the paper's dataset: "at least one and at most 5 leak
+        events, and the number of events follows U(1,5) ... arbitrary
+        locations and sizes but same starting time".
+        """
+        slot = self._draw_slot()
+        count = int(self._rng.integers(1, max_events + 1))
+        locations = self._rng.choice(self.junction_names, size=count, replace=False)
+        events = tuple(
+            LeakEvent(location=str(loc), size=self._draw_size(), start_slot=slot)
+            for loc in locations
+        )
+        return FailureScenario(events=events, start_slot=slot)
+
+    def low_temperature_failure(
+        self,
+        max_events: int = 5,
+        temperature_f: float = 12.0,
+        p_freeze: float = 0.8,
+        freeze_leak_bias: float = 0.85,
+    ) -> FailureScenario:
+        """Freeze-driven multi-failure (the paper's WSSC use case).
+
+        Each junction freezes with probability ``p_freeze`` (given the
+        sub-20F temperature).  Leak locations are drawn from the frozen
+        set with probability ``freeze_leak_bias`` and uniformly otherwise,
+        reflecting that ice blockage causes most but not all winter breaks.
+        """
+        slot = self._draw_slot()
+        frozen = frozenset(
+            name
+            for name in self.junction_names
+            if self._rng.random() < p_freeze
+        )
+        count = int(self._rng.integers(1, max_events + 1))
+        chosen: list[str] = []
+        frozen_list = sorted(frozen)
+        while len(chosen) < count:
+            if frozen_list and self._rng.random() < freeze_leak_bias:
+                candidate = str(frozen_list[int(self._rng.integers(len(frozen_list)))])
+            else:
+                candidate = str(self._rng.choice(self.junction_names))
+            if candidate not in chosen:
+                chosen.append(candidate)
+        events = tuple(
+            LeakEvent(location=loc, size=self._draw_size(), start_slot=slot)
+            for loc in chosen
+        )
+        return FailureScenario(
+            events=events,
+            start_slot=slot,
+            frozen_nodes=frozen,
+            temperature_f=temperature_f,
+        )
+
+    # ------------------------------------------------------------------
+    def batch(
+        self,
+        count: int,
+        kind: str = "multi",
+        max_events: int = 5,
+    ) -> list[FailureScenario]:
+        """Generate ``count`` scenarios of one kind.
+
+        Args:
+            kind: "single", "multi" or "low-temperature".
+        """
+        if kind == "single":
+            return [self.single_failure() for _ in range(count)]
+        if kind == "multi":
+            return [self.multi_failure(max_events=max_events) for _ in range(count)]
+        if kind == "low-temperature":
+            return [
+                self.low_temperature_failure(max_events=max_events)
+                for _ in range(count)
+            ]
+        raise ValueError(f"unknown scenario kind {kind!r}")
+
+    def weather_driven_stream(
+        self,
+        n_slots: int,
+        base_rate_per_slot: float = 0.002,
+        cold_multiplier: float = 8.0,
+        weather_seed: int = 0,
+    ) -> list[tuple[int, FailureScenario]]:
+        """A timeline of failures driven by the Markov weather model.
+
+        Combines two "future work" threads the paper names: the Markov
+        chain weather model and temperature-driven failure rates.  Each
+        slot of a simulated weather trace draws a failure with a base
+        probability that multiplies up during freezing slots; freezing
+        slots produce freeze-biased multi-failures, warm slots ordinary
+        single failures.
+
+        Args:
+            n_slots: timeline length in IoT slots.
+            base_rate_per_slot: warm-weather failure probability per slot.
+            cold_multiplier: rate multiplier at/below the freeze threshold.
+            weather_seed: seed for the weather trace.
+
+        Returns:
+            (slot, scenario) pairs, in time order.
+        """
+        from ..observations.markov_weather import MarkovWeatherModel
+        from ..observations.weather import is_freezing
+
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        trace = MarkovWeatherModel(seed=weather_seed).simulate(n_slots)
+        stream: list[tuple[int, FailureScenario]] = []
+        for slot, temperature in enumerate(trace.temperatures_f):
+            freezing = is_freezing(float(temperature))
+            rate = base_rate_per_slot * (cold_multiplier if freezing else 1.0)
+            if self._rng.random() >= rate:
+                continue
+            if freezing:
+                scenario = self.low_temperature_failure(
+                    temperature_f=float(temperature)
+                )
+            else:
+                scenario = self.single_failure()
+            # Re-stamp the scenario onto the stream's timeline.
+            slot_in_day = max(slot % self.slots_per_day, 1)
+            events = tuple(
+                LeakEvent(
+                    location=e.location, size=e.size, start_slot=slot_in_day,
+                    beta=e.beta,
+                )
+                for e in scenario.events
+            )
+            stream.append(
+                (
+                    slot,
+                    FailureScenario(
+                        events=events,
+                        start_slot=slot_in_day,
+                        frozen_nodes=scenario.frozen_nodes,
+                        temperature_f=float(temperature),
+                    ),
+                )
+            )
+        return stream

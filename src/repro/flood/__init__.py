@@ -1,0 +1,17 @@
+"""Flood modeling substrate (BreZo substitute): DEM + diffusive wave."""
+
+from .brezo import DRY_DEPTH, DiffusiveWaveSolver, FloodResult, FloodSource
+from .coupling import flood_sources_from_events, leak_outflows, predict_flood
+from .dem import DEM, dem_from_network
+
+__all__ = [
+    "DEM",
+    "DRY_DEPTH",
+    "DiffusiveWaveSolver",
+    "FloodResult",
+    "FloodSource",
+    "dem_from_network",
+    "flood_sources_from_events",
+    "leak_outflows",
+    "predict_flood",
+]

@@ -1,0 +1,192 @@
+"""2-D flood-spreading solver (the BreZo substitute).
+
+BreZo is a Godunov finite-volume shallow-water code; what Fig. 11 uses it
+for is gravity-driven spreading of leak outflow over a DEM.  This module
+implements a diffusive-wave (zero-inertia) finite-volume solver on the
+regular DEM grid with Manning friction — the standard reduced model for
+urban flood spreading (LISFLOOD-FP family) — with adaptive explicit time
+stepping and exact volume accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .dem import DEM
+
+#: Gravitational acceleration (m/s^2).
+G = 9.80665
+#: Depths below this (m) neither flow nor count as flooded.
+DRY_DEPTH = 1e-4
+
+
+@dataclass
+class FloodSource:
+    """A point inflow (leak outflow surfacing), in m^3/s at a map point."""
+
+    x: float
+    y: float
+    inflow: float
+
+
+@dataclass
+class FloodResult:
+    """Output of a flood simulation.
+
+    Attributes:
+        depth: final water depth per DEM cell (m).
+        max_depth: per-cell maximum depth over the run (m).
+        times: snapshot timestamps (s).
+        snapshots: depth fields at those times (list of arrays).
+        total_inflow_volume: water injected (m^3).
+        final_volume: water on the grid at the end (m^3) — equals the
+            inflow minus what left through the open boundary.
+    """
+
+    depth: np.ndarray
+    max_depth: np.ndarray
+    times: list[float]
+    snapshots: list[np.ndarray]
+    total_inflow_volume: float
+    final_volume: float
+
+    def flooded_cells(self, threshold: float = 0.01) -> int:
+        """Number of cells with final depth above ``threshold`` metres."""
+        return int(np.sum(self.depth > threshold))
+
+    def flooded_area(self, cell_area: float, threshold: float = 0.01) -> float:
+        """Flooded area (m^2) at the given depth threshold."""
+        return self.flooded_cells(threshold) * cell_area
+
+
+class DiffusiveWaveSolver:
+    """Zero-inertia shallow-water solver on a DEM.
+
+    Args:
+        dem: the terrain grid.
+        manning_n: Manning roughness (0.03 ~ short grass / streets).
+        open_boundary: if True, water reaching the grid edge leaves the
+            domain (realistic for a subzone map); if False the edges are
+            walls and volume is strictly conserved.
+    """
+
+    def __init__(self, dem: DEM, manning_n: float = 0.03, open_boundary: bool = True):
+        if manning_n <= 0:
+            raise ValueError(f"manning_n must be > 0, got {manning_n}")
+        self.dem = dem
+        self.manning_n = manning_n
+        self.open_boundary = open_boundary
+
+    def run(
+        self,
+        sources: list[FloodSource],
+        duration: float,
+        inflow_duration: float | None = None,
+        snapshot_interval: float | None = None,
+        max_timestep: float = 5.0,
+    ) -> FloodResult:
+        """Simulate spreading for ``duration`` seconds.
+
+        Args:
+            sources: point inflows.
+            duration: total simulated time (s).
+            inflow_duration: sources shut off after this (default: whole
+                run, i.e. the leak keeps discharging).
+            snapshot_interval: record depth fields this often (s).
+            max_timestep: cap on the adaptive timestep (s).
+
+        Raises:
+            ValueError: on non-positive duration.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        inflow_duration = duration if inflow_duration is None else inflow_duration
+        z = self.dem.elevation
+        rows, cols = z.shape
+        area = self.dem.cell_area
+        dx = self.dem.cell_size
+        depth = np.zeros_like(z)
+        max_depth = np.zeros_like(z)
+
+        source_cells = []
+        for source in sources:
+            if source.inflow < 0:
+                raise ValueError("source inflow must be >= 0")
+            source_cells.append((self.dem.cell_of(source.x, source.y), source.inflow))
+
+        times: list[float] = []
+        snapshots: list[np.ndarray] = []
+        time = 0.0
+        injected = 0.0
+        next_snapshot = 0.0 if snapshot_interval else np.inf
+
+        while time < duration:
+            h_max = float(depth.max())
+            if h_max > DRY_DEPTH:
+                dt = min(max_timestep, 0.7 * dx / np.sqrt(G * h_max))
+            else:
+                dt = max_timestep
+            dt = min(dt, duration - time)
+
+            # Inflow.
+            if time < inflow_duration:
+                active = min(dt, inflow_duration - time)
+                for (row, col), inflow in source_cells:
+                    depth[row, col] += inflow * active / area
+                    injected += inflow * active
+
+            # Diffusive-wave flux between index-neighbours along each axis:
+            # h_flow = max(eta_lo, eta_hi) - max(z_lo, z_hi) (LISFLOOD-FP),
+            # v = h_flow^(2/3) sqrt(|d eta| / dx) / n, and the moved depth
+            # is limited to half the donor cell's depth for stability.
+            for axis in (0, 1):
+                lo = [slice(None), slice(None)]
+                hi = [slice(None), slice(None)]
+                lo[axis] = slice(0, depth.shape[axis] - 1)
+                hi[axis] = slice(1, depth.shape[axis])
+                lo_t, hi_t = tuple(lo), tuple(hi)
+
+                eta = z + depth
+                eta_lo, eta_hi = eta[lo_t], eta[hi_t]
+                d_eta = eta_hi - eta_lo  # > 0: water flows hi -> lo
+                h_flow = np.maximum(
+                    np.maximum(eta_lo, eta_hi) - np.maximum(z[lo_t], z[hi_t]), 0.0
+                )
+                slope = np.abs(d_eta) / dx
+                wet = h_flow > DRY_DEPTH
+                velocity = np.zeros_like(d_eta)
+                velocity[wet] = (
+                    h_flow[wet] ** (2.0 / 3.0) * np.sqrt(slope[wet]) / self.manning_n
+                )
+                # Depth moved across the face this step (donor-limited).
+                moved = velocity * h_flow * dt / dx
+                donor_depth = np.where(d_eta > 0, depth[hi_t], depth[lo_t])
+                moved = np.minimum(moved, 0.5 * donor_depth)
+                moved = np.where(donor_depth > DRY_DEPTH, moved, 0.0)
+                gain_lo = np.where(d_eta > 0, moved, -moved)
+                depth[lo_t] += gain_lo
+                depth[hi_t] -= gain_lo
+
+            if self.open_boundary:
+                depth[0, :] = 0.0
+                depth[-1, :] = 0.0
+                depth[:, 0] = 0.0
+                depth[:, -1] = 0.0
+
+            np.maximum(max_depth, depth, out=max_depth)
+            time += dt
+            if snapshot_interval and time >= next_snapshot:
+                times.append(time)
+                snapshots.append(depth.copy())
+                next_snapshot += snapshot_interval
+
+        return FloodResult(
+            depth=depth,
+            max_depth=max_depth,
+            times=times,
+            snapshots=snapshots,
+            total_inflow_volume=injected,
+            final_volume=float(depth.sum() * area),
+        )

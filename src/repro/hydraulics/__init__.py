@@ -1,0 +1,103 @@
+"""EPANET++ substitute: a from-scratch hydraulic network simulator.
+
+The paper enhances EPANET with IoT-sensor and pipe-failure modelling and
+calls the result EPANET++.  This package reimplements the needed surface in
+Python: the network object model, Hazen-Williams hydraulics solved with the
+Todini-Pilati global gradient algorithm, extended-period simulation with
+tanks/pumps/valves/controls, leak emitters (``Q = EC * p**beta``), and
+EPANET INP file I/O.
+"""
+
+from .components import (
+    Curve,
+    Junction,
+    Link,
+    LinkStatus,
+    Node,
+    Pattern,
+    Pipe,
+    Pump,
+    Reservoir,
+    Tank,
+    Valve,
+    ValveType,
+)
+from .age import WaterAgeSimulator, mean_age_hours, simulate_water_age
+from .controls import ControlCondition, SimpleControl
+from .energy import (
+    PumpEnergyReport,
+    leak_energy_penalty,
+    pump_energy,
+    specific_energy,
+)
+from .exceptions import (
+    ConvergenceError,
+    HydraulicsError,
+    InpSyntaxError,
+    NetworkTopologyError,
+    SimulationError,
+    UnitsError,
+)
+from .inp import read_inp, read_rules, write_inp
+from .network import SimulationOptions, WaterNetwork
+from .quality import (
+    QualityResults,
+    QualitySimulator,
+    QualitySource,
+    simulate_quality,
+)
+from .results import SimulationResults
+from .rules import Action, Comparator, Premise, Rule, evaluate_rules, parse_rule
+from .simulation import ExtendedPeriodSimulator, TimedLeak, simulate
+from .solver import GGASolver, SteadyStateSolution
+
+__all__ = [
+    "Action",
+    "Comparator",
+    "ControlCondition",
+    "ConvergenceError",
+    "Curve",
+    "ExtendedPeriodSimulator",
+    "GGASolver",
+    "HydraulicsError",
+    "InpSyntaxError",
+    "Junction",
+    "Link",
+    "LinkStatus",
+    "NetworkTopologyError",
+    "Node",
+    "Pattern",
+    "Pipe",
+    "Premise",
+    "Pump",
+    "PumpEnergyReport",
+    "QualityResults",
+    "QualitySimulator",
+    "QualitySource",
+    "Reservoir",
+    "Rule",
+    "SimpleControl",
+    "SimulationError",
+    "SimulationOptions",
+    "SimulationResults",
+    "SteadyStateSolution",
+    "Tank",
+    "TimedLeak",
+    "UnitsError",
+    "Valve",
+    "ValveType",
+    "WaterAgeSimulator",
+    "WaterNetwork",
+    "evaluate_rules",
+    "leak_energy_penalty",
+    "mean_age_hours",
+    "parse_rule",
+    "pump_energy",
+    "read_inp",
+    "read_rules",
+    "simulate",
+    "simulate_quality",
+    "simulate_water_age",
+    "specific_energy",
+    "write_inp",
+]

@@ -1,0 +1,368 @@
+"""Physical components of a water distribution network.
+
+The object model mirrors EPANET's: nodes (junctions, reservoirs, tanks)
+connected by links (pipes, pumps, valves), with time patterns modulating
+demands and curves describing pumps.  All quantities are stored in SI units
+(metres, cubic metres per second, seconds); see :mod:`repro.hydraulics.units`.
+
+Leaks are modelled with *emitters* attached to junctions, exactly as the
+paper's EPANET++ does: the emitter discharges ``Q = EC * p**beta`` where
+``p`` is the junction's pressure head (paper Eq. 1).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from .exceptions import NetworkTopologyError
+
+#: Gravitational acceleration (m/s^2), used for minor-loss coefficients.
+GRAVITY = 9.80665
+
+#: Default emitter pressure exponent (paper Sec. III-A sets beta = 0.5).
+DEFAULT_EMITTER_EXPONENT = 0.5
+
+
+class LinkStatus(enum.Enum):
+    """Operating status of a link."""
+
+    OPEN = "OPEN"
+    CLOSED = "CLOSED"
+    ACTIVE = "ACTIVE"  # valves only: regulating at their setting
+
+
+class ValveType(enum.Enum):
+    """Supported valve types (subset of EPANET's)."""
+
+    PRV = "PRV"  # pressure reducing valve
+    TCV = "TCV"  # throttle control valve
+    FCV = "FCV"  # flow control valve
+
+
+@dataclass
+class Pattern:
+    """A repeating time pattern of multipliers.
+
+    Attributes:
+        name: unique pattern identifier.
+        multipliers: one multiplier per pattern timestep; the pattern wraps
+            around when simulation time exceeds its length.
+    """
+
+    name: str
+    multipliers: list[float] = field(default_factory=lambda: [1.0])
+
+    def at(self, time_seconds: float, pattern_timestep: float) -> float:
+        """Multiplier in effect at ``time_seconds``."""
+        if not self.multipliers:
+            return 1.0
+        index = int(time_seconds // pattern_timestep) % len(self.multipliers)
+        return self.multipliers[index]
+
+
+@dataclass
+class Curve:
+    """A piecewise-linear curve of (x, y) points, e.g. a pump head curve."""
+
+    name: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.points = sorted(self.points)
+
+    def interpolate(self, x: float) -> float:
+        """Piecewise-linear interpolation with flat extrapolation."""
+        pts = self.points
+        if not pts:
+            raise ValueError(f"curve {self.name!r} has no points")
+        if x <= pts[0][0]:
+            return pts[0][1]
+        if x >= pts[-1][0]:
+            return pts[-1][1]
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            if x0 <= x <= x1:
+                if x1 == x0:
+                    return y1
+                return y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+        return pts[-1][1]  # unreachable; defensive
+
+
+@dataclass
+class Node:
+    """Base class for network nodes.
+
+    Attributes:
+        name: unique node identifier.
+        coordinates: (x, y) map position in metres, used for sensor
+            placement, tweet-clique geometry and DEM interpolation.
+    """
+
+    name: str
+    coordinates: tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def node_type(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class Junction(Node):
+    """A demand node (pipe joint). Leak emitters attach here.
+
+    Attributes:
+        elevation: node elevation in metres.
+        base_demand: consumer demand in m^3/s before pattern scaling.
+        demand_pattern: name of the demand :class:`Pattern`, or ``None``.
+        emitter_coefficient: ``EC`` of paper Eq. (1); flow through the
+            emitter is ``EC * max(p, 0) ** emitter_exponent`` in m^3/s with
+            ``p`` in metres of head.  Zero means no leak.
+        emitter_exponent: pressure exponent ``beta`` of Eq. (1).
+    """
+
+    elevation: float = 0.0
+    base_demand: float = 0.0
+    demand_pattern: str | None = None
+    emitter_coefficient: float = 0.0
+    emitter_exponent: float = DEFAULT_EMITTER_EXPONENT
+
+    def emitter_flow(self, head: float) -> float:
+        """Emitter outflow (m^3/s) at a given total head (m)."""
+        if self.emitter_coefficient <= 0.0:
+            return 0.0
+        pressure = max(head - self.elevation, 0.0)
+        return self.emitter_coefficient * pressure**self.emitter_exponent
+
+
+@dataclass
+class Reservoir(Node):
+    """An infinite source with a fixed (possibly patterned) total head."""
+
+    base_head: float = 0.0
+    head_pattern: str | None = None
+
+
+@dataclass
+class Tank(Node):
+    """A cylindrical storage tank.
+
+    Total head is ``elevation + level``.  During extended-period simulation
+    the level is integrated from net inflow; it is clamped to
+    ``[min_level, max_level]`` and the connecting links are closed when the
+    tank can no longer supply/accept water.
+    """
+
+    elevation: float = 0.0
+    init_level: float = 0.0
+    min_level: float = 0.0
+    max_level: float = 10.0
+    diameter: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.min_level <= self.init_level <= self.max_level:
+            raise NetworkTopologyError(
+                f"tank {self.name!r}: init_level {self.init_level} outside "
+                f"[{self.min_level}, {self.max_level}]"
+            )
+
+    @property
+    def area(self) -> float:
+        """Horizontal cross-section area (m^2)."""
+        return math.pi * self.diameter**2 / 4.0
+
+    def head_at_level(self, level: float) -> float:
+        return self.elevation + level
+
+    def level_from_volume(self, volume: float) -> float:
+        return volume / self.area
+
+    def volume_at_level(self, level: float) -> float:
+        return level * self.area
+
+
+@dataclass
+class Link:
+    """Base class for network links.
+
+    Attributes:
+        name: unique link identifier.
+        start_node: name of the upstream node (positive-flow direction).
+        end_node: name of the downstream node.
+        initial_status: status at simulation start.
+    """
+
+    name: str
+    start_node: str
+    end_node: str
+    initial_status: LinkStatus = LinkStatus.OPEN
+
+    @property
+    def link_type(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class Pipe(Link):
+    """A pressurised pipe with Hazen-Williams friction.
+
+    Attributes:
+        length: pipe length (m).
+        diameter: internal diameter (m).
+        roughness: Hazen-Williams C coefficient (dimensionless).
+        minor_loss: minor-loss coefficient K (dimensionless).
+        check_valve: if True, flow is one-way (start -> end).
+    """
+
+    length: float = 100.0
+    diameter: float = 0.3
+    roughness: float = 100.0
+    minor_loss: float = 0.0
+    check_valve: bool = False
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise NetworkTopologyError(f"pipe {self.name!r}: length must be > 0")
+        if self.diameter <= 0:
+            raise NetworkTopologyError(f"pipe {self.name!r}: diameter must be > 0")
+        if self.roughness <= 0:
+            raise NetworkTopologyError(f"pipe {self.name!r}: roughness must be > 0")
+
+    @property
+    def area(self) -> float:
+        """Flow cross-section area (m^2)."""
+        return math.pi * self.diameter**2 / 4.0
+
+    def minor_loss_resistance(self) -> float:
+        """Coefficient m such that minor headloss = m * q * |q|."""
+        if self.minor_loss <= 0:
+            return 0.0
+        return self.minor_loss / (2.0 * GRAVITY * self.area**2)
+
+
+@dataclass
+class PumpCurveModel:
+    """A fitted pump characteristic ``h_gain = h0 - r * q**c`` (SI).
+
+    EPANET's transformations are used to fit the three curve shapes:
+
+    * one point ``(qd, hd)``: shutoff head ``4/3 * hd``, max flow ``2 * qd``,
+      exponent 2;
+    * three points ``(0, h0), (q1, h1), (q2, h2)``: power-law fit;
+    * multi-point: piecewise-linear interpolation of the curve.
+    """
+
+    shutoff_head: float
+    resistance: float
+    exponent: float
+    max_flow: float
+    curve: Curve | None = None
+
+    @classmethod
+    def from_curve(cls, curve: Curve) -> "PumpCurveModel":
+        """Fit the power-law model from a registered head curve."""
+        pts = [p for p in curve.points]
+        if not pts:
+            raise NetworkTopologyError(f"pump curve {curve.name!r} is empty")
+        if len(pts) == 1:
+            qd, hd = pts[0]
+            if qd <= 0 or hd <= 0:
+                raise NetworkTopologyError(
+                    f"pump curve {curve.name!r}: single design point must be positive"
+                )
+            h0 = 4.0 * hd / 3.0
+            r = hd / (3.0 * qd**2)
+            return cls(shutoff_head=h0, resistance=r, exponent=2.0, max_flow=2.0 * qd)
+        if len(pts) == 3 and pts[0][0] == 0.0:
+            (q0, h0), (q1, h1), (q2, h2) = pts
+            if not (h0 > h1 > h2 and 0 < q1 < q2):
+                raise NetworkTopologyError(
+                    f"pump curve {curve.name!r}: three-point curve must be decreasing"
+                )
+            c = math.log((h0 - h1) / (h0 - h2)) / math.log(q1 / q2)
+            r = (h0 - h1) / q1**c
+            qmax = (h0 / r) ** (1.0 / c)
+            return cls(shutoff_head=h0, resistance=r, exponent=c, max_flow=qmax)
+        # Multi-point: approximate with a power fit through the end points
+        # but keep the raw curve for head evaluation.
+        h0 = pts[0][1]
+        qmax = pts[-1][0]
+        hmin = pts[-1][1]
+        r = (h0 - hmin) / max(qmax, 1e-9) ** 2
+        model = cls(
+            shutoff_head=h0,
+            resistance=max(r, 1e-9),
+            exponent=2.0,
+            max_flow=qmax if hmin <= 0 else qmax * 1.5,
+        )
+        model.curve = curve
+        return model
+
+    def head_gain(self, q: float, speed: float = 1.0) -> float:
+        """Head added by the pump at flow ``q`` (m).
+
+        Affinity laws scale the curve with relative ``speed``.
+        """
+        if speed <= 0:
+            return 0.0
+        if self.curve is not None and speed == 1.0:
+            return self.curve.interpolate(max(q, 0.0))
+        q_eq = max(q, 0.0) / speed
+        return speed**2 * (self.shutoff_head - self.resistance * q_eq**self.exponent)
+
+
+@dataclass
+class Pump(Link):
+    """A pump link; adds head in the start -> end direction.
+
+    Attributes:
+        curve_name: name of the head :class:`Curve` registered on the
+            network.
+        speed: relative speed (1.0 = nominal); affinity laws apply.
+        power: constant-power rating (W) used when no curve is given
+            (``h_gain = power / (rho * g * q)``).
+    """
+
+    curve_name: str | None = None
+    speed: float = 1.0
+    power: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.curve_name is None and self.power is None:
+            raise NetworkTopologyError(
+                f"pump {self.name!r}: needs either a head curve or a power rating"
+            )
+
+
+@dataclass
+class Valve(Link):
+    """A control valve.
+
+    Attributes:
+        valve_type: PRV / TCV / FCV.
+        diameter: valve diameter (m), used for minor-loss conversion.
+        setting: meaning depends on type — PRV: downstream pressure head
+            (m); TCV: minor-loss coefficient K; FCV: maximum flow (m^3/s).
+        minor_loss: loss coefficient applied when the valve is fully OPEN.
+    """
+
+    valve_type: ValveType = ValveType.TCV
+    diameter: float = 0.3
+    setting: float = 0.0
+    minor_loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.valve_type, str):
+            self.valve_type = ValveType(self.valve_type.upper())
+        if self.diameter <= 0:
+            raise NetworkTopologyError(f"valve {self.name!r}: diameter must be > 0")
+
+    @property
+    def area(self) -> float:
+        return math.pi * self.diameter**2 / 4.0
+
+    def loss_resistance(self, coefficient: float) -> float:
+        """Coefficient m with headloss = m q|q| for a given K."""
+        if coefficient <= 0:
+            return 0.0
+        return coefficient / (2.0 * GRAVITY * self.area**2)

@@ -1,0 +1,104 @@
+"""Simple (EPANET-style) operational controls.
+
+Controls change a link's status or setting when a condition on simulation
+time or on a node's level/pressure becomes true.  The extended-period
+simulator evaluates all controls before each hydraulic step.
+
+Supported forms (mirroring EPANET's ``[CONTROLS]`` section):
+
+* ``LINK x OPEN/CLOSED IF NODE y ABOVE/BELOW value``
+* ``LINK x OPEN/CLOSED AT TIME hours``
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .components import LinkStatus, Tank
+from .network import WaterNetwork
+
+
+class ControlCondition(enum.Enum):
+    """The trigger type of a simple control."""
+
+    NODE_ABOVE = "ABOVE"
+    NODE_BELOW = "BELOW"
+    AT_TIME = "TIME"
+
+
+@dataclass(frozen=True)
+class SimpleControl:
+    """One EPANET-style simple control.
+
+    Attributes:
+        link_name: link whose status changes.
+        status: status applied when the condition holds.
+        condition: trigger type.
+        node_name: node observed (level for tanks, pressure for junctions);
+            unused for time triggers.
+        threshold: level/pressure threshold (m) or trigger time (s).
+    """
+
+    link_name: str
+    status: LinkStatus
+    condition: ControlCondition
+    threshold: float
+    node_name: str | None = None
+
+    def is_triggered(
+        self,
+        time_seconds: float,
+        node_values: dict[str, float],
+    ) -> bool:
+        """Whether the condition currently holds.
+
+        Args:
+            time_seconds: current simulation time.
+            node_values: tank level / junction pressure per node name.
+        """
+        if self.condition is ControlCondition.AT_TIME:
+            return time_seconds >= self.threshold
+        if self.node_name is None:
+            return False
+        value = node_values.get(self.node_name)
+        if value is None:
+            return False
+        if self.condition is ControlCondition.NODE_ABOVE:
+            return value > self.threshold
+        return value < self.threshold
+
+
+def evaluate_controls(
+    controls: list[SimpleControl],
+    network: WaterNetwork,
+    time_seconds: float,
+    tank_levels: dict[str, float],
+    pressures: dict[str, float] | None = None,
+) -> dict[str, LinkStatus]:
+    """Compute link status overrides implied by the triggered controls.
+
+    Later controls win over earlier ones on the same link, matching
+    EPANET's file-order semantics.
+
+    Args:
+        controls: control list in priority order.
+        network: the network (used to classify observed nodes).
+        time_seconds: current simulation time.
+        tank_levels: current tank level (m) per tank name.
+        pressures: most recent junction pressures (m), if available.
+
+    Returns:
+        link name -> forced status for this hydraulic step.
+    """
+    node_values: dict[str, float] = {}
+    node_values.update(tank_levels)
+    if pressures:
+        for name, value in pressures.items():
+            if not isinstance(network.nodes.get(name), Tank):
+                node_values.setdefault(name, value)
+    overrides: dict[str, LinkStatus] = {}
+    for control in controls:
+        if control.is_triggered(time_seconds, node_values):
+            overrides[control.link_name] = control.status
+    return overrides

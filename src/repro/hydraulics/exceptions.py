@@ -1,0 +1,54 @@
+"""Exception hierarchy for the hydraulic simulator.
+
+Every error raised by :mod:`repro.hydraulics` derives from
+:class:`HydraulicsError`, so callers can catch simulator problems without
+accidentally swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class HydraulicsError(Exception):
+    """Base class for all hydraulic-simulator errors."""
+
+
+class NetworkTopologyError(HydraulicsError):
+    """The network definition is structurally invalid.
+
+    Examples: duplicate component names, a link referencing a missing node,
+    a junction with no path to any fixed-head source.
+    """
+
+
+class UnitsError(HydraulicsError):
+    """A quantity was supplied in (or converted to) an unsupported unit."""
+
+
+class ConvergenceError(HydraulicsError):
+    """The global gradient algorithm failed to converge.
+
+    Carries the iteration count and the final residual so callers can report
+    or retry with relaxed settings.
+    """
+
+    def __init__(self, message: str, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SimulationError(HydraulicsError):
+    """Extended-period simulation failed (e.g. inconsistent timing)."""
+
+
+class InpSyntaxError(HydraulicsError):
+    """An EPANET INP file could not be parsed.
+
+    Carries the 1-based line number of the offending line.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number

@@ -1,0 +1,98 @@
+"""Friction headloss models.
+
+The solver needs, for each link, the headloss ``f(q)`` and its derivative
+``f'(q)``; both are provided here for the Hazen-Williams and
+Darcy-Weisbach (Swamee-Jain) models.  Near ``q = 0`` the Hazen-Williams
+derivative vanishes, which would make the Newton Jacobian singular, so a
+linear low-flow region is substituted below ``Q_LAMINAR`` — the same device
+EPANET uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Hazen-Williams exponent.
+HW_EXPONENT = 1.852
+#: SI Hazen-Williams resistance constant: hL = HW_K * L / (C^1.852 d^4.871) q^1.852.
+HW_K = 10.666829500036352
+#: Flow magnitude (m^3/s) below which the headloss curve is linearised.
+Q_LAMINAR = 1e-4
+#: Kinematic viscosity of water at 20C (m^2/s), for Darcy-Weisbach.
+WATER_NU = 1.004e-6
+
+
+def hazen_williams_resistance(length: float, diameter: float, roughness: float) -> float:
+    """Resistance ``r`` with ``hL = r * q * |q|**0.852`` (SI units)."""
+    return HW_K * length / (roughness**HW_EXPONENT * diameter**4.871)
+
+
+def hw_headloss_and_gradient(
+    q: float, resistance: float, minor: float = 0.0
+) -> tuple[float, float]:
+    """Hazen-Williams headloss and its derivative at flow ``q``.
+
+    Args:
+        q: link flow (m^3/s), signed.
+        resistance: from :func:`hazen_williams_resistance`.
+        minor: minor-loss coefficient m with loss = m q|q|.
+
+    Returns:
+        (headloss, d headloss / dq); headloss has the sign of ``q``.
+    """
+    aq = abs(q)
+    if aq < Q_LAMINAR:
+        # Linear segment matching the curve value at Q_LAMINAR.
+        slope = resistance * Q_LAMINAR ** (HW_EXPONENT - 1.0) + 2.0 * minor * Q_LAMINAR
+        return q * slope, slope
+    friction = resistance * aq ** (HW_EXPONENT - 1.0)
+    loss = q * friction + minor * q * aq
+    grad = HW_EXPONENT * friction + 2.0 * minor * aq
+    return loss, grad
+
+
+def darcy_weisbach_friction_factor(
+    q: float, diameter: float, roughness_height: float
+) -> float:
+    """Swamee-Jain friction factor (turbulent) with a laminar fallback.
+
+    Args:
+        q: flow magnitude (m^3/s).
+        diameter: pipe diameter (m).
+        roughness_height: absolute roughness epsilon (m).
+    """
+    area = math.pi * diameter**2 / 4.0
+    velocity = abs(q) / area
+    reynolds = velocity * diameter / WATER_NU
+    if reynolds < 1.0:
+        reynolds = 1.0
+    if reynolds < 2000.0:
+        return 64.0 / reynolds
+    term = roughness_height / (3.7 * diameter) + 5.74 / reynolds**0.9
+    return 0.25 / math.log10(term) ** 2
+
+
+def dw_headloss_and_gradient(
+    q: float,
+    length: float,
+    diameter: float,
+    roughness_height: float,
+    minor: float = 0.0,
+) -> tuple[float, float]:
+    """Darcy-Weisbach headloss and an approximate derivative at ``q``.
+
+    The friction factor is frozen when differentiating (standard successive
+    approximation), which keeps the Newton iteration stable.
+    """
+    aq = abs(q)
+    area = math.pi * diameter**2 / 4.0
+    if aq < Q_LAMINAR:
+        factor = darcy_weisbach_friction_factor(Q_LAMINAR, diameter, roughness_height)
+        r = factor * length / (diameter * 2.0 * 9.80665 * area**2)
+        slope = 2.0 * r * Q_LAMINAR + 2.0 * minor * Q_LAMINAR
+        return q * slope, max(slope, 1e-12)
+    factor = darcy_weisbach_friction_factor(aq, diameter, roughness_height)
+    r = factor * length / (diameter * 2.0 * 9.80665 * area**2)
+    loss = (r + minor) * q * aq
+    grad = 2.0 * (r + minor) * aq
+    return loss, grad

@@ -1,0 +1,519 @@
+"""EPANET INP file reader/writer.
+
+Supports the subset of the INP format the reproduction needs:
+``[TITLE] [JUNCTIONS] [RESERVOIRS] [TANKS] [PIPES] [PUMPS] [VALVES]
+[EMITTERS] [DEMANDS] [PATTERNS] [CURVES] [STATUS] [CONTROLS] [COORDINATES]
+[TIMES] [OPTIONS]``.  Quantities are converted to SI on read and back to
+the file's flow units on write, so a round-trip preserves values.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from .components import LinkStatus, Valve, ValveType
+from .controls import ControlCondition, SimpleControl
+from .exceptions import InpSyntaxError
+from .network import WaterNetwork
+from .units import UnitSystem, format_clock_time, parse_clock_time
+
+_SECTIONS = {
+    "TITLE",
+    "JUNCTIONS",
+    "RESERVOIRS",
+    "TANKS",
+    "PIPES",
+    "PUMPS",
+    "VALVES",
+    "EMITTERS",
+    "DEMANDS",
+    "PATTERNS",
+    "CURVES",
+    "STATUS",
+    "CONTROLS",
+    "COORDINATES",
+    "TIMES",
+    "OPTIONS",
+    "REPORT",
+    "ENERGY",
+    "QUALITY",
+    "REACTIONS",
+    "SOURCES",
+    "MIXING",
+    "VERTICES",
+    "LABELS",
+    "BACKDROP",
+    "TAGS",
+    "RULES",
+    "END",
+}
+
+
+def _tokenize(path_or_text: str | Path) -> list[tuple[int, str, list[str]]]:
+    """Yield (line_number, section, tokens) for every data line."""
+    if isinstance(path_or_text, Path) or "\n" not in str(path_or_text):
+        text = Path(path_or_text).read_text()
+    else:
+        text = str(path_or_text)
+    rows: list[tuple[int, str, list[str]]] = []
+    section = ""
+    for lineno, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            name = line.strip("[] \t").upper()
+            if name not in _SECTIONS:
+                raise InpSyntaxError(f"unknown section [{name}]", lineno)
+            section = name
+            continue
+        if not section:
+            raise InpSyntaxError("data before any section header", lineno)
+        rows.append((lineno, section, line.split()))
+    return rows
+
+
+def _f(token: str, lineno: int, what: str) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise InpSyntaxError(f"expected a number for {what}, got {token!r}", lineno) from None
+
+
+def read_rules(path_or_text: str | Path) -> list:
+    """Parse the ``[RULES]`` section into :class:`~repro.hydraulics.Rule`
+    objects (rule-based controls).
+
+    ``read_inp`` ignores the section so callers that only need hydraulics
+    pay nothing; pass the result to
+    :class:`~repro.hydraulics.ExtendedPeriodSimulator`'s ``rules``.
+
+    Raises:
+        InpSyntaxError: when a rule block cannot be parsed.
+    """
+    from .exceptions import SimulationError
+    from .rules import parse_rule
+
+    rows = _tokenize(path_or_text)
+    blocks: list[list[str]] = []
+    for lineno, section, tokens in rows:
+        if section != "RULES":
+            continue
+        line = " ".join(tokens)
+        if tokens and tokens[0].upper() == "RULE":
+            blocks.append([line])
+        elif blocks:
+            blocks[-1].append(line)
+        else:
+            raise InpSyntaxError("rule line before any RULE header", lineno)
+    rules = []
+    for block in blocks:
+        try:
+            rules.append(parse_rule("\n".join(block)))
+        except SimulationError as exc:
+            raise InpSyntaxError(f"bad rule block: {exc}") from exc
+    return rules
+
+
+def read_inp(path_or_text: str | Path, name: str | None = None) -> tuple[WaterNetwork, list[SimpleControl]]:
+    """Parse an INP file (or INP text) into a network plus its controls.
+
+    The ``[RULES]`` section is accepted but not returned here — use
+    :func:`read_rules` on the same input to get rule-based controls.
+
+    Args:
+        path_or_text: path to a ``.inp`` file, or the raw INP text itself
+            (detected by the presence of newlines).
+        name: network name; defaults to the file stem or ``"inp"``.
+
+    Returns:
+        (network, simple controls).
+
+    Raises:
+        InpSyntaxError: on malformed input.
+    """
+    rows = _tokenize(path_or_text)
+    flow_unit = "GPM"
+    for lineno, section, tokens in rows:
+        if section == "OPTIONS" and tokens and tokens[0].upper() == "UNITS" and len(tokens) > 1:
+            flow_unit = tokens[1].upper()
+    units = UnitSystem.from_flow_unit(flow_unit)
+
+    if name is None:
+        name = Path(str(path_or_text)).stem if "\n" not in str(path_or_text) else "inp"
+    network = WaterNetwork(name)
+    controls: list[SimpleControl] = []
+    pending_links: list[tuple[int, str, list[str]]] = []
+    pending_status: list[tuple[int, list[str]]] = []
+    pending_demands: list[tuple[int, list[str]]] = []
+    pending_emitters: list[tuple[int, list[str]]] = []
+    pattern_data: dict[str, list[float]] = {}
+    curve_data: dict[str, list[tuple[float, float]]] = {}
+    coordinates: dict[str, tuple[float, float]] = {}
+    junction_rows: list[tuple[int, list[str]]] = []
+    reservoir_rows: list[tuple[int, list[str]]] = []
+    tank_rows: list[tuple[int, list[str]]] = []
+
+    for lineno, section, tokens in rows:
+        if section == "JUNCTIONS":
+            junction_rows.append((lineno, tokens))
+        elif section == "RESERVOIRS":
+            reservoir_rows.append((lineno, tokens))
+        elif section == "TANKS":
+            tank_rows.append((lineno, tokens))
+        elif section in {"PIPES", "PUMPS", "VALVES"}:
+            pending_links.append((lineno, section, tokens))
+        elif section == "PATTERNS":
+            if len(tokens) < 2:
+                raise InpSyntaxError("pattern row needs id + multipliers", lineno)
+            pattern_data.setdefault(tokens[0], []).extend(
+                _f(t, lineno, "pattern multiplier") for t in tokens[1:]
+            )
+        elif section == "CURVES":
+            if len(tokens) < 3:
+                raise InpSyntaxError("curve row needs id x y", lineno)
+            curve_data.setdefault(tokens[0], []).append(
+                (
+                    _f(tokens[1], lineno, "curve x") * units.flow_to_si,
+                    _f(tokens[2], lineno, "curve y") * units.length_to_si,
+                )
+            )
+        elif section == "COORDINATES":
+            if len(tokens) < 3:
+                raise InpSyntaxError("coordinate row needs node x y", lineno)
+            coordinates[tokens[0]] = (
+                _f(tokens[1], lineno, "x"),
+                _f(tokens[2], lineno, "y"),
+            )
+        elif section == "STATUS":
+            pending_status.append((lineno, tokens))
+        elif section == "DEMANDS":
+            pending_demands.append((lineno, tokens))
+        elif section == "EMITTERS":
+            pending_emitters.append((lineno, tokens))
+        elif section == "CONTROLS":
+            control = _parse_control(tokens, lineno)
+            if control is not None:
+                controls.append(control)
+        elif section == "TIMES":
+            _apply_time_option(network, tokens, lineno)
+        elif section == "OPTIONS":
+            _apply_option(network, tokens)
+
+    for pname, multipliers in pattern_data.items():
+        network.add_pattern(pname, multipliers)
+    for cname, points in curve_data.items():
+        network.add_curve(cname, points)
+
+    for lineno, tokens in junction_rows:
+        if len(tokens) < 2:
+            raise InpSyntaxError("junction row needs id + elevation", lineno)
+        elevation = _f(tokens[1], lineno, "elevation") * units.length_to_si
+        demand = (
+            _f(tokens[2], lineno, "demand") * units.flow_to_si if len(tokens) > 2 else 0.0
+        )
+        pattern = tokens[3] if len(tokens) > 3 else None
+        network.add_junction(
+            tokens[0],
+            elevation=elevation,
+            base_demand=demand,
+            demand_pattern=pattern,
+            coordinates=coordinates.get(tokens[0], (0.0, 0.0)),
+        )
+    for lineno, tokens in reservoir_rows:
+        if len(tokens) < 2:
+            raise InpSyntaxError("reservoir row needs id + head", lineno)
+        network.add_reservoir(
+            tokens[0],
+            base_head=_f(tokens[1], lineno, "head") * units.length_to_si,
+            head_pattern=tokens[2] if len(tokens) > 2 else None,
+            coordinates=coordinates.get(tokens[0], (0.0, 0.0)),
+        )
+    for lineno, tokens in tank_rows:
+        if len(tokens) < 6:
+            raise InpSyntaxError(
+                "tank row needs id elev initlvl minlvl maxlvl diameter", lineno
+            )
+        network.add_tank(
+            tokens[0],
+            elevation=_f(tokens[1], lineno, "elevation") * units.length_to_si,
+            init_level=_f(tokens[2], lineno, "init level") * units.length_to_si,
+            min_level=_f(tokens[3], lineno, "min level") * units.length_to_si,
+            max_level=_f(tokens[4], lineno, "max level") * units.length_to_si,
+            diameter=_f(tokens[5], lineno, "diameter") * units.length_to_si,
+            coordinates=coordinates.get(tokens[0], (0.0, 0.0)),
+        )
+
+    for lineno, section, tokens in pending_links:
+        if section == "PIPES":
+            if len(tokens) < 6:
+                raise InpSyntaxError(
+                    "pipe row needs id n1 n2 length diameter roughness", lineno
+                )
+            status = LinkStatus.OPEN
+            check_valve = False
+            if len(tokens) > 7:
+                flag = tokens[7].upper()
+                if flag == "CV":
+                    check_valve = True
+                elif flag == "CLOSED":
+                    status = LinkStatus.CLOSED
+            network.add_pipe(
+                tokens[0],
+                tokens[1],
+                tokens[2],
+                length=_f(tokens[3], lineno, "length") * units.length_to_si,
+                diameter=_f(tokens[4], lineno, "diameter") * units.diameter_to_si,
+                roughness=_f(tokens[5], lineno, "roughness"),
+                minor_loss=_f(tokens[6], lineno, "minor loss") if len(tokens) > 6 else 0.0,
+                status=status,
+                check_valve=check_valve,
+            )
+        elif section == "PUMPS":
+            if len(tokens) < 4:
+                raise InpSyntaxError("pump row needs id n1 n2 properties", lineno)
+            curve_name = None
+            power = None
+            speed = 1.0
+            props = tokens[3:]
+            index = 0
+            while index < len(props):
+                keyword = props[index].upper()
+                if keyword == "HEAD" and index + 1 < len(props):
+                    curve_name = props[index + 1]
+                    index += 2
+                elif keyword == "POWER" and index + 1 < len(props):
+                    # EPANET power is horsepower (US) or kW (SI).
+                    raw = _f(props[index + 1], lineno, "pump power")
+                    power = raw * 745.7 if units.flow_unit in {"CFS", "GPM", "MGD", "IMGD", "AFD"} else raw * 1000.0
+                    index += 2
+                elif keyword == "SPEED" and index + 1 < len(props):
+                    speed = _f(props[index + 1], lineno, "pump speed")
+                    index += 2
+                else:
+                    raise InpSyntaxError(f"unknown pump keyword {props[index]!r}", lineno)
+            network.add_pump(
+                tokens[0], tokens[1], tokens[2],
+                curve_name=curve_name, speed=speed, power=power,
+            )
+        else:  # VALVES
+            if len(tokens) < 6:
+                raise InpSyntaxError(
+                    "valve row needs id n1 n2 diameter type setting", lineno
+                )
+            vtype = ValveType(tokens[4].upper())
+            setting = _f(tokens[5], lineno, "setting")
+            if vtype is ValveType.PRV:
+                setting *= units.pressure_to_si
+            elif vtype is ValveType.FCV:
+                setting *= units.flow_to_si
+            network.add_valve(
+                tokens[0],
+                tokens[1],
+                tokens[2],
+                valve_type=vtype,
+                diameter=_f(tokens[3], lineno, "diameter") * units.diameter_to_si,
+                setting=setting,
+                minor_loss=_f(tokens[6], lineno, "minor loss") if len(tokens) > 6 else 0.0,
+            )
+
+    for lineno, tokens in pending_status:
+        if len(tokens) < 2:
+            raise InpSyntaxError("status row needs link + status", lineno)
+        link = network.link(tokens[0])
+        link.initial_status = LinkStatus(tokens[1].upper())
+    for lineno, tokens in pending_demands:
+        if len(tokens) < 2:
+            raise InpSyntaxError("demand row needs junction + demand", lineno)
+        junction = network.node(tokens[0])
+        junction.base_demand = _f(tokens[1], lineno, "demand") * units.flow_to_si  # type: ignore[union-attr]
+        if len(tokens) > 2:
+            junction.demand_pattern = tokens[2]  # type: ignore[union-attr]
+    for lineno, tokens in pending_emitters:
+        if len(tokens) < 2:
+            raise InpSyntaxError("emitter row needs junction + coefficient", lineno)
+        # EPANET emitter coefficient is flow-units per sqrt(psi or m).
+        coefficient = _f(tokens[1], lineno, "emitter coefficient")
+        si_coefficient = coefficient * units.flow_to_si / units.pressure_to_si**0.5
+        network.set_leak(tokens[0], si_coefficient)
+
+    return network, controls
+
+
+def _parse_control(tokens: list[str], lineno: int) -> SimpleControl | None:
+    """Parse one ``[CONTROLS]`` line; returns None for unsupported forms."""
+    upper = [t.upper() for t in tokens]
+    if len(upper) < 5 or upper[0] != "LINK":
+        raise InpSyntaxError("control must start with LINK <id> <status>", lineno)
+    link_name = tokens[1]
+    try:
+        status = LinkStatus(upper[2])
+    except ValueError:
+        raise InpSyntaxError(f"unknown control status {tokens[2]!r}", lineno) from None
+    if upper[3] == "IF" and len(upper) >= 8 and upper[4] == "NODE":
+        condition = (
+            ControlCondition.NODE_ABOVE if upper[6] == "ABOVE" else ControlCondition.NODE_BELOW
+        )
+        return SimpleControl(
+            link_name=link_name,
+            status=status,
+            condition=condition,
+            node_name=tokens[5],
+            threshold=_f(tokens[7], lineno, "control threshold"),
+        )
+    if upper[3] == "AT" and len(upper) >= 6 and upper[4] == "TIME":
+        return SimpleControl(
+            link_name=link_name,
+            status=status,
+            condition=ControlCondition.AT_TIME,
+            threshold=parse_clock_time(tokens[5]),
+        )
+    return None
+
+
+def _apply_time_option(network: WaterNetwork, tokens: list[str], lineno: int) -> None:
+    upper = [t.upper() for t in tokens]
+    if upper[0] == "DURATION" and len(tokens) > 1:
+        network.options.duration = parse_clock_time(tokens[1])
+    elif upper[:2] == ["HYDRAULIC", "TIMESTEP"] and len(tokens) > 2:
+        network.options.hydraulic_timestep = parse_clock_time(tokens[2])
+    elif upper[:2] == ["PATTERN", "TIMESTEP"] and len(tokens) > 2:
+        network.options.pattern_timestep = parse_clock_time(tokens[2])
+
+
+def _apply_option(network: WaterNetwork, tokens: list[str]) -> None:
+    upper = [t.upper() for t in tokens]
+    if upper[0] == "TRIALS" and len(tokens) > 1:
+        network.options.trials = int(float(tokens[1]))
+    elif upper[0] == "ACCURACY" and len(tokens) > 1:
+        network.options.accuracy = float(tokens[1])
+    elif upper[:2] == ["DEMAND", "MULTIPLIER"] and len(tokens) > 2:
+        network.options.demand_multiplier = float(tokens[2])
+    elif upper[0] == "HEADLOSS" and len(tokens) > 1:
+        network.options.headloss_model = tokens[1].upper().replace("-", "")[:2]
+
+
+def write_inp(network: WaterNetwork, path: str | Path, controls: list[SimpleControl] | None = None) -> None:
+    """Write the network as an SI (``CMS``) INP file.
+
+    Emitter coefficients, demands, heads and lengths are written in SI so
+    that :func:`read_inp` round-trips exactly.
+    """
+    lines: list[str] = ["[TITLE]", network.name, ""]
+
+    lines.append("[JUNCTIONS]")
+    lines.append(";ID  Elevation  Demand  Pattern")
+    for j in network.junctions():
+        pattern = j.demand_pattern or ""
+        lines.append(f"{j.name}  {j.elevation:.6g}  {j.base_demand:.10g}  {pattern}")
+    lines.append("")
+
+    lines.append("[RESERVOIRS]")
+    for r in network.reservoirs():
+        lines.append(f"{r.name}  {r.base_head:.6g}  {r.head_pattern or ''}")
+    lines.append("")
+
+    lines.append("[TANKS]")
+    for t in network.tanks():
+        lines.append(
+            f"{t.name}  {t.elevation:.6g}  {t.init_level:.6g}  {t.min_level:.6g}"
+            f"  {t.max_level:.6g}  {t.diameter:.6g}"
+        )
+    lines.append("")
+
+    lines.append("[PIPES]")
+    for p in network.pipes():
+        flag = "CV" if p.check_valve else p.initial_status.value
+        lines.append(
+            f"{p.name}  {p.start_node}  {p.end_node}  {p.length:.6g}"
+            f"  {p.diameter * 1000.0:.6g}  {p.roughness:.6g}  {p.minor_loss:.6g}  {flag}"
+        )
+    lines.append("")
+
+    lines.append("[PUMPS]")
+    for pump in network.pumps():
+        props = []
+        if pump.curve_name is not None:
+            props.append(f"HEAD {pump.curve_name}")
+        if pump.power is not None:
+            props.append(f"POWER {pump.power / 1000.0:.6g}")
+        if pump.speed != 1.0:
+            props.append(f"SPEED {pump.speed:.6g}")
+        lines.append(f"{pump.name}  {pump.start_node}  {pump.end_node}  {' '.join(props)}")
+    lines.append("")
+
+    lines.append("[VALVES]")
+    for v in network.valves():
+        lines.append(
+            f"{v.name}  {v.start_node}  {v.end_node}  {v.diameter * 1000.0:.6g}"
+            f"  {v.valve_type.value}  {v.setting:.6g}  {v.minor_loss:.6g}"
+        )
+    lines.append("")
+
+    emitter_rows = [
+        f"{j.name}  {j.emitter_coefficient:.10g}"
+        for j in network.junctions()
+        if j.emitter_coefficient > 0.0
+    ]
+    if emitter_rows:
+        lines.append("[EMITTERS]")
+        lines.extend(emitter_rows)
+        lines.append("")
+
+    if network.patterns:
+        lines.append("[PATTERNS]")
+        for pattern in network.patterns.values():
+            for start in range(0, len(pattern.multipliers), 6):
+                chunk = pattern.multipliers[start : start + 6]
+                values = "  ".join(f"{m:.6g}" for m in chunk)
+                lines.append(f"{pattern.name}  {values}")
+        lines.append("")
+
+    if network.curves:
+        lines.append("[CURVES]")
+        for curve in network.curves.values():
+            for x, y in curve.points:
+                lines.append(f"{curve.name}  {x:.10g}  {y:.10g}")
+        lines.append("")
+
+    if controls:
+        lines.append("[CONTROLS]")
+        for control in controls:
+            if control.condition is ControlCondition.AT_TIME:
+                lines.append(
+                    f"LINK {control.link_name} {control.status.value} AT TIME "
+                    f"{format_clock_time(control.threshold)}"
+                )
+            else:
+                lines.append(
+                    f"LINK {control.link_name} {control.status.value} IF NODE "
+                    f"{control.node_name} {control.condition.value} {control.threshold:.6g}"
+                )
+        lines.append("")
+
+    lines.append("[COORDINATES]")
+    for node in network.nodes.values():
+        x, y = node.coordinates
+        lines.append(f"{node.name}  {x:.6g}  {y:.6g}")
+    lines.append("")
+
+    lines.append("[TIMES]")
+    lines.append(f"DURATION  {format_clock_time(network.options.duration)}")
+    lines.append(
+        f"HYDRAULIC TIMESTEP  {format_clock_time(network.options.hydraulic_timestep)}"
+    )
+    lines.append(
+        f"PATTERN TIMESTEP  {format_clock_time(network.options.pattern_timestep)}"
+    )
+    lines.append("")
+
+    lines.append("[OPTIONS]")
+    lines.append("UNITS  CMS")
+    lines.append(f"HEADLOSS  {network.options.headloss_model}")
+    lines.append(f"TRIALS  {network.options.trials}")
+    lines.append(f"ACCURACY  {network.options.accuracy:.6g}")
+    lines.append(f"DEMAND MULTIPLIER  {network.options.demand_multiplier:.6g}")
+    lines.append("")
+    lines.append("[END]")
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -1,0 +1,452 @@
+"""The :class:`WaterNetwork` container.
+
+A ``WaterNetwork`` holds every component of a distribution system plus the
+simulation options, and offers the graph-level queries the rest of
+AquaSCALE needs (shortest-path distances for Fig. 2, networkx export for
+placement and feature extraction, validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from .components import (
+    Curve,
+    Junction,
+    Link,
+    LinkStatus,
+    Node,
+    Pattern,
+    Pipe,
+    Pump,
+    Reservoir,
+    Tank,
+    Valve,
+    ValveType,
+)
+from .exceptions import NetworkTopologyError
+
+
+@dataclass
+class SimulationOptions:
+    """Timing and solver options for a network.
+
+    Attributes:
+        duration: total simulated time (s). 0 means single steady-state run.
+        hydraulic_timestep: interval between hydraulic solutions (s); the
+            paper uses this as the IoT sampling interval (15 min = 900 s).
+        pattern_timestep: interval between pattern multipliers (s).
+        demand_multiplier: global multiplier applied to all base demands.
+        trials: maximum GGA iterations per solve.
+        accuracy: convergence tolerance on relative flow change.
+        headloss_model: "HW" (Hazen-Williams) or "DW" (Darcy-Weisbach).
+        demand_model: "DDA" (demand-driven, EPANET classic) or "PDD"
+            (pressure-driven: delivered demand follows the Wagner curve
+            between ``minimum_pressure`` and ``required_pressure``).
+        minimum_pressure: PDD — no water delivered at/below this head (m).
+        required_pressure: PDD — full demand delivered at/above this (m).
+    """
+
+    duration: float = 0.0
+    hydraulic_timestep: float = 900.0
+    pattern_timestep: float = 3600.0
+    demand_multiplier: float = 1.0
+    trials: int = 100
+    accuracy: float = 1e-4
+    headloss_model: str = "HW"
+    demand_model: str = "DDA"
+    minimum_pressure: float = 0.0
+    required_pressure: float = 20.0
+
+
+class WaterNetwork:
+    """A complete water distribution network model.
+
+    Components are stored in insertion order; names are unique across nodes
+    and unique across links (mirroring EPANET).
+    """
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self.options = SimulationOptions()
+        self._nodes: dict[str, Node] = {}
+        self._links: dict[str, Link] = {}
+        self._patterns: dict[str, Pattern] = {}
+        self._curves: dict[str, Curve] = {}
+
+    # ------------------------------------------------------------------
+    # Component registration
+    # ------------------------------------------------------------------
+    def _register_node(self, node: Node) -> None:
+        if node.name in self._nodes:
+            raise NetworkTopologyError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+
+    def _register_link(self, link: Link) -> None:
+        if link.name in self._links:
+            raise NetworkTopologyError(f"duplicate link name {link.name!r}")
+        for endpoint in (link.start_node, link.end_node):
+            if endpoint not in self._nodes:
+                raise NetworkTopologyError(
+                    f"link {link.name!r} references unknown node {endpoint!r}"
+                )
+        if link.start_node == link.end_node:
+            raise NetworkTopologyError(f"link {link.name!r} is a self-loop")
+        self._links[link.name] = link
+
+    def add_junction(
+        self,
+        name: str,
+        elevation: float = 0.0,
+        base_demand: float = 0.0,
+        demand_pattern: str | None = None,
+        coordinates: tuple[float, float] = (0.0, 0.0),
+        emitter_coefficient: float = 0.0,
+    ) -> Junction:
+        """Add a junction and return it."""
+        junction = Junction(
+            name=name,
+            elevation=elevation,
+            base_demand=base_demand,
+            demand_pattern=demand_pattern,
+            coordinates=coordinates,
+            emitter_coefficient=emitter_coefficient,
+        )
+        self._register_node(junction)
+        return junction
+
+    def add_reservoir(
+        self,
+        name: str,
+        base_head: float,
+        head_pattern: str | None = None,
+        coordinates: tuple[float, float] = (0.0, 0.0),
+    ) -> Reservoir:
+        """Add a fixed-head reservoir and return it."""
+        reservoir = Reservoir(
+            name=name,
+            base_head=base_head,
+            head_pattern=head_pattern,
+            coordinates=coordinates,
+        )
+        self._register_node(reservoir)
+        return reservoir
+
+    def add_tank(
+        self,
+        name: str,
+        elevation: float,
+        init_level: float,
+        min_level: float,
+        max_level: float,
+        diameter: float,
+        coordinates: tuple[float, float] = (0.0, 0.0),
+    ) -> Tank:
+        """Add a cylindrical tank and return it."""
+        tank = Tank(
+            name=name,
+            elevation=elevation,
+            init_level=init_level,
+            min_level=min_level,
+            max_level=max_level,
+            diameter=diameter,
+            coordinates=coordinates,
+        )
+        self._register_node(tank)
+        return tank
+
+    def add_pipe(
+        self,
+        name: str,
+        start_node: str,
+        end_node: str,
+        length: float = 100.0,
+        diameter: float = 0.3,
+        roughness: float = 100.0,
+        minor_loss: float = 0.0,
+        status: LinkStatus = LinkStatus.OPEN,
+        check_valve: bool = False,
+    ) -> Pipe:
+        """Add a pipe and return it."""
+        pipe = Pipe(
+            name=name,
+            start_node=start_node,
+            end_node=end_node,
+            initial_status=status,
+            length=length,
+            diameter=diameter,
+            roughness=roughness,
+            minor_loss=minor_loss,
+            check_valve=check_valve,
+        )
+        self._register_link(pipe)
+        return pipe
+
+    def add_pump(
+        self,
+        name: str,
+        start_node: str,
+        end_node: str,
+        curve_name: str | None = None,
+        speed: float = 1.0,
+        power: float | None = None,
+        status: LinkStatus = LinkStatus.OPEN,
+    ) -> Pump:
+        """Add a pump and return it. The curve must already be registered."""
+        if curve_name is not None and curve_name not in self._curves:
+            raise NetworkTopologyError(
+                f"pump {name!r} references unknown curve {curve_name!r}"
+            )
+        pump = Pump(
+            name=name,
+            start_node=start_node,
+            end_node=end_node,
+            initial_status=status,
+            curve_name=curve_name,
+            speed=speed,
+            power=power,
+        )
+        self._register_link(pump)
+        return pump
+
+    def add_valve(
+        self,
+        name: str,
+        start_node: str,
+        end_node: str,
+        valve_type: ValveType | str = ValveType.TCV,
+        diameter: float = 0.3,
+        setting: float = 0.0,
+        minor_loss: float = 0.0,
+        status: LinkStatus = LinkStatus.ACTIVE,
+    ) -> Valve:
+        """Add a control valve and return it."""
+        valve = Valve(
+            name=name,
+            start_node=start_node,
+            end_node=end_node,
+            initial_status=status,
+            valve_type=valve_type,
+            diameter=diameter,
+            setting=setting,
+            minor_loss=minor_loss,
+        )
+        self._register_link(valve)
+        return valve
+
+    def add_pattern(self, name: str, multipliers: Iterable[float]) -> Pattern:
+        """Register a demand/head pattern."""
+        if name in self._patterns:
+            raise NetworkTopologyError(f"duplicate pattern name {name!r}")
+        pattern = Pattern(name=name, multipliers=list(multipliers))
+        self._patterns[name] = pattern
+        return pattern
+
+    def add_curve(self, name: str, points: Iterable[tuple[float, float]]) -> Curve:
+        """Register a curve (e.g. a pump head curve)."""
+        if name in self._curves:
+            raise NetworkTopologyError(f"duplicate curve name {name!r}")
+        curve = Curve(name=name, points=list(points))
+        self._curves[name] = curve
+        return curve
+
+    # ------------------------------------------------------------------
+    # Lookup and iteration
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        """Look up a node by name (raises NetworkTopologyError if absent)."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkTopologyError(f"no node named {name!r}") from None
+
+    def link(self, name: str) -> Link:
+        """Look up a link by name (raises NetworkTopologyError if absent)."""
+        try:
+            return self._links[name]
+        except KeyError:
+            raise NetworkTopologyError(f"no link named {name!r}") from None
+
+    def pattern(self, name: str) -> Pattern:
+        """Look up a pattern by name (raises NetworkTopologyError if absent)."""
+        try:
+            return self._patterns[name]
+        except KeyError:
+            raise NetworkTopologyError(f"no pattern named {name!r}") from None
+
+    def curve(self, name: str) -> Curve:
+        """Look up a curve by name (raises NetworkTopologyError if absent)."""
+        try:
+            return self._curves[name]
+        except KeyError:
+            raise NetworkTopologyError(f"no curve named {name!r}") from None
+
+    @property
+    def nodes(self) -> dict[str, Node]:
+        return self._nodes
+
+    @property
+    def links(self) -> dict[str, Link]:
+        return self._links
+
+    @property
+    def patterns(self) -> dict[str, Pattern]:
+        return self._patterns
+
+    @property
+    def curves(self) -> dict[str, Curve]:
+        return self._curves
+
+    def junctions(self) -> Iterator[Junction]:
+        return (n for n in self._nodes.values() if isinstance(n, Junction))
+
+    def reservoirs(self) -> Iterator[Reservoir]:
+        return (n for n in self._nodes.values() if isinstance(n, Reservoir))
+
+    def tanks(self) -> Iterator[Tank]:
+        return (n for n in self._nodes.values() if isinstance(n, Tank))
+
+    def pipes(self) -> Iterator[Pipe]:
+        return (l for l in self._links.values() if isinstance(l, Pipe))
+
+    def pumps(self) -> Iterator[Pump]:
+        return (l for l in self._links.values() if isinstance(l, Pump))
+
+    def valves(self) -> Iterator[Valve]:
+        return (l for l in self._links.values() if isinstance(l, Valve))
+
+    def junction_names(self) -> list[str]:
+        return [n.name for n in self.junctions()]
+
+    def node_names(self) -> list[str]:
+        return list(self._nodes)
+
+    def link_names(self) -> list[str]:
+        return list(self._links)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def describe(self) -> dict[str, int]:
+        """Component counts, handy for matching the paper's Fig. 5 caption."""
+        return {
+            "nodes": self.num_nodes,
+            "junctions": sum(1 for _ in self.junctions()),
+            "reservoirs": sum(1 for _ in self.reservoirs()),
+            "tanks": sum(1 for _ in self.tanks()),
+            "links": self.num_links,
+            "pipes": sum(1 for _ in self.pipes()),
+            "pumps": sum(1 for _ in self.pumps()),
+            "valves": sum(1 for _ in self.valves()),
+        }
+
+    # ------------------------------------------------------------------
+    # Leak helpers (EPANET++ surface)
+    # ------------------------------------------------------------------
+    def set_leak(
+        self,
+        node_name: str,
+        emitter_coefficient: float,
+        emitter_exponent: float = 0.5,
+    ) -> None:
+        """Attach (or clear, with 0) a leak emitter to a junction."""
+        node = self.node(node_name)
+        if not isinstance(node, Junction):
+            raise NetworkTopologyError(
+                f"leaks attach to junctions; {node_name!r} is a {node.node_type}"
+            )
+        node.emitter_coefficient = float(emitter_coefficient)
+        node.emitter_exponent = float(emitter_exponent)
+
+    def clear_leaks(self) -> None:
+        """Remove every leak emitter from the network."""
+        for junction in self.junctions():
+            junction.emitter_coefficient = 0.0
+
+    def leaky_nodes(self) -> list[str]:
+        """Names of junctions with an active emitter."""
+        return [j.name for j in self.junctions() if j.emitter_coefficient > 0.0]
+
+    # ------------------------------------------------------------------
+    # Graph queries
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.Graph:
+        """Undirected multigraph view with pipe lengths as edge weights.
+
+        Pumps and valves get a nominal near-zero length so they do not
+        distort shortest-path distances.
+        """
+        graph = nx.MultiGraph()
+        for node in self._nodes.values():
+            graph.add_node(
+                node.name,
+                node_type=node.node_type,
+                coordinates=node.coordinates,
+                elevation=getattr(node, "elevation", getattr(node, "base_head", 0.0)),
+            )
+        for link in self._links.values():
+            length = link.length if isinstance(link, Pipe) else 1e-3
+            graph.add_edge(
+                link.start_node,
+                link.end_node,
+                key=link.name,
+                name=link.name,
+                link_type=link.link_type,
+                length=length,
+            )
+        return graph
+
+    def shortest_path_lengths(self, source: str) -> dict[str, float]:
+        """Pipe-length shortest-path distance from ``source`` to all nodes.
+
+        This is the distance notion used in the paper's Fig. 2 ("the
+        distance between two adjacent nodes is the length of the connection
+        pipeline").
+        """
+        graph = self.to_networkx()
+        return nx.single_source_dijkstra_path_length(graph, source, weight="length")
+
+    def validate(self) -> None:
+        """Raise :class:`NetworkTopologyError` on structural problems.
+
+        Checks: at least one fixed-head source, full connectivity from the
+        sources to every node, every pump curve resolvable.
+        """
+        sources = [n.name for n in self._nodes.values() if isinstance(n, (Reservoir, Tank))]
+        if not sources:
+            raise NetworkTopologyError("network has no reservoir or tank")
+        graph = self.to_networkx()
+        reachable: set[str] = set()
+        for source in sources:
+            reachable |= nx.node_connected_component(graph, source)
+        unreachable = set(self._nodes) - reachable
+        if unreachable:
+            sample = sorted(unreachable)[:5]
+            raise NetworkTopologyError(
+                f"{len(unreachable)} node(s) unreachable from any source, "
+                f"e.g. {sample}"
+            )
+        for pump in self.pumps():
+            if pump.curve_name is not None:
+                self.curve(pump.curve_name)
+
+    def copy(self) -> "WaterNetwork":
+        """Deep copy; scenario injection mutates copies, never the original."""
+        import copy as _copy
+
+        return _copy.deepcopy(self)
+
+    def __repr__(self) -> str:
+        counts = self.describe()
+        return (
+            f"WaterNetwork({self.name!r}, nodes={counts['nodes']}, "
+            f"links={counts['links']})"
+        )

@@ -1,0 +1,130 @@
+"""Time-series results of an extended-period simulation.
+
+Results are stored as dense numpy arrays (time x component) plus
+name -> column maps, which is what the sensing layer samples from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SimulationResults:
+    """Hydraulic time series for every node and link.
+
+    Attributes:
+        times: simulation timestamps (s), shape ``(T,)``.
+        node_names: column order of the node arrays.
+        link_names: column order of the link arrays.
+        head: total head (m), shape ``(T, n_nodes)``.
+        pressure: pressure head (m), shape ``(T, n_nodes)``.
+        demand: consumer demand (m^3/s), shape ``(T, n_nodes)``.
+        leak_flow: emitter outflow (m^3/s), shape ``(T, n_nodes)``.
+        flow: signed link flow (m^3/s), shape ``(T, n_links)``.
+        tank_level: level (m) for tank columns, NaN elsewhere.
+    """
+
+    times: np.ndarray
+    node_names: list[str]
+    link_names: list[str]
+    head: np.ndarray
+    pressure: np.ndarray
+    demand: np.ndarray
+    leak_flow: np.ndarray
+    flow: np.ndarray
+    tank_level: np.ndarray
+    _node_index: dict[str, int] = field(init=False, repr=False)
+    _link_index: dict[str, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._node_index = {n: i for i, n in enumerate(self.node_names)}
+        self._link_index = {n: i for i, n in enumerate(self.link_names)}
+
+    @property
+    def n_timesteps(self) -> int:
+        return len(self.times)
+
+    def node_column(self, name: str) -> int:
+        return self._node_index[name]
+
+    def link_column(self, name: str) -> int:
+        return self._link_index[name]
+
+    def pressure_at(self, node: str) -> np.ndarray:
+        """Pressure-head time series (m) for one node."""
+        return self.pressure[:, self.node_column(node)]
+
+    def head_at(self, node: str) -> np.ndarray:
+        """Total-head time series (m) for one node."""
+        return self.head[:, self.node_column(node)]
+
+    def flow_at(self, link: str) -> np.ndarray:
+        """Signed flow time series (m^3/s) for one link."""
+        return self.flow[:, self.link_column(link)]
+
+    def leak_at(self, node: str) -> np.ndarray:
+        """Emitter-outflow time series (m^3/s) for one node."""
+        return self.leak_flow[:, self.node_column(node)]
+
+    def time_index(self, time_seconds: float) -> int:
+        """Index of the recorded timestep closest to ``time_seconds``."""
+        return int(np.argmin(np.abs(self.times - time_seconds)))
+
+    def total_water_loss(self) -> float:
+        """Volume of water lost through leaks over the run (m^3)."""
+        if self.n_timesteps < 2:
+            return 0.0
+        step = float(np.median(np.diff(self.times)))
+        return float(np.sum(self.leak_flow) * step)
+
+
+class ResultsBuilder:
+    """Accumulates per-timestep solutions into a SimulationResults."""
+
+    def __init__(self, node_names: list[str], link_names: list[str]):
+        self.node_names = list(node_names)
+        self.link_names = list(link_names)
+        self._times: list[float] = []
+        self._head: list[np.ndarray] = []
+        self._pressure: list[np.ndarray] = []
+        self._demand: list[np.ndarray] = []
+        self._leak: list[np.ndarray] = []
+        self._flow: list[np.ndarray] = []
+        self._level: list[np.ndarray] = []
+
+    def append(
+        self,
+        time_seconds: float,
+        head: dict[str, float],
+        pressure: dict[str, float],
+        demand: dict[str, float],
+        leak: dict[str, float],
+        flow: dict[str, float],
+        tank_level: dict[str, float],
+    ) -> None:
+        """Record one timestep's solution (values keyed by component name)."""
+        self._times.append(time_seconds)
+        self._head.append(np.array([head[n] for n in self.node_names]))
+        self._pressure.append(np.array([pressure[n] for n in self.node_names]))
+        self._demand.append(np.array([demand[n] for n in self.node_names]))
+        self._leak.append(np.array([leak[n] for n in self.node_names]))
+        self._flow.append(np.array([flow[n] for n in self.link_names]))
+        self._level.append(
+            np.array([tank_level.get(n, np.nan) for n in self.node_names])
+        )
+
+    def build(self) -> SimulationResults:
+        return SimulationResults(
+            times=np.array(self._times),
+            node_names=self.node_names,
+            link_names=self.link_names,
+            head=np.vstack(self._head) if self._head else np.empty((0, len(self.node_names))),
+            pressure=np.vstack(self._pressure) if self._pressure else np.empty((0, len(self.node_names))),
+            demand=np.vstack(self._demand) if self._demand else np.empty((0, len(self.node_names))),
+            leak_flow=np.vstack(self._leak) if self._leak else np.empty((0, len(self.node_names))),
+            flow=np.vstack(self._flow) if self._flow else np.empty((0, len(self.link_names))),
+            tank_level=np.vstack(self._level) if self._level else np.empty((0, len(self.node_names))),
+        )

@@ -1,0 +1,239 @@
+"""Rule-based controls (EPANET ``[RULES]``-style).
+
+Simple controls trigger on a single condition; rules combine several
+premises with AND/OR and carry THEN/ELSE action lists:
+
+    RULE nightly-refill
+    IF   TANK T1 LEVEL BELOW 2.0
+    AND  SYSTEM CLOCKTIME >= 22:00
+    THEN PUMP PU1 STATUS IS OPEN
+    ELSE PUMP PU1 STATUS IS CLOSED
+
+Rules are built programmatically (:class:`Rule`) or parsed from the text
+form (:func:`parse_rule`).  The extended-period simulator evaluates them
+before each hydraulic step; their actions become status overrides, with
+later rules taking precedence (EPANET's priority-free behaviour).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .components import LinkStatus
+from .exceptions import SimulationError
+from .units import parse_clock_time
+
+#: Seconds in a day, for CLOCKTIME wrap-around.
+DAY = 24 * 3600.0
+
+
+class Comparator(enum.Enum):
+    """Premise comparison operators."""
+
+    BELOW = "BELOW"
+    ABOVE = "ABOVE"
+    LE = "<="
+    GE = ">="
+    EQ = "="
+
+    def test(self, value: float, threshold: float) -> bool:
+        """Apply this comparison to a value and threshold."""
+        if self is Comparator.BELOW:
+            return value < threshold
+        if self is Comparator.ABOVE:
+            return value > threshold
+        if self is Comparator.LE:
+            return value <= threshold
+        if self is Comparator.GE:
+            return value >= threshold
+        return abs(value - threshold) < 1e-9
+
+
+@dataclass(frozen=True)
+class Premise:
+    """One IF/AND/OR clause.
+
+    Attributes:
+        subject: "TANK", "JUNCTION" or "SYSTEM".
+        identifier: component name ("" for SYSTEM).
+        attribute: "LEVEL" (tanks), "PRESSURE" (junctions),
+            "CLOCKTIME" or "TIME" (system).
+        comparator: the comparison.
+        threshold: level/pressure in metres, or time in seconds.
+    """
+
+    subject: str
+    identifier: str
+    attribute: str
+    comparator: Comparator
+    threshold: float
+
+    def evaluate(
+        self,
+        time_seconds: float,
+        tank_levels: dict[str, float],
+        pressures: dict[str, float] | None,
+    ) -> bool:
+        """Whether the clause holds at the given system state."""
+        subject = self.subject.upper()
+        attribute = self.attribute.upper()
+        if subject == "SYSTEM":
+            if attribute == "CLOCKTIME":
+                return self.comparator.test(time_seconds % DAY, self.threshold)
+            if attribute == "TIME":
+                return self.comparator.test(time_seconds, self.threshold)
+            raise SimulationError(f"unknown SYSTEM attribute {self.attribute!r}")
+        if subject == "TANK" and attribute == "LEVEL":
+            value = tank_levels.get(self.identifier)
+            return value is not None and self.comparator.test(value, self.threshold)
+        if subject in ("JUNCTION", "NODE") and attribute == "PRESSURE":
+            if not pressures:
+                return False
+            value = pressures.get(self.identifier)
+            return value is not None and self.comparator.test(value, self.threshold)
+        raise SimulationError(
+            f"unsupported premise {self.subject} {self.attribute}"
+        )
+
+
+@dataclass(frozen=True)
+class Action:
+    """THEN/ELSE action: set a link's status."""
+
+    link_name: str
+    status: LinkStatus
+
+
+@dataclass
+class Rule:
+    """IF premises (joined by AND/OR) THEN actions ELSE actions.
+
+    Attributes:
+        name: rule identifier (diagnostics only).
+        premises: the clauses.
+        conjunction: "AND" (all premises) or "OR" (any premise).
+        then_actions: applied when the condition holds.
+        else_actions: applied otherwise (may be empty).
+    """
+
+    name: str
+    premises: list[Premise]
+    then_actions: list[Action]
+    else_actions: list[Action] = field(default_factory=list)
+    conjunction: str = "AND"
+
+    def evaluate(
+        self,
+        time_seconds: float,
+        tank_levels: dict[str, float],
+        pressures: dict[str, float] | None,
+    ) -> list[Action]:
+        """The action list this rule fires at the given state."""
+        if not self.premises:
+            return self.then_actions
+        results = [
+            p.evaluate(time_seconds, tank_levels, pressures) for p in self.premises
+        ]
+        fired = all(results) if self.conjunction.upper() == "AND" else any(results)
+        return self.then_actions if fired else self.else_actions
+
+
+def evaluate_rules(
+    rules: list[Rule],
+    time_seconds: float,
+    tank_levels: dict[str, float],
+    pressures: dict[str, float] | None = None,
+) -> dict[str, LinkStatus]:
+    """Status overrides from all fired rules (later rules win)."""
+    overrides: dict[str, LinkStatus] = {}
+    for rule in rules:
+        for action in rule.evaluate(time_seconds, tank_levels, pressures):
+            overrides[action.link_name] = action.status
+    return overrides
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse the EPANET-like text form shown in the module docstring.
+
+    Raises:
+        SimulationError: on malformed rule text.
+    """
+    name = "rule"
+    premises: list[Premise] = []
+    then_actions: list[Action] = []
+    else_actions: list[Action] = []
+    conjunction = "AND"
+    current: list[Action] | None = None
+    for raw in text.strip().splitlines():
+        tokens = raw.split()
+        if not tokens:
+            continue
+        keyword = tokens[0].upper()
+        if keyword == "RULE":
+            if len(tokens) < 2:
+                raise SimulationError("RULE needs a name")
+            name = tokens[1]
+        elif keyword in ("IF", "AND", "OR"):
+            if keyword == "OR":
+                conjunction = "OR"
+            premises.append(_parse_premise(tokens[1:], raw))
+            current = None
+        elif keyword == "THEN":
+            then_actions.append(_parse_action(tokens[1:], raw))
+            current = then_actions
+        elif keyword == "ELSE":
+            else_actions.append(_parse_action(tokens[1:], raw))
+            current = else_actions
+        elif current is not None:
+            current.append(_parse_action(tokens, raw))
+        else:
+            raise SimulationError(f"cannot parse rule line {raw!r}")
+    if not then_actions:
+        raise SimulationError("rule has no THEN action")
+    return Rule(
+        name=name,
+        premises=premises,
+        then_actions=then_actions,
+        else_actions=else_actions,
+        conjunction=conjunction,
+    )
+
+
+def _parse_premise(tokens: list[str], raw: str) -> Premise:
+    # Forms: TANK T1 LEVEL BELOW 2.0 | SYSTEM CLOCKTIME >= 6:00
+    if len(tokens) < 4 and not (tokens and tokens[0].upper() == "SYSTEM"):
+        raise SimulationError(f"bad premise {raw!r}")
+    subject = tokens[0].upper()
+    if subject == "SYSTEM":
+        attribute = tokens[1].upper()
+        comparator = _comparator(tokens[2], raw)
+        threshold = parse_clock_time(" ".join(tokens[3:]))
+        return Premise("SYSTEM", "", attribute, comparator, threshold)
+    identifier = tokens[1]
+    attribute = tokens[2].upper()
+    comparator = _comparator(tokens[3], raw)
+    try:
+        threshold = float(tokens[4])
+    except (IndexError, ValueError):
+        raise SimulationError(f"bad premise threshold in {raw!r}") from None
+    return Premise(subject, identifier, attribute, comparator, threshold)
+
+
+def _parse_action(tokens: list[str], raw: str) -> Action:
+    # Forms: PUMP PU1 STATUS IS OPEN | LINK P3 STATUS IS CLOSED
+    upper = [t.upper() for t in tokens]
+    try:
+        status_index = upper.index("IS") + 1
+        status = LinkStatus(upper[status_index])
+        link_name = tokens[1]
+    except (ValueError, IndexError):
+        raise SimulationError(f"bad action {raw!r}") from None
+    return Action(link_name=link_name, status=status)
+
+
+def _comparator(token: str, raw: str) -> Comparator:
+    try:
+        return Comparator(token.upper())
+    except ValueError:
+        raise SimulationError(f"unknown comparator {token!r} in {raw!r}") from None

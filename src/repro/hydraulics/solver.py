@@ -1,0 +1,812 @@
+"""Steady-state hydraulic solver (Todini-Pilati Global Gradient Algorithm).
+
+This is the numerical core of the EPANET++ substitute.  Given a
+:class:`~repro.hydraulics.network.WaterNetwork`, nodal demands and fixed
+heads (reservoirs and tanks), the solver computes junction heads and link
+flows satisfying mass balance and the energy equations, including leak
+emitters (``Q = EC * p**beta``, paper Eq. 1), pumps, and valves.
+
+The GGA is a Newton method on the mixed (flow, head) system whose head-only
+Schur complement is solved with a sparse SPD solve each iteration — the
+same algorithm EPANET itself implements.  Valve and check-valve statuses
+are resolved in an outer loop around the Newton iteration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from .components import (
+    Junction,
+    LinkStatus,
+    Pipe,
+    Pump,
+    PumpCurveModel,
+    Reservoir,
+    Tank,
+    Valve,
+    ValveType,
+)
+from .exceptions import ConvergenceError, NetworkTopologyError
+from .headloss import (
+    Q_LAMINAR,
+    dw_headloss_and_gradient,
+    hazen_williams_resistance,
+    hw_headloss_and_gradient,
+)
+from .network import WaterNetwork
+
+#: Resistance used for CLOSED links (headloss = R_CLOSED * q).
+R_CLOSED = 1e8
+#: Penalty conductance pinning an active PRV's downstream head.
+K_PRV = 1e8
+#: Density * gravity, for constant-power pumps (Pa per metre of head).
+RHO_G = 998.2 * 9.80665
+#: Smallest pump flow used when evaluating power-law curve derivatives.
+Q_PUMP_MIN = 1e-6
+#: Maximum outer status-resolution passes.
+MAX_STATUS_PASSES = 20
+
+
+@dataclass
+class SteadyStateSolution:
+    """Result of one steady-state solve.  All values in SI units.
+
+    Attributes:
+        node_head: total head (m) per node name (junctions + fixed nodes).
+        node_pressure: pressure head (m) per node (head - elevation; for
+            reservoirs it is 0 by convention).
+        node_demand: consumer demand (m^3/s) applied at each junction.
+        leak_flow: emitter outflow (m^3/s) per junction (0 when no leak).
+        link_flow: signed flow (m^3/s) per link (positive start -> end).
+        link_status: resolved operating status per link.
+        iterations: Newton iterations used (summed over status passes).
+        residual: final maximum nodal mass-balance error (m^3/s).
+        converged: whether tolerances were met.
+    """
+
+    node_head: dict[str, float]
+    node_pressure: dict[str, float]
+    node_demand: dict[str, float]
+    leak_flow: dict[str, float]
+    link_flow: dict[str, float]
+    link_status: dict[str, LinkStatus]
+    iterations: int
+    residual: float
+    converged: bool
+
+    def total_leak_flow(self) -> float:
+        """Total water lost through emitters (m^3/s)."""
+        return float(sum(self.leak_flow.values()))
+
+
+@dataclass
+class _LinkRecord:
+    """Solver-internal per-link description."""
+
+    name: str
+    kind: str  # "pipe" | "pump" | "valve"
+    start: str
+    end: str
+    resistance: float = 0.0  # HW resistance for pipes
+    minor: float = 0.0  # minor-loss m with loss = m q|q|
+    length: float = 0.0  # pipe length (m), for Darcy-Weisbach
+    diameter: float = 0.0  # pipe diameter (m), for Darcy-Weisbach
+    roughness_height: float = 0.0  # epsilon (m), for Darcy-Weisbach
+    check_valve: bool = False
+    pump_model: PumpCurveModel | None = None
+    pump_power: float | None = None
+    speed: float = 1.0
+    valve_type: ValveType | None = None
+    setting: float = 0.0
+    open_minor: float = 0.0  # valve minor loss when fully open
+    status: LinkStatus = LinkStatus.OPEN
+
+
+class GGASolver:
+    """Reusable steady-state solver bound to one network's structure.
+
+    Building the solver pre-computes index arrays; repeated ``solve`` calls
+    (dataset generation runs tens of thousands) then avoid per-call
+    structure work.  The solver never mutates the network.
+    """
+
+    def __init__(self, network: WaterNetwork):
+        network.validate()
+        self.network = network
+        self._use_darcy_weisbach = network.options.headloss_model.upper().startswith("D")
+        self._junction_names: list[str] = []
+        self._fixed_names: list[str] = []
+        self._elevation: dict[str, float] = {}
+        for node in network.nodes.values():
+            if isinstance(node, Junction):
+                self._junction_names.append(node.name)
+                self._elevation[node.name] = node.elevation
+            elif isinstance(node, Reservoir):
+                self._fixed_names.append(node.name)
+                self._elevation[node.name] = node.base_head
+            elif isinstance(node, Tank):
+                self._fixed_names.append(node.name)
+                self._elevation[node.name] = node.elevation
+        self._junction_index = {n: i for i, n in enumerate(self._junction_names)}
+        self._records = [self._make_record(link) for link in network.links.values()]
+        self._n_junctions = len(self._junction_names)
+
+    # ------------------------------------------------------------------
+    def _make_record(self, link) -> _LinkRecord:
+        if isinstance(link, Pipe):
+            # Under "DW" the pipe's roughness field is the absolute
+            # roughness height in millimetres (EPANET's convention).
+            return _LinkRecord(
+                name=link.name,
+                kind="pipe",
+                start=link.start_node,
+                end=link.end_node,
+                resistance=hazen_williams_resistance(
+                    link.length, link.diameter, link.roughness
+                ),
+                minor=link.minor_loss_resistance(),
+                length=link.length,
+                diameter=link.diameter,
+                roughness_height=link.roughness * 1e-3,
+                check_valve=link.check_valve,
+                status=link.initial_status,
+            )
+        if isinstance(link, Pump):
+            model = None
+            if link.curve_name is not None:
+                model = PumpCurveModel.from_curve(self.network.curve(link.curve_name))
+            return _LinkRecord(
+                name=link.name,
+                kind="pump",
+                start=link.start_node,
+                end=link.end_node,
+                pump_model=model,
+                pump_power=link.power,
+                speed=link.speed,
+                status=link.initial_status,
+            )
+        if isinstance(link, Valve):
+            status = link.initial_status
+            if link.valve_type is ValveType.TCV and status is LinkStatus.ACTIVE:
+                # A TCV regulating at its setting is just a loss coefficient.
+                status = LinkStatus.OPEN
+            return _LinkRecord(
+                name=link.name,
+                kind="valve",
+                start=link.start_node,
+                end=link.end_node,
+                valve_type=link.valve_type,
+                setting=link.setting,
+                open_minor=link.loss_resistance(max(link.minor_loss, 0.1)),
+                minor=link.loss_resistance(link.setting)
+                if link.valve_type is ValveType.TCV
+                else 0.0,
+                status=status,
+            )
+        raise NetworkTopologyError(f"unsupported link type {type(link).__name__}")
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        demands: dict[str, float] | None = None,
+        fixed_heads: dict[str, float] | None = None,
+        emitters: dict[str, tuple[float, float]] | None = None,
+        status_overrides: dict[str, LinkStatus] | None = None,
+        pump_speeds: dict[str, float] | None = None,
+        trials: int | None = None,
+        accuracy: float | None = None,
+    ) -> SteadyStateSolution:
+        """Solve one steady state.
+
+        Args:
+            demands: junction name -> demand (m^3/s).  Defaults to each
+                junction's base demand (pattern-unscaled).
+            fixed_heads: overrides for reservoir/tank heads (m); defaults
+                to reservoir base head / tank elevation + initial level.
+            emitters: junction name -> (EC, beta) leak overrides.  When
+                None, junction emitter attributes on the network are used.
+            status_overrides: link name -> status forced for this solve
+                (controls and EPS tank lockouts use this).
+            pump_speeds: pump name -> relative speed override.
+            trials: maximum Newton iterations (default: network options).
+            accuracy: relative flow-change tolerance (default: options).
+
+        Returns:
+            A :class:`SteadyStateSolution`.
+
+        Raises:
+            ConvergenceError: if the Newton iteration does not converge.
+        """
+        options = self.network.options
+        max_trials = trials if trials is not None else options.trials
+        tol = accuracy if accuracy is not None else options.accuracy
+
+        demand_vec = self._demand_vector(demands)
+        head_fixed = self._fixed_head_map(fixed_heads)
+        emitter_ec, emitter_beta = self._emitter_arrays(emitters)
+
+        records = self._records
+        for rec in records:
+            if rec.kind == "valve" and rec.valve_type is ValveType.FCV:
+                rec.minor = 0.0  # FCV throttling is re-derived per solve
+        statuses = [r.status for r in records]
+        if status_overrides:
+            for i, rec in enumerate(records):
+                if rec.name in status_overrides:
+                    statuses[i] = status_overrides[rec.name]
+        speeds = [r.speed for r in records]
+        if pump_speeds:
+            for i, rec in enumerate(records):
+                if rec.kind == "pump" and rec.name in pump_speeds:
+                    speeds[i] = pump_speeds[rec.name]
+
+        n = self._n_junctions
+        heads = np.empty(n)
+        mean_fixed = (
+            float(np.mean(list(head_fixed.values()))) if head_fixed else 50.0
+        )
+        for i, name in enumerate(self._junction_names):
+            heads[i] = max(mean_fixed, self._elevation[name] + 10.0)
+        flows = np.array([self._initial_flow(r, s) for r, s in zip(records, speeds)])
+
+        pdd = options.demand_model.upper() == "PDD"
+        total_iterations = 0
+        residual = math.inf
+        converged = False
+        for _pass in range(MAX_STATUS_PASSES):
+            heads, flows, iters, residual, converged = self._newton(
+                records,
+                statuses,
+                speeds,
+                heads,
+                flows,
+                demand_vec,
+                head_fixed,
+                emitter_ec,
+                emitter_beta,
+                max_trials,
+                tol,
+                pdd=pdd,
+            )
+            total_iterations += iters
+            changed = self._update_statuses(
+                records, statuses, flows, heads, head_fixed
+            )
+            if not changed:
+                break
+
+        if not converged:
+            raise ConvergenceError(
+                f"GGA failed to converge (residual {residual:.3e} m^3/s)",
+                iterations=total_iterations,
+                residual=residual,
+            )
+        return self._package(
+            records,
+            statuses,
+            heads,
+            flows,
+            demand_vec,
+            head_fixed,
+            emitter_ec,
+            emitter_beta,
+            total_iterations,
+            residual,
+            converged,
+        )
+
+    # ------------------------------------------------------------------
+    def _demand_vector(self, demands: dict[str, float] | None) -> np.ndarray:
+        vec = np.zeros(self._n_junctions)
+        for i, name in enumerate(self._junction_names):
+            junction = self.network.nodes[name]
+            vec[i] = junction.base_demand  # type: ignore[union-attr]
+        if demands:
+            for name, value in demands.items():
+                index = self._junction_index.get(name)
+                if index is None:
+                    raise NetworkTopologyError(f"demand for unknown junction {name!r}")
+                vec[index] = value
+        return vec * self.network.options.demand_multiplier
+
+    def _fixed_head_map(self, overrides: dict[str, float] | None) -> dict[str, float]:
+        result: dict[str, float] = {}
+        for name in self._fixed_names:
+            node = self.network.nodes[name]
+            if isinstance(node, Reservoir):
+                result[name] = node.base_head
+            else:
+                assert isinstance(node, Tank)
+                result[name] = node.elevation + node.init_level
+        if overrides:
+            for name, value in overrides.items():
+                if name not in result:
+                    raise NetworkTopologyError(
+                        f"fixed head for non-fixed node {name!r}"
+                    )
+                result[name] = value
+        return result
+
+    def _emitter_arrays(
+        self, emitters: dict[str, tuple[float, float]] | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        ec = np.zeros(self._n_junctions)
+        beta = np.full(self._n_junctions, 0.5)
+        for i, name in enumerate(self._junction_names):
+            junction = self.network.nodes[name]
+            assert isinstance(junction, Junction)
+            ec[i] = junction.emitter_coefficient
+            beta[i] = junction.emitter_exponent
+        if emitters is not None:
+            ec[:] = 0.0
+            for name, (coefficient, exponent) in emitters.items():
+                index = self._junction_index.get(name)
+                if index is None:
+                    raise NetworkTopologyError(f"emitter on unknown junction {name!r}")
+                ec[index] = coefficient
+                beta[index] = exponent
+        return ec, beta
+
+    @staticmethod
+    def _initial_flow(record: _LinkRecord, speed: float) -> float:
+        if record.kind == "pump":
+            if record.pump_model is not None:
+                return max(record.pump_model.max_flow * speed / 2.0, 1e-3)
+            return 1e-2
+        return 5e-3
+
+    # ------------------------------------------------------------------
+    def _link_coefficients(
+        self, record: _LinkRecord, status: LinkStatus, speed: float, q: float
+    ) -> tuple[float, float]:
+        """Return (f, g): headloss and its derivative at flow q."""
+        if status is LinkStatus.CLOSED:
+            return R_CLOSED * q, R_CLOSED
+        if record.kind == "pipe":
+            if self._use_darcy_weisbach:
+                return dw_headloss_and_gradient(
+                    q,
+                    record.length,
+                    record.diameter,
+                    record.roughness_height,
+                    record.minor,
+                )
+            return hw_headloss_and_gradient(q, record.resistance, record.minor)
+        if record.kind == "pump":
+            return self._pump_coefficients(record, speed, q)
+        assert record.kind == "valve"
+        return self._valve_coefficients(record, status, q)
+
+    @staticmethod
+    def _pump_coefficients(
+        record: _LinkRecord, speed: float, q: float
+    ) -> tuple[float, float]:
+        if speed <= 0.0:
+            return R_CLOSED * q, R_CLOSED
+        if record.pump_power is not None and record.pump_model is None:
+            q_eff = max(q, 1e-3)
+            gain = record.pump_power / (RHO_G * q_eff)
+            grad = record.pump_power / (RHO_G * q_eff**2)
+            return -gain, max(grad, 1e-6)
+        model = record.pump_model
+        assert model is not None
+        q_eff = max(q, Q_PUMP_MIN)
+        ratio = q_eff / speed
+        gain = speed**2 * (model.shutoff_head - model.resistance * ratio**model.exponent)
+        grad = (
+            model.resistance
+            * model.exponent
+            * speed ** (2.0 - model.exponent)
+            * q_eff ** (model.exponent - 1.0)
+        )
+        # Reverse flow through a pump is blocked with a stiff penalty.
+        if q < 0.0:
+            return -gain + R_CLOSED * q, R_CLOSED
+        return -gain, max(grad, 1e-6)
+
+    @staticmethod
+    def _valve_coefficients(
+        record: _LinkRecord, status: LinkStatus, q: float
+    ) -> tuple[float, float]:
+        if record.valve_type is ValveType.TCV:
+            minor = record.minor if record.minor > 0 else record.open_minor
+        else:
+            minor = record.open_minor
+        minor = max(minor, 1e-3)
+        aq = abs(q)
+        if aq < Q_LAMINAR:
+            slope = 2.0 * minor * Q_LAMINAR
+            return q * slope, slope
+        return minor * q * aq, 2.0 * minor * aq
+
+    # ------------------------------------------------------------------
+    def _newton(
+        self,
+        records: list[_LinkRecord],
+        statuses: list[LinkStatus],
+        speeds: list[float],
+        heads: np.ndarray,
+        flows: np.ndarray,
+        demand: np.ndarray,
+        head_fixed: dict[str, float],
+        emitter_ec: np.ndarray,
+        emitter_beta: np.ndarray,
+        max_trials: int,
+        tol: float,
+        pdd: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray, int, float, bool]:
+        n = self._n_junctions
+        jidx = self._junction_index
+        # Active PRVs pin their downstream junction's head; their flow is
+        # carried as a lagged demand on the upstream node (EPANET's scheme).
+        prv_active = [
+            i
+            for i, (r, s) in enumerate(zip(records, statuses))
+            if r.kind == "valve"
+            and r.valve_type is ValveType.PRV
+            and s is LinkStatus.ACTIVE
+        ]
+        normal = [i for i in range(len(records)) if i not in set(prv_active)]
+
+        start_idx = np.array(
+            [jidx.get(records[i].start, -1) for i in normal], dtype=np.int64
+        )
+        end_idx = np.array(
+            [jidx.get(records[i].end, -1) for i in normal], dtype=np.int64
+        )
+        start_fixed = np.array(
+            [
+                head_fixed.get(records[i].start, 0.0) if jidx.get(records[i].start) is None else 0.0
+                for i in normal
+            ]
+        )
+        end_fixed = np.array(
+            [
+                head_fixed.get(records[i].end, 0.0) if jidx.get(records[i].end) is None else 0.0
+                for i in normal
+            ]
+        )
+        elevations = np.array([self._elevation[nm] for nm in self._junction_names])
+
+        total_demand_scale = float(np.sum(np.abs(demand))) + 1e-6
+        iterations = 0
+        residual = math.inf
+        converged = False
+        prv_flow = {i: flows[i] for i in prv_active}
+
+        for iterations in range(1, max_trials + 1):
+            f_vals = np.empty(len(normal))
+            g_vals = np.empty(len(normal))
+            for pos, i in enumerate(normal):
+                f_vals[pos], g_vals[pos] = self._link_coefficients(
+                    records[i], statuses[i], speeds[i], flows[i]
+                )
+            g_vals = np.maximum(g_vals, 1e-10)
+            inv_g = 1.0 / g_vals
+
+            h_start = np.where(start_idx >= 0, heads[np.maximum(start_idx, 0)], start_fixed)
+            h_end = np.where(end_idx >= 0, heads[np.maximum(end_idx, 0)], end_fixed)
+            # Energy residual F1 = f(q) - (H_i - H_j)
+            f1 = f_vals - (h_start - h_end)
+
+            # Emitter outflow and derivative at current heads.
+            pressure = heads - elevations
+            active_em = (emitter_ec > 0.0) & (pressure > 0.0)
+            em_flow = np.zeros(n)
+            em_grad = np.zeros(n)
+            if np.any(active_em):
+                p_act = pressure[active_em]
+                ec_act = emitter_ec[active_em]
+                beta_act = emitter_beta[active_em]
+                em_flow[active_em] = ec_act * p_act**beta_act
+                em_grad[active_em] = (
+                    ec_act * beta_act * np.maximum(p_act, 1e-6) ** (beta_act - 1.0)
+                )
+
+            # Pressure-driven delivery (Wagner curve) when enabled:
+            # delivered = demand * sqrt(clip((p - pmin)/(preq - pmin), 0, 1)).
+            pdd_grad = np.zeros(n)
+            if pdd:
+                options = self.network.options
+                span = max(options.required_pressure - options.minimum_pressure, 1e-6)
+                frac = np.clip((pressure - options.minimum_pressure) / span, 0.0, 1.0)
+                # Wagner curve with a linearised toe: sqrt has an infinite
+                # derivative at frac -> 0, which makes Newton crawl when a
+                # starved node settles near zero delivery; below FRAC_EPS
+                # the curve continues linearly to the origin instead.
+                FRAC_EPS = 0.01
+                toe = frac < FRAC_EPS
+                factor = np.sqrt(np.maximum(frac, FRAC_EPS))
+                factor[toe] = frac[toe] / np.sqrt(FRAC_EPS)
+                delivered = demand * factor
+                partial = (frac < 1.0) & (demand > 0.0)
+                grad = np.zeros(n)
+                grad[~toe] = 0.5 / (span * np.maximum(factor[~toe], 1e-9))
+                grad[toe] = 1.0 / (span * np.sqrt(FRAC_EPS))
+                pdd_grad[partial] = demand[partial] * grad[partial]
+                # A small floor keeps starved nodes anchored even at the
+                # flat ends of the curve.
+                has_demand = demand > 0.0
+                pdd_grad[has_demand] = np.maximum(
+                    pdd_grad[has_demand], demand[has_demand] * 1e-3 / span
+                )
+            else:
+                delivered = demand
+
+            # Mass residual F2 = A21 q - delivered - emitter - prv_lagged.
+            f2 = -delivered - em_flow
+            np.add.at(f2, start_idx[start_idx >= 0], -flows[np.array(normal)][start_idx >= 0])
+            np.add.at(f2, end_idx[end_idx >= 0], flows[np.array(normal)][end_idx >= 0])
+            for i in prv_active:
+                rec = records[i]
+                up = jidx.get(rec.start)
+                if up is not None:
+                    f2[up] -= prv_flow[i]
+                down = jidx.get(rec.end)
+                if down is not None:
+                    f2[down] += prv_flow[i]
+
+            residual = float(np.max(np.abs(f2))) if n else 0.0
+
+            # Assemble Schur complement A = A21 diag(1/g) A12 + diag(em_grad).
+            rows: list[np.ndarray] = []
+            cols: list[np.ndarray] = []
+            data: list[np.ndarray] = []
+            s_mask = start_idx >= 0
+            e_mask = end_idx >= 0
+            rows.append(start_idx[s_mask])
+            cols.append(start_idx[s_mask])
+            data.append(inv_g[s_mask])
+            rows.append(end_idx[e_mask])
+            cols.append(end_idx[e_mask])
+            data.append(inv_g[e_mask])
+            both = s_mask & e_mask
+            rows.append(start_idx[both])
+            cols.append(end_idx[both])
+            data.append(-inv_g[both])
+            rows.append(end_idx[both])
+            cols.append(start_idx[both])
+            data.append(-inv_g[both])
+            diag_extra = em_grad + pdd_grad
+            rhs = f2 - self._a21_invg_f1(
+                start_idx, end_idx, inv_g, f1, n
+            )
+            for i in prv_active:
+                rec = records[i]
+                down = jidx.get(rec.end)
+                if down is not None:
+                    setting_head = rec.setting + self._elevation[rec.end]
+                    diag_extra[down] += K_PRV
+                    rhs[down] += -K_PRV * (heads[down] - setting_head)
+            rows.append(np.arange(n))
+            cols.append(np.arange(n))
+            data.append(diag_extra + 1e-12)
+
+            matrix = sp.coo_matrix(
+                (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
+                shape=(n, n),
+            ).tocsc()
+            try:
+                dh = spla.spsolve(matrix, rhs)
+            except RuntimeError as exc:  # singular factorisation
+                raise ConvergenceError(
+                    f"GGA linear solve failed: {exc}", iterations, residual
+                ) from exc
+            if np.any(~np.isfinite(dh)):
+                raise ConvergenceError(
+                    "GGA linear solve produced non-finite heads",
+                    iterations,
+                    residual,
+                )
+            if pdd:
+                # Under-relaxed heads stop the flat-region ping-pong while
+                # leaving ordinary steps (a few metres) untouched.
+                np.clip(dh, -50.0, 50.0, out=dh)
+
+            heads = heads + dh
+            dh_start = np.where(start_idx >= 0, dh[np.maximum(start_idx, 0)], 0.0)
+            dh_end = np.where(end_idx >= 0, dh[np.maximum(end_idx, 0)], 0.0)
+            # dq = -G^{-1} (F1 + A12 dH), with A12 dH = dh_end - dh_start.
+            dq = -inv_g * (f1 + dh_end - dh_start)
+            new_flows = flows.copy()
+            for pos, i in enumerate(normal):
+                new_flows[i] = flows[i] + dq[pos]
+            # Recover active-PRV flows from downstream continuity.
+            for i in prv_active:
+                prv_flow[i] = self._prv_flow_from_continuity(
+                    i, records, normal, new_flows, heads, demand, emitter_ec,
+                    emitter_beta, elevations, jidx,
+                )
+                new_flows[i] = prv_flow[i]
+
+            flow_change = float(np.sum(np.abs(new_flows - flows)))
+            flow_scale = float(np.sum(np.abs(new_flows))) + 1e-9
+            flows = new_flows
+            if (
+                flow_change / flow_scale < tol
+                and residual < 1e-6 + 1e-4 * total_demand_scale
+            ):
+                converged = True
+                break
+
+        return heads, flows, iterations, residual, converged
+
+    @staticmethod
+    def _a21_invg_f1(
+        start_idx: np.ndarray,
+        end_idx: np.ndarray,
+        inv_g: np.ndarray,
+        f1: np.ndarray,
+        n: int,
+    ) -> np.ndarray:
+        """Compute A21 diag(1/g) F1 (node-sized vector)."""
+        contrib = inv_g * f1
+        out = np.zeros(n)
+        mask_s = start_idx >= 0
+        mask_e = end_idx >= 0
+        # A21[i, k] is -1 when link k starts at i and +1 when it ends at i.
+        np.add.at(out, start_idx[mask_s], -contrib[mask_s])
+        np.add.at(out, end_idx[mask_e], contrib[mask_e])
+        return out
+
+    def _prv_flow_from_continuity(
+        self,
+        prv_index: int,
+        records: list[_LinkRecord],
+        normal: list[int],
+        flows: np.ndarray,
+        heads: np.ndarray,
+        demand: np.ndarray,
+        emitter_ec: np.ndarray,
+        emitter_beta: np.ndarray,
+        elevations: np.ndarray,
+        jidx: dict[str, int],
+    ) -> float:
+        """Flow through an active PRV = net outflow demanded downstream."""
+        down_name = records[prv_index].end
+        down = jidx.get(down_name)
+        if down is None:
+            return flows[prv_index]
+        outflow = demand[down]
+        pressure = heads[down] - elevations[down]
+        if emitter_ec[down] > 0.0 and pressure > 0.0:
+            outflow += emitter_ec[down] * pressure ** emitter_beta[down]
+        for i in normal:
+            rec = records[i]
+            if rec.start == down_name:
+                outflow += flows[i]
+            elif rec.end == down_name:
+                outflow -= flows[i]
+        return outflow
+
+    # ------------------------------------------------------------------
+    def _update_statuses(
+        self,
+        records: list[_LinkRecord],
+        statuses: list[LinkStatus],
+        flows: np.ndarray,
+        heads: np.ndarray,
+        head_fixed: dict[str, float],
+    ) -> bool:
+        """Apply check-valve / pump / valve status rules. True if changed."""
+
+        def head_at(name: str) -> float:
+            index = self._junction_index.get(name)
+            if index is not None:
+                return float(heads[index])
+            return head_fixed[name]
+
+        changed = False
+        for i, rec in enumerate(records):
+            status = statuses[i]
+            h1 = head_at(rec.start)
+            h2 = head_at(rec.end)
+            new_status = status
+            if rec.kind == "pipe" and rec.check_valve:
+                if status is LinkStatus.OPEN and flows[i] < -1e-8:
+                    new_status = LinkStatus.CLOSED
+                elif status is LinkStatus.CLOSED and h1 - h2 > 1e-6:
+                    new_status = LinkStatus.OPEN
+            elif rec.kind == "pump":
+                if status is LinkStatus.OPEN and flows[i] < -1e-8:
+                    new_status = LinkStatus.CLOSED
+                elif status is LinkStatus.CLOSED:
+                    shutoff = 1e9
+                    if rec.pump_model is not None:
+                        shutoff = rec.pump_model.shutoff_head * rec.speed**2
+                    if h2 - h1 < shutoff:
+                        new_status = LinkStatus.OPEN
+            elif rec.kind == "valve" and rec.valve_type is ValveType.PRV:
+                setting_head = rec.setting + self._elevation[rec.end]
+                if status is LinkStatus.ACTIVE:
+                    if flows[i] < -1e-8:
+                        new_status = LinkStatus.CLOSED
+                    elif h1 < setting_head - 1e-6:
+                        new_status = LinkStatus.OPEN
+                elif status is LinkStatus.OPEN:
+                    if h2 > setting_head + 1e-6:
+                        new_status = LinkStatus.ACTIVE
+                elif status is LinkStatus.CLOSED:
+                    if h1 > setting_head + 1e-6 and h1 > h2:
+                        new_status = LinkStatus.ACTIVE
+            elif rec.kind == "valve" and rec.valve_type is ValveType.FCV:
+                if status is not LinkStatus.CLOSED and flows[i] > rec.setting > 0.0:
+                    # Throttle by switching to an equivalent TCV-like loss.
+                    needed = (h1 - h2) / max(rec.setting, 1e-9) ** 2
+                    if needed > 0:
+                        rec.minor = needed
+                        changed = True
+            if new_status is not status:
+                statuses[i] = new_status
+                changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    def _package(
+        self,
+        records: list[_LinkRecord],
+        statuses: list[LinkStatus],
+        heads: np.ndarray,
+        flows: np.ndarray,
+        demand: np.ndarray,
+        head_fixed: dict[str, float],
+        emitter_ec: np.ndarray,
+        emitter_beta: np.ndarray,
+        iterations: int,
+        residual: float,
+        converged: bool,
+    ) -> SteadyStateSolution:
+        options = self.network.options
+        pdd = options.demand_model.upper() == "PDD"
+        span = max(options.required_pressure - options.minimum_pressure, 1e-6)
+        node_head: dict[str, float] = {}
+        node_pressure: dict[str, float] = {}
+        node_demand: dict[str, float] = {}
+        leak_flow: dict[str, float] = {}
+        for i, name in enumerate(self._junction_names):
+            node_head[name] = float(heads[i])
+            pressure = float(heads[i] - self._elevation[name])
+            node_pressure[name] = pressure
+            if pdd:
+                frac = min(max((pressure - options.minimum_pressure) / span, 0.0), 1.0)
+                if frac < 0.01:  # linearised toe, matching _newton
+                    factor = frac / math.sqrt(0.01)
+                else:
+                    factor = math.sqrt(frac)
+                node_demand[name] = float(demand[i]) * factor
+            else:
+                node_demand[name] = float(demand[i])
+            if emitter_ec[i] > 0.0 and pressure > 0.0:
+                leak_flow[name] = float(emitter_ec[i] * pressure ** emitter_beta[i])
+            else:
+                leak_flow[name] = 0.0
+        for name, value in head_fixed.items():
+            node_head[name] = value
+            node = self.network.nodes[name]
+            if isinstance(node, Tank):
+                node_pressure[name] = value - node.elevation
+            else:
+                node_pressure[name] = 0.0
+            node_demand[name] = 0.0
+            leak_flow[name] = 0.0
+        link_flow = {
+            rec.name: float(flows[i]) for i, rec in enumerate(records)
+        }
+        link_status = {rec.name: statuses[i] for i, rec in enumerate(records)}
+        return SteadyStateSolution(
+            node_head=node_head,
+            node_pressure=node_pressure,
+            node_demand=node_demand,
+            leak_flow=leak_flow,
+            link_flow=link_flow,
+            link_status=link_status,
+            iterations=iterations,
+            residual=residual,
+            converged=converged,
+        )

@@ -1,0 +1,152 @@
+"""Unit handling for the hydraulic simulator.
+
+The simulator works internally in SI units:
+
+* length / head / elevation / diameter: metres
+* flow: cubic metres per second (CMS)
+* pressure head: metres of water column
+* time: seconds
+
+EPANET INP files express flows in one of several flow units and, depending
+on the flow unit, lengths in feet or metres and diameters in inches or
+millimetres.  This module centralises those conversions so the parser and
+writer agree exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .exceptions import UnitsError
+
+#: Metres per foot.
+FT_TO_M = 0.3048
+#: Metres per inch.
+IN_TO_M = 0.0254
+#: Cubic metres per US gallon.
+GAL_TO_M3 = 3.785411784e-3
+#: Cubic metres per cubic foot.
+FT3_TO_M3 = 0.028316846592
+#: Cubic metres per imperial gallon.
+IMPGAL_TO_M3 = 4.54609e-3
+#: Cubic metres per acre-foot.
+ACREFT_TO_M3 = 1233.48183754752
+#: Pressure conversion: metres of water per psi.
+PSI_TO_M = 0.7030695796  # 1 psi == 2.30666... ft of water == 0.70307 m
+
+#: Flow-unit name -> multiplier converting that unit to m^3/s.
+FLOW_UNIT_TO_CMS = {
+    "CFS": FT3_TO_M3,                 # cubic feet / second
+    "GPM": GAL_TO_M3 / 60.0,          # US gallons / minute
+    "MGD": 1e6 * GAL_TO_M3 / 86400.0,  # million US gallons / day
+    "IMGD": 1e6 * IMPGAL_TO_M3 / 86400.0,
+    "AFD": ACREFT_TO_M3 / 86400.0,    # acre-feet / day
+    "LPS": 1e-3,                      # litres / second
+    "LPM": 1e-3 / 60.0,               # litres / minute
+    "MLD": 1e3 / 86400.0,             # megalitres / day
+    "CMH": 1.0 / 3600.0,              # cubic metres / hour
+    "CMD": 1.0 / 86400.0,             # cubic metres / day
+    "CMS": 1.0,                       # cubic metres / second (native)
+}
+
+#: Flow units that imply US customary length units in INP files.
+US_FLOW_UNITS = frozenset({"CFS", "GPM", "MGD", "IMGD", "AFD"})
+
+
+@dataclass(frozen=True)
+class UnitSystem:
+    """Conversion factors between an INP file's units and SI.
+
+    Attributes:
+        flow_unit: the INP flow-unit keyword (e.g. ``"GPM"``).
+        flow_to_si: multiply an INP flow by this to get m^3/s.
+        length_to_si: multiply an INP length/elevation/head by this to get m.
+        diameter_to_si: multiply an INP pipe diameter by this to get m.
+        pressure_to_si: multiply an INP pressure by this to get m of water.
+    """
+
+    flow_unit: str
+    flow_to_si: float
+    length_to_si: float
+    diameter_to_si: float
+    pressure_to_si: float
+
+    @classmethod
+    def from_flow_unit(cls, flow_unit: str) -> "UnitSystem":
+        """Build the unit system implied by an INP flow-unit keyword."""
+        key = flow_unit.strip().upper()
+        if key not in FLOW_UNIT_TO_CMS:
+            raise UnitsError(f"unknown flow unit {flow_unit!r}")
+        if key in US_FLOW_UNITS:
+            return cls(
+                flow_unit=key,
+                flow_to_si=FLOW_UNIT_TO_CMS[key],
+                length_to_si=FT_TO_M,
+                diameter_to_si=IN_TO_M,
+                pressure_to_si=PSI_TO_M,
+            )
+        return cls(
+            flow_unit=key,
+            flow_to_si=FLOW_UNIT_TO_CMS[key],
+            length_to_si=1.0,
+            diameter_to_si=1e-3,  # millimetres
+            pressure_to_si=1.0,
+        )
+
+    def flow_from_si(self, cms: float) -> float:
+        """Convert a flow in m^3/s back to this system's flow unit."""
+        return cms / self.flow_to_si
+
+    def length_from_si(self, metres: float) -> float:
+        """Convert a length in metres back to this system's length unit."""
+        return metres / self.length_to_si
+
+    def diameter_from_si(self, metres: float) -> float:
+        """Convert a diameter in metres back to this system's diameter unit."""
+        return metres / self.diameter_to_si
+
+
+#: The SI unit system used internally everywhere.
+SI = UnitSystem.from_flow_unit("CMS")
+
+
+def parse_clock_time(text: str) -> float:
+    """Parse an EPANET time value into seconds.
+
+    Accepts ``HH:MM``, ``HH:MM:SS``, plain decimal hours (``1.5``) and
+    decimal hours with an AM/PM suffix.
+
+    Raises:
+        UnitsError: if the text is not a recognisable time.
+    """
+    token = text.strip().upper()
+    meridian = None
+    for suffix in ("AM", "PM"):
+        if token.endswith(suffix):
+            meridian = suffix
+            token = token[: -len(suffix)].strip()
+            break
+    try:
+        if ":" in token:
+            parts = [float(p) for p in token.split(":")]
+            while len(parts) < 3:
+                parts.append(0.0)
+            hours, minutes, seconds = parts[:3]
+            total = hours * 3600.0 + minutes * 60.0 + seconds
+        else:
+            total = float(token) * 3600.0
+    except ValueError as exc:
+        raise UnitsError(f"cannot parse time {text!r}") from exc
+    if meridian == "PM" and total < 12 * 3600.0:
+        total += 12 * 3600.0
+    if meridian == "AM" and total >= 12 * 3600.0:
+        total -= 12 * 3600.0
+    return total
+
+
+def format_clock_time(seconds: float) -> str:
+    """Format a duration in seconds as ``HH:MM:SS`` (hours may exceed 24)."""
+    total = int(round(seconds))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    return f"{hours:d}:{minutes:02d}:{secs:02d}"

@@ -1,0 +1,78 @@
+"""From-scratch scikit-learn substitute.
+
+The paper's plug-and-play analytic engine compares LinearR, LogisticR,
+Gradient Boosting, Random Forest and SVM and composes RF + SVM via
+LogisticR into HybridRSL.  scikit-learn is not available offline, so this
+package implements the needed estimators on numpy/scipy behind the same
+``fit`` / ``predict`` / ``predict_proba`` API.
+"""
+
+from .base import (
+    BaseEstimator,
+    ClassifierMixin,
+    NotFittedError,
+    RegressorMixin,
+    check_array,
+    check_X_y,
+    clone,
+)
+from .boosting import GradientBoostingClassifier
+from .cluster import KMeans, KMedoids
+from .decomposition import PCA, PrincipalFeatureAnalysis
+from .ensemble import StackingClassifier
+from .forest import RandomForestClassifier
+from .linear import LinearRegression, LinearRegressionClassifier, LogisticRegression
+from .metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    hamming_score,
+    log_loss,
+    mean_hamming_score,
+    precision_score,
+    recall_score,
+)
+from .model_selection import KFold, cross_val_score, train_test_split
+from .multioutput import MultiOutputClassifier
+from .neighbors import KNeighborsClassifier
+from .preprocessing import MinMaxScaler, StandardScaler
+from .svm import LinearSVC
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "BaseEstimator",
+    "ClassifierMixin",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GradientBoostingClassifier",
+    "KFold",
+    "KMeans",
+    "KMedoids",
+    "KNeighborsClassifier",
+    "LinearRegression",
+    "LinearRegressionClassifier",
+    "LinearSVC",
+    "LogisticRegression",
+    "MinMaxScaler",
+    "MultiOutputClassifier",
+    "NotFittedError",
+    "PCA",
+    "PrincipalFeatureAnalysis",
+    "RandomForestClassifier",
+    "RegressorMixin",
+    "StackingClassifier",
+    "StandardScaler",
+    "accuracy_score",
+    "check_X_y",
+    "check_array",
+    "clone",
+    "confusion_matrix",
+    "cross_val_score",
+    "f1_score",
+    "hamming_score",
+    "log_loss",
+    "mean_hamming_score",
+    "precision_score",
+    "recall_score",
+    "train_test_split",
+]

@@ -1,0 +1,135 @@
+"""Estimator framework: a minimal, sklearn-compatible API.
+
+The paper's plug-and-play analytic engine treats every classifier as a
+black box with ``fit`` / ``predict`` / ``predict_proba``.  This module
+defines that contract plus the ``get_params`` / ``set_params`` / ``clone``
+machinery that lets ensembles and the multi-output wrapper copy estimator
+configurations without sharing fitted state.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict-time methods are called before ``fit``."""
+
+
+class BaseEstimator:
+    """Base class providing parameter introspection.
+
+    Subclasses must accept all hyper-parameters as keyword arguments in
+    ``__init__`` and store each under the same attribute name — the same
+    convention scikit-learn uses, which makes :func:`clone` trivial.
+    """
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, parameter in signature.parameters.items()
+            if name != "self"
+            and parameter.kind
+            not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+        ]
+
+    def get_params(self) -> dict[str, Any]:
+        """Hyper-parameters as a dict (unfitted state only)."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Update hyper-parameters in place; unknown names raise."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"{type(self).__name__} has no parameter {name!r}; "
+                    f"valid: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def _check_fitted(self, attribute: str) -> None:
+        if not hasattr(self, attribute):
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted yet; call fit() first"
+            )
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """A new unfitted estimator with the same hyper-parameters."""
+    params = estimator.get_params()
+    fresh = type(estimator)(**params)
+    return fresh
+
+
+class ClassifierMixin:
+    """Shared classifier behaviour: class bookkeeping and scoring.
+
+    Fitted classifiers expose ``classes_`` (sorted unique labels) and map
+    predictions back to the original label values.  ``predict_proba``
+    returns one column per entry of ``classes_``.
+    """
+
+    classes_: np.ndarray
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        """Store ``classes_`` and return y as indices into it."""
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        return encoded
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on the given test data."""
+        from .metrics import accuracy_score
+
+        return accuracy_score(np.asarray(y), self.predict(X))  # type: ignore[attr-defined]
+
+
+class RegressorMixin:
+    """Shared regressor behaviour: R^2 scoring."""
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R^2."""
+        y = np.asarray(y, dtype=float)
+        prediction = self.predict(X)  # type: ignore[attr-defined]
+        ss_res = float(np.sum((y - prediction) ** 2))
+        ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+        if ss_tot == 0.0:
+            # Constant target: perfect if residuals are numerically zero.
+            scale = float(np.sum(y**2)) + 1.0
+            return 1.0 if ss_res < 1e-12 * scale else 0.0
+        return 1.0 - ss_res / ss_tot
+
+
+def check_X_y(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and convert training data to 2-D float X and 1-D y."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit with 0 samples")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X contains NaN or infinite values")
+    return X, y
+
+
+def check_array(X: Any) -> np.ndarray:
+    """Validate and convert prediction input to a 2-D float array."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    return X

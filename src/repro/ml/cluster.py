@@ -1,0 +1,171 @@
+"""Clustering: k-medoids (PAM-style) and k-means.
+
+The paper uses k-medoids to pick IoT sensor locations (Sec. IV-A):
+candidate locations are clustered on their hydraulic signatures and the
+cluster *medoids* — actual candidate locations, unlike k-means centroids —
+become the sensor set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_array
+
+
+class KMedoids(BaseEstimator):
+    """K-medoids by alternating assignment and medoid update (Voronoi
+    iteration), with a k-means++-style seeding on the distance matrix.
+
+    Args:
+        n_clusters: number of medoids.
+        max_iter: iteration cap.
+        random_state: seed for initialisation.
+        metric: "euclidean" (on feature rows) or "precomputed" (X is a
+            square distance matrix).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        max_iter: int = 100,
+        random_state: int | None = None,
+        metric: str = "euclidean",
+    ):
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.random_state = random_state
+        self.metric = metric
+
+    def fit(self, X) -> "KMedoids":
+        X = check_array(X)
+        distances = self._distance_matrix(X)
+        n = distances.shape[0]
+        if self.n_clusters > n:
+            raise ValueError(f"n_clusters={self.n_clusters} > n_samples={n}")
+        rng = np.random.default_rng(self.random_state)
+        medoids = self._plusplus_init(distances, rng)
+        labels = np.argmin(distances[:, medoids], axis=1)
+        for _ in range(self.max_iter):
+            new_medoids = medoids.copy()
+            for cluster in range(self.n_clusters):
+                members = np.nonzero(labels == cluster)[0]
+                if len(members) == 0:
+                    # Re-seed an empty cluster at the point farthest from
+                    # its current medoid assignment.
+                    costs = distances[np.arange(n), medoids[labels]]
+                    new_medoids[cluster] = int(np.argmax(costs))
+                    continue
+                within = distances[np.ix_(members, members)]
+                new_medoids[cluster] = int(members[np.argmin(within.sum(axis=1))])
+            new_labels = np.argmin(distances[:, new_medoids], axis=1)
+            if np.array_equal(new_medoids, medoids) and np.array_equal(new_labels, labels):
+                break
+            medoids, labels = new_medoids, new_labels
+        self.medoid_indices_ = np.sort(medoids)
+        self.labels_ = np.argmin(distances[:, self.medoid_indices_], axis=1)
+        self.inertia_ = float(
+            np.sum(distances[np.arange(n), self.medoid_indices_[self.labels_]])
+        )
+        return self
+
+    def _distance_matrix(self, X: np.ndarray) -> np.ndarray:
+        if self.metric == "precomputed":
+            if X.shape[0] != X.shape[1]:
+                raise ValueError("precomputed metric needs a square matrix")
+            return X
+        if self.metric != "euclidean":
+            raise ValueError(f"unsupported metric {self.metric!r}")
+        squared = np.sum(X**2, axis=1)
+        d2 = squared[:, None] + squared[None, :] - 2.0 * (X @ X.T)
+        return np.sqrt(np.maximum(d2, 0.0))
+
+    def _plusplus_init(self, distances: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = distances.shape[0]
+        medoids = [int(rng.integers(n))]
+        while len(medoids) < self.n_clusters:
+            closest = np.min(distances[:, medoids], axis=1)
+            weights = closest**2
+            total = weights.sum()
+            if total <= 0:
+                remaining = np.setdiff1d(np.arange(n), medoids)
+                medoids.append(int(rng.choice(remaining)))
+                continue
+            medoids.append(int(rng.choice(n, p=weights / total)))
+        return np.array(medoids)
+
+    def predict(self, X) -> np.ndarray:
+        """Nearest-medoid label per row (euclidean metric only)."""
+        self._check_fitted("medoid_indices_")
+        if self.metric == "precomputed":
+            X = check_array(X)
+            return np.argmin(X[:, self.medoid_indices_], axis=1)
+        X = check_array(X)
+        centres = self._fit_rows[self.medoid_indices_]
+        d = np.linalg.norm(X[:, None, :] - centres[None, :, :], axis=2)
+        return np.argmin(d, axis=1)
+
+    def fit_predict(self, X) -> np.ndarray:
+        X = check_array(X)
+        self._fit_rows = X
+        self.fit(X)
+        return self.labels_
+
+
+class KMeans(BaseEstimator):
+    """Lloyd's algorithm with k-means++ seeding."""
+
+    def __init__(self, n_clusters: int = 8, max_iter: int = 200, random_state: int | None = None):
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.random_state = random_state
+
+    def fit(self, X) -> "KMeans":
+        X = check_array(X)
+        n = X.shape[0]
+        if self.n_clusters > n:
+            raise ValueError(f"n_clusters={self.n_clusters} > n_samples={n}")
+        rng = np.random.default_rng(self.random_state)
+        centres = X[self._plusplus_indices(X, rng)]
+        labels = np.zeros(n, dtype=np.int64)
+        for _ in range(self.max_iter):
+            d = np.linalg.norm(X[:, None, :] - centres[None, :, :], axis=2)
+            new_labels = np.argmin(d, axis=1)
+            if np.array_equal(new_labels, labels) and _ > 0:
+                break
+            labels = new_labels
+            for cluster in range(self.n_clusters):
+                members = X[labels == cluster]
+                if len(members):
+                    centres[cluster] = members.mean(axis=0)
+        self.cluster_centers_ = centres
+        self.labels_ = labels
+        d = np.linalg.norm(X - centres[labels], axis=1)
+        self.inertia_ = float(np.sum(d**2))
+        return self
+
+    def _plusplus_indices(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = X.shape[0]
+        chosen = [int(rng.integers(n))]
+        while len(chosen) < self.n_clusters:
+            d = np.min(
+                np.linalg.norm(X[:, None, :] - X[chosen][None, :, :], axis=2), axis=1
+            )
+            weights = d**2
+            total = weights.sum()
+            if total <= 0:
+                remaining = np.setdiff1d(np.arange(n), chosen)
+                chosen.append(int(rng.choice(remaining)))
+                continue
+            chosen.append(int(rng.choice(n, p=weights / total)))
+        return np.array(chosen)
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("cluster_centers_")
+        X = check_array(X)
+        d = np.linalg.norm(X[:, None, :] - self.cluster_centers_[None, :, :], axis=2)
+        return np.argmin(d, axis=1)
+
+    def fit_predict(self, X) -> np.ndarray:
+        self.fit(X)
+        return self.labels_

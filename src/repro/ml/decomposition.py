@@ -1,0 +1,109 @@
+"""Principal component analysis and principal feature analysis.
+
+The paper's sensor-selection discussion cites PCA-based feature selection
+(Lu et al. "Feature selection using principal feature analysis"; Malhi &
+Gao "PCA-based feature selection scheme") as the background for its
+k-medoids placement.  This module implements both: plain PCA, and PFA —
+cluster the features' PCA loading vectors and keep one representative
+feature per cluster, which selects *actual sensors* the way k-medoids
+selects actual locations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_array
+from .cluster import KMedoids
+
+
+class PCA(BaseEstimator):
+    """Principal component analysis via SVD of the centred data.
+
+    Args:
+        n_components: components to keep (None = all).
+    """
+
+    def __init__(self, n_components: int | None = None):
+        self.n_components = n_components
+
+    def fit(self, X) -> "PCA":
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0)
+        centred = X - self.mean_
+        _, singular_values, vt = np.linalg.svd(centred, full_matrices=False)
+        k = self.n_components or vt.shape[0]
+        if not 1 <= k <= vt.shape[0]:
+            raise ValueError(
+                f"n_components must be in [1, {vt.shape[0]}], got {k}"
+            )
+        self.components_ = vt[:k]
+        n = X.shape[0]
+        variance = singular_values**2 / max(n - 1, 1)
+        self.explained_variance_ = variance[:k]
+        total = variance.sum()
+        self.explained_variance_ratio_ = (
+            variance[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("components_")
+        X = check_array(X)
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Z) -> np.ndarray:
+        self._check_fitted("components_")
+        Z = np.asarray(Z, dtype=float)
+        return Z @ self.components_ + self.mean_
+
+
+class PrincipalFeatureAnalysis(BaseEstimator):
+    """Select representative original features via PCA-loading clustering.
+
+    Each feature is represented by its loading vector across the top-q
+    principal components; k-medoids over those vectors picks
+    ``n_features`` representative *original* features — the PFA scheme of
+    the paper's refs [36, 37].
+
+    Args:
+        n_features: features to select.
+        n_components: PCA subspace dimension (default: n_features).
+        random_state: k-medoids seed.
+    """
+
+    def __init__(
+        self,
+        n_features: int = 10,
+        n_components: int | None = None,
+        random_state: int | None = None,
+    ):
+        self.n_features = n_features
+        self.n_components = n_components
+        self.random_state = random_state
+
+    def fit(self, X) -> "PrincipalFeatureAnalysis":
+        X = check_array(X)
+        d = X.shape[1]
+        if not 1 <= self.n_features <= d:
+            raise ValueError(f"n_features must be in [1, {d}], got {self.n_features}")
+        q = self.n_components or min(self.n_features, d, X.shape[0])
+        pca = PCA(n_components=q).fit(X)
+        loadings = pca.components_.T  # (d, q): one row per feature
+        km = KMedoids(
+            n_clusters=self.n_features, random_state=self.random_state
+        ).fit(loadings)
+        self.selected_indices_ = np.sort(km.medoid_indices_)
+        self.pca_ = pca
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("selected_indices_")
+        X = check_array(X)
+        return X[:, self.selected_indices_]
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,114 @@
+"""Stacking ensemble — the machinery behind the paper's HybridRSL.
+
+HybridRSL (Fig. 4) trains Random Forest and SVM on the same dataset,
+concatenates their predicted leak probabilities into a new feature set,
+and feeds that to Logistic Regression.  :class:`StackingClassifier`
+implements exactly that composition for arbitrary base estimators, with
+optional out-of-fold stacking to avoid leaking training labels into the
+meta-learner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin, check_array, check_X_y, clone
+from .model_selection import KFold
+
+
+class StackingClassifier(BaseEstimator, ClassifierMixin):
+    """Two-level stacking: base estimators -> probability features -> meta.
+
+    Args:
+        estimators: list of (name, estimator) base models; each must
+            implement ``predict_proba``.
+        final_estimator: the meta-learner (must accept 2-D features).
+        cv: folds for out-of-fold meta-features; ``cv=1`` reproduces the
+            paper's simpler in-sample stacking (train base models on the
+            full set and stack their in-sample probabilities).
+        passthrough: append the original features to the meta-features.
+        random_state: seed for the internal K-fold shuffle.
+    """
+
+    def __init__(
+        self,
+        estimators: list[tuple[str, BaseEstimator]],
+        final_estimator: BaseEstimator,
+        cv: int = 1,
+        passthrough: bool = False,
+        random_state: int | None = None,
+    ):
+        self.estimators = estimators
+        self.final_estimator = final_estimator
+        self.cv = cv
+        self.passthrough = passthrough
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "StackingClassifier":
+        X, y = check_X_y(X, y)
+        encoded = self._encode_labels(y)
+        if len(self.classes_) == 1:
+            self.fitted_estimators_ = []
+            return self
+
+        if self.cv and self.cv > 1:
+            meta_features = self._out_of_fold_features(X, encoded)
+        else:
+            meta_features = None
+
+        self.fitted_estimators_ = []
+        columns = []
+        for _name, estimator in self.estimators:
+            model = clone(estimator)
+            model.fit(X, encoded)
+            self.fitted_estimators_.append(model)
+            columns.append(self._positive_proba(model, X))
+        in_sample = np.column_stack(columns)
+        if meta_features is None:
+            meta_features = in_sample
+
+        if self.passthrough:
+            meta_features = np.hstack([meta_features, X])
+        self.final_estimator_ = clone(self.final_estimator)
+        self.final_estimator_.fit(meta_features, encoded)
+        return self
+
+    def _out_of_fold_features(self, X: np.ndarray, encoded: np.ndarray) -> np.ndarray:
+        n = X.shape[0]
+        features = np.zeros((n, len(self.estimators)))
+        splitter = KFold(min(self.cv, n), shuffle=True, random_state=self.random_state)
+        for train_idx, test_idx in splitter.split(X):
+            for j, (_name, estimator) in enumerate(self.estimators):
+                model = clone(estimator)
+                model.fit(X[train_idx], encoded[train_idx])
+                features[test_idx, j] = self._positive_proba(model, X[test_idx])
+        return features
+
+    @staticmethod
+    def _positive_proba(model, X: np.ndarray) -> np.ndarray:
+        """P(encoded class 1), robust to single-class base fits."""
+        proba = model.predict_proba(X)
+        if proba.shape[1] == 1:
+            # Single-class model: probability of class 1 is 1 or 0.
+            only = model.classes_[0]
+            return np.full(X.shape[0], float(only == 1))
+        column = int(np.where(model.classes_ == 1)[0][0]) if 1 in model.classes_ else 1
+        return proba[:, column]
+
+    def _meta_features(self, X: np.ndarray) -> np.ndarray:
+        columns = [self._positive_proba(m, X) for m in self.fitted_estimators_]
+        meta = np.column_stack(columns)
+        if self.passthrough:
+            meta = np.hstack([meta, X])
+        return meta
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("fitted_estimators_")
+        X = check_array(X)
+        if len(self.classes_) == 1:
+            return np.ones((X.shape[0], 1))
+        return self.final_estimator_.predict_proba(self._meta_features(X))
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

@@ -1,0 +1,96 @@
+"""Random forest classifier (bagged CART trees with feature subsampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin, check_array, check_X_y
+from .tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(BaseEstimator, ClassifierMixin):
+    """Bootstrap-aggregated decision trees.
+
+    ``predict_proba`` averages the per-tree class distributions, which is
+    what the paper's HybridRSL stacks into the logistic meta-learner.
+
+    Args:
+        n_estimators: number of trees.
+        max_depth: per-tree depth cap.
+        min_samples_leaf: per-tree leaf size floor.
+        max_features: per-split feature subsample ("sqrt" by default).
+        bootstrap: draw each tree's sample with replacement.
+        splitter: "exact" or "hist" (see DecisionTreeClassifier).
+        max_bins: bin count when ``splitter="hist"``.
+        random_state: master seed (per-tree seeds derive from it).
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int | None = 12,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        bootstrap: bool = True,
+        splitter: str = "exact",
+        max_bins: int = 32,
+        random_state: int | None = None,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.splitter = splitter
+        self.max_bins = max_bins
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X, y = check_X_y(X, y)
+        encoded = self._encode_labels(y)
+        rng = np.random.default_rng(self.random_state)
+        n = X.shape[0]
+        binned = None
+        if self.splitter == "hist":
+            from .tree import _bin_features
+
+            binned = _bin_features(X, self.max_bins)
+        tree_classes = np.arange(len(self.classes_))
+        self.estimators_: list[DecisionTreeClassifier] = []
+        for _ in range(self.n_estimators):
+            seed = int(rng.integers(0, 2**31 - 1))
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                splitter=self.splitter,
+                max_bins=self.max_bins,
+                random_state=seed,
+            )
+            if self.bootstrap:
+                indices = rng.integers(0, n, size=n)
+            else:
+                indices = np.arange(n)
+            if binned is not None:
+                codes, edges = binned
+                tree.fit_binned(codes[indices], edges, encoded[indices], tree_classes)
+            else:
+                tree.fit(X[indices], encoded[indices])
+            self.estimators_.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("estimators_")
+        X = check_array(X)
+        n_classes = len(self.classes_)
+        total = np.zeros((X.shape[0], n_classes))
+        for tree in self.estimators_:
+            proba = tree.predict_proba(X)
+            # A bootstrap draw can miss a class entirely; align columns.
+            for j, cls in enumerate(tree.classes_):
+                total[:, int(cls)] += proba[:, j]
+        return total / len(self.estimators_)
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

@@ -1,0 +1,231 @@
+"""Linear models: least-squares regression and logistic regression.
+
+The paper plugs ``LinearR`` and ``LogisticR`` into its profile model
+(Sec. IV-A) and also uses logistic regression as the meta-learner of
+HybridRSL.  Both are implemented directly on numpy/scipy: least squares
+via ``lstsq`` and logistic regression by L-BFGS on the L2-regularised
+negative log-likelihood.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+from .base import (
+    BaseEstimator,
+    ClassifierMixin,
+    RegressorMixin,
+    check_array,
+    check_X_y,
+)
+
+
+class LinearRegression(BaseEstimator, RegressorMixin):
+    """Least squares with optional ridge (L2) regularisation.
+
+    When used as a classifier (``predict_label`` / ``predict_proba``) the
+    regression output is clipped to [0, 1] and thresholded — the standard
+    trick that makes "LinearR" comparable in the paper's Fig. 6.
+
+    Args:
+        fit_intercept: include a bias term (never regularised).
+        alpha: ridge penalty; 0 = ordinary least squares.  Wide telemetry
+            matrices (hundreds of sensors, few hundred rows per node)
+            interpolate under OLS, so the classifier wrapper defaults to
+            a small positive alpha via the plug-and-play registry.
+    """
+
+    def __init__(self, fit_intercept: bool = True, alpha: float = 0.0):
+        self.fit_intercept = fit_intercept
+        self.alpha = alpha
+
+    def fit(self, X, y) -> "LinearRegression":
+        X, y = check_X_y(X, np.asarray(y, dtype=float))
+        if self.fit_intercept:
+            X = np.hstack([np.ones((X.shape[0], 1)), X])
+        if self.alpha > 0.0:
+            d = X.shape[1]
+            penalty = self.alpha * np.eye(d)
+            if self.fit_intercept:
+                penalty[0, 0] = 0.0  # do not shrink the bias
+            coefficients = np.linalg.solve(X.T @ X + penalty, X.T @ y)
+        else:
+            coefficients, *_ = np.linalg.lstsq(X, y, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = float(coefficients[0])
+            self.coef_ = coefficients[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = coefficients
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_array(X)
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Clipped regression output interpreted as P(class 1)."""
+        p1 = np.clip(self.predict(X), 0.0, 1.0)
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict_label(self, X) -> np.ndarray:
+        """Binary labels by thresholding the regression output at 0.5."""
+        return (self.predict(X) >= 0.5).astype(np.int64)
+
+
+class LinearRegressionClassifier(BaseEstimator, ClassifierMixin):
+    """LinearRegression dressed in the binary-classifier API.
+
+    This is what the paper's plug-and-play engine instantiates for
+    "LinearR": fit least squares on 0/1 targets and threshold the score.
+    The cut point is the midpoint of the per-class mean scores (the
+    Fisher/LDA convention) rather than a fixed 0.5 — with imbalanced
+    targets OLS scores cluster near the class prior and a fixed 0.5 would
+    never fire.
+    """
+
+    def __init__(self, fit_intercept: bool = True, alpha: float = 0.0):
+        self.fit_intercept = fit_intercept
+        self.alpha = alpha
+
+    def fit(self, X, y) -> "LinearRegressionClassifier":
+        X, y = check_X_y(X, y)
+        encoded = self._encode_labels(y)
+        self._model = LinearRegression(
+            fit_intercept=self.fit_intercept, alpha=self.alpha
+        )
+        self._model.fit(X, encoded.astype(float))
+        if len(self.classes_) == 2:
+            scores = self._model.predict(X)
+            mean_pos = float(scores[encoded == 1].mean())
+            mean_neg = float(scores[encoded == 0].mean())
+            self.threshold_ = 0.5 * (mean_pos + mean_neg)
+        else:
+            self.threshold_ = 0.5
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Scores recentred so the decision threshold maps to 0.5."""
+        self._check_fitted("_model")
+        if len(self.classes_) == 1:
+            return np.ones((len(check_array(X)), 1))
+        p1 = np.clip(self._model.predict(X) - self.threshold_ + 0.5, 0.0, 1.0)
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    expz = np.exp(z[~positive])
+    out[~positive] = expz / (1.0 + expz)
+    return out
+
+
+class LogisticRegression(BaseEstimator, ClassifierMixin):
+    """Binary logistic regression with L2 regularisation (L-BFGS).
+
+    Args:
+        C: inverse regularisation strength (sklearn convention).
+        fit_intercept: include a bias term.
+        max_iter: L-BFGS iteration cap.
+        class_weight: ``None`` or ``"balanced"``; balanced reweights
+            classes inversely to their frequency, which matters for the
+            per-node leak labels (positives are ~3% of samples).
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        fit_intercept: bool = True,
+        max_iter: int = 200,
+        class_weight: str | None = None,
+    ):
+        self.C = C
+        self.fit_intercept = fit_intercept
+        self.max_iter = max_iter
+        self.class_weight = class_weight
+
+    def fit(self, X, y) -> "LogisticRegression":
+        X, y = check_X_y(X, y)
+        encoded = self._encode_labels(y)
+        n, d = X.shape
+        if len(self.classes_) == 1:
+            self.coef_ = np.zeros(d)
+            self.intercept_ = 0.0
+            return self
+        if len(self.classes_) > 2:
+            raise ValueError(
+                "LogisticRegression is binary; the multi-output wrapper "
+                "decomposes multi-label problems into binary ones"
+            )
+        target = encoded.astype(float)
+        weights = np.ones(n)
+        if self.class_weight == "balanced":
+            positive_fraction = target.mean()
+            if 0.0 < positive_fraction < 1.0:
+                weights = np.where(
+                    target == 1.0, 0.5 / positive_fraction, 0.5 / (1.0 - positive_fraction)
+                )
+        lam = 1.0 / (self.C * n)
+
+        def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            if self.fit_intercept:
+                w, b = theta[:-1], theta[-1]
+            else:
+                w, b = theta, 0.0
+            z = X @ w + b
+            p = _sigmoid(z)
+            eps = 1e-12
+            nll = -np.mean(
+                weights * (target * np.log(p + eps) + (1 - target) * np.log(1 - p + eps))
+            )
+            penalty = 0.5 * lam * float(w @ w) * n
+            grad_z = weights * (p - target) / n
+            grad_w = X.T @ grad_z + lam * w * n / n
+            value = nll + penalty / n
+            if self.fit_intercept:
+                grad = np.concatenate([grad_w, [float(np.sum(grad_z))]])
+            else:
+                grad = grad_w
+            return value, grad
+
+        theta0 = np.zeros(d + (1 if self.fit_intercept else 0))
+        result = minimize(
+            objective,
+            theta0,
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iter},
+        )
+        theta = result.x
+        if self.fit_intercept:
+            self.coef_ = theta[:-1]
+            self.intercept_ = float(theta[-1])
+        else:
+            self.coef_ = theta
+            self.intercept_ = 0.0
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_array(X)
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        if len(self.classes_) == 1:
+            return np.ones((len(check_array(X)), 1))
+        p1 = _sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

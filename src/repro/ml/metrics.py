@@ -1,0 +1,116 @@
+"""Classification metrics, including the paper's "Hamming score".
+
+The paper's score (Sec. V-B) is the number of correctly predicted leak
+events divided by the union of predicted and true leak events — i.e. the
+Jaccard index of the two leak-node sets.  It is exposed here as
+:func:`hamming_score` under the paper's name, alongside the standard
+metrics used in tests and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_arrays(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly matching labels."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    if y_true.size == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def hamming_score(y_true, y_pred) -> float:
+    """The paper's Hamming score: Jaccard index of the positive sets.
+
+    ``|pred AND true| / |pred OR true|`` over binary indicator vectors.
+    By convention the score is 1.0 when both sets are empty (nothing to
+    detect, nothing falsely raised).
+
+    Args:
+        y_true: binary indicator vector (or matrix, scored element-wise
+            as one big set) of true leak nodes.
+        y_pred: binary indicator of predicted leak nodes, same shape.
+    """
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    t = np.asarray(y_true, dtype=bool)
+    p = np.asarray(y_pred, dtype=bool)
+    union = np.sum(t | p)
+    if union == 0:
+        return 1.0
+    return float(np.sum(t & p) / union)
+
+
+def mean_hamming_score(Y_true, Y_pred) -> float:
+    """Average :func:`hamming_score` over the rows of two (n, |V|) matrices.
+
+    This is the quantity the paper's figures plot: the mean per-scenario
+    score over the test set.
+    """
+    Y_true = np.asarray(Y_true)
+    Y_pred = np.asarray(Y_pred)
+    if Y_true.shape != Y_pred.shape:
+        raise ValueError(f"shape mismatch: {Y_true.shape} vs {Y_pred.shape}")
+    if Y_true.ndim != 2:
+        raise ValueError("expected 2-D (n_samples, n_labels) matrices")
+    return float(
+        np.mean([hamming_score(t, p) for t, p in zip(Y_true, Y_pred)])
+    )
+
+
+def precision_score(y_true, y_pred, positive=1) -> float:
+    """TP / (TP + FP); 0 when nothing was predicted positive."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    predicted = y_pred == positive
+    if not np.any(predicted):
+        return 0.0
+    return float(np.mean(y_true[predicted] == positive))
+
+
+def recall_score(y_true, y_pred, positive=1) -> float:
+    """TP / (TP + FN); 0 when no true positives exist."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    actual = y_true == positive
+    if not np.any(actual):
+        return 0.0
+    return float(np.mean(y_pred[actual] == positive))
+
+
+def f1_score(y_true, y_pred, positive=1) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision_score(y_true, y_pred, positive)
+    r = recall_score(y_true, y_pred, positive)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def log_loss(y_true, probabilities, eps: float = 1e-12) -> float:
+    """Binary cross-entropy; ``probabilities`` is P(class 1)."""
+    y_true = np.asarray(y_true, dtype=float)
+    p = np.clip(np.asarray(probabilities, dtype=float), eps, 1.0 - eps)
+    if y_true.shape != p.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {p.shape}")
+    return float(-np.mean(y_true * np.log(p) + (1.0 - y_true) * np.log(1.0 - p)))
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """Counts[i, j] = samples with true class i predicted as class j.
+
+    Classes are the sorted union of labels present in either vector.
+    """
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    index = {c: i for i, c in enumerate(classes)}
+    matrix = np.zeros((len(classes), len(classes)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix

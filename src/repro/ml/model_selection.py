@@ -1,0 +1,90 @@
+"""Data splitting and cross-validation."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .base import BaseEstimator, clone
+
+
+def train_test_split(
+    *arrays,
+    test_size: float = 0.25,
+    random_state: int | None = None,
+    shuffle: bool = True,
+):
+    """Split arrays into train/test partitions along axis 0.
+
+    Returns ``[a_train, a_test, b_train, b_test, ...]`` for the given
+    arrays, mirroring the sklearn call the paper's pipeline uses.
+    """
+    if not arrays:
+        raise ValueError("at least one array required")
+    n = len(arrays[0])
+    for a in arrays:
+        if len(a) != n:
+            raise ValueError("all arrays must have the same length")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    n_test = max(int(round(n * test_size)), 1)
+    if n_test >= n:
+        raise ValueError(f"test_size {test_size} leaves no training samples")
+    indices = np.arange(n)
+    if shuffle:
+        rng = np.random.default_rng(random_state)
+        rng.shuffle(indices)
+    test_idx, train_idx = indices[:n_test], indices[n_test:]
+    out = []
+    for a in arrays:
+        a = np.asarray(a)
+        out.extend([a[train_idx], a[test_idx]])
+    return out
+
+
+class KFold:
+    """K-fold cross-validation splitter."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, random_state: int | None = None):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_indices, test_indices) for each fold."""
+        n = len(X)
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        indices = np.arange(n)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            rng.shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits, dtype=int)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield train, test
+            start += size
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X,
+    y,
+    cv: int = 5,
+    random_state: int | None = None,
+) -> np.ndarray:
+    """Accuracy of a fresh clone of ``estimator`` on each fold."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in KFold(cv, shuffle=True, random_state=random_state).split(X):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(model.score(X[test_idx], y[test_idx]))
+    return np.array(scores)

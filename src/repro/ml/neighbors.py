@@ -1,0 +1,76 @@
+"""k-nearest-neighbours classifier.
+
+Another plug-and-play technique for the analytic engine: non-parametric,
+no training beyond memorising the samples, and a useful sanity baseline
+for the leak-signature space (a leak's Δ-pattern should resemble other
+leaks at the same node).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin, check_array, check_X_y
+
+
+class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
+    """Majority vote over the k nearest training samples (euclidean).
+
+    Args:
+        n_neighbors: the k.
+        weights: "uniform" or "distance" (inverse-distance weighting).
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform"):
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        if self.weights not in ("uniform", "distance"):
+            raise ValueError(f"weights must be 'uniform' or 'distance', got {self.weights!r}")
+        if self.n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {self.n_neighbors}")
+        X, y = check_X_y(X, y)
+        self._X = X
+        self._y = self._encode_labels(y)
+        return self
+
+    def _neighbour_votes(self, X: np.ndarray) -> np.ndarray:
+        """(n_queries, n_classes) vote mass from the k nearest samples."""
+        self._check_fitted("_X")
+        X = check_array(X)
+        k = min(self.n_neighbors, self._X.shape[0])
+        # Squared euclidean distances, blocked to bound memory.
+        votes = np.zeros((X.shape[0], len(self.classes_)))
+        block = max(1, 10_000_000 // max(self._X.shape[0], 1))
+        train_sq = np.sum(self._X**2, axis=1)
+        for start in range(0, X.shape[0], block):
+            chunk = X[start : start + block]
+            d2 = (
+                np.sum(chunk**2, axis=1)[:, None]
+                + train_sq[None, :]
+                - 2.0 * chunk @ self._X.T
+            )
+            nearest = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
+            for row_offset, indices in enumerate(nearest):
+                row = start + row_offset
+                if self.weights == "distance":
+                    distances = np.sqrt(np.maximum(d2[row_offset, indices], 0.0))
+                    w = 1.0 / (distances + 1e-9)
+                else:
+                    w = np.ones(len(indices))
+                for index, weight in zip(indices, w):
+                    votes[row, self._y[index]] += weight
+        return votes
+
+    def predict_proba(self, X) -> np.ndarray:
+        votes = self._neighbour_votes(X)
+        if votes.shape[1] == 1:
+            return np.ones((votes.shape[0], 1))
+        totals = votes.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return votes / totals
+
+    def predict(self, X) -> np.ndarray:
+        votes = self._neighbour_votes(X)
+        return self.classes_[np.argmax(votes, axis=1)]

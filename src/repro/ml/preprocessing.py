@@ -1,0 +1,68 @@
+"""Feature preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_array
+
+
+class StandardScaler(BaseEstimator):
+    """Standardise features to zero mean and unit variance.
+
+    Constant features (zero variance) are centred but left unscaled, so
+    dead sensors do not blow up downstream linear models.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("mean_")
+        X = check_array(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fitted with "
+                f"{self.mean_.shape[0]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self._check_fitted("mean_")
+        X = check_array(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features to the [0, 1] range (constant features map to 0)."""
+
+    def fit(self, X, y=None) -> "MinMaxScaler":
+        X = check_array(X)
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        span[span == 0.0] = 1.0
+        self.span_ = span
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("min_")
+        X = check_array(X)
+        return (X - self.min_) / self.span_
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,142 @@
+"""Linear support vector machine with probability calibration.
+
+The paper's "SVM" classifier needs ``predict_proba`` (Phase II aggregates
+leak probabilities across sources), so the margin classifier is paired
+with Platt scaling: a one-dimensional logistic fit on the decision values.
+
+The primal squared-hinge objective is smooth, so L-BFGS converges quickly
+and the implementation stays pure numpy/scipy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+from .base import BaseEstimator, ClassifierMixin, check_array, check_X_y
+from .linear import _sigmoid
+
+
+class LinearSVC(BaseEstimator, ClassifierMixin):
+    """L2-regularised squared-hinge linear SVM (binary).
+
+    Args:
+        C: misclassification cost (sklearn convention).
+        fit_intercept: include a bias term.
+        max_iter: L-BFGS iteration cap.
+        probability: when True, fit Platt scaling after training so
+            ``predict_proba`` is available.
+        random_state: seed for the internal calibration split.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        fit_intercept: bool = True,
+        max_iter: int = 200,
+        probability: bool = True,
+        random_state: int | None = None,
+    ):
+        self.C = C
+        self.fit_intercept = fit_intercept
+        self.max_iter = max_iter
+        self.probability = probability
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "LinearSVC":
+        X, y = check_X_y(X, y)
+        encoded = self._encode_labels(y)
+        n, d = X.shape
+        if len(self.classes_) == 1:
+            self.coef_ = np.zeros(d)
+            self.intercept_ = 0.0
+            self._platt = (1.0, 0.0)
+            return self
+        if len(self.classes_) > 2:
+            raise ValueError("LinearSVC is binary-only")
+        signs = np.where(encoded == 1, 1.0, -1.0)
+
+        def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            if self.fit_intercept:
+                w, b = theta[:-1], theta[-1]
+            else:
+                w, b = theta, 0.0
+            margins = signs * (X @ w + b)
+            violation = np.maximum(1.0 - margins, 0.0)
+            value = 0.5 * float(w @ w) + self.C * float(np.sum(violation**2))
+            grad_margin = -2.0 * self.C * violation * signs
+            grad_w = w + X.T @ grad_margin
+            if self.fit_intercept:
+                grad = np.concatenate([grad_w, [float(np.sum(grad_margin))]])
+            else:
+                grad = grad_w
+            return value, grad
+
+        theta0 = np.zeros(d + (1 if self.fit_intercept else 0))
+        result = minimize(
+            objective,
+            theta0,
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iter},
+        )
+        theta = result.x
+        if self.fit_intercept:
+            self.coef_ = theta[:-1]
+            self.intercept_ = float(theta[-1])
+        else:
+            self.coef_ = theta
+            self.intercept_ = 0.0
+        if self.probability:
+            self._fit_platt(X, encoded)
+        return self
+
+    # ------------------------------------------------------------------
+    def _fit_platt(self, X: np.ndarray, encoded: np.ndarray) -> None:
+        """Platt scaling: logistic fit p = sigmoid(a * decision + b)."""
+        decision = X @ self.coef_ + self.intercept_
+        target = encoded.astype(float)
+        # Platt's target smoothing keeps the calibration from saturating.
+        n_pos = float(np.sum(target == 1.0))
+        n_neg = float(len(target) - n_pos)
+        hi = (n_pos + 1.0) / (n_pos + 2.0)
+        lo = 1.0 / (n_neg + 2.0)
+        smoothed = np.where(target == 1.0, hi, lo)
+
+        def objective(params: np.ndarray) -> tuple[float, np.ndarray]:
+            a, b = params
+            p = _sigmoid(a * decision + b)
+            eps = 1e-12
+            value = -float(
+                np.mean(smoothed * np.log(p + eps) + (1 - smoothed) * np.log(1 - p + eps))
+            )
+            grad_z = (p - smoothed) / len(decision)
+            return value, np.array(
+                [float(grad_z @ decision), float(np.sum(grad_z))]
+            )
+
+        result = minimize(objective, np.array([1.0, 0.0]), jac=True, method="L-BFGS-B")
+        self._platt = (float(result.x[0]), float(result.x[1]))
+
+    # ------------------------------------------------------------------
+    def decision_function(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_array(X)
+        return X @ self.coef_ + self.intercept_
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        if len(self.classes_) == 1:
+            return np.full(len(check_array(X)), self.classes_[0])
+        decision = self.decision_function(X)
+        return self.classes_[(decision >= 0.0).astype(np.int64)]
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        if len(self.classes_) == 1:
+            return np.ones((len(check_array(X)), 1))
+        if not self.probability:
+            raise RuntimeError("LinearSVC was fitted with probability=False")
+        a, b = self._platt
+        p1 = _sigmoid(a * self.decision_function(X) + b)
+        return np.column_stack([1.0 - p1, p1])

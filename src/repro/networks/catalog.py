@@ -1,0 +1,48 @@
+"""Named registry of the evaluation networks.
+
+The experiment harness refers to networks by name ("epanet", "wssc"), so
+adding a new network here makes it available to every experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..hydraulics import WaterNetwork
+from .epanet_canonical import epanet_canonical
+from .synthetic import two_loop_test_network
+from .wssc_subnet import wssc_subnet
+
+_BUILDERS: dict[str, Callable[..., WaterNetwork]] = {
+    "epanet": epanet_canonical,
+    "wssc": wssc_subnet,
+    "two-loop": lambda seed=0: two_loop_test_network(),
+}
+
+
+def available_networks() -> list[str]:
+    """Names accepted by :func:`build_network`."""
+    return sorted(_BUILDERS)
+
+
+def build_network(name: str, seed: int | None = None) -> WaterNetwork:
+    """Build a registered network by name.
+
+    Args:
+        name: one of :func:`available_networks`.
+        seed: generator seed; None uses each builder's paper-default.
+
+    Raises:
+        KeyError: for unknown names (message lists the valid ones).
+    """
+    key = name.strip().lower()
+    if key not in _BUILDERS:
+        raise KeyError(f"unknown network {name!r}; available: {available_networks()}")
+    if seed is None:
+        return _BUILDERS[key]()
+    return _BUILDERS[key](seed=seed)
+
+
+def register_network(name: str, builder: Callable[..., WaterNetwork]) -> None:
+    """Register a custom network builder (plug-and-play extension point)."""
+    _BUILDERS[name.strip().lower()] = builder

@@ -1,0 +1,171 @@
+"""EPA-NET: the canonical evaluation network.
+
+The paper's EPA-NET is "a canonical water network provided by EPANET" with
+96 nodes, 118 pipes (links), 2 pumps, 1 valve, 3 tanks and 2 water sources
+(Fig. 5).  The distributed INP is not available offline, so this module
+regenerates a network with exactly those component counts and the same
+structural character: a looped distribution zone, two pumped sources, three
+elevated tanks at local high points, heterogeneous diameters and a diurnal
+demand pattern.
+
+Node/link counts (matching the Fig. 5 caption):
+
+* nodes: 91 junctions + 2 reservoirs + 3 tanks = 96
+* links: 115 pipes + 2 pumps + 1 valve   = 118
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hydraulics import LinkStatus, ValveType, WaterNetwork
+from .synthetic import (
+    assign_diameters,
+    attach_standard_pattern,
+    grid_candidate_edges,
+    jittered_grid_positions,
+    looped_backbone,
+    terrain_elevation,
+)
+
+#: Grid layout: 13 x 7 = 91 junctions.
+_ROWS, _COLS = 13, 7
+_SPACING = 320.0  # metres between adjacent junctions
+#: Junction pipes: 118 links - 2 pumps - 1 valve = 115 pipes; of those,
+#: 3 connect tanks and 1 is consumed by the valve bypass arrangement.
+_N_JUNCTION_PIPES = 111
+_N_JUNCTIONS = _ROWS * _COLS
+
+
+def epanet_canonical(seed: int = 20170601) -> WaterNetwork:
+    """Build the EPA-NET surrogate. Deterministic for a given seed."""
+    rng = np.random.default_rng(seed)
+    net = WaterNetwork("EPA-NET")
+    net.options.hydraulic_timestep = 900.0  # the paper's 15-min IoT slot
+    net.options.pattern_timestep = 3600.0
+
+    positions = jittered_grid_positions(_ROWS, _COLS, _SPACING, rng)
+    pattern = attach_standard_pattern(net)
+
+    # --- junctions -----------------------------------------------------
+    elevations = []
+    for i, (x, y) in enumerate(positions):
+        elevation = terrain_elevation(x, y, scale=1500.0, relief=18.0)
+        elevations.append(elevation)
+        demand = float(rng.lognormal(mean=np.log(8e-4), sigma=0.5))
+        net.add_junction(
+            f"J{i + 1}",
+            elevation=elevation,
+            base_demand=demand,
+            demand_pattern=pattern,
+            coordinates=(x, y),
+        )
+
+    # --- junction pipe grid -------------------------------------------
+    candidates = grid_candidate_edges(_ROWS, _COLS, rng)
+    edges = looped_backbone(_N_JUNCTIONS, _N_JUNCTION_PIPES, positions, candidates, rng)
+
+    import networkx as nx
+
+    graph = nx.Graph(edges)
+    # Sources enter at two opposite corners of the grid.
+    inlet_a = 0
+    inlet_b = _N_JUNCTIONS - 1
+    diameters = assign_diameters(graph, [inlet_a, inlet_b])
+
+    pipe_id = 0
+    for a, b in edges:
+        pipe_id += 1
+        (x1, y1), (x2, y2) = positions[a], positions[b]
+        length = float(np.hypot(x2 - x1, y2 - y1)) * 1.1
+        roughness = float(rng.uniform(95.0, 140.0))
+        net.add_pipe(
+            f"P{pipe_id}",
+            f"J{a + 1}",
+            f"J{b + 1}",
+            length=length,
+            diameter=diameters[tuple(sorted((a, b)))],
+            roughness=roughness,
+        )
+
+    # --- sources: two reservoirs feeding through pumps -----------------
+    total_demand = sum(j.base_demand for j in net.junctions())
+    design_flow = total_demand  # each pump sized for the whole zone
+    design_head = 55.0
+    net.add_curve("PUMP-CURVE-1", [(design_flow, design_head)])
+    net.add_curve("PUMP-CURVE-2", [(design_flow * 0.8, design_head * 0.95)])
+
+    (xa, ya) = positions[inlet_a]
+    (xb, yb) = positions[inlet_b]
+    net.add_reservoir("SRC1", base_head=8.0, coordinates=(xa - 400.0, ya - 400.0))
+    net.add_reservoir("SRC2", base_head=6.0, coordinates=(xb + 400.0, yb + 400.0))
+    net.add_pump("PU1", "SRC1", f"J{inlet_a + 1}", curve_name="PUMP-CURVE-1")
+    net.add_pump("PU2", "SRC2", f"J{inlet_b + 1}", curve_name="PUMP-CURVE-2")
+
+    # --- tanks at the three highest junctions (spread apart) -----------
+    order = np.argsort(elevations)[::-1]
+    tank_sites: list[int] = []
+    for i in order:
+        if all(_grid_distance(int(i), s) > 3 for s in tank_sites):
+            tank_sites.append(int(i))
+        if len(tank_sites) == 3:
+            break
+    for t, site in enumerate(tank_sites, start=1):
+        x, y = positions[site]
+        tank_elev = elevations[site] + 32.0
+        net.add_tank(
+            f"T{t}",
+            elevation=tank_elev,
+            init_level=4.0,
+            min_level=1.0,
+            max_level=7.0,
+            diameter=14.0,
+            coordinates=(x + 60.0, y + 60.0),
+        )
+        pipe_id += 1
+        net.add_pipe(
+            f"P{pipe_id}",
+            f"J{site + 1}",
+            f"T{t}",
+            length=80.0,
+            diameter=0.3,
+            roughness=130.0,
+        )
+
+    # --- one TCV on a trunk main near inlet A, with a parallel pipe ----
+    # The valve replaces a pipe between inlet_a and its east neighbour;
+    # one extra pipe keeps the pipe count at 115.
+    neighbour = inlet_a + 1  # east neighbour in the grid
+    pipe_id += 1
+    net.add_pipe(
+        f"P{pipe_id}",
+        f"J{inlet_a + 1}",
+        f"J{neighbour + 1}",
+        length=_SPACING * 1.1,
+        diameter=0.35,
+        roughness=125.0,
+    )
+    net.add_valve(
+        "V1",
+        f"J{inlet_a + 1}",
+        f"J{neighbour + 1}",
+        valve_type=ValveType.TCV,
+        diameter=0.35,
+        setting=2.0,
+        status=LinkStatus.OPEN,
+    )
+
+    net.validate()
+    counts = net.describe()
+    assert counts["nodes"] == 96, counts
+    assert counts["links"] == 118, counts
+    assert counts["pumps"] == 2 and counts["valves"] == 1, counts
+    assert counts["tanks"] == 3 and counts["reservoirs"] == 2, counts
+    return net
+
+
+def _grid_distance(i: int, j: int) -> int:
+    """Manhattan distance between two grid indices."""
+    ri, ci = divmod(i, _COLS)
+    rj, cj = divmod(j, _COLS)
+    return abs(ri - rj) + abs(ci - cj)

@@ -1,0 +1,168 @@
+"""WSSC-SUBNET: surrogate for the paper's real-world evaluation network.
+
+The paper evaluates on "a real subzone of WSSC water service area" with 299
+nodes, 316 pipes, 2 valves and one water source (Fig. 5).  That INP is
+proprietary, so this module generates a deterministic suburban district
+with exactly the same component counts and the same structural character:
+a looped backbone of mains with long, mostly-branched residential laterals,
+a single gravity source at the high end of a sloped terrain, and two inline
+valves on the backbone.
+
+Node/link counts (matching the Fig. 5 caption):
+
+* nodes: 298 junctions + 1 reservoir = 299
+* links: 314 pipes + 2 valves        = 316
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+from ..hydraulics import LinkStatus, ValveType, WaterNetwork
+from .synthetic import (
+    attach_standard_pattern,
+    grid_candidate_edges,
+    jittered_grid_positions,
+    looped_backbone,
+)
+
+_B_ROWS, _B_COLS = 8, 6            # 48 backbone junctions
+_B_SPACING = 420.0
+_N_BACKBONE = _B_ROWS * _B_COLS
+_N_BACKBONE_EDGES = 63             # 48-node backbone with 16 loops
+_N_LATERAL = 250                   # lateral junctions (one pipe each)
+
+
+def _terrain(x: float, y: float) -> float:
+    """Sloped suburban terrain: high in the north-west, valley floor SE."""
+    slope = 30.0 * (1.0 - (x + y) / 6000.0)
+    ripple = 4.0 * math.sin(x / 700.0) * math.cos(y / 550.0)
+    return max(slope + ripple + 12.0, 2.0)
+
+
+def wssc_subnet(seed: int = 20170602) -> WaterNetwork:
+    """Build the WSSC-SUBNET surrogate. Deterministic for a given seed."""
+    rng = np.random.default_rng(seed)
+    net = WaterNetwork("WSSC-SUBNET")
+    net.options.hydraulic_timestep = 900.0
+    net.options.pattern_timestep = 3600.0
+    pattern = attach_standard_pattern(net)
+
+    # --- backbone ------------------------------------------------------
+    positions = jittered_grid_positions(_B_ROWS, _B_COLS, _B_SPACING, rng)
+    candidates = grid_candidate_edges(_B_ROWS, _B_COLS, rng)
+    backbone_edges = looped_backbone(
+        _N_BACKBONE, _N_BACKBONE_EDGES, positions, candidates, rng
+    )
+
+    junction_positions: list[tuple[float, float]] = list(positions)
+    parents: list[int | None] = [None] * _N_BACKBONE
+
+    # --- laterals: branched residential trees off the backbone ---------
+    # Growth is preferential toward recently added lateral nodes, which
+    # produces the chain-with-spurs look of suburban streets.
+    attach_pool = list(range(_N_BACKBONE))
+    for _ in range(_N_LATERAL):
+        if rng.random() < 0.35 or len(attach_pool) == _N_BACKBONE:
+            parent = int(rng.choice(_N_BACKBONE))
+        else:
+            recent = attach_pool[_N_BACKBONE:]
+            parent = int(recent[int(rng.integers(len(recent)))]) if recent else int(
+                rng.choice(_N_BACKBONE)
+            )
+        px, py = junction_positions[parent]
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        step = rng.uniform(90.0, 160.0)
+        new_index = len(junction_positions)
+        junction_positions.append((px + step * math.cos(angle), py + step * math.sin(angle)))
+        parents.append(parent)
+        attach_pool.append(new_index)
+
+    n_junctions = len(junction_positions)
+    assert n_junctions == _N_BACKBONE + _N_LATERAL == 298
+
+    # --- junctions ------------------------------------------------------
+    for i, (x, y) in enumerate(junction_positions):
+        is_backbone = i < _N_BACKBONE
+        mean_demand = 4e-4 if is_backbone else 2e-4
+        demand = float(rng.lognormal(mean=np.log(mean_demand), sigma=0.45))
+        net.add_junction(
+            f"N{i + 1}",
+            elevation=_terrain(x, y),
+            base_demand=demand,
+            demand_pattern=pattern,
+            coordinates=(x, y),
+        )
+
+    # --- pipes ------------------------------------------------------------
+    graph = nx.Graph(backbone_edges)
+    source_attach = 0  # north-west corner, highest terrain
+    hops = nx.single_source_shortest_path_length(graph, source_attach)
+
+    pipe_id = 0
+    for a, b in backbone_edges:
+        pipe_id += 1
+        (x1, y1), (x2, y2) = junction_positions[a], junction_positions[b]
+        depth = min(hops.get(a, 9), hops.get(b, 9))
+        diameter = 0.4 if depth <= 2 else (0.3 if depth <= 5 else 0.25)
+        net.add_pipe(
+            f"M{pipe_id}",
+            f"N{a + 1}",
+            f"N{b + 1}",
+            length=float(np.hypot(x2 - x1, y2 - y1)) * 1.15,
+            diameter=diameter,
+            roughness=float(rng.uniform(90.0, 130.0)),
+        )
+    for i in range(_N_BACKBONE, n_junctions):
+        parent = parents[i]
+        assert parent is not None
+        pipe_id += 1
+        (x1, y1), (x2, y2) = junction_positions[parent], junction_positions[i]
+        net.add_pipe(
+            f"L{pipe_id}",
+            f"N{parent + 1}",
+            f"N{i + 1}",
+            length=float(np.hypot(x2 - x1, y2 - y1)) * 1.1,
+            diameter=0.15,
+            roughness=float(rng.uniform(85.0, 120.0)),
+        )
+
+    # --- single gravity source ------------------------------------------
+    sx, sy = junction_positions[source_attach]
+    source_elev = _terrain(sx, sy)
+    net.add_reservoir(
+        "SOURCE", base_head=source_elev + 52.0, coordinates=(sx - 300.0, sy - 300.0)
+    )
+    pipe_id += 1
+    net.add_pipe(
+        f"M{pipe_id}",
+        "SOURCE",
+        f"N{source_attach + 1}",
+        length=350.0,
+        diameter=0.5,
+        roughness=135.0,
+    )
+
+    # --- two inline TCVs on the backbone ---------------------------------
+    valve_edges = [backbone_edges[len(backbone_edges) // 3], backbone_edges[2 * len(backbone_edges) // 3]]
+    for v, (a, b) in enumerate(valve_edges, start=1):
+        net.add_valve(
+            f"V{v}",
+            f"N{a + 1}",
+            f"N{b + 1}",
+            valve_type=ValveType.TCV,
+            diameter=0.3,
+            setting=1.5,
+            status=LinkStatus.OPEN,
+        )
+
+    net.validate()
+    counts = net.describe()
+    assert counts["nodes"] == 299, counts
+    assert counts["links"] == 316, counts
+    assert counts["pipes"] == 314 and counts["valves"] == 2, counts
+    assert counts["reservoirs"] == 1 and counts["tanks"] == 0, counts
+    return net

@@ -1,0 +1,69 @@
+"""External observations: weather (freeze priors) and human reports."""
+
+from .geo import distance, network_bounding_box, nodes_within
+from .markov_weather import MarkovWeatherConfig, MarkovWeatherModel, WeatherTrace
+from .reports import (
+    DEFAULT_ARRIVAL_RATE,
+    DEFAULT_FALSE_POSITIVE,
+    paper_pmf,
+    poisson_pmf,
+    report_confidence,
+    sample_report_count,
+)
+from .social import (
+    TWEET_SCATTER_STD,
+    Clique,
+    HumanObservation,
+    Tweet,
+    TweetSimulator,
+    extract_cliques,
+)
+from .tas import (
+    FilterReport,
+    RawTweet,
+    TweetTextGenerator,
+    calibrate_p_e,
+    filter_corpus,
+    relevance_score,
+)
+from .weather import (
+    DEFAULT_P_FREEZE,
+    DEFAULT_P_LEAK_GIVEN_FREEZE,
+    FREEZE_THRESHOLD_F,
+    FreezeModel,
+    WeatherObservation,
+    is_freezing,
+)
+
+__all__ = [
+    "Clique",
+    "DEFAULT_ARRIVAL_RATE",
+    "DEFAULT_FALSE_POSITIVE",
+    "DEFAULT_P_FREEZE",
+    "DEFAULT_P_LEAK_GIVEN_FREEZE",
+    "FREEZE_THRESHOLD_F",
+    "FilterReport",
+    "FreezeModel",
+    "HumanObservation",
+    "MarkovWeatherConfig",
+    "MarkovWeatherModel",
+    "RawTweet",
+    "TWEET_SCATTER_STD",
+    "Tweet",
+    "TweetSimulator",
+    "TweetTextGenerator",
+    "WeatherObservation",
+    "WeatherTrace",
+    "calibrate_p_e",
+    "distance",
+    "extract_cliques",
+    "filter_corpus",
+    "is_freezing",
+    "network_bounding_box",
+    "nodes_within",
+    "paper_pmf",
+    "poisson_pmf",
+    "relevance_score",
+    "report_confidence",
+    "sample_report_count",
+]

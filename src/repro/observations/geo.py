@@ -1,0 +1,46 @@
+"""Geometric helpers shared by the observation models."""
+
+from __future__ import annotations
+
+import math
+
+from ..hydraulics import WaterNetwork
+
+
+def distance(a: tuple[float, float], b: tuple[float, float]) -> float:
+    """Euclidean distance between two map points (m)."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def network_bounding_box(
+    network: WaterNetwork, margin: float = 0.0
+) -> tuple[float, float, float, float]:
+    """(xmin, ymin, xmax, ymax) of all node coordinates, plus a margin."""
+    xs = [node.coordinates[0] for node in network.nodes.values()]
+    ys = [node.coordinates[1] for node in network.nodes.values()]
+    return (
+        min(xs) - margin,
+        min(ys) - margin,
+        max(xs) + margin,
+        max(ys) + margin,
+    )
+
+
+def nodes_within(
+    network: WaterNetwork,
+    centre: tuple[float, float],
+    radius: float,
+    junctions_only: bool = True,
+) -> list[str]:
+    """Names of nodes within ``radius`` metres of ``centre``.
+
+    This realises the paper's clique definition
+    ``c = {v : |l_c - l_v| < gamma}``.
+    """
+    names = []
+    for node in network.nodes.values():
+        if junctions_only and node.node_type != "Junction":
+            continue
+        if distance(node.coordinates, centre) < radius:
+            names.append(node.name)
+    return names

@@ -1,0 +1,149 @@
+"""Markov-chain weather model (the paper's stated future work).
+
+"Markov chain will be studied for the modeling of weather information in
+the future."  This module provides that study: a two-state
+(normal / cold-snap) Markov chain over IoT time slots with AR(1)
+temperature dynamics inside each state.  Cold snaps arrive rarely,
+persist for hours-days, and pull temperatures below the 20F freezing
+threshold — matching the episodic structure of the January-April 2016
+record the paper collected tweets over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .weather import FREEZE_THRESHOLD_F
+
+
+@dataclass(frozen=True)
+class MarkovWeatherConfig:
+    """Parameters of the two-state slot-level weather chain.
+
+    Attributes:
+        p_enter_snap: per-slot probability of entering a cold snap.
+        p_exit_snap: per-slot probability of a snap ending.
+        normal_mean_f: mean temperature in the normal state.
+        snap_mean_f: mean temperature during a cold snap (below 20F).
+        ar_coefficient: AR(1) persistence of the temperature anomaly.
+        noise_f: per-slot temperature innovation std.
+    """
+
+    p_enter_snap: float = 0.002
+    p_exit_snap: float = 0.02
+    normal_mean_f: float = 42.0
+    snap_mean_f: float = 12.0
+    ar_coefficient: float = 0.95
+    noise_f: float = 1.5
+
+    def __post_init__(self) -> None:
+        for name in ("p_enter_snap", "p_exit_snap"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {value}")
+        if not 0.0 <= self.ar_coefficient < 1.0:
+            raise ValueError("ar_coefficient must be in [0, 1)")
+
+    @property
+    def stationary_snap_probability(self) -> float:
+        """Long-run fraction of slots spent in a cold snap."""
+        return self.p_enter_snap / (self.p_enter_snap + self.p_exit_snap)
+
+    @property
+    def expected_snap_length(self) -> float:
+        """Mean snap duration in slots (geometric)."""
+        return 1.0 / self.p_exit_snap
+
+
+@dataclass
+class WeatherTrace:
+    """A simulated slot-level weather record.
+
+    Attributes:
+        temperatures_f: per-slot temperature.
+        in_snap: per-slot cold-snap indicator.
+    """
+
+    temperatures_f: np.ndarray
+    in_snap: np.ndarray
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.temperatures_f)
+
+    def freezing_slots(self) -> np.ndarray:
+        """Indices of slots at/below the 20F freeze threshold."""
+        return np.nonzero(self.temperatures_f <= FREEZE_THRESHOLD_F)[0]
+
+    def snap_episodes(self) -> list[tuple[int, int]]:
+        """(start, end) slot ranges of each cold snap (end exclusive)."""
+        episodes = []
+        start = None
+        for i, flag in enumerate(self.in_snap):
+            if flag and start is None:
+                start = i
+            elif not flag and start is not None:
+                episodes.append((start, i))
+                start = None
+        if start is not None:
+            episodes.append((start, len(self.in_snap)))
+        return episodes
+
+
+class MarkovWeatherModel:
+    """Simulates the two-state weather chain.
+
+    Args:
+        config: chain parameters.
+        seed: RNG seed.
+    """
+
+    def __init__(self, config: MarkovWeatherConfig | None = None, seed: int = 0):
+        self.config = config or MarkovWeatherConfig()
+        self._rng = np.random.default_rng(seed)
+
+    def simulate(self, n_slots: int, start_in_snap: bool = False) -> WeatherTrace:
+        """Generate a ``n_slots``-long weather trace.
+
+        Raises:
+            ValueError: for non-positive ``n_slots``.
+        """
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        cfg = self.config
+        in_snap = np.zeros(n_slots, dtype=bool)
+        temperatures = np.zeros(n_slots)
+        snap = start_in_snap
+        anomaly = 0.0
+        for i in range(n_slots):
+            if snap:
+                if self._rng.random() < cfg.p_exit_snap:
+                    snap = False
+            else:
+                if self._rng.random() < cfg.p_enter_snap:
+                    snap = True
+            in_snap[i] = snap
+            mean = cfg.snap_mean_f if snap else cfg.normal_mean_f
+            anomaly = cfg.ar_coefficient * anomaly + self._rng.normal(
+                0.0, cfg.noise_f
+            )
+            temperatures[i] = mean + anomaly
+        return WeatherTrace(temperatures_f=temperatures, in_snap=in_snap)
+
+    def freeze_risk_forecast(
+        self, current_in_snap: bool, horizon_slots: int, n_paths: int = 200
+    ) -> float:
+        """Monte-Carlo P(any freezing slot within the horizon).
+
+        Decision-support uses this to pre-position crews before a snap.
+        """
+        if horizon_slots < 1:
+            raise ValueError("horizon_slots must be >= 1")
+        hits = 0
+        for _ in range(n_paths):
+            trace = self.simulate(horizon_slots, start_in_snap=current_in_snap)
+            if len(trace.freezing_slots()) > 0:
+                hits += 1
+        return hits / n_paths

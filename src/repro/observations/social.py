@@ -1,0 +1,189 @@
+"""Social (Twitter) observation model — the TAS surrogate.
+
+The paper's Tweet Acquisition System collects "leak-related" tweets; each
+geo-tagged report seeds a *clique* — all nodes within distance ``gamma``
+of the report location (Sec. III-D).  Relevant tweets cluster around real
+leaks; false positives (probability ``p_e``) land anywhere in the service
+area.  Phase II uses the cliques as higher-order potentials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hydraulics import WaterNetwork
+from .geo import distance, network_bounding_box, nodes_within
+from .reports import (
+    DEFAULT_ARRIVAL_RATE,
+    DEFAULT_FALSE_POSITIVE,
+    report_confidence,
+    sample_report_count,
+)
+
+#: How tightly relevant tweets scatter around the true leak (metres);
+#: people report from their doorstep, not the pipe joint itself.
+TWEET_SCATTER_STD = 20.0
+
+
+@dataclass(frozen=True)
+class Tweet:
+    """One geo-tagged leak report."""
+
+    location: tuple[float, float]
+    slot: int
+    is_relevant: bool
+
+
+@dataclass(frozen=True)
+class Clique:
+    """Nodes implicated by a group of co-located reports.
+
+    Attributes:
+        nodes: junction names within ``gamma`` of the report centroid.
+        centre: report centroid (m).
+        report_count: tweets merged into this clique (``k`` of Eq. 3).
+        confidence: ``p_t = 1 - p_e**k``.
+    """
+
+    nodes: tuple[str, ...]
+    centre: tuple[float, float]
+    report_count: int
+    confidence: float
+
+
+@dataclass(frozen=True)
+class HumanObservation:
+    """Everything Phase II gets from the social channel."""
+
+    cliques: tuple[Clique, ...] = field(default_factory=tuple)
+    gamma: float = 30.0
+
+    @property
+    def total_reports(self) -> int:
+        return sum(c.report_count for c in self.cliques)
+
+
+class TweetSimulator:
+    """Generates tweet streams for failure scenarios.
+
+    Args:
+        network: target network (for geometry).
+        arrival_rate: lambda, reports per IoT slot (paper: 1 / 15 min).
+        false_positive: p_e, probability a report is unrelated (0.3).
+        scatter_std: spatial scatter of relevant reports (m).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        network: WaterNetwork,
+        arrival_rate: float = DEFAULT_ARRIVAL_RATE,
+        false_positive: float = DEFAULT_FALSE_POSITIVE,
+        scatter_std: float = TWEET_SCATTER_STD,
+        seed: int = 0,
+    ):
+        if not 0.0 < false_positive < 1.0:
+            raise ValueError(f"false_positive must be in (0, 1), got {false_positive}")
+        self.network = network
+        self.arrival_rate = arrival_rate
+        self.false_positive = false_positive
+        self.scatter_std = scatter_std
+        self._rng = np.random.default_rng(seed)
+        self._bbox = network_bounding_box(network, margin=100.0)
+
+    def generate(
+        self,
+        leak_nodes: list[str],
+        elapsed_slots: int,
+        paper_formula: bool = False,
+    ) -> list[Tweet]:
+        """Tweets accumulated over ``elapsed_slots`` slots after the leak.
+
+        The total count follows the arrival model of Eq. (4); each tweet
+        is a false positive with probability ``p_e`` and otherwise lands
+        near a uniformly chosen true leak.
+        """
+        count = sample_report_count(
+            elapsed_slots, self._rng, self.arrival_rate, paper_formula=paper_formula
+        )
+        tweets: list[Tweet] = []
+        xmin, ymin, xmax, ymax = self._bbox
+        for _ in range(count):
+            slot = int(self._rng.integers(0, max(elapsed_slots, 1)))
+            if leak_nodes and self._rng.random() >= self.false_positive:
+                target = str(self._rng.choice(leak_nodes))
+                cx, cy = self.network.nodes[target].coordinates
+                location = (
+                    cx + float(self._rng.normal(0.0, self.scatter_std)),
+                    cy + float(self._rng.normal(0.0, self.scatter_std)),
+                )
+                tweets.append(Tweet(location=location, slot=slot, is_relevant=True))
+            else:
+                location = (
+                    float(self._rng.uniform(xmin, xmax)),
+                    float(self._rng.uniform(ymin, ymax)),
+                )
+                tweets.append(Tweet(location=location, slot=slot, is_relevant=False))
+        return tweets
+
+    def observe(
+        self,
+        leak_nodes: list[str],
+        elapsed_slots: int,
+        gamma: float = 30.0,
+        paper_formula: bool = False,
+    ) -> HumanObservation:
+        """Generate tweets and extract their cliques in one call."""
+        tweets = self.generate(leak_nodes, elapsed_slots, paper_formula=paper_formula)
+        cliques = extract_cliques(self.network, tweets, gamma, self.false_positive)
+        return HumanObservation(cliques=tuple(cliques), gamma=gamma)
+
+
+def extract_cliques(
+    network: WaterNetwork,
+    tweets: list[Tweet],
+    gamma: float,
+    false_positive: float = DEFAULT_FALSE_POSITIVE,
+) -> list[Clique]:
+    """Group co-located tweets and map each group to its node clique.
+
+    Tweets within ``gamma`` of an existing group's centroid merge into it
+    (greedy, deterministic in input order); each group becomes one clique
+    ``c = {v : |l_c - l_v| < gamma}`` with ``k`` = group size and
+    confidence from Eq. (3).  Groups whose radius contains no junction
+    yield no clique (a report from outside the service area).
+    """
+    if gamma <= 0:
+        raise ValueError(f"gamma must be > 0, got {gamma}")
+    groups: list[list[Tweet]] = []
+    centroids: list[tuple[float, float]] = []
+    for tweet in tweets:
+        placed = False
+        for i, centroid in enumerate(centroids):
+            if distance(tweet.location, centroid) < gamma:
+                groups[i].append(tweet)
+                xs = [t.location[0] for t in groups[i]]
+                ys = [t.location[1] for t in groups[i]]
+                centroids[i] = (float(np.mean(xs)), float(np.mean(ys)))
+                placed = True
+                break
+        if not placed:
+            groups.append([tweet])
+            centroids.append(tweet.location)
+    cliques = []
+    for group, centroid in zip(groups, centroids):
+        nodes = nodes_within(network, centroid, gamma)
+        if not nodes:
+            continue
+        k = len(group)
+        cliques.append(
+            Clique(
+                nodes=tuple(sorted(nodes)),
+                centre=centroid,
+                report_count=k,
+                confidence=report_confidence(k, false_positive),
+            )
+        )
+    return cliques

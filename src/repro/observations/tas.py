@@ -1,0 +1,197 @@
+"""Tweet Acquisition System (TAS) surrogate: text-level tweet filtering.
+
+The paper collects 30M "leak-related" tweets with TAS (Sadri et al.) and
+notes the data "contains significant noise", which it reduces to the
+false-positive probability ``p_e = 0.3``.  This module recreates that
+pipeline one level deeper: a generator producing tweet *texts* (genuine
+leak reports, commercial/off-topic decoys sharing the keywords, and
+unrelated chatter), and a keyword-scoring relevance filter in the spirit
+of TAS's pattern matching.  Running the filter over a generated corpus
+*measures* an empirical ``p_e`` instead of assuming it — closing the loop
+between the raw-text world and the clique model the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Templates for genuine leak reports (the signal TAS hunts for).
+REPORT_TEMPLATES = (
+    "huge water main break on {street}, road is flooding",
+    "pipe burst near {street}, water everywhere",
+    "water leaking out of the ground at {street} again",
+    "no water pressure on {street}, main broke i think",
+    "{street} is a river right now, burst pipe??",
+    "city crews digging up {street}, big water leak",
+)
+
+#: Decoys that share keywords but are not incident reports — the source
+#: of the paper's false positives.  The last few are *hard* negatives
+#: (historical mentions, jokes) that no keyword filter can separate; they
+#: are what keeps the empirical p_e well above zero, as in the paper.
+DECOY_TEMPLATES = (
+    "LeakFinderST - innovative leak detection and location in water pipes.",
+    "tired of your faucet leaking? call {street} plumbing today",
+    "that interview was a total pipe burst of emotions",
+    "new blog: 10 ways to stop money leaks in your budget",
+    "water park on {street} opens this weekend!",
+    "my bracket is busted worse than a water main",
+    "remember that water main break on {street} last year? crazy day",
+    "documentary about the great {street} pipe burst was wild",
+    "dreamt {street} was flooding from a burst water main lol",
+    "if i see one more water main break meme about {street} i quit",
+)
+
+#: Unrelated chatter (filtered out before p_e even applies).
+CHATTER_TEMPLATES = (
+    "great coffee at {street} this morning",
+    "traffic on {street} is terrible today",
+    "happy birthday to my best friend!!",
+    "anyone watching the game tonight?",
+)
+
+STREET_NAMES = (
+    "Sunset Blvd", "Main St", "Oak Ave", "River Rd", "Maple Dr",
+    "2nd Street", "Highland Ave", "Park Lane",
+)
+
+#: Keyword weights for the relevance score (TAS's "interested patterns").
+KEYWORD_WEIGHTS = {
+    "water": 1.0,
+    "main": 1.0,
+    "pipe": 1.0,
+    "burst": 2.0,
+    "break": 1.5,
+    "broke": 1.5,
+    "leak": 1.0,
+    "leaking": 1.5,
+    "flooding": 2.0,
+    "pressure": 1.0,
+    "crews": 1.0,
+    "river": 0.5,
+}
+
+#: Negative cues typical of commercial/off-topic decoys.
+NEGATIVE_CUES = {
+    "plumbing": -2.0,
+    "blog": -3.0,
+    "budget": -3.0,
+    "call": -1.0,
+    "innovative": -3.0,
+    "detection": -2.0,
+    "park": -2.0,
+    "interview": -3.0,
+    "bracket": -3.0,
+    "faucet": -1.5,
+}
+
+
+@dataclass(frozen=True)
+class RawTweet:
+    """A generated tweet with its ground-truth category."""
+
+    text: str
+    category: str  # "report" | "decoy" | "chatter"
+
+
+class TweetTextGenerator:
+    """Generates a labelled corpus of tweet texts."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def generate(
+        self,
+        n_tweets: int,
+        report_fraction: float = 0.3,
+        decoy_fraction: float = 0.25,
+    ) -> list[RawTweet]:
+        """Draw a corpus with the given composition.
+
+        Raises:
+            ValueError: if the fractions exceed 1.
+        """
+        if report_fraction + decoy_fraction > 1.0:
+            raise ValueError("report + decoy fractions must be <= 1")
+        tweets = []
+        for _ in range(n_tweets):
+            u = self._rng.random()
+            if u < report_fraction:
+                template = REPORT_TEMPLATES[
+                    int(self._rng.integers(len(REPORT_TEMPLATES)))
+                ]
+                category = "report"
+            elif u < report_fraction + decoy_fraction:
+                template = DECOY_TEMPLATES[
+                    int(self._rng.integers(len(DECOY_TEMPLATES)))
+                ]
+                category = "decoy"
+            else:
+                template = CHATTER_TEMPLATES[
+                    int(self._rng.integers(len(CHATTER_TEMPLATES)))
+                ]
+                category = "chatter"
+            street = STREET_NAMES[int(self._rng.integers(len(STREET_NAMES)))]
+            tweets.append(RawTweet(text=template.format(street=street), category=category))
+        return tweets
+
+
+def relevance_score(text: str) -> float:
+    """Keyword score for one tweet (higher = more leak-report-like)."""
+    tokens = [t.strip(".,!?:;()").lower() for t in text.split()]
+    score = 0.0
+    for token in tokens:
+        score += KEYWORD_WEIGHTS.get(token, 0.0)
+        score += NEGATIVE_CUES.get(token, 0.0)
+    return score
+
+
+@dataclass
+class FilterReport:
+    """Outcome of running the relevance filter over a corpus.
+
+    Attributes:
+        accepted: tweets passing the threshold.
+        recall: fraction of genuine reports accepted.
+        empirical_p_e: fraction of accepted tweets that are NOT genuine —
+            the quantity the paper sets to 0.3.
+    """
+
+    accepted: list[RawTweet]
+    recall: float
+    empirical_p_e: float
+
+
+def filter_corpus(tweets: list[RawTweet], threshold: float = 2.0) -> FilterReport:
+    """Apply the keyword filter and measure its empirical error rates."""
+    accepted = [t for t in tweets if relevance_score(t.text) >= threshold]
+    reports_total = sum(1 for t in tweets if t.category == "report")
+    reports_accepted = sum(1 for t in accepted if t.category == "report")
+    recall = reports_accepted / reports_total if reports_total else 0.0
+    false_accepted = sum(1 for t in accepted if t.category != "report")
+    empirical_p_e = false_accepted / len(accepted) if accepted else 0.0
+    return FilterReport(
+        accepted=accepted, recall=recall, empirical_p_e=empirical_p_e
+    )
+
+
+def calibrate_p_e(
+    n_tweets: int = 5000,
+    threshold: float = 2.0,
+    seed: int = 0,
+    report_fraction: float = 0.3,
+    decoy_fraction: float = 0.25,
+) -> float:
+    """Empirical false-positive rate of the TAS-style filter.
+
+    This is the measured counterpart of the paper's assumed
+    ``p_e = 0.3``; plug it into :class:`~repro.observations.TweetSimulator`
+    instead of the constant to close the text-to-clique loop.
+    """
+    generator = TweetTextGenerator(seed=seed)
+    corpus = generator.generate(
+        n_tweets, report_fraction=report_fraction, decoy_fraction=decoy_fraction
+    )
+    return filter_corpus(corpus, threshold=threshold).empirical_p_e

@@ -1,0 +1,146 @@
+"""Weather observation model (paper Sec. III-C).
+
+Below 20F pipes may freeze; continued freezing raises internal pressure
+and breaks the pipe.  The paper reduces this to two probabilities —
+``p_v(freeze) = 0.8`` given sub-20F temperature and
+``p_v(leak | freeze) = 0.9`` — and Bayes-aggregates the freeze evidence
+with the IoT-predicted leak probability in Phase II.
+
+This module provides the freeze threshold, the per-node freeze sampling
+used to *drive* low-temperature failure scenarios, and the
+:class:`WeatherObservation` handed to the inference engine (which nodes
+are detected as frozen, at what temperature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: The paper's freezing-risk threshold (Fahrenheit).
+FREEZE_THRESHOLD_F = 20.0
+#: Paper defaults (Sec. V-A).
+DEFAULT_P_FREEZE = 0.8
+DEFAULT_P_LEAK_GIVEN_FREEZE = 0.9
+
+
+def is_freezing(temperature_f: float) -> bool:
+    """Whether freeze-driven failure logic applies at this temperature."""
+    return temperature_f <= FREEZE_THRESHOLD_F
+
+
+@dataclass(frozen=True)
+class WeatherObservation:
+    """Weather evidence available to Phase II inference.
+
+    Attributes:
+        temperature_f: ambient (city-level) temperature.
+        frozen_nodes: junctions detected as frozen (from the
+            increase-then-decrease pressure pattern the paper describes).
+        p_leak_given_freeze: the expert prior aggregated via Bayes.
+    """
+
+    temperature_f: float
+    frozen_nodes: frozenset[str] = field(default_factory=frozenset)
+    p_leak_given_freeze: float = DEFAULT_P_LEAK_GIVEN_FREEZE
+
+    @property
+    def active(self) -> bool:
+        """Freeze evidence only applies below the threshold."""
+        return is_freezing(self.temperature_f) and bool(self.frozen_nodes)
+
+
+class FreezeModel:
+    """Samples which junctions freeze, and which freezes get *detected*.
+
+    Two distinct things are modelled, matching the paper's split between
+    scenario generation (Sec. V-A) and Algorithm 2's "if v is detected to
+    be frozen":
+
+    * **Freezing** — below 20F each junction freezes with probability
+      ``p_freeze`` (paper: 0.8).  Frozen nodes are where the
+      low-temperature scenario generator concentrates leaks.
+    * **Detection** — the diagnostic pattern is "a pressure increase
+      followed by a decrease": the increase comes from ice expansion, the
+      decrease from the break.  The full pattern is therefore far more
+      likely to be observed at frozen nodes that actually broke.  The
+      detection probabilities below encode that; they keep the detected-
+      frozen set small and informative, which is what makes the ×9 odds
+      update of ``p(leak | freeze) = 0.9`` beneficial rather than noise.
+      (Interpretation decision documented in DESIGN.md.)
+
+    Args:
+        p_freeze: per-node freeze probability below the threshold.
+        p_detect_broken: detection probability for frozen nodes that leak.
+        p_detect_intact: detection probability for frozen, intact nodes
+            (partial pattern only).
+        p_detect_false: detection probability for unfrozen nodes.
+    """
+
+    def __init__(
+        self,
+        p_freeze: float = DEFAULT_P_FREEZE,
+        p_detect_broken: float = 0.85,
+        p_detect_intact: float = 0.05,
+        p_detect_false: float = 0.01,
+    ):
+        for name, value in (
+            ("p_freeze", p_freeze),
+            ("p_detect_broken", p_detect_broken),
+            ("p_detect_intact", p_detect_intact),
+            ("p_detect_false", p_detect_false),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self.p_freeze = p_freeze
+        self.p_detect_broken = p_detect_broken
+        self.p_detect_intact = p_detect_intact
+        self.p_detect_false = p_detect_false
+
+    def sample_frozen(
+        self,
+        junction_names: list[str],
+        temperature_f: float,
+        rng: np.random.Generator,
+    ) -> frozenset[str]:
+        """True frozen set for a scenario (empty above the threshold)."""
+        if not is_freezing(temperature_f):
+            return frozenset()
+        return frozenset(
+            name for name in junction_names if rng.random() < self.p_freeze
+        )
+
+    def observe(
+        self,
+        true_frozen: frozenset[str],
+        junction_names: list[str],
+        temperature_f: float,
+        rng: np.random.Generator,
+        leak_nodes: frozenset[str] | set[str] = frozenset(),
+        p_leak_given_freeze: float = DEFAULT_P_LEAK_GIVEN_FREEZE,
+    ) -> WeatherObservation:
+        """Detected freeze set from the pressure-pattern diagnostic."""
+        if not is_freezing(temperature_f):
+            return WeatherObservation(
+                temperature_f=temperature_f,
+                frozen_nodes=frozenset(),
+                p_leak_given_freeze=p_leak_given_freeze,
+            )
+        detected: set[str] = set()
+        for name in junction_names:
+            if name in true_frozen:
+                p = (
+                    self.p_detect_broken
+                    if name in leak_nodes
+                    else self.p_detect_intact
+                )
+            else:
+                p = self.p_detect_false
+            if rng.random() < p:
+                detected.add(name)
+        return WeatherObservation(
+            temperature_f=temperature_f,
+            frozen_nodes=frozenset(detected),
+            p_leak_given_freeze=p_leak_given_freeze,
+        )

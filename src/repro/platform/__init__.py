@@ -1,0 +1,22 @@
+"""Sec.-VI prototype: workflow modules + observe-analyze-adapt loop."""
+
+from .modules import (
+    DecisionRecord,
+    DecisionSupportModule,
+    IntegratedSimulationEngine,
+    PlugAndPlayAnalyticsModule,
+    ScenarioGenerationModule,
+    SensorDataAcquisitionModule,
+)
+from .workflow import AquaScaleWorkflow, LoopOutcome
+
+__all__ = [
+    "AquaScaleWorkflow",
+    "DecisionRecord",
+    "DecisionSupportModule",
+    "IntegratedSimulationEngine",
+    "LoopOutcome",
+    "PlugAndPlayAnalyticsModule",
+    "ScenarioGenerationModule",
+    "SensorDataAcquisitionModule",
+]

@@ -1,0 +1,218 @@
+"""The Sec.-VI prototype modules.
+
+AquaSCALE's initial implementation is "a workflow based system comprised
+of multiple components": Scenario Generation, Sensor Data Acquisition, an
+Integrated Simulation and Modeling Engine, a Plug-and-Play Analytics
+Module and a Decision Support Module.  This package realises each module
+as a thin, composable object over the core library, wired together by
+:class:`~repro.platform.workflow.AquaScaleWorkflow`'s
+observe-analyze-adapt loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import InferenceResult, make_classifier, register_classifier
+from ..failures import FailureScenario, LeakEvent, ScenarioGenerator
+from ..flood import predict_flood
+from ..hydraulics import SimulationResults, WaterNetwork, simulate
+from ..sensing import SensorNetwork, SteadyStateTelemetry, kmedoids_placement
+
+
+class ScenarioGenerationModule:
+    """Lets analysts define and sample 'situations' (hazard contexts).
+
+    Wraps :class:`~repro.failures.ScenarioGenerator` with named presets so
+    a workflow can request e.g. ``"cold-snap"`` without repeating
+    parameters.
+    """
+
+    PRESETS = {
+        "single-leak": {"kind": "single"},
+        "multi-leak": {"kind": "multi", "max_events": 5},
+        "cold-snap": {"kind": "low-temperature", "max_events": 5},
+    }
+
+    def __init__(self, network: WaterNetwork, seed: int = 0):
+        self.network = network
+        self._generator = ScenarioGenerator(network, seed=seed)
+
+    def sample(self, preset: str = "multi-leak", count: int = 1) -> list[FailureScenario]:
+        """Draw scenarios from a named preset.
+
+        Raises:
+            KeyError: unknown preset (message lists valid ones).
+        """
+        if preset not in self.PRESETS:
+            raise KeyError(
+                f"unknown preset {preset!r}; available: {sorted(self.PRESETS)}"
+            )
+        params = dict(self.PRESETS[preset])
+        kind = params.pop("kind")
+        return self._generator.batch(count, kind=kind, **params)
+
+
+class SensorDataAcquisitionModule:
+    """Gathers real-time field information for predefined scenarios.
+
+    In the prototype, field data comes from the simulation engine; the
+    module's surface (deploy, acquire) is what a physical deployment
+    would also expose.
+    """
+
+    def __init__(self, network: WaterNetwork, iot_percent: float = 100.0, seed: int = 0):
+        from ..sensing import percentage_to_count
+
+        self.network = network
+        self.sensors: SensorNetwork = kmedoids_placement(
+            network, percentage_to_count(network, iot_percent), seed=seed
+        )
+        self._telemetry = SteadyStateTelemetry(network, seed=seed)
+
+    def acquire(
+        self, scenario: FailureScenario, elapsed_slots: int = 1
+    ) -> np.ndarray:
+        """Δ-readings the deployed devices would report for a scenario."""
+        from ..sensing import sensor_column_indices
+
+        full = self._telemetry.candidate_deltas(scenario, elapsed_slots=elapsed_slots)
+        columns = sensor_column_indices(self._telemetry.candidate_keys(), self.sensors)
+        return full[columns]
+
+
+class IntegratedSimulationEngine:
+    """Executes EPANET++ (and BreZo) runs for the workflow."""
+
+    def __init__(self, network: WaterNetwork):
+        self.network = network
+
+    def run_hydraulics(
+        self, scenario: FailureScenario | None = None, duration: float = 4 * 3600.0
+    ) -> SimulationResults:
+        """Extended-period run, optionally with a scenario injected."""
+        leaks = None
+        if scenario is not None:
+            step = self.network.options.hydraulic_timestep
+            leaks = [event.to_timed_leak(step) for event in scenario.events]
+        return simulate(self.network, duration=duration, leaks=leaks)
+
+    def run_flood(
+        self, events: list[LeakEvent], duration: float = 3600.0, cell_size: float = 60.0
+    ):
+        """Flood prediction for confirmed leaks (Fig. 11 path)."""
+        return predict_flood(
+            self.network, events, duration=duration, cell_size=cell_size
+        )
+
+
+class PlugAndPlayAnalyticsModule:
+    """Technique selection/registration facade over the core registry."""
+
+    def __init__(self, random_state: int | None = 0):
+        self.random_state = random_state
+
+    def technique(self, name: str, **overrides):
+        """Instantiate a registered classifier by name."""
+        return make_classifier(name, random_state=self.random_state, **overrides)
+
+    def register(self, name: str, factory) -> None:
+        """Plug a new technique into every downstream experiment."""
+        register_classifier(name, factory)
+
+
+@dataclass
+class DecisionRecord:
+    """One decision-support entry: a localized event and suggested action.
+
+    Attributes:
+        leak_nodes: the predicted leak set.
+        confidence: P(leak) per predicted node.
+        suggested_action: operator-facing recommendation.
+        tuning_flips: human-input corrections applied during inference.
+        valves_to_close: concrete isolation valves (when a network was
+            supplied and isolation is recommended).
+        demand_at_risk: demand (m^3/s) interrupted by that isolation.
+    """
+
+    leak_nodes: tuple[str, ...]
+    confidence: dict[str, float]
+    suggested_action: str
+    tuning_flips: int = 0
+    valves_to_close: tuple[str, ...] = ()
+    demand_at_risk: float = 0.0
+
+
+class DecisionSupportModule:
+    """Turns inference results into operator-facing recommendations.
+
+    When built with a network, isolation recommendations are concrete:
+    the valve-segment analysis (paper conclusion: shutting down "an
+    entire pressure zone ... to prevent cascading failures") names the
+    valves to close and the service cost of doing so.
+    """
+
+    def __init__(
+        self,
+        confidence_threshold: float = 0.8,
+        network: WaterNetwork | None = None,
+    ):
+        self.confidence_threshold = confidence_threshold
+        self._analyzer = None
+        if network is not None:
+            from ..analysis import IsolationAnalyzer
+
+            self._analyzer = IsolationAnalyzer(network)
+
+    def _isolation_for(self, nodes: list[str]) -> tuple[tuple[str, ...], float]:
+        if self._analyzer is None or not nodes:
+            return (), 0.0
+        valves: set[str] = set()
+        demand = 0.0
+        seen_segments: set[int] = set()
+        for node in nodes:
+            try:
+                plan = self._analyzer.shutdown_plan_for_node(node)
+            except KeyError:
+                continue
+            valves |= plan.valves_to_close
+            for segment in plan.segments:
+                if segment.segment_id not in seen_segments:
+                    seen_segments.add(segment.segment_id)
+                    demand += segment.demand
+        return tuple(sorted(valves)), demand
+
+    def recommend(self, result: InferenceResult) -> DecisionRecord:
+        """Turn one inference result into an operator recommendation."""
+        leaks = tuple(sorted(result.leak_nodes))
+        confidence = {
+            name: float(result.probabilities[result.junction_names.index(name)])
+            for name in leaks
+        }
+        confident = [n for n, p in confidence.items() if p >= self.confidence_threshold]
+        valves: tuple[str, ...] = ()
+        demand_at_risk = 0.0
+        if len(confident) >= 2:
+            valves, demand_at_risk = self._isolation_for(confident)
+            action = (
+                f"isolate pressure zone around {', '.join(confident)} and "
+                "dispatch repair crews"
+            )
+            if valves:
+                action += f" (close valves: {', '.join(valves)})"
+        elif len(confident) == 1:
+            action = f"dispatch inspection crew to {confident[0]}"
+        elif leaks:
+            action = f"schedule acoustic survey near {', '.join(leaks)}"
+        else:
+            action = "no action; continue monitoring"
+        return DecisionRecord(
+            leak_nodes=leaks,
+            confidence=confidence,
+            suggested_action=action,
+            tuning_flips=len(result.tuning_steps),
+            valves_to_close=valves,
+            demand_at_risk=demand_at_risk,
+        )

@@ -1,0 +1,49 @@
+"""IoT sensing: devices, telemetry features, and placement."""
+
+from .optimization import (
+    coverage_fraction,
+    detectability_matrix,
+    greedy_detection_placement,
+    pfa_placement,
+)
+from .placement import (
+    candidate_signatures,
+    kmedoids_placement,
+    percentage_to_count,
+    random_placement,
+)
+from .sensors import (
+    FLOW_NOISE_STD,
+    PRESSURE_NOISE_STD,
+    Sensor,
+    SensorNetwork,
+    SensorType,
+    full_candidate_set,
+)
+from .telemetry import (
+    SteadyStateTelemetry,
+    background_leakage,
+    delta_from_results,
+    sensor_column_indices,
+)
+
+__all__ = [
+    "FLOW_NOISE_STD",
+    "PRESSURE_NOISE_STD",
+    "Sensor",
+    "SensorNetwork",
+    "SensorType",
+    "SteadyStateTelemetry",
+    "background_leakage",
+    "candidate_signatures",
+    "coverage_fraction",
+    "delta_from_results",
+    "detectability_matrix",
+    "full_candidate_set",
+    "greedy_detection_placement",
+    "kmedoids_placement",
+    "percentage_to_count",
+    "pfa_placement",
+    "random_placement",
+    "sensor_column_indices",
+]

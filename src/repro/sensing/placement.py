@@ -1,0 +1,106 @@
+"""Sensor placement via k-medoids (paper Sec. IV-A).
+
+"Given the number of available devices, we use k-medoids algorithm to
+select a group of locations as the sensor set ... partitions |V| + |E|
+potential sensor locations into certain number of clusters and assigns
+cluster centers as the sensor locations, based on the pressure head and
+flow rate read from nodes and pipes."
+
+Candidates are featurised with their baseline hydraulic signature (a
+no-leak day of readings) plus their map position, then clustered; the
+medoids become the deployment.  A random-placement baseline is included
+for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hydraulics import WaterNetwork, simulate
+from ..ml import KMedoids, StandardScaler
+from .sensors import Sensor, SensorNetwork, SensorType, full_candidate_set
+
+
+def candidate_signatures(
+    network: WaterNetwork,
+    n_slots: int = 24,
+) -> tuple[list[Sensor], np.ndarray]:
+    """Baseline hydraulic signature per candidate location.
+
+    Runs a no-leak extended-period simulation over ``n_slots`` hydraulic
+    steps and returns, per candidate, the standardised reading series
+    concatenated with the candidate's coordinates.
+
+    Returns:
+        (candidates, features) with features shaped
+        ``(n_candidates, n_slots + 2)``.
+    """
+    candidates = full_candidate_set(network)
+    step = network.options.hydraulic_timestep
+    results = simulate(network, duration=(n_slots - 1) * step, timestep=step)
+    rows = []
+    for sensor in candidates:
+        if sensor.sensor_type is SensorType.PRESSURE:
+            series = results.pressure[:, results.node_column(sensor.target)]
+            node = network.nodes[sensor.target]
+            x, y = node.coordinates
+        else:
+            series = results.flow[:, results.link_column(sensor.target)]
+            link = network.links[sensor.target]
+            x1, y1 = network.nodes[link.start_node].coordinates
+            x2, y2 = network.nodes[link.end_node].coordinates
+            x, y = 0.5 * (x1 + x2), 0.5 * (y1 + y2)
+        rows.append(np.concatenate([series, [x, y]]))
+    features = np.vstack(rows)
+    return candidates, StandardScaler().fit_transform(features)
+
+
+def kmedoids_placement(
+    network: WaterNetwork,
+    n_sensors: int,
+    seed: int = 0,
+    n_slots: int = 24,
+) -> SensorNetwork:
+    """Place ``n_sensors`` devices at k-medoids cluster centres.
+
+    Raises:
+        ValueError: if ``n_sensors`` exceeds the candidate count.
+    """
+    candidates, features = candidate_signatures(network, n_slots=n_slots)
+    if not 1 <= n_sensors <= len(candidates):
+        raise ValueError(
+            f"n_sensors must be in [1, {len(candidates)}], got {n_sensors}"
+        )
+    if n_sensors == len(candidates):
+        return SensorNetwork(candidates, seed=seed)
+    km = KMedoids(n_clusters=n_sensors, random_state=seed)
+    km.fit(features)
+    chosen = [candidates[i] for i in km.medoid_indices_]
+    return SensorNetwork(chosen, seed=seed)
+
+
+def random_placement(
+    network: WaterNetwork,
+    n_sensors: int,
+    seed: int = 0,
+) -> SensorNetwork:
+    """Uniform-random placement (the ablation baseline)."""
+    candidates = full_candidate_set(network)
+    if not 1 <= n_sensors <= len(candidates):
+        raise ValueError(
+            f"n_sensors must be in [1, {len(candidates)}], got {n_sensors}"
+        )
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(len(candidates), size=n_sensors, replace=False)
+    return SensorNetwork([candidates[i] for i in sorted(indices)], seed=seed)
+
+
+def percentage_to_count(network: WaterNetwork, percent: float) -> int:
+    """Convert the paper's "% IoT observations" to a device count.
+
+    100% corresponds to |V| + |E| devices.
+    """
+    if not 0.0 < percent <= 100.0:
+        raise ValueError(f"percent must be in (0, 100], got {percent}")
+    total = network.num_nodes + network.num_links
+    return max(1, int(round(total * percent / 100.0)))

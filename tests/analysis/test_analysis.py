@@ -1,0 +1,140 @@
+"""Analysis-package tests: centrality baseline, isolation, resilience."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CurrentFlowLocalizer,
+    IsolationAnalyzer,
+    resilience_report,
+    todini_index,
+)
+from repro.hydraulics import GGASolver, ValveType, WaterNetwork
+from repro.sensing import SensorNetwork, full_candidate_set
+
+
+class TestCurrentFlowLocalizer:
+    @pytest.fixture()
+    def localizer(self, two_loop):
+        sensors = SensorNetwork(full_candidate_set(two_loop))
+        return CurrentFlowLocalizer(two_loop, sensors)
+
+    def _observed(self, network, leak_node, ec=3e-3):
+        solver = GGASolver(network)
+        base = solver.solve(emitters={})
+        leaky = solver.solve(emitters={leak_node: (ec, 0.5)})
+        return np.array(
+            [
+                leaky.link_flow[name] - base.link_flow[name]
+                for name in network.link_names()
+            ]
+        )
+
+    def test_ranks_true_leak_highly(self, two_loop, localizer):
+        observed = self._observed(two_loop, "J5")
+        result = localizer.localize(observed)
+        assert result.rank_of("J5") <= 3
+
+    def test_ranking_covers_all_junctions(self, two_loop, localizer):
+        observed = self._observed(two_loop, "J3")
+        result = localizer.localize(observed)
+        assert len(result.ranking) == 7
+
+    def test_scores_sorted_descending(self, two_loop, localizer):
+        observed = self._observed(two_loop, "J6")
+        scores = [s for _, s in localizer.localize(observed).ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_requires_flow_meters(self, two_loop):
+        from repro.sensing import Sensor, SensorType
+
+        pressure_only = SensorNetwork([Sensor("J5", SensorType.PRESSURE)])
+        with pytest.raises(ValueError, match="flow meters"):
+            CurrentFlowLocalizer(two_loop, pressure_only)
+
+    def test_wrong_observation_shape(self, localizer):
+        with pytest.raises(ValueError, match="meter deltas"):
+            localizer.localize(np.zeros(3))
+
+    def test_unknown_node_response(self, localizer):
+        with pytest.raises(ValueError, match="unknown node"):
+            localizer.predicted_meter_response("GHOST")
+
+
+class TestIsolation:
+    @pytest.fixture()
+    def valved_net(self) -> WaterNetwork:
+        """Two districts joined by a valve; source in district A."""
+        net = WaterNetwork("valved")
+        net.add_reservoir("R", base_head=50.0)
+        for name, demand in (("A1", 0.01), ("A2", 0.01), ("B1", 0.02), ("B2", 0.005)):
+            net.add_junction(name, elevation=0.0, base_demand=demand)
+        net.add_pipe("PA0", "R", "A1", length=100, diameter=0.3)
+        net.add_pipe("PA1", "A1", "A2", length=100, diameter=0.3)
+        net.add_pipe("PB1", "B1", "B2", length=100, diameter=0.3)
+        net.add_valve("V1", "A2", "B1", valve_type=ValveType.TCV, diameter=0.3, setting=0.5)
+        return net
+
+    def test_two_segments(self, valved_net):
+        analyzer = IsolationAnalyzer(valved_net)
+        assert len(analyzer.segments) == 2
+
+    def test_segment_membership(self, valved_net):
+        analyzer = IsolationAnalyzer(valved_net)
+        seg_a = analyzer.segment_of_node("A1")
+        seg_b = analyzer.segment_of_node("B2")
+        assert seg_a.segment_id != seg_b.segment_id
+        assert "R" in seg_a.nodes
+        assert analyzer.segment_of_link("PB1").segment_id == seg_b.segment_id
+
+    def test_shutdown_plan_demand(self, valved_net):
+        analyzer = IsolationAnalyzer(valved_net)
+        plan = analyzer.shutdown_plan_for_link("PB1")
+        assert plan.valves_to_close == frozenset({"V1"})
+        assert plan.demand_lost == pytest.approx(0.025)
+        assert plan.customers_affected == 2
+        assert not plan.contains_source
+
+    def test_shutdown_containing_source_flagged(self, valved_net):
+        analyzer = IsolationAnalyzer(valved_net)
+        plan = analyzer.shutdown_plan_for_node("A1")
+        assert plan.contains_source
+
+    def test_criticality_ranking_sorted(self, valved_net):
+        analyzer = IsolationAnalyzer(valved_net)
+        ranking = analyzer.criticality_ranking()
+        demands = [d for _, d in ranking]
+        assert demands == sorted(demands, reverse=True)
+
+    def test_epanet_segments_cover_all_nodes(self, epanet):
+        analyzer = IsolationAnalyzer(epanet)
+        covered = set()
+        for segment in analyzer.segments:
+            covered |= segment.nodes
+        assert covered == set(epanet.node_names())
+
+
+class TestResilience:
+    def test_healthy_network_positive_index(self, two_loop):
+        solution = GGASolver(two_loop).solve()
+        index = todini_index(two_loop, solution, required_pressure=20.0)
+        assert 0.0 < index <= 1.0
+
+    def test_leak_reduces_index(self, two_loop):
+        solver = GGASolver(two_loop)
+        healthy = todini_index(two_loop, solver.solve(), required_pressure=20.0)
+        leaky_solution = solver.solve(emitters={"J5": (4e-3, 0.5)})
+        leaky = todini_index(two_loop, leaky_solution, required_pressure=20.0)
+        assert leaky < healthy
+
+    def test_report_fields(self, two_loop):
+        report = resilience_report(two_loop, required_pressure=20.0)
+        assert report.min_pressure > 20.0
+        assert report.pressure_deficit_nodes == 0
+        assert report.supply_ratio == pytest.approx(1.0)
+        assert report.total_leak_flow == 0.0
+
+    def test_report_under_failure(self, two_loop):
+        two_loop.set_leak("J5", 5e-3)
+        report = resilience_report(two_loop, required_pressure=20.0)
+        assert report.total_leak_flow > 0

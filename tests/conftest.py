@@ -1,0 +1,65 @@
+"""Shared fixtures.
+
+Expensive artefacts (paper networks, trained profiles) are session-scoped
+so the suite stays fast; tests must not mutate them — take a ``.copy()``
+when mutation is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dataset
+from repro.hydraulics import GGASolver, WaterNetwork
+from repro.networks import epanet_canonical, two_loop_test_network, wssc_subnet
+from repro.sensing import kmedoids_placement, percentage_to_count
+
+
+@pytest.fixture()
+def two_loop() -> WaterNetwork:
+    """Small 7-junction looped network (fresh per test, safe to mutate)."""
+    return two_loop_test_network()
+
+
+@pytest.fixture(scope="session")
+def epanet() -> WaterNetwork:
+    """The EPA-NET surrogate (shared; do not mutate)."""
+    return epanet_canonical()
+
+
+@pytest.fixture(scope="session")
+def wssc() -> WaterNetwork:
+    """The WSSC-SUBNET surrogate (shared; do not mutate)."""
+    return wssc_subnet()
+
+
+@pytest.fixture(scope="session")
+def epanet_solver(epanet) -> GGASolver:
+    return GGASolver(epanet)
+
+
+@pytest.fixture(scope="session")
+def epanet_single_train(epanet):
+    """Small single-failure training dataset on EPA-NET."""
+    return generate_dataset(epanet, 400, kind="single", seed=1)
+
+
+@pytest.fixture(scope="session")
+def epanet_single_test(epanet):
+    return generate_dataset(epanet, 60, kind="single", seed=2)
+
+
+@pytest.fixture(scope="session")
+def epanet_lowtemp_test(epanet):
+    return generate_dataset(epanet, 40, kind="low-temperature", seed=3)
+
+
+@pytest.fixture(scope="session")
+def epanet_sensors_full(epanet):
+    return kmedoids_placement(epanet, percentage_to_count(epanet, 100), seed=0)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)

@@ -1,0 +1,92 @@
+"""Bayes fusion and entropy tests (paper Eqs. 5-8)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    aggregate_freeze_evidence,
+    aggregate_probabilities,
+    binary_entropy,
+    odds,
+    total_uncertainty,
+)
+
+
+class TestOdds:
+    def test_even_odds(self):
+        assert odds(0.5) == pytest.approx(1.0)
+
+    def test_clipping_guards_extremes(self):
+        assert np.isfinite(odds(1.0))
+        assert odds(0.0) > 0
+
+
+class TestAggregation:
+    def test_paper_example_two_sources_agreeing(self):
+        """Two sources at 0.6 -> noticeably above 0.6 (paper Sec. IV-B)."""
+        fused = aggregate_probabilities([0.6, 0.6])
+        assert fused > 0.65
+        assert fused == pytest.approx((1.5 * 1.5) / (1 + 1.5 * 1.5))
+
+    def test_single_source_identity(self):
+        assert aggregate_probabilities([0.7]) == pytest.approx(0.7)
+
+    def test_conflicting_sources_cancel(self):
+        assert aggregate_probabilities([0.8, 0.2]) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_probabilities([])
+
+    def test_more_agreeing_sources_more_certainty(self):
+        two = aggregate_probabilities([0.6, 0.6])
+        three = aggregate_probabilities([0.6, 0.6, 0.6])
+        assert three > two
+
+
+class TestFreezeEvidence:
+    def test_frozen_nodes_boosted(self):
+        p = np.array([0.3, 0.3, 0.3])
+        frozen = np.array([True, False, True])
+        fused = aggregate_freeze_evidence(p, frozen, 0.9)
+        assert fused[0] > 0.3 and fused[2] > 0.3
+        assert fused[1] == pytest.approx(0.3)
+
+    def test_matches_algorithm2_lines_8_9(self):
+        p1, pf = 0.4, 0.9
+        q = (p1 / (1 - p1)) * (pf / (1 - pf))
+        expected = q / (1 + q)
+        fused = aggregate_freeze_evidence(
+            np.array([p1]), np.array([True]), pf
+        )
+        assert fused[0] == pytest.approx(expected)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            aggregate_freeze_evidence(np.zeros(3), np.zeros(2, dtype=bool), 0.9)
+
+
+class TestEntropy:
+    def test_extremes_are_zero(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == pytest.approx(np.log(2))
+        assert binary_entropy(0.5) > binary_entropy(0.3) > binary_entropy(0.1)
+
+    def test_symmetric(self):
+        assert binary_entropy(0.2) == pytest.approx(binary_entropy(0.8))
+
+    def test_vectorised(self):
+        values = binary_entropy(np.array([0.0, 0.5, 1.0]))
+        assert values[0] == 0.0 and values[2] == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            binary_entropy(1.2)
+
+    def test_total_uncertainty_sums(self):
+        assert total_uncertainty(np.array([0.5, 0.5])) == pytest.approx(
+            2 * np.log(2)
+        )

@@ -1,0 +1,104 @@
+"""AquaScale facade tests (fast configuration: logistic, small data)."""
+
+import pytest
+
+from repro.core import AquaScale, ObservationFactory, SOURCE_MIXES
+
+
+@pytest.fixture(scope="module")
+def aqua(epanet, epanet_single_train):
+    model = AquaScale(epanet, iot_percent=100.0, classifier="logistic", seed=0)
+    model.train(dataset=epanet_single_train)
+    return model
+
+
+class TestTraining:
+    def test_untrained_engine_raises(self, epanet):
+        fresh = AquaScale(epanet, iot_percent=10.0, classifier="logistic", seed=0)
+        with pytest.raises(RuntimeError, match="train"):
+            _ = fresh.engine
+
+    def test_sensor_count_matches_percent(self, epanet):
+        model = AquaScale(epanet, iot_percent=10.0, classifier="logistic", seed=0)
+        expected = round((epanet.num_nodes + epanet.num_links) * 0.1)
+        assert len(model.sensors) == expected
+
+
+class TestLocalize:
+    def test_localize_scenario_end_to_end(self, aqua, epanet):
+        from repro.failures import ScenarioGenerator
+
+        scenario = ScenarioGenerator(epanet, seed=42).single_failure()
+        result = aqua.localize_scenario(scenario, sources="all")
+        assert result.junction_names == epanet.junction_names()
+
+    def test_invalid_sources_rejected(self, aqua, epanet):
+        from repro.failures import ScenarioGenerator
+
+        scenario = ScenarioGenerator(epanet, seed=42).single_failure()
+        with pytest.raises(ValueError, match="sources"):
+            aqua.localize_scenario(scenario, sources="magic")
+
+
+class TestEvaluate:
+    def test_score_in_range(self, aqua, epanet_single_test):
+        score = aqua.evaluate(epanet_single_test, sources="iot")
+        assert 0.0 <= score <= 1.0
+
+    def test_all_source_mixes_run(self, aqua, epanet_lowtemp_test):
+        scores = {
+            mix: aqua.evaluate(epanet_lowtemp_test, sources=mix)
+            for mix in SOURCE_MIXES
+        }
+        assert all(0.0 <= s <= 1.0 for s in scores.values())
+
+    def test_fusion_does_not_hurt_on_lowtemp(self, aqua, epanet_lowtemp_test):
+        iot = aqua.evaluate(epanet_lowtemp_test, sources="iot")
+        fused = aqua.evaluate(epanet_lowtemp_test, sources="all")
+        assert fused >= iot - 0.05
+
+
+class TestCustomEstimatorInstance:
+    def test_profile_accepts_estimator_object(
+        self, epanet, epanet_single_train, epanet_single_test, epanet_sensors_full
+    ):
+        """The plug-and-play surface takes instances, not just names."""
+        from repro.core import ProfileModel
+        from repro.ml import KNeighborsClassifier
+
+        profile = ProfileModel(
+            epanet,
+            epanet_sensors_full,
+            classifier=KNeighborsClassifier(n_neighbors=3),
+            random_state=0,
+        )
+        profile.fit(epanet_single_train)
+        score = profile.evaluate(epanet_single_test)
+        assert 0.0 <= score <= 1.0
+        assert profile.classifier_name == "KNeighborsClassifier"
+
+
+class TestObservationFactory:
+    def test_weather_for_warm_scenario_inactive(self, epanet):
+        from repro.failures import ScenarioGenerator
+
+        factory = ObservationFactory(epanet, seed=0)
+        scenario = ScenarioGenerator(epanet, seed=0).single_failure()
+        observation = factory.weather_for(scenario)
+        assert not observation.active  # default scenarios are warm
+
+    def test_weather_for_cold_scenario(self, epanet):
+        from repro.failures import ScenarioGenerator
+
+        factory = ObservationFactory(epanet, seed=0)
+        scenario = ScenarioGenerator(epanet, seed=0).low_temperature_failure()
+        observation = factory.weather_for(scenario)
+        assert observation.temperature_f < 20.0
+
+    def test_human_for_returns_cliques(self, epanet):
+        from repro.failures import ScenarioGenerator
+
+        factory = ObservationFactory(epanet, gamma=60.0, seed=0)
+        scenario = ScenarioGenerator(epanet, seed=0).multi_failure()
+        observation = factory.human_for(scenario, elapsed_slots=20)
+        assert observation.gamma == 60.0

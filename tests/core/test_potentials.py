@@ -1,0 +1,117 @@
+"""Higher-order potential / event-tuning tests (paper Eq. 10, Alg. 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import apply_event_tuning, clique_potential, total_energy
+from repro.observations import Clique
+
+
+def make_clique(nodes, k=2, confidence=0.91):
+    return Clique(
+        nodes=tuple(nodes), centre=(0.0, 0.0), report_count=k, confidence=confidence
+    )
+
+
+class TestCliquePotential:
+    def test_consistent_clique_zero(self):
+        assert clique_potential(("A", "B"), {"B"}, {"A": 0.5, "B": 0.5}, 0.0) == 0.0
+
+    def test_inconsistent_clique_infinite(self):
+        potential = clique_potential(("A", "B"), set(), {"A": 0.4, "B": 0.6}, 0.0)
+        assert math.isinf(potential)
+
+    def test_confident_negatives_zero(self):
+        """All entropies below Gamma: prediction trusted over the report."""
+        potential = clique_potential(("A",), set(), {"A": 0.01}, 0.05)
+        assert potential == 0.0
+
+
+class TestEventTuning:
+    names = ["A", "B", "C", "D"]
+
+    def test_flips_highest_entropy_member(self):
+        p = np.array([0.05, 0.4, 0.2, 0.9])
+        # D already predicted; clique over A,B,C is inconsistent.
+        updated, steps = apply_event_tuning(
+            p, self.names, [make_clique(["A", "B", "C"])]
+        )
+        assert len(steps) == 1
+        assert steps[0].flipped_node == "B"  # 0.4 has the highest entropy
+        assert updated[1] == 1.0
+
+    def test_consistent_clique_untouched(self):
+        p = np.array([0.05, 0.6, 0.2, 0.9])
+        updated, steps = apply_event_tuning(
+            p, self.names, [make_clique(["A", "B"])]
+        )
+        assert steps == []
+        assert np.array_equal(updated, p)
+
+    def test_input_not_mutated(self):
+        p = np.array([0.1, 0.1, 0.1, 0.1])
+        apply_event_tuning(p, self.names, [make_clique(["A"])])
+        assert p[0] == 0.1
+
+    def test_unknown_nodes_ignored(self):
+        p = np.array([0.1, 0.1, 0.1, 0.1])
+        updated, steps = apply_event_tuning(
+            p, self.names, [make_clique(["GHOST"])]
+        )
+        assert steps == []
+
+    def test_min_confidence_filters_cliques(self):
+        p = np.array([0.1, 0.1, 0.1, 0.1])
+        weak = make_clique(["A"], k=1, confidence=0.7)
+        _, steps = apply_event_tuning(
+            p, self.names, [weak], min_confidence=0.9
+        )
+        assert steps == []
+        _, steps = apply_event_tuning(
+            p, self.names, [weak], min_confidence=0.5
+        )
+        assert len(steps) == 1
+
+    def test_gamma_zero_always_applies(self):
+        """Paper setting: Gamma = 0 -> human input always considered."""
+        p = np.array([0.1, 0.1, 0.1, 0.1])
+        _, steps = apply_event_tuning(
+            p, self.names, [make_clique(["C"])], entropy_threshold=0.0
+        )
+        assert len(steps) == 1
+
+    def test_high_gamma_blocks_flip(self):
+        p = np.array([0.1, 0.1, 0.1, 0.1])
+        _, steps = apply_event_tuning(
+            p, self.names, [make_clique(["C"])], entropy_threshold=10.0
+        )
+        assert steps == []
+
+    def test_tuning_reduces_energy(self):
+        p = np.array([0.05, 0.45, 0.2, 0.9])
+        cliques = [make_clique(["A", "B", "C"])]
+        before = total_energy(p, self.names, cliques)
+        updated, _ = apply_event_tuning(p, self.names, cliques)
+        after = total_energy(updated, self.names, cliques)
+        assert math.isinf(before)
+        assert math.isfinite(after)
+        assert after < before
+
+    def test_two_cliques_flip_independently(self):
+        p = np.array([0.3, 0.1, 0.3, 0.1])
+        cliques = [make_clique(["A", "B"]), make_clique(["C", "D"])]
+        updated, steps = apply_event_tuning(p, self.names, cliques)
+        assert {s.flipped_node for s in steps} == {"A", "C"}
+
+
+class TestTotalEnergy:
+    def test_no_cliques_is_entropy_sum(self):
+        p = np.array([0.5, 0.5])
+        assert total_energy(p, ["A", "B"], []) == pytest.approx(2 * np.log(2))
+
+    def test_consistent_adds_nothing(self):
+        p = np.array([0.9, 0.1])
+        energy = total_energy(p, ["A", "B"], [make_clique(["A"])])
+        assert math.isfinite(energy)

@@ -1,0 +1,173 @@
+"""Profile model (Phase I) and inference engine (Phase II) tests.
+
+Uses a logistic profile on EPA-NET (fast) shared across the module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LeakInferenceEngine, ProfileModel
+from repro.datasets import generate_dataset
+from repro.observations import (
+    Clique,
+    HumanObservation,
+    WeatherObservation,
+)
+
+
+@pytest.fixture(scope="module")
+def profile(epanet, epanet_sensors_full, epanet_single_train):
+    model = ProfileModel(
+        epanet, epanet_sensors_full, classifier="logistic", random_state=0
+    )
+    model.fit(epanet_single_train)
+    return model
+
+
+@pytest.fixture(scope="module")
+def engine(profile):
+    return LeakInferenceEngine(profile)
+
+
+class TestProfileModel:
+    def test_predict_proba_shape(self, profile, epanet_single_test, epanet_sensors_full):
+        X = epanet_single_test.features_for(epanet_sensors_full)
+        proba = profile.predict_proba(X)
+        assert proba.shape == (epanet_single_test.n_samples, 91)
+        assert proba.min() >= 0.0 and proba.max() <= 1.0
+
+    def test_single_sample_accepted(self, profile, epanet_single_test, epanet_sensors_full):
+        X = epanet_single_test.features_for(epanet_sensors_full)
+        proba = profile.predict_proba(X[0])
+        assert proba.shape == (1, 91)
+
+    def test_evaluate_beats_random(self, profile, epanet_single_test):
+        score = profile.evaluate(epanet_single_test)
+        assert score > 0.3  # random guessing would score ~1/91
+
+    def test_unfitted_raises(self, epanet, epanet_sensors_full):
+        fresh = ProfileModel(epanet, epanet_sensors_full, classifier="logistic")
+        with pytest.raises(RuntimeError, match="not fitted"):
+            fresh.predict_proba(np.zeros(10))
+
+    def test_predicted_set_names(self, profile, epanet_single_test, epanet_sensors_full):
+        X = epanet_single_test.features_for(epanet_sensors_full)
+        predicted = profile.predicted_set(X[0])
+        assert predicted <= set(profile.junction_names)
+
+    def test_wrong_network_dataset_rejected(self, wssc, profile, epanet_sensors_full):
+        bad = generate_dataset(wssc, 3, kind="single", seed=0)
+        with pytest.raises(ValueError, match="junctions"):
+            profile.fit(bad)
+
+
+class TestInferenceEngine:
+    def test_iot_only_inference(self, engine, epanet_single_test, epanet_sensors_full):
+        X = epanet_single_test.features_for(epanet_sensors_full)
+        result = engine.infer(X[0])
+        assert set(result.stages) == {"iot"}
+        assert result.leak_nodes <= set(result.junction_names)
+        assert result.energy >= 0.0
+
+    def test_weather_stage_recorded(self, engine, epanet_single_test, epanet_sensors_full):
+        X = epanet_single_test.features_for(epanet_sensors_full)
+        weather = WeatherObservation(
+            temperature_f=10.0,
+            frozen_nodes=frozenset({engine.profile.junction_names[0]}),
+        )
+        result = engine.infer(X[0], weather=weather)
+        assert "weather" in result.stages
+
+    def test_warm_weather_ignored(self, engine, epanet_single_test, epanet_sensors_full):
+        X = epanet_single_test.features_for(epanet_sensors_full)
+        weather = WeatherObservation(
+            temperature_f=70.0,
+            frozen_nodes=frozenset({engine.profile.junction_names[0]}),
+        )
+        result = engine.infer(X[0], weather=weather)
+        assert "weather" not in result.stages
+
+    def test_freeze_evidence_raises_probability(
+        self, engine, epanet_single_test, epanet_sensors_full
+    ):
+        X = epanet_single_test.features_for(epanet_sensors_full)
+        node = engine.profile.junction_names[5]
+        weather = WeatherObservation(
+            temperature_f=10.0, frozen_nodes=frozenset({node})
+        )
+        result = engine.infer(X[0], weather=weather)
+        index = result.junction_names.index(node)
+        assert result.stages["weather"][index] >= result.stages["iot"][index]
+
+    def test_human_clique_forces_leak(
+        self, engine, epanet_single_test, epanet_sensors_full
+    ):
+        X = epanet_single_test.features_for(epanet_sensors_full)
+        target = engine.profile.junction_names[7]
+        clique = Clique(
+            nodes=(target,), centre=(0.0, 0.0), report_count=3, confidence=0.97
+        )
+        human = HumanObservation(cliques=(clique,), gamma=30.0)
+        result = engine.infer(X[0], human=human)
+        base = engine.infer(X[0])
+        if target not in base.leak_nodes:
+            assert target in result.leak_nodes
+            assert result.tuning_steps
+
+    def test_top_suspects_sorted(self, engine, epanet_single_test, epanet_sensors_full):
+        X = epanet_single_test.features_for(epanet_sensors_full)
+        suspects = engine.infer(X[0]).top_suspects(5)
+        probs = [p for _, p in suspects]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_batch_matches_single(self, engine, epanet_single_test, epanet_sensors_full):
+        X = epanet_single_test.features_for(epanet_sensors_full)[:5]
+        batch = engine.infer_batch(X)
+        for i, result in enumerate(batch):
+            single = engine.infer(X[i])
+            assert np.allclose(result.stages["iot"], single.stages["iot"])
+
+    def test_batch_validation(self, engine):
+        with pytest.raises(ValueError, match="n_samples"):
+            engine.infer_batch(np.zeros(5))
+
+    def test_label_vector_consistent(self, engine, epanet_single_test, epanet_sensors_full):
+        X = epanet_single_test.features_for(epanet_sensors_full)
+        result = engine.infer(X[0])
+        labels = result.label_vector()
+        assert labels.sum() == len(result.leak_nodes)
+
+    def test_min_clique_confidence_filters_weak_reports(
+        self, profile, epanet_single_test, epanet_sensors_full
+    ):
+        from repro.core import LeakInferenceEngine
+
+        X = epanet_single_test.features_for(epanet_sensors_full)
+        target = profile.junction_names[11]
+        weak = Clique(
+            nodes=(target,), centre=(0.0, 0.0), report_count=1, confidence=0.7
+        )
+        human = HumanObservation(cliques=(weak,), gamma=30.0)
+        strict = LeakInferenceEngine(profile, min_clique_confidence=0.9)
+        lax = LeakInferenceEngine(profile, min_clique_confidence=0.0)
+        strict_result = strict.infer(X[0], human=human)
+        lax_result = lax.infer(X[0], human=human)
+        assert not strict_result.tuning_steps
+        base = lax.infer(X[0])
+        if target not in base.leak_nodes:
+            assert lax_result.tuning_steps
+
+    def test_entropy_threshold_blocks_tuning(
+        self, profile, epanet_single_test, epanet_sensors_full
+    ):
+        from repro.core import LeakInferenceEngine
+
+        X = epanet_single_test.features_for(epanet_sensors_full)
+        target = profile.junction_names[13]
+        clique = Clique(
+            nodes=(target,), centre=(0.0, 0.0), report_count=4, confidence=0.99
+        )
+        human = HumanObservation(cliques=(clique,), gamma=30.0)
+        gated = LeakInferenceEngine(profile, entropy_threshold=10.0)
+        result = gated.infer(X[0], human=human)
+        assert not result.tuning_steps

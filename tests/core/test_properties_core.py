@@ -1,0 +1,88 @@
+"""Property-based tests for the fusion core (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    aggregate_freeze_evidence,
+    aggregate_probabilities,
+    apply_event_tuning,
+    binary_entropy,
+)
+from repro.observations import Clique
+
+probabilities = st.floats(min_value=0.01, max_value=0.99)
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=probabilities, q=probabilities, delta=st.floats(0.001, 0.2))
+def test_aggregation_monotone_in_each_source(p, q, delta):
+    base = aggregate_probabilities([p, q])
+    bumped = aggregate_probabilities([min(p + delta, 0.995), q])
+    assert bumped >= base - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=probabilities)
+def test_aggregation_with_neutral_source_is_identity(p):
+    assert aggregate_probabilities([p, 0.5]) == pytest.approx(p, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sources=st.lists(probabilities, min_size=1, max_size=6))
+def test_aggregation_stays_in_unit_interval(sources):
+    fused = aggregate_probabilities(sources)
+    assert 0.0 <= fused <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=probabilities, pf=st.floats(0.5, 0.99))
+def test_freeze_evidence_never_decreases_probability(p, pf):
+    fused = aggregate_freeze_evidence(
+        np.array([p]), np.array([True]), pf
+    )
+    assert fused[0] >= p - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    probs=st.lists(probabilities, min_size=3, max_size=10),
+    clique_size=st.integers(1, 3),
+)
+def test_event_tuning_idempotent(probs, clique_size):
+    """Applying the same cliques twice changes nothing the second time."""
+    names = [f"N{i}" for i in range(len(probs))]
+    clique = Clique(
+        nodes=tuple(names[:clique_size]),
+        centre=(0.0, 0.0),
+        report_count=2,
+        confidence=0.91,
+    )
+    p = np.array(probs)
+    once, _ = apply_event_tuning(p, names, [clique])
+    twice, steps = apply_event_tuning(once, names, [clique])
+    assert np.array_equal(once, twice)
+    assert steps == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(probs=st.lists(probabilities, min_size=2, max_size=10))
+def test_event_tuning_never_lowers_probabilities(probs):
+    names = [f"N{i}" for i in range(len(probs))]
+    clique = Clique(
+        nodes=tuple(names), centre=(0.0, 0.0), report_count=1, confidence=0.7
+    )
+    p = np.array(probs)
+    updated, _ = apply_event_tuning(p, names, [clique])
+    assert (updated >= p - 1e-12).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=st.floats(0.0, 1.0), q=st.floats(0.0, 1.0))
+def test_entropy_closer_to_half_is_larger(p, q):
+    if abs(p - 0.5) < abs(q - 0.5):
+        assert binary_entropy(p) >= binary_entropy(q) - 1e-12

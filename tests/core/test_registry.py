@@ -1,0 +1,56 @@
+"""Plug-and-play registry tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_NAMES,
+    available_classifiers,
+    make_classifier,
+    register_classifier,
+)
+from repro.ml import LogisticRegression, StackingClassifier
+
+
+class TestRegistry:
+    def test_paper_techniques_registered(self):
+        names = available_classifiers()
+        for required in ("linear", "logistic", "gb", "rf", "svm", "hybrid-rsl"):
+            assert required in names
+
+    def test_paper_display_names(self):
+        assert PAPER_NAMES["hybrid-rsl"] == "HybridRSL"
+        assert PAPER_NAMES["rf"] == "RF"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            make_classifier("nope")
+
+    def test_case_insensitive(self):
+        model = make_classifier("RF", random_state=0)
+        assert type(model).__name__ == "RandomForestClassifier"
+
+    def test_overrides_forwarded(self):
+        model = make_classifier("rf", n_estimators=3)
+        assert model.n_estimators == 3
+
+    def test_hybrid_is_rf_svm_logistic_stack(self):
+        model = make_classifier("hybrid-rsl", random_state=0)
+        assert isinstance(model, StackingClassifier)
+        names = [name for name, _ in model.estimators]
+        assert names == ["rf", "svm"]
+        assert isinstance(model.final_estimator, LogisticRegression)
+
+    def test_register_custom(self):
+        register_classifier("always-logistic", lambda random_state=None, **kw: LogisticRegression())
+        assert isinstance(make_classifier("always-logistic"), LogisticRegression)
+
+    def test_every_technique_fits_and_probas(self, rng):
+        X = rng.normal(size=(120, 5))
+        y = (X[:, 0] > 0).astype(int)
+        for name in ("linear", "logistic", "gb", "rf", "svm", "hybrid-rsl"):
+            model = make_classifier(name, random_state=0)
+            model.fit(X, y)
+            proba = model.predict_proba(X)
+            assert proba.shape == (120, 2), name
+            assert np.all((proba >= 0) & (proba <= 1)), name

@@ -1,0 +1,109 @@
+"""Leak-size estimation and topology-aware scoring tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import LeakSizeEstimator, TopologicalScorer
+from repro.sensing import SensorNetwork, full_candidate_set
+
+
+class TestLeakSizeEstimator:
+    @pytest.fixture()
+    def estimator(self, two_loop):
+        sensors = SensorNetwork(full_candidate_set(two_loop))
+        return LeakSizeEstimator(two_loop, sensors)
+
+    def test_recovers_true_size(self, estimator):
+        true_ec = 2.3e-3
+        observed = estimator._delta_for("J5", true_ec)
+        estimate = estimator.estimate("J5", observed)
+        assert estimate.ec == pytest.approx(true_ec, rel=0.05)
+        assert estimate.residual < 1e-3
+        assert estimate.leak_flow > 0
+
+    def test_recovers_small_and_large(self, estimator):
+        for true_ec in (4e-4, 8e-3):
+            observed = estimator._delta_for("J3", true_ec)
+            estimate = estimator.estimate("J3", observed)
+            assert estimate.ec == pytest.approx(true_ec, rel=0.1)
+
+    def test_wrong_node_leaves_residual(self, estimator):
+        observed = estimator._delta_for("J5", 3e-3)
+        right = estimator.estimate("J5", observed)
+        wrong = estimator.estimate("J1", observed)
+        assert wrong.residual > right.residual
+
+    def test_evaluation_budget_respected(self, estimator):
+        observed = estimator._delta_for("J5", 2e-3)
+        estimate = estimator.estimate("J5", observed, max_evaluations=12)
+        assert estimate.evaluations <= 12
+
+    def test_validation(self, estimator):
+        with pytest.raises(ValueError, match="sensor deltas"):
+            estimator.estimate("J5", np.zeros(3))
+        with pytest.raises(ValueError, match="ec_low"):
+            estimator.estimate(
+                "J5", np.zeros(len(estimator.sensors)), ec_low=0.0
+            )
+
+    def test_estimate_for_result(self, estimator, two_loop):
+        from repro.core import InferenceResult
+
+        observed = estimator._delta_for("J5", 2e-3)
+        names = two_loop.junction_names()
+        p = np.zeros(len(names))
+        p[names.index("J5")] = 0.9
+        p[names.index("J4")] = 0.6
+        result = InferenceResult(
+            probabilities=p, junction_names=names, leak_nodes={"J5", "J4"}
+        )
+        estimates = estimator.estimate_for_result(result, observed, top_k=2)
+        assert estimates[0].node == "J5"  # best residual first
+
+
+class TestTopologicalScorer:
+    @pytest.fixture()
+    def scorer(self, two_loop):
+        return TopologicalScorer(two_loop, max_hops=2)
+
+    def test_exact_hit_full_credit(self, scorer):
+        assert scorer.score({"J5"}, {"J5"}) == 1.0
+
+    def test_adjacent_half_credit(self, scorer, two_loop):
+        # J4 and J5 are adjacent (pipe P7).
+        assert scorer.score({"J5"}, {"J4"}) == pytest.approx(0.5)
+
+    def test_far_miss_zero(self, scorer):
+        assert scorer.score({"J7"}, {"J1"}) == 0.0
+
+    def test_empty_sets(self, scorer):
+        assert scorer.score(set(), set()) == 1.0
+        assert scorer.score({"J5"}, set()) == 0.0
+        assert scorer.score(set(), {"J5"}) == 0.0
+
+    def test_spray_penalised(self, scorer, two_loop):
+        focused = scorer.score({"J5"}, {"J5"})
+        sprayed = scorer.score({"J5"}, set(two_loop.junction_names()))
+        assert sprayed < focused
+
+    def test_one_to_one_matching(self, scorer):
+        # Two true leaks, one exact prediction: the prediction cannot
+        # be double-counted.
+        score = scorer.score({"J5", "J3"}, {"J5"})
+        assert score == pytest.approx(0.5)
+
+    def test_topological_beats_jaccard_on_near_miss(self, scorer):
+        # Prediction one hop off: Jaccard says 0, topological says 0.5.
+        assert scorer.score({"J5"}, {"J4"}) > 0.0
+
+    def test_mean_score(self, scorer):
+        value = scorer.mean_score(
+            [{"J5"}, {"J3"}], [{"J5"}, {"J7"}]
+        )
+        assert 0.0 <= value <= 1.0
+
+    def test_validation(self, two_loop, scorer):
+        with pytest.raises(ValueError):
+            TopologicalScorer(two_loop, max_hops=-1)
+        with pytest.raises(ValueError):
+            scorer.mean_score([{"J5"}], [])

@@ -1,0 +1,87 @@
+"""Dataset / profile persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProfileModel
+from repro.datasets import (
+    generate_dataset,
+    load_dataset,
+    load_profile,
+    save_dataset,
+    save_profile,
+)
+
+
+class TestDatasetRoundTrip:
+    def test_arrays_identical(self, epanet, tmp_path):
+        original = generate_dataset(epanet, 15, kind="low-temperature", seed=5)
+        path = tmp_path / "data.npz"
+        save_dataset(original, path)
+        loaded = load_dataset(path)
+        assert np.array_equal(loaded.X_candidates, original.X_candidates)
+        assert np.array_equal(loaded.Y, original.Y)
+        assert loaded.candidate_keys == original.candidate_keys
+        assert loaded.junction_names == original.junction_names
+        assert loaded.elapsed_slots == original.elapsed_slots
+
+    def test_scenarios_roundtrip(self, epanet, tmp_path):
+        original = generate_dataset(epanet, 10, kind="low-temperature", seed=6)
+        path = tmp_path / "data.npz"
+        save_dataset(original, path)
+        loaded = load_dataset(path)
+        for a, b in zip(original.scenarios, loaded.scenarios):
+            assert a.leak_nodes == b.leak_nodes
+            assert a.start_slot == b.start_slot
+            assert a.frozen_nodes == b.frozen_nodes
+            assert a.temperature_f == b.temperature_f
+            for ea, eb in zip(a.events, b.events):
+                assert ea == eb
+
+    def test_version_check(self, epanet, tmp_path):
+        import json
+
+        original = generate_dataset(epanet, 3, kind="single", seed=7)
+        path = tmp_path / "data.npz"
+        save_dataset(original, path)
+        # Corrupt the version field.
+        with np.load(path) as bundle:
+            metadata = json.loads(bytes(bundle["metadata"].tobytes()))
+            metadata["version"] = 999
+            np.savez_compressed(
+                path,
+                X_candidates=bundle["X_candidates"],
+                Y=bundle["Y"],
+                metadata=np.frombuffer(json.dumps(metadata).encode(), dtype=np.uint8),
+            )
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)
+
+
+class TestProfileRoundTrip:
+    def test_predictions_survive(self, epanet, epanet_sensors_full, epanet_single_train, tmp_path):
+        profile = ProfileModel(
+            epanet, epanet_sensors_full, classifier="logistic", random_state=0
+        )
+        profile.fit(epanet_single_train)
+        X = epanet_single_train.features_for(epanet_sensors_full)[:5]
+        before = profile.predict_proba(X)
+        path = tmp_path / "profile.pkl"
+        save_profile(profile, path)
+        loaded = load_profile(path)
+        after = loaded.predict_proba(X)
+        assert np.allclose(before, after)
+
+    def test_full_aquascale_roundtrip(self, epanet, epanet_single_train, tmp_path):
+        from repro.core import AquaScale
+
+        model = AquaScale(epanet, iot_percent=100.0, classifier="logistic", seed=0)
+        model.train(dataset=epanet_single_train)
+        path = tmp_path / "aqua.pkl"
+        save_profile(model, path)
+        loaded = load_profile(path)
+        X = epanet_single_train.features_for(model.sensors)[:3]
+        for i in range(3):
+            a = model.engine.infer(X[i])
+            b = loaded.engine.infer(X[i])
+            assert a.leak_nodes == b.leak_nodes

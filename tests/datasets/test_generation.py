@@ -1,0 +1,106 @@
+"""Dataset generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import LeakDataset, generate_dataset
+from repro.sensing import Sensor, SensorNetwork, SensorType
+
+
+class TestGeneration:
+    def test_shapes(self, epanet, epanet_single_train):
+        ds = epanet_single_train
+        n_candidates = epanet.num_nodes + epanet.num_links
+        assert ds.X_candidates.shape == (400, n_candidates)
+        assert ds.Y.shape == (400, len(epanet.junction_names()))
+        assert len(ds.scenarios) == 400
+
+    def test_labels_match_scenarios(self, epanet, epanet_single_train):
+        ds = epanet_single_train
+        for i in (0, 10, 100):
+            leaks = ds.scenarios[i].leak_nodes
+            positive = {
+                ds.junction_names[j]
+                for j in np.nonzero(ds.Y[i] == 1)[0]
+            }
+            assert positive == leaks
+
+    def test_deterministic(self, epanet):
+        a = generate_dataset(epanet, 20, kind="single", seed=9)
+        b = generate_dataset(epanet, 20, kind="single", seed=9)
+        assert np.array_equal(a.X_candidates, b.X_candidates)
+        assert np.array_equal(a.Y, b.Y)
+
+    def test_different_seeds_differ(self, epanet):
+        a = generate_dataset(epanet, 10, kind="single", seed=1)
+        b = generate_dataset(epanet, 10, kind="single", seed=2)
+        assert not np.array_equal(a.X_candidates, b.X_candidates)
+
+    def test_prebuilt_scenarios(self, epanet):
+        from repro.failures import ScenarioGenerator
+
+        scenarios = ScenarioGenerator(epanet, seed=4).batch(5, kind="multi")
+        ds = generate_dataset(epanet, 0, scenarios=scenarios, seed=0)
+        assert ds.n_samples == 5
+
+    def test_validation_mismatched_shapes(self, epanet, epanet_single_train):
+        ds = epanet_single_train
+        with pytest.raises(ValueError):
+            LeakDataset(
+                X_candidates=ds.X_candidates[:10],
+                Y=ds.Y[:5],
+                candidate_keys=ds.candidate_keys,
+                junction_names=ds.junction_names,
+                scenarios=ds.scenarios[:10],
+            )
+
+
+class TestFeatureSubsetting:
+    def test_features_for_deployment(self, epanet, epanet_single_train):
+        deployment = SensorNetwork(
+            [
+                Sensor(epanet.junction_names()[0], SensorType.PRESSURE),
+                Sensor(next(iter(epanet.links)), SensorType.FLOW),
+            ]
+        )
+        features = epanet_single_train.features_for(deployment)
+        assert features.shape == (400, 2)
+
+    def test_full_candidate_columns_include_leak_signature(
+        self, epanet, epanet_single_train
+    ):
+        ds = epanet_single_train
+        # Average pressure delta over leaky columns should be negative.
+        pressure_cols = [
+            i for i, k in enumerate(ds.candidate_keys) if k.startswith("pressure:")
+        ]
+        deltas = ds.X_candidates[:, pressure_cols]
+        assert deltas.mean() < 0
+
+
+class TestSplitSubset:
+    def test_split_partitions(self, epanet_single_train):
+        train, test = epanet_single_train.split(test_fraction=0.25, seed=0)
+        assert train.n_samples + test.n_samples == epanet_single_train.n_samples
+        assert test.n_samples == 100
+
+    def test_split_rows_consistent(self, epanet_single_train):
+        train, _ = epanet_single_train.split(test_fraction=0.5, seed=1)
+        # Each row's labels must still match its scenario.
+        for i in (0, 3):
+            leaks = train.scenarios[i].leak_nodes
+            positive = {
+                train.junction_names[j] for j in np.nonzero(train.Y[i] == 1)[0]
+            }
+            assert positive == leaks
+
+    def test_invalid_fraction(self, epanet_single_train):
+        with pytest.raises(ValueError):
+            epanet_single_train.split(test_fraction=0.0)
+
+    def test_subset_by_indices(self, epanet_single_train):
+        subset = epanet_single_train.subset(np.array([3, 5, 7]))
+        assert subset.n_samples == 3
+        assert np.array_equal(
+            subset.X_candidates[1], epanet_single_train.X_candidates[5]
+        )

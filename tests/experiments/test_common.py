@@ -1,0 +1,75 @@
+"""Experiment-harness infrastructure tests (caching, memoisation)."""
+
+import pytest
+
+from repro.experiments import (
+    cached_dataset,
+    cached_model,
+    cached_network,
+    clear_caches,
+)
+from repro.experiments.common import _DATASET_CACHE, _MODEL_CACHE, _NETWORK_CACHE
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestNetworkCache:
+    def test_same_object_returned(self):
+        a = cached_network("two-loop")
+        b = cached_network("two-loop")
+        assert a is b
+
+    def test_different_names_different_objects(self):
+        assert cached_network("two-loop") is not cached_network("epanet")
+
+
+class TestDatasetCache:
+    def test_memoised_by_full_key(self):
+        a = cached_dataset("two-loop", 10, "single", 1)
+        b = cached_dataset("two-loop", 10, "single", 1)
+        assert a is b
+        c = cached_dataset("two-loop", 10, "single", 2)
+        assert c is not a
+
+    def test_elapsed_slots_in_key(self):
+        a = cached_dataset("two-loop", 5, "single", 1, elapsed_slots=1)
+        b = cached_dataset("two-loop", 5, "single", 1, elapsed_slots=4)
+        assert a is not b
+
+    def test_clear_caches_empties(self):
+        cached_dataset("two-loop", 5, "single", 1)
+        assert _DATASET_CACHE
+        clear_caches()
+        assert not _DATASET_CACHE
+        assert not _NETWORK_CACHE
+        assert not _MODEL_CACHE
+
+
+class TestModelCache:
+    def test_model_trained_once(self):
+        a = cached_model(
+            "two-loop", "logistic", iot_percent=100.0,
+            train_samples=40, train_kind="single", seed=0,
+        )
+        b = cached_model(
+            "two-loop", "logistic", iot_percent=100.0,
+            train_samples=40, train_kind="single", seed=0,
+        )
+        assert a is b
+        assert a.engine is not None
+
+    def test_iot_percent_in_key(self):
+        a = cached_model(
+            "two-loop", "logistic", iot_percent=100.0,
+            train_samples=40, train_kind="single", seed=0,
+        )
+        b = cached_model(
+            "two-loop", "logistic", iot_percent=50.0,
+            train_samples=40, train_kind="single", seed=0,
+        )
+        assert a is not b

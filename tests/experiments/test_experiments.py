@@ -1,0 +1,112 @@
+"""Experiment-driver tests (tiny configurations).
+
+Each figure driver is run with a miniature config to verify that the
+machinery produces the right rows and that the paper's qualitative shape
+holds where tiny data suffices (fig02, fig03, fig11).  The score-heavy
+figures (06-10) are exercised for structure only here — their full-size
+shape checks live in the benchmark suite.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    fig02_pressure_profiles,
+    fig03_breaks_vs_temperature,
+    fig06_ml_comparison,
+    fig11_flood,
+)
+
+
+class TestExperimentResult:
+    def test_table_rendering(self):
+        result = ExperimentResult(
+            "figX", "demo", [{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}]
+        )
+        table = result.to_table()
+        assert "| a | b |" in table
+        assert "0.500" in table
+
+    def test_empty_rows(self):
+        assert ExperimentResult("figX", "demo", []).to_table() == "(no rows)"
+
+    def test_series_extraction(self):
+        result = ExperimentResult(
+            "figX",
+            "demo",
+            [
+                {"x": 1, "y": 0.1, "kind": "a"},
+                {"x": 2, "y": 0.2, "kind": "a"},
+                {"x": 1, "y": 0.9, "kind": "b"},
+            ],
+        )
+        xs, ys = result.series("x", "y", kind="a")
+        assert xs == [1, 2] and ys == [0.1, 0.2]
+
+
+class TestFig02:
+    def test_single_leak_profile_decays(self):
+        result = fig02_pressure_profiles.run()
+        assert fig02_pressure_profiles.monotone_fraction(result, "scenario-1") == 1.0
+
+    def test_multi_leak_breaks_pattern(self):
+        result = fig02_pressure_profiles.run()
+        multi = fig02_pressure_profiles.monotone_fraction(result, "scenario-3")
+        single = fig02_pressure_profiles.monotone_fraction(result, "scenario-1")
+        assert multi < single
+
+    def test_all_changes_negative(self):
+        result = fig02_pressure_profiles.run()
+        for row in result.rows:
+            if row["n_nodes"]:
+                assert row["sum_pressure_change_m"] < 0.0
+
+
+class TestFig03:
+    def test_breaks_rise_in_cold(self):
+        result = fig03_breaks_vs_temperature.run()
+        for county in ("prince-georges", "montgomery"):
+            ratio = fig03_breaks_vs_temperature.cold_warm_ratio(result, county)
+            assert ratio > 2.0
+
+    def test_both_counties_present(self):
+        result = fig03_breaks_vs_temperature.run()
+        counties = {row["county"] for row in result.rows}
+        assert counties == {"prince-georges", "montgomery"}
+
+    def test_deterministic(self):
+        a = fig03_breaks_vs_temperature.run(seed=3)
+        b = fig03_breaks_vs_temperature.run(seed=3)
+        assert a.rows == b.rows
+
+
+class TestFig06Tiny:
+    @pytest.mark.slow
+    def test_structure(self):
+        result = fig06_ml_comparison.run(
+            techniques=("logistic",),
+            iot_levels=(100.0,),
+            n_train=150,
+            n_test=30,
+        )
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row["technique"] == "LogisticR"
+        assert 0.0 <= row["hamming_score"] <= 1.0
+
+
+class TestFig11:
+    def test_summary_quantities(self):
+        result = fig11_flood.run(duration=900.0, cell_size=100.0)
+        quantities = {row["quantity"] for row in result.rows}
+        assert "max flood depth H (m)" in quantities
+        depth = next(
+            row["value"] for row in result.rows if row["quantity"] == "max flood depth H (m)"
+        )
+        assert depth > 0.0
+
+    def test_leaks_at_distinct_nodes(self):
+        result = fig11_flood.run(duration=900.0, cell_size=100.0)
+        v1 = next(r["value"] for r in result.rows if r["quantity"] == "leak v1 node")
+        v2 = next(r["value"] for r in result.rows if r["quantity"] == "leak v2 node")
+        assert v1 != v2

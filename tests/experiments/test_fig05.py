@@ -1,0 +1,22 @@
+"""Fig.-5 experiment driver tests."""
+
+from repro.experiments import fig05_networks
+
+
+class TestFig05:
+    def test_counts_match_caption(self):
+        result = fig05_networks.run()
+        assert fig05_networks.matches_paper_counts(result)
+
+    def test_structural_columns_present(self):
+        result = fig05_networks.run(network_names=("epanet",))
+        row = result.rows[0]
+        assert row["loops"] > 0
+        assert row["elevation_relief_m"] > 0
+        assert row["total_demand_lps"] > 0
+        assert row["diameter_m_min"] < row["diameter_m_max"]
+
+    def test_mismatch_detected(self):
+        result = fig05_networks.run(network_names=("epanet",))
+        result.rows[0]["pumps"] = 99
+        assert not fig05_networks.matches_paper_counts(result)

@@ -1,0 +1,180 @@
+"""Leak event, scenario generation and break-rate tests."""
+
+import numpy as np
+import pytest
+
+from repro.failures import (
+    COUNTY_MODELS,
+    BreakRateModel,
+    LeakEvent,
+    ScenarioGenerator,
+    breaks_by_temperature_bin,
+    events_to_emitters,
+    synthetic_daily_temperatures,
+)
+
+
+class TestLeakEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="size"):
+            LeakEvent("J1", size=0.0)
+        with pytest.raises(ValueError, match="start_slot"):
+            LeakEvent("J1", size=1e-3, start_slot=-1)
+
+    def test_to_timed_leak(self):
+        event = LeakEvent("J1", 2e-3, start_slot=4)
+        leak = event.to_timed_leak(900.0)
+        assert leak.node == "J1"
+        assert leak.start_time == 3600.0
+        assert leak.emitter_coefficient == 2e-3
+
+    def test_emitters_merge_same_node(self):
+        events = [LeakEvent("J1", 1e-3), LeakEvent("J1", 2e-3), LeakEvent("J2", 5e-4)]
+        emitters = events_to_emitters(events)
+        assert emitters["J1"][0] == pytest.approx(3e-3)
+        assert emitters["J2"][0] == pytest.approx(5e-4)
+
+
+class TestScenarioGenerator:
+    def test_single_has_one_event(self, epanet):
+        generator = ScenarioGenerator(epanet, seed=0)
+        scenario = generator.single_failure()
+        assert len(scenario.events) == 1
+        assert scenario.events[0].location in epanet.junction_names()
+
+    def test_multi_event_count_in_range(self, epanet):
+        generator = ScenarioGenerator(epanet, seed=1)
+        counts = [len(generator.multi_failure(max_events=5).events) for _ in range(200)]
+        assert min(counts) >= 1 and max(counts) <= 5
+        assert len(set(counts)) == 5  # all U(1,5) values appear
+
+    def test_multi_locations_distinct(self, epanet):
+        generator = ScenarioGenerator(epanet, seed=2)
+        for _ in range(50):
+            scenario = generator.multi_failure()
+            locations = [e.location for e in scenario.events]
+            assert len(set(locations)) == len(locations)
+
+    def test_events_share_start_slot(self, epanet):
+        generator = ScenarioGenerator(epanet, seed=3)
+        scenario = generator.multi_failure()
+        slots = {e.start_slot for e in scenario.events}
+        assert len(slots) == 1
+        assert scenario.start_slot in slots
+
+    def test_low_temperature_bias(self, epanet):
+        generator = ScenarioGenerator(epanet, seed=4)
+        hits = total = 0
+        for _ in range(100):
+            scenario = generator.low_temperature_failure()
+            assert scenario.temperature_f < 20.0
+            assert scenario.frozen_nodes
+            for event in scenario.events:
+                total += 1
+                hits += event.location in scenario.frozen_nodes
+        assert hits / total > 0.7  # leaks concentrate on frozen nodes
+
+    def test_label_vector(self, epanet):
+        generator = ScenarioGenerator(epanet, seed=5)
+        scenario = generator.multi_failure()
+        labels = scenario.label_vector(epanet.junction_names())
+        assert labels.sum() == len(scenario.events)
+
+    def test_batch_kinds(self, epanet):
+        generator = ScenarioGenerator(epanet, seed=6)
+        assert len(generator.batch(5, kind="single")) == 5
+        with pytest.raises(ValueError, match="kind"):
+            generator.batch(1, kind="weird")
+
+    def test_deterministic(self, epanet):
+        a = ScenarioGenerator(epanet, seed=7).batch(10)
+        b = ScenarioGenerator(epanet, seed=7).batch(10)
+        assert [s.leak_nodes for s in a] == [s.leak_nodes for s in b]
+
+    def test_size_range(self, epanet):
+        generator = ScenarioGenerator(epanet, seed=8, ec_range=(1e-3, 2e-3))
+        for _ in range(50):
+            scenario = generator.single_failure()
+            assert 1e-3 <= scenario.events[0].size <= 2e-3
+
+
+class TestWeatherDrivenStream:
+    def test_stream_ordered_and_stamped(self, epanet):
+        generator = ScenarioGenerator(epanet, seed=10)
+        stream = generator.weather_driven_stream(5000, weather_seed=1)
+        slots = [slot for slot, _ in stream]
+        assert slots == sorted(slots)
+        for slot, scenario in stream:
+            assert scenario.start_slot >= 1
+            assert all(e.start_slot == scenario.start_slot for e in scenario.events)
+
+    def test_cold_slots_produce_freeze_scenarios(self, epanet):
+        generator = ScenarioGenerator(epanet, seed=11)
+        stream = generator.weather_driven_stream(
+            30_000, weather_seed=2, base_rate_per_slot=0.003
+        )
+        cold = [s for _, s in stream if s.temperature_f <= 20.0]
+        warm = [s for _, s in stream if s.temperature_f > 20.0]
+        assert cold, "a 30k-slot trace should include a cold snap"
+        assert all(s.frozen_nodes for s in cold)
+        assert all(not s.frozen_nodes for s in warm)
+
+    def test_cold_multiplier_raises_failure_density(self, epanet):
+        generator = ScenarioGenerator(epanet, seed=12)
+        stream = generator.weather_driven_stream(
+            30_000, weather_seed=2, cold_multiplier=12.0
+        )
+        from repro.observations import MarkovWeatherModel
+
+        trace = MarkovWeatherModel(seed=2).simulate(30_000)
+        freezing_slots = set(trace.freezing_slots().tolist())
+        if len(freezing_slots) > 500:
+            cold_hits = sum(1 for slot, _ in stream if slot in freezing_slots)
+            warm_hits = len(stream) - cold_hits
+            cold_rate = cold_hits / len(freezing_slots)
+            warm_rate = warm_hits / (30_000 - len(freezing_slots))
+            assert cold_rate > 3.0 * warm_rate
+
+    def test_validation(self, epanet):
+        with pytest.raises(ValueError):
+            ScenarioGenerator(epanet, seed=0).weather_driven_stream(0)
+
+
+class TestBreakRateModel:
+    def test_rate_rises_in_cold(self):
+        model = BreakRateModel()
+        assert model.rate(10.0) > model.rate(32.0) > model.rate(70.0)
+
+    def test_rate_floors_at_base(self):
+        model = BreakRateModel(base_rate=1.5)
+        assert model.rate(100.0) == pytest.approx(1.5, abs=0.05)
+
+    def test_sampling_matches_mean(self):
+        model = BreakRateModel()
+        rng = np.random.default_rng(0)
+        temps = np.full(20_000, 15.0)
+        draws = model.sample_daily_breaks(temps, rng)
+        assert draws.mean() == pytest.approx(model.rate(15.0), rel=0.05)
+
+    def test_county_models_distinct(self):
+        assert (
+            COUNTY_MODELS["prince-georges"].base_rate
+            != COUNTY_MODELS["montgomery"].base_rate
+        )
+
+    def test_binning(self):
+        temps = np.array([10.0, 12.0, 50.0, 52.0])
+        breaks = np.array([5.0, 7.0, 1.0, 1.0])
+        centres, means = breaks_by_temperature_bin(
+            temps, breaks, np.array([0.0, 20.0, 40.0, 60.0])
+        )
+        assert means[0] == pytest.approx(6.0)
+        assert np.isnan(means[1])
+        assert means[2] == pytest.approx(1.0)
+
+    def test_synthetic_temperatures_seasonal(self):
+        rng = np.random.default_rng(1)
+        temps = synthetic_daily_temperatures(365, rng)
+        january = temps[:31].mean()
+        july = temps[180:211].mean()
+        assert july > january + 20.0

@@ -1,0 +1,153 @@
+"""DEM and flood-solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.failures import LeakEvent
+from repro.flood import (
+    DEM,
+    DiffusiveWaveSolver,
+    FloodSource,
+    dem_from_network,
+    flood_sources_from_events,
+    leak_outflows,
+    predict_flood,
+)
+
+
+class TestDEM:
+    def test_from_network_shape_covers_extent(self, two_loop):
+        dem = dem_from_network(two_loop, cell_size=50.0, margin=100.0)
+        rows, cols = dem.shape
+        assert rows >= 2 and cols >= 2
+        assert dem.cell_area == 2500.0
+
+    def test_interpolation_within_sample_range(self, two_loop):
+        dem = dem_from_network(two_loop, cell_size=50.0)
+        elevations = [
+            getattr(n, "elevation", None)
+            for n in two_loop.nodes.values()
+            if getattr(n, "elevation", None) is not None
+        ]
+        assert dem.elevation.min() >= min(elevations) - 1e-6
+        assert dem.elevation.max() <= max(elevations) + 1e-6
+
+    def test_cell_of_clamps(self):
+        dem = DEM(x0=0.0, y0=0.0, cell_size=10.0, elevation=np.zeros((5, 5)))
+        assert dem.cell_of(-100.0, -100.0) == (0, 0)
+        assert dem.cell_of(1e6, 1e6) == (4, 4)
+
+    def test_centre_roundtrip(self):
+        dem = DEM(x0=5.0, y0=7.0, cell_size=10.0, elevation=np.zeros((4, 4)))
+        x, y = dem.centre_of(2, 3)
+        assert dem.cell_of(x, y) == (2, 3)
+
+    def test_invalid_cell_size(self, two_loop):
+        with pytest.raises(ValueError):
+            dem_from_network(two_loop, cell_size=0.0)
+
+
+class TestSolver:
+    def make_bowl_dem(self, n=21, cell=10.0):
+        """A paraboloid bowl: water must pool at the centre."""
+        axis = np.linspace(-1, 1, n)
+        xx, yy = np.meshgrid(axis, axis)
+        z = 5.0 * (xx**2 + yy**2)
+        return DEM(x0=0.0, y0=0.0, cell_size=cell, elevation=z)
+
+    def test_volume_conserved_closed_boundary(self):
+        dem = self.make_bowl_dem()
+        solver = DiffusiveWaveSolver(dem, open_boundary=False)
+        source = FloodSource(*dem.centre_of(10, 10), inflow=0.05)
+        result = solver.run([source], duration=300.0)
+        assert result.final_volume == pytest.approx(
+            result.total_inflow_volume, rel=1e-9
+        )
+
+    def test_water_pools_at_bowl_centre(self):
+        dem = self.make_bowl_dem()
+        solver = DiffusiveWaveSolver(dem, open_boundary=False)
+        source = FloodSource(*dem.centre_of(3, 3), inflow=0.05)
+        result = solver.run([source], duration=2000.0)
+        centre_depth = result.depth[10, 10]
+        corner_depth = result.depth[1, 1]
+        assert centre_depth > corner_depth
+
+    def test_depth_never_negative(self):
+        dem = self.make_bowl_dem()
+        solver = DiffusiveWaveSolver(dem, open_boundary=False)
+        result = solver.run(
+            [FloodSource(*dem.centre_of(5, 5), inflow=0.2)], duration=500.0
+        )
+        assert result.depth.min() >= 0.0
+
+    def test_open_boundary_loses_water(self):
+        dem = DEM(
+            x0=0.0,
+            y0=0.0,
+            cell_size=10.0,
+            elevation=np.tile(np.linspace(5.0, 0.0, 15), (15, 1)),
+        )
+        solver = DiffusiveWaveSolver(dem, open_boundary=True)
+        result = solver.run(
+            [FloodSource(*dem.centre_of(7, 7), inflow=0.5)], duration=2000.0
+        )
+        assert result.final_volume < result.total_inflow_volume
+
+    def test_max_depth_geq_final(self):
+        dem = self.make_bowl_dem()
+        solver = DiffusiveWaveSolver(dem, open_boundary=False)
+        result = solver.run(
+            [FloodSource(*dem.centre_of(5, 5), inflow=0.1)], duration=300.0
+        )
+        assert (result.max_depth >= result.depth - 1e-12).all()
+
+    def test_inflow_duration_caps_volume(self):
+        dem = self.make_bowl_dem()
+        solver = DiffusiveWaveSolver(dem, open_boundary=False)
+        result = solver.run(
+            [FloodSource(*dem.centre_of(5, 5), inflow=0.1)],
+            duration=600.0,
+            inflow_duration=100.0,
+        )
+        assert result.total_inflow_volume == pytest.approx(10.0, rel=1e-6)
+
+    def test_snapshots_recorded(self):
+        dem = self.make_bowl_dem()
+        solver = DiffusiveWaveSolver(dem, open_boundary=False)
+        result = solver.run(
+            [FloodSource(*dem.centre_of(5, 5), inflow=0.1)],
+            duration=100.0,
+            snapshot_interval=25.0,
+        )
+        assert len(result.snapshots) >= 3
+        assert len(result.times) == len(result.snapshots)
+
+    def test_validation(self):
+        dem = self.make_bowl_dem()
+        with pytest.raises(ValueError):
+            DiffusiveWaveSolver(dem, manning_n=0.0)
+        solver = DiffusiveWaveSolver(dem)
+        with pytest.raises(ValueError):
+            solver.run([], duration=0.0)
+        with pytest.raises(ValueError):
+            solver.run([FloodSource(0, 0, -1.0)], duration=10.0)
+
+
+class TestCoupling:
+    def test_leak_outflows_match_solver(self, two_loop):
+        events = [LeakEvent("J5", 2e-3)]
+        outflows = leak_outflows(two_loop, events)
+        assert outflows["J5"] > 0
+
+    def test_sources_at_leak_coordinates(self, two_loop):
+        events = [LeakEvent("J5", 2e-3)]
+        sources = flood_sources_from_events(two_loop, events)
+        assert (sources[0].x, sources[0].y) == two_loop.nodes["J5"].coordinates
+
+    def test_predict_flood_end_to_end(self, two_loop):
+        dem, result = predict_flood(
+            two_loop, [LeakEvent("J5", 3e-3)], duration=600.0, cell_size=50.0
+        )
+        assert result.total_inflow_volume > 0
+        assert result.max_depth.max() > 0

@@ -1,0 +1,138 @@
+"""Component model tests."""
+
+import math
+
+import pytest
+
+from repro.hydraulics import (
+    Curve,
+    Junction,
+    LinkStatus,
+    NetworkTopologyError,
+    Pattern,
+    Pipe,
+    Pump,
+    Tank,
+    Valve,
+    ValveType,
+)
+from repro.hydraulics.components import PumpCurveModel
+
+
+class TestPattern:
+    def test_wraps_around(self):
+        pattern = Pattern("p", [1.0, 2.0, 3.0])
+        assert pattern.at(0.0, 3600.0) == 1.0
+        assert pattern.at(3600.0, 3600.0) == 2.0
+        assert pattern.at(3 * 3600.0, 3600.0) == 1.0
+
+    def test_empty_defaults_to_one(self):
+        assert Pattern("p", []).at(123.0, 900.0) == 1.0
+
+
+class TestCurve:
+    def test_interpolates_between_points(self):
+        curve = Curve("c", [(0.0, 10.0), (2.0, 0.0)])
+        assert curve.interpolate(1.0) == pytest.approx(5.0)
+
+    def test_flat_extrapolation(self):
+        curve = Curve("c", [(1.0, 4.0), (2.0, 8.0)])
+        assert curve.interpolate(0.0) == 4.0
+        assert curve.interpolate(5.0) == 8.0
+
+    def test_points_sorted_on_init(self):
+        curve = Curve("c", [(2.0, 8.0), (1.0, 4.0)])
+        assert curve.points[0][0] == 1.0
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(ValueError):
+            Curve("c", []).interpolate(1.0)
+
+
+class TestJunction:
+    def test_emitter_flow_follows_eq1(self):
+        j = Junction("J", elevation=10.0, emitter_coefficient=0.002)
+        head = 50.0  # pressure = 40 m
+        assert j.emitter_flow(head) == pytest.approx(0.002 * math.sqrt(40.0))
+
+    def test_emitter_zero_below_elevation(self):
+        j = Junction("J", elevation=10.0, emitter_coefficient=0.002)
+        assert j.emitter_flow(5.0) == 0.0
+
+    def test_no_emitter_no_flow(self):
+        assert Junction("J", elevation=0.0).emitter_flow(100.0) == 0.0
+
+
+class TestTank:
+    def test_head_and_volume(self):
+        tank = Tank("T", elevation=30.0, init_level=4.0, min_level=1.0, max_level=8.0, diameter=10.0)
+        assert tank.head_at_level(4.0) == 34.0
+        volume = tank.volume_at_level(4.0)
+        assert tank.level_from_volume(volume) == pytest.approx(4.0)
+        assert tank.area == pytest.approx(math.pi * 25.0)
+
+    def test_init_level_out_of_range_raises(self):
+        with pytest.raises(NetworkTopologyError, match="init_level"):
+            Tank("T", elevation=0.0, init_level=9.0, min_level=0.0, max_level=8.0, diameter=10.0)
+
+
+class TestPipe:
+    def test_validation(self):
+        with pytest.raises(NetworkTopologyError):
+            Pipe("P", "a", "b", length=-1.0)
+        with pytest.raises(NetworkTopologyError):
+            Pipe("P", "a", "b", diameter=0.0)
+        with pytest.raises(NetworkTopologyError):
+            Pipe("P", "a", "b", roughness=0.0)
+
+    def test_minor_loss_resistance(self):
+        pipe = Pipe("P", "a", "b", diameter=0.3, minor_loss=2.0)
+        # m = K / (2 g A^2); headloss at 0.05 m^3/s should be positive.
+        m = pipe.minor_loss_resistance()
+        assert m > 0
+        assert Pipe("P2", "a", "b", diameter=0.3).minor_loss_resistance() == 0.0
+
+
+class TestPumpCurveModel:
+    def test_single_point_epanet_transform(self):
+        model = PumpCurveModel.from_curve(Curve("pc", [(0.05, 30.0)]))
+        assert model.shutoff_head == pytest.approx(40.0)
+        assert model.head_gain(0.05) == pytest.approx(30.0)
+        assert model.head_gain(0.1) == pytest.approx(0.0, abs=1e-9)
+
+    def test_three_point_fit_passes_through_points(self):
+        curve = Curve("pc", [(0.0, 50.0), (0.04, 40.0), (0.08, 20.0)])
+        model = PumpCurveModel.from_curve(curve)
+        assert model.head_gain(0.04) == pytest.approx(40.0, rel=1e-6)
+        assert model.head_gain(0.08) == pytest.approx(20.0, rel=1e-6)
+
+    def test_invalid_three_point_raises(self):
+        curve = Curve("pc", [(0.0, 50.0), (0.04, 55.0), (0.08, 20.0)])
+        with pytest.raises(NetworkTopologyError):
+            PumpCurveModel.from_curve(curve)
+
+    def test_speed_scaling_affinity(self):
+        model = PumpCurveModel.from_curve(Curve("pc", [(0.05, 30.0)]))
+        # At zero flow, gain scales with speed^2.
+        assert model.head_gain(1e-9, speed=0.5) == pytest.approx(
+            0.25 * model.shutoff_head, rel=1e-3
+        )
+
+    def test_pump_requires_curve_or_power(self):
+        with pytest.raises(NetworkTopologyError):
+            Pump("PU", "a", "b")
+
+
+class TestValve:
+    def test_type_coercion_from_string(self):
+        valve = Valve("V", "a", "b", valve_type="prv")
+        assert valve.valve_type is ValveType.PRV
+
+    def test_loss_resistance_positive(self):
+        valve = Valve("V", "a", "b", valve_type=ValveType.TCV, diameter=0.3)
+        assert valve.loss_resistance(2.0) > 0
+        assert valve.loss_resistance(0.0) == 0.0
+
+    def test_link_status_values(self):
+        assert LinkStatus("OPEN") is LinkStatus.OPEN
+        assert LinkStatus("CLOSED") is LinkStatus.CLOSED

@@ -1,0 +1,70 @@
+"""Simple-control evaluation tests."""
+
+import pytest
+
+from repro.hydraulics import (
+    ControlCondition,
+    LinkStatus,
+    SimpleControl,
+)
+from repro.hydraulics.controls import evaluate_controls
+from repro.networks import two_loop_test_network
+
+
+@pytest.fixture()
+def net():
+    return two_loop_test_network()
+
+
+class TestTriggering:
+    def test_time_trigger(self):
+        c = SimpleControl("P1", LinkStatus.CLOSED, ControlCondition.AT_TIME, 100.0)
+        assert not c.is_triggered(50.0, {})
+        assert c.is_triggered(100.0, {})
+        assert c.is_triggered(500.0, {})
+
+    def test_above_trigger(self):
+        c = SimpleControl(
+            "P1", LinkStatus.OPEN, ControlCondition.NODE_ABOVE, 5.0, node_name="T"
+        )
+        assert c.is_triggered(0.0, {"T": 5.1})
+        assert not c.is_triggered(0.0, {"T": 4.9})
+
+    def test_below_trigger(self):
+        c = SimpleControl(
+            "P1", LinkStatus.CLOSED, ControlCondition.NODE_BELOW, 2.0, node_name="T"
+        )
+        assert c.is_triggered(0.0, {"T": 1.0})
+        assert not c.is_triggered(0.0, {"T": 3.0})
+
+    def test_missing_node_value_never_triggers(self):
+        c = SimpleControl(
+            "P1", LinkStatus.CLOSED, ControlCondition.NODE_BELOW, 2.0, node_name="GONE"
+        )
+        assert not c.is_triggered(0.0, {})
+
+
+class TestEvaluation:
+    def test_later_control_wins(self, net):
+        controls = [
+            SimpleControl("P1", LinkStatus.CLOSED, ControlCondition.AT_TIME, 0.0),
+            SimpleControl("P1", LinkStatus.OPEN, ControlCondition.AT_TIME, 0.0),
+        ]
+        overrides = evaluate_controls(controls, net, 10.0, {}, None)
+        assert overrides["P1"] is LinkStatus.OPEN
+
+    def test_untriggered_controls_do_nothing(self, net):
+        controls = [
+            SimpleControl("P1", LinkStatus.CLOSED, ControlCondition.AT_TIME, 1e9),
+        ]
+        assert evaluate_controls(controls, net, 0.0, {}, None) == {}
+
+    def test_pressure_trigger_uses_junction_values(self, net):
+        controls = [
+            SimpleControl(
+                "P2", LinkStatus.CLOSED, ControlCondition.NODE_BELOW, 30.0,
+                node_name="J5",
+            )
+        ]
+        overrides = evaluate_controls(controls, net, 0.0, {}, {"J5": 20.0})
+        assert overrides["P2"] is LinkStatus.CLOSED

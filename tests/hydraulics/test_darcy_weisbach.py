@@ -1,0 +1,48 @@
+"""Darcy-Weisbach solver-mode tests."""
+
+import pytest
+
+from repro.hydraulics import GGASolver, WaterNetwork
+
+
+def make_net(headloss: str) -> WaterNetwork:
+    net = WaterNetwork("dw")
+    net.options.headloss_model = headloss
+    net.add_reservoir("R", base_head=50.0)
+    net.add_junction("J1", elevation=0.0, base_demand=0.03)
+    # Roughness: C=120 under HW; 0.12 mm roughness height under DW —
+    # comparable smooth-ish pipe either way.
+    roughness = 120.0 if headloss == "HW" else 0.12
+    net.add_pipe("P1", "R", "J1", length=800.0, diameter=0.25, roughness=roughness)
+    return net
+
+
+class TestDarcyWeisbach:
+    def test_converges(self):
+        sol = GGASolver(make_net("DW")).solve()
+        assert sol.converged
+        assert sol.link_flow["P1"] == pytest.approx(0.03, abs=1e-7)
+
+    def test_headloss_same_order_as_hw(self):
+        hw = GGASolver(make_net("HW")).solve()
+        dw = GGASolver(make_net("DW")).solve()
+        hw_loss = 50.0 - hw.node_head["J1"]
+        dw_loss = 50.0 - dw.node_head["J1"]
+        assert 0.3 < hw_loss / dw_loss < 3.0
+
+    def test_rougher_pipe_loses_more(self):
+        smooth = make_net("DW")
+        rough = make_net("DW")
+        rough.link("P1").roughness = 3.0  # 3 mm: badly tuberculated
+        sol_smooth = GGASolver(smooth).solve()
+        sol_rough = GGASolver(rough).solve()
+        assert sol_rough.node_head["J1"] < sol_smooth.node_head["J1"]
+
+    def test_dw_with_leak(self):
+        net = make_net("DW")
+        net.set_leak("J1", 0.002)
+        sol = GGASolver(net).solve()
+        assert sol.leak_flow["J1"] > 0
+        assert sol.link_flow["P1"] == pytest.approx(
+            0.03 + sol.leak_flow["J1"], abs=1e-6
+        )

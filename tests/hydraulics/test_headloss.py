@@ -1,0 +1,85 @@
+"""Headloss model tests."""
+
+import pytest
+
+from repro.hydraulics.headloss import (
+    HW_EXPONENT,
+    Q_LAMINAR,
+    darcy_weisbach_friction_factor,
+    dw_headloss_and_gradient,
+    hazen_williams_resistance,
+    hw_headloss_and_gradient,
+)
+
+
+class TestHazenWilliams:
+    def test_known_value(self):
+        # 1000 m of 300 mm C=100 pipe at 0.1 m^3/s: hL ~ 11.2 m
+        # (standard HW tables give ~11 m per km at ~1.4 m/s).
+        r = hazen_williams_resistance(1000.0, 0.3, 100.0)
+        loss, _ = hw_headloss_and_gradient(0.1, r)
+        assert 8.0 < loss < 14.0
+
+    def test_odd_symmetry(self):
+        r = hazen_williams_resistance(500.0, 0.25, 120.0)
+        loss_pos, _ = hw_headloss_and_gradient(0.05, r)
+        loss_neg, _ = hw_headloss_and_gradient(-0.05, r)
+        assert loss_neg == pytest.approx(-loss_pos)
+
+    def test_gradient_matches_finite_difference(self):
+        r = hazen_williams_resistance(500.0, 0.25, 120.0)
+        q = 0.04
+        eps = 1e-7
+        loss_hi, _ = hw_headloss_and_gradient(q + eps, r)
+        loss_lo, _ = hw_headloss_and_gradient(q - eps, r)
+        _, grad = hw_headloss_and_gradient(q, r)
+        assert grad == pytest.approx((loss_hi - loss_lo) / (2 * eps), rel=1e-4)
+
+    def test_linear_region_is_continuous(self):
+        r = hazen_williams_resistance(500.0, 0.25, 120.0)
+        below, _ = hw_headloss_and_gradient(Q_LAMINAR * 0.999, r)
+        above, _ = hw_headloss_and_gradient(Q_LAMINAR * 1.001, r)
+        assert below == pytest.approx(above, rel=5e-3)
+
+    def test_gradient_never_zero(self):
+        r = hazen_williams_resistance(100.0, 0.3, 130.0)
+        _, grad = hw_headloss_and_gradient(0.0, r)
+        assert grad > 0
+
+    def test_minor_loss_adds(self):
+        r = hazen_williams_resistance(500.0, 0.25, 120.0)
+        plain, _ = hw_headloss_and_gradient(0.05, r)
+        with_minor, _ = hw_headloss_and_gradient(0.05, r, minor=100.0)
+        assert with_minor > plain
+
+    def test_resistance_decreases_with_diameter(self):
+        small = hazen_williams_resistance(100.0, 0.2, 100.0)
+        large = hazen_williams_resistance(100.0, 0.4, 100.0)
+        assert small > large
+
+    def test_exponent_value(self):
+        assert HW_EXPONENT == pytest.approx(1.852)
+
+
+class TestDarcyWeisbach:
+    def test_friction_factor_laminar(self):
+        # Very low flow -> laminar: f = 64/Re.
+        f = darcy_weisbach_friction_factor(1e-6, 0.3, 1e-4)
+        assert f > 0.05
+
+    def test_friction_factor_turbulent_range(self):
+        f = darcy_weisbach_friction_factor(0.1, 0.3, 2.6e-4)
+        assert 0.01 < f < 0.08
+
+    def test_headloss_positive_and_odd(self):
+        loss_pos, grad = dw_headloss_and_gradient(0.05, 500.0, 0.25, 2.6e-4)
+        loss_neg, _ = dw_headloss_and_gradient(-0.05, 500.0, 0.25, 2.6e-4)
+        assert loss_pos > 0
+        assert loss_neg == pytest.approx(-loss_pos)
+        assert grad > 0
+
+    def test_dw_and_hw_same_order_of_magnitude(self):
+        r = hazen_williams_resistance(1000.0, 0.3, 130.0)
+        hw, _ = hw_headloss_and_gradient(0.08, r)
+        dw, _ = dw_headloss_and_gradient(0.08, 1000.0, 0.3, 1e-4)
+        assert 0.2 < hw / dw < 5.0

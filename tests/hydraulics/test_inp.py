@@ -1,0 +1,244 @@
+"""INP parser/writer tests."""
+
+import pytest
+
+from repro.hydraulics import (
+    InpSyntaxError,
+    LinkStatus,
+    ValveType,
+    read_inp,
+    write_inp,
+)
+from repro.networks import two_loop_test_network
+
+SAMPLE_GPM = """
+[TITLE]
+Sample US-units network
+
+[JUNCTIONS]
+;ID   Elev   Demand  Pattern
+ J1   100    50      PAT1
+ J2   95     30
+
+[RESERVOIRS]
+ R1   230
+
+[TANKS]
+ T1   180  10  2  25  40
+
+[PIPES]
+;ID  N1  N2  Length  Diam  Rough  MLoss  Status
+ P1  R1  J1  1200    12    110    0      OPEN
+ P2  J1  J2  800     8     100    0.5    OPEN
+ P3  J2  T1  500     8     100    0      CV
+
+[PUMPS]
+ PU1  R1  J2  HEAD C1 SPEED 1.1
+
+[VALVES]
+ V1  J1  J2  8  TCV  3.0  0
+
+[EMITTERS]
+ J2  1.5
+
+[PATTERNS]
+ PAT1  1.0 1.2 0.8
+
+[CURVES]
+ C1  500  80
+
+[CONTROLS]
+ LINK P2 CLOSED IF NODE T1 ABOVE 20
+ LINK P2 OPEN AT TIME 6:00
+
+[COORDINATES]
+ J1  100  200
+ J2  300  200
+ R1  0    200
+ T1  500  200
+
+[TIMES]
+ DURATION  24:00
+ HYDRAULIC TIMESTEP 0:15
+
+[OPTIONS]
+ UNITS GPM
+ HEADLOSS H-W
+ TRIALS 60
+ ACCURACY 0.0005
+
+[END]
+"""
+
+
+class TestParse:
+    def test_parses_components(self):
+        net, controls = read_inp(SAMPLE_GPM, name="sample")
+        counts = net.describe()
+        assert counts["junctions"] == 2
+        assert counts["reservoirs"] == 1
+        assert counts["tanks"] == 1
+        assert counts["pipes"] == 3
+        assert counts["pumps"] == 1
+        assert counts["valves"] == 1
+        assert len(controls) == 2
+
+    def test_unit_conversion_to_si(self):
+        net, _ = read_inp(SAMPLE_GPM)
+        j1 = net.node("J1")
+        assert j1.elevation == pytest.approx(100 * 0.3048)
+        assert j1.base_demand == pytest.approx(50 * 6.30902e-5, rel=1e-3)
+        p1 = net.link("P1")
+        assert p1.length == pytest.approx(1200 * 0.3048)
+        assert p1.diameter == pytest.approx(12 * 0.0254)
+
+    def test_check_valve_flag(self):
+        net, _ = read_inp(SAMPLE_GPM)
+        assert net.link("P3").check_valve is True
+
+    def test_pump_properties(self):
+        net, _ = read_inp(SAMPLE_GPM)
+        pump = net.link("PU1")
+        assert pump.curve_name == "C1"
+        assert pump.speed == pytest.approx(1.1)
+
+    def test_valve_type_and_setting(self):
+        net, _ = read_inp(SAMPLE_GPM)
+        valve = net.link("V1")
+        assert valve.valve_type is ValveType.TCV
+        assert valve.setting == pytest.approx(3.0)
+
+    def test_emitter_converted(self):
+        net, _ = read_inp(SAMPLE_GPM)
+        j2 = net.node("J2")
+        assert j2.emitter_coefficient > 0
+
+    def test_times_and_options(self):
+        net, _ = read_inp(SAMPLE_GPM)
+        assert net.options.duration == pytest.approx(24 * 3600.0)
+        assert net.options.hydraulic_timestep == pytest.approx(900.0)
+        assert net.options.trials == 60
+        assert net.options.accuracy == pytest.approx(5e-4)
+
+    def test_controls_parsed(self):
+        _, controls = read_inp(SAMPLE_GPM)
+        assert controls[0].node_name == "T1"
+        assert controls[0].status is LinkStatus.CLOSED
+        assert controls[1].threshold == pytest.approx(6 * 3600.0)
+
+    def test_coordinates(self):
+        net, _ = read_inp(SAMPLE_GPM)
+        assert net.node("J1").coordinates == (100.0, 200.0)
+
+
+class TestParseErrors:
+    def test_unknown_section(self):
+        with pytest.raises(InpSyntaxError, match="unknown section"):
+            read_inp("[NOTASECTION]\nfoo 1 2\n")
+
+    def test_data_before_section(self):
+        with pytest.raises(InpSyntaxError, match="before any section"):
+            read_inp("J1 100 50\n[JUNCTIONS]\n")
+
+    def test_bad_number_reports_line(self):
+        text = "[JUNCTIONS]\nJ1 abc\n"
+        with pytest.raises(InpSyntaxError, match="line 2"):
+            read_inp(text)
+
+    def test_short_pipe_row(self):
+        text = "[JUNCTIONS]\nJ1 5\nJ2 5\n[PIPES]\nP1 J1 J2\n"
+        with pytest.raises(InpSyntaxError, match="pipe row"):
+            read_inp(text)
+
+
+class TestRulesSection:
+    RULES_TEXT = """
+[JUNCTIONS]
+ J1 5 0.01
+[RESERVOIRS]
+ R1 50
+[PIPES]
+ P1 R1 J1 100 300 120 0 OPEN
+[RULES]
+ RULE refill
+ IF SYSTEM CLOCKTIME >= 22:00
+ THEN LINK P1 STATUS IS OPEN
+ ELSE LINK P1 STATUS IS CLOSED
+ RULE guard
+ IF JUNCTION J1 PRESSURE BELOW 10
+ THEN LINK P1 STATUS IS CLOSED
+[OPTIONS]
+ UNITS CMS
+[END]
+"""
+
+    def test_read_rules_parses_blocks(self):
+        from repro.hydraulics import read_rules
+
+        rules = read_rules(self.RULES_TEXT)
+        assert [r.name for r in rules] == ["refill", "guard"]
+        assert len(rules[0].premises) == 1
+        assert rules[0].else_actions
+
+    def test_read_inp_still_works_with_rules_present(self):
+        net, _controls = read_inp(self.RULES_TEXT)
+        assert net.describe()["pipes"] == 1
+
+    def test_rule_line_before_header_rejected(self):
+        from repro.hydraulics import read_rules
+
+        bad = "[RULES]\nIF SYSTEM CLOCKTIME >= 1:00\n"
+        with pytest.raises(InpSyntaxError, match="before any RULE"):
+            read_rules(bad)
+
+    def test_rules_drive_simulation(self):
+        from repro.hydraulics import read_rules, simulate
+
+        net, controls = read_inp(self.RULES_TEXT)
+        # PDD so a closed sole-supply line actually stops delivery
+        # (under DDA the fixed demand is forced through the penalty).
+        net.options.demand_model = "PDD"
+        rules = read_rules(self.RULES_TEXT)
+        results = simulate(
+            net, duration=2 * 900.0, timestep=900.0,
+            controls=controls, rules=[rules[0]],
+        )
+        # At midday the refill rule's ELSE branch closes P1.
+        assert abs(results.flow_at("P1")[0]) < 1e-4
+
+
+class TestRoundTrip:
+    def test_two_loop_roundtrip(self, tmp_path):
+        original = two_loop_test_network()
+        original.set_leak("J5", 0.0021)
+        path = tmp_path / "two_loop.inp"
+        write_inp(original, path)
+        parsed, _ = read_inp(path)
+        assert parsed.describe() == original.describe()
+        for name in original.node_names():
+            o, p = original.node(name), parsed.node(name)
+            for attribute in ("elevation", "base_demand", "base_head"):
+                ov = getattr(o, attribute, None)
+                if ov is not None:
+                    assert getattr(p, attribute) == pytest.approx(ov, rel=1e-6)
+        assert parsed.node("J5").emitter_coefficient == pytest.approx(0.0021)
+
+    def test_roundtrip_preserves_hydraulics(self, tmp_path):
+        from repro.hydraulics import GGASolver
+
+        original = two_loop_test_network()
+        path = tmp_path / "net.inp"
+        write_inp(original, path)
+        parsed, _ = read_inp(path)
+        sol_a = GGASolver(original).solve()
+        sol_b = GGASolver(parsed).solve()
+        for name in original.link_names():
+            assert sol_b.link_flow[name] == pytest.approx(
+                sol_a.link_flow[name], abs=1e-8
+            )
+
+    def test_epanet_network_roundtrip_counts(self, tmp_path, epanet):
+        path = tmp_path / "epanet.inp"
+        write_inp(epanet, path)
+        parsed, _ = read_inp(path)
+        assert parsed.describe() == epanet.describe()

@@ -1,0 +1,82 @@
+"""Property-based INP round-trip tests on randomly generated networks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hydraulics import GGASolver, WaterNetwork, read_inp, write_inp
+
+
+def build_random_network(seed: int, n_junctions: int) -> WaterNetwork:
+    rng = np.random.default_rng(seed)
+    net = WaterNetwork(f"rand-{seed}")
+    net.add_reservoir("R", base_head=float(rng.uniform(40.0, 80.0)))
+    previous = "R"
+    for i in range(n_junctions):
+        name = f"J{i}"
+        net.add_junction(
+            name,
+            elevation=float(rng.uniform(0.0, 20.0)),
+            base_demand=float(rng.uniform(1e-4, 0.01)),
+            coordinates=(float(rng.uniform(0, 1000)), float(rng.uniform(0, 1000))),
+        )
+        net.add_pipe(
+            f"P{i}",
+            previous,
+            name,
+            length=float(rng.uniform(50.0, 500.0)),
+            diameter=float(rng.uniform(0.1, 0.5)),
+            roughness=float(rng.uniform(80.0, 150.0)),
+        )
+        previous = name
+    # A few loop closures.
+    for j in range(n_junctions // 3):
+        a, b = rng.choice(n_junctions, size=2, replace=False)
+        try:
+            net.add_pipe(
+                f"L{j}",
+                f"J{a}",
+                f"J{b}",
+                length=float(rng.uniform(50.0, 500.0)),
+                diameter=float(rng.uniform(0.1, 0.4)),
+                roughness=100.0,
+            )
+        except Exception:
+            pass  # self-loop draw; skip
+    return net
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 12))
+def test_roundtrip_preserves_structure(tmp_path_factory, seed, n):
+    net = build_random_network(seed, n)
+    path = tmp_path_factory.mktemp("inp") / "net.inp"
+    write_inp(net, path)
+    parsed, _ = read_inp(path)
+    assert parsed.describe() == net.describe()
+    for name in net.node_names():
+        original, loaded = net.node(name), parsed.node(name)
+        for attribute in ("elevation", "base_demand", "base_head"):
+            value = getattr(original, attribute, None)
+            if value is not None:
+                assert getattr(loaded, attribute) == pytest.approx(value, rel=1e-5)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_roundtrip_preserves_hydraulics(tmp_path_factory, seed):
+    net = build_random_network(seed, 6)
+    path = tmp_path_factory.mktemp("inp") / "net.inp"
+    write_inp(net, path)
+    parsed, _ = read_inp(path)
+    sol_a = GGASolver(net).solve()
+    sol_b = GGASolver(parsed).solve()
+    for name in net.link_names():
+        # Lengths/diameters are written at %.6g, so flows agree to the
+        # precision that implies, not exactly.
+        assert sol_b.link_flow[name] == pytest.approx(
+            sol_a.link_flow[name], rel=1e-4, abs=1e-6
+        )

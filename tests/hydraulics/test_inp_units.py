@@ -1,0 +1,60 @@
+"""INP unit-conversion details for valves and emitters."""
+
+import pytest
+
+from repro.hydraulics import ValveType, read_inp
+
+GPM_VALVES = """
+[JUNCTIONS]
+ J1 100 10
+ J2 95 10
+[RESERVOIRS]
+ R1 200
+[PIPES]
+ P1 R1 J1 500 12 120 0 OPEN
+[VALVES]
+ VPRV J1 J2 8 PRV 50 0
+ VFCV J2 J1 8 FCV 300 0
+[OPTIONS]
+ UNITS GPM
+[END]
+"""
+
+
+class TestValveSettingUnits:
+    def test_prv_setting_converted_psi_to_metres(self):
+        net, _ = read_inp(GPM_VALVES)
+        prv = net.link("VPRV")
+        assert prv.valve_type is ValveType.PRV
+        # 50 psi = 35.15 m of water.
+        assert prv.setting == pytest.approx(50 * 0.70307, rel=1e-3)
+
+    def test_fcv_setting_converted_gpm_to_cms(self):
+        net, _ = read_inp(GPM_VALVES)
+        fcv = net.link("VFCV")
+        assert fcv.setting == pytest.approx(300 * 6.30902e-5, rel=1e-3)
+
+    def test_valve_diameter_in_inches(self):
+        net, _ = read_inp(GPM_VALVES)
+        assert net.link("VPRV").diameter == pytest.approx(8 * 0.0254)
+
+
+class TestMetricUnits:
+    LPS_TEXT = """
+[JUNCTIONS]
+ J1 12 2.5
+[RESERVOIRS]
+ R1 60
+[PIPES]
+ P1 R1 J1 400 250 110 0 OPEN
+[OPTIONS]
+ UNITS LPS
+[END]
+"""
+
+    def test_lps_demand_and_diameter(self):
+        net, _ = read_inp(self.LPS_TEXT)
+        j1 = net.node("J1")
+        assert j1.base_demand == pytest.approx(2.5e-3)
+        assert j1.elevation == pytest.approx(12.0)
+        assert net.link("P1").diameter == pytest.approx(0.25)

@@ -1,0 +1,109 @@
+"""WaterNetwork container tests."""
+
+import pytest
+
+from repro.hydraulics import NetworkTopologyError, WaterNetwork
+
+
+@pytest.fixture()
+def net() -> WaterNetwork:
+    n = WaterNetwork("t")
+    n.add_reservoir("R", base_head=50.0)
+    n.add_junction("A", elevation=5.0, base_demand=0.01, coordinates=(10.0, 0.0))
+    n.add_junction("B", elevation=6.0, base_demand=0.01, coordinates=(20.0, 0.0))
+    n.add_pipe("P1", "R", "A", length=100.0)
+    n.add_pipe("P2", "A", "B", length=200.0)
+    return n
+
+
+class TestRegistration:
+    def test_duplicate_node_rejected(self, net):
+        with pytest.raises(NetworkTopologyError, match="duplicate node"):
+            net.add_junction("A")
+
+    def test_duplicate_link_rejected(self, net):
+        with pytest.raises(NetworkTopologyError, match="duplicate link"):
+            net.add_pipe("P1", "A", "B")
+
+    def test_link_to_unknown_node_rejected(self, net):
+        with pytest.raises(NetworkTopologyError, match="unknown node"):
+            net.add_pipe("P9", "A", "NOPE")
+
+    def test_self_loop_rejected(self, net):
+        with pytest.raises(NetworkTopologyError, match="self-loop"):
+            net.add_pipe("P9", "A", "A")
+
+    def test_pump_requires_registered_curve(self, net):
+        with pytest.raises(NetworkTopologyError, match="unknown curve"):
+            net.add_pump("PU", "R", "A", curve_name="missing")
+
+    def test_duplicate_pattern_rejected(self, net):
+        net.add_pattern("p", [1.0])
+        with pytest.raises(NetworkTopologyError):
+            net.add_pattern("p", [2.0])
+
+
+class TestLookup:
+    def test_node_lookup_error_message(self, net):
+        with pytest.raises(NetworkTopologyError, match="no node named"):
+            net.node("ZZ")
+
+    def test_describe_counts(self, net):
+        counts = net.describe()
+        assert counts == {
+            "nodes": 3,
+            "junctions": 2,
+            "reservoirs": 1,
+            "tanks": 0,
+            "links": 2,
+            "pipes": 2,
+            "pumps": 0,
+            "valves": 0,
+        }
+
+    def test_iterators_filter_types(self, net):
+        assert [j.name for j in net.junctions()] == ["A", "B"]
+        assert [r.name for r in net.reservoirs()] == ["R"]
+        assert list(net.tanks()) == []
+
+
+class TestLeakHelpers:
+    def test_set_and_clear_leak(self, net):
+        net.set_leak("A", 0.002)
+        assert net.leaky_nodes() == ["A"]
+        net.clear_leaks()
+        assert net.leaky_nodes() == []
+
+    def test_leak_on_reservoir_rejected(self, net):
+        with pytest.raises(NetworkTopologyError, match="junctions"):
+            net.set_leak("R", 0.002)
+
+
+class TestGraph:
+    def test_shortest_path_uses_pipe_lengths(self, net):
+        distances = net.shortest_path_lengths("R")
+        assert distances["A"] == pytest.approx(100.0)
+        assert distances["B"] == pytest.approx(300.0)
+
+    def test_validate_detects_unreachable(self, net):
+        net.add_junction("ISLAND", elevation=0.0)
+        net.add_junction("ISLAND2", elevation=0.0)
+        net.add_pipe("PX", "ISLAND", "ISLAND2")
+        with pytest.raises(NetworkTopologyError, match="unreachable"):
+            net.validate()
+
+    def test_validate_requires_source(self):
+        lonely = WaterNetwork("lonely")
+        lonely.add_junction("A")
+        with pytest.raises(NetworkTopologyError, match="no reservoir or tank"):
+            lonely.validate()
+
+    def test_copy_is_independent(self, net):
+        clone = net.copy()
+        clone.set_leak("A", 0.01)
+        assert net.leaky_nodes() == []
+
+    def test_networkx_has_all_components(self, net):
+        graph = net.to_networkx()
+        assert set(graph.nodes) == {"R", "A", "B"}
+        assert graph.number_of_edges() == 2

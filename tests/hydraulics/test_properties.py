@@ -1,0 +1,104 @@
+"""Property-based tests for the hydraulic solver (hypothesis).
+
+Invariants checked on randomly generated star networks:
+* mass balance at the source equals total demand + total leak flow;
+* emitter flow is monotone in the coefficient;
+* headloss sign matches flow direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hydraulics import GGASolver, WaterNetwork
+
+
+def build_star(demands: list[float], diameters: list[float]) -> WaterNetwork:
+    """A reservoir feeding n junctions through individual pipes."""
+    net = WaterNetwork("star")
+    net.add_reservoir("R", base_head=70.0)
+    for i, (demand, diameter) in enumerate(zip(demands, diameters)):
+        net.add_junction(f"J{i}", elevation=5.0, base_demand=demand)
+        net.add_pipe(f"P{i}", "R", f"J{i}", length=300.0, diameter=diameter, roughness=110.0)
+    return net
+
+
+demand_lists = st.lists(
+    st.floats(min_value=1e-4, max_value=0.02), min_size=1, max_size=6
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(demands=demand_lists, seed=st.integers(0, 10_000))
+def test_source_balance_equals_total_demand(demands, seed):
+    rng = np.random.default_rng(seed)
+    diameters = rng.uniform(0.15, 0.4, size=len(demands)).tolist()
+    net = build_star(demands, diameters)
+    sol = GGASolver(net).solve()
+    source_out = sum(sol.link_flow[f"P{i}"] for i in range(len(demands)))
+    assert source_out == pytest.approx(sum(demands), abs=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    demands=demand_lists,
+    ec=st.floats(min_value=1e-4, max_value=5e-3),
+)
+def test_source_balance_includes_leaks(demands, ec):
+    diameters = [0.3] * len(demands)
+    net = build_star(demands, diameters)
+    sol = GGASolver(net).solve(emitters={"J0": (ec, 0.5)})
+    source_out = sum(sol.link_flow[f"P{i}"] for i in range(len(demands)))
+    assert source_out == pytest.approx(
+        sum(demands) + sol.leak_flow["J0"], abs=1e-6
+    )
+    assert sol.leak_flow["J0"] > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ec_small=st.floats(min_value=1e-4, max_value=2e-3),
+    factor=st.floats(min_value=1.2, max_value=4.0),
+)
+def test_leak_flow_monotone_in_coefficient(ec_small, factor):
+    net = build_star([0.01, 0.01], [0.3, 0.3])
+    solver = GGASolver(net)
+    small = solver.solve(emitters={"J0": (ec_small, 0.5)})
+    large = solver.solve(emitters={"J0": (ec_small * factor, 0.5)})
+    assert large.leak_flow["J0"] > small.leak_flow["J0"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(demands=demand_lists, seed=st.integers(0, 10_000))
+def test_headloss_sign_matches_flow(demands, seed):
+    rng = np.random.default_rng(seed)
+    diameters = rng.uniform(0.15, 0.4, size=len(demands)).tolist()
+    net = build_star(demands, diameters)
+    sol = GGASolver(net).solve()
+    for i in range(len(demands)):
+        flow = sol.link_flow[f"P{i}"]
+        drop = sol.node_head["R"] - sol.node_head[f"J{i}"]
+        if abs(flow) > 1e-9:
+            assert np.sign(drop) == np.sign(flow)
+
+
+@settings(max_examples=10, deadline=None)
+@given(scale=st.floats(min_value=0.5, max_value=2.0))
+def test_demand_scaling_scales_headloss(scale):
+    """Doubling all demands should increase every pipe's headloss."""
+    base_net = build_star([0.01, 0.008, 0.012], [0.25, 0.25, 0.25])
+    solver = GGASolver(base_net)
+    base = solver.solve()
+    scaled = solver.solve(
+        demands={f"J{i}": d * scale for i, d in enumerate([0.01, 0.008, 0.012])}
+    )
+    for i in range(3):
+        base_drop = base.node_head["R"] - base.node_head[f"J{i}"]
+        new_drop = scaled.node_head["R"] - scaled.node_head[f"J{i}"]
+        if scale > 1.0:
+            assert new_drop >= base_drop - 1e-9
+        else:
+            assert new_drop <= base_drop + 1e-9

@@ -1,0 +1,163 @@
+"""Water-quality transport tests."""
+
+import numpy as np
+import pytest
+
+from repro.hydraulics import WaterNetwork, simulate
+from repro.hydraulics.exceptions import SimulationError
+from repro.hydraulics.quality import (
+    QualitySimulator,
+    QualitySource,
+    simulate_quality,
+)
+
+
+@pytest.fixture()
+def line_net():
+    """Reservoir -> J1 -> J2, steady flow, for travel-time checks."""
+    net = WaterNetwork("line")
+    net.add_reservoir("R", base_head=50.0)
+    net.add_junction("J1", elevation=0.0, base_demand=0.0)
+    net.add_junction("J2", elevation=0.0, base_demand=0.02)
+    net.add_pipe("P1", "R", "J1", length=400.0, diameter=0.3, roughness=130.0)
+    net.add_pipe("P2", "J1", "J2", length=400.0, diameter=0.3, roughness=130.0)
+    return net
+
+
+@pytest.fixture()
+def line_results(line_net):
+    return simulate(line_net, duration=4 * 3600.0, timestep=900.0)
+
+
+class TestSourceTracing:
+    def test_source_reaches_downstream(self, line_net, line_results):
+        quality = simulate_quality(
+            line_net,
+            line_results,
+            [QualitySource("R", concentration=1.0)],
+            quality_timestep=60.0,
+        )
+        assert quality.max_concentration("J2") > 0.9
+
+    def test_travel_time_roughly_physical(self, line_net, line_results):
+        """Arrival at J2 should match plug-flow travel time through 800 m."""
+        quality = simulate_quality(
+            line_net,
+            line_results,
+            [QualitySource("R", concentration=1.0)],
+            quality_timestep=30.0,
+        )
+        area = np.pi * 0.3**2 / 4.0
+        velocity = 0.02 / area
+        expected = 800.0 / velocity
+        arrival = quality.arrival_time("J2", 0.5)
+        assert arrival is not None
+        assert arrival == pytest.approx(expected, rel=0.35)
+
+    def test_no_source_stays_clean(self, line_net, line_results):
+        quality = simulate_quality(line_net, line_results, [])
+        assert quality.concentration.max() == 0.0
+
+    def test_timed_source_window(self, line_net, line_results):
+        quality = simulate_quality(
+            line_net,
+            line_results,
+            [QualitySource("R", concentration=1.0, start_time=0.0, end_time=600.0)],
+            quality_timestep=60.0,
+        )
+        # Clean water eventually flushes the plume.
+        series = quality.at("J1")
+        assert series.max() > 0.5
+        assert series[-1] < 0.2
+
+
+class TestDecay:
+    def test_decay_reduces_downstream_concentration(self, line_net, line_results):
+        conservative = simulate_quality(
+            line_net, line_results, [QualitySource("R", concentration=1.0)]
+        )
+        decaying = simulate_quality(
+            line_net,
+            line_results,
+            [QualitySource("R", concentration=1.0)],
+            decay_rate=1e-3,
+        )
+        assert decaying.max_concentration("J2") < conservative.max_concentration("J2")
+
+    def test_negative_decay_rejected(self, line_net, line_results):
+        with pytest.raises(SimulationError):
+            QualitySimulator(line_net, line_results, decay_rate=-1.0)
+
+
+class TestIntrusion:
+    def test_mass_rate_source_contaminates(self, line_net, line_results):
+        quality = simulate_quality(
+            line_net,
+            line_results,
+            [QualitySource("J1", mass_rate=5.0)],
+            quality_timestep=60.0,
+        )
+        assert quality.max_concentration("J2") > 0.0
+        # Upstream of the intrusion stays clean.
+        assert quality.max_concentration("R") == 0.0
+
+
+class TestTankMixing:
+    @pytest.fixture()
+    def tank_net(self):
+        """Reservoir -> J1 -> tank -> J2: the tank damps the plume."""
+        net = WaterNetwork("tank-q")
+        net.add_reservoir("R", base_head=60.0)
+        net.add_junction("J1", elevation=0.0, base_demand=0.0)
+        net.add_tank(
+            "T", elevation=20.0, init_level=3.0, min_level=0.5,
+            max_level=8.0, diameter=6.0,
+        )
+        net.add_junction("J2", elevation=0.0, base_demand=0.015)
+        net.add_pipe("P1", "R", "J1", length=200.0, diameter=0.3)
+        net.add_pipe("P2", "J1", "T", length=200.0, diameter=0.3)
+        net.add_pipe("P3", "T", "J2", length=200.0, diameter=0.3)
+        return net
+
+    def test_tank_damps_concentration_step(self, tank_net):
+        results = simulate(tank_net, duration=6 * 3600.0, timestep=900.0)
+        quality = simulate_quality(
+            tank_net,
+            results,
+            [QualitySource("R", concentration=1.0)],
+            quality_timestep=120.0,
+        )
+        upstream_peak = quality.max_concentration("J1")
+        tank_peak = quality.max_concentration("T")
+        assert upstream_peak > 0.9
+        # Completely-mixed storage dilutes the incoming front.
+        assert 0.0 < tank_peak < upstream_peak
+
+    def test_tank_concentration_monotone_rise(self, tank_net):
+        results = simulate(tank_net, duration=6 * 3600.0, timestep=900.0)
+        quality = simulate_quality(
+            tank_net,
+            results,
+            [QualitySource("R", concentration=1.0)],
+            quality_timestep=120.0,
+        )
+        series = quality.at("T")
+        # Fresh contaminated inflow keeps raising the tank concentration.
+        assert (np.diff(series) >= -1e-9).all()
+
+
+class TestValidation:
+    def test_unknown_source_node(self, line_net, line_results):
+        with pytest.raises(SimulationError, match="unknown node"):
+            simulate_quality(line_net, line_results, [QualitySource("GHOST", 1.0)])
+
+    def test_bad_timestep(self, line_net, line_results):
+        with pytest.raises(SimulationError):
+            QualitySimulator(line_net, line_results, quality_timestep=0.0)
+
+    def test_results_accessors(self, line_net, line_results):
+        quality = simulate_quality(
+            line_net, line_results, [QualitySource("R", concentration=1.0)]
+        )
+        assert quality.arrival_time("J2", 10.0) is None  # never that high
+        assert quality.at("J1").shape == quality.times.shape

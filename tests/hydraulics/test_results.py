@@ -1,0 +1,65 @@
+"""SimulationResults container tests."""
+
+import numpy as np
+import pytest
+
+from repro.hydraulics import simulate
+from repro.hydraulics.results import ResultsBuilder
+
+
+class TestResultsBuilder:
+    def test_empty_build(self):
+        results = ResultsBuilder(["A"], ["P"]).build()
+        assert results.n_timesteps == 0
+        assert results.head.shape == (0, 1)
+
+    def test_append_and_access(self):
+        builder = ResultsBuilder(["A", "B"], ["P"])
+        builder.append(
+            0.0,
+            head={"A": 10.0, "B": 20.0},
+            pressure={"A": 5.0, "B": 15.0},
+            demand={"A": 0.01, "B": 0.0},
+            leak={"A": 0.0, "B": 0.001},
+            flow={"P": 0.5},
+            tank_level={},
+        )
+        results = builder.build()
+        assert results.head_at("B")[0] == 20.0
+        assert results.pressure_at("A")[0] == 5.0
+        assert results.flow_at("P")[0] == 0.5
+        assert results.leak_at("B")[0] == 0.001
+
+    def test_tank_level_nan_for_non_tanks(self):
+        builder = ResultsBuilder(["A"], [])
+        builder.append(
+            0.0, {"A": 1.0}, {"A": 1.0}, {"A": 0.0}, {"A": 0.0}, {}, {}
+        )
+        results = builder.build()
+        assert np.isnan(results.tank_level[0, 0])
+
+
+class TestWaterLoss:
+    def test_loss_integrates_over_time(self, two_loop):
+        from repro.hydraulics import TimedLeak
+
+        results = simulate(
+            two_loop,
+            duration=4 * 900.0,
+            timestep=900.0,
+            leaks=[TimedLeak("J5", 0.002, 0.0)],
+        )
+        leak_rates = results.leak_at("J5")
+        expected = leak_rates.sum() * 900.0
+        assert results.total_water_loss() == pytest.approx(expected)
+
+    def test_single_step_loss_zero(self, two_loop):
+        results = simulate(two_loop, duration=0.0)
+        assert results.total_water_loss() == 0.0
+
+
+class TestColumns:
+    def test_node_and_link_columns(self, two_loop):
+        results = simulate(two_loop, duration=0.0)
+        assert results.node_column("J1") == results.node_names.index("J1")
+        assert results.link_column("P3") == results.link_names.index("P3")

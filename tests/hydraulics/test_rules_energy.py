@@ -1,0 +1,187 @@
+"""Rule-based control and pump-energy tests."""
+
+import numpy as np
+import pytest
+
+from repro.hydraulics import (
+    Action,
+    Comparator,
+    LinkStatus,
+    Premise,
+    Rule,
+    WaterNetwork,
+    evaluate_rules,
+    leak_energy_penalty,
+    parse_rule,
+    pump_energy,
+    simulate,
+)
+from repro.hydraulics.exceptions import SimulationError
+
+
+def make_pumped_net() -> WaterNetwork:
+    net = WaterNetwork("pumped")
+    net.add_reservoir("SRC", base_head=10.0)
+    net.add_junction("A", elevation=15.0, base_demand=0.015)
+    net.add_tank("T", elevation=35.0, init_level=2.0, min_level=0.5,
+                 max_level=8.0, diameter=10.0)
+    net.add_curve("PC", [(0.04, 45.0)])
+    net.add_pump("PU", "SRC", "A", curve_name="PC")
+    net.add_pipe("PA", "A", "T", length=300, diameter=0.3)
+    return net
+
+
+class TestPremises:
+    def test_tank_level_premise(self):
+        p = Premise("TANK", "T", "LEVEL", Comparator.BELOW, 3.0)
+        assert p.evaluate(0.0, {"T": 2.0}, None)
+        assert not p.evaluate(0.0, {"T": 4.0}, None)
+
+    def test_system_clocktime_wraps_daily(self):
+        p = Premise("SYSTEM", "", "CLOCKTIME", Comparator.GE, 6 * 3600.0)
+        assert p.evaluate(7 * 3600.0, {}, None)
+        assert p.evaluate(24 * 3600.0 + 7 * 3600.0, {}, None)
+        assert not p.evaluate(24 * 3600.0 + 3600.0, {}, None)
+
+    def test_junction_pressure_premise(self):
+        p = Premise("JUNCTION", "A", "PRESSURE", Comparator.LE, 20.0)
+        assert p.evaluate(0.0, {}, {"A": 15.0})
+        assert not p.evaluate(0.0, {}, {"A": 25.0})
+        assert not p.evaluate(0.0, {}, None)
+
+    def test_unknown_attribute_raises(self):
+        p = Premise("SYSTEM", "", "HUMIDITY", Comparator.GE, 1.0)
+        with pytest.raises(SimulationError):
+            p.evaluate(0.0, {}, None)
+
+
+class TestRules:
+    def make_rule(self, conjunction="AND"):
+        return Rule(
+            name="r",
+            premises=[
+                Premise("TANK", "T", "LEVEL", Comparator.BELOW, 3.0),
+                Premise("SYSTEM", "CLOCKTIME", "CLOCKTIME", Comparator.GE, 0.0),
+            ],
+            then_actions=[Action("PU", LinkStatus.OPEN)],
+            else_actions=[Action("PU", LinkStatus.CLOSED)],
+            conjunction=conjunction,
+        )
+
+    def test_then_branch(self):
+        overrides = evaluate_rules([self.make_rule()], 0.0, {"T": 2.0})
+        assert overrides["PU"] is LinkStatus.OPEN
+
+    def test_else_branch(self):
+        overrides = evaluate_rules([self.make_rule()], 0.0, {"T": 5.0})
+        assert overrides["PU"] is LinkStatus.CLOSED
+
+    def test_or_conjunction(self):
+        rule = self.make_rule(conjunction="OR")
+        overrides = evaluate_rules([rule], 0.0, {"T": 5.0})
+        assert overrides["PU"] is LinkStatus.OPEN  # time premise passes
+
+    def test_later_rule_wins(self):
+        a = Rule("a", [], [Action("PU", LinkStatus.OPEN)])
+        b = Rule("b", [], [Action("PU", LinkStatus.CLOSED)])
+        assert evaluate_rules([a, b], 0.0, {})["PU"] is LinkStatus.CLOSED
+
+
+class TestParseRule:
+    def test_full_rule(self):
+        rule = parse_rule(
+            """
+            RULE nightly
+            IF TANK T LEVEL BELOW 2.0
+            AND SYSTEM CLOCKTIME >= 22:00
+            THEN PUMP PU STATUS IS OPEN
+            ELSE PUMP PU STATUS IS CLOSED
+            """
+        )
+        assert rule.name == "nightly"
+        assert len(rule.premises) == 2
+        assert rule.then_actions[0].status is LinkStatus.OPEN
+        assert rule.else_actions[0].status is LinkStatus.CLOSED
+
+    def test_missing_then_raises(self):
+        with pytest.raises(SimulationError, match="THEN"):
+            parse_rule("RULE r\nIF TANK T LEVEL BELOW 2")
+
+    def test_bad_comparator(self):
+        with pytest.raises(SimulationError, match="comparator"):
+            parse_rule("RULE r\nIF TANK T LEVEL NEARLY 2\nTHEN PUMP PU STATUS IS OPEN")
+
+
+class TestRulesInSimulation:
+    def test_rule_toggles_pump(self):
+        net = make_pumped_net()
+        rule = Rule(
+            name="low-tank-pumping",
+            premises=[Premise("TANK", "T", "LEVEL", Comparator.BELOW, 3.0)],
+            then_actions=[Action("PU", LinkStatus.OPEN)],
+            else_actions=[Action("PU", LinkStatus.CLOSED)],
+        )
+        results = simulate(net, duration=30 * 900.0, timestep=900.0, rules=[rule])
+        flow = results.flow[:, results.link_column("PU")]
+        levels = results.tank_level[:, results.node_column("T")]
+        # Pump off whenever the tank was comfortably full at step start.
+        off_steps = flow[levels > 3.0 + 1e-9]
+        assert np.all(np.abs(off_steps) < 1e-5)
+        # It pumped at least part of the time.
+        assert np.any(flow > 1e-4)
+
+
+class TestPumpEnergy:
+    def test_energy_positive_when_pumping(self):
+        net = make_pumped_net()
+        results = simulate(net, duration=6 * 3600.0, timestep=900.0)
+        reports = pump_energy(net, results)
+        assert len(reports) == 1
+        report = reports[0]
+        assert report.energy_kwh > 0
+        assert report.volume_m3 > 0
+        assert 0 < report.utilization <= 1.0
+        assert report.cost > 0
+
+    def test_efficiency_scales_energy(self):
+        net = make_pumped_net()
+        results = simulate(net, duration=2 * 3600.0, timestep=900.0)
+        high = pump_energy(net, results, efficiency=0.9)[0].energy_kwh
+        low = pump_energy(net, results, efficiency=0.45)[0].energy_kwh
+        assert low == pytest.approx(2.0 * high, rel=1e-6)
+
+    def test_invalid_efficiency(self):
+        net = make_pumped_net()
+        results = simulate(net, duration=900.0, timestep=900.0)
+        with pytest.raises(ValueError):
+            pump_energy(net, results, efficiency=0.0)
+
+    def test_leak_energy_penalty_positive(self):
+        """Sec.-I claim: leaks cost pumping energy.
+
+        With a duty-cycled pump (tank-level rule) the leak makes the pump
+        run more hours to keep the tank up, so energy per delivered cubic
+        metre rises.
+        """
+        from repro.hydraulics import Action, Comparator, Premise, Rule, TimedLeak
+
+        net = make_pumped_net()
+        rule = Rule(
+            name="tank-band",
+            premises=[Premise("TANK", "T", "LEVEL", Comparator.BELOW, 4.0)],
+            then_actions=[Action("PU", LinkStatus.OPEN)],
+            else_actions=[Action("PU", LinkStatus.CLOSED)],
+        )
+        clean = simulate(net, duration=48 * 3600.0, timestep=900.0, rules=[rule])
+        leaky = simulate(
+            net,
+            duration=48 * 3600.0,
+            timestep=900.0,
+            rules=[rule],
+            leaks=[TimedLeak("A", 2e-3, 0.0)],
+        )
+        clean_kwh = pump_energy(net, clean)[0].energy_kwh
+        leaky_kwh = pump_energy(net, leaky)[0].energy_kwh
+        assert leaky_kwh > clean_kwh  # the pump works harder under the leak
+        penalty = leak_energy_penalty(net, clean, leaky)
+        assert penalty > 0

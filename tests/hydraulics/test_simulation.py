@@ -1,0 +1,138 @@
+"""Extended-period simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.hydraulics import (
+    ControlCondition,
+    SimpleControl,
+    LinkStatus,
+    SimulationError,
+    TimedLeak,
+    WaterNetwork,
+    simulate,
+)
+
+
+class TestTiming:
+    def test_step_count(self, two_loop):
+        results = simulate(two_loop, duration=4 * 900.0, timestep=900.0)
+        assert results.n_timesteps == 5
+        assert results.times[0] == 0.0
+        assert results.times[-1] == 4 * 900.0
+
+    def test_zero_duration_single_step(self, two_loop):
+        results = simulate(two_loop, duration=0.0, timestep=900.0)
+        assert results.n_timesteps == 1
+
+    def test_bad_timestep_raises(self, two_loop):
+        with pytest.raises(SimulationError, match="timestep"):
+            simulate(two_loop, duration=900.0, timestep=0.0)
+
+    def test_negative_duration_raises(self, two_loop):
+        with pytest.raises(SimulationError, match="duration"):
+            simulate(two_loop, duration=-1.0)
+
+
+class TestTimedLeaks:
+    def test_leak_activates_at_start_time(self, two_loop):
+        results = simulate(
+            two_loop,
+            duration=4 * 900.0,
+            timestep=900.0,
+            leaks=[TimedLeak("J5", 0.002, start_time=1800.0)],
+        )
+        series = results.leak_at("J5")
+        assert series[0] == 0.0 and series[1] == 0.0
+        assert all(v > 0 for v in series[2:])
+
+    def test_pressure_drops_when_leak_starts(self, two_loop):
+        results = simulate(
+            two_loop,
+            duration=4 * 900.0,
+            timestep=900.0,
+            leaks=[TimedLeak("J5", 0.003, start_time=1800.0)],
+        )
+        pressures = results.pressure_at("J5")
+        assert pressures[2] < pressures[1]
+
+    def test_two_leaks_same_node_add(self, two_loop):
+        one = simulate(
+            two_loop, duration=900.0, timestep=900.0,
+            leaks=[TimedLeak("J5", 0.002, 0.0)],
+        )
+        two = simulate(
+            two_loop, duration=900.0, timestep=900.0,
+            leaks=[TimedLeak("J5", 0.002, 0.0), TimedLeak("J5", 0.002, 0.0)],
+        )
+        assert two.leak_at("J5")[0] > one.leak_at("J5")[0]
+
+    def test_water_loss_accounting(self, two_loop):
+        results = simulate(
+            two_loop, duration=4 * 900.0, timestep=900.0,
+            leaks=[TimedLeak("J5", 0.002, 0.0)],
+        )
+        assert results.total_water_loss() > 0
+
+
+class TestPatterns:
+    def test_demand_pattern_modulates_flow(self, two_loop):
+        two_loop.add_pattern("peak", [0.5, 2.0])
+        for junction in two_loop.junctions():
+            junction.demand_pattern = "peak"
+        two_loop.options.pattern_timestep = 3600.0
+        results = simulate(two_loop, duration=3600.0, timestep=3600.0)
+        inflow = results.flow_at("P1")
+        assert inflow[1] == pytest.approx(4.0 * inflow[0], rel=1e-6)
+
+
+class TestTanks:
+    def make_tank_net(self) -> WaterNetwork:
+        net = WaterNetwork("tank")
+        net.add_reservoir("R", base_head=55.0)
+        net.add_junction("J", elevation=0.0, base_demand=0.01)
+        net.add_tank("T", elevation=40.0, init_level=2.0, min_level=0.5,
+                     max_level=6.0, diameter=8.0)
+        net.add_pipe("P1", "R", "J", length=200, diameter=0.3)
+        net.add_pipe("P2", "J", "T", length=100, diameter=0.25)
+        return net
+
+    def test_tank_fills_from_higher_source(self):
+        net = self.make_tank_net()
+        results = simulate(net, duration=6 * 900.0, timestep=900.0)
+        levels = results.tank_level[:, results.node_column("T")]
+        assert levels[-1] > levels[0]
+
+    def test_tank_level_clamped_at_max(self):
+        net = self.make_tank_net()
+        results = simulate(net, duration=200 * 900.0, timestep=900.0)
+        levels = results.tank_level[:, results.node_column("T")]
+        assert np.nanmax(levels) <= 6.0 + 1e-9
+
+
+class TestControls:
+    def test_time_control_closes_link(self, two_loop):
+        control = SimpleControl(
+            link_name="P9",
+            status=LinkStatus.CLOSED,
+            condition=ControlCondition.AT_TIME,
+            threshold=1800.0,
+        )
+        results = simulate(
+            two_loop, duration=4 * 900.0, timestep=900.0, controls=[control]
+        )
+        flows = results.flow_at("P9")
+        assert abs(flows[0]) > 1e-6
+        assert abs(flows[-1]) < 1e-6
+
+
+class TestResultsAccessors:
+    def test_time_index_nearest(self, two_loop):
+        results = simulate(two_loop, duration=4 * 900.0, timestep=900.0)
+        assert results.time_index(1000.0) == 1
+        assert results.time_index(10_000.0) == 4
+
+    def test_unknown_node_raises(self, two_loop):
+        results = simulate(two_loop, duration=0.0)
+        with pytest.raises(KeyError):
+            results.pressure_at("NOPE")

@@ -1,0 +1,176 @@
+"""GGA steady-state solver tests."""
+
+import pytest
+
+from repro.hydraulics import (
+    GGASolver,
+    LinkStatus,
+    NetworkTopologyError,
+    ValveType,
+    WaterNetwork,
+)
+
+
+def make_series_net() -> WaterNetwork:
+    net = WaterNetwork("series")
+    net.add_reservoir("R", base_head=60.0)
+    net.add_junction("J1", elevation=10.0, base_demand=0.02)
+    net.add_junction("J2", elevation=5.0, base_demand=0.03)
+    net.add_pipe("P1", "R", "J1", length=500, diameter=0.3, roughness=120)
+    net.add_pipe("P2", "J1", "J2", length=300, diameter=0.25, roughness=110)
+    return net
+
+
+class TestMassBalance:
+    def test_series_flows(self):
+        sol = GGASolver(make_series_net()).solve()
+        assert sol.link_flow["P1"] == pytest.approx(0.05, abs=1e-7)
+        assert sol.link_flow["P2"] == pytest.approx(0.03, abs=1e-7)
+        assert sol.converged
+
+    def test_heads_decrease_downstream(self):
+        sol = GGASolver(make_series_net()).solve()
+        assert 60.0 > sol.node_head["J1"] > sol.node_head["J2"]
+
+    def test_two_loop_balance(self, two_loop):
+        sol = GGASolver(two_loop).solve()
+        total_demand = sum(j.base_demand for j in two_loop.junctions())
+        assert sol.link_flow["P1"] == pytest.approx(total_demand, abs=1e-7)
+
+    def test_junction_balance_everywhere(self, two_loop):
+        sol = GGASolver(two_loop).solve()
+        for junction in two_loop.junctions():
+            inflow = 0.0
+            for link in two_loop.links.values():
+                if link.end_node == junction.name:
+                    inflow += sol.link_flow[link.name]
+                elif link.start_node == junction.name:
+                    inflow -= sol.link_flow[link.name]
+            assert inflow == pytest.approx(junction.base_demand, abs=1e-6)
+
+    def test_demand_override(self, two_loop):
+        sol = GGASolver(two_loop).solve(demands={"J7": 0.01})
+        base = sum(j.base_demand for j in two_loop.junctions()) - 0.002 + 0.01
+        assert sol.link_flow["P1"] == pytest.approx(base, abs=1e-6)
+
+    def test_unknown_demand_rejected(self, two_loop):
+        with pytest.raises(NetworkTopologyError, match="unknown junction"):
+            GGASolver(two_loop).solve(demands={"NOPE": 0.1})
+
+
+class TestEmitters:
+    def test_leak_increases_source_flow(self, two_loop):
+        solver = GGASolver(two_loop)
+        base = solver.solve()
+        leaky = solver.solve(emitters={"J5": (0.002, 0.5)})
+        assert leaky.link_flow["P1"] > base.link_flow["P1"]
+        assert leaky.leak_flow["J5"] > 0
+        # Conservation: source inflow == demand + leak.
+        total_demand = sum(j.base_demand for j in two_loop.junctions())
+        assert leaky.link_flow["P1"] == pytest.approx(
+            total_demand + leaky.leak_flow["J5"], abs=1e-6
+        )
+
+    def test_leak_flow_follows_eq1(self, two_loop):
+        solver = GGASolver(two_loop)
+        ec, beta = 0.0015, 0.5
+        sol = solver.solve(emitters={"J3": (ec, beta)})
+        pressure = sol.node_pressure["J3"]
+        assert sol.leak_flow["J3"] == pytest.approx(ec * pressure**beta, rel=1e-6)
+
+    def test_bigger_leak_lower_pressure(self, two_loop):
+        solver = GGASolver(two_loop)
+        small = solver.solve(emitters={"J5": (0.001, 0.5)})
+        large = solver.solve(emitters={"J5": (0.004, 0.5)})
+        assert large.node_pressure["J5"] < small.node_pressure["J5"]
+        assert large.leak_flow["J5"] > small.leak_flow["J5"]
+
+    def test_total_leak_flow_helper(self, two_loop):
+        sol = GGASolver(two_loop).solve(
+            emitters={"J3": (0.001, 0.5), "J6": (0.001, 0.5)}
+        )
+        assert sol.total_leak_flow() == pytest.approx(
+            sol.leak_flow["J3"] + sol.leak_flow["J6"]
+        )
+
+    def test_network_emitter_attribute_used(self, two_loop):
+        two_loop.set_leak("J4", 0.002)
+        sol = GGASolver(two_loop).solve()
+        assert sol.leak_flow["J4"] > 0
+
+
+class TestStatusHandling:
+    def test_closed_pipe_carries_no_flow(self, two_loop):
+        sol = GGASolver(two_loop).solve(
+            status_overrides={"P7": LinkStatus.CLOSED}
+        )
+        assert abs(sol.link_flow["P7"]) < 1e-6
+
+    def test_check_valve_blocks_reverse_flow(self):
+        # Two reservoirs; CV pipe oriented against the head gradient.
+        net = WaterNetwork("cv")
+        net.add_reservoir("HI", base_head=60.0)
+        net.add_reservoir("LO", base_head=40.0)
+        net.add_junction("J", elevation=0.0, base_demand=0.01)
+        net.add_pipe("PH", "HI", "J", length=100, diameter=0.3)
+        # CV allows only LO -> J; head would push J -> LO.
+        net.add_pipe("PC", "LO", "J", length=100, diameter=0.3, check_valve=True)
+        sol = GGASolver(net).solve()
+        # CLOSED is a stiff penalty (R = 1e8), so a ~1e-7 residual remains.
+        assert sol.link_flow["PC"] >= -1e-5
+        assert sol.link_status["PC"] is LinkStatus.CLOSED
+
+    def test_pump_adds_head(self):
+        net = WaterNetwork("pump")
+        net.add_reservoir("SRC", base_head=10.0)
+        net.add_junction("A", elevation=20.0, base_demand=0.02)
+        net.add_curve("PC", [(0.04, 40.0)])
+        net.add_pump("PU", "SRC", "A", curve_name="PC")
+        sol = GGASolver(net).solve()
+        assert sol.node_head["A"] > 10.0
+        assert sol.link_flow["PU"] == pytest.approx(0.02, abs=1e-6)
+
+    def test_tcv_valve_drops_head(self):
+        net = WaterNetwork("tcv")
+        net.add_reservoir("R", base_head=50.0)
+        net.add_junction("A", elevation=0.0, base_demand=0.0)
+        net.add_junction("B", elevation=0.0, base_demand=0.05)
+        net.add_pipe("P1", "R", "A", length=100, diameter=0.3)
+        net.add_valve("V", "A", "B", valve_type=ValveType.TCV, setting=50.0, diameter=0.3)
+        sol = GGASolver(net).solve()
+        assert sol.node_head["A"] > sol.node_head["B"]
+
+    def test_prv_caps_downstream_pressure(self):
+        net = WaterNetwork("prv")
+        net.add_reservoir("R", base_head=80.0)
+        net.add_junction("A", elevation=0.0, base_demand=0.0)
+        net.add_junction("B", elevation=0.0, base_demand=0.03)
+        net.add_pipe("P1", "R", "A", length=50, diameter=0.3)
+        net.add_valve("V", "A", "B", valve_type=ValveType.PRV, setting=30.0, diameter=0.3)
+        sol = GGASolver(net).solve()
+        assert sol.node_pressure["B"] == pytest.approx(30.0, abs=0.5)
+        assert sol.link_flow["V"] == pytest.approx(0.03, abs=1e-4)
+
+
+class TestRobustness:
+    def test_solution_has_all_components(self, two_loop):
+        sol = GGASolver(two_loop).solve()
+        assert set(sol.node_head) == set(two_loop.node_names())
+        assert set(sol.link_flow) == set(two_loop.link_names())
+
+    def test_repeated_solves_identical(self, two_loop):
+        solver = GGASolver(two_loop)
+        a = solver.solve()
+        b = solver.solve()
+        for name in two_loop.link_names():
+            assert a.link_flow[name] == pytest.approx(b.link_flow[name], abs=1e-12)
+
+    def test_paper_networks_converge(self, epanet, wssc):
+        for net in (epanet, wssc):
+            sol = GGASolver(net).solve()
+            assert sol.converged
+            pressures = [
+                sol.node_pressure[j.name] for j in net.junctions()
+            ]
+            assert min(pressures) > 10.0, f"{net.name} has low pressures"
+            assert max(pressures) < 120.0

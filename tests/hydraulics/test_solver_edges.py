@@ -1,0 +1,80 @@
+"""Solver/EPS edge cases: head patterns, emitter exponents, multipliers."""
+
+import pytest
+
+from repro.hydraulics import GGASolver, WaterNetwork, simulate
+
+
+def make_basic() -> WaterNetwork:
+    net = WaterNetwork("edges")
+    net.add_reservoir("R", base_head=50.0)
+    net.add_junction("J", elevation=5.0, base_demand=0.02)
+    net.add_pipe("P", "R", "J", length=300, diameter=0.3, roughness=120)
+    return net
+
+
+class TestReservoirHeadPattern:
+    def test_head_pattern_modulates_supply(self):
+        net = make_basic()
+        net.add_pattern("TIDE", [1.0, 0.8])
+        net.node("R").head_pattern = "TIDE"
+        net.options.pattern_timestep = 3600.0
+        results = simulate(net, duration=3600.0, timestep=3600.0)
+        heads = results.head_at("R")
+        assert heads[0] == pytest.approx(50.0)
+        assert heads[1] == pytest.approx(40.0)
+        # Lower source head -> lower junction pressure.
+        assert results.pressure_at("J")[1] < results.pressure_at("J")[0]
+
+
+class TestEmitterExponent:
+    def test_beta_changes_discharge(self):
+        net = make_basic()
+        solver = GGASolver(net)
+        gentle = solver.solve(emitters={"J": (1e-3, 0.5)})
+        steep = solver.solve(emitters={"J": (1e-3, 1.0)})
+        # At pressures > 1 m, a higher exponent discharges more.
+        assert steep.leak_flow["J"] > gentle.leak_flow["J"]
+
+    def test_exponent_applied_exactly(self):
+        net = make_basic()
+        solver = GGASolver(net)
+        for beta in (0.5, 0.75, 1.2):
+            sol = solver.solve(emitters={"J": (8e-4, beta)})
+            p = sol.node_pressure["J"]
+            assert sol.leak_flow["J"] == pytest.approx(8e-4 * p**beta, rel=1e-6)
+
+
+class TestDemandMultiplier:
+    def test_multiplier_scales_all_demands(self):
+        net = make_basic()
+        base = GGASolver(net).solve()
+        net.options.demand_multiplier = 1.5
+        scaled = GGASolver(net).solve()
+        assert scaled.link_flow["P"] == pytest.approx(
+            1.5 * base.link_flow["P"], rel=1e-9
+        )
+        assert scaled.node_pressure["J"] < base.node_pressure["J"]
+
+
+class TestSolverOverridesInteract:
+    def test_demand_override_beats_multiplier(self):
+        """Explicit per-call demands are still scaled by the multiplier
+        (they replace the base demand, not the final value)."""
+        net = make_basic()
+        net.options.demand_multiplier = 2.0
+        sol = GGASolver(net).solve(demands={"J": 0.01})
+        assert sol.node_demand["J"] == pytest.approx(0.02)
+
+    def test_trials_and_accuracy_overrides(self):
+        net = make_basic()
+        sol = GGASolver(net).solve(trials=50, accuracy=1e-6)
+        assert sol.converged
+
+    def test_insufficient_trials_raise(self):
+        from repro.hydraulics import ConvergenceError
+
+        net = make_basic()
+        net.set_leak("J", 5e-3)
+        with pytest.raises(ConvergenceError):
+            GGASolver(net).solve(trials=1)

@@ -1,0 +1,80 @@
+"""Solver status-resolution tests: check valves, pumps and PRVs
+switching state across solves."""
+
+import pytest
+
+from repro.hydraulics import GGASolver, LinkStatus, ValveType, WaterNetwork
+
+
+class TestCheckValveReopening:
+    def test_cv_open_when_gradient_forward(self):
+        net = WaterNetwork("cv-fwd")
+        net.add_reservoir("HI", base_head=60.0)
+        net.add_junction("J", elevation=0.0, base_demand=0.02)
+        net.add_pipe("PC", "HI", "J", length=100, diameter=0.3, check_valve=True)
+        sol = GGASolver(net).solve()
+        assert sol.link_status["PC"] is LinkStatus.OPEN
+        assert sol.link_flow["PC"] == pytest.approx(0.02, abs=1e-6)
+
+    def test_same_solver_handles_both_directions(self):
+        """One solver instance must re-resolve statuses per solve."""
+        net = WaterNetwork("cv-both")
+        net.add_reservoir("A", base_head=60.0)
+        net.add_reservoir("B", base_head=40.0)
+        net.add_junction("J", elevation=0.0, base_demand=0.01)
+        net.add_pipe("PA", "A", "J", length=100, diameter=0.3)
+        net.add_pipe("PB", "B", "J", length=100, diameter=0.3, check_valve=True)
+        solver = GGASolver(net)
+        first = solver.solve()
+        assert first.link_status["PB"] is LinkStatus.CLOSED
+        # Raising B's head above A's reverses the roles; the CV now passes.
+        second = solver.solve(fixed_heads={"B": 80.0})
+        assert second.link_status["PB"] is LinkStatus.OPEN
+        assert second.link_flow["PB"] > 0
+
+
+class TestPumpStatus:
+    def test_pump_stays_closed_against_excess_static_head(self):
+        net = WaterNetwork("pump-stall")
+        net.add_reservoir("LOW", base_head=0.0)
+        net.add_reservoir("HIGH", base_head=100.0)
+        net.add_junction("J", elevation=0.0, base_demand=0.0)
+        net.add_curve("PC", [(0.02, 30.0)])  # shutoff head 40 m << 100 m
+        net.add_pump("PU", "LOW", "J", curve_name="PC")
+        net.add_pipe("P1", "J", "HIGH", length=100, diameter=0.3)
+        sol = GGASolver(net).solve()
+        # The pump cannot overcome the 100 m backpressure: no net forward
+        # flow (water would otherwise run backwards through it).
+        assert sol.link_flow["PU"] < 1e-4
+
+    def test_pump_speed_override(self):
+        net = WaterNetwork("pump-speed")
+        net.add_reservoir("SRC", base_head=10.0)
+        net.add_junction("A", elevation=0.0, base_demand=0.02)
+        net.add_curve("PC", [(0.04, 40.0)])
+        net.add_pump("PU", "SRC", "A", curve_name="PC")
+        solver = GGASolver(net)
+        full = solver.solve()
+        slowed = solver.solve(pump_speeds={"PU": 0.7})
+        assert slowed.node_head["A"] < full.node_head["A"]
+
+
+class TestPRVStatusModes:
+    def make_prv_net(self, source_head: float) -> WaterNetwork:
+        net = WaterNetwork("prv-modes")
+        net.add_reservoir("R", base_head=source_head)
+        net.add_junction("A", elevation=0.0, base_demand=0.0)
+        net.add_junction("B", elevation=0.0, base_demand=0.02)
+        net.add_pipe("P1", "R", "A", length=50, diameter=0.3)
+        net.add_valve("V", "A", "B", valve_type=ValveType.PRV, setting=30.0, diameter=0.3)
+        return net
+
+    def test_active_regulates(self):
+        sol = GGASolver(self.make_prv_net(80.0)).solve()
+        assert sol.node_pressure["B"] == pytest.approx(30.0, abs=0.5)
+
+    def test_opens_when_upstream_below_setting(self):
+        sol = GGASolver(self.make_prv_net(20.0)).solve()
+        # Upstream can't reach the 30 m setting; valve passes flow openly.
+        assert sol.link_flow["V"] == pytest.approx(0.02, abs=1e-4)
+        assert sol.node_pressure["B"] < 30.0

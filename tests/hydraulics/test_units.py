@@ -1,0 +1,81 @@
+"""Unit-conversion tests."""
+
+import pytest
+
+from repro.hydraulics.exceptions import UnitsError
+from repro.hydraulics.units import (
+    FLOW_UNIT_TO_CMS,
+    UnitSystem,
+    format_clock_time,
+    parse_clock_time,
+)
+
+
+class TestUnitSystem:
+    def test_gpm_is_us_customary(self):
+        us = UnitSystem.from_flow_unit("GPM")
+        assert us.length_to_si == pytest.approx(0.3048)
+        assert us.diameter_to_si == pytest.approx(0.0254)
+
+    def test_lps_is_metric(self):
+        us = UnitSystem.from_flow_unit("LPS")
+        assert us.length_to_si == 1.0
+        assert us.diameter_to_si == pytest.approx(1e-3)
+        assert us.flow_to_si == pytest.approx(1e-3)
+
+    def test_cms_identity(self):
+        us = UnitSystem.from_flow_unit("CMS")
+        assert us.flow_to_si == 1.0
+        assert us.length_to_si == 1.0
+
+    def test_gpm_flow_value(self):
+        us = UnitSystem.from_flow_unit("GPM")
+        # 1000 GPM = 0.0631 m^3/s
+        assert 1000 * us.flow_to_si == pytest.approx(0.0630902, rel=1e-4)
+
+    def test_roundtrip_flow(self):
+        for unit in FLOW_UNIT_TO_CMS:
+            us = UnitSystem.from_flow_unit(unit)
+            assert us.flow_from_si(us.flow_to_si * 3.7) == pytest.approx(3.7)
+
+    def test_roundtrip_length_and_diameter(self):
+        us = UnitSystem.from_flow_unit("GPM")
+        assert us.length_from_si(us.length_to_si * 12.0) == pytest.approx(12.0)
+        assert us.diameter_from_si(us.diameter_to_si * 8.0) == pytest.approx(8.0)
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(UnitsError, match="unknown flow unit"):
+            UnitSystem.from_flow_unit("FURLONGS")
+
+    def test_case_insensitive(self):
+        assert UnitSystem.from_flow_unit("gpm").flow_unit == "GPM"
+
+
+class TestClockTime:
+    def test_plain_hours(self):
+        assert parse_clock_time("1.5") == pytest.approx(5400.0)
+
+    def test_hh_mm(self):
+        assert parse_clock_time("2:30") == pytest.approx(9000.0)
+
+    def test_hh_mm_ss(self):
+        assert parse_clock_time("0:0:45") == pytest.approx(45.0)
+
+    def test_pm_suffix(self):
+        assert parse_clock_time("2:00 PM") == pytest.approx(14 * 3600.0)
+
+    def test_am_noon_wraps(self):
+        assert parse_clock_time("12:00 AM") == pytest.approx(0.0)
+
+    def test_bad_time_raises(self):
+        with pytest.raises(UnitsError):
+            parse_clock_time("half past nine")
+
+    def test_format_roundtrip(self):
+        for seconds in (0.0, 59.0, 3600.0, 26 * 3600.0 + 61.0):
+            assert parse_clock_time(format_clock_time(seconds)) == pytest.approx(
+                round(seconds)
+            )
+
+    def test_format_exceeds_24h(self):
+        assert format_clock_time(90000) == "25:00:00"

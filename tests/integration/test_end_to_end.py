@@ -1,0 +1,108 @@
+"""End-to-end integration tests across all subsystems.
+
+These exercise the full paper pipeline: network -> scenarios -> hydraulics
+-> telemetry -> Phase I training -> Phase II fusion -> scoring, plus the
+flood cascade.  Sized to run in seconds (logistic profile).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AquaScale
+from repro.datasets import generate_dataset
+from repro.failures import LeakEvent, ScenarioGenerator
+from repro.flood import predict_flood
+from repro.hydraulics import GGASolver, simulate
+from repro.ml import mean_hamming_score
+
+
+@pytest.fixture(scope="module")
+def trained(epanet, epanet_single_train):
+    model = AquaScale(epanet, iot_percent=100.0, classifier="logistic", seed=0)
+    model.train(dataset=epanet_single_train)
+    return model
+
+
+class TestTwoPhasePipeline:
+    def test_single_failure_localization_quality(self, trained, epanet_single_test):
+        score = trained.evaluate(epanet_single_test, sources="iot")
+        assert score > 0.4
+
+    def test_fusion_improves_lowtemp(self, epanet, trained):
+        test = generate_dataset(epanet, 50, kind="low-temperature", seed=77)
+        iot = trained.evaluate(test, sources="iot")
+        fused = trained.evaluate(test, sources="all")
+        assert fused >= iot - 0.02
+
+    def test_inference_is_fast(self, trained, epanet_single_test):
+        """The paper's claim: online detection in seconds, not hours."""
+        import time
+
+        X = epanet_single_test.features_for(trained.sensors)
+        start = time.time()
+        trained.engine.infer_batch(X[:20])
+        elapsed = time.time() - start
+        assert elapsed < 5.0
+
+    def test_localize_scenario_against_truth(self, trained, epanet):
+        generator = ScenarioGenerator(epanet, seed=99, ec_range=(3e-3, 5e-3))
+        hits = 0
+        for _ in range(5):
+            scenario = generator.single_failure()
+            result = trained.localize_scenario(scenario, sources="iot")
+            suspects = [name for name, _ in result.top_suspects(5)]
+            hits += scenario.events[0].location in suspects
+        assert hits >= 3
+
+
+class TestSimulatorConsistency:
+    def test_eps_and_steady_state_agree_on_leak_flow(self, epanet):
+        """The fast steady-state telemetry path must match a full EPS at
+        the same demands (pattern multiplier 1 slot)."""
+        node = epanet.junction_names()[20]
+        solver = GGASolver(epanet)
+        steady = solver.solve(
+            demands={
+                j.name: j.base_demand * epanet.pattern("DIURNAL").multipliers[0]
+                for j in epanet.junctions()
+            },
+            emitters={node: (2e-3, 0.5)},
+        )
+        from repro.hydraulics import TimedLeak
+
+        results = simulate(
+            epanet,
+            duration=0.0,
+            timestep=900.0,
+            leaks=[TimedLeak(node, 2e-3, 0.0)],
+        )
+        eps_leak = results.leak_at(node)[0]
+        assert eps_leak == pytest.approx(steady.leak_flow[node], rel=0.05)
+
+
+class TestFloodCascade:
+    def test_leak_to_flood_pipeline(self, epanet):
+        events = [LeakEvent(epanet.junction_names()[10], 5e-3)]
+        dem, flood = predict_flood(
+            epanet, events, duration=900.0, cell_size=150.0
+        )
+        assert flood.total_inflow_volume > 0
+        assert flood.max_depth.max() > 0
+        # Outflow volume consistency: inflow rate x duration.
+        from repro.flood import leak_outflows
+
+        rate = sum(leak_outflows(epanet, events).values())
+        assert flood.total_inflow_volume == pytest.approx(
+            rate * 900.0, rel=1e-6
+        )
+
+
+class TestScoringConsistency:
+    def test_evaluate_matches_manual_scoring(self, trained, epanet_single_test):
+        X = epanet_single_test.features_for(trained.sensors)
+        results = trained.engine.infer_batch(X)
+        predictions = np.vstack([r.label_vector() for r in results])
+        manual = mean_hamming_score(epanet_single_test.Y, predictions)
+        assert trained.evaluate(epanet_single_test, sources="iot") == pytest.approx(
+            manual
+        )

@@ -1,0 +1,75 @@
+"""Estimator framework tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    LogisticRegression,
+    NotFittedError,
+    RandomForestClassifier,
+    check_X_y,
+    check_array,
+    clone,
+)
+
+
+class TestParams:
+    def test_get_params_reflects_init(self):
+        model = LogisticRegression(C=2.5, max_iter=50)
+        params = model.get_params()
+        assert params["C"] == 2.5
+        assert params["max_iter"] == 50
+
+    def test_set_params_updates(self):
+        model = LogisticRegression()
+        model.set_params(C=9.0)
+        assert model.C == 9.0
+
+    def test_set_params_unknown_raises(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            LogisticRegression().set_params(bogus=1)
+
+    def test_clone_copies_params_not_state(self):
+        X = np.random.default_rng(0).normal(size=(50, 3))
+        y = (X[:, 0] > 0).astype(int)
+        model = LogisticRegression(C=3.0).fit(X, y)
+        fresh = clone(model)
+        assert fresh.C == 3.0
+        assert not hasattr(fresh, "coef_")
+
+    def test_repr_contains_params(self):
+        assert "C=2.0" in repr(LogisticRegression(C=2.0))
+
+
+class TestNotFitted:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((2, 3)))
+
+    def test_forest_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict_proba(np.zeros((2, 3)))
+
+
+class TestValidation:
+    def test_check_X_y_shape_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            check_X_y(np.zeros((3, 2)), np.zeros(4))
+
+    def test_check_X_y_rejects_1d_X(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_X_y(np.zeros(3), np.zeros(3))
+
+    def test_check_X_y_rejects_nan(self):
+        X = np.zeros((3, 2))
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            check_X_y(X, np.zeros(3))
+
+    def test_check_X_y_rejects_empty(self):
+        with pytest.raises(ValueError, match="0 samples"):
+            check_X_y(np.zeros((0, 2)), np.zeros(0))
+
+    def test_check_array_converts_lists(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.dtype == float and out.shape == (2, 2)

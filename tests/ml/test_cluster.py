@@ -1,0 +1,84 @@
+"""Clustering tests (k-medoids / k-means)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import KMeans, KMedoids
+
+
+@pytest.fixture()
+def blobs(rng):
+    centres = np.array([[0.0, 0.0], [10.0, 10.0], [0.0, 10.0]])
+    points = np.vstack(
+        [centre + rng.normal(0, 0.5, size=(30, 2)) for centre in centres]
+    )
+    return points, centres
+
+
+class TestKMedoids:
+    def test_finds_blobs(self, blobs):
+        points, centres = blobs
+        km = KMedoids(n_clusters=3, random_state=0)
+        km.fit_predict(points)
+        found = points[km.medoid_indices_]
+        for centre in centres:
+            distances = np.linalg.norm(found - centre, axis=1)
+            assert distances.min() < 1.5
+
+    def test_medoids_are_data_points(self, blobs):
+        points, _ = blobs
+        km = KMedoids(n_clusters=3, random_state=0)
+        km.fit(points)
+        assert km.medoid_indices_.max() < len(points)
+        assert len(set(km.medoid_indices_.tolist())) == 3
+
+    def test_precomputed_metric(self, blobs):
+        points, _ = blobs
+        squared = np.sum(points**2, axis=1)
+        distances = np.sqrt(
+            np.maximum(squared[:, None] + squared[None, :] - 2 * points @ points.T, 0)
+        )
+        km = KMedoids(n_clusters=3, random_state=0, metric="precomputed")
+        km.fit(distances)
+        assert len(km.medoid_indices_) == 3
+
+    def test_too_many_clusters_raises(self, rng):
+        with pytest.raises(ValueError, match="n_clusters"):
+            KMedoids(n_clusters=10).fit(rng.normal(size=(5, 2)))
+
+    def test_deterministic(self, blobs):
+        points, _ = blobs
+        a = KMedoids(n_clusters=3, random_state=42).fit(points)
+        b = KMedoids(n_clusters=3, random_state=42).fit(points)
+        assert np.array_equal(a.medoid_indices_, b.medoid_indices_)
+
+    def test_inertia_decreases_with_more_clusters(self, blobs):
+        points, _ = blobs
+        few = KMedoids(n_clusters=2, random_state=0).fit(points)
+        many = KMedoids(n_clusters=6, random_state=0).fit(points)
+        assert many.inertia_ < few.inertia_
+
+    def test_bad_metric(self, rng):
+        with pytest.raises(ValueError, match="metric"):
+            KMedoids(metric="cosine", n_clusters=2).fit(rng.normal(size=(10, 2)))
+
+
+class TestKMeans:
+    def test_finds_blobs(self, blobs):
+        points, centres = blobs
+        km = KMeans(n_clusters=3, random_state=0).fit(points)
+        for centre in centres:
+            distances = np.linalg.norm(km.cluster_centers_ - centre, axis=1)
+            assert distances.min() < 1.0
+
+    def test_predict_assigns_nearest(self, blobs):
+        points, _ = blobs
+        km = KMeans(n_clusters=3, random_state=0).fit(points)
+        labels = km.predict(points[:5])
+        assert labels.shape == (5,)
+
+    def test_labels_cover_all_points(self, blobs):
+        points, _ = blobs
+        labels = KMeans(n_clusters=3, random_state=1).fit_predict(points)
+        assert labels.shape == (len(points),)
+        assert set(labels.tolist()) <= {0, 1, 2}

@@ -1,0 +1,99 @@
+"""PCA and principal-feature-analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import PCA, PrincipalFeatureAnalysis
+
+
+@pytest.fixture()
+def correlated_data(rng):
+    """3 latent factors spread over 12 features + noise."""
+    latent = rng.normal(size=(300, 3))
+    mixing = rng.normal(size=(3, 12))
+    return latent @ mixing + 0.05 * rng.normal(size=(300, 12))
+
+
+class TestPCA:
+    def test_variance_ratios_sorted_and_sum_to_one(self, correlated_data):
+        pca = PCA().fit(correlated_data)
+        ratios = pca.explained_variance_ratio_
+        assert np.all(np.diff(ratios) <= 1e-12)
+        assert ratios.sum() == pytest.approx(1.0)
+
+    def test_three_components_explain_almost_everything(self, correlated_data):
+        pca = PCA(n_components=3).fit(correlated_data)
+        assert pca.explained_variance_ratio_.sum() > 0.98
+
+    def test_transform_shape(self, correlated_data):
+        Z = PCA(n_components=2).fit_transform(correlated_data)
+        assert Z.shape == (300, 2)
+
+    def test_components_orthonormal(self, correlated_data):
+        pca = PCA(n_components=3).fit(correlated_data)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_full_rank_roundtrip(self, rng):
+        X = rng.normal(size=(50, 4))
+        pca = PCA().fit(X)
+        back = pca.inverse_transform(pca.transform(X))
+        assert np.allclose(back, X, atol=1e-8)
+
+    def test_reconstruction_error_drops_with_components(self, correlated_data):
+        def error(k):
+            pca = PCA(n_components=k).fit(correlated_data)
+            back = pca.inverse_transform(pca.transform(correlated_data))
+            return float(np.mean((back - correlated_data) ** 2))
+
+        assert error(3) < error(1)
+
+    def test_invalid_component_count(self, correlated_data):
+        with pytest.raises(ValueError):
+            PCA(n_components=99).fit(correlated_data)
+
+
+class TestPFA:
+    def test_selects_requested_count(self, correlated_data):
+        pfa = PrincipalFeatureAnalysis(n_features=4, random_state=0)
+        pfa.fit(correlated_data)
+        assert len(pfa.selected_indices_) == 4
+        assert len(set(pfa.selected_indices_.tolist())) == 4
+
+    def test_transform_keeps_original_columns(self, correlated_data):
+        pfa = PrincipalFeatureAnalysis(n_features=3, random_state=0)
+        reduced = pfa.fit_transform(correlated_data)
+        for j, column in enumerate(pfa.selected_indices_):
+            assert np.array_equal(reduced[:, j], correlated_data[:, column])
+
+    def test_avoids_duplicated_features(self, rng):
+        """Exact copies of one feature should not all be selected."""
+        base = rng.normal(size=(200, 1))
+        unique = rng.normal(size=(200, 3))
+        X = np.hstack([base, base, base, unique])
+        pfa = PrincipalFeatureAnalysis(n_features=4, random_state=0).fit(X)
+        copies_selected = sum(1 for i in pfa.selected_indices_ if i < 3)
+        assert copies_selected <= 2
+
+    def test_validation(self, correlated_data):
+        with pytest.raises(ValueError):
+            PrincipalFeatureAnalysis(n_features=99).fit(correlated_data)
+
+    def test_deterministic(self, correlated_data):
+        a = PrincipalFeatureAnalysis(n_features=4, random_state=7).fit(correlated_data)
+        b = PrincipalFeatureAnalysis(n_features=4, random_state=7).fit(correlated_data)
+        assert np.array_equal(a.selected_indices_, b.selected_indices_)
+
+
+class TestPFAPlacement:
+    def test_places_sensors(self, two_loop):
+        from repro.sensing import pfa_placement
+
+        deployment = pfa_placement(two_loop, 5, n_scenarios=20, seed=0)
+        assert len(deployment) == 5
+
+    def test_out_of_range(self, two_loop):
+        from repro.sensing import pfa_placement
+
+        with pytest.raises(ValueError):
+            pfa_placement(two_loop, 1000, n_scenarios=5)

@@ -1,0 +1,117 @@
+"""Stacking and multi-output wrapper tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    LinearSVC,
+    LogisticRegression,
+    MultiOutputClassifier,
+    RandomForestClassifier,
+    StackingClassifier,
+)
+
+
+def make_stack(cv: int = 1) -> StackingClassifier:
+    return StackingClassifier(
+        estimators=[
+            ("rf", RandomForestClassifier(n_estimators=8, random_state=0)),
+            ("svm", LinearSVC(random_state=0)),
+        ],
+        final_estimator=LogisticRegression(),
+        cv=cv,
+        random_state=0,
+    )
+
+
+@pytest.fixture()
+def binary_data(rng):
+    X = rng.normal(size=(300, 6))
+    w = rng.normal(size=6)
+    y = (X @ w > 0).astype(int)
+    return X, y
+
+
+class TestStacking:
+    def test_learns(self, binary_data):
+        X, y = binary_data
+        model = make_stack().fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_out_of_fold_mode(self, binary_data):
+        X, y = binary_data
+        model = make_stack(cv=3).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_proba_shape(self, binary_data):
+        X, y = binary_data
+        proba = make_stack().fit(X, y).predict_proba(X)
+        assert proba.shape == (len(y), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_at_least_as_good_as_worst_base(self, binary_data):
+        X, y = binary_data
+        stack = make_stack().fit(X, y)
+        rf = RandomForestClassifier(n_estimators=8, random_state=0).fit(X, y)
+        svm = LinearSVC(random_state=0).fit(X, y)
+        worst = min(rf.score(X, y), svm.score(X, y))
+        assert stack.score(X, y) >= worst - 0.05
+
+    def test_single_class(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        model = make_stack().fit(X, np.zeros(20, dtype=int))
+        assert (model.predict(X) == 0).all()
+
+    def test_passthrough_appends_features(self, binary_data):
+        X, y = binary_data
+        model = StackingClassifier(
+            estimators=[("svm", LinearSVC(random_state=0))],
+            final_estimator=LogisticRegression(),
+            passthrough=True,
+        ).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+
+class TestMultiOutput:
+    def test_shapes(self, rng):
+        X = rng.normal(size=(200, 5))
+        Y = (rng.random((200, 7)) < 0.3).astype(int)
+        model = MultiOutputClassifier(LogisticRegression()).fit(X, Y)
+        assert model.predict(X).shape == (200, 7)
+        assert model.predict_proba(X).shape == (200, 7)
+
+    def test_learns_per_column_rules(self, rng):
+        X = rng.normal(size=(400, 4))
+        Y = np.column_stack([(X[:, j] > 0).astype(int) for j in range(4)])
+        model = MultiOutputClassifier(LogisticRegression()).fit(X, Y)
+        prediction = model.predict(X)
+        assert (prediction == Y).mean() > 0.95
+
+    def test_all_negative_column(self, rng):
+        X = rng.normal(size=(100, 3))
+        Y = np.zeros((100, 2), dtype=int)
+        Y[:, 0] = (X[:, 0] > 0).astype(int)
+        model = MultiOutputClassifier(LogisticRegression()).fit(X, Y)
+        proba = model.predict_proba(X)
+        assert (proba[:, 1] == 0.0).all()
+
+    def test_negative_subsampling_keeps_all_positives(self, rng):
+        X = rng.normal(size=(500, 3))
+        Y = (rng.random((500, 2)) < 0.05).astype(int)
+        model = MultiOutputClassifier(
+            LogisticRegression(), negative_ratio=3.0, min_negatives=20, random_state=0
+        )
+        # Inspect the row selection directly for column 0.
+        rows = model._column_rows(Y[:, 0], np.random.default_rng(0))
+        positives = set(np.nonzero(Y[:, 0] == 1)[0])
+        assert positives <= set(rows.tolist())
+        assert len(rows) < 500
+
+    def test_y_shape_validation(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="2-D"):
+            MultiOutputClassifier(LogisticRegression()).fit(X, np.zeros(10))
+        with pytest.raises(ValueError, match="rows"):
+            MultiOutputClassifier(LogisticRegression()).fit(
+                X, np.zeros((5, 2), dtype=int)
+            )

@@ -1,0 +1,113 @@
+"""Random forest and gradient boosting tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GradientBoostingClassifier, RandomForestClassifier
+
+
+@pytest.fixture()
+def nonlinear_data(rng):
+    X = rng.uniform(-1, 1, size=(500, 4))
+    y = (((X[:, 0] > 0) ^ (X[:, 1] > 0)) | (X[:, 2] > 0.8)).astype(int)
+    return X, y
+
+
+class TestRandomForest:
+    def test_beats_single_tree_on_noise(self, rng):
+        X = rng.normal(size=(400, 10))
+        y = ((X[:, 0] + 0.8 * rng.normal(size=400)) > 0).astype(int)
+        from repro.ml import DecisionTreeClassifier
+
+        X_test = rng.normal(size=(200, 10))
+        y_test = (X_test[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        forest = RandomForestClassifier(n_estimators=25, random_state=0).fit(X, y)
+        assert forest.score(X_test, y_test) >= tree.score(X_test, y_test)
+
+    def test_deterministic_given_seed(self, nonlinear_data):
+        X, y = nonlinear_data
+        a = RandomForestClassifier(n_estimators=5, random_state=7).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=7).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_different_seeds_differ(self, nonlinear_data):
+        X, y = nonlinear_data
+        a = RandomForestClassifier(n_estimators=3, random_state=1).fit(X, y)
+        b = RandomForestClassifier(n_estimators=3, random_state=2).fit(X, y)
+        assert not np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_proba_shape_and_range(self, nonlinear_data):
+        X, y = nonlinear_data
+        proba = (
+            RandomForestClassifier(n_estimators=10, random_state=0)
+            .fit(X, y)
+            .predict_proba(X)
+        )
+        assert proba.shape == (len(y), 2)
+        assert proba.min() >= 0 and proba.max() <= 1
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_hist_splitter_equivalent_quality(self, nonlinear_data):
+        X, y = nonlinear_data
+        exact = RandomForestClassifier(
+            n_estimators=10, random_state=0, splitter="exact"
+        ).fit(X, y)
+        hist = RandomForestClassifier(
+            n_estimators=10, random_state=0, splitter="hist"
+        ).fit(X, y)
+        assert abs(exact.score(X, y) - hist.score(X, y)) < 0.05
+
+    def test_single_class_fit(self):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        model = RandomForestClassifier(n_estimators=3).fit(X, np.ones(30, dtype=int))
+        assert (model.predict(X) == 1).all()
+
+
+class TestGradientBoosting:
+    def test_learns_nonlinear(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = GradientBoostingClassifier(
+            n_estimators=40, learning_rate=0.2, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_more_stages_fit_better(self, nonlinear_data):
+        X, y = nonlinear_data
+        few = GradientBoostingClassifier(n_estimators=3, random_state=0).fit(X, y)
+        many = GradientBoostingClassifier(n_estimators=40, random_state=0).fit(X, y)
+        assert many.score(X, y) >= few.score(X, y)
+
+    def test_decision_function_monotone_with_proba(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = GradientBoostingClassifier(n_estimators=10, random_state=0).fit(X, y)
+        decision = model.decision_function(X)
+        proba = model.predict_proba(X)[:, 1]
+        order = np.argsort(decision)
+        assert (np.diff(proba[order]) >= -1e-12).all()
+
+    def test_subsample_runs(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = GradientBoostingClassifier(
+            n_estimators=10, subsample=0.5, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.7
+
+    def test_single_class_fit(self):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        model = GradientBoostingClassifier(n_estimators=3).fit(
+            X, np.zeros(30, dtype=int)
+        )
+        assert (model.predict(X) == 0).all()
+
+    def test_multiclass_rejected(self, rng):
+        X = rng.normal(size=(30, 2))
+        with pytest.raises(ValueError, match="binary"):
+            GradientBoostingClassifier().fit(X, np.array([0, 1, 2] * 10))
+
+    def test_baseline_matches_prior(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = (rng.random(200) < 0.25).astype(int)
+        model = GradientBoostingClassifier(n_estimators=1, learning_rate=0.0).fit(X, y)
+        proba = model.predict_proba(X)[:, 1]
+        assert proba.mean() == pytest.approx(y.mean(), abs=0.02)

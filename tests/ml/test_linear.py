@@ -1,0 +1,113 @@
+"""Linear model tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    LinearRegression,
+    LinearRegressionClassifier,
+    LogisticRegression,
+)
+
+
+@pytest.fixture()
+def linear_data(rng):
+    X = rng.normal(size=(300, 4))
+    w = np.array([2.0, -1.0, 0.5, 0.0])
+    y = X @ w + 3.0 + 0.01 * rng.normal(size=300)
+    return X, y, w
+
+
+@pytest.fixture()
+def binary_data(rng):
+    X = rng.normal(size=(400, 5))
+    w = rng.normal(size=5)
+    y = (X @ w + 0.2 * rng.normal(size=400) > 0).astype(int)
+    return X, y
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self, linear_data):
+        X, y, w = linear_data
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, w, atol=0.05)
+        assert model.intercept_ == pytest.approx(3.0, abs=0.05)
+
+    def test_r2_near_one(self, linear_data):
+        X, y, _ = linear_data
+        assert LinearRegression().fit(X, y).score(X, y) > 0.99
+
+    def test_no_intercept(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X @ np.array([1.0, 2.0])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert np.allclose(model.coef_, [1.0, 2.0], atol=1e-8)
+
+    def test_proba_clipped(self, rng):
+        X = rng.normal(size=(50, 2)) * 10
+        y = (X[:, 0] > 0).astype(float)
+        model = LinearRegression().fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.min() >= 0.0 and proba.max() <= 1.0
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestLinearRegressionClassifier:
+    def test_learns_separable(self, binary_data):
+        X, y = binary_data
+        model = LinearRegressionClassifier().fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_single_class(self):
+        X = np.zeros((10, 2))
+        model = LinearRegressionClassifier().fit(X, np.ones(10, dtype=int))
+        assert (model.predict(X) == 1).all()
+        assert model.predict_proba(X).shape == (10, 1)
+
+
+class TestLogisticRegression:
+    def test_learns_separable(self, binary_data):
+        X, y = binary_data
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_proba_rows_sum_to_one(self, binary_data):
+        X, y = binary_data
+        proba = LogisticRegression().fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_regularisation_shrinks_weights(self, binary_data):
+        X, y = binary_data
+        loose = LogisticRegression(C=100.0).fit(X, y)
+        tight = LogisticRegression(C=0.001).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_balanced_class_weight_raises_minority_recall(self, rng):
+        X = rng.normal(size=(600, 4))
+        margin = X[:, 0] * 2.0 - 1.8  # ~ 15% positives, shifted
+        y = (margin + 0.5 * rng.normal(size=600) > 0).astype(int)
+        plain = LogisticRegression().fit(X, y)
+        balanced = LogisticRegression(class_weight="balanced").fit(X, y)
+        from repro.ml import recall_score
+
+        assert recall_score(y, balanced.predict(X)) >= recall_score(
+            y, plain.predict(X)
+        )
+
+    def test_single_class_shortcut(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        model = LogisticRegression().fit(X, np.zeros(20, dtype=int))
+        assert (model.predict(X) == 0).all()
+
+    def test_multiclass_rejected(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = np.array([0, 1, 2] * 10)
+        with pytest.raises(ValueError, match="binary"):
+            LogisticRegression().fit(X, y)
+
+    def test_preserves_original_labels(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = np.where(X[:, 0] > 0, 5, -5)
+        model = LogisticRegression().fit(X, y)
+        assert set(np.unique(model.predict(X))) <= {-5, 5}

@@ -1,0 +1,77 @@
+"""Metric tests, especially the paper's hamming (Jaccard) score."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    hamming_score,
+    log_loss,
+    mean_hamming_score,
+    precision_score,
+    recall_score,
+)
+
+
+class TestHammingScore:
+    def test_perfect_match(self):
+        assert hamming_score([0, 1, 1, 0], [0, 1, 1, 0]) == 1.0
+
+    def test_is_jaccard(self):
+        # true {1,2}, pred {2,3}: intersection 1, union 3.
+        assert hamming_score([0, 1, 1, 0], [0, 0, 1, 1]) == pytest.approx(1 / 3)
+
+    def test_empty_sets_score_one(self):
+        assert hamming_score([0, 0], [0, 0]) == 1.0
+
+    def test_false_positive_only(self):
+        assert hamming_score([0, 0], [0, 1]) == 0.0
+
+    def test_missed_detection(self):
+        assert hamming_score([1, 0], [0, 0]) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_score([0, 1], [0, 1, 1])
+
+    def test_mean_over_rows(self):
+        Y_true = np.array([[1, 0], [0, 1]])
+        Y_pred = np.array([[1, 0], [0, 0]])
+        assert mean_hamming_score(Y_true, Y_pred) == pytest.approx(0.5)
+
+    def test_mean_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            mean_hamming_score([0, 1], [0, 1])
+
+
+class TestStandardMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_precision_recall_f1(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 1, 0, 1]
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_precision_no_positives_predicted(self):
+        assert precision_score([1, 1], [0, 0]) == 0.0
+
+    def test_recall_no_positives_present(self):
+        assert recall_score([0, 0], [1, 1]) == 0.0
+
+    def test_f1_zero_when_nothing_matches(self):
+        assert f1_score([1, 0], [0, 1]) == 0.0
+
+    def test_log_loss_perfect_is_small(self):
+        assert log_loss([1, 0], [1.0, 0.0]) < 1e-9
+
+    def test_log_loss_wrong_is_large(self):
+        assert log_loss([1], [0.01]) > 4.0
+
+    def test_confusion_matrix(self):
+        m = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert m.tolist() == [[1, 1], [0, 2]]

@@ -1,0 +1,49 @@
+"""Mixin behaviour edge cases."""
+
+import numpy as np
+
+from repro.ml import LinearRegression
+
+
+class TestRegressorScore:
+    def test_constant_target_perfect_fit(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        y = np.full(10, 3.0)
+        model = LinearRegression().fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_constant_target_bad_fit(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        model = LinearRegression().fit(X, np.arange(10.0))
+        # Scoring against a constant target it cannot hit: R^2 convention 0.
+        assert model.score(X, np.full(10, 99.0)) == 0.0
+
+    def test_r2_negative_for_terrible_model(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 1))
+        y = rng.normal(size=50)
+        model = LinearRegression().fit(X, y)
+        shuffled = y[::-1].copy()
+        assert model.score(X, shuffled) < 1.0
+
+
+class TestCentralityRankOf:
+    def test_absent_node_ranks_last(self, two_loop):
+        from repro.analysis import CurrentFlowLocalizer
+        from repro.hydraulics import GGASolver
+        from repro.sensing import SensorNetwork, full_candidate_set
+
+        localizer = CurrentFlowLocalizer(
+            two_loop, SensorNetwork(full_candidate_set(two_loop))
+        )
+        solver = GGASolver(two_loop)
+        base = solver.solve(emitters={})
+        leaky = solver.solve(emitters={"J5": (2e-3, 0.5)})
+        observed = np.array(
+            [
+                leaky.link_flow[name] - base.link_flow[name]
+                for name in two_loop.link_names()
+            ]
+        )
+        result = localizer.localize(observed)
+        assert result.rank_of("NOT-A-NODE") == len(result.ranking) + 1

@@ -1,0 +1,75 @@
+"""k-nearest-neighbours tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import KNeighborsClassifier
+
+
+@pytest.fixture()
+def blob_data(rng):
+    a = rng.normal(loc=(0, 0), scale=0.5, size=(100, 2))
+    b = rng.normal(loc=(4, 4), scale=0.5, size=(100, 2))
+    X = np.vstack([a, b])
+    y = np.array([0] * 100 + [1] * 100)
+    return X, y
+
+
+class TestKNN:
+    def test_separable_blobs(self, blob_data):
+        X, y = blob_data
+        model = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        assert model.score(X, y) > 0.98
+
+    def test_one_neighbor_memorises(self, blob_data):
+        X, y = blob_data
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_proba_shape_and_normalisation(self, blob_data):
+        X, y = blob_data
+        proba = KNeighborsClassifier(n_neighbors=5).fit(X, y).predict_proba(X)
+        assert proba.shape == (200, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_distance_weighting(self, rng):
+        """A query right on a class-0 point must go to class 0 even if
+        most of its k neighbours are class 1."""
+        X = np.vstack([[0.0, 0.0], [1.0, 1.0], [1.1, 1.0], [1.0, 1.1], [1.1, 1.1]])
+        y = np.array([0, 1, 1, 1, 1])
+        model = KNeighborsClassifier(n_neighbors=5, weights="distance").fit(X, y)
+        assert model.predict(np.array([[0.001, 0.0]]))[0] == 0
+
+    def test_k_larger_than_dataset_clamped(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 0, 1])
+        model = KNeighborsClassifier(n_neighbors=50).fit(X, y)
+        assert model.predict(np.array([[0.5]]))[0] == 0
+
+    def test_single_class(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        model = KNeighborsClassifier().fit(X, np.ones(10, dtype=int))
+        assert (model.predict(X) == 1).all()
+        assert model.predict_proba(X).shape == (10, 1)
+
+    def test_validation(self, blob_data):
+        X, y = blob_data
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(weights="cosmic").fit(X, y)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0).fit(X, y)
+
+    def test_registered_in_plug_and_play(self, rng):
+        from repro.core import make_classifier
+
+        X = rng.normal(size=(80, 3))
+        y = (X[:, 0] > 0).astype(int)
+        model = make_classifier("knn")
+        model.fit(X, y)
+        assert model.predict_proba(X).shape == (80, 2)
+
+    def test_original_labels_preserved(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = np.where(X[:, 0] > 0, "leak", "ok")
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert set(model.predict(X)) <= {"leak", "ok"}

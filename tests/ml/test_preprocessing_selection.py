@@ -1,0 +1,107 @@
+"""Scaler and model-selection tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    KFold,
+    LogisticRegression,
+    MinMaxScaler,
+    StandardScaler,
+    cross_val_score,
+    train_test_split,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_not_scaled(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+        assert np.isfinite(Z).all()
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_feature_count_mismatch(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(rng.normal(size=(5, 4)))
+
+    def test_transform_before_fit(self):
+        from repro.ml import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_range(self, rng):
+        X = rng.normal(size=(100, 3)) * 10
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = np.arange(100)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.2, random_state=0)
+        assert len(X_te) == 20 and len(X_tr) == 80
+        assert len(y_te) == 20
+
+    def test_rows_stay_aligned(self, rng):
+        X = np.arange(50).reshape(50, 1).astype(float)
+        y = np.arange(50)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, random_state=1)
+        assert np.array_equal(X_tr[:, 0].astype(int), y_tr)
+
+    def test_deterministic_with_seed(self, rng):
+        X = rng.normal(size=(30, 2))
+        a = train_test_split(X, random_state=5)[1]
+        b = train_test_split(X, random_state=5)[1]
+        assert np.array_equal(a, b)
+
+    def test_invalid_test_size(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(rng.normal(size=(10, 1)), test_size=1.5)
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError, match="length"):
+            train_test_split(np.zeros(10), np.zeros(11))
+
+
+class TestKFold:
+    def test_covers_all_indices_once(self):
+        folds = list(KFold(4).split(np.zeros(22)))
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(22))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(3).split(np.zeros(9)):
+            assert set(train) & set(test) == set()
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(np.zeros(3)))
+
+    def test_min_splits(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestCrossVal:
+    def test_scores_reasonable(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 0] > 0).astype(int)
+        scores = cross_val_score(LogisticRegression(), X, y, cv=4, random_state=0)
+        assert scores.shape == (4,)
+        assert scores.mean() > 0.9

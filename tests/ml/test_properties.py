@@ -1,0 +1,105 @@
+"""Property-based tests for the ML substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    LogisticRegression,
+    StandardScaler,
+    hamming_score,
+)
+
+binary_vectors = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(min_value=1, max_value=40),
+    elements=st.integers(0, 1),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(y=binary_vectors)
+def test_hamming_score_self_is_one(y):
+    assert hamming_score(y, y) == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_hamming_score_symmetric(data):
+    n = data.draw(st.integers(1, 30))
+    a = data.draw(hnp.arrays(np.int64, n, elements=st.integers(0, 1)))
+    b = data.draw(hnp.arrays(np.int64, n, elements=st.integers(0, 1)))
+    assert hamming_score(a, b) == pytest.approx(hamming_score(b, a))
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_hamming_score_bounded(data):
+    n = data.draw(st.integers(1, 30))
+    a = data.draw(hnp.arrays(np.int64, n, elements=st.integers(0, 1)))
+    b = data.draw(hnp.arrays(np.int64, n, elements=st.integers(0, 1)))
+    assert 0.0 <= hamming_score(a, b) <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    X=hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(5, 40), st.integers(1, 6)),
+        elements=st.floats(-100, 100, allow_nan=False),
+    )
+)
+def test_scaler_roundtrip(X):
+    scaler = StandardScaler().fit(X)
+    back = scaler.inverse_transform(scaler.transform(X))
+    assert np.allclose(back, X, atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), shift=st.floats(-5, 5, allow_nan=False))
+def test_tree_invariant_to_feature_shift(seed, shift):
+    """Axis-aligned splits only depend on value order, so shifting a
+    feature by a constant must not change predictions."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(80, 3))
+    y = (X[:, 0] > 0).astype(int)
+    tree_a = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+    X_shifted = X.copy()
+    X_shifted[:, 1] += shift
+    tree_b = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X_shifted, y)
+    assert np.array_equal(tree_a.predict(X), tree_b.predict(X_shifted))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_logistic_proba_complement(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(60, 4))
+    y = (X[:, 0] + 0.3 * rng.normal(size=60) > 0).astype(int)
+    model = LogisticRegression().fit(X, y)
+    proba = model.predict_proba(X)
+    assert np.allclose(proba[:, 0] + proba[:, 1], 1.0)
+    assert (proba >= 0).all() and (proba <= 1).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_logistic_label_flip_symmetry(seed):
+    """Flipping all labels mirrors the model: P'(1|x) == P(0|x).
+
+    The logistic NLL + L2 objective is symmetric under (y, w, b) ->
+    (1 - y, -w, -b), so the optima mirror each other.
+    """
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(40, 3))
+    y = (X[:, 0] + 0.5 * rng.normal(size=40) > 0).astype(int)
+    base = LogisticRegression().fit(X, y)
+    flipped = LogisticRegression().fit(X, 1 - y)
+    assert np.allclose(
+        base.predict_proba(X)[:, 1], flipped.predict_proba(X)[:, 0], atol=5e-3
+    )

@@ -1,0 +1,107 @@
+"""Decision tree tests (exact and histogram splitters)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+@pytest.fixture()
+def xor_data(rng):
+    """A problem a linear model cannot solve but a depth-2 tree can."""
+    X = rng.uniform(-1, 1, size=(400, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestClassifier:
+    @pytest.mark.parametrize("splitter", ["exact", "hist"])
+    def test_solves_xor(self, xor_data, splitter):
+        # Greedy CART gets ~zero gain on XOR's first split, so it needs a
+        # few extra levels to untangle it — depth 6 is ample.
+        X, y = xor_data
+        tree = DecisionTreeClassifier(max_depth=6, splitter=splitter).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_max_depth_limits_nodes(self, xor_data):
+        X, y = xor_data
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        assert shallow.node_count <= 3
+        assert deep.node_count > shallow.node_count
+
+    def test_min_samples_leaf_respected(self, xor_data):
+        X, y = xor_data
+        tree = DecisionTreeClassifier(min_samples_leaf=50).fit(X, y)
+        leaves = tree._tree.apply(X)
+        _, counts = np.unique(leaves, return_counts=True)
+        assert counts.min() >= 50
+
+    def test_pure_node_stops(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 1
+
+    def test_proba_is_leaf_distribution(self, xor_data):
+        X, y = xor_data
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (len(y), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_multiclass(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = (X[:, 0] > 0).astype(int) + (X[:, 1] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert tree.score(X, y) > 0.9
+        assert tree.predict_proba(X).shape == (300, 3)
+
+    def test_hist_matches_exact_closely(self, rng):
+        X = rng.normal(size=(500, 6))
+        y = (X[:, 2] > 0.3).astype(int)
+        exact = DecisionTreeClassifier(max_depth=4, splitter="exact").fit(X, y)
+        hist = DecisionTreeClassifier(max_depth=4, splitter="hist").fit(X, y)
+        agreement = np.mean(exact.predict(X) == hist.predict(X))
+        assert agreement > 0.97
+
+    def test_invalid_splitter(self, xor_data):
+        X, y = xor_data
+        with pytest.raises(ValueError, match="splitter"):
+            DecisionTreeClassifier(splitter="magic").fit(X, y)
+
+    def test_constant_features_yield_single_leaf(self):
+        X = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 1
+        assert tree.predict_proba(X)[0, 0] == pytest.approx(0.5)
+
+
+class TestRegressor:
+    def test_fits_step_function(self, rng):
+        X = rng.uniform(0, 1, size=(300, 1))
+        y = np.where(X[:, 0] > 0.5, 2.0, -1.0)
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert tree.score(X, y) > 0.99
+
+    def test_apply_returns_leaves(self, rng):
+        X = rng.uniform(0, 1, size=(100, 2))
+        y = X[:, 0]
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        leaves = tree.apply(X)
+        assert leaves.shape == (100,)
+        assert set(leaves) <= set(range(tree.node_count))
+
+    def test_constant_target_single_node(self):
+        X = np.random.default_rng(0).normal(size=(50, 2))
+        tree = DecisionTreeRegressor().fit(X, np.full(50, 7.0))
+        assert tree.node_count == 1
+        assert tree.predict(X[:3]) == pytest.approx([7.0] * 3)
+
+    def test_depth_improves_fit(self, rng):
+        X = rng.uniform(0, 1, size=(400, 1))
+        y = np.sin(6 * X[:, 0])
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        assert deep.score(X, y) > shallow.score(X, y)

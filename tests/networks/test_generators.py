@@ -1,0 +1,100 @@
+"""Network-generator tests (paper component counts, determinism)."""
+
+import pytest
+
+from repro.hydraulics import GGASolver
+from repro.networks import (
+    available_networks,
+    build_network,
+    epanet_canonical,
+    register_network,
+    two_loop_test_network,
+    wssc_subnet,
+)
+
+
+class TestEpanetCanonical:
+    def test_paper_component_counts(self, epanet):
+        counts = epanet.describe()
+        assert counts["nodes"] == 96
+        assert counts["links"] == 118
+        assert counts["pipes"] == 115
+        assert counts["pumps"] == 2
+        assert counts["valves"] == 1
+        assert counts["tanks"] == 3
+        assert counts["reservoirs"] == 2
+
+    def test_deterministic(self):
+        a = epanet_canonical(seed=99)
+        b = epanet_canonical(seed=99)
+        assert a.describe() == b.describe()
+        for name in a.junction_names():
+            assert a.node(name).base_demand == b.node(name).base_demand
+
+    def test_different_seed_different_demands(self):
+        a = epanet_canonical(seed=1)
+        b = epanet_canonical(seed=2)
+        demands_a = [j.base_demand for j in a.junctions()]
+        demands_b = [j.base_demand for j in b.junctions()]
+        assert demands_a != demands_b
+
+    def test_hydraulically_sane(self, epanet, epanet_solver):
+        sol = epanet_solver.solve()
+        pressures = [sol.node_pressure[j.name] for j in epanet.junctions()]
+        assert min(pressures) > 15.0
+        assert max(pressures) < 100.0
+
+    def test_demand_pattern_attached(self, epanet):
+        assert all(j.demand_pattern == "DIURNAL" for j in epanet.junctions())
+
+
+class TestWsscSubnet:
+    def test_paper_component_counts(self, wssc):
+        counts = wssc.describe()
+        assert counts["nodes"] == 299
+        assert counts["links"] == 316
+        assert counts["pipes"] == 314
+        assert counts["valves"] == 2
+        assert counts["reservoirs"] == 1
+        assert counts["tanks"] == 0
+
+    def test_mostly_branched_topology(self, wssc):
+        """A suburban district: cyclomatic number far below a grid's."""
+        graph = wssc.to_networkx()
+        cycles = graph.number_of_edges() - graph.number_of_nodes() + 1
+        assert cycles < 30
+
+    def test_gravity_fed(self, wssc):
+        sol = GGASolver(wssc).solve()
+        pressures = [sol.node_pressure[j.name] for j in wssc.junctions()]
+        assert min(pressures) > 20.0
+
+    def test_deterministic(self):
+        a = wssc_subnet(seed=5)
+        b = wssc_subnet(seed=5)
+        assert [n.coordinates for n in a.nodes.values()] == [
+            n.coordinates for n in b.nodes.values()
+        ]
+
+
+class TestCatalog:
+    def test_available(self):
+        names = available_networks()
+        assert "epanet" in names and "wssc" in names
+
+    def test_build_by_name(self):
+        assert build_network("two-loop").describe()["junctions"] == 7
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            build_network("atlantis")
+
+    def test_register_custom(self):
+        register_network("custom-test", lambda seed=0: two_loop_test_network())
+        assert build_network("custom-test").name == "two-loop"
+
+
+class TestTwoLoop:
+    def test_solvable(self, two_loop):
+        sol = GGASolver(two_loop).solve()
+        assert sol.converged

@@ -1,0 +1,85 @@
+"""Markov weather-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.observations import (
+    FREEZE_THRESHOLD_F,
+    MarkovWeatherConfig,
+    MarkovWeatherModel,
+)
+
+
+class TestConfig:
+    def test_stationary_probability(self):
+        config = MarkovWeatherConfig(p_enter_snap=0.01, p_exit_snap=0.04)
+        assert config.stationary_snap_probability == pytest.approx(0.2)
+
+    def test_expected_snap_length(self):
+        assert MarkovWeatherConfig(p_exit_snap=0.02).expected_snap_length == 50.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovWeatherConfig(p_enter_snap=0.0)
+        with pytest.raises(ValueError):
+            MarkovWeatherConfig(ar_coefficient=1.0)
+
+
+class TestSimulation:
+    def test_trace_shapes(self):
+        trace = MarkovWeatherModel(seed=0).simulate(500)
+        assert trace.n_slots == 500
+        assert trace.in_snap.shape == trace.temperatures_f.shape
+
+    def test_snap_fraction_near_stationary(self):
+        config = MarkovWeatherConfig(p_enter_snap=0.02, p_exit_snap=0.05)
+        trace = MarkovWeatherModel(config, seed=1).simulate(40_000)
+        observed = trace.in_snap.mean()
+        assert observed == pytest.approx(config.stationary_snap_probability, abs=0.05)
+
+    def test_snaps_are_cold(self):
+        trace = MarkovWeatherModel(seed=2).simulate(20_000)
+        if trace.in_snap.any() and (~trace.in_snap).any():
+            snap_mean = trace.temperatures_f[trace.in_snap].mean()
+            normal_mean = trace.temperatures_f[~trace.in_snap].mean()
+            assert snap_mean < FREEZE_THRESHOLD_F + 5
+            assert normal_mean > snap_mean + 10
+
+    def test_freezing_slots_mostly_in_snaps(self):
+        trace = MarkovWeatherModel(seed=3).simulate(30_000)
+        freezing = trace.freezing_slots()
+        if len(freezing):
+            fraction_in_snap = trace.in_snap[freezing].mean()
+            assert fraction_in_snap > 0.8
+
+    def test_episodes_partition_snaps(self):
+        trace = MarkovWeatherModel(seed=4).simulate(5_000)
+        episodes = trace.snap_episodes()
+        covered = sum(end - start for start, end in episodes)
+        assert covered == int(trace.in_snap.sum())
+
+    def test_deterministic(self):
+        a = MarkovWeatherModel(seed=7).simulate(100)
+        b = MarkovWeatherModel(seed=7).simulate(100)
+        assert np.array_equal(a.temperatures_f, b.temperatures_f)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovWeatherModel(seed=0).simulate(0)
+
+
+class TestForecast:
+    def test_in_snap_risk_higher(self):
+        model = MarkovWeatherModel(seed=5)
+        risk_in = model.freeze_risk_forecast(True, horizon_slots=12, n_paths=100)
+        risk_out = model.freeze_risk_forecast(False, horizon_slots=12, n_paths=100)
+        assert risk_in > risk_out
+
+    def test_risk_bounded(self):
+        model = MarkovWeatherModel(seed=6)
+        risk = model.freeze_risk_forecast(False, horizon_slots=4, n_paths=50)
+        assert 0.0 <= risk <= 1.0
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            MarkovWeatherModel().freeze_risk_forecast(False, horizon_slots=0)

@@ -1,0 +1,182 @@
+"""Weather, report and social observation-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.observations import (
+    FREEZE_THRESHOLD_F,
+    FreezeModel,
+    Tweet,
+    TweetSimulator,
+    WeatherObservation,
+    distance,
+    extract_cliques,
+    is_freezing,
+    network_bounding_box,
+    nodes_within,
+    paper_pmf,
+    poisson_pmf,
+    report_confidence,
+    sample_report_count,
+)
+
+
+class TestGeo:
+    def test_distance(self):
+        assert distance((0, 0), (3, 4)) == 5.0
+
+    def test_bounding_box(self, two_loop):
+        xmin, ymin, xmax, ymax = network_bounding_box(two_loop, margin=10.0)
+        assert xmin == -10.0 and xmax == 410.0
+
+    def test_nodes_within_is_clique_definition(self, two_loop):
+        names = nodes_within(two_loop, (100.0, 0.0), 50.0)
+        assert "J1" in names
+        assert "SRC" not in names  # junctions only by default
+
+
+class TestWeather:
+    def test_threshold(self):
+        assert is_freezing(FREEZE_THRESHOLD_F)
+        assert not is_freezing(FREEZE_THRESHOLD_F + 1.0)
+
+    def test_observation_inactive_when_warm(self):
+        obs = WeatherObservation(temperature_f=55.0, frozen_nodes=frozenset({"J1"}))
+        assert not obs.active
+
+    def test_observation_active_when_cold_and_frozen(self):
+        obs = WeatherObservation(temperature_f=10.0, frozen_nodes=frozenset({"J1"}))
+        assert obs.active
+
+    def test_sample_frozen_empty_when_warm(self, rng):
+        model = FreezeModel()
+        assert model.sample_frozen(["J1", "J2"], 50.0, rng) == frozenset()
+
+    def test_sample_frozen_rate(self, rng):
+        model = FreezeModel(p_freeze=0.8)
+        names = [f"J{i}" for i in range(2000)]
+        frozen = model.sample_frozen(names, 10.0, rng)
+        assert 0.75 < len(frozen) / 2000 < 0.85
+
+    def test_detection_favours_broken_nodes(self, rng):
+        model = FreezeModel(p_detect_broken=0.9, p_detect_intact=0.05)
+        names = [f"J{i}" for i in range(1000)]
+        frozen = frozenset(names)
+        leaks = frozenset(names[:100])
+        obs = model.observe(frozen, names, 10.0, rng, leak_nodes=leaks)
+        detected_broken = len(obs.frozen_nodes & leaks) / 100
+        detected_intact = len(obs.frozen_nodes - leaks) / 900
+        assert detected_broken > 0.8
+        assert detected_intact < 0.1
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FreezeModel(p_freeze=1.5)
+
+
+class TestReports:
+    def test_confidence_eq3(self):
+        assert report_confidence(0, 0.3) == 0.0
+        assert report_confidence(1, 0.3) == pytest.approx(0.7)
+        assert report_confidence(3, 0.3) == pytest.approx(1 - 0.027)
+
+    def test_confidence_increases_with_k(self):
+        values = [report_confidence(k) for k in range(6)]
+        assert values == sorted(values)
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            report_confidence(-1)
+        with pytest.raises(ValueError):
+            report_confidence(2, p_e=1.0)
+
+    def test_poisson_pmf_normalised(self):
+        total = sum(poisson_pmf(k, 3) for k in range(100))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_poisson_pmf_mean(self):
+        mean = sum(k * poisson_pmf(k, 4, 1.0) for k in range(200))
+        assert mean == pytest.approx(4.0, rel=1e-6)
+
+    def test_poisson_zero_slots(self):
+        assert poisson_pmf(0, 0) == 1.0
+        assert poisson_pmf(2, 0) == 0.0
+
+    def test_paper_pmf_normalised(self):
+        total = sum(paper_pmf(k, 3) for k in range(201))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_paper_pmf_diverges_when_ratio_ge_one(self):
+        with pytest.raises(ValueError, match="diverges"):
+            paper_pmf(1, 3, arrival_rate=2.0)
+
+    def test_sample_count_mean(self, rng):
+        draws = [sample_report_count(4, rng) for _ in range(3000)]
+        assert np.mean(draws) == pytest.approx(4.0, rel=0.1)
+
+    def test_sample_count_paper_formula(self, rng):
+        draws = [sample_report_count(4, rng, paper_formula=True) for _ in range(500)]
+        assert all(d >= 0 for d in draws)
+
+
+class TestTweets:
+    def test_relevant_tweets_near_leak(self, epanet, rng):
+        simulator = TweetSimulator(epanet, seed=0, false_positive=0.3)
+        leak = epanet.junction_names()[10]
+        leak_xy = epanet.nodes[leak].coordinates
+        tweets = simulator.generate([leak], elapsed_slots=50)
+        relevant = [t for t in tweets if t.is_relevant]
+        assert relevant
+        for tweet in relevant:
+            assert distance(tweet.location, leak_xy) < 150.0
+
+    def test_false_positive_rate(self, epanet):
+        simulator = TweetSimulator(epanet, seed=1, false_positive=0.3)
+        tweets = simulator.generate([epanet.junction_names()[0]], elapsed_slots=2000)
+        rate = sum(not t.is_relevant for t in tweets) / len(tweets)
+        assert 0.25 < rate < 0.36
+
+    def test_no_leak_all_false(self, epanet):
+        simulator = TweetSimulator(epanet, seed=2)
+        tweets = simulator.generate([], elapsed_slots=20)
+        assert all(not t.is_relevant for t in tweets)
+
+    def test_invalid_pe(self, epanet):
+        with pytest.raises(ValueError):
+            TweetSimulator(epanet, false_positive=0.0)
+
+
+class TestCliques:
+    def test_cliques_contain_leak_node(self, epanet):
+        simulator = TweetSimulator(epanet, seed=3, scatter_std=10.0)
+        leak = epanet.junction_names()[30]
+        obs = simulator.observe([leak], elapsed_slots=30, gamma=60.0)
+        covered = {n for clique in obs.cliques for n in clique.nodes}
+        assert leak in covered
+
+    def test_gamma_controls_clique_size(self, epanet):
+        tweets = [Tweet(epanet.nodes["J40"].coordinates, 0, True)]
+        small = extract_cliques(epanet, tweets, gamma=50.0)
+        large = extract_cliques(epanet, tweets, gamma=800.0)
+        assert len(large[0].nodes) > len(small[0].nodes)
+
+    def test_cotweets_merge_and_raise_confidence(self, epanet):
+        xy = epanet.nodes["J40"].coordinates
+        tweets = [Tweet(xy, 0, True), Tweet((xy[0] + 5, xy[1]), 0, True)]
+        cliques = extract_cliques(epanet, tweets, gamma=60.0, false_positive=0.3)
+        assert len(cliques) == 1
+        assert cliques[0].report_count == 2
+        assert cliques[0].confidence == pytest.approx(1 - 0.09)
+
+    def test_empty_region_tweet_dropped(self, epanet):
+        tweets = [Tweet((1e7, 1e7), 0, False)]
+        assert extract_cliques(epanet, tweets, gamma=30.0) == []
+
+    def test_gamma_validation(self, epanet):
+        with pytest.raises(ValueError):
+            extract_cliques(epanet, [], gamma=0.0)
+
+    def test_observation_total_reports(self, epanet):
+        simulator = TweetSimulator(epanet, seed=4)
+        obs = simulator.observe([epanet.junction_names()[5]], elapsed_slots=10)
+        assert obs.total_reports >= 0

@@ -1,0 +1,81 @@
+"""TAS-surrogate (tweet text filtering) tests."""
+
+import pytest
+
+from repro.observations import (
+    TweetTextGenerator,
+    calibrate_p_e,
+    filter_corpus,
+    relevance_score,
+)
+
+
+class TestGenerator:
+    def test_composition_fractions(self):
+        corpus = TweetTextGenerator(seed=0).generate(
+            4000, report_fraction=0.3, decoy_fraction=0.25
+        )
+        reports = sum(1 for t in corpus if t.category == "report") / len(corpus)
+        decoys = sum(1 for t in corpus if t.category == "decoy") / len(corpus)
+        assert reports == pytest.approx(0.3, abs=0.03)
+        assert decoys == pytest.approx(0.25, abs=0.03)
+
+    def test_deterministic(self):
+        a = TweetTextGenerator(seed=5).generate(50)
+        b = TweetTextGenerator(seed=5).generate(50)
+        assert [t.text for t in a] == [t.text for t in b]
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            TweetTextGenerator().generate(10, report_fraction=0.7, decoy_fraction=0.5)
+
+
+class TestRelevanceScore:
+    def test_genuine_report_scores_high(self):
+        assert relevance_score("huge water main break on Oak Ave, road is flooding") > 3.0
+
+    def test_paper_example_decoy_scores_low(self):
+        """The paper's own false-positive example."""
+        text = "LeakFinderST - innovative leak detection and location in water pipes."
+        assert relevance_score(text) < 2.0
+
+    def test_chatter_scores_near_zero(self):
+        # "Oak Ave" avoids the (realistic) keyword collision with "Main".
+        assert relevance_score("great coffee at Oak Ave this morning") <= 0.5
+
+    def test_punctuation_stripped(self):
+        assert relevance_score("burst!") == relevance_score("burst")
+
+
+class TestFilter:
+    def test_recall_is_high(self):
+        corpus = TweetTextGenerator(seed=1).generate(3000)
+        report = filter_corpus(corpus)
+        assert report.recall > 0.9
+
+    def test_empirical_pe_in_paper_ballpark(self):
+        """The measured false-positive rate lands near the paper's 0.3."""
+        p_e = calibrate_p_e(n_tweets=6000, seed=2)
+        assert 0.05 < p_e < 0.45
+
+    def test_higher_threshold_fewer_false_positives(self):
+        corpus = TweetTextGenerator(seed=3).generate(3000)
+        loose = filter_corpus(corpus, threshold=1.0)
+        strict = filter_corpus(corpus, threshold=3.0)
+        assert strict.empirical_p_e <= loose.empirical_p_e + 0.02
+
+    def test_empty_corpus(self):
+        report = filter_corpus([])
+        assert report.recall == 0.0
+        assert report.empirical_p_e == 0.0
+
+    def test_calibrated_pe_feeds_simulator(self, epanet):
+        from repro.observations import TweetSimulator
+
+        p_e = calibrate_p_e(n_tweets=2000, seed=4)
+        p_e = min(max(p_e, 0.01), 0.99)
+        simulator = TweetSimulator(epanet, false_positive=p_e, seed=0)
+        observation = simulator.observe(
+            [epanet.junction_names()[0]], elapsed_slots=10
+        )
+        assert observation.gamma == 30.0

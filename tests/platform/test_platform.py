@@ -1,0 +1,131 @@
+"""Sec.-VI prototype module tests."""
+
+import pytest
+
+from repro.core import InferenceResult
+from repro.platform import (
+    AquaScaleWorkflow,
+    DecisionSupportModule,
+    IntegratedSimulationEngine,
+    PlugAndPlayAnalyticsModule,
+    ScenarioGenerationModule,
+)
+
+import numpy as np
+
+
+class TestScenarioGeneration:
+    def test_presets(self, epanet):
+        module = ScenarioGenerationModule(epanet, seed=0)
+        single = module.sample("single-leak", count=3)
+        assert len(single) == 3
+        assert all(len(s.events) == 1 for s in single)
+        cold = module.sample("cold-snap", count=2)
+        assert all(s.temperature_f < 20.0 for s in cold)
+
+    def test_unknown_preset(self, epanet):
+        module = ScenarioGenerationModule(epanet)
+        with pytest.raises(KeyError, match="available"):
+            module.sample("zombie-apocalypse")
+
+
+class TestSimulationEngine:
+    def test_run_hydraulics_with_scenario(self, two_loop):
+        from repro.failures import ScenarioGenerator
+
+        engine = IntegratedSimulationEngine(two_loop)
+        scenario = ScenarioGenerator(two_loop, seed=0).single_failure()
+        results = engine.run_hydraulics(scenario, duration=2 * 900.0)
+        leak_node = scenario.events[0].location
+        assert results.leak_at(leak_node)[-1] >= 0.0
+
+
+class TestAnalyticsModule:
+    def test_technique_lookup(self):
+        module = PlugAndPlayAnalyticsModule(random_state=0)
+        model = module.technique("logistic")
+        assert hasattr(model, "fit")
+
+    def test_register_then_use(self):
+        from repro.ml import LogisticRegression
+
+        module = PlugAndPlayAnalyticsModule()
+        module.register("my-clf", lambda random_state=None, **kw: LogisticRegression())
+        assert isinstance(module.technique("my-clf"), LogisticRegression)
+
+
+class TestDecisionSupport:
+    def make_result(self, names, probs):
+        p = np.array(probs)
+        return InferenceResult(
+            probabilities=p,
+            junction_names=names,
+            leak_nodes={n for n, v in zip(names, p) if v > 0.5},
+        )
+
+    def test_no_leaks_monitor(self):
+        record = DecisionSupportModule().recommend(
+            self.make_result(["A", "B"], [0.1, 0.2])
+        )
+        assert "monitor" in record.suggested_action
+
+    def test_single_confident_dispatch(self):
+        record = DecisionSupportModule().recommend(
+            self.make_result(["A", "B"], [0.95, 0.2])
+        )
+        assert "dispatch inspection" in record.suggested_action
+        assert record.leak_nodes == ("A",)
+
+    def test_multi_confident_isolation(self):
+        record = DecisionSupportModule().recommend(
+            self.make_result(["A", "B", "C"], [0.95, 0.9, 0.1])
+        )
+        assert "isolate" in record.suggested_action
+
+    def test_isolation_names_valves_with_network(self, wssc):
+        names = wssc.junction_names()[:3]
+        module = DecisionSupportModule(network=wssc)
+        record = module.recommend(self.make_result(names, [0.95, 0.92, 0.9]))
+        assert "isolate" in record.suggested_action
+        # WSSC has two valves; segments containing these nodes are
+        # bounded by some subset of them.
+        assert set(record.valves_to_close) <= {"V1", "V2"}
+        assert record.demand_at_risk > 0.0
+
+    def test_uncertain_leak_survey(self):
+        record = DecisionSupportModule().recommend(
+            self.make_result(["A", "B"], [0.6, 0.1])
+        )
+        assert "acoustic survey" in record.suggested_action
+
+
+class TestWorkflow:
+    @pytest.fixture(scope="class")
+    def workflow(self, epanet, epanet_single_train):
+        wf = AquaScaleWorkflow(epanet, iot_percent=100.0, classifier="logistic", seed=0)
+        wf.core.train(dataset=epanet_single_train)
+        return wf
+
+    def test_cycle_produces_outcome(self, workflow):
+        outcome = workflow.cycle(preset="single-leak", sources="iot")
+        assert outcome.decision is not None
+        assert outcome.inference.junction_names
+
+    def test_cycle_with_all_sources(self, workflow):
+        outcome = workflow.cycle(preset="cold-snap", sources="all", elapsed_slots=3)
+        assert outcome.scenario.temperature_f < 20.0
+
+    def test_cycle_with_flood(self, workflow):
+        outcome = workflow.cycle(preset="single-leak", sources="iot", with_flood=True)
+        if outcome.inference.leak_nodes:
+            assert "volume_m3" in outcome.flood_summary
+
+    def test_freeze_risk_forecast(self, workflow):
+        risk_calm = workflow.forecast_freeze_risk(
+            horizon_hours=12.0, currently_in_snap=False, seed=0
+        )
+        risk_snap = workflow.forecast_freeze_risk(
+            horizon_hours=12.0, currently_in_snap=True, seed=0
+        )
+        assert 0.0 <= risk_calm <= 1.0
+        assert risk_snap > risk_calm

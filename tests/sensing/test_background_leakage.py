@@ -1,0 +1,78 @@
+"""Background-leakage model tests (the paper's 14-18% loss reality)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dataset
+from repro.hydraulics import GGASolver
+from repro.sensing import SteadyStateTelemetry, background_leakage
+
+
+class TestBackgroundLeakage:
+    def test_loss_fraction_approximated(self, epanet):
+        emitters = background_leakage(epanet, loss_fraction=0.15, seed=0)
+        solution = GGASolver(epanet).solve(emitters=emitters)
+        total_demand = sum(j.base_demand for j in epanet.junctions())
+        loss = solution.total_leak_flow() / total_demand
+        assert loss == pytest.approx(0.15, abs=0.05)
+
+    def test_affected_fraction(self, epanet):
+        emitters = background_leakage(epanet, affected_fraction=0.3, seed=1)
+        expected = round(0.3 * len(epanet.junction_names()))
+        assert len(emitters) == expected
+
+    def test_validation(self, epanet):
+        with pytest.raises(ValueError):
+            background_leakage(epanet, loss_fraction=0.0)
+        with pytest.raises(ValueError):
+            background_leakage(epanet, affected_fraction=1.5)
+
+    def test_deterministic(self, epanet):
+        a = background_leakage(epanet, seed=3)
+        b = background_leakage(epanet, seed=3)
+        assert a == b
+
+
+class TestTelemetryWithBackground:
+    def test_background_cancels_in_deltas(self, two_loop):
+        """Persistent leaks sit in both readings, so a no-event scenario's
+        Δ stays near zero despite 15% water loss."""
+        from repro.failures import FailureScenario, LeakEvent
+
+        emitters = background_leakage(two_loop, loss_fraction=0.15, seed=0)
+        telemetry = SteadyStateTelemetry(
+            two_loop, seed=0, background_emitters=emitters
+        )
+        # A scenario whose "event" is negligibly small ~ no event.
+        scenario = FailureScenario(
+            events=(LeakEvent("J5", 1e-9, start_slot=4),), start_slot=4
+        )
+        deltas = telemetry.candidate_deltas(
+            scenario, pressure_noise=0.0, flow_noise=0.0
+        )
+        # Only the demand-pattern drift remains (same hour: zero here).
+        assert np.max(np.abs(deltas)) < 0.5
+
+    def test_event_still_visible_over_background(self, two_loop):
+        from repro.failures import FailureScenario, LeakEvent
+
+        emitters = background_leakage(two_loop, loss_fraction=0.15, seed=0)
+        telemetry = SteadyStateTelemetry(
+            two_loop, seed=0, background_emitters=emitters
+        )
+        scenario = FailureScenario(
+            events=(LeakEvent("J5", 3e-3, start_slot=4),), start_slot=4
+        )
+        deltas = telemetry.candidate_deltas(
+            scenario, pressure_noise=0.0, flow_noise=0.0
+        )
+        keys = telemetry.candidate_keys()
+        assert deltas[keys.index("pressure:J5")] < -1e-3
+
+    def test_dataset_generation_with_background(self, two_loop):
+        emitters = background_leakage(two_loop, loss_fraction=0.1, seed=0)
+        dataset = generate_dataset(
+            two_loop, 10, kind="single", seed=0, background_emitters=emitters
+        )
+        assert dataset.n_samples == 10
+        assert np.all(np.isfinite(dataset.X_candidates))

@@ -1,0 +1,51 @@
+"""Detection-driven placement tests."""
+
+import pytest
+
+from repro.sensing import (
+    coverage_fraction,
+    detectability_matrix,
+    greedy_detection_placement,
+    random_placement,
+)
+
+
+class TestDetectabilityMatrix:
+    def test_shape(self, two_loop):
+        candidates, matrix = detectability_matrix(two_loop, n_scenarios=10, seed=0)
+        assert matrix.shape == (len(candidates), 10)
+        assert matrix.dtype == bool
+
+    def test_some_detection_exists(self, two_loop):
+        _, matrix = detectability_matrix(two_loop, n_scenarios=10, seed=0)
+        assert matrix.any()
+
+    def test_validation(self, two_loop):
+        with pytest.raises(ValueError):
+            detectability_matrix(two_loop, n_scenarios=0)
+
+
+class TestGreedyPlacement:
+    def test_count(self, two_loop):
+        deployment = greedy_detection_placement(two_loop, 4, n_scenarios=15, seed=0)
+        assert len(deployment) == 4
+
+    def test_covers_more_than_random(self, epanet):
+        greedy = greedy_detection_placement(epanet, 8, n_scenarios=40, seed=0)
+        rand = random_placement(epanet, 8, seed=0)
+        greedy_cov = coverage_fraction(epanet, greedy, n_scenarios=40, seed=1)
+        random_cov = coverage_fraction(epanet, rand, n_scenarios=40, seed=1)
+        assert greedy_cov >= random_cov
+
+    def test_full_coverage_reachable(self, two_loop):
+        deployment = greedy_detection_placement(two_loop, 10, n_scenarios=15, seed=0)
+        assert coverage_fraction(two_loop, deployment, n_scenarios=15, seed=0) > 0.9
+
+    def test_out_of_range(self, two_loop):
+        with pytest.raises(ValueError):
+            greedy_detection_placement(two_loop, 10_000, n_scenarios=5)
+
+    def test_deterministic(self, two_loop):
+        a = greedy_detection_placement(two_loop, 4, n_scenarios=15, seed=3)
+        b = greedy_detection_placement(two_loop, 4, n_scenarios=15, seed=3)
+        assert a.keys() == b.keys()

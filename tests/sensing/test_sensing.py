@@ -1,0 +1,184 @@
+"""Sensor, telemetry and placement tests."""
+
+import numpy as np
+import pytest
+
+from repro.failures import LeakEvent, FailureScenario
+from repro.hydraulics import simulate
+from repro.sensing import (
+    Sensor,
+    SensorNetwork,
+    SensorType,
+    SteadyStateTelemetry,
+    delta_from_results,
+    full_candidate_set,
+    kmedoids_placement,
+    percentage_to_count,
+    random_placement,
+    sensor_column_indices,
+)
+
+
+class TestSensors:
+    def test_candidate_count_is_v_plus_e(self, epanet):
+        candidates = full_candidate_set(epanet)
+        assert len(candidates) == epanet.num_nodes + epanet.num_links
+
+    def test_duplicate_sensor_rejected(self):
+        s = Sensor("J1", SensorType.PRESSURE)
+        with pytest.raises(ValueError, match="duplicate"):
+            SensorNetwork([s, s])
+
+    def test_empty_deployment_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SensorNetwork([])
+
+    def test_reading_noise_reproducible(self, two_loop):
+        results = simulate(two_loop, duration=900.0, timestep=900.0)
+        sensors = [Sensor("J5", SensorType.PRESSURE, noise_std=0.1)]
+        a = SensorNetwork(sensors, seed=1).read(results, 0)
+        b = SensorNetwork(sensors, seed=1).read(results, 0)
+        assert np.array_equal(a, b)
+
+    def test_noiseless_reading_matches_truth(self, two_loop):
+        results = simulate(two_loop, duration=900.0, timestep=900.0)
+        net = SensorNetwork(
+            [Sensor("J5", SensorType.PRESSURE, 0.0), Sensor("P1", SensorType.FLOW, 0.0)]
+        )
+        values = net.read(results, 0)
+        assert values[0] == pytest.approx(results.pressure_at("J5")[0])
+        assert values[1] == pytest.approx(results.flow_at("P1")[0])
+
+    def test_read_series_shape(self, two_loop):
+        results = simulate(two_loop, duration=3 * 900.0, timestep=900.0)
+        net = SensorNetwork([Sensor("J5", SensorType.PRESSURE, 0.0)])
+        series = net.read_series(results)
+        assert series.shape == (4, 1)
+
+
+class TestDeltaFromResults:
+    def test_leak_shows_in_delta(self, two_loop):
+        from repro.hydraulics import TimedLeak
+
+        results = simulate(
+            two_loop,
+            duration=4 * 900.0,
+            timestep=900.0,
+            leaks=[TimedLeak("J5", 0.003, start_time=1800.0)],
+        )
+        sensors = SensorNetwork([Sensor("J5", SensorType.PRESSURE, 0.0)])
+        delta = delta_from_results(sensors, results, start_slot=2, elapsed_slots=1)
+        assert delta[0] < -1e-3  # pressure dropped
+
+    def test_window_bounds_checked(self, two_loop):
+        results = simulate(two_loop, duration=900.0, timestep=900.0)
+        sensors = SensorNetwork([Sensor("J5", SensorType.PRESSURE, 0.0)])
+        with pytest.raises(IndexError):
+            delta_from_results(sensors, results, start_slot=0)
+        with pytest.raises(IndexError):
+            delta_from_results(sensors, results, start_slot=1, elapsed_slots=5)
+
+
+class TestSteadyStateTelemetry:
+    def test_candidate_keys_order(self, two_loop):
+        telemetry = SteadyStateTelemetry(two_loop)
+        keys = telemetry.candidate_keys()
+        assert keys[0].startswith("pressure:")
+        assert keys[-1].startswith("flow:")
+        assert len(keys) == two_loop.num_nodes + two_loop.num_links
+
+    def test_leak_scenario_shows_pressure_drop(self, two_loop):
+        telemetry = SteadyStateTelemetry(two_loop, seed=0)
+        scenario = FailureScenario(
+            events=(LeakEvent("J5", 3e-3, start_slot=4),), start_slot=4
+        )
+        deltas = telemetry.candidate_deltas(scenario, pressure_noise=0.0, flow_noise=0.0)
+        keys = telemetry.candidate_keys()
+        j5 = keys.index("pressure:J5")
+        assert deltas[j5] < -1e-3
+
+    def test_noise_scales_down_with_elapsed_slots(self, two_loop):
+        scenario = FailureScenario(
+            events=(LeakEvent("J5", 3e-3, start_slot=4),), start_slot=4
+        )
+        keys = SteadyStateTelemetry(two_loop).candidate_keys()
+        j1 = keys.index("pressure:J1")
+
+        def spread(n):
+            vals = []
+            for seed in range(40):
+                telemetry = SteadyStateTelemetry(two_loop, seed=seed)
+                deltas = telemetry.candidate_deltas(
+                    scenario, elapsed_slots=n, pressure_noise=0.3, flow_noise=0.0
+                )
+                vals.append(deltas[j1])
+            return np.std(vals)
+
+        assert spread(8) < spread(1)
+
+    def test_baseline_cache_reused(self, two_loop):
+        telemetry = SteadyStateTelemetry(two_loop, seed=0)
+        scenario = FailureScenario(
+            events=(LeakEvent("J5", 3e-3, start_slot=10),), start_slot=10
+        )
+        telemetry.candidate_deltas(scenario)
+        assert (10 - 1) % telemetry.slots_per_day in telemetry._baseline_cache
+
+
+class TestPlacement:
+    def test_percentage_conversion(self, epanet):
+        total = epanet.num_nodes + epanet.num_links
+        assert percentage_to_count(epanet, 100.0) == total
+        assert percentage_to_count(epanet, 10.0) == round(total * 0.1)
+        with pytest.raises(ValueError):
+            percentage_to_count(epanet, 0.0)
+
+    def test_kmedoids_count_and_uniqueness(self, epanet):
+        deployment = kmedoids_placement(epanet, 20, seed=0)
+        assert len(deployment) == 20
+        assert len(set(deployment.keys())) == 20
+
+    def test_full_placement_shortcut(self, epanet, epanet_sensors_full):
+        assert len(epanet_sensors_full) == epanet.num_nodes + epanet.num_links
+
+    def test_random_placement(self, epanet):
+        deployment = random_placement(epanet, 15, seed=0)
+        assert len(deployment) == 15
+
+    def test_kmedoids_spreads_over_space(self, epanet):
+        """Medoid placement should span the network, not cluster locally."""
+        deployment = kmedoids_placement(epanet, 12, seed=0)
+        xs = []
+        for sensor in deployment.sensors:
+            if sensor.sensor_type is SensorType.PRESSURE:
+                xs.append(epanet.nodes[sensor.target].coordinates[0])
+            else:
+                link = epanet.links[sensor.target]
+                xs.append(epanet.nodes[link.start_node].coordinates[0])
+        span = max(xs) - min(xs)
+        network_span = max(
+            n.coordinates[0] for n in epanet.nodes.values()
+        ) - min(n.coordinates[0] for n in epanet.nodes.values())
+        assert span > 0.4 * network_span
+
+    def test_out_of_range_count(self, epanet):
+        with pytest.raises(ValueError):
+            kmedoids_placement(epanet, 10_000)
+
+
+class TestColumnIndices:
+    def test_maps_sensors_to_columns(self, two_loop):
+        telemetry = SteadyStateTelemetry(two_loop)
+        keys = telemetry.candidate_keys()
+        deployment = SensorNetwork(
+            [Sensor("J5", SensorType.PRESSURE), Sensor("P1", SensorType.FLOW)]
+        )
+        columns = sensor_column_indices(keys, deployment)
+        assert keys[columns[0]] == "pressure:J5"
+        assert keys[columns[1]] == "flow:P1"
+
+    def test_unknown_sensor_raises(self, two_loop):
+        telemetry = SteadyStateTelemetry(two_loop)
+        deployment = SensorNetwork([Sensor("GHOST", SensorType.PRESSURE)])
+        with pytest.raises(KeyError, match="GHOST"):
+            sensor_column_indices(telemetry.candidate_keys(), deployment)

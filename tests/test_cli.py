@@ -1,0 +1,124 @@
+"""CLI tests (driving main() directly)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+
+class TestNetworks:
+    def test_list(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        assert "epanet" in out and "wssc" in out
+
+    def test_describe(self, capsys):
+        assert main(["networks", "--name", "epanet"]) == 0
+        out = capsys.readouterr().out
+        assert "junctions" in out
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        assert main(["simulate", "--network", "two-loop", "--hours", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "junction pressure" in out
+
+    def test_with_leak_and_inp(self, capsys, tmp_path):
+        inp = tmp_path / "out.inp"
+        code = main(
+            [
+                "simulate", "--network", "two-loop", "--hours", "1",
+                "--leak", "J5:0.002:1", "--write-inp", str(inp),
+            ]
+        )
+        assert code == 0
+        assert inp.exists()
+        out = capsys.readouterr().out
+        assert "water lost" in out
+
+    def test_bad_leak_spec(self):
+        with pytest.raises(SystemExit, match="NODE:EC"):
+            main(["simulate", "--network", "two-loop", "--leak", "J5"])
+
+
+class TestDataPipeline:
+    def test_generate_train_localize(self, capsys, tmp_path):
+        data = tmp_path / "ds.npz"
+        profile = tmp_path / "profile.pkl"
+        assert main(
+            [
+                "generate", "--network", "two-loop", "--samples", "60",
+                "--kind", "single", "--out", str(data),
+            ]
+        ) == 0
+        assert data.exists()
+        assert main(
+            [
+                "train", "--network", "two-loop", "--dataset", str(data),
+                "--classifier", "logistic", "--out", str(profile),
+            ]
+        ) == 0
+        assert profile.exists()
+        assert main(
+            [
+                "localize", "--profile", str(profile), "--kind", "single",
+                "--sources", "iot",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ground truth" in out and "top suspects" in out
+
+
+class TestAnalysisCommands:
+    def test_isolate_node(self, capsys):
+        assert main(["isolate", "--network", "wssc", "--node", "N5"]) == 0
+        out = capsys.readouterr().out
+        assert "valves to close" in out
+
+    def test_isolate_requires_target(self):
+        with pytest.raises(SystemExit):
+            main(["isolate", "--network", "wssc"])
+
+    def test_resilience_with_leak(self, capsys):
+        code = main(
+            ["resilience", "--network", "two-loop", "--leak", "J5:0.003"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "todini index" in out
+        assert "leak flow" in out
+
+
+class TestFloodAndExperiment:
+    def test_flood(self, capsys):
+        code = main(
+            [
+                "flood", "--network", "two-loop", "--leak", "J5:0.003",
+                "--hours", "0.2", "--cell-size", "60",
+            ]
+        )
+        assert code == 0
+        assert "max depth" in capsys.readouterr().out
+
+    def test_experiment_fig03(self, capsys):
+        assert main(["experiment", "fig03"]) == 0
+        assert "breaks_per_day" in capsys.readouterr().out
+
+    def test_experiment_fig05(self, capsys):
+        assert main(["experiment", "fig05"]) == 0
+        out = capsys.readouterr().out
+        assert "EPA-NET" in out and "WSSC-SUBNET" in out
+
+    def test_experiment_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
