@@ -12,7 +12,6 @@ import pytest
 from repro.core import ProfileModel
 from repro.core.registry import make_classifier
 from repro.experiments import cached_dataset, cached_network
-from repro.ml import LogisticRegression, StackingClassifier
 from repro.observations import paper_pmf, poisson_pmf
 from repro.sensing import kmedoids_placement, percentage_to_count, random_placement
 

@@ -13,8 +13,6 @@ projected from measured per-solve cost (running C(91,3) ~ 1.2e5 solves in
 CI would itself take the hours the paper complains about).
 """
 
-import numpy as np
-
 from repro.core import EnumerationLocalizer
 from repro.experiments import cached_dataset, cached_model, cached_network
 

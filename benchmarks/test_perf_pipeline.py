@@ -5,9 +5,6 @@ hours/days (simulation matching) to seconds/minutes (profile inference);
 ``test_phase2_latency`` measures exactly the online path.
 """
 
-import numpy as np
-import pytest
-
 from repro.datasets import generate_dataset
 from repro.experiments import cached_dataset, cached_model, cached_network
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.failures import LeakEvent
-from repro.flood import dem_from_network, leak_outflows, predict_flood
+from repro.flood import leak_outflows, predict_flood
 from repro.networks import wssc_subnet
 
 

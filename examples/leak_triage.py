@@ -14,8 +14,6 @@ Run:  python examples/leak_triage.py             (~2 minutes)
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis import IsolationAnalyzer
 from repro.core import AquaScale, LeakSizeEstimator
 from repro.failures import LeakEvent, ScenarioGenerator

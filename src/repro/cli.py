@@ -10,7 +10,9 @@ Commands mirror how a utility would operate the system:
 * ``localize``    — run Phase II on a simulated scenario with a saved
   profile;
 * ``experiment``  — run a paper-figure experiment and print its table;
-* ``flood``       — predict flooding from specified leak events.
+* ``flood``       — predict flooding from specified leak events;
+* ``stream``      — run the always-on streaming runtime on simulated
+  live feeds: online trigger detection + localization + metrics.
 """
 
 from __future__ import annotations
@@ -122,6 +124,34 @@ def _add_flood(sub: argparse._SubParsersAction) -> None:
     parser.add_argument("--cell-size", type=float, default=40.0)
 
 
+def _add_stream(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "stream", help="online leak detection/localization on live feeds"
+    )
+    parser.add_argument("--network", default="epanet")
+    parser.add_argument(
+        "--preset",
+        choices=("no-leak", "single-leak", "multi-leak", "cold-snap"),
+        default="multi-leak",
+    )
+    parser.add_argument("--slots", type=int, default=24, help="slots per feed (15 min each)")
+    parser.add_argument("--feeds", type=int, default=1, help="concurrent network feeds")
+    parser.add_argument("--workers", type=int, default=1, help="localization worker threads")
+    parser.add_argument("--dropout", type=float, default=0.0,
+                        help="per-slot sensor dropout probability")
+    parser.add_argument("--onset-slot", type=int, default=None,
+                        help="failure onset slot (default: a third into the window)")
+    parser.add_argument("--iot-percent", type=float, default=40.0)
+    parser.add_argument("--classifier", default="hybrid-rsl")
+    parser.add_argument("--train-samples", type=int, default=400,
+                        help="Phase-I scenarios when no profile is given")
+    parser.add_argument("--profile", metavar="PROFILE.pkl",
+                        help="saved trained model (skips Phase I)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json-logs", action="store_true",
+                        help="structured logs as JSON lines")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -138,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_isolate(sub)
     _add_resilience(sub)
     _add_flood(sub)
+    _add_stream(sub)
     return parser
 
 
@@ -349,6 +380,99 @@ def cmd_resilience(args) -> int:
     return 0
 
 
+def cmd_stream(args) -> int:
+    """Run the streaming runtime on simulated live feeds."""
+    import time
+
+    from .platform import AquaScaleWorkflow
+    from .stream import get_stream_logger
+
+    if args.profile:
+        from .datasets import load_profile
+
+        core = load_profile(args.profile)
+        network = core.network
+        workflow = AquaScaleWorkflow(
+            network,
+            iot_percent=core.iot_percent,
+            classifier=core.classifier,
+            seed=args.seed,
+        )
+        workflow.core = core  # reuse the already-trained core
+        print(f"loaded profile for {network.name}: {len(core.sensors)} sensors")
+    else:
+        from .networks import build_network
+
+        network = build_network(args.network)
+        workflow = AquaScaleWorkflow(
+            network,
+            iot_percent=args.iot_percent,
+            classifier=args.classifier,
+            seed=args.seed,
+        )
+        print(
+            f"training {args.classifier} profile on {network.name} "
+            f"({args.train_samples} scenarios, {len(workflow.core.sensors)} "
+            "sensors) ..."
+        )
+        t0 = time.perf_counter()
+        workflow.train(n_train=args.train_samples, kind="multi")
+        print(f"  Phase I done in {time.perf_counter() - t0:.1f}s")
+
+    report = workflow.run_stream(
+        n_slots=args.slots,
+        preset=args.preset,
+        feeds=args.feeds,
+        workers=args.workers,
+        dropout=args.dropout,
+        onset_slot=args.onset_slot,
+        logger=get_stream_logger(json_lines=args.json_logs),
+    )
+
+    print(
+        f"streamed {args.slots} slots x {args.feeds} feed(s) on {network.name} "
+        f"({args.workers} worker(s), dropout {args.dropout:.0%})"
+    )
+    if not report.events:
+        print("no triggers fired")
+    for event in report.events:
+        delay = (
+            f"{event.detection_delay} slot(s) after onset"
+            if event.detection_delay is not None
+            else "FALSE TRIGGER"
+        )
+        leaks = ", ".join(event.leak_nodes) if event.leak_nodes else "(none)"
+        print(
+            f"[{event.feed_id}] trigger at slot {event.trigger_slot} "
+            f"(onset est. {event.onset_slot}, {delay})"
+        )
+        print(
+            f"  localized: {leaks}  "
+            f"[{event.localization_latency * 1000:.0f} ms, "
+            f"{event.masked_sensors} masked sensor(s)]"
+        )
+        if event.inference is not None and not event.false_trigger:
+            suspects = ", ".join(
+                f"{name}={p:.2f}" for name, p in event.inference.top_suspects(3)
+            )
+            print(f"  top suspects: {suspects}")
+    print("metrics:")
+    snapshot = report.metrics
+    for name, value in snapshot["counters"].items():
+        print(f"  {name:32s} {value:g}")
+    for name, value in snapshot["gauges"].items():
+        print(f"  {name:32s} {value:g}")
+    for name, summary in snapshot["histograms"].items():
+        if summary.get("count", 0) == 0:
+            print(f"  {name:32s} (no observations)")
+            continue
+        print(
+            f"  {name:32s} count={summary['count']:g} mean={summary['mean']:.4g} "
+            f"p95={summary['p95']:.4g} max={summary['max']:.4g}"
+        )
+    return 0
+
+
 _HANDLERS = {
     "networks": cmd_networks,
     "simulate": cmd_simulate,
@@ -359,6 +483,7 @@ _HANDLERS = {
     "isolate": cmd_isolate,
     "resilience": cmd_resilience,
     "flood": cmd_flood,
+    "stream": cmd_stream,
 }
 
 

@@ -104,13 +104,24 @@ class ProfileModel:
                 [i for i, k in enumerate(kinds) if k == "flow"], dtype=np.int64
             )
         X = np.array(X, dtype=float)
+        # nanmedian keeps the common-mode estimate stable under sensor
+        # dropout (NaN columns from the streaming runtime's masking).
         if len(self._pressure_columns) > 1:
-            med = np.median(X[:, self._pressure_columns], axis=1, keepdims=True)
+            med = self._nanmedian(X[:, self._pressure_columns])
             X[:, self._pressure_columns] -= med
         if len(self._flow_columns) > 1:
-            med = np.median(X[:, self._flow_columns], axis=1, keepdims=True)
+            med = self._nanmedian(X[:, self._flow_columns])
             X[:, self._flow_columns] -= med
         return X
+
+    @staticmethod
+    def _nanmedian(block: np.ndarray) -> np.ndarray:
+        """Per-row nanmedian; 0 for rows where every reading is missing."""
+        all_nan = np.isnan(block).all(axis=1, keepdims=True)
+        safe = np.where(all_nan, 0.0, block)
+        with np.errstate(invalid="ignore"):
+            med = np.nanmedian(safe, axis=1, keepdims=True)
+        return np.where(all_nan, 0.0, med)
 
     def _prepare(self, features: np.ndarray) -> np.ndarray:
         features = np.asarray(features, dtype=float)
@@ -119,6 +130,11 @@ class ProfileModel:
         features = self._detrend(features)
         if self._scaler is not None:
             features = self._scaler.transform(features)
+        # Masked readings (NaN columns — dropped-out sensors in a live
+        # feed) are imputed as "no evidence": the training mean in
+        # standardized space, a zero Δ otherwise.
+        if np.isnan(features).any():
+            features = np.nan_to_num(features, nan=0.0)
         return features
 
     # ------------------------------------------------------------------

@@ -58,9 +58,25 @@ def _scenario_from_dict(data: dict) -> FailureScenario:
     )
 
 
-def save_dataset(dataset: LeakDataset, path: str | Path) -> None:
-    """Write a dataset as ``<path>`` (.npz) with embedded JSON metadata."""
+def _npz_path(path: str | Path) -> Path:
+    """Normalise to the ``.npz`` suffix ``np.savez_compressed`` appends.
+
+    Without this, ``save_dataset(ds, "foo")`` silently writes ``foo.npz``
+    while ``load_dataset("foo")`` looks for (and fails on) ``foo``.
+    """
     path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def save_dataset(dataset: LeakDataset, path: str | Path) -> None:
+    """Write a dataset as ``<path>`` (.npz) with embedded JSON metadata.
+
+    A missing ``.npz`` suffix is appended (matching what numpy would do
+    anyway), so :func:`load_dataset` round-trips any spelling.
+    """
+    path = _npz_path(path)
     metadata = {
         "version": FORMAT_VERSION,
         "candidate_keys": dataset.candidate_keys,
@@ -81,10 +97,16 @@ def save_dataset(dataset: LeakDataset, path: str | Path) -> None:
 def load_dataset(path: str | Path) -> LeakDataset:
     """Read a dataset written by :func:`save_dataset`.
 
+    The same suffix normalisation as :func:`save_dataset` applies: an
+    existing literal path wins, otherwise ``.npz`` is appended.
+
     Raises:
         ValueError: on unknown format versions.
     """
-    with np.load(Path(path)) as bundle:
+    path = Path(path)
+    if not path.exists():
+        path = _npz_path(path)
+    with np.load(path) as bundle:
         metadata = json.loads(bytes(bundle["metadata"].tobytes()).decode("utf-8"))
         if metadata.get("version") != FORMAT_VERSION:
             raise ValueError(

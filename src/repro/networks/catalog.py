@@ -19,6 +19,13 @@ _BUILDERS: dict[str, Callable[..., WaterNetwork]] = {
     "two-loop": lambda seed=0: two_loop_test_network(),
 }
 
+#: Alternate spellings accepted by :func:`build_network` (the paper calls
+#: the networks EPA-NET and WSSC-SUBNET).
+_ALIASES: dict[str, str] = {
+    "epa-net": "epanet",
+    "wssc-subnet": "wssc",
+}
+
 
 def available_networks() -> list[str]:
     """Names accepted by :func:`build_network`."""
@@ -36,6 +43,7 @@ def build_network(name: str, seed: int | None = None) -> WaterNetwork:
         KeyError: for unknown names (message lists the valid ones).
     """
     key = name.strip().lower()
+    key = _ALIASES.get(key, key)
     if key not in _BUILDERS:
         raise KeyError(f"unknown network {name!r}; available: {available_networks()}")
     if seed is None:

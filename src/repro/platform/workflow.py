@@ -52,6 +52,7 @@ class AquaScaleWorkflow:
         seed: int = 0,
     ):
         self.network = network
+        self.seed = seed
         self.scenarios = ScenarioGenerationModule(network, seed=seed)
         self.acquisition = SensorDataAcquisitionModule(network, iot_percent, seed=seed)
         self.simulation = IntegratedSimulationEngine(network)
@@ -70,21 +71,99 @@ class AquaScaleWorkflow:
         self,
         horizon_hours: float = 24.0,
         currently_in_snap: bool = False,
-        seed: int = 0,
+        seed: int | None = None,
     ) -> float:
         """P(freezing conditions within the horizon), via the Markov
         weather model (the paper's future-work weather study).
 
         Decision support uses this to pre-position crews: above ~0.5 an
         operator would stage repair teams before the failure wave starts.
+
+        Args:
+            horizon_hours: forecast horizon.
+            currently_in_snap: whether a cold snap is already under way.
+            seed: weather-path seed; defaults to the workflow's master
+                seed so each workflow is reproducible on its own.
         """
         from ..observations import MarkovWeatherModel
 
         slots = max(1, int(round(horizon_hours * 4)))  # 15-min slots
-        model = MarkovWeatherModel(seed=seed)
+        model = MarkovWeatherModel(seed=self.seed if seed is None else seed)
         return model.freeze_risk_forecast(
             currently_in_snap, horizon_slots=slots, n_paths=200
         )
+
+    def run_stream(
+        self,
+        n_slots: int = 24,
+        preset: str = "multi-leak",
+        feeds: int = 1,
+        workers: int = 1,
+        dropout: float = 0.0,
+        onset_slot: int | None = None,
+        detector_params: dict | None = None,
+        seed: int | None = None,
+        logger=None,
+    ):
+        """Serve simulated live feeds through the streaming runtime.
+
+        Where :meth:`cycle` is handed the ground-truth scenario, this is
+        the online story: scenarios are sampled, re-stamped onto the
+        stream's timeline, and replayed slot by slot; the runtime has to
+        *detect* them before it can localize.
+
+        Args:
+            n_slots: slots to stream per feed.
+            preset: scenario preset, or ``"no-leak"`` for healthy feeds.
+            feeds: concurrent network feeds to serve.
+            workers: localization worker threads.
+            dropout: per-slot sensor dropout probability.
+            onset_slot: where sampled failures start (default: one third
+                into the window, so the detector sees a clean baseline
+                first).
+            detector_params: trigger-detector overrides.
+            seed: feed noise seed; defaults to the workflow master seed.
+            logger: structured logger for the runtime (default stderr).
+
+        Returns:
+            :class:`~repro.stream.StreamReport` with detections, per-event
+            localizations and the metrics snapshot.
+        """
+        from ..sensing import SteadyStateTelemetry
+        from ..stream import StreamRuntime, TelemetryStream, restamp_scenario
+
+        seed = self.seed if seed is None else seed
+        # One shared engine: the no-leak baseline cache (one solve per
+        # slot-of-day) serves every feed.
+        telemetry = SteadyStateTelemetry(self.network, seed=seed)
+        if onset_slot is None:
+            onset_slot = max(2, n_slots // 3)
+        if preset == "no-leak":
+            scenarios = [None] * feeds
+        else:
+            scenarios = [
+                restamp_scenario(s, onset_slot)
+                for s in self.scenarios.sample(preset, count=feeds)
+            ]
+        stream_feeds = [
+            TelemetryStream(
+                self.network,
+                self.core.sensors,
+                scenario=scenario,
+                feed_id=f"feed-{i}",
+                seed=seed + i,
+                dropout=dropout,
+                telemetry=telemetry,
+            )
+            for i, scenario in enumerate(scenarios)
+        ]
+        runtime = StreamRuntime(
+            self.core,
+            workers=workers,
+            detector_params=detector_params,
+            logger=logger,
+        )
+        return runtime.run(stream_feeds, n_slots=n_slots)
 
     def cycle(
         self,

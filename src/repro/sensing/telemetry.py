@@ -164,6 +164,70 @@ class SteadyStateTelemetry:
         keys.extend(f"flow:{l}" for l in self.network.link_names())
         return keys
 
+    # ------------------------------------------------------------------
+    # Per-slot readings — the streaming runtime's view of the field.
+    def _solution_vector(self, solution) -> np.ndarray:
+        """Candidate-ordered (pressures then flows) vector of a solution."""
+        node_names = self.network.node_names()
+        link_names = self.network.link_names()
+        return np.concatenate(
+            [
+                [solution.node_pressure[n] for n in node_names],
+                [solution.link_flow[l] for l in link_names],
+            ]
+        )
+
+    def baseline_candidates(self, slot: int) -> np.ndarray:
+        """Noiseless no-leak candidate readings at a slot (cached per
+        slot-of-day) — the reference a streaming detector differences
+        against."""
+        return self._solution_vector(self._baseline(slot))
+
+    def candidate_readings(
+        self,
+        slot: int,
+        scenario: FailureScenario | None = None,
+        pressure_noise: float = 0.05,
+        flow_noise: float = 2e-4,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Noisy absolute readings for ALL candidates at one time slot.
+
+        Unlike :meth:`candidate_deltas` (which produces the paper's paired
+        Δ-features for a known onset), this is what live devices report
+        slot by slot: the no-leak hydraulic state until the scenario's
+        ``start_slot``, and the leaky state from then on.
+
+        Args:
+            slot: absolute slot index (wraps daily for demands).
+            scenario: active failure, or None for a healthy feed.
+            pressure_noise: per-reading noise std for node pressures (m).
+            flow_noise: per-reading noise std for link flows (m^3/s).
+            rng: noise generator; defaults to the instance RNG.
+        """
+        if scenario is not None and slot >= scenario.start_slot:
+            solution = self._solver.solve(
+                demands=self._slot_demands(slot),
+                emitters=self._merged_emitters(scenario),
+            )
+        else:
+            solution = self._baseline(slot)
+        values = self._solution_vector(solution)
+        rng = self._rng if rng is None else rng
+        n_nodes = len(self.network.node_names())
+        n_links = len(self.network.link_names())
+        noise = np.concatenate(
+            [
+                rng.normal(0.0, pressure_noise, size=n_nodes)
+                if pressure_noise > 0
+                else np.zeros(n_nodes),
+                rng.normal(0.0, flow_noise, size=n_links)
+                if flow_noise > 0
+                else np.zeros(n_links),
+            ]
+        )
+        return values + noise
+
 
 def background_leakage(
     network: WaterNetwork,

@@ -1,0 +1,35 @@
+"""Streaming operations runtime: online leak detection & localization.
+
+The paper's online phase consumes live per-slot telemetry; this package
+is the always-on half of that story.  :class:`TelemetryStream` feeds
+slot-by-slot readings (with noise and sensor dropout),
+:class:`TriggerDetector` decides *when* something broke (EWMA + CUSUM on
+baseline residuals), and :class:`StreamRuntime` batches windowed
+Δ-features on trigger and dispatches Phase-II localization to a worker
+pool — with :class:`MetricsRegistry` counters/histograms and structured
+logs for the operations floor.
+"""
+
+from .detector import TriggerDetector, TriggerState
+from .log import StructuredLogger, get_stream_logger
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .runtime import DetectionEvent, StreamReport, StreamRuntime
+from .source import RecordedStream, SlotReading, TelemetryStream, restamp_scenario
+
+__all__ = [
+    "Counter",
+    "DetectionEvent",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RecordedStream",
+    "SlotReading",
+    "StreamReport",
+    "StreamRuntime",
+    "StructuredLogger",
+    "TelemetryStream",
+    "TriggerDetector",
+    "TriggerState",
+    "get_stream_logger",
+    "restamp_scenario",
+]

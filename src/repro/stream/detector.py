@@ -1,0 +1,218 @@
+"""Online change detection: when did something break?
+
+The batch pipeline is handed the ground-truth onset; an operations
+runtime has to *find* it.  :class:`TriggerDetector` watches per-sensor
+residuals — live readings minus the cached no-leak baseline, normalised
+by each device's noise scale — with two classic sequential statistics:
+
+* **EWMA** (exponentially weighted moving average): fast on large level
+  shifts, with steady-state std ``sqrt(alpha / (2 - alpha))``;
+* **two-sided CUSUM**: ``s+ = max(0, s+ + r - k)`` and
+  ``s- = max(0, s- - r - k)``, optimal for small persistent shifts and —
+  via the slot where the winning excursion left zero — a natural onset
+  estimator.
+
+A sensor is *in alarm* when either statistic crosses its threshold; the
+detector opens an anomaly window once ``quorum`` sensors alarm
+simultaneously, and then accumulates ``elapsed_slots`` of evidence until
+the alarms clear for ``cooldown`` slots.  Dropped-out readings (NaN)
+simply hold that sensor's state — degradation, not a crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TriggerState:
+    """The detector's verdict after one slot.
+
+    Attributes:
+        slot: the slot just processed.
+        triggered: an anomaly window opened at this slot.
+        active: an anomaly window is open (including the trigger slot).
+        onset_slot: estimated first anomalous slot of the open window.
+        elapsed_slots: evidence accumulated since the estimated onset
+            (>= 1 while active, 0 otherwise).
+        score: largest normalised alarm statistic this slot.
+        alarmed: indices of sensors currently in alarm.
+    """
+
+    slot: int
+    triggered: bool
+    active: bool
+    onset_slot: int | None
+    elapsed_slots: int
+    score: float
+    alarmed: tuple[int, ...] = field(default_factory=tuple)
+
+
+class TriggerDetector:
+    """EWMA + CUSUM residual change detector for one feed.
+
+    Args:
+        scales: per-sensor residual normalisation (reading-noise std).
+        ewma_alpha: EWMA smoothing weight.
+        ewma_threshold: alarm when ``|ewma| > threshold * sigma_ewma``
+            (in units of the EWMA's own steady-state std).
+        cusum_k: CUSUM reference value (allowance) in noise-std units —
+            drifts smaller than ``k`` per slot are ignored.
+        cusum_h: CUSUM decision threshold in noise-std units.
+        quorum: sensors that must alarm simultaneously to open a window.
+        cooldown: alarm-free slots that close an open window.
+
+    Raises:
+        ValueError: for non-positive scales or out-of-range parameters.
+    """
+
+    def __init__(
+        self,
+        scales: np.ndarray,
+        ewma_alpha: float = 0.25,
+        ewma_threshold: float = 6.0,
+        cusum_k: float = 0.75,
+        cusum_h: float = 8.0,
+        quorum: int = 1,
+        cooldown: int = 4,
+    ):
+        scales = np.asarray(scales, dtype=float)
+        if scales.ndim != 1 or len(scales) == 0:
+            raise ValueError("scales must be a non-empty 1-D array")
+        if np.any(scales <= 0):
+            raise ValueError("noise scales must be strictly positive")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        if quorum < 1:
+            raise ValueError(f"quorum must be >= 1, got {quorum}")
+        self.scales = scales
+        self.ewma_alpha = ewma_alpha
+        self.ewma_threshold = ewma_threshold
+        self.cusum_k = cusum_k
+        self.cusum_h = cusum_h
+        self.quorum = quorum
+        self.cooldown = cooldown
+        #: Steady-state std of the EWMA of unit-variance residuals.
+        self.sigma_ewma = float(np.sqrt(ewma_alpha / (2.0 - ewma_alpha)))
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all state (statistics and any open window)."""
+        n = len(self.scales)
+        self._ewma = np.zeros(n)
+        self._cusum_pos = np.zeros(n)
+        self._cusum_neg = np.zeros(n)
+        # Slot at which each sensor's current CUSUM excursion left zero;
+        # -1 while the statistic sits at zero.
+        self._excursion_start = np.full(n, -1, dtype=np.int64)
+        self._active = False
+        self._onset_slot: int | None = None
+        self._quiet_slots = 0
+
+    @property
+    def active(self) -> bool:
+        """True while an anomaly window is open."""
+        return self._active
+
+    def update(
+        self,
+        values: np.ndarray,
+        baseline: np.ndarray,
+        slot: int,
+        mask: np.ndarray | None = None,
+    ) -> TriggerState:
+        """Advance the detector by one slot of readings.
+
+        Args:
+            values: per-sensor readings (NaN allowed where dropped).
+            baseline: expected no-leak readings at this slot.
+            slot: absolute slot index.
+            mask: True where a reading is present; inferred from NaN when
+                omitted.
+
+        Raises:
+            ValueError: on a shape mismatch with the configured scales.
+        """
+        values = np.asarray(values, dtype=float)
+        baseline = np.asarray(baseline, dtype=float)
+        if values.shape != self.scales.shape or baseline.shape != self.scales.shape:
+            raise ValueError(
+                f"expected {self.scales.shape[0]} readings, got values "
+                f"{values.shape} / baseline {baseline.shape}"
+            )
+        if mask is None:
+            mask = ~np.isnan(values)
+        mask = np.asarray(mask, dtype=bool) & ~np.isnan(values)
+
+        residuals = np.zeros_like(self.scales)
+        residuals[mask] = (values[mask] - baseline[mask]) / self.scales[mask]
+
+        # Present sensors advance; dropped sensors hold their state.
+        alpha = self.ewma_alpha
+        self._ewma[mask] = (1.0 - alpha) * self._ewma[mask] + alpha * residuals[mask]
+        was_zero = (self._cusum_pos == 0.0) & (self._cusum_neg == 0.0)
+        self._cusum_pos[mask] = np.maximum(
+            0.0, self._cusum_pos[mask] + residuals[mask] - self.cusum_k
+        )
+        self._cusum_neg[mask] = np.maximum(
+            0.0, self._cusum_neg[mask] - residuals[mask] - self.cusum_k
+        )
+        nonzero = (self._cusum_pos > 0.0) | (self._cusum_neg > 0.0)
+        self._excursion_start[was_zero & nonzero] = slot
+        self._excursion_start[~nonzero] = -1
+
+        ewma_alarm = np.abs(self._ewma) > self.ewma_threshold * self.sigma_ewma
+        cusum_alarm = (self._cusum_pos > self.cusum_h) | (
+            self._cusum_neg > self.cusum_h
+        )
+        alarm = ewma_alarm | cusum_alarm
+        alarmed = np.flatnonzero(alarm)
+        score = float(
+            max(
+                np.abs(self._ewma).max(initial=0.0) / max(self.sigma_ewma, 1e-12),
+                self._cusum_pos.max(initial=0.0),
+                self._cusum_neg.max(initial=0.0),
+            )
+        )
+
+        triggered = False
+        if not self._active:
+            if len(alarmed) >= self.quorum:
+                self._active = True
+                triggered = True
+                self._quiet_slots = 0
+                self._onset_slot = self._estimate_onset(alarmed, slot)
+        else:
+            if len(alarmed) == 0:
+                self._quiet_slots += 1
+                if self._quiet_slots >= self.cooldown:
+                    self._active = False
+                    self._onset_slot = None
+            else:
+                self._quiet_slots = 0
+
+        onset = self._onset_slot if self._active else None
+        elapsed = max(1, slot - onset + 1) if onset is not None else 0
+        return TriggerState(
+            slot=slot,
+            triggered=triggered,
+            active=self._active,
+            onset_slot=onset,
+            elapsed_slots=elapsed,
+            score=score,
+            alarmed=tuple(int(i) for i in alarmed),
+        )
+
+    def _estimate_onset(self, alarmed: np.ndarray, slot: int) -> int:
+        """First anomalous slot: median CUSUM excursion start among the
+        alarming sensors (each excursion began when the shift reached that
+        sensor; the median ignores sensors whose excursion predates the
+        event because of noise), falling back to the trigger slot for
+        EWMA-only alarms."""
+        starts = self._excursion_start[alarmed]
+        starts = starts[starts >= 0]
+        if len(starts) == 0:
+            return slot
+        return int(np.median(starts))

@@ -1,0 +1,79 @@
+"""Structured logging for the streaming runtime.
+
+Operations events (triggers, localizations, stream lifecycle) are logged
+as flat key=value lines — or JSON lines with ``json_lines=True`` — so
+they can be grepped on a terminal and ingested by log pipelines alike.
+Built on stdlib :mod:`logging`; a runtime owns one
+:class:`StructuredLogger` and calls :meth:`StructuredLogger.event`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, TextIO
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return ",".join(str(v) for v in sorted(value, key=str))
+    text = str(value)
+    if " " in text or "=" in text:
+        return json.dumps(text)
+    return text
+
+
+class StructuredLogger:
+    """Emits one structured record per operations event.
+
+    Args:
+        name: logger name (namespaced under ``repro.stream``).
+        json_lines: emit JSON objects instead of key=value lines.
+        stream: output stream (default stderr, like logging itself).
+        level: minimum level for the attached handler.
+    """
+
+    def __init__(
+        self,
+        name: str = "repro.stream",
+        json_lines: bool = False,
+        stream: TextIO | None = None,
+        level: int = logging.INFO,
+    ):
+        self.json_lines = json_lines
+        self._logger = logging.getLogger(name)
+        self._logger.setLevel(level)
+        self._logger.propagate = False
+        # Re-binding the stream (e.g. a test's capture buffer) replaces the
+        # handler rather than stacking a duplicate.
+        for handler in list(self._logger.handlers):
+            self._logger.removeHandler(handler)
+        self._handler = logging.StreamHandler(stream or sys.stderr)
+        self._handler.setFormatter(logging.Formatter("%(message)s"))
+        self._logger.addHandler(self._handler)
+
+    def event(self, event: str, level: int = logging.INFO, **fields: Any) -> None:
+        """Log one event with its context fields.
+
+        Args:
+            event: short event name, e.g. ``"trigger"``.
+            level: logging level for the record.
+            **fields: arbitrary context (feed, slot, delay, ...).
+        """
+        if self.json_lines:
+            record = {"event": event, **fields}
+            self._logger.log(level, json.dumps(record, default=str, sort_keys=True))
+            return
+        parts = [f"event={event}"]
+        parts.extend(f"{key}={_format_value(value)}" for key, value in fields.items())
+        self._logger.log(level, " ".join(parts))
+
+
+def get_stream_logger(
+    json_lines: bool = False, stream: TextIO | None = None
+) -> StructuredLogger:
+    """The runtime's default logger (``repro.stream`` namespace)."""
+    return StructuredLogger("repro.stream", json_lines=json_lines, stream=stream)

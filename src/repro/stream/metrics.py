@@ -1,0 +1,195 @@
+"""Operational metrics for the streaming runtime.
+
+A tiny, dependency-free registry in the spirit of Prometheus client
+libraries: named counters, gauges and histograms behind one lock, with a
+:meth:`MetricsRegistry.snapshot` dict that the CLI prints and tests
+assert against.  Instruments are cheap enough to update per slot and
+thread-safe, because localization workers record latency concurrently
+with the ingest loop.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Counter:
+    """Monotonically increasing count (slots ingested, triggers fired)."""
+
+    def __init__(self, name: str, lock: threading.RLock):
+        self.name = name
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0).
+
+        Raises:
+            ValueError: on negative increments (use a Gauge instead).
+        """
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that goes up and down (open anomaly windows, queue depth)."""
+
+    def __init__(self, name: str, lock: threading.RLock):
+        self.name = name
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Observation distribution (detection delay, localization latency).
+
+    Stores raw observations — streams here are thousands of slots, not
+    billions, so exact percentiles beat bucketing complexity.
+    """
+
+    def __init__(self, name: str, lock: threading.RLock):
+        self.name = name
+        self._lock = lock
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Observations recorded so far."""
+        with self._lock:
+            return len(self._values)
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (0-100) of the observations so far.
+
+        Raises:
+            ValueError: when nothing has been observed yet.
+        """
+        with self._lock:
+            if not self._values:
+                raise ValueError(f"histogram {self.name!r} has no observations")
+            ordered = sorted(self._values)
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        index = (len(ordered) - 1) * q / 100.0
+        low = int(index)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = index - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def summary(self) -> dict[str, float]:
+        """count/total/min/mean/max/p50/p95 of the observations."""
+        with self._lock:
+            values = list(self._values)
+        if not values:
+            return {"count": 0}
+        values.sort()
+        total = sum(values)
+        return {
+            "count": len(values),
+            "total": total,
+            "min": values[0],
+            "mean": total / len(values),
+            "max": values[-1],
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    One registry per runtime; :meth:`snapshot` is the read path for the
+    CLI, logs and tests.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _claim(self, name: str, kind: dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not kind and name in family:
+                raise ValueError(f"metric {name!r} already registered as another type")
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``.
+
+        Raises:
+            ValueError: when ``name`` is already a gauge or histogram.
+        """
+        with self._lock:
+            self._claim(name, self._counters)
+            if name not in self._counters:
+                self._counters[name] = Counter(name, self._lock)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``.
+
+        Raises:
+            ValueError: when ``name`` is already another instrument type.
+        """
+        with self._lock:
+            self._claim(name, self._gauges)
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name, self._lock)
+            return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``.
+
+        Raises:
+            ValueError: when ``name`` is already another instrument type.
+        """
+        with self._lock:
+            self._claim(name, self._histograms)
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, self._lock)
+            return self._histograms[name]
+
+    def snapshot(self) -> dict:
+        """Point-in-time view of every instrument, JSON-serialisable."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.summary() for n, h in sorted(self._histograms.items())
+                },
+            }

@@ -1,0 +1,303 @@
+"""The always-on event loop: ingest -> detect -> localize.
+
+:class:`StreamRuntime` turns the batch pipeline into an operations
+runtime.  It consumes any number of concurrent feeds in slot lockstep,
+runs one :class:`~repro.stream.detector.TriggerDetector` per feed, and —
+when a window opens — assembles the paper's Δ-feature from the feed's
+recent history (reading at the trigger slot minus the reading just
+before the *estimated* onset) and dispatches Phase-II localization to a
+thread pool, so slow inference on one feed never stalls ingest on the
+others.
+
+Determinism: detection runs single-threaded in slot order, and each
+localization job is a pure function of its Δ-feature, so the detections
+and localizations are identical for any worker count — only wall-clock
+changes.  Dropped-out sensors surface as NaN columns and are masked all
+the way down (the profile model imputes them as "no evidence") rather
+than crashing the loop.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core import AquaScale, InferenceResult
+from .detector import TriggerDetector
+from .log import StructuredLogger, get_stream_logger
+from .metrics import MetricsRegistry
+from .source import SlotReading
+
+
+@dataclass
+class DetectionEvent:
+    """One detected (and localized) anomaly on one feed.
+
+    Attributes:
+        feed_id: feed the trigger fired on.
+        trigger_slot: slot the anomaly window opened.
+        onset_slot: the detector's estimated first anomalous slot.
+        detection_delay: ``trigger_slot - true onset`` when the feed
+            carries ground truth, else None.
+        false_trigger: trigger on a feed with no active failure.
+        elapsed_slots: evidence slots between estimated onset and trigger.
+        masked_sensors: NaN columns in the dispatched Δ-feature.
+        leak_nodes: localized leak set (empty until inference returns).
+        inference: the full Phase-II result, when localization ran.
+        localization_latency: seconds Phase II took for this event.
+    """
+
+    feed_id: str
+    trigger_slot: int
+    onset_slot: int
+    detection_delay: int | None
+    false_trigger: bool
+    elapsed_slots: int
+    masked_sensors: int
+    leak_nodes: tuple[str, ...] = ()
+    inference: InferenceResult | None = None
+    localization_latency: float = 0.0
+
+
+@dataclass
+class StreamReport:
+    """Everything one runtime run produced.
+
+    Attributes:
+        events: detections in (trigger_slot, feed_id) order.
+        slots: slots ingested per feed.
+        feeds: feed ids served.
+        metrics: the metrics registry snapshot at end of run.
+    """
+
+    events: list[DetectionEvent]
+    slots: int
+    feeds: tuple[str, ...]
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def triggered(self) -> bool:
+        return bool(self.events)
+
+
+class StreamRuntime:
+    """Serves concurrent telemetry feeds against one trained core.
+
+    Args:
+        core: a *trained* :class:`~repro.core.AquaScale` (Phase I done).
+        workers: localization worker threads (1 = serial dispatch).
+        detector_params: overrides forwarded to every feed's
+            :class:`TriggerDetector` (thresholds, quorum, cooldown).
+        history_slots: per-feed ring of recent readings kept for Δ-feature
+            assembly (bounds memory for long-running streams).
+        metrics: shared registry; a fresh one is created when omitted.
+        logger: structured logger; the default logs to stderr.
+
+    Raises:
+        RuntimeError: if the core is not trained (via ``core.engine``).
+        ValueError: for a non-positive worker count.
+    """
+
+    def __init__(
+        self,
+        core: AquaScale,
+        workers: int = 1,
+        detector_params: dict | None = None,
+        history_slots: int = 16,
+        metrics: MetricsRegistry | None = None,
+        logger: StructuredLogger | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        core.engine  # fail fast when untrained
+        self.core = core
+        self.workers = workers
+        self.detector_params = dict(detector_params or {})
+        self.history_slots = history_slots
+        self.metrics = metrics or MetricsRegistry()
+        self.log = logger or get_stream_logger()
+
+    # ------------------------------------------------------------------
+    def _localize(
+        self, delta: np.ndarray, weather=None, human=None
+    ) -> tuple[InferenceResult, float]:
+        start = time.perf_counter()
+        result = self.core.localize(delta, weather=weather, human=human)
+        return result, time.perf_counter() - start
+
+    def _delta_feature(
+        self,
+        history: dict[int, np.ndarray],
+        reading: SlotReading,
+        onset_slot: int,
+    ) -> np.ndarray:
+        """The paper's Δ: reading(trigger) - reading(onset - 1).
+
+        Falls back to the oldest retained reading when the estimated
+        pre-onset slot has already left the history ring.  NaN survives
+        wherever either endpoint was dropped — the mask travels with the
+        feature vector.
+        """
+        before_slot = onset_slot - 1
+        if before_slot not in history:
+            before_slot = min(history)
+        return reading.values - history[before_slot]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        feeds: Sequence,
+        n_slots: int,
+        start_slot: int = 1,
+        observer: Callable[[str, int], tuple] | None = None,
+    ) -> StreamReport:
+        """Drive every feed for ``n_slots`` slots and collect detections.
+
+        Args:
+            feeds: feed objects (``TelemetryStream`` / ``RecordedStream``
+                or anything matching the feed protocol).
+            n_slots: slots to ingest per feed.
+            start_slot: first absolute slot (>= 1).
+            observer: optional ``(feed_id, slot) -> (weather, human)``
+                hook supplying external observations to localization —
+                by default inference is IoT-only, as a live system would
+                start out.
+
+        Raises:
+            ValueError: for an empty feed list, duplicate feed ids, or
+                ``n_slots < 1`` (feed generators validate lazily, so the
+                runtime checks before a zero-slot run silently succeeds).
+        """
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        feeds = list(feeds)
+        if not feeds:
+            raise ValueError("run() needs at least one feed")
+        ids = [feed.feed_id for feed in feeds]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate feed ids: {sorted(ids)}")
+
+        # Touch every lazy code path (detrend column split, scaler) once
+        # before the pool starts, so worker threads only ever read.
+        self.core.localize(np.zeros(len(self.core.sensors)))
+
+        detectors = {
+            feed.feed_id: TriggerDetector(feed.noise_scales, **self.detector_params)
+            for feed in feeds
+        }
+        histories: dict[str, dict[int, np.ndarray]] = {fid: {} for fid in ids}
+        iterators: dict[str, Iterable[SlotReading]] = {
+            feed.feed_id: iter(feed.readings(n_slots, start_slot=start_slot))
+            for feed in feeds
+        }
+        scenarios = {feed.feed_id: getattr(feed, "scenario", None) for feed in feeds}
+
+        slots_ingested = self.metrics.counter("slots_ingested")
+        readings_dropped = self.metrics.counter("readings_dropped")
+        triggers_fired = self.metrics.counter("triggers_fired")
+        false_triggers = self.metrics.counter("false_triggers")
+        open_windows = self.metrics.gauge("open_windows")
+        delay_hist = self.metrics.histogram("detection_delay_slots")
+        latency_hist = self.metrics.histogram("localization_latency_seconds")
+        localizations = self.metrics.counter("localizations_completed")
+
+        events: list[DetectionEvent] = []
+        pending: list[tuple[DetectionEvent, Future]] = []
+        self.log.event(
+            "stream.start", feeds=ids, slots=n_slots, workers=self.workers
+        )
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            for slot in range(start_slot, start_slot + n_slots):
+                for feed in feeds:  # fixed order: determinism
+                    reading = next(iterators[feed.feed_id])
+                    slots_ingested.inc()
+                    if reading.n_dropped:
+                        readings_dropped.inc(reading.n_dropped)
+                    history = histories[feed.feed_id]
+                    history[slot] = reading.values
+                    for old in [s for s in history if s <= slot - self.history_slots]:
+                        del history[old]
+
+                    state = detectors[feed.feed_id].update(
+                        reading.values,
+                        feed.baseline(slot),
+                        slot,
+                        mask=reading.mask,
+                    )
+                    if not state.triggered:
+                        continue
+
+                    triggers_fired.inc()
+                    scenario = scenarios[feed.feed_id]
+                    true_onset = scenario.start_slot if scenario is not None else None
+                    false_trigger = true_onset is None or slot < true_onset
+                    delay = None
+                    if not false_trigger:
+                        delay = slot - true_onset
+                        delay_hist.observe(delay)
+                    else:
+                        false_triggers.inc()
+                    delta = self._delta_feature(history, reading, state.onset_slot)
+                    event = DetectionEvent(
+                        feed_id=feed.feed_id,
+                        trigger_slot=slot,
+                        onset_slot=state.onset_slot,
+                        detection_delay=delay,
+                        false_trigger=false_trigger,
+                        elapsed_slots=state.elapsed_slots,
+                        masked_sensors=int(np.isnan(delta).sum()),
+                    )
+                    self.log.event(
+                        "trigger",
+                        feed=feed.feed_id,
+                        slot=slot,
+                        onset=state.onset_slot,
+                        score=state.score,
+                        alarmed=len(state.alarmed),
+                        masked=event.masked_sensors,
+                        false=false_trigger,
+                    )
+                    weather, human = (
+                        observer(feed.feed_id, slot) if observer else (None, None)
+                    )
+                    pending.append(
+                        (event, pool.submit(self._localize, delta, weather, human))
+                    )
+                open_windows.set(
+                    sum(1 for detector in detectors.values() if detector.active)
+                )
+
+            for event, future in pending:
+                inference, latency = future.result()
+                event.inference = inference
+                event.leak_nodes = tuple(sorted(inference.leak_nodes))
+                event.localization_latency = latency
+                latency_hist.observe(latency)
+                localizations.inc()
+                self.log.event(
+                    "localized",
+                    feed=event.feed_id,
+                    slot=event.trigger_slot,
+                    leaks=event.leak_nodes or "(none)",
+                    latency=latency,
+                )
+                events.append(event)
+
+        events.sort(key=lambda e: (e.trigger_slot, e.feed_id))
+        report = StreamReport(
+            events=events,
+            slots=n_slots,
+            feeds=tuple(ids),
+            metrics=self.metrics.snapshot(),
+        )
+        self.log.event(
+            "stream.end",
+            feeds=len(ids),
+            slots=n_slots,
+            triggers=len(events),
+        )
+        return report

@@ -1,0 +1,242 @@
+"""Telemetry sources: slot-by-slot feeds for the streaming runtime.
+
+A *feed* produces one :class:`SlotReading` per 15-minute IoT slot for one
+managed network.  Two implementations are provided:
+
+* :class:`TelemetryStream` — simulates/replays a
+  :class:`~repro.failures.FailureScenario` through the steady-state
+  hydraulic engine, with configurable reading noise and per-slot sensor
+  dropout (devices in the field lose power and connectivity; the paper's
+  Sec. III-B measurement model is explicitly noisy and incomplete);
+* :class:`RecordedStream` — replays a recorded trace matrix, for feeding
+  the runtime from captured data instead of the simulator.
+
+Both expose the same protocol the runtime consumes: ``feed_id``,
+``noise_scales``, ``baseline(slot)`` and ``readings(n_slots, start_slot)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..failures import FailureScenario, LeakEvent
+from ..hydraulics import WaterNetwork
+from ..sensing import (
+    FLOW_NOISE_STD,
+    PRESSURE_NOISE_STD,
+    SensorNetwork,
+    SteadyStateTelemetry,
+    sensor_column_indices,
+)
+
+
+@dataclass(frozen=True)
+class SlotReading:
+    """One slot of readings from one feed.
+
+    Attributes:
+        feed_id: originating feed.
+        slot: absolute slot index.
+        values: per-sensor readings, NaN where the device dropped out.
+        mask: True where a reading is present.
+    """
+
+    feed_id: str
+    slot: int
+    values: np.ndarray
+    mask: np.ndarray
+
+    @property
+    def n_dropped(self) -> int:
+        return int((~self.mask).sum())
+
+
+def restamp_scenario(scenario: FailureScenario, start_slot: int) -> FailureScenario:
+    """The same failure, shifted to begin at ``start_slot``.
+
+    Scenario generators draw onsets anywhere in the day; a stream run
+    observes a bounded window, so the runtime re-stamps sampled scenarios
+    onto its own timeline.
+
+    Raises:
+        ValueError: for ``start_slot < 1`` (slot 0 has no predecessor to
+            difference against).
+    """
+    if start_slot < 1:
+        raise ValueError(f"start_slot must be >= 1, got {start_slot}")
+    events = tuple(
+        LeakEvent(
+            location=e.location, size=e.size, start_slot=start_slot, beta=e.beta
+        )
+        for e in scenario.events
+    )
+    return FailureScenario(
+        events=events,
+        start_slot=start_slot,
+        frozen_nodes=scenario.frozen_nodes,
+        temperature_f=scenario.temperature_f,
+    )
+
+
+class TelemetryStream:
+    """Simulated slot-by-slot feed from the deployed sensors.
+
+    Args:
+        network: the managed network.
+        sensors: the deployed IoT devices (fixes the column order).
+        scenario: the failure unfolding in this feed, or None for a
+            healthy feed.
+        feed_id: name used in readings, logs and metrics.
+        seed: RNG seed for noise and dropout (per feed).
+        dropout: per-slot probability that any one sensor's reading is
+            missing.
+        pressure_noise: reading-noise std for pressure sensors (m).
+        flow_noise: reading-noise std for flow sensors (m^3/s).
+        telemetry: share a :class:`SteadyStateTelemetry` (and its baseline
+            cache) across feeds on the same network; built fresh when
+            omitted.
+
+    Raises:
+        ValueError: for dropout outside [0, 1).
+    """
+
+    def __init__(
+        self,
+        network: WaterNetwork,
+        sensors: SensorNetwork,
+        scenario: FailureScenario | None = None,
+        feed_id: str = "feed-0",
+        seed: int = 0,
+        dropout: float = 0.0,
+        pressure_noise: float = PRESSURE_NOISE_STD,
+        flow_noise: float = FLOW_NOISE_STD,
+        telemetry: SteadyStateTelemetry | None = None,
+    ):
+        if not 0.0 <= dropout < 1.0:
+            raise ValueError(f"dropout must be in [0, 1), got {dropout}")
+        self.network = network
+        self.sensors = sensors
+        self.scenario = scenario
+        self.feed_id = feed_id
+        self.dropout = dropout
+        self.pressure_noise = pressure_noise
+        self.flow_noise = flow_noise
+        self.telemetry = telemetry or SteadyStateTelemetry(network, seed=seed)
+        self._columns = sensor_column_indices(
+            self.telemetry.candidate_keys(), sensors
+        )
+        self._rng = np.random.default_rng(seed)
+        kinds = [s.sensor_type.value for s in sensors.sensors]
+        self.noise_scales = np.array(
+            [
+                pressure_noise if kind == "pressure" else flow_noise
+                for kind in kinds
+            ]
+        )
+
+    def __len__(self) -> int:
+        return len(self.sensors)
+
+    def baseline(self, slot: int) -> np.ndarray:
+        """Noiseless no-leak readings the deployment expects at a slot."""
+        return self.telemetry.baseline_candidates(slot)[self._columns]
+
+    def readings(self, n_slots: int, start_slot: int = 1) -> Iterator[SlotReading]:
+        """Generate ``n_slots`` consecutive readings from ``start_slot``.
+
+        Raises:
+            ValueError: for ``start_slot < 1`` or ``n_slots < 1``.
+        """
+        if start_slot < 1:
+            raise ValueError(f"start_slot must be >= 1, got {start_slot}")
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        for slot in range(start_slot, start_slot + n_slots):
+            full = self.telemetry.candidate_readings(
+                slot,
+                scenario=self.scenario,
+                pressure_noise=self.pressure_noise,
+                flow_noise=self.flow_noise,
+                rng=self._rng,
+            )
+            values = full[self._columns]
+            mask = np.ones(len(values), dtype=bool)
+            if self.dropout > 0.0:
+                mask = self._rng.random(len(values)) >= self.dropout
+                values = np.where(mask, values, np.nan)
+            yield SlotReading(
+                feed_id=self.feed_id, slot=slot, values=values, mask=mask
+            )
+
+
+class RecordedStream:
+    """Replays a recorded trace matrix through the feed protocol.
+
+    Args:
+        trace: (n_slots, n_sensors) readings; NaN marks dropped readings.
+        baseline: (n_sensors,) expected no-leak readings, or a
+            (slots_per_day, n_sensors) matrix when the baseline varies by
+            slot of day.
+        noise_scales: per-sensor residual normalisation scale.
+        feed_id: name used in readings, logs and metrics.
+        start_slot: absolute slot of the trace's first row.
+        scenario: ground truth when known (enables delay/false-trigger
+            accounting); None for field data.
+
+    Raises:
+        ValueError: on shape mismatches between trace, baseline and
+            scales.
+    """
+
+    def __init__(
+        self,
+        trace: np.ndarray,
+        baseline: np.ndarray,
+        noise_scales: np.ndarray,
+        feed_id: str = "recorded-0",
+        start_slot: int = 1,
+        scenario: FailureScenario | None = None,
+    ):
+        self.trace = np.asarray(trace, dtype=float)
+        if self.trace.ndim != 2:
+            raise ValueError(f"trace must be 2-D, got shape {self.trace.shape}")
+        self._baseline = np.asarray(baseline, dtype=float)
+        if self._baseline.shape[-1] != self.trace.shape[1]:
+            raise ValueError(
+                f"baseline covers {self._baseline.shape[-1]} sensors, "
+                f"trace has {self.trace.shape[1]}"
+            )
+        self.noise_scales = np.asarray(noise_scales, dtype=float)
+        if self.noise_scales.shape != (self.trace.shape[1],):
+            raise ValueError(
+                f"noise_scales must have shape ({self.trace.shape[1]},), "
+                f"got {self.noise_scales.shape}"
+            )
+        self.feed_id = feed_id
+        self.start_slot = start_slot
+        self.scenario = scenario
+
+    def __len__(self) -> int:
+        return self.trace.shape[1]
+
+    def baseline(self, slot: int) -> np.ndarray:
+        """Expected no-leak readings at a slot (wrapping a daily matrix)."""
+        if self._baseline.ndim == 1:
+            return self._baseline
+        return self._baseline[slot % self._baseline.shape[0]]
+
+    def readings(self, n_slots: int, start_slot: int = 1) -> Iterator[SlotReading]:
+        """Replay up to ``n_slots`` rows whose slots fall in the window."""
+        for row, values in enumerate(self.trace):
+            slot = self.start_slot + row
+            if slot < start_slot:
+                continue
+            if slot >= start_slot + n_slots:
+                break
+            mask = ~np.isnan(values)
+            yield SlotReading(
+                feed_id=self.feed_id, slot=slot, values=values, mask=mask
+            )

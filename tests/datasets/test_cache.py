@@ -38,6 +38,25 @@ class TestDatasetRoundTrip:
             for ea, eb in zip(a.events, b.events):
                 assert ea == eb
 
+    def test_suffixless_path_roundtrips(self, epanet, tmp_path):
+        """np.savez appends .npz; save/load must agree on the real path."""
+        original = generate_dataset(epanet, 5, kind="single", seed=8)
+        bare = tmp_path / "bundle"
+        save_dataset(original, bare)
+        assert (tmp_path / "bundle.npz").exists()
+        loaded = load_dataset(bare)  # same suffixless spelling
+        assert np.array_equal(loaded.X_candidates, original.X_candidates)
+        also = load_dataset(tmp_path / "bundle.npz")  # explicit spelling
+        assert np.array_equal(also.Y, original.Y)
+
+    def test_foreign_suffix_normalised_symmetrically(self, epanet, tmp_path):
+        original = generate_dataset(epanet, 3, kind="single", seed=9)
+        odd = tmp_path / "bundle.dat"
+        save_dataset(original, odd)
+        assert (tmp_path / "bundle.dat.npz").exists()
+        loaded = load_dataset(odd)
+        assert np.array_equal(loaded.Y, original.Y)
+
     def test_version_check(self, epanet, tmp_path):
         import json
 

@@ -89,6 +89,10 @@ class TestCatalog:
         with pytest.raises(KeyError, match="available"):
             build_network("atlantis")
 
+    def test_paper_name_aliases(self):
+        assert build_network("wssc-subnet").name == build_network("wssc").name
+        assert build_network("EPA-NET").name == build_network("epanet").name
+
     def test_register_custom(self):
         register_network("custom-test", lambda seed=0: two_loop_test_network())
         assert build_network("custom-test").name == "two-loop"

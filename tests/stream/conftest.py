@@ -1,0 +1,24 @@
+"""Stream-suite fixtures: a small trained core shared across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AquaScale
+
+
+@pytest.fixture(scope="package")
+def trained_core(two_loop_shared):
+    """Logistic core trained on the two-loop network (fast, shared)."""
+    core = AquaScale(
+        two_loop_shared, iot_percent=100.0, classifier="logistic", seed=0
+    )
+    core.train(n_train=200, kind="single")
+    return core
+
+
+@pytest.fixture(scope="package")
+def two_loop_shared():
+    from repro.networks import two_loop_test_network
+
+    return two_loop_test_network()

@@ -1,0 +1,205 @@
+"""Trigger-detector tests: no-leak silence, bounded delay, dropout safety."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream import TriggerDetector
+
+N_SENSORS = 40
+
+
+def make_detector(**overrides) -> TriggerDetector:
+    return TriggerDetector(np.ones(N_SENSORS), **overrides)
+
+
+def noise_stream(rng, n_slots, n_sensors=N_SENSORS):
+    return rng.normal(0.0, 1.0, size=(n_slots, n_sensors))
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_scales(self):
+        with pytest.raises(ValueError, match="positive"):
+            TriggerDetector(np.array([1.0, 0.0]))
+
+    def test_rejects_empty_scales(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            TriggerDetector(np.array([]))
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError, match="ewma_alpha"):
+            make_detector(ewma_alpha=1.5)
+
+    def test_rejects_bad_quorum(self):
+        with pytest.raises(ValueError, match="quorum"):
+            make_detector(quorum=0)
+
+    def test_shape_mismatch(self):
+        detector = make_detector()
+        with pytest.raises(ValueError, match="readings"):
+            detector.update(np.zeros(3), np.zeros(3), slot=1)
+
+
+class TestNoLeakSilence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_pure_noise_never_triggers_at_defaults(self, seed):
+        """A healthy stream at default thresholds fires zero triggers."""
+        rng = np.random.default_rng(seed)
+        detector = make_detector()
+        baseline = np.zeros(N_SENSORS)
+        for slot, values in enumerate(noise_stream(rng, 200), start=1):
+            state = detector.update(values, baseline, slot)
+            assert not state.triggered
+            assert not state.active
+
+
+class TestDetectionDelay:
+    @pytest.mark.parametrize("shift", [3.0, 4.0, 8.0])
+    def test_single_shift_triggers_within_bound(self, shift):
+        """One sensor shifting by `shift` noise-stds triggers within a
+        delay bounded by the CUSUM crossing time (plus noise slack)."""
+        rng = np.random.default_rng(7)
+        detector = make_detector()
+        baseline = np.zeros(N_SENSORS)
+        onset = 20
+        trigger_slot = None
+        for slot in range(1, 60):
+            values = rng.normal(0.0, 1.0, size=N_SENSORS)
+            if slot >= onset:
+                values[5] += shift
+            state = detector.update(values, baseline, slot)
+            if state.triggered:
+                trigger_slot = slot
+                break
+        assert trigger_slot is not None
+        crossing = int(np.ceil(detector.cusum_h / (shift - detector.cusum_k)))
+        assert trigger_slot - onset <= crossing + 3
+
+    def test_multi_sensor_shift_triggers_fast(self):
+        """A multi-leak signature (many sensors shifted) triggers within
+        a couple of slots and estimates onset near the truth."""
+        rng = np.random.default_rng(11)
+        detector = make_detector()
+        baseline = np.zeros(N_SENSORS)
+        onset = 30
+        for slot in range(1, 60):
+            values = rng.normal(0.0, 1.0, size=N_SENSORS)
+            if slot >= onset:
+                values[::3] += 6.0
+            state = detector.update(values, baseline, slot)
+            if state.triggered:
+                assert slot - onset <= 3
+                assert abs(state.onset_slot - onset) <= 3
+                assert state.elapsed_slots >= 1
+                break
+        else:
+            pytest.fail("shift never triggered")
+
+    def test_negative_shift_detected(self):
+        """Pressure drops (negative residuals) trigger the two-sided CUSUM."""
+        detector = make_detector()
+        baseline = np.zeros(N_SENSORS)
+        rng = np.random.default_rng(3)
+        for slot in range(1, 40):
+            values = rng.normal(0.0, 1.0, size=N_SENSORS)
+            if slot >= 10:
+                values[:4] -= 5.0
+            if detector.update(values, baseline, slot).triggered:
+                assert slot - 10 <= 4
+                return
+        pytest.fail("negative shift never triggered")
+
+
+class TestDropoutMasking:
+    @pytest.mark.parametrize("dropout", [0.1, 0.5, 0.9])
+    def test_masking_never_raises(self, dropout):
+        """NaN readings at any dropout level degrade, never crash."""
+        rng = np.random.default_rng(0)
+        detector = make_detector()
+        baseline = np.zeros(N_SENSORS)
+        for slot in range(1, 120):
+            values = rng.normal(0.0, 1.0, size=N_SENSORS)
+            mask = rng.random(N_SENSORS) >= dropout
+            values[~mask] = np.nan
+            state = detector.update(values, baseline, slot, mask=mask)
+            assert np.isfinite(state.score)
+
+    def test_all_sensors_dropped_slot(self):
+        """A slot with every reading missing holds state silently."""
+        detector = make_detector()
+        baseline = np.zeros(N_SENSORS)
+        values = np.full(N_SENSORS, np.nan)
+        state = detector.update(values, baseline, slot=1)
+        assert not state.triggered
+        assert state.score == 0.0
+
+    def test_dropout_still_detects_shift(self):
+        """Detection survives 30% dropout on a strong multi-sensor shift."""
+        rng = np.random.default_rng(5)
+        detector = make_detector()
+        baseline = np.zeros(N_SENSORS)
+        for slot in range(1, 60):
+            values = rng.normal(0.0, 1.0, size=N_SENSORS)
+            if slot >= 15:
+                values += 5.0
+            values[rng.random(N_SENSORS) < 0.3] = np.nan
+            if detector.update(values, baseline, slot).triggered:
+                assert slot - 15 <= 4
+                return
+        pytest.fail("shift never triggered under dropout")
+
+
+class TestWindowLifecycle:
+    def test_window_closes_after_cooldown_and_rearms(self):
+        detector = make_detector(cooldown=3)
+        baseline = np.zeros(N_SENSORS)
+        values = np.zeros(N_SENSORS)
+        # Open a window with a moderate shift — strong enough to trigger
+        # at slot 1, small enough that the CUSUM decays (by ``k`` per calm
+        # slot) below threshold within a few slots once the shift clears.
+        values[0] = 12.0
+        state = detector.update(values, baseline, slot=1)
+        assert state.triggered and state.active
+        # Shift gone: stats decay; after `cooldown` alarm-free slots the
+        # window closes.
+        calm = np.zeros(N_SENSORS)
+        closed_at = None
+        for slot in range(2, 40):
+            state = detector.update(calm, baseline, slot)
+            if not state.active:
+                closed_at = slot
+                break
+        assert closed_at is not None
+        assert state.onset_slot is None and state.elapsed_slots == 0
+        # A new shift re-opens a fresh window.
+        values = np.zeros(N_SENSORS)
+        values[3] = 50.0
+        for slot in range(closed_at + 1, closed_at + 6):
+            state = detector.update(values, baseline, slot)
+            if state.triggered:
+                return
+        pytest.fail("detector did not re-arm after window closed")
+
+    def test_elapsed_slots_accumulates(self):
+        detector = make_detector()
+        baseline = np.zeros(N_SENSORS)
+        values = np.zeros(N_SENSORS)
+        values[:10] = 20.0
+        elapsed = []
+        for slot in range(1, 6):
+            elapsed.append(detector.update(values, baseline, slot).elapsed_slots)
+        assert elapsed == sorted(elapsed)
+        assert elapsed[-1] >= 4
+
+    def test_reset_clears_state(self):
+        detector = make_detector()
+        values = np.full(N_SENSORS, 30.0)
+        detector.update(values, np.zeros(N_SENSORS), slot=1)
+        assert detector.active
+        detector.reset()
+        assert not detector.active
+        state = detector.update(
+            np.zeros(N_SENSORS), np.zeros(N_SENSORS), slot=2
+        )
+        assert state.score == 0.0

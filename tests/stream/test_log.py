@@ -1,0 +1,54 @@
+"""Structured-logging tests."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.stream import StructuredLogger
+
+
+class TestKeyValueLines:
+    def test_event_line(self):
+        buffer = io.StringIO()
+        log = StructuredLogger("repro.stream.test_kv", stream=buffer)
+        log.event("trigger", feed="feed-0", slot=12, score=3.14159, false=False)
+        line = buffer.getvalue().strip()
+        assert line.startswith("event=trigger")
+        assert "feed=feed-0" in line
+        assert "slot=12" in line
+        assert "score=3.14159" in line
+
+    def test_values_with_spaces_are_quoted(self):
+        buffer = io.StringIO()
+        log = StructuredLogger("repro.stream.test_kv2", stream=buffer)
+        log.event("note", msg="two words")
+        assert 'msg="two words"' in buffer.getvalue()
+
+    def test_collections_join_sorted(self):
+        buffer = io.StringIO()
+        log = StructuredLogger("repro.stream.test_kv3", stream=buffer)
+        log.event("note", feeds=("b", "a"))
+        assert "feeds=a,b" in buffer.getvalue()
+
+    def test_rebinding_stream_does_not_duplicate(self):
+        first = io.StringIO()
+        StructuredLogger("repro.stream.test_dup", stream=first)
+        second = io.StringIO()
+        log = StructuredLogger("repro.stream.test_dup", stream=second)
+        log.event("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("event=once") == 1
+
+
+class TestJsonLines:
+    def test_json_record_round_trips(self):
+        buffer = io.StringIO()
+        log = StructuredLogger(
+            "repro.stream.test_json", json_lines=True, stream=buffer
+        )
+        log.event("localized", feed="feed-1", leaks=("J5",), latency=0.12)
+        record = json.loads(buffer.getvalue())
+        assert record["event"] == "localized"
+        assert record["feed"] == "feed-1"
+        assert record["latency"] == 0.12

@@ -1,0 +1,99 @@
+"""Metrics-registry tests."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.stream import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError, match="decrease"):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc()
+        assert registry.counter("hits").value == 2
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+
+class TestHistogram:
+    def test_summary(self):
+        hist = MetricsRegistry().histogram("h")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == 2.5
+        assert summary["p50"] == 2.5
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().histogram("h").summary() == {"count": 0}
+
+    def test_percentile_bounds(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1.0)
+        with pytest.raises(ValueError, match="percentile"):
+            hist.percentile(101)
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError, match="no observations"):
+            MetricsRegistry().histogram("h").percentile(50)
+
+
+class TestRegistry:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(2)
+        registry.histogram("c").observe(3.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a": 1.0}
+        assert snap["gauges"] == {"b": 2.0}
+        assert snap["histograms"]["c"]["count"] == 1
+
+    def test_type_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="another type"):
+            registry.gauge("x")
+
+    def test_thread_safety_under_contention(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+        hist = registry.histogram("h")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+                hist.observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+        assert hist.count == 8000

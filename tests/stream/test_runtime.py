@@ -1,0 +1,184 @@
+"""End-to-end runtime tests: detect-then-localize on live feeds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failures import ScenarioGenerator
+from repro.stream import (
+    MetricsRegistry,
+    StreamRuntime,
+    TelemetryStream,
+    restamp_scenario,
+)
+
+ONSET = 8
+SLOTS = 20
+
+
+def make_feeds(core, scenarios, seed=100, dropout=0.0):
+    return [
+        TelemetryStream(
+            core.network,
+            core.sensors,
+            scenario=scenario,
+            feed_id=f"feed-{i}",
+            seed=seed + i,
+            dropout=dropout,
+        )
+        for i, scenario in enumerate(scenarios)
+    ]
+
+
+@pytest.fixture(scope="module")
+def leak_scenarios(trained_core):
+    generator = ScenarioGenerator(trained_core.network, seed=9)
+    return [
+        restamp_scenario(generator.single_failure(), ONSET),
+        restamp_scenario(generator.single_failure(), ONSET),
+    ]
+
+
+class TestRuntime:
+    def test_no_leak_run_fires_zero_triggers(self, trained_core):
+        runtime = StreamRuntime(trained_core)
+        report = runtime.run(make_feeds(trained_core, [None]), n_slots=SLOTS)
+        assert report.events == []
+        assert not report.triggered
+        assert report.metrics["counters"]["triggers_fired"] == 0
+        assert report.metrics["counters"]["slots_ingested"] == SLOTS
+
+    def test_leak_detected_within_bounded_delay(self, trained_core, leak_scenarios):
+        runtime = StreamRuntime(trained_core)
+        report = runtime.run(
+            make_feeds(trained_core, leak_scenarios[:1]), n_slots=SLOTS
+        )
+        assert len(report.events) == 1
+        event = report.events[0]
+        assert not event.false_trigger
+        assert event.detection_delay is not None
+        assert 0 <= event.detection_delay <= 4
+        assert event.inference is not None
+        assert event.localization_latency > 0.0
+
+    def test_dropout_feed_never_raises_and_masks(self, trained_core, leak_scenarios):
+        runtime = StreamRuntime(trained_core)
+        report = runtime.run(
+            make_feeds(trained_core, leak_scenarios[:1], dropout=0.3),
+            n_slots=SLOTS,
+        )
+        assert report.metrics["counters"]["readings_dropped"] > 0
+        for event in report.events:
+            assert event.masked_sensors >= 0
+
+    def test_parallel_equals_serial(self, trained_core, leak_scenarios):
+        """workers=4 over >= 2 concurrent feeds reproduces workers=1."""
+
+        def detections(workers):
+            runtime = StreamRuntime(trained_core, workers=workers)
+            report = runtime.run(
+                make_feeds(trained_core, leak_scenarios), n_slots=SLOTS
+            )
+            return [
+                (e.feed_id, e.trigger_slot, e.onset_slot, e.leak_nodes)
+                for e in report.events
+            ]
+
+        serial = detections(1)
+        parallel = detections(4)
+        assert len(serial) >= 2
+        assert serial == parallel
+
+    def test_multi_feed_report_covers_all_feeds(self, trained_core, leak_scenarios):
+        runtime = StreamRuntime(trained_core, workers=2)
+        report = runtime.run(
+            make_feeds(trained_core, leak_scenarios), n_slots=SLOTS
+        )
+        assert report.feeds == ("feed-0", "feed-1")
+        assert report.metrics["counters"]["slots_ingested"] == SLOTS * 2
+        assert {e.feed_id for e in report.events} == {"feed-0", "feed-1"}
+
+    def test_metrics_snapshot_includes_delay_and_latency(
+        self, trained_core, leak_scenarios
+    ):
+        metrics = MetricsRegistry()
+        runtime = StreamRuntime(trained_core, metrics=metrics)
+        runtime.run(make_feeds(trained_core, leak_scenarios[:1]), n_slots=SLOTS)
+        snapshot = metrics.snapshot()
+        assert snapshot["histograms"]["detection_delay_slots"]["count"] >= 1
+        assert snapshot["histograms"]["localization_latency_seconds"]["count"] >= 1
+
+    def test_false_trigger_accounting_on_healthy_feed(self, trained_core):
+        """Force a hair-trigger detector on a healthy feed: every trigger
+        must be counted as false (no scenario to blame)."""
+        runtime = StreamRuntime(
+            trained_core,
+            detector_params={"ewma_threshold": 0.05, "cusum_h": 0.05, "cusum_k": 0.0},
+        )
+        report = runtime.run(make_feeds(trained_core, [None]), n_slots=10)
+        assert report.events, "hair-trigger thresholds should fire"
+        assert all(e.false_trigger for e in report.events)
+        counters = report.metrics["counters"]
+        assert counters["false_triggers"] == counters["triggers_fired"]
+
+    def test_rejects_untrained_core(self, two_loop_shared):
+        from repro.core import AquaScale
+
+        untrained = AquaScale(two_loop_shared, classifier="logistic", seed=0)
+        with pytest.raises(RuntimeError, match="train"):
+            StreamRuntime(untrained)
+
+    def test_rejects_bad_workers(self, trained_core):
+        with pytest.raises(ValueError, match="workers"):
+            StreamRuntime(trained_core, workers=0)
+
+    def test_rejects_duplicate_feed_ids(self, trained_core):
+        feeds = make_feeds(trained_core, [None, None])
+        for feed in feeds:
+            feed.feed_id = "same"
+        runtime = StreamRuntime(trained_core)
+        with pytest.raises(ValueError, match="duplicate"):
+            runtime.run(feeds, n_slots=2)
+
+    def test_rejects_empty_feeds(self, trained_core):
+        with pytest.raises(ValueError, match="at least one"):
+            StreamRuntime(trained_core).run([], n_slots=2)
+
+
+class TestWorkflowEntryPoint:
+    @pytest.fixture(scope="class")
+    def workflow(self, two_loop_shared, trained_core):
+        from repro.platform import AquaScaleWorkflow
+
+        wf = AquaScaleWorkflow(
+            two_loop_shared, iot_percent=100.0, classifier="logistic", seed=0
+        )
+        wf.core = trained_core
+        return wf
+
+    def test_run_stream_no_leak(self, workflow):
+        report = workflow.run_stream(n_slots=10, preset="no-leak")
+        assert report.events == []
+
+    def test_run_stream_detects_and_localizes(self, workflow):
+        report = workflow.run_stream(
+            n_slots=18, preset="single-leak", feeds=2, workers=2
+        )
+        assert len(report.events) >= 1
+        for event in report.events:
+            assert not event.false_trigger
+            assert event.detection_delay <= 4
+            assert event.inference is not None
+
+    def test_run_stream_onset_default_inside_window(self, workflow):
+        report = workflow.run_stream(n_slots=12, preset="single-leak")
+        for event in report.events:
+            assert 1 <= event.trigger_slot <= 12
+
+    def test_freeze_risk_defaults_to_workflow_seed(self, two_loop_shared):
+        from repro.platform import AquaScaleWorkflow
+
+        a = AquaScaleWorkflow(two_loop_shared, classifier="logistic", seed=11)
+        b = AquaScaleWorkflow(two_loop_shared, classifier="logistic", seed=11)
+        assert a.forecast_freeze_risk(6.0) == b.forecast_freeze_risk(6.0)
+        assert a.forecast_freeze_risk(6.0) == a.forecast_freeze_risk(6.0, seed=11)

@@ -1,0 +1,142 @@
+"""Telemetry-source tests: simulated feeds, dropout, trace replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.failures import ScenarioGenerator
+from repro.stream import RecordedStream, TelemetryStream, restamp_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario(trained_core):
+    generator = ScenarioGenerator(trained_core.network, seed=3)
+    return restamp_scenario(generator.single_failure(), 6)
+
+
+class TestRestamp:
+    def test_moves_every_event(self, scenario):
+        moved = restamp_scenario(scenario, 11)
+        assert moved.start_slot == 11
+        assert all(e.start_slot == 11 for e in moved.events)
+        assert moved.leak_nodes == scenario.leak_nodes
+
+    def test_rejects_slot_zero(self, scenario):
+        with pytest.raises(ValueError, match="start_slot"):
+            restamp_scenario(scenario, 0)
+
+
+class TestTelemetryStream:
+    def test_reading_shapes_and_slots(self, trained_core, scenario):
+        stream = TelemetryStream(
+            trained_core.network, trained_core.sensors, scenario=scenario, seed=0
+        )
+        readings = list(stream.readings(5, start_slot=1))
+        assert [r.slot for r in readings] == [1, 2, 3, 4, 5]
+        assert all(len(r.values) == len(trained_core.sensors) for r in readings)
+        assert all(r.mask.all() for r in readings)
+
+    def test_leak_changes_post_onset_readings(self, trained_core, scenario):
+        healthy = TelemetryStream(
+            trained_core.network, trained_core.sensors, scenario=None,
+            seed=0, pressure_noise=0.0, flow_noise=0.0,
+        )
+        leaky = TelemetryStream(
+            trained_core.network, trained_core.sensors, scenario=scenario,
+            seed=0, pressure_noise=0.0, flow_noise=0.0,
+        )
+        h = {r.slot: r.values for r in healthy.readings(8)}
+        l = {r.slot: r.values for r in leaky.readings(8)}
+        onset = scenario.start_slot
+        for slot in range(1, onset):
+            np.testing.assert_allclose(h[slot], l[slot])
+        assert not np.allclose(h[onset], l[onset])
+
+    def test_dropout_masks_values(self, trained_core):
+        stream = TelemetryStream(
+            trained_core.network, trained_core.sensors, seed=1, dropout=0.4
+        )
+        readings = list(stream.readings(20))
+        dropped = sum(r.n_dropped for r in readings)
+        total = sum(len(r.values) for r in readings)
+        assert 0.2 < dropped / total < 0.6
+        for r in readings:
+            assert np.isnan(r.values[~r.mask]).all()
+            assert not np.isnan(r.values[r.mask]).any()
+
+    def test_same_seed_same_readings(self, trained_core, scenario):
+        def collect():
+            stream = TelemetryStream(
+                trained_core.network, trained_core.sensors,
+                scenario=scenario, seed=42, dropout=0.1,
+            )
+            return np.vstack([r.values for r in stream.readings(6)])
+
+        a, b = collect(), collect()
+        np.testing.assert_array_equal(a, b)
+
+    def test_baseline_matches_noiseless_healthy(self, trained_core):
+        stream = TelemetryStream(
+            trained_core.network, trained_core.sensors,
+            seed=0, pressure_noise=0.0, flow_noise=0.0,
+        )
+        reading = next(iter(stream.readings(1, start_slot=4)))
+        np.testing.assert_allclose(reading.values, stream.baseline(4))
+
+    def test_rejects_bad_dropout(self, trained_core):
+        with pytest.raises(ValueError, match="dropout"):
+            TelemetryStream(
+                trained_core.network, trained_core.sensors, dropout=1.0
+            )
+
+    def test_rejects_bad_window(self, trained_core):
+        stream = TelemetryStream(trained_core.network, trained_core.sensors)
+        with pytest.raises(ValueError, match="start_slot"):
+            next(stream.readings(3, start_slot=0))
+        with pytest.raises(ValueError, match="n_slots"):
+            next(stream.readings(0))
+
+    def test_noise_scales_match_sensor_types(self, trained_core):
+        stream = TelemetryStream(
+            trained_core.network, trained_core.sensors,
+            pressure_noise=0.1, flow_noise=1e-3,
+        )
+        kinds = [s.sensor_type.value for s in trained_core.sensors.sensors]
+        expected = [0.1 if k == "pressure" else 1e-3 for k in kinds]
+        np.testing.assert_allclose(stream.noise_scales, expected)
+
+
+class TestRecordedStream:
+    def test_replays_trace_with_nan_mask(self):
+        trace = np.arange(12, dtype=float).reshape(4, 3)
+        trace[1, 2] = np.nan
+        stream = RecordedStream(
+            trace, baseline=np.zeros(3), noise_scales=np.ones(3), start_slot=5
+        )
+        readings = list(stream.readings(4, start_slot=5))
+        assert [r.slot for r in readings] == [5, 6, 7, 8]
+        assert readings[1].n_dropped == 1
+        assert not readings[1].mask[2]
+
+    def test_window_clips_trace(self):
+        trace = np.zeros((10, 2))
+        stream = RecordedStream(
+            trace, baseline=np.zeros(2), noise_scales=np.ones(2), start_slot=1
+        )
+        assert len(list(stream.readings(3, start_slot=4))) == 3
+
+    def test_per_slot_baseline_matrix(self):
+        baseline = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        stream = RecordedStream(
+            np.zeros((5, 2)), baseline=baseline, noise_scales=np.ones(2)
+        )
+        np.testing.assert_allclose(stream.baseline(4), [1.0, 1.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            RecordedStream(np.zeros(5), np.zeros(5), np.ones(5))
+        with pytest.raises(ValueError, match="baseline"):
+            RecordedStream(np.zeros((4, 3)), np.zeros(2), np.ones(3))
+        with pytest.raises(ValueError, match="noise_scales"):
+            RecordedStream(np.zeros((4, 3)), np.zeros(3), np.ones(2))

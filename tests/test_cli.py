@@ -122,3 +122,46 @@ class TestFloodAndExperiment:
     def test_experiment_unknown_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestStream:
+    def test_multi_leak_stream_detects(self, capsys):
+        code = main(
+            [
+                "stream", "--network", "two-loop", "--preset", "single-leak",
+                "--slots", "16", "--classifier", "logistic",
+                "--train-samples", "150", "--iot-percent", "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trigger at slot" in out
+        assert "metrics:" in out
+        assert "detection_delay_slots" in out
+        assert "localization_latency_seconds" in out
+
+    def test_no_leak_stream_is_silent(self, capsys):
+        code = main(
+            [
+                "stream", "--network", "two-loop", "--preset", "no-leak",
+                "--slots", "12", "--classifier", "logistic",
+                "--train-samples", "150", "--iot-percent", "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no triggers fired" in out
+        assert "triggers_fired" in out
+
+    def test_parallel_feeds_with_dropout(self, capsys):
+        code = main(
+            [
+                "stream", "--network", "two-loop", "--preset", "single-leak",
+                "--slots", "16", "--feeds", "2", "--workers", "2",
+                "--dropout", "0.2", "--classifier", "logistic",
+                "--train-samples", "150", "--iot-percent", "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 feed(s)" in out
