@@ -13,6 +13,8 @@ Commands mirror how a utility would operate the system:
 * ``flood``       — predict flooding from specified leak events;
 * ``stream``      — run the always-on streaming runtime on simulated
   live feeds: online trigger detection + localization + metrics.
+* ``bench``       — time the scenario engine and the ``benchmarks/``
+  perf suite, writing a ``BENCH_pipeline.json`` report.
 """
 
 from __future__ import annotations
@@ -152,6 +154,27 @@ def _add_stream(sub: argparse._SubParsersAction) -> None:
                         help="structured logs as JSON lines")
 
 
+def _add_bench(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "bench", help="run the perf suite and write BENCH_pipeline.json"
+    )
+    parser.add_argument("--network", default="epanet")
+    parser.add_argument(
+        "--samples", type=int, default=200,
+        help="scenario count for the dataset-generation timing",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller workload and only the cheap pytest benchmarks",
+    )
+    parser.add_argument("--out", default="BENCH_pipeline.json", metavar="PATH")
+    parser.add_argument(
+        "--skip-pytest", action="store_true",
+        help="only time the scenario engine, skip benchmarks/test_perf_*",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -169,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience(sub)
     _add_flood(sub)
     _add_stream(sub)
+    _add_bench(sub)
     return parser
 
 
@@ -473,6 +497,133 @@ def cmd_stream(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Time the scenario engine (and perf suite) into a JSON report."""
+    import json
+    import platform
+    import time
+    from pathlib import Path
+
+    import numpy as np
+
+    from .datasets import generate_dataset
+    from .networks import build_network
+
+    network = build_network(args.network)
+    n_samples = min(args.samples, 50) if args.quick else args.samples
+
+    # Warm imports/caches so the timings measure hydraulics, not startup.
+    generate_dataset(network, 10, kind="multi", seed=7)
+
+    def best_of(fn, repeats: int = 3) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    print(f"timing generate_dataset({args.network}, {n_samples}, kind='multi') ...")
+    serial_result = {}
+    serial_seconds = best_of(
+        lambda: serial_result.setdefault(
+            "ds", generate_dataset(network, n_samples, kind="multi", seed=42)
+        )
+    )
+    worker_result = {}
+    workers_seconds = best_of(
+        lambda: worker_result.setdefault(
+            "ds",
+            generate_dataset(
+                network, n_samples, kind="multi", seed=42, workers=args.workers
+            ),
+        )
+    )
+    identical = bool(
+        np.array_equal(
+            serial_result["ds"].X_candidates, worker_result["ds"].X_candidates
+        )
+        and np.array_equal(serial_result["ds"].Y, worker_result["ds"].Y)
+    )
+
+    report = {
+        "quick": bool(args.quick),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "pipeline": {
+            "network": args.network,
+            "n_samples": n_samples,
+            "kind": "multi",
+            "seed": 42,
+            "serial_seconds": round(serial_seconds, 4),
+            f"workers{args.workers}_seconds": round(workers_seconds, 4),
+            "bit_identical_across_workers": identical,
+        },
+    }
+    # The pre-PR (dict-based, cold-start) engine measured 1.2250 s for the
+    # canonical 200-sample workload on this repo's reference machine;
+    # speedups are only comparable at that workload.
+    if args.network == "epanet" and n_samples == 200:
+        reference = 1.2250
+        report["pipeline"]["pre_refactor_serial_seconds"] = reference
+        report["pipeline"]["speedup_serial"] = round(reference / serial_seconds, 2)
+        report["pipeline"][f"speedup_workers{args.workers}"] = round(
+            reference / workers_seconds, 2
+        )
+
+    if not args.skip_pytest and Path("benchmarks").is_dir():
+        import subprocess
+        import sys as _sys
+        import tempfile
+
+        targets = (
+            ["benchmarks/test_perf_pipeline.py::test_dataset_generation_epanet",
+             "benchmarks/test_perf_solver.py"]
+            if args.quick
+            else ["benchmarks/test_perf_pipeline.py",
+                  "benchmarks/test_perf_solver.py",
+                  "benchmarks/test_perf_ml.py"]
+        )
+        targets = [t for t in targets if Path(t.split("::")[0]).exists()]
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            bench_json = tmp.name
+        print(f"running pytest perf suite ({len(targets)} target(s)) ...")
+        proc = subprocess.run(
+            [_sys.executable, "-m", "pytest", "-q", *targets,
+             f"--benchmark-json={bench_json}"],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            print(proc.stdout[-2000:])
+            print(proc.stderr[-2000:])
+            print("pytest perf suite FAILED; report limited to engine timings")
+            report["pytest_benchmarks"] = {"error": f"exit code {proc.returncode}"}
+        else:
+            with open(bench_json) as handle:
+                raw = json.load(handle)
+            report["pytest_benchmarks"] = [
+                {
+                    "name": b["name"],
+                    "mean_seconds": round(b["stats"]["mean"], 6),
+                    "stddev_seconds": round(b["stats"]["stddev"], 6),
+                    "rounds": b["stats"]["rounds"],
+                }
+                for b in raw.get("benchmarks", [])
+            ]
+        Path(bench_json).unlink(missing_ok=True)
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    line = (
+        f"serial {serial_seconds:.3f}s, workers={args.workers} "
+        f"{workers_seconds:.3f}s, bit-identical={identical}"
+    )
+    print(f"wrote {args.out}: {line}")
+    return 0
+
+
 _HANDLERS = {
     "networks": cmd_networks,
     "simulate": cmd_simulate,
@@ -484,6 +635,7 @@ _HANDLERS = {
     "resilience": cmd_resilience,
     "flood": cmd_flood,
     "stream": cmd_stream,
+    "bench": cmd_bench,
 }
 
 

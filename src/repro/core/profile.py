@@ -32,6 +32,9 @@ class ProfileModel:
         random_state: seed for stochastic classifiers.
         scale_features: standardise features before fitting (recommended
             for the linear techniques; harmless for trees).
+        n_jobs: thread count for fitting the per-node classifiers; the
+            fitted model is identical for every value (see
+            :class:`~repro.ml.MultiOutputClassifier`).
     """
 
     def __init__(
@@ -43,6 +46,7 @@ class ProfileModel:
         scale_features: bool = True,
         negative_ratio: float | None = 6.0,
         detrend: bool = True,
+        n_jobs: int | None = None,
     ):
         self.network = network
         self.sensor_network = sensor_network
@@ -51,6 +55,7 @@ class ProfileModel:
         self.scale_features = scale_features
         self.negative_ratio = negative_ratio
         self.detrend = detrend
+        self.n_jobs = n_jobs
         self._pressure_columns: np.ndarray | None = None
         self._flow_columns: np.ndarray | None = None
         if isinstance(classifier, str):
@@ -80,6 +85,7 @@ class ProfileModel:
             clone(self._template),
             negative_ratio=self.negative_ratio,
             random_state=self.random_state,
+            n_jobs=self.n_jobs,
         )
         self._model.fit(X, dataset.Y)
         return self

@@ -9,13 +9,16 @@ regenerate identical hydraulics.
 
 from __future__ import annotations
 
+import hashlib
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 
 from ..core import AquaScale
-from ..datasets import LeakDataset, generate_dataset
-from ..hydraulics import WaterNetwork
+from ..datasets import LeakDataset, generate_dataset, load_dataset, save_dataset
+from ..hydraulics import WaterNetwork, inp_text
 from ..networks import build_network
 
 
@@ -85,6 +88,34 @@ def cached_network(name: str) -> WaterNetwork:
     return _NETWORK_CACHE[name]
 
 
+def _dataset_cache_dir(cache_dir: str | Path | None) -> Path | None:
+    """Resolve the on-disk dataset cache directory, if any.
+
+    An explicit ``cache_dir`` wins; otherwise the ``REPRO_DATASET_CACHE``
+    environment variable enables persistence.  ``None`` keeps the cache
+    purely in-process (the safe default for tests).
+    """
+    if cache_dir is not None:
+        return Path(cache_dir)
+    env = os.environ.get("REPRO_DATASET_CACHE")
+    return Path(env) if env else None
+
+
+def _dataset_cache_path(
+    directory: Path, network: WaterNetwork, key: tuple
+) -> Path:
+    """Content-addressed bundle path for one parameter tuple.
+
+    The filename digests both the parameter tuple and the network's INP
+    rendering, so editing the network (demands, pipes, patterns) can
+    never resurrect a stale bundle generated from the old topology.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(key).encode("utf-8"))
+    digest.update(inp_text(network).encode("utf-8"))
+    return directory / f"dataset-{digest.hexdigest()[:24]}.npz"
+
+
 def cached_dataset(
     network_name: str,
     n_samples: int,
@@ -92,19 +123,48 @@ def cached_dataset(
     seed: int,
     elapsed_slots: int = 1,
     max_events: int = 5,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
 ) -> LeakDataset:
-    """Generate (or reuse) a dataset keyed by its full parameter tuple."""
+    """Generate (or reuse) a dataset keyed by its full parameter tuple.
+
+    Reuse happens at two levels: a per-process memo, and — when
+    ``cache_dir`` or the ``REPRO_DATASET_CACHE`` environment variable
+    names a directory — an on-disk ``.npz`` bundle keyed by the
+    parameter tuple plus a hash of the network's INP content.  A disk
+    hit loads bit-identical arrays instead of re-running hydraulics;
+    corrupt or unreadable bundles are regenerated and overwritten.
+    """
     key = (network_name, n_samples, kind, seed, elapsed_slots, max_events)
-    if key not in _DATASET_CACHE:
-        _DATASET_CACHE[key] = generate_dataset(
-            cached_network(network_name),
-            n_samples,
-            kind=kind,
-            seed=seed,
-            elapsed_slots=elapsed_slots,
-            max_events=max_events,
-        )
-    return _DATASET_CACHE[key]
+    if key in _DATASET_CACHE:
+        return _DATASET_CACHE[key]
+    network = cached_network(network_name)
+    directory = _dataset_cache_dir(cache_dir)
+    path = None
+    if directory is not None:
+        path = _dataset_cache_path(directory, network, key)
+        if path.exists():
+            try:
+                dataset = load_dataset(path)
+            except (OSError, ValueError, KeyError):
+                pass  # regenerate below and overwrite the bad bundle
+            else:
+                _DATASET_CACHE[key] = dataset
+                return dataset
+    dataset = generate_dataset(
+        network,
+        n_samples,
+        kind=kind,
+        seed=seed,
+        elapsed_slots=elapsed_slots,
+        max_events=max_events,
+        workers=workers,
+    )
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_dataset(dataset, path)
+    _DATASET_CACHE[key] = dataset
+    return dataset
 
 
 def cached_model(

@@ -38,7 +38,7 @@ from .exceptions import (
     SimulationError,
     UnitsError,
 )
-from .inp import read_inp, read_rules, write_inp
+from .inp import inp_text, read_inp, read_rules, write_inp
 from .network import SimulationOptions, WaterNetwork
 from .quality import (
     QualityResults,
@@ -89,6 +89,7 @@ __all__ = [
     "WaterAgeSimulator",
     "WaterNetwork",
     "evaluate_rules",
+    "inp_text",
     "leak_energy_penalty",
     "mean_age_hours",
     "parse_rule",

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 #: Hazen-Williams exponent.
 HW_EXPONENT = 1.852
 #: SI Hazen-Williams resistance constant: hL = HW_K * L / (C^1.852 d^4.871) q^1.852.
@@ -49,6 +51,56 @@ def hw_headloss_and_gradient(
     loss = q * friction + minor * q * aq
     grad = HW_EXPONENT * friction + 2.0 * minor * aq
     return loss, grad
+
+
+def hw_headloss_and_gradient_array(
+    q: np.ndarray, resistance: np.ndarray, minor: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`hw_headloss_and_gradient` over link arrays.
+
+    Element ``k`` equals the scalar function evaluated at
+    ``(q[k], resistance[k], minor[k])`` up to floating-point reassociation;
+    the laminar linearisation below ``Q_LAMINAR`` is applied per element.
+    """
+    aq = np.abs(q)
+    laminar = aq < Q_LAMINAR
+    safe_aq = np.where(laminar, Q_LAMINAR, aq)
+    friction = resistance * safe_aq ** (HW_EXPONENT - 1.0)
+    loss = q * friction + minor * q * safe_aq
+    grad = HW_EXPONENT * friction + 2.0 * minor * safe_aq
+    if np.any(laminar):
+        slope = resistance * Q_LAMINAR ** (HW_EXPONENT - 1.0) + 2.0 * minor * Q_LAMINAR
+        loss = np.where(laminar, q * slope, loss)
+        grad = np.where(laminar, slope, grad)
+    return loss, grad
+
+
+def dw_headloss_and_gradient_array(
+    q: np.ndarray,
+    length: np.ndarray,
+    diameter: np.ndarray,
+    roughness_height: np.ndarray,
+    minor: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`dw_headloss_and_gradient` over link arrays."""
+    aq = np.abs(q)
+    laminar_cut = aq < Q_LAMINAR
+    safe_aq = np.where(laminar_cut, Q_LAMINAR, aq)
+    area = math.pi * diameter**2 / 4.0
+    velocity = safe_aq / area
+    reynolds = np.maximum(velocity * diameter / WATER_NU, 1.0)
+    term = roughness_height / (3.7 * diameter) + 5.74 / reynolds**0.9
+    factor = np.where(
+        reynolds < 2000.0, 64.0 / reynolds, 0.25 / np.log10(term) ** 2
+    )
+    r = factor * length / (diameter * 2.0 * 9.80665 * area**2)
+    loss = (r + minor) * q * safe_aq
+    grad = 2.0 * (r + minor) * safe_aq
+    if np.any(laminar_cut):
+        slope = np.maximum(2.0 * (r + minor) * Q_LAMINAR, 1e-12)
+        loss = np.where(laminar_cut, q * slope, loss)
+        grad = np.where(laminar_cut, slope, grad)
+    return loss, np.maximum(grad, 1e-12)
 
 
 def darcy_weisbach_friction_factor(

@@ -400,6 +400,12 @@ def write_inp(network: WaterNetwork, path: str | Path, controls: list[SimpleCont
     Emitter coefficients, demands, heads and lengths are written in SI so
     that :func:`read_inp` round-trips exactly.
     """
+    Path(path).write_text(inp_text(network, controls))
+
+
+def inp_text(network: WaterNetwork, controls: list[SimpleControl] | None = None) -> str:
+    """Render the network as SI INP text — the exact bytes
+    :func:`write_inp` writes, usable for content-addressed cache keys."""
     lines: list[str] = ["[TITLE]", network.name, ""]
 
     lines.append("[JUNCTIONS]")
@@ -516,4 +522,4 @@ def write_inp(network: WaterNetwork, path: str | Path, controls: list[SimpleCont
     lines.append(f"DEMAND MULTIPLIER  {network.options.demand_multiplier:.6g}")
     lines.append("")
     lines.append("[END]")
-    Path(path).write_text("\n".join(lines) + "\n")
+    return "\n".join(lines) + "\n"

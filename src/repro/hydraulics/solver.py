@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
+from scipy.linalg.lapack import dposv as _dposv
 
 from .components import (
     Junction,
@@ -36,8 +37,10 @@ from .exceptions import ConvergenceError, NetworkTopologyError
 from .headloss import (
     Q_LAMINAR,
     dw_headloss_and_gradient,
+    dw_headloss_and_gradient_array,
     hazen_williams_resistance,
     hw_headloss_and_gradient,
+    hw_headloss_and_gradient_array,
 )
 from .network import WaterNetwork
 
@@ -51,38 +54,156 @@ RHO_G = 998.2 * 9.80665
 Q_PUMP_MIN = 1e-6
 #: Maximum outer status-resolution passes.
 MAX_STATUS_PASSES = 20
+#: Junction counts up to this size use a dense LAPACK solve for the Schur
+#: complement — far cheaper than per-iteration sparse assembly at the
+#: network sizes the paper evaluates (~100 nodes).
+DENSE_SOLVE_LIMIT = 700
 
 
-@dataclass
 class SteadyStateSolution:
     """Result of one steady-state solve.  All values in SI units.
 
+    The solution is array-backed: vectors are stored in solver order and
+    the name-keyed dict views (``node_head`` & friends, the historical
+    API) are materialised lazily on first access, so hot paths that
+    consume the arrays never pay for dict construction.
+
+    Array attributes (junction order = ``GGASolver.junction_names``,
+    fixed order = ``GGASolver.fixed_names``, link order =
+    ``GGASolver.link_names``):
+
     Attributes:
-        node_head: total head (m) per node name (junctions + fixed nodes).
-        node_pressure: pressure head (m) per node (head - elevation; for
-            reservoirs it is 0 by convention).
-        node_demand: consumer demand (m^3/s) applied at each junction.
-        leak_flow: emitter outflow (m^3/s) per junction (0 when no leak).
-        link_flow: signed flow (m^3/s) per link (positive start -> end).
-        link_status: resolved operating status per link.
+        junction_names: junction names fixing the array order.
+        fixed_names: reservoir/tank names fixing the fixed-array order.
+        link_names: link names fixing the flow-array order.
+        junction_heads: total head (m) per junction.
+        junction_pressures: pressure head (m) per junction.
+        junction_demands: delivered consumer demand (m^3/s) per junction.
+        junction_leaks: emitter outflow (m^3/s) per junction.
+        fixed_heads: head (m) per reservoir/tank.
+        fixed_pressures: pressure head (m) per reservoir/tank (0 for
+            reservoirs by convention).
+        link_flows: signed flow (m^3/s) per link (positive start -> end).
+        link_statuses: resolved operating status per link (link order).
         iterations: Newton iterations used (summed over status passes).
         residual: final maximum nodal mass-balance error (m^3/s).
         converged: whether tolerances were met.
+
+    Lazy dict views (identical to the pre-array API):
+
+    * ``node_head`` — total head (m) per node name (junctions + fixed);
+    * ``node_pressure`` — pressure head (m) per node;
+    * ``node_demand`` — consumer demand (m^3/s) per node (0 for fixed);
+    * ``leak_flow`` — emitter outflow (m^3/s) per node (0 when no leak);
+    * ``link_flow`` — signed flow (m^3/s) per link name;
+    * ``link_status`` — resolved operating status per link name.
     """
 
-    node_head: dict[str, float]
-    node_pressure: dict[str, float]
-    node_demand: dict[str, float]
-    leak_flow: dict[str, float]
-    link_flow: dict[str, float]
-    link_status: dict[str, LinkStatus]
-    iterations: int
-    residual: float
-    converged: bool
+    def __init__(
+        self,
+        junction_names: list[str],
+        fixed_names: list[str],
+        link_names: list[str],
+        junction_heads: np.ndarray,
+        junction_pressures: np.ndarray,
+        junction_demands: np.ndarray,
+        junction_leaks: np.ndarray,
+        fixed_heads: np.ndarray,
+        fixed_pressures: np.ndarray,
+        link_flows: np.ndarray,
+        link_statuses: list[LinkStatus],
+        iterations: int,
+        residual: float,
+        converged: bool,
+    ):
+        self.junction_names = junction_names
+        self.fixed_names = fixed_names
+        self.link_names = link_names
+        self.junction_heads = junction_heads
+        self.junction_pressures = junction_pressures
+        self.junction_demands = junction_demands
+        self.junction_leaks = junction_leaks
+        self.fixed_heads = fixed_heads
+        self.fixed_pressures = fixed_pressures
+        self.link_flows = link_flows
+        self.link_statuses = link_statuses
+        self.iterations = iterations
+        self.residual = residual
+        self.converged = converged
+        self._node_head: dict[str, float] | None = None
+        self._node_pressure: dict[str, float] | None = None
+        self._node_demand: dict[str, float] | None = None
+        self._leak_flow: dict[str, float] | None = None
+        self._link_flow: dict[str, float] | None = None
+        self._link_status: dict[str, LinkStatus] | None = None
+
+    # -- lazy name-keyed views -----------------------------------------
+    def _node_view(self, junction_values, fixed_values) -> dict[str, float]:
+        view = dict(zip(self.junction_names, junction_values.tolist()))
+        view.update(zip(self.fixed_names, fixed_values.tolist()))
+        return view
+
+    @property
+    def node_head(self) -> dict[str, float]:
+        """Head (m) by node name, junctions and fixed nodes alike."""
+        if self._node_head is None:
+            self._node_head = self._node_view(self.junction_heads, self.fixed_heads)
+        return self._node_head
+
+    @property
+    def node_pressure(self) -> dict[str, float]:
+        """Pressure (m) by node name (0 for reservoirs)."""
+        if self._node_pressure is None:
+            self._node_pressure = self._node_view(
+                self.junction_pressures, self.fixed_pressures
+            )
+        return self._node_pressure
+
+    @property
+    def node_demand(self) -> dict[str, float]:
+        """Delivered demand (m^3/s) by node name (0 at fixed nodes)."""
+        if self._node_demand is None:
+            self._node_demand = self._node_view(
+                self.junction_demands, np.zeros(len(self.fixed_names))
+            )
+        return self._node_demand
+
+    @property
+    def leak_flow(self) -> dict[str, float]:
+        """Emitter outflow (m^3/s) by node name (0 at fixed nodes)."""
+        if self._leak_flow is None:
+            self._leak_flow = self._node_view(
+                self.junction_leaks, np.zeros(len(self.fixed_names))
+            )
+        return self._leak_flow
+
+    @property
+    def link_flow(self) -> dict[str, float]:
+        """Signed flow (m^3/s) by link name."""
+        if self._link_flow is None:
+            self._link_flow = dict(zip(self.link_names, self.link_flows.tolist()))
+        return self._link_flow
+
+    @property
+    def link_status(self) -> dict[str, LinkStatus]:
+        """Operating :class:`LinkStatus` by link name."""
+        if self._link_status is None:
+            self._link_status = dict(zip(self.link_names, self.link_statuses))
+        return self._link_status
+
+    def __getstate__(self) -> dict:
+        """Pickle only the arrays; dict views are rebuilt lazily."""
+        state = self.__dict__.copy()
+        for key in (
+            "_node_head", "_node_pressure", "_node_demand",
+            "_leak_flow", "_link_flow", "_link_status",
+        ):
+            state[key] = None
+        return state
 
     def total_leak_flow(self) -> float:
         """Total water lost through emitters (m^3/s)."""
-        return float(sum(self.leak_flow.values()))
+        return float(self.junction_leaks.sum())
 
 
 @dataclass
@@ -136,6 +257,77 @@ class GGASolver:
         self._junction_index = {n: i for i, n in enumerate(self._junction_names)}
         self._records = [self._make_record(link) for link in network.links.values()]
         self._n_junctions = len(self._junction_names)
+
+        # -- precomputed index/coefficient arrays (the array fast path) --
+        records = self._records
+        jidx = self._junction_index
+        self._fixed_index = {n: i for i, n in enumerate(self._fixed_names)}
+        fidx = self._fixed_index
+        self._link_names = [r.name for r in records]
+        self._elevation_arr = np.array(
+            [self._elevation[n] for n in self._junction_names]
+        )
+        self._base_demand_arr = np.array(
+            [network.nodes[n].base_demand for n in self._junction_names]  # type: ignore[union-attr]
+        )
+        self._fixed_elev_arr = np.array(
+            [
+                network.nodes[n].elevation if isinstance(network.nodes[n], Tank) else 0.0
+                for n in self._fixed_names
+            ]
+        )
+        self._fixed_is_tank = np.array(
+            [isinstance(network.nodes[n], Tank) for n in self._fixed_names]
+        )
+        # 0 = pipe, 1 = pump, 2 = valve
+        kind_code = {"pipe": 0, "pump": 1, "valve": 2}
+        self._kind_codes = np.array([kind_code[r.kind] for r in records], dtype=np.int64)
+        self._start_jidx = np.array(
+            [jidx.get(r.start, -1) for r in records], dtype=np.int64
+        )
+        self._end_jidx = np.array([jidx.get(r.end, -1) for r in records], dtype=np.int64)
+        self._start_fidx = np.array(
+            [fidx.get(r.start, -1) for r in records], dtype=np.int64
+        )
+        self._end_fidx = np.array([fidx.get(r.end, -1) for r in records], dtype=np.int64)
+        self._pipe_res = np.array([r.resistance for r in records])
+        self._pipe_minor = np.array([r.minor if r.kind == "pipe" else 0.0 for r in records])
+        self._pipe_len = np.array([r.length for r in records])
+        self._pipe_diam = np.array([max(r.diameter, 1e-9) for r in records])
+        self._pipe_rough = np.array([r.roughness_height for r in records])
+        n = self._n_junctions
+        self._dense = 0 < n <= DENSE_SOLVE_LIMIT
+        self._dense_A = np.zeros((n, n)) if self._dense else None
+        # Only check-valve pipes, pumps and valves can change operating
+        # status; plain pipes (the bulk of the network) never do, so the
+        # status-resolution pass skips them entirely.
+        self._status_positions = [
+            i
+            for i, r in enumerate(records)
+            if r.kind != "pipe" or r.check_valve
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def junction_names(self) -> list[str]:
+        """Junction names fixing the order of array-path demand/emitter
+        vectors and of ``SteadyStateSolution`` junction arrays."""
+        return list(self._junction_names)
+
+    @property
+    def fixed_names(self) -> list[str]:
+        """Reservoir/tank names fixing the fixed-array order."""
+        return list(self._fixed_names)
+
+    @property
+    def link_names(self) -> list[str]:
+        """Link names fixing the order of ``SteadyStateSolution.link_flows``."""
+        return list(self._link_names)
+
+    @property
+    def junction_index(self) -> dict[str, int]:
+        """Name -> position in the junction-order arrays."""
+        return dict(self._junction_index)
 
     # ------------------------------------------------------------------
     def _make_record(self, link) -> _LinkRecord:
@@ -194,28 +386,40 @@ class GGASolver:
     # ------------------------------------------------------------------
     def solve(
         self,
-        demands: dict[str, float] | None = None,
+        demands: dict[str, float] | np.ndarray | None = None,
         fixed_heads: dict[str, float] | None = None,
-        emitters: dict[str, tuple[float, float]] | None = None,
+        emitters: dict[str, tuple[float, float]] | tuple[np.ndarray, np.ndarray] | None = None,
         status_overrides: dict[str, LinkStatus] | None = None,
         pump_speeds: dict[str, float] | None = None,
         trials: int | None = None,
         accuracy: float | None = None,
+        warm_start: SteadyStateSolution | None = None,
     ) -> SteadyStateSolution:
         """Solve one steady state.
 
         Args:
-            demands: junction name -> demand (m^3/s).  Defaults to each
-                junction's base demand (pattern-unscaled).
+            demands: junction name -> demand (m^3/s), or a pre-indexed
+                junction-order array (``junction_names`` order; the
+                array fast path used by batched dataset generation).
+                Defaults to each junction's base demand
+                (pattern-unscaled).
             fixed_heads: overrides for reservoir/tank heads (m); defaults
                 to reservoir base head / tank elevation + initial level.
-            emitters: junction name -> (EC, beta) leak overrides.  When
-                None, junction emitter attributes on the network are used.
+            emitters: junction name -> (EC, beta) leak overrides, or a
+                pre-indexed ``(ec, beta)`` pair of junction-order arrays.
+                When None, junction emitter attributes on the network are
+                used.
             status_overrides: link name -> status forced for this solve
                 (controls and EPS tank lockouts use this).
             pump_speeds: pump name -> relative speed override.
             trials: maximum Newton iterations (default: network options).
             accuracy: relative flow-change tolerance (default: options).
+            warm_start: a previous solution of this solver whose heads
+                and flows seed the Newton iteration.  A leak is a small
+                perturbation of the no-leak state, so warm-starting a
+                leaky solve from the cached baseline of the same time
+                slot cuts iterations sharply without changing the fixed
+                point (same tolerances apply).
 
         Returns:
             A :class:`SteadyStateSolution`.
@@ -247,15 +451,27 @@ class GGASolver:
                     speeds[i] = pump_speeds[rec.name]
 
         n = self._n_junctions
-        heads = np.empty(n)
-        mean_fixed = (
-            float(np.mean(list(head_fixed.values()))) if head_fixed else 50.0
-        )
-        for i, name in enumerate(self._junction_names):
-            heads[i] = max(mean_fixed, self._elevation[name] + 10.0)
-        flows = np.array([self._initial_flow(r, s) for r, s in zip(records, speeds)])
+        if warm_start is not None:
+            if (
+                len(warm_start.junction_heads) != n
+                or len(warm_start.link_flows) != len(records)
+            ):
+                raise NetworkTopologyError(
+                    "warm_start solution does not match this network's shape"
+                )
+            heads = warm_start.junction_heads.copy()
+            flows = warm_start.link_flows.copy()
+        else:
+            heads = np.maximum(
+                float(np.mean(list(head_fixed.values()))) if head_fixed else 50.0,
+                self._elevation_arr + 10.0,
+            )
+            flows = np.array(
+                [self._initial_flow(r, s) for r, s in zip(records, speeds)]
+            )
 
         pdd = options.demand_model.upper() == "PDD"
+        fixed_arr = np.array([head_fixed[name] for name in self._fixed_names])
         total_iterations = 0
         residual = math.inf
         converged = False
@@ -267,7 +483,7 @@ class GGASolver:
                 heads,
                 flows,
                 demand_vec,
-                head_fixed,
+                fixed_arr,
                 emitter_ec,
                 emitter_beta,
                 max_trials,
@@ -276,7 +492,7 @@ class GGASolver:
             )
             total_iterations += iters
             changed = self._update_statuses(
-                records, statuses, flows, heads, head_fixed
+                records, statuses, flows, heads, fixed_arr
             )
             if not changed:
                 break
@@ -302,11 +518,17 @@ class GGASolver:
         )
 
     # ------------------------------------------------------------------
-    def _demand_vector(self, demands: dict[str, float] | None) -> np.ndarray:
-        vec = np.zeros(self._n_junctions)
-        for i, name in enumerate(self._junction_names):
-            junction = self.network.nodes[name]
-            vec[i] = junction.base_demand  # type: ignore[union-attr]
+    def _demand_vector(
+        self, demands: dict[str, float] | np.ndarray | None
+    ) -> np.ndarray:
+        if isinstance(demands, np.ndarray):
+            if demands.shape != (self._n_junctions,):
+                raise NetworkTopologyError(
+                    f"demand array has shape {demands.shape}, expected "
+                    f"({self._n_junctions},) in junction_names order"
+                )
+            return demands.astype(float) * self.network.options.demand_multiplier
+        vec = self._base_demand_arr.copy()
         if demands:
             for name, value in demands.items():
                 index = self._junction_index.get(name)
@@ -334,8 +556,19 @@ class GGASolver:
         return result
 
     def _emitter_arrays(
-        self, emitters: dict[str, tuple[float, float]] | None
+        self,
+        emitters: dict[str, tuple[float, float]] | tuple[np.ndarray, np.ndarray] | None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        if isinstance(emitters, tuple):
+            ec, beta = emitters
+            ec = np.asarray(ec, dtype=float)
+            beta = np.asarray(beta, dtype=float)
+            if ec.shape != (self._n_junctions,) or beta.shape != (self._n_junctions,):
+                raise NetworkTopologyError(
+                    "emitter arrays must both have shape "
+                    f"({self._n_junctions},) in junction_names order"
+                )
+            return ec.copy(), beta.copy()
         ec = np.zeros(self._n_junctions)
         beta = np.full(self._n_junctions, 0.5)
         for i, name in enumerate(self._junction_names):
@@ -426,6 +659,56 @@ class GGASolver:
         return minor * q * aq, 2.0 * minor * aq
 
     # ------------------------------------------------------------------
+    def _coefficient_arrays(
+        self,
+        records: list[_LinkRecord],
+        statuses: list[LinkStatus],
+        speeds: list[float],
+        flows: np.ndarray,
+        normal: np.ndarray,
+        masks: tuple[np.ndarray, np.ndarray, np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(f, g) for every non-PRV-active link, vectorised where possible.
+
+        Open pipes (the bulk of any distribution network) evaluate through
+        the array headloss kernels; pumps, valves and closed links fall
+        back to the scalar per-link path.  ``masks`` carries the
+        ``(closed, pipe_open, other_positions)`` partition, which depends
+        only on link statuses and so is computed once per status pass by
+        :meth:`_newton`, not per iteration.
+        """
+        m = len(normal)
+        f_vals = np.empty(m)
+        g_vals = np.empty(m)
+        closed, pipe_open, other_pos = masks
+        q_n = flows[normal]
+        if closed.any():
+            f_vals[closed] = R_CLOSED * q_n[closed]
+            g_vals[closed] = R_CLOSED
+        if pipe_open.any():
+            rows = normal[pipe_open]
+            if self._use_darcy_weisbach:
+                f, g = dw_headloss_and_gradient_array(
+                    q_n[pipe_open],
+                    self._pipe_len[rows],
+                    self._pipe_diam[rows],
+                    self._pipe_rough[rows],
+                    self._pipe_minor[rows],
+                )
+            else:
+                f, g = hw_headloss_and_gradient_array(
+                    q_n[pipe_open], self._pipe_res[rows], self._pipe_minor[rows]
+                )
+            f_vals[pipe_open] = f
+            g_vals[pipe_open] = g
+        for pos in other_pos:
+            i = int(normal[pos])
+            f_vals[pos], g_vals[pos] = self._link_coefficients(
+                records[i], statuses[i], speeds[i], flows[i]
+            )
+        return f_vals, g_vals
+
+    # ------------------------------------------------------------------
     def _newton(
         self,
         records: list[_LinkRecord],
@@ -434,7 +717,7 @@ class GGASolver:
         heads: np.ndarray,
         flows: np.ndarray,
         demand: np.ndarray,
-        head_fixed: dict[str, float],
+        fixed_arr: np.ndarray,
         emitter_ec: np.ndarray,
         emitter_beta: np.ndarray,
         max_trials: int,
@@ -452,27 +735,19 @@ class GGASolver:
             and r.valve_type is ValveType.PRV
             and s is LinkStatus.ACTIVE
         ]
-        normal = [i for i in range(len(records)) if i not in set(prv_active)]
+        prv_set = set(prv_active)
+        normal = np.array(
+            [i for i in range(len(records)) if i not in prv_set], dtype=np.int64
+        )
 
-        start_idx = np.array(
-            [jidx.get(records[i].start, -1) for i in normal], dtype=np.int64
-        )
-        end_idx = np.array(
-            [jidx.get(records[i].end, -1) for i in normal], dtype=np.int64
-        )
-        start_fixed = np.array(
-            [
-                head_fixed.get(records[i].start, 0.0) if jidx.get(records[i].start) is None else 0.0
-                for i in normal
-            ]
-        )
-        end_fixed = np.array(
-            [
-                head_fixed.get(records[i].end, 0.0) if jidx.get(records[i].end) is None else 0.0
-                for i in normal
-            ]
-        )
-        elevations = np.array([self._elevation[nm] for nm in self._junction_names])
+        start_idx = self._start_jidx[normal]
+        end_idx = self._end_jidx[normal]
+        sf = self._start_fidx[normal]
+        ef = self._end_fidx[normal]
+        start_fixed = np.where(sf >= 0, fixed_arr[np.maximum(sf, 0)], 0.0)
+        end_fixed = np.where(ef >= 0, fixed_arr[np.maximum(ef, 0)], 0.0)
+        elevations = self._elevation_arr
+        kind_n = self._kind_codes[normal]
 
         total_demand_scale = float(np.sum(np.abs(demand))) + 1e-6
         iterations = 0
@@ -480,13 +755,34 @@ class GGASolver:
         converged = False
         prv_flow = {i: flows[i] for i in prv_active}
 
+        s_mask = start_idx >= 0
+        e_mask = end_idx >= 0
+        both = s_mask & e_mask
+        # Statuses are frozen for the duration of a Newton run (they only
+        # change in the status-resolution pass between runs), so the
+        # closed/open-pipe/other partition is loop-invariant.
+        closed = np.fromiter(
+            (statuses[i] is LinkStatus.CLOSED for i in normal),
+            bool,
+            len(normal),
+        )
+        pipe_open = ~closed & (kind_n == 0)
+        other_pos = np.nonzero(~closed & (kind_n != 0))[0]
+        masks = (closed, pipe_open, other_pos)
+        use_dense = self._dense and self._dense_A is not None
+        if use_dense:
+            # Flat indices into the dense Schur complement; static across
+            # iterations, so assembly is four scatter-adds per iteration.
+            flat_ss = start_idx[s_mask] * (n + 1)
+            flat_ee = end_idx[e_mask] * (n + 1)
+            flat_se = start_idx[both] * n + end_idx[both]
+            flat_es = end_idx[both] * n + start_idx[both]
+            flat_diag = np.arange(n) * (n + 1)
+
         for iterations in range(1, max_trials + 1):
-            f_vals = np.empty(len(normal))
-            g_vals = np.empty(len(normal))
-            for pos, i in enumerate(normal):
-                f_vals[pos], g_vals[pos] = self._link_coefficients(
-                    records[i], statuses[i], speeds[i], flows[i]
-                )
+            f_vals, g_vals = self._coefficient_arrays(
+                records, statuses, speeds, flows, normal, masks
+            )
             g_vals = np.maximum(g_vals, 1e-10)
             inv_g = 1.0 / g_vals
 
@@ -540,9 +836,10 @@ class GGASolver:
                 delivered = demand
 
             # Mass residual F2 = A21 q - delivered - emitter - prv_lagged.
+            flows_n = flows[normal]
             f2 = -delivered - em_flow
-            np.add.at(f2, start_idx[start_idx >= 0], -flows[np.array(normal)][start_idx >= 0])
-            np.add.at(f2, end_idx[end_idx >= 0], flows[np.array(normal)][end_idx >= 0])
+            np.add.at(f2, start_idx[s_mask], -flows_n[s_mask])
+            np.add.at(f2, end_idx[e_mask], flows_n[e_mask])
             for i in prv_active:
                 rec = records[i]
                 up = jidx.get(rec.start)
@@ -555,24 +852,6 @@ class GGASolver:
             residual = float(np.max(np.abs(f2))) if n else 0.0
 
             # Assemble Schur complement A = A21 diag(1/g) A12 + diag(em_grad).
-            rows: list[np.ndarray] = []
-            cols: list[np.ndarray] = []
-            data: list[np.ndarray] = []
-            s_mask = start_idx >= 0
-            e_mask = end_idx >= 0
-            rows.append(start_idx[s_mask])
-            cols.append(start_idx[s_mask])
-            data.append(inv_g[s_mask])
-            rows.append(end_idx[e_mask])
-            cols.append(end_idx[e_mask])
-            data.append(inv_g[e_mask])
-            both = s_mask & e_mask
-            rows.append(start_idx[both])
-            cols.append(end_idx[both])
-            data.append(-inv_g[both])
-            rows.append(end_idx[both])
-            cols.append(start_idx[both])
-            data.append(-inv_g[both])
             diag_extra = em_grad + pdd_grad
             rhs = f2 - self._a21_invg_f1(
                 start_idx, end_idx, inv_g, f1, n
@@ -584,20 +863,53 @@ class GGASolver:
                     setting_head = rec.setting + self._elevation[rec.end]
                     diag_extra[down] += K_PRV
                     rhs[down] += -K_PRV * (heads[down] - setting_head)
-            rows.append(np.arange(n))
-            cols.append(np.arange(n))
-            data.append(diag_extra + 1e-12)
 
-            matrix = sp.coo_matrix(
-                (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
-                shape=(n, n),
-            ).tocsc()
-            try:
-                dh = spla.spsolve(matrix, rhs)
-            except RuntimeError as exc:  # singular factorisation
-                raise ConvergenceError(
-                    f"GGA linear solve failed: {exc}", iterations, residual
-                ) from exc
+            if use_dense:
+                # Small networks: fill a preallocated dense matrix through
+                # static flat indices and use one LAPACK solve — an order
+                # of magnitude cheaper than per-iteration sparse assembly.
+                A = self._dense_A
+                A[...] = 0.0
+                flat = A.reshape(-1)
+                np.add.at(flat, flat_ss, inv_g[s_mask])
+                np.add.at(flat, flat_ee, inv_g[e_mask])
+                np.add.at(flat, flat_se, -inv_g[both])
+                np.add.at(flat, flat_es, -inv_g[both])
+                flat[flat_diag] += diag_extra + 1e-12
+                # The Schur complement is symmetric positive definite, so
+                # Cholesky (dposv) solves it at roughly half the cost of
+                # LU; fall back to LU if factorisation stalls numerically.
+                _, dh, info = _dposv(A, rhs, lower=1)
+                if info != 0:
+                    try:
+                        dh = np.linalg.solve(A, rhs)
+                    except np.linalg.LinAlgError as exc:
+                        raise ConvergenceError(
+                            f"GGA linear solve failed: {exc}", iterations, residual
+                        ) from exc
+            else:
+                rows = [
+                    start_idx[s_mask], end_idx[e_mask],
+                    start_idx[both], end_idx[both], np.arange(n),
+                ]
+                cols = [
+                    start_idx[s_mask], end_idx[e_mask],
+                    end_idx[both], start_idx[both], np.arange(n),
+                ]
+                data = [
+                    inv_g[s_mask], inv_g[e_mask],
+                    -inv_g[both], -inv_g[both], diag_extra + 1e-12,
+                ]
+                matrix = sp.coo_matrix(
+                    (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
+                    shape=(n, n),
+                ).tocsc()
+                try:
+                    dh = spla.spsolve(matrix, rhs)
+                except RuntimeError as exc:  # singular factorisation
+                    raise ConvergenceError(
+                        f"GGA linear solve failed: {exc}", iterations, residual
+                    ) from exc
             if np.any(~np.isfinite(dh)):
                 raise ConvergenceError(
                     "GGA linear solve produced non-finite heads",
@@ -615,8 +927,7 @@ class GGASolver:
             # dq = -G^{-1} (F1 + A12 dH), with A12 dH = dh_end - dh_start.
             dq = -inv_g * (f1 + dh_end - dh_start)
             new_flows = flows.copy()
-            for pos, i in enumerate(normal):
-                new_flows[i] = flows[i] + dq[pos]
+            new_flows[normal] = flows_n + dq
             # Recover active-PRV flows from downstream continuity.
             for i in prv_active:
                 prv_flow[i] = self._prv_flow_from_continuity(
@@ -692,21 +1003,19 @@ class GGASolver:
         statuses: list[LinkStatus],
         flows: np.ndarray,
         heads: np.ndarray,
-        head_fixed: dict[str, float],
+        fixed_arr: np.ndarray,
     ) -> bool:
         """Apply check-valve / pump / valve status rules. True if changed."""
-
-        def head_at(name: str) -> float:
-            index = self._junction_index.get(name)
-            if index is not None:
-                return float(heads[index])
-            return head_fixed[name]
-
+        if not self._status_positions:
+            return False
         changed = False
-        for i, rec in enumerate(records):
+        for i in self._status_positions:
+            rec = records[i]
             status = statuses[i]
-            h1 = head_at(rec.start)
-            h2 = head_at(rec.end)
+            si = self._start_jidx[i]
+            h1 = heads[si] if si >= 0 else fixed_arr[self._start_fidx[i]]
+            ei = self._end_jidx[i]
+            h2 = heads[ei] if ei >= 0 else fixed_arr[self._end_fidx[i]]
             new_status = status
             if rec.kind == "pipe" and rec.check_valve:
                 if status is LinkStatus.OPEN and flows[i] < -1e-8:
@@ -765,47 +1074,39 @@ class GGASolver:
         options = self.network.options
         pdd = options.demand_model.upper() == "PDD"
         span = max(options.required_pressure - options.minimum_pressure, 1e-6)
-        node_head: dict[str, float] = {}
-        node_pressure: dict[str, float] = {}
-        node_demand: dict[str, float] = {}
-        leak_flow: dict[str, float] = {}
-        for i, name in enumerate(self._junction_names):
-            node_head[name] = float(heads[i])
-            pressure = float(heads[i] - self._elevation[name])
-            node_pressure[name] = pressure
-            if pdd:
-                frac = min(max((pressure - options.minimum_pressure) / span, 0.0), 1.0)
-                if frac < 0.01:  # linearised toe, matching _newton
-                    factor = frac / math.sqrt(0.01)
-                else:
-                    factor = math.sqrt(frac)
-                node_demand[name] = float(demand[i]) * factor
-            else:
-                node_demand[name] = float(demand[i])
-            if emitter_ec[i] > 0.0 and pressure > 0.0:
-                leak_flow[name] = float(emitter_ec[i] * pressure ** emitter_beta[i])
-            else:
-                leak_flow[name] = 0.0
-        for name, value in head_fixed.items():
-            node_head[name] = value
-            node = self.network.nodes[name]
-            if isinstance(node, Tank):
-                node_pressure[name] = value - node.elevation
-            else:
-                node_pressure[name] = 0.0
-            node_demand[name] = 0.0
-            leak_flow[name] = 0.0
-        link_flow = {
-            rec.name: float(flows[i]) for i, rec in enumerate(records)
-        }
-        link_status = {rec.name: statuses[i] for i, rec in enumerate(records)}
+        pressures = heads - self._elevation_arr
+        if pdd:
+            frac = np.clip((pressures - options.minimum_pressure) / span, 0.0, 1.0)
+            factor = np.where(
+                frac < 0.01,  # linearised toe, matching _newton
+                frac / math.sqrt(0.01),
+                np.sqrt(np.maximum(frac, 0.01)),
+            )
+            delivered = demand * factor
+        else:
+            delivered = demand.copy()
+        leaking = (emitter_ec > 0.0) & (pressures > 0.0)
+        leaks = np.zeros(self._n_junctions)
+        if leaking.any():
+            leaks[leaking] = (
+                emitter_ec[leaking] * pressures[leaking] ** emitter_beta[leaking]
+            )
+        fixed_heads = np.array([head_fixed[name] for name in self._fixed_names])
+        fixed_pressures = np.where(
+            self._fixed_is_tank, fixed_heads - self._fixed_elev_arr, 0.0
+        )
         return SteadyStateSolution(
-            node_head=node_head,
-            node_pressure=node_pressure,
-            node_demand=node_demand,
-            leak_flow=leak_flow,
-            link_flow=link_flow,
-            link_status=link_status,
+            junction_names=self._junction_names,
+            fixed_names=self._fixed_names,
+            link_names=self._link_names,
+            junction_heads=heads.copy(),
+            junction_pressures=pressures,
+            junction_demands=delivered,
+            junction_leaks=leaks,
+            fixed_heads=fixed_heads,
+            fixed_pressures=fixed_pressures,
+            link_flows=flows.copy(),
+            link_statuses=list(statuses),
             iterations=iterations,
             residual=residual,
             converged=converged,

@@ -8,6 +8,8 @@ implements that decomposition for any base estimator.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 from .base import BaseEstimator, check_array, check_X_y, clone
@@ -31,6 +33,10 @@ class MultiOutputClassifier(BaseEstimator):
             magnitude.
         min_negatives: floor on the retained negatives per column.
         random_state: seed for the negative subsampling.
+        n_jobs: thread count for fitting columns concurrently.  Column
+            ``j``'s negative subsample is drawn from its own RNG stream
+            spawned from ``random_state``, so the fitted model is
+            identical for every ``n_jobs`` value.
     """
 
     def __init__(
@@ -39,11 +45,13 @@ class MultiOutputClassifier(BaseEstimator):
         negative_ratio: float | None = None,
         min_negatives: int = 200,
         random_state: int | None = None,
+        n_jobs: int | None = None,
     ):
         self.estimator = estimator
         self.negative_ratio = negative_ratio
         self.min_negatives = min_negatives
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     def fit(self, X, Y) -> "MultiOutputClassifier":
         X = check_array(X)
@@ -52,15 +60,26 @@ class MultiOutputClassifier(BaseEstimator):
             raise ValueError(f"Y must be 2-D (n_samples, n_outputs), got {Y.shape}")
         if Y.shape[0] != X.shape[0]:
             raise ValueError(f"X has {X.shape[0]} rows, Y has {Y.shape[0]}")
-        rng = np.random.default_rng(self.random_state)
-        self.estimators_: list[BaseEstimator] = []
-        for column in range(Y.shape[1]):
+        n_outputs = Y.shape[1]
+        # One subsampling stream per column, spawned from a single root:
+        # the rows kept for column j depend only on (random_state, j),
+        # never on n_jobs or the order columns happen to finish in.
+        seeds = np.random.SeedSequence(self.random_state).spawn(n_outputs)
+
+        def fit_column(column: int) -> BaseEstimator:
             model = clone(self.estimator)
             _, y = check_X_y(X, Y[:, column])
-            rows = self._column_rows(y, rng)
+            rows = self._column_rows(y, np.random.default_rng(seeds[column]))
             model.fit(X[rows], y[rows])
-            self.estimators_.append(model)
-        self.n_outputs_ = Y.shape[1]
+            return model
+
+        n_jobs = int(self.n_jobs) if self.n_jobs else 1
+        if n_jobs > 1:
+            with ThreadPoolExecutor(max_workers=n_jobs) as pool:
+                self.estimators_ = list(pool.map(fit_column, range(n_outputs)))
+        else:
+            self.estimators_ = [fit_column(j) for j in range(n_outputs)]
+        self.n_outputs_ = n_outputs
         return self
 
     def _column_rows(self, y: np.ndarray, rng: np.random.Generator) -> np.ndarray:

@@ -84,30 +84,115 @@ class SteadyStateTelemetry:
         self.background_emitters = dict(background_emitters or {})
         self._solver = GGASolver(network)
         self._rng = np.random.default_rng(seed)
-        self._baseline_cache: dict[int, dict] = {}
+        self._baseline_cache: dict[int, object] = {}
+        self._reference = None
         self._pattern_seconds = network.options.pattern_timestep
 
+        # -- precomputed array-path indices ----------------------------
+        solver = self._solver
+        junction_order = solver.junction_names
+        junction_index = {name: i for i, name in enumerate(junction_order)}
+        fixed_index = {name: i for i, name in enumerate(solver.fixed_names)}
+        self._junction_order = junction_order
+        self._base_demands = np.array(
+            [network.nodes[name].base_demand for name in junction_order]  # type: ignore[union-attr]
+        )
+        # (slots_per_day, n_junctions) pattern multipliers, evaluated once:
+        # slot s maps to EPS time s * hydraulic_timestep, against each
+        # junction's demand pattern at the network's pattern_timestep.
+        step = network.options.hydraulic_timestep
+        multipliers = np.ones((slots_per_day, len(junction_order)))
+        for j, name in enumerate(junction_order):
+            junction = network.nodes[name]
+            if junction.demand_pattern is not None:  # type: ignore[union-attr]
+                pattern = network.pattern(junction.demand_pattern)  # type: ignore[union-attr]
+                for s in range(slots_per_day):
+                    multipliers[s, j] = pattern.at(s * step, self._pattern_seconds)
+        self._slot_multipliers = multipliers
+        # Candidate layout: node pressures (node_names order: junctions
+        # and fixed nodes interleaved) followed by link flows.
+        node_names = network.node_names()
+        link_names = network.link_names()
+        self._n_nodes = len(node_names)
+        self._n_links = len(link_names)
+        jpos, jsrc, fpos, fsrc = [], [], [], []
+        for pos, name in enumerate(node_names):
+            if name in junction_index:
+                jpos.append(pos)
+                jsrc.append(junction_index[name])
+            else:
+                fpos.append(pos)
+                fsrc.append(fixed_index[name])
+        self._node_jpos = np.array(jpos, dtype=np.int64)
+        self._node_jsrc = np.array(jsrc, dtype=np.int64)
+        self._node_fpos = np.array(fpos, dtype=np.int64)
+        self._node_fsrc = np.array(fsrc, dtype=np.int64)
+        solver_link_index = {name: i for i, name in enumerate(solver.link_names)}
+        self._link_perm = np.array(
+            [solver_link_index[name] for name in link_names], dtype=np.int64
+        )
+        # Background leakage as junction-order arrays (solver fast path).
+        self._background_ec = np.zeros(len(junction_order))
+        self._background_beta = np.full(len(junction_order), 0.5)
+        for name, (ec, beta) in self.background_emitters.items():
+            self._background_ec[junction_index[name]] = ec
+            self._background_beta[junction_index[name]] = beta
+        self._junction_index = junction_index
+
     # ------------------------------------------------------------------
+    def slot_demand_array(self, slot: int) -> np.ndarray:
+        """Pattern-scaled junction-order demand array at a slot.
+
+        One row of the precomputed pattern-multiplier matrix times the
+        base demands; order matches ``GGASolver.junction_names``.
+        """
+        return self._base_demands * self._slot_multipliers[slot % self.slots_per_day]
+
     def _slot_demands(self, slot: int) -> dict[str, float]:
-        """Pattern-scaled demands at a slot (wrapping daily)."""
-        seconds = (slot % self.slots_per_day) * self.network.options.hydraulic_timestep
-        demands = {}
-        for junction in self.network.junctions():
-            multiplier = 1.0
-            if junction.demand_pattern is not None:
-                pattern = self.network.pattern(junction.demand_pattern)
-                multiplier = pattern.at(seconds, self._pattern_seconds)
-            demands[junction.name] = junction.base_demand * multiplier
-        return demands
+        """Pattern-scaled demands at a slot (wrapping daily; dict view)."""
+        values = self.slot_demand_array(slot)
+        return dict(zip(self._junction_order, values.tolist()))
+
+    def _reference_solution(self):
+        """One cold solve at base demands, warm-starting every baseline.
+
+        Keyed to nothing but the network, so the result — and therefore
+        every warm-started baseline — is independent of the order slots
+        are first requested in (a worker processing slots 40..50 computes
+        bit-identical baselines to one processing 0..96).
+        """
+        if self._reference is None:
+            self._reference = self._solver.solve(
+                demands=self._base_demands.copy(),
+                emitters=(self._background_ec, self._background_beta),
+            )
+        return self._reference
 
     def _baseline(self, slot: int):
         key = slot % self.slots_per_day
         if key not in self._baseline_cache:
             self._baseline_cache[key] = self._solver.solve(
-                demands=self._slot_demands(key),
-                emitters=dict(self.background_emitters),
+                demands=self.slot_demand_array(key),
+                emitters=(self._background_ec, self._background_beta),
+                warm_start=self._reference_solution(),
             )
         return self._baseline_cache[key]
+
+    def compute_baselines(self, slots) -> dict[int, object]:
+        """Solve (or fetch cached) baselines for ``slots``; returns a
+        ``{wrapped_slot: solution}`` mapping suitable for
+        :meth:`preload_baselines` in another process."""
+        return {slot % self.slots_per_day: self._baseline(slot) for slot in slots}
+
+    def preload_baselines(self, baselines: dict[int, object]) -> None:
+        """Seed the per-slot baseline cache with precomputed solutions.
+
+        The parallel dataset engine computes each distinct slot baseline
+        once in the parent process and ships it to workers, so no worker
+        re-pays baseline hydraulics.  Keys are slots (wrapped daily).
+        """
+        for slot, solution in baselines.items():
+            self._baseline_cache[slot % self.slots_per_day] = solution
 
     def _merged_emitters(self, scenario: FailureScenario) -> dict[str, tuple[float, float]]:
         """Scenario events stacked on top of the background leakage."""
@@ -117,6 +202,20 @@ class SteadyStateTelemetry:
             merged[node] = (previous[0] + ec, beta)
         return merged
 
+    def _merged_emitter_arrays(
+        self, scenario: FailureScenario
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Array form of :meth:`_merged_emitters` (junction order)."""
+        ec = self._background_ec.copy()
+        beta = self._background_beta.copy()
+        for node, (event_ec, event_beta) in events_to_emitters(
+            list(scenario.events)
+        ).items():
+            index = self._junction_index[node]
+            ec[index] += event_ec
+            beta[index] = event_beta
+        return ec, beta
+
     # ------------------------------------------------------------------
     def candidate_deltas(
         self,
@@ -124,36 +223,47 @@ class SteadyStateTelemetry:
         elapsed_slots: int = 1,
         pressure_noise: float = 0.05,
         flow_noise: float = 2e-4,
+        rng: np.random.Generator | None = None,
     ) -> np.ndarray:
         """Δ readings for ALL |V| + |E| candidates, nodes first then links.
 
         Returning the full candidate vector lets one generated dataset be
         re-subset for every IoT-percentage sweep point without re-running
         hydraulics.
+
+        Args:
+            scenario: the failure to featurise.
+            elapsed_slots: slots since onset (the paper's ``n``).
+            pressure_noise: per-reading pressure noise std (m).
+            flow_noise: per-reading flow noise std (m^3/s).
+            rng: noise generator override; defaults to the instance RNG.
+                The parallel dataset engine passes per-scenario streams
+                spawned from one ``SeedSequence`` so results do not
+                depend on worker count or evaluation order.
         """
+        rng = self._rng if rng is None else rng
+        after_slot = scenario.start_slot + elapsed_slots
         before = self._baseline(scenario.start_slot - 1)
+        # The leak perturbs the same-slot baseline only slightly, so the
+        # cached no-leak state of the *after* slot warm-starts Newton.
         after = self._solver.solve(
-            demands=self._slot_demands(scenario.start_slot + elapsed_slots),
-            emitters=self._merged_emitters(scenario),
+            demands=self.slot_demand_array(after_slot),
+            emitters=self._merged_emitter_arrays(scenario),
+            warm_start=self._baseline(after_slot),
         )
-        node_names = self.network.node_names()
-        link_names = self.network.link_names()
-        node_delta = np.array(
-            [after.node_pressure[n] - before.node_pressure[n] for n in node_names]
-        )
-        link_delta = np.array(
-            [after.link_flow[l] - before.link_flow[l] for l in link_names]
-        )
+        delta = self._solution_vector(after) - self._solution_vector(before)
+        node_delta = delta[: self._n_nodes]
+        link_delta = delta[self._n_nodes :]
         # With n elapsed slots the utility has n post-leak readings to
         # average, so effective noise variance is (1 + 1/n) * sigma^2:
         # one baseline reading plus the averaged post-leak window.
         factor = np.sqrt(1.0 + 1.0 / max(elapsed_slots, 1))
         if pressure_noise > 0:
-            node_delta = node_delta + self._rng.normal(
+            node_delta = node_delta + rng.normal(
                 0.0, pressure_noise * factor, size=len(node_delta)
             )
         if flow_noise > 0:
-            link_delta = link_delta + self._rng.normal(
+            link_delta = link_delta + rng.normal(
                 0.0, flow_noise * factor, size=len(link_delta)
             )
         return np.concatenate([node_delta, link_delta])
@@ -167,15 +277,17 @@ class SteadyStateTelemetry:
     # ------------------------------------------------------------------
     # Per-slot readings — the streaming runtime's view of the field.
     def _solution_vector(self, solution) -> np.ndarray:
-        """Candidate-ordered (pressures then flows) vector of a solution."""
-        node_names = self.network.node_names()
-        link_names = self.network.link_names()
-        return np.concatenate(
-            [
-                [solution.node_pressure[n] for n in node_names],
-                [solution.link_flow[l] for l in link_names],
-            ]
-        )
+        """Candidate-ordered (pressures then flows) vector of a solution.
+
+        Direct array slices of the solution's junction/fixed/link vectors
+        — no per-name dict lookups on the hot path.
+        """
+        out = np.empty(self._n_nodes + self._n_links)
+        out[self._node_jpos] = solution.junction_pressures[self._node_jsrc]
+        if len(self._node_fpos):
+            out[self._node_fpos] = solution.fixed_pressures[self._node_fsrc]
+        out[self._n_nodes :] = solution.link_flows[self._link_perm]
+        return out
 
     def baseline_candidates(self, slot: int) -> np.ndarray:
         """Noiseless no-leak candidate readings at a slot (cached per
@@ -207,8 +319,9 @@ class SteadyStateTelemetry:
         """
         if scenario is not None and slot >= scenario.start_slot:
             solution = self._solver.solve(
-                demands=self._slot_demands(slot),
-                emitters=self._merged_emitters(scenario),
+                demands=self.slot_demand_array(slot),
+                emitters=self._merged_emitter_arrays(scenario),
+                warm_start=self._baseline(slot),
             )
         else:
             solution = self._baseline(slot)
@@ -234,6 +347,8 @@ def background_leakage(
     loss_fraction: float = 0.15,
     affected_fraction: float = 0.3,
     seed: int = 0,
+    solver: GGASolver | None = None,
+    baseline: "object | None" = None,
 ) -> dict[str, tuple[float, float]]:
     """Draw persistent small emitters losing ~``loss_fraction`` of demand.
 
@@ -241,6 +356,17 @@ def background_leakage(
     coefficients are scaled so total background leak flow approximates
     ``loss_fraction`` of total consumer demand at baseline pressures —
     matching the paper's 14-18% national water-loss figure.
+
+    Args:
+        network: the target network.
+        loss_fraction: target background loss as a fraction of demand.
+        affected_fraction: fraction of junctions receiving an emitter.
+        seed: RNG seed for locations and weights.
+        solver: pre-built :class:`GGASolver` to reuse (skips the per-call
+            solver construction when callers already hold one).
+        baseline: pre-computed no-leak :class:`SteadyStateSolution` for
+            this network's base demands; when given, no hydraulic solve
+            runs at all.  Takes precedence over ``solver``.
 
     Raises:
         ValueError: for fractions outside (0, 1].
@@ -257,7 +383,8 @@ def background_leakage(
     chosen = rng.choice(junctions, size=n_affected, replace=False)
     total_demand = sum(j.base_demand for j in network.junctions())
     # Size coefficients against the baseline pressure field.
-    baseline = GGASolver(network).solve()
+    if baseline is None:
+        baseline = (solver if solver is not None else GGASolver(network)).solve()
     weights = rng.uniform(0.3, 1.0, size=n_affected)
     raw_flow = sum(
         w * max(baseline.node_pressure[str(node)], 1.0) ** 0.5

@@ -104,3 +104,37 @@ class TestSplitSubset:
         assert np.array_equal(
             subset.X_candidates[1], epanet_single_train.X_candidates[5]
         )
+
+
+class TestSubsetViews:
+    def test_slice_is_view(self, epanet_single_train):
+        ds = epanet_single_train
+        sub = ds.subset(slice(3, 10))
+        assert np.shares_memory(sub.X_candidates, ds.X_candidates)
+        assert np.shares_memory(sub.Y, ds.Y)
+        assert sub.n_samples == 7
+
+    def test_contiguous_int_array_is_view(self, epanet_single_train):
+        ds = epanet_single_train
+        sub = ds.subset(np.arange(5, 20))
+        assert np.shares_memory(sub.X_candidates, ds.X_candidates)
+        assert sub.scenarios == ds.scenarios[5:20]
+
+    def test_contiguous_bool_mask_is_view(self, epanet_single_train):
+        ds = epanet_single_train
+        mask = np.zeros(ds.n_samples, dtype=bool)
+        mask[10:30] = True
+        sub = ds.subset(mask)
+        assert np.shares_memory(sub.X_candidates, ds.X_candidates)
+        assert sub.n_samples == 20
+
+    def test_fancy_index_copies(self, epanet_single_train):
+        ds = epanet_single_train
+        sub = ds.subset(np.array([9, 3, 3, 40]))
+        assert not np.shares_memory(sub.X_candidates, ds.X_candidates)
+        assert sub.n_samples == 4
+        np.testing.assert_array_equal(sub.X_candidates[1], ds.X_candidates[3])
+
+    def test_empty_subset(self, epanet_single_train):
+        sub = epanet_single_train.subset(np.array([], dtype=np.int64))
+        assert sub.n_samples == 0

@@ -1,0 +1,133 @@
+"""Determinism guarantees of the parallel, array-native scenario engine.
+
+Three invariants anchor the perf work:
+
+* ``workers=N`` produces bit-identical output to ``workers=1``;
+* warm-started Newton solves agree with cold starts to solver accuracy;
+* a disk-cached dataset round-trips bit-identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dataset
+from repro.experiments.common import cached_dataset, clear_caches
+from repro.hydraulics import GGASolver
+from repro.sensing import SteadyStateTelemetry
+
+
+class TestWorkerDeterminism:
+    def test_workers_bit_identical(self, epanet):
+        serial = generate_dataset(epanet, 24, kind="multi", seed=42, workers=1)
+        parallel = generate_dataset(epanet, 24, kind="multi", seed=42, workers=4)
+        assert np.array_equal(serial.X_candidates, parallel.X_candidates)
+        assert np.array_equal(serial.Y, parallel.Y)
+        assert serial.candidate_keys == parallel.candidate_keys
+        assert serial.scenarios == parallel.scenarios
+
+    def test_worker_counts_interchangeable(self, epanet):
+        two = generate_dataset(epanet, 15, kind="single", seed=5, workers=2)
+        three = generate_dataset(epanet, 15, kind="single", seed=5, workers=3)
+        assert np.array_equal(two.X_candidates, three.X_candidates)
+
+    def test_workers_zero_and_none_run_serial(self, epanet):
+        none = generate_dataset(epanet, 6, kind="single", seed=8, workers=None)
+        zero = generate_dataset(epanet, 6, kind="single", seed=8, workers=0)
+        assert np.array_equal(none.X_candidates, zero.X_candidates)
+
+    def test_metrics_progress(self, epanet):
+        from repro.stream import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        generate_dataset(epanet, 10, kind="single", seed=3, metrics=metrics)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["dataset.scenarios_total"] == 10
+        assert snapshot["counters"]["dataset.scenarios_done"] == 10
+        assert snapshot["histograms"]["dataset.chunk_seconds"]["count"] >= 1
+
+
+class TestWarmStart:
+    def test_warm_start_matches_cold_start(self, epanet):
+        """A leaky solve started from the no-leak baseline must land on
+        the same fixed point as a cold start, within solver accuracy."""
+        solver = GGASolver(epanet)
+        baseline = solver.solve()
+        node = epanet.junction_names()[7]
+        emitters = {node: (0.002, 0.5)}
+        cold = solver.solve(emitters=emitters)
+        warm = solver.solve(emitters=emitters, warm_start=baseline)
+        assert warm.converged
+        assert warm.iterations <= cold.iterations
+        np.testing.assert_allclose(
+            warm.junction_pressures, cold.junction_pressures, atol=1e-5
+        )
+        np.testing.assert_allclose(warm.link_flows, cold.link_flows, atol=1e-5)
+
+    def test_warm_start_rejects_foreign_shapes(self, epanet, two_loop):
+        from repro.hydraulics.exceptions import NetworkTopologyError
+
+        foreign = GGASolver(two_loop).solve()
+        with pytest.raises(NetworkTopologyError):
+            GGASolver(epanet).solve(warm_start=foreign)
+
+    def test_baselines_independent_of_request_order(self, epanet):
+        """Slot baselines are warm-started from one reference solve, so a
+        worker visiting slots 50..55 computes the same baselines as one
+        visiting 0..96 (required for cross-worker bit-identity)."""
+        forward = SteadyStateTelemetry(epanet, seed=0)
+        backward = SteadyStateTelemetry(epanet, seed=0)
+        slots = [3, 17, 40]
+        a = forward.compute_baselines(slots)
+        b = backward.compute_baselines(list(reversed(slots)))
+        for slot in slots:
+            np.testing.assert_array_equal(
+                a[slot].junction_heads, b[slot].junction_heads
+            )
+            np.testing.assert_array_equal(a[slot].link_flows, b[slot].link_flows)
+
+
+class TestDiskCache:
+    def test_round_trip_bit_identical(self, tmp_path):
+        fresh = cached_dataset("epanet", 12, "multi", 7, cache_dir=tmp_path)
+        clear_caches()
+        try:
+            loaded = cached_dataset("epanet", 12, "multi", 7, cache_dir=tmp_path)
+            assert np.array_equal(fresh.X_candidates, loaded.X_candidates)
+            assert np.array_equal(fresh.Y, loaded.Y)
+            assert fresh.candidate_keys == loaded.candidate_keys
+            assert fresh.scenarios == loaded.scenarios
+        finally:
+            clear_caches()
+
+    def test_corrupt_bundle_regenerated(self, tmp_path):
+        cached_dataset("epanet", 5, "single", 2, cache_dir=tmp_path)
+        bundles = list(tmp_path.glob("*.npz"))
+        assert len(bundles) == 1
+        bundles[0].write_bytes(b"not an npz file")
+        clear_caches()
+        try:
+            dataset = cached_dataset("epanet", 5, "single", 2, cache_dir=tmp_path)
+            assert dataset.n_samples == 5
+        finally:
+            clear_caches()
+
+    def test_network_content_keys_the_bundle(self, tmp_path, epanet):
+        """Editing the network must change the cache filename, so stale
+        bundles from the old topology can never be served."""
+        from repro.experiments.common import _dataset_cache_path
+
+        key = ("epanet", 5, "single", 2, 1, 5)
+        original = _dataset_cache_path(tmp_path, epanet, key)
+        edited = epanet.copy()
+        next(iter(edited.junctions())).base_demand *= 1.5
+        assert _dataset_cache_path(tmp_path, edited, key) != original
+
+    def test_no_disk_writes_without_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv("REPRO_DATASET_CACHE", raising=False)
+        clear_caches()
+        try:
+            cached_dataset("epanet", 4, "single", 3)
+            assert list(tmp_path.iterdir()) == []
+        finally:
+            clear_caches()

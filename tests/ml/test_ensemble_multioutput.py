@@ -115,3 +115,37 @@ class TestMultiOutput:
             MultiOutputClassifier(LogisticRegression()).fit(
                 X, np.zeros((5, 2), dtype=int)
             )
+
+
+class TestNJobs:
+    def _data(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 6))
+        Y = (X[:, :3] + rng.normal(scale=0.3, size=(120, 3)) > 0).astype(int)
+        return X, Y
+
+    def test_n_jobs_identical_model(self):
+        X, Y = self._data()
+        serial = MultiOutputClassifier(
+            LogisticRegression(), negative_ratio=2.0, min_negatives=5,
+            random_state=3,
+        ).fit(X, Y)
+        threaded = MultiOutputClassifier(
+            LogisticRegression(), negative_ratio=2.0, min_negatives=5,
+            random_state=3, n_jobs=4,
+        ).fit(X, Y)
+        np.testing.assert_array_equal(
+            serial.predict_proba(X), threaded.predict_proba(X)
+        )
+        np.testing.assert_array_equal(serial.predict(X), threaded.predict(X))
+
+    def test_column_order_preserved(self):
+        X, Y = self._data()
+        model = MultiOutputClassifier(LogisticRegression(), n_jobs=3).fit(X, Y)
+        assert model.n_outputs_ == Y.shape[1]
+        assert len(model.estimators_) == Y.shape[1]
+        # Each estimator should predict its own column better than chance.
+        proba = model.predict_proba(X)
+        for j in range(Y.shape[1]):
+            accuracy = ((proba[:, j] > 0.5).astype(int) == Y[:, j]).mean()
+            assert accuracy > 0.7

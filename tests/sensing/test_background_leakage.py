@@ -76,3 +76,22 @@ class TestTelemetryWithBackground:
         )
         assert dataset.n_samples == 10
         assert np.all(np.isfinite(dataset.X_candidates))
+
+
+class TestPrebuiltSolverAndBaseline:
+    def test_solver_reuse_matches(self, epanet, epanet_solver):
+        fresh = background_leakage(epanet, seed=4)
+        reused = background_leakage(epanet, seed=4, solver=epanet_solver)
+        assert fresh == reused
+
+    def test_baseline_reuse_matches(self, epanet, epanet_solver):
+        baseline = epanet_solver.solve()
+        fresh = background_leakage(epanet, seed=4)
+        precomputed = background_leakage(epanet, seed=4, baseline=baseline)
+        assert fresh == precomputed
+
+    def test_baseline_takes_precedence_over_solver(self, epanet, epanet_solver):
+        baseline = epanet_solver.solve()
+        a = background_leakage(epanet, seed=6, solver=epanet_solver, baseline=baseline)
+        b = background_leakage(epanet, seed=6, baseline=baseline)
+        assert a == b

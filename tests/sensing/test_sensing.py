@@ -182,3 +182,46 @@ class TestColumnIndices:
         deployment = SensorNetwork([Sensor("GHOST", SensorType.PRESSURE)])
         with pytest.raises(KeyError, match="GHOST"):
             sensor_column_indices(telemetry.candidate_keys(), deployment)
+
+
+class TestSlotDemandTimestepConversion:
+    """Regression: telemetry slot demands vs EPS pattern scaling.
+
+    EPA-NET's hydraulic timestep (900 s) differs from its pattern
+    timestep (3600 s), so slot s must be converted to seconds before the
+    pattern lookup.  The steady-state fast path and the extended-period
+    simulator must agree at every slot, or generated Δ-features would
+    drift from what live readings at the same wall-clock times show.
+    """
+
+    def test_matches_eps_pattern_scaling(self, epanet):
+        from repro.hydraulics import GGASolver
+        from repro.hydraulics.simulation import ExtendedPeriodSimulator
+
+        assert epanet.options.hydraulic_timestep != epanet.options.pattern_timestep
+        telemetry = SteadyStateTelemetry(epanet, seed=0)
+        simulator = ExtendedPeriodSimulator(epanet)
+        step = epanet.options.hydraulic_timestep
+        order = GGASolver(epanet).junction_names
+        for slot in (0, 1, 3, 4, 37, 95):
+            eps = simulator._pattern_demands(slot * step)
+            expected = np.array([eps[name] for name in order])
+            np.testing.assert_array_equal(
+                telemetry.slot_demand_array(slot), expected
+            )
+
+    def test_dict_view_matches_array(self, epanet):
+        telemetry = SteadyStateTelemetry(epanet, seed=0)
+        view = telemetry._slot_demands(11)
+        array = telemetry.slot_demand_array(11)
+        from repro.hydraulics import GGASolver
+
+        for name, value in zip(GGASolver(epanet).junction_names, array):
+            assert view[name] == value
+
+    def test_wraps_daily(self, epanet):
+        telemetry = SteadyStateTelemetry(epanet, seed=0)
+        np.testing.assert_array_equal(
+            telemetry.slot_demand_array(5),
+            telemetry.slot_demand_array(5 + telemetry.slots_per_day),
+        )
