@@ -13,6 +13,9 @@ Commands mirror how a utility would operate the system:
 * ``flood``       — predict flooding from specified leak events;
 * ``stream``      — run the always-on streaming runtime on simulated
   live feeds: online trigger detection + localization + metrics.
+* ``verify``      — run the correctness sweep (``repro.verify``):
+  physics-invariant oracles, differential oracles, golden snapshots,
+  and deterministic property fuzzing.
 * ``bench``       — time the scenario engine and the ``benchmarks/``
   perf suite, writing a ``BENCH_pipeline.json`` report.
 """
@@ -154,6 +157,33 @@ def _add_stream(sub: argparse._SubParsersAction) -> None:
                         help="structured logs as JSON lines")
 
 
+def _add_verify(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "verify",
+        help="run the correctness sweep: invariants, differentials, goldens, fuzz",
+    )
+    parser.add_argument(
+        "--network",
+        action="append",
+        default=[],
+        help="verify one network (repeatable; default: the whole catalog)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized sweep: fewer scenarios, skip the accuracy golden",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-fuzz", action="store_true",
+        help="skip the property-fuzzing pass",
+    )
+    parser.add_argument(
+        "--update-golden", action="store_true",
+        help="regenerate golden snapshots instead of failing against them",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+
+
 def _add_bench(sub: argparse._SubParsersAction) -> None:
     parser = sub.add_parser(
         "bench", help="run the perf suite and write BENCH_pipeline.json"
@@ -192,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience(sub)
     _add_flood(sub)
     _add_stream(sub)
+    _add_verify(sub)
     _add_bench(sub)
     return parser
 
@@ -624,6 +655,23 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Run the verification sweep and print its report."""
+    from .verify import run_verify
+
+    result = run_verify(
+        networks=args.network or None,
+        quick=args.quick,
+        seed=args.seed,
+        fuzz=not args.no_fuzz,
+        update_golden=args.update_golden,
+        workers=args.workers,
+    )
+    for line in result.lines():
+        print(line)
+    return 0 if result.passed else 1
+
+
 _HANDLERS = {
     "networks": cmd_networks,
     "simulate": cmd_simulate,
@@ -635,6 +683,7 @@ _HANDLERS = {
     "resilience": cmd_resilience,
     "flood": cmd_flood,
     "stream": cmd_stream,
+    "verify": cmd_verify,
     "bench": cmd_bench,
 }
 

@@ -196,6 +196,7 @@ def generate_dataset(
     background_emitters: dict[str, tuple[float, float]] | None = None,
     workers: int | None = None,
     metrics=None,
+    audit=None,
 ) -> LeakDataset:
     """Simulate scenarios and extract Δ-features + labels.
 
@@ -222,6 +223,12 @@ def generate_dataset(
             is recorded under ``dataset.scenarios_total`` /
             ``dataset.scenarios_done`` counters and a
             ``dataset.chunk_seconds`` histogram.
+        audit: optional audit hook (see
+            :class:`repro.verify.InvariantAuditor`) attached to the
+            in-process solver, so every baseline and scenario solve is
+            checked against the physics oracles.  With ``workers > 1``
+            only the parent's baseline solves are audited — worker
+            processes do not carry the hook.
     """
     if scenarios is None:
         generator = ScenarioGenerator(network, seed=seed)
@@ -230,6 +237,8 @@ def generate_dataset(
     telemetry = SteadyStateTelemetry(
         network, seed=seed + 1, background_emitters=background_emitters
     )
+    if audit is not None:
+        telemetry.solver.audit = audit
     junction_names = network.junction_names()
     if metrics is not None:
         metrics.counter("dataset.scenarios_total").inc(len(scenarios))

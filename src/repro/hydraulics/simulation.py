@@ -46,11 +46,19 @@ class ExtendedPeriodSimulator:
         network: WaterNetwork,
         controls: list[SimpleControl] | None = None,
         rules: list | None = None,
+        audit=None,
     ):
         self.network = network
         self.controls = list(controls or [])
         self.rules = list(rules or [])
         self._solver = GGASolver(network)
+        if audit is not None:
+            self._solver.audit = audit
+
+    @property
+    def solver(self) -> GGASolver:
+        """The underlying steady-state solver (e.g. to attach an auditor)."""
+        return self._solver
 
     def run(
         self,
@@ -221,7 +229,10 @@ def simulate(
     leaks: list[TimedLeak] | None = None,
     controls: list[SimpleControl] | None = None,
     rules: list | None = None,
+    audit=None,
 ) -> SimulationResults:
     """One-call EPS convenience wrapper around ExtendedPeriodSimulator."""
-    simulator = ExtendedPeriodSimulator(network, controls=controls, rules=rules)
+    simulator = ExtendedPeriodSimulator(
+        network, controls=controls, rules=rules, audit=audit
+    )
     return simulator.run(duration=duration, timestep=timestep, leaks=leaks)

@@ -306,6 +306,11 @@ class GGASolver:
             for i, r in enumerate(records)
             if r.kind != "pipe" or r.check_valve
         ]
+        #: Opt-in audit hook (see :class:`repro.verify.InvariantAuditor`):
+        #: any object with ``observe(solver, solution, emitters=...)`` is
+        #: called after every successful solve with the emitter arrays the
+        #: solve actually used.  None (the default) costs nothing.
+        self.audit = None
 
     # ------------------------------------------------------------------
     @property
@@ -503,7 +508,7 @@ class GGASolver:
                 iterations=total_iterations,
                 residual=residual,
             )
-        return self._package(
+        solution = self._package(
             records,
             statuses,
             heads,
@@ -516,6 +521,9 @@ class GGASolver:
             residual,
             converged,
         )
+        if self.audit is not None:
+            self.audit.observe(self, solution, emitters=(emitter_ec, emitter_beta))
+        return solution
 
     # ------------------------------------------------------------------
     def _demand_vector(

@@ -118,6 +118,16 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
         result = minimize(objective, np.array([1.0, 0.0]), jac=True, method="L-BFGS-B")
         self._platt = (float(result.x[0]), float(result.x[1]))
 
+    @property
+    def platt_(self) -> tuple[float, float]:
+        """Fitted Platt-scaling coefficients ``(a, b)``.
+
+        ``predict_proba`` returns ``sigmoid(a * decision + b)`` for the
+        positive class; the single-class fallback is ``(1.0, 0.0)``.
+        """
+        self._check_fitted("_platt")
+        return self._platt
+
     # ------------------------------------------------------------------
     def decision_function(self, X) -> np.ndarray:
         self._check_fitted("coef_")

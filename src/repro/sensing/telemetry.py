@@ -139,6 +139,11 @@ class SteadyStateTelemetry:
             self._background_beta[junction_index[name]] = beta
         self._junction_index = junction_index
 
+    @property
+    def solver(self) -> GGASolver:
+        """The underlying steady-state solver (e.g. to attach an auditor)."""
+        return self._solver
+
     # ------------------------------------------------------------------
     def slot_demand_array(self, slot: int) -> np.ndarray:
         """Pattern-scaled junction-order demand array at a slot.

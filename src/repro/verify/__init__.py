@@ -1,0 +1,118 @@
+"""Correctness verification: physics oracles, fuzzing, and golden gates.
+
+The solver/ML stack has many fast paths (array demands, warm starts,
+process pools, threaded training) whose agreement used to rest on
+example-based tests alone.  This package makes correctness checkable in
+bulk:
+
+* :mod:`~repro.verify.oracles` — per-solve physics invariants (mass
+  balance, pipe energy, emitter law, tank bookkeeping, finiteness) and
+  :class:`InvariantAuditor`, an opt-in audit hook for ``GGASolver``;
+* :mod:`~repro.verify.fuzz` — a deterministic hypothesis-lite property
+  fuzzer with greedy shrinking that prints minimal failing cases as
+  ready-to-paste regression tests;
+* :mod:`~repro.verify.properties` — the stock properties the fuzzer runs
+  (solve invariants, INP round-trip, warm≡cold, array≡dict);
+* :mod:`~repro.verify.differential` — fast-path vs reference-path
+  differential oracles (array vs dict, warm vs cold, ``workers=N`` vs
+  serial, ``n_jobs`` vs serial);
+* :mod:`~repro.verify.golden` — committed, tolerance-checked snapshots of
+  steady-state hydraulics and pipeline accuracy;
+* :mod:`~repro.verify.runner` — the ``repro verify`` sweep over the
+  network catalog.
+"""
+
+from .differential import (
+    DiffReport,
+    diff_array_vs_dict,
+    diff_njobs_training,
+    diff_warm_vs_cold,
+    diff_workers_dataset,
+    run_differential_oracles,
+)
+from .fuzz import (
+    EventSpec,
+    FuzzFailure,
+    FuzzReport,
+    JunctionSpec,
+    NetworkCase,
+    PipeSpec,
+    SkipCase,
+    TankSpec,
+    emit_regression_test,
+    random_case,
+    run_property,
+    shrink_case,
+)
+from .golden import (
+    GoldenReport,
+    check_accuracy_golden,
+    check_steady_golden,
+    golden_dir,
+    update_accuracy_golden,
+    update_steady_golden,
+)
+from .oracles import (
+    InvariantAuditor,
+    InvariantViolation,
+    OracleReport,
+    audit_results,
+    audit_solution,
+    emitter_report,
+    energy_report,
+    finiteness_report,
+    mass_balance_report,
+    tank_volume_report,
+)
+from .properties import (
+    prop_array_equals_dict,
+    prop_inp_roundtrip,
+    prop_solve_invariants,
+    prop_warm_equals_cold,
+    stock_properties,
+)
+from .runner import VerifyResult, run_verify
+
+__all__ = [
+    "DiffReport",
+    "EventSpec",
+    "FuzzFailure",
+    "FuzzReport",
+    "GoldenReport",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "JunctionSpec",
+    "NetworkCase",
+    "OracleReport",
+    "PipeSpec",
+    "SkipCase",
+    "TankSpec",
+    "VerifyResult",
+    "audit_results",
+    "audit_solution",
+    "check_accuracy_golden",
+    "check_steady_golden",
+    "diff_array_vs_dict",
+    "diff_njobs_training",
+    "diff_warm_vs_cold",
+    "diff_workers_dataset",
+    "emit_regression_test",
+    "emitter_report",
+    "energy_report",
+    "finiteness_report",
+    "golden_dir",
+    "mass_balance_report",
+    "prop_array_equals_dict",
+    "prop_inp_roundtrip",
+    "prop_solve_invariants",
+    "prop_warm_equals_cold",
+    "random_case",
+    "run_differential_oracles",
+    "run_property",
+    "run_verify",
+    "shrink_case",
+    "stock_properties",
+    "tank_volume_report",
+    "update_accuracy_golden",
+    "update_steady_golden",
+]

@@ -1,0 +1,228 @@
+"""Differential oracles: every fast path must agree with its reference.
+
+PR 2 added four fast paths whose correctness is an *equivalence* claim:
+
+* array-indexed demands/emitters  ≡  name-keyed dicts (bit-identical);
+* warm-started Newton             ≡  cold starts (within solver accuracy);
+* ``workers=N`` dataset engine    ≡  serial generation (bit-identical);
+* ``n_jobs=N`` threaded training  ≡  serial fits (bit-identical).
+
+Each oracle here runs both sides on a deterministic workload and reports
+the worst disagreement.  ``repro verify`` runs them per network; the
+acceptance bar is bit-identical where the claim is bit-identity and
+within-tolerance where the claim is a shared fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hydraulics import GGASolver, WaterNetwork
+
+#: Warm and cold solves converge to the same fixed point only to solver
+#: accuracy; this is the agreement bound (heads in m, flows in m^3/s).
+WARM_COLD_TOL = 1e-5
+
+
+@dataclass(frozen=True)
+class DiffReport:
+    """Agreement between a fast path and its reference path.
+
+    Attributes:
+        name: oracle identifier.
+        max_abs_diff: worst absolute disagreement observed.
+        tolerance: allowed disagreement (0 demands bit-identity).
+        bit_identical: every compared array was exactly equal.
+        passed: bit-identical, or within tolerance.
+        detail: workload description.
+    """
+
+    name: str
+    max_abs_diff: float
+    tolerance: float
+    bit_identical: bool
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.passed else "FAIL"
+        agreement = (
+            "bit-identical"
+            if self.bit_identical
+            else f"max diff {self.max_abs_diff:.3e} (tol {self.tolerance:.1e})"
+        )
+        tail = f"  ({self.detail})" if self.detail else ""
+        return f"[{status}] {self.name:<18s} {agreement}{tail}"
+
+
+def _compare(name: str, pairs, tolerance: float, detail: str = "") -> DiffReport:
+    """Reduce (reference, candidate) array pairs to one DiffReport."""
+    worst = 0.0
+    identical = True
+    for reference, candidate in pairs:
+        reference = np.asarray(reference)
+        candidate = np.asarray(candidate)
+        if reference.shape != candidate.shape:
+            return DiffReport(
+                name=name,
+                max_abs_diff=float("inf"),
+                tolerance=tolerance,
+                bit_identical=False,
+                passed=False,
+                detail=f"shape mismatch {reference.shape} vs {candidate.shape}",
+            )
+        if not np.array_equal(reference, candidate):
+            identical = False
+            worst = max(worst, float(np.max(np.abs(reference - candidate))))
+    return DiffReport(
+        name=name,
+        max_abs_diff=worst,
+        tolerance=tolerance,
+        bit_identical=identical,
+        passed=identical or worst <= tolerance,
+        detail=detail,
+    )
+
+
+def _leak_emitters(
+    solver: GGASolver, seed: int, n_leaks: int = 2
+) -> dict[str, tuple[float, float]]:
+    """A deterministic small leak set for differential workloads."""
+    rng = np.random.default_rng(seed)
+    names = solver.junction_names
+    chosen = rng.choice(len(names), size=min(n_leaks, len(names)), replace=False)
+    return {
+        names[int(i)]: (float(rng.uniform(5e-4, 3e-3)), 0.5) for i in chosen
+    }
+
+
+# ----------------------------------------------------------------------
+def diff_array_vs_dict(network: WaterNetwork, seed: int = 0) -> DiffReport:
+    """Array-indexed demand/emitter fast path vs name-keyed dicts."""
+    solver = GGASolver(network)
+    names = solver.junction_names
+    rng = np.random.default_rng(seed)
+    multipliers = rng.uniform(0.7, 1.3, size=len(names))
+    demand_array = np.array(
+        [network.nodes[n].base_demand for n in names]
+    ) * multipliers
+    demand_dict = dict(zip(names, demand_array.tolist()))
+    emitter_dict = _leak_emitters(solver, seed)
+    ec = np.zeros(len(names))
+    beta = np.full(len(names), 0.5)
+    index = {n: i for i, n in enumerate(names)}
+    for name, (coefficient, exponent) in emitter_dict.items():
+        ec[index[name]] = coefficient
+        beta[index[name]] = exponent
+    slow = solver.solve(demands=demand_dict, emitters=emitter_dict)
+    fast = solver.solve(demands=demand_array, emitters=(ec, beta))
+    return _compare(
+        "array_vs_dict",
+        [
+            (slow.junction_heads, fast.junction_heads),
+            (slow.junction_leaks, fast.junction_leaks),
+            (slow.link_flows, fast.link_flows),
+        ],
+        tolerance=0.0,
+        detail=f"{network.name}, {len(emitter_dict)} leaks",
+    )
+
+
+def diff_warm_vs_cold(
+    network: WaterNetwork,
+    seed: int = 0,
+    n_scenarios: int = 3,
+    tolerance: float = WARM_COLD_TOL,
+) -> DiffReport:
+    """Warm-started Newton vs cold starts over leak perturbations."""
+    solver = GGASolver(network)
+    baseline = solver.solve()
+    pairs = []
+    for k in range(n_scenarios):
+        emitters = _leak_emitters(solver, seed + 17 * k)
+        cold = solver.solve(emitters=emitters)
+        warm = solver.solve(emitters=emitters, warm_start=baseline)
+        pairs.append((cold.junction_heads, warm.junction_heads))
+        pairs.append((cold.link_flows, warm.link_flows))
+    return _compare(
+        "warm_vs_cold",
+        pairs,
+        tolerance=tolerance,
+        detail=f"{network.name}, {n_scenarios} leak scenarios",
+    )
+
+
+def diff_workers_dataset(
+    network: WaterNetwork,
+    seed: int = 0,
+    n_samples: int = 16,
+    workers: int = 4,
+) -> DiffReport:
+    """``generate_dataset(workers=N)`` vs the serial engine."""
+    from ..datasets import generate_dataset
+
+    serial = generate_dataset(network, n_samples, kind="multi", seed=seed)
+    pooled = generate_dataset(
+        network, n_samples, kind="multi", seed=seed, workers=workers
+    )
+    return _compare(
+        "workers_vs_serial",
+        [(serial.X_candidates, pooled.X_candidates), (serial.Y, pooled.Y)],
+        tolerance=0.0,
+        detail=f"{network.name}, {n_samples} scenarios, workers={workers}",
+    )
+
+
+def diff_njobs_training(
+    network: WaterNetwork,
+    seed: int = 0,
+    n_samples: int = 40,
+    n_jobs: int = 4,
+) -> DiffReport:
+    """Threaded per-column training vs serial fits on one dataset."""
+    from ..datasets import generate_dataset
+    from ..ml import LogisticRegression, MultiOutputClassifier
+
+    dataset = generate_dataset(network, n_samples, kind="multi", seed=seed)
+    X = dataset.X_candidates
+
+    def fit(jobs: int) -> np.ndarray:
+        model = MultiOutputClassifier(
+            LogisticRegression(),
+            negative_ratio=3.0,
+            random_state=seed,
+            n_jobs=jobs,
+        )
+        model.fit(X, dataset.Y)
+        return model.predict_proba(X)
+
+    return _compare(
+        "njobs_vs_serial",
+        [(fit(1), fit(n_jobs))],
+        tolerance=0.0,
+        detail=f"{network.name}, {n_samples} samples, n_jobs={n_jobs}",
+    )
+
+
+def run_differential_oracles(
+    network: WaterNetwork,
+    seed: int = 0,
+    quick: bool = False,
+    workers: int = 4,
+) -> list[DiffReport]:
+    """All four differential oracles on one network.
+
+    Quick mode trims the workload (fewer scenarios, 2 workers) so the
+    catalog sweep stays CI-sized; the claims checked are identical.
+    """
+    n_samples = 8 if quick else 24
+    n_train = 24 if quick else 60
+    pool = 2 if quick else workers
+    return [
+        diff_array_vs_dict(network, seed=seed),
+        diff_warm_vs_cold(network, seed=seed, n_scenarios=2 if quick else 5),
+        diff_workers_dataset(network, seed=seed, n_samples=n_samples, workers=pool),
+        diff_njobs_training(network, seed=seed, n_samples=n_train, n_jobs=pool),
+    ]

@@ -1,0 +1,563 @@
+"""Deterministic property fuzzing with greedy shrinking (hypothesis-lite).
+
+The engine draws structured test cases — random valid networks plus leak
+scenarios — from per-case RNG streams spawned from a single
+``np.random.SeedSequence``, so a run is a pure function of
+``(seed, n_cases)``: the same seed reproduces the same failure on any
+machine, in any process, in any order.
+
+On failure the engine greedily shrinks the case (drop loop pipes, drop
+events, truncate junctions, remove the tank/pattern, simplify numbers)
+while the property keeps failing, and renders the minimal case as a
+ready-to-paste pytest regression test (:func:`emit_regression_test`).
+
+A *property* is any callable taking a :class:`NetworkCase` and raising
+``AssertionError`` (or any other exception — crashes are failures too) on
+violation.  Raise :class:`SkipCase` for inputs the property does not
+apply to (e.g. hydraulics that legitimately fail to converge).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..failures import FailureScenario, LeakEvent
+from ..hydraulics import WaterNetwork
+
+
+class SkipCase(Exception):
+    """Raised by a property to skip a case it does not apply to."""
+
+
+# ----------------------------------------------------------------------
+# Case structure.  Every spec is a frozen dataclass whose repr is valid
+# constructor syntax, so a shrunk case can be pasted into a test verbatim.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JunctionSpec:
+    """One junction: elevation (m), base demand (m^3/s), pattern flag."""
+
+    elevation: float
+    base_demand: float
+    has_pattern: bool = False
+
+
+@dataclass(frozen=True)
+class PipeSpec:
+    """One pipe between node indices (-1 = the reservoir, >= 0 = J<i>)."""
+
+    start: int
+    end: int
+    length: float
+    diameter: float
+    roughness: float
+    minor_loss: float = 0.0
+    check_valve: bool = False
+
+
+@dataclass(frozen=True)
+class TankSpec:
+    """One tank, attached to junction ``attach`` by a standard pipe."""
+
+    elevation: float
+    init_level: float
+    min_level: float
+    max_level: float
+    diameter: float
+    attach: int = 0
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One leak event on junction index ``junction`` (paper e = (l,s,t))."""
+
+    junction: int
+    size: float
+    start_slot: int = 4
+    beta: float = 0.5
+
+
+@dataclass(frozen=True)
+class NetworkCase:
+    """A self-contained, buildable network + scenario test case.
+
+    Topology is a reservoir-rooted chain (``chain_pipes[i]`` joins
+    J<i-1> — or the reservoir for i = 0 — to J<i>) plus arbitrary extra
+    loop-closing pipes, an optional tank, an optional shared demand
+    pattern, and a set of leak events.  The chain guarantees every case
+    is connected and solvable-by-construction; the extras provide loops.
+    """
+
+    junctions: tuple[JunctionSpec, ...]
+    chain_pipes: tuple[PipeSpec, ...]
+    extra_pipes: tuple[PipeSpec, ...] = ()
+    reservoir_head: float = 50.0
+    tank: TankSpec | None = None
+    pattern: tuple[float, ...] | None = None
+    events: tuple[EventSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.chain_pipes) != len(self.junctions):
+            raise ValueError(
+                f"need one chain pipe per junction, got {len(self.chain_pipes)}"
+                f" for {len(self.junctions)}"
+            )
+
+    # ------------------------------------------------------------------
+    def node_name(self, index: int) -> str:
+        """Node name for a spec index (-1 is the reservoir)."""
+        if index == -1:
+            return "R"
+        return f"J{index}"
+
+    def build(self) -> WaterNetwork:
+        """Materialise the case as a validated :class:`WaterNetwork`."""
+        net = WaterNetwork("fuzz-case")
+        net.add_reservoir("R", base_head=self.reservoir_head)
+        pattern_name = None
+        if self.pattern is not None:
+            net.add_pattern("FZ", list(self.pattern))
+            pattern_name = "FZ"
+        for i, spec in enumerate(self.junctions):
+            net.add_junction(
+                f"J{i}",
+                elevation=spec.elevation,
+                base_demand=spec.base_demand,
+                demand_pattern=pattern_name if spec.has_pattern else None,
+                coordinates=(100.0 * (i + 1), 0.0),
+            )
+        for i, pipe in enumerate(self.chain_pipes):
+            net.add_pipe(
+                f"C{i}",
+                self.node_name(i - 1),
+                f"J{i}",
+                length=pipe.length,
+                diameter=pipe.diameter,
+                roughness=pipe.roughness,
+                minor_loss=pipe.minor_loss,
+                check_valve=pipe.check_valve,
+            )
+        for k, pipe in enumerate(self.extra_pipes):
+            net.add_pipe(
+                f"L{k}",
+                self.node_name(pipe.start),
+                self.node_name(pipe.end),
+                length=pipe.length,
+                diameter=pipe.diameter,
+                roughness=pipe.roughness,
+                minor_loss=pipe.minor_loss,
+                check_valve=pipe.check_valve,
+            )
+        if self.tank is not None:
+            tank = self.tank
+            net.add_tank(
+                "T",
+                elevation=tank.elevation,
+                init_level=tank.init_level,
+                min_level=tank.min_level,
+                max_level=tank.max_level,
+                diameter=tank.diameter,
+                coordinates=(0.0, 100.0),
+            )
+            net.add_pipe(
+                "TP",
+                "T",
+                f"J{min(tank.attach, len(self.junctions) - 1)}",
+                length=100.0,
+                diameter=0.3,
+                roughness=100.0,
+            )
+        net.validate()
+        return net
+
+    def scenario(self) -> FailureScenario | None:
+        """The case's leak events as a :class:`FailureScenario` (or None)."""
+        if not self.events:
+            return None
+        events = tuple(
+            LeakEvent(
+                location=f"J{e.junction}",
+                size=e.size,
+                start_slot=e.start_slot,
+                beta=e.beta,
+            )
+            for e in self.events
+        )
+        return FailureScenario(events=events, start_slot=events[0].start_slot)
+
+    def emitter_overrides(self) -> dict[str, tuple[float, float]] | None:
+        """Solver emitter overrides for the case's events (or None)."""
+        scenario = self.scenario()
+        if scenario is None:
+            return None
+        from ..failures import events_to_emitters
+
+        return events_to_emitters(list(scenario.events))
+
+    @property
+    def size(self) -> int:
+        """Shrink-ordering size: components + events."""
+        return (
+            len(self.junctions)
+            + len(self.extra_pipes)
+            + len(self.events)
+            + (1 if self.tank is not None else 0)
+            + (1 if self.pattern is not None else 0)
+        )
+
+
+# ----------------------------------------------------------------------
+# Generators.
+# ----------------------------------------------------------------------
+def random_case(
+    seed: "int | np.random.SeedSequence | np.random.Generator",
+    max_junctions: int = 12,
+    p_tank: float = 0.25,
+    p_pattern: float = 0.4,
+    max_events: int = 3,
+) -> NetworkCase:
+    """Draw one random valid case.
+
+    Args:
+        seed: int seed, ``SeedSequence`` or ready ``Generator`` — the
+            case is a pure function of it.
+        max_junctions: chain length upper bound (>= 2).
+        p_tank: probability of attaching a tank.
+        p_pattern: probability of a diurnal demand pattern.
+        max_events: leak-event count upper bound (0..max inclusive).
+    """
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    n = int(rng.integers(2, max_junctions + 1))
+    junctions = tuple(
+        JunctionSpec(
+            elevation=round(float(rng.uniform(0.0, 15.0)), 3),
+            base_demand=round(float(rng.uniform(1e-4, 8e-3)), 6),
+            has_pattern=bool(rng.random() < 0.5),
+        )
+        for _ in range(n)
+    )
+    chain = tuple(
+        PipeSpec(
+            start=i - 1,
+            end=i,
+            length=round(float(rng.uniform(50.0, 500.0)), 2),
+            diameter=round(float(rng.uniform(0.15, 0.5)), 3),
+            roughness=round(float(rng.uniform(80.0, 150.0)), 1),
+            minor_loss=round(float(rng.uniform(0.0, 2.0)), 2)
+            if rng.random() < 0.2
+            else 0.0,
+        )
+        for i in range(n)
+    )
+    extras = []
+    for _ in range(n // 3):
+        a, b = rng.choice(n, size=2, replace=False)
+        extras.append(
+            PipeSpec(
+                start=int(min(a, b)),
+                end=int(max(a, b)),
+                length=round(float(rng.uniform(50.0, 500.0)), 2),
+                diameter=round(float(rng.uniform(0.1, 0.4)), 3),
+                roughness=round(float(rng.uniform(80.0, 150.0)), 1),
+                check_valve=bool(rng.random() < 0.1),
+            )
+        )
+    tank = None
+    if rng.random() < p_tank:
+        tank = TankSpec(
+            elevation=round(float(rng.uniform(20.0, 40.0)), 2),
+            init_level=5.0,
+            min_level=0.0,
+            max_level=10.0,
+            diameter=round(float(rng.uniform(5.0, 15.0)), 2),
+            attach=int(rng.integers(0, n)),
+        )
+    pattern = None
+    if rng.random() < p_pattern:
+        pattern = tuple(
+            round(float(m), 3) for m in rng.uniform(0.5, 1.5, size=int(rng.integers(4, 9)))
+        )
+    n_events = int(rng.integers(0, max_events + 1))
+    event_nodes = (
+        rng.choice(n, size=min(n_events, n), replace=False) if n_events else []
+    )
+    events = tuple(
+        EventSpec(
+            junction=int(j),
+            size=round(float(np.exp(rng.uniform(np.log(5e-4), np.log(4e-3)))), 6),
+            start_slot=int(rng.integers(1, 12)),
+        )
+        for j in event_nodes
+    )
+    return NetworkCase(
+        junctions=junctions,
+        chain_pipes=chain,
+        extra_pipes=tuple(extras),
+        reservoir_head=round(float(rng.uniform(40.0, 80.0)), 2),
+        tank=tank,
+        pattern=pattern,
+        events=events,
+    )
+
+
+# ----------------------------------------------------------------------
+# Engine.
+# ----------------------------------------------------------------------
+@dataclass
+class FuzzFailure:
+    """One property violation, as found and as shrunk.
+
+    Attributes:
+        case_index: position of the failing case in the run.
+        case: the original failing case.
+        error: the original failure message (``Type: message``).
+        shrunk: the minimal case still failing after greedy shrinking.
+        shrunk_error: the failure message of the shrunk case.
+        shrink_steps: accepted shrink transformations.
+        regression_test: ready-to-paste pytest source reproducing
+            ``shrunk`` (see :func:`emit_regression_test`).
+    """
+
+    case_index: int
+    case: NetworkCase
+    error: str
+    shrunk: NetworkCase
+    shrunk_error: str
+    shrink_steps: int
+    regression_test: str
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`run_property` run."""
+
+    property_name: str
+    seed: int
+    n_cases: int
+    n_skipped: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def _failure_of(prop, case: NetworkCase) -> str | None:
+    """Run the property; returns the failure string or None (pass/skip)."""
+    try:
+        prop(case)
+    except SkipCase:
+        return None
+    except Exception as exc:  # crashes are failures too
+        return f"{type(exc).__name__}: {exc}"
+    return None
+
+
+def _drop_junction(case: NetworkCase) -> NetworkCase | None:
+    """Truncate the trailing junction.
+
+    Extra pipes touching the removed junction are dropped; events on it
+    are *clamped* onto the new last junction rather than dropped, so a
+    failure that needs "any leak somewhere" keeps failing and truncation
+    can continue (event removal is its own candidate in
+    :func:`_candidates`).
+    """
+    n = len(case.junctions)
+    if n <= 1:
+        return None
+    last = n - 1
+    tank = case.tank
+    if tank is not None and tank.attach >= last:
+        tank = replace(tank, attach=0)
+    return replace(
+        case,
+        junctions=case.junctions[:-1],
+        chain_pipes=case.chain_pipes[:-1],
+        extra_pipes=tuple(
+            p for p in case.extra_pipes if p.start != last and p.end != last
+        ),
+        events=tuple(
+            replace(e, junction=min(e.junction, last - 1)) for e in case.events
+        ),
+        tank=tank,
+    )
+
+
+def _round_floats(case: NetworkCase) -> NetworkCase:
+    """Canonicalise every float to simple values (one bulk attempt)."""
+
+    def simplify(spec, **overrides):
+        return replace(spec, **overrides)
+
+    junctions = tuple(
+        simplify(j, elevation=0.0, base_demand=0.001) for j in case.junctions
+    )
+    chain = tuple(
+        simplify(p, length=100.0, diameter=0.3, roughness=100.0, minor_loss=0.0)
+        for p in case.chain_pipes
+    )
+    extras = tuple(
+        simplify(p, length=100.0, diameter=0.3, roughness=100.0, minor_loss=0.0)
+        for p in case.extra_pipes
+    )
+    return replace(
+        case,
+        junctions=junctions,
+        chain_pipes=chain,
+        extra_pipes=extras,
+        reservoir_head=50.0,
+    )
+
+
+def _candidates(case: NetworkCase):
+    """Yield shrink candidates, most-aggressive first."""
+    if case.tank is not None:
+        yield replace(case, tank=None)
+    if case.pattern is not None:
+        yield replace(
+            case,
+            pattern=None,
+            junctions=tuple(replace(j, has_pattern=False) for j in case.junctions),
+        )
+    for k in range(len(case.extra_pipes)):
+        yield replace(
+            case,
+            extra_pipes=case.extra_pipes[:k] + case.extra_pipes[k + 1 :],
+        )
+    for k in range(len(case.events)):
+        yield replace(case, events=case.events[:k] + case.events[k + 1 :])
+    truncated = _drop_junction(case)
+    if truncated is not None:
+        yield truncated
+    simplified = _round_floats(case)
+    if simplified != case:
+        yield simplified
+
+
+def shrink_case(
+    case: NetworkCase, prop, max_attempts: int = 500
+) -> tuple[NetworkCase, str, int]:
+    """Greedy shrink: accept any candidate that still fails, repeat.
+
+    Returns ``(minimal_case, failure_message, accepted_steps)``.  The
+    process is fully deterministic: candidates are tried in a fixed
+    order and the first still-failing one is accepted each round.
+    """
+    error = _failure_of(prop, case)
+    if error is None:
+        raise ValueError("shrink_case called with a passing case")
+    steps = 0
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _candidates(case):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            candidate_error = _failure_of(prop, candidate)
+            if candidate_error is not None:
+                case = candidate
+                error = candidate_error
+                steps += 1
+                progress = True
+                break
+    return case, error, steps
+
+
+def run_property(
+    prop,
+    n_cases: int = 50,
+    seed: int = 0,
+    max_junctions: int = 12,
+    max_events: int = 3,
+    shrink: bool = True,
+    stop_on_first: bool = True,
+) -> FuzzReport:
+    """Fuzz a property over ``n_cases`` deterministic random cases.
+
+    Args:
+        prop: callable taking a :class:`NetworkCase`; raises to fail,
+            raises :class:`SkipCase` to skip.
+        n_cases: cases to draw.
+        seed: root seed; case ``i`` is a pure function of ``(seed, i)``.
+        max_junctions: generator bound on chain length.
+        max_events: generator bound on concurrent leak events.
+        shrink: greedily shrink failures to minimal cases.
+        stop_on_first: stop at the first failure (default); otherwise
+            keep fuzzing and collect every failure.
+    """
+    name = getattr(prop, "__name__", repr(prop))
+    report = FuzzReport(property_name=name, seed=seed, n_cases=n_cases)
+    children = np.random.SeedSequence(seed).spawn(n_cases)
+    for index, child in enumerate(children):
+        case = random_case(
+            child, max_junctions=max_junctions, max_events=max_events
+        )
+        try:
+            prop(case)
+            continue
+        except SkipCase:
+            report.n_skipped += 1
+            continue
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        shrunk, shrunk_error, steps = (
+            shrink_case(case, prop) if shrink else (case, error, 0)
+        )
+        report.failures.append(
+            FuzzFailure(
+                case_index=index,
+                case=case,
+                error=error,
+                shrunk=shrunk,
+                shrunk_error=shrunk_error,
+                shrink_steps=steps,
+                regression_test=emit_regression_test(shrunk, prop),
+            )
+        )
+        if stop_on_first:
+            break
+    return report
+
+
+def emit_regression_test(
+    case: NetworkCase, prop, name: str | None = None
+) -> str:
+    """Render a failing case as a runnable, self-contained pytest test.
+
+    The case structure is embedded literally (dataclass reprs are valid
+    constructor calls), so the test does not depend on generator or
+    shrinker behaviour staying stable.
+    """
+    if callable(prop):
+        module = getattr(prop, "__module__", "repro.verify.properties")
+        func = getattr(prop, "__name__", "prop_solve_invariants")
+    else:
+        module, func = str(prop).rsplit(".", 1)
+    test_name = name or f"test_regression_{func.removeprefix('prop_')}"
+    fields = []
+    for f in dataclasses.fields(case):
+        value = getattr(case, f.name)
+        if value == f.default and f.default is not dataclasses.MISSING:
+            continue
+        fields.append(f"        {f.name}={value!r},")
+    body = "\n".join(fields)
+    return (
+        f"def {test_name}():\n"
+        f'    """Shrunk failing case found by repro.verify.fuzz; '
+        f'see docs/testing.md."""\n'
+        f"    from repro.verify.fuzz import (\n"
+        f"        EventSpec, JunctionSpec, NetworkCase, PipeSpec, TankSpec,\n"
+        f"    )\n"
+        f"    from {module} import {func}\n\n"
+        f"    case = NetworkCase(\n{body}\n    )\n"
+        f"    {func}(case)\n"
+    )

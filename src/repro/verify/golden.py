@@ -1,0 +1,260 @@
+"""Golden regression gates: committed snapshots with tolerances.
+
+Two families of golden files live in ``src/repro/verify/golden/``:
+
+* ``steady-<network>.json`` — steady-state junction heads and link
+  flows for every catalog network, checked to tight per-quantity
+  tolerances (heads to 1e-4 m, flows to 1e-6 m^3/s — loose enough to
+  survive BLAS/platform differences, tight enough to catch any real
+  hydraulic change);
+* ``accuracy-<network>.json`` — the Phase-I/Phase-II hamming score of a
+  small fixed training/evaluation run, checked to an absolute band that
+  flags pipeline regressions without pinning ML floating point exactly.
+
+``repro verify`` checks them; ``repro verify --update-golden``
+regenerates them after an *intentional* hydraulic or pipeline change
+(see docs/testing.md for the update procedure).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..hydraulics import GGASolver
+from ..networks import build_network
+
+#: Head agreement bound for steady goldens (m).
+HEAD_TOL = 1e-4
+#: Flow agreement bound for steady goldens (m^3/s).
+FLOW_TOL = 1e-6
+#: Absolute hamming-score band for accuracy goldens.
+ACCURACY_TOL = 0.05
+
+#: Fixed configuration of the accuracy-golden pipeline run.  Changing any
+#: of these invalidates committed accuracy goldens — regenerate them.
+ACCURACY_CONFIG = {
+    "classifier": "logistic",
+    "iot_percent": 100.0,
+    "seed": 0,
+    "n_train": 120,
+    "n_test": 30,
+    "kind": "multi",
+    "max_events": 2,
+    "sources": "iot",
+}
+
+
+def golden_dir() -> Path:
+    """Directory holding the committed golden JSON files."""
+    return Path(__file__).resolve().parent / "golden"
+
+
+@dataclass(frozen=True)
+class GoldenReport:
+    """Outcome of one golden comparison.
+
+    Attributes:
+        name: golden identifier (``steady:<net>`` / ``accuracy:<net>``).
+        max_abs_diff: worst absolute deviation from the snapshot.
+        tolerance: allowed deviation.
+        passed: within tolerance and structurally identical.
+        detail: what was compared, or why the check failed outright.
+    """
+
+    name: str
+    max_abs_diff: float
+    tolerance: float
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{status}] {self.name:<18s} max diff {self.max_abs_diff:.3e} "
+            f"(tol {self.tolerance:.1e})  ({self.detail})"
+        )
+
+
+# ----------------------------------------------------------------------
+# steady-state goldens
+# ----------------------------------------------------------------------
+def _steady_path(network_name: str) -> Path:
+    return golden_dir() / f"steady-{network_name}.json"
+
+
+def _steady_snapshot(network_name: str) -> dict:
+    network = build_network(network_name)
+    solution = GGASolver(network).solve()
+    return {
+        "network": network_name,
+        "node_head": {k: float(v) for k, v in solution.node_head.items()},
+        "link_flow": {k: float(v) for k, v in solution.link_flow.items()},
+    }
+
+
+def update_steady_golden(network_name: str) -> Path:
+    """Recompute and write the steady golden for one network."""
+    path = _steady_path(network_name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    snapshot = _steady_snapshot(network_name)
+    path.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def _compare_mapping(
+    golden: dict[str, float], current: dict[str, float]
+) -> tuple[float, str | None]:
+    """(worst deviation, structural-mismatch message or None)."""
+    if set(golden) != set(current):
+        missing = sorted(set(golden) - set(current))[:3]
+        added = sorted(set(current) - set(golden))[:3]
+        return float("inf"), f"key set changed (missing {missing}, added {added})"
+    if not golden:
+        return 0.0, None
+    diffs = [abs(current[k] - golden[k]) for k in golden]
+    return float(max(diffs)), None
+
+
+def check_steady_golden(
+    network_name: str,
+    head_tol: float = HEAD_TOL,
+    flow_tol: float = FLOW_TOL,
+) -> GoldenReport:
+    """Compare a fresh steady solve against the committed snapshot."""
+    name = f"steady:{network_name}"
+    path = _steady_path(network_name)
+    if not path.exists():
+        return GoldenReport(
+            name=name,
+            max_abs_diff=float("inf"),
+            tolerance=head_tol,
+            passed=False,
+            detail=f"no golden at {path}; run `repro verify --update-golden`",
+        )
+    golden = json.loads(path.read_text())
+    current = _steady_snapshot(network_name)
+    head_diff, head_err = _compare_mapping(golden["node_head"], current["node_head"])
+    flow_diff, flow_err = _compare_mapping(golden["link_flow"], current["link_flow"])
+    structural = head_err or flow_err
+    if structural:
+        return GoldenReport(
+            name=name,
+            max_abs_diff=float("inf"),
+            tolerance=head_tol,
+            passed=False,
+            detail=structural,
+        )
+    passed = head_diff <= head_tol and flow_diff <= flow_tol
+    return GoldenReport(
+        name=name,
+        # Report in units of tolerance so head/flow share one number.
+        max_abs_diff=max(head_diff, flow_diff),
+        tolerance=max(head_tol, flow_tol),
+        passed=passed,
+        detail=(
+            f"{len(golden['node_head'])} heads (diff {head_diff:.2e}, "
+            f"tol {head_tol:.0e}), {len(golden['link_flow'])} flows "
+            f"(diff {flow_diff:.2e}, tol {flow_tol:.0e})"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Phase-I/Phase-II accuracy goldens
+# ----------------------------------------------------------------------
+def _accuracy_path(network_name: str) -> Path:
+    return golden_dir() / f"accuracy-{network_name}.json"
+
+
+def _accuracy_score(network_name: str) -> float:
+    """Run the fixed small train/evaluate pipeline and return its score."""
+    from ..core import AquaScale
+    from ..datasets import generate_dataset
+
+    config = ACCURACY_CONFIG
+    network = build_network(network_name)
+    model = AquaScale(
+        network,
+        iot_percent=config["iot_percent"],
+        classifier=config["classifier"],
+        seed=config["seed"],
+    )
+    model.train(
+        n_train=config["n_train"],
+        kind=config["kind"],
+        max_events=config["max_events"],
+    )
+    test = generate_dataset(
+        network,
+        config["n_test"],
+        kind=config["kind"],
+        seed=config["seed"] + 1,
+        max_events=config["max_events"],
+    )
+    return float(model.evaluate(test, sources=config["sources"]))
+
+
+def update_accuracy_golden(network_name: str) -> Path:
+    """Recompute and write the accuracy golden for one network."""
+    path = _accuracy_path(network_name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    snapshot = {
+        "network": network_name,
+        "config": ACCURACY_CONFIG,
+        "score": _accuracy_score(network_name),
+    }
+    path.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def check_accuracy_golden(
+    network_name: str, tolerance: float = ACCURACY_TOL
+) -> GoldenReport:
+    """Re-run the fixed pipeline and compare its score to the snapshot."""
+    name = f"accuracy:{network_name}"
+    path = _accuracy_path(network_name)
+    if not path.exists():
+        return GoldenReport(
+            name=name,
+            max_abs_diff=float("inf"),
+            tolerance=tolerance,
+            passed=False,
+            detail=f"no golden at {path}; run `repro verify --update-golden`",
+        )
+    golden = json.loads(path.read_text())
+    if golden.get("config") != ACCURACY_CONFIG:
+        return GoldenReport(
+            name=name,
+            max_abs_diff=float("inf"),
+            tolerance=tolerance,
+            passed=False,
+            detail="pipeline config changed; regenerate the accuracy golden",
+        )
+    score = _accuracy_score(network_name)
+    diff = abs(score - golden["score"])
+    return GoldenReport(
+        name=name,
+        max_abs_diff=float(diff),
+        tolerance=tolerance,
+        passed=bool(diff <= tolerance),
+        detail=(
+            f"hamming score {score:.4f} vs golden {golden['score']:.4f} "
+            f"({ACCURACY_CONFIG['classifier']}, {ACCURACY_CONFIG['n_train']} train)"
+        ),
+    )
+
+
+__all__ = [
+    "ACCURACY_CONFIG",
+    "ACCURACY_TOL",
+    "FLOW_TOL",
+    "GoldenReport",
+    "HEAD_TOL",
+    "check_accuracy_golden",
+    "check_steady_golden",
+    "golden_dir",
+    "update_accuracy_golden",
+    "update_steady_golden",
+]

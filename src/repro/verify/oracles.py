@@ -1,0 +1,409 @@
+"""Physics-invariant oracles for steady-state and EPS hydraulics.
+
+Every oracle recomputes its invariant *independently* of the solver's own
+bookkeeping — mass balance from the network incidence, pipe energy from
+the headloss law, emitter outflow from ``Q = EC * p**beta`` (paper Eq. 1),
+tank levels from forward-Euler volume integration — so a bug in one code
+path cannot certify itself.
+
+Oracles return :class:`OracleReport` values; :class:`InvariantAuditor`
+bundles them into an opt-in audit mode attachable to a
+:class:`~repro.hydraulics.solver.GGASolver` (``auditor.attach(solver)``)
+that checks every subsequent solve and, in strict mode, raises
+:class:`InvariantViolation` on the first breach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hydraulics import LinkStatus, WaterNetwork
+from ..hydraulics.components import Junction, Pipe, Tank
+from ..hydraulics.headloss import (
+    dw_headloss_and_gradient,
+    hazen_williams_resistance,
+    hw_headloss_and_gradient,
+)
+from ..hydraulics.results import SimulationResults
+
+#: Default oracle tolerances.  Converged GGA solves on the catalog sit
+#: orders of magnitude below these (mass ~1e-16 m^3/s, energy ~1e-7 m);
+#: the slack absorbs platform/BLAS variation, not solver error.
+MASS_BALANCE_TOL = 1e-6  # m^3/s, the acceptance bound
+ENERGY_TOL = 1e-5  # m of head per pipe
+EMITTER_TOL = 1e-9  # m^3/s
+CLOSED_FLOW_TOL = 1e-6  # m^3/s through a CLOSED link
+TANK_LEVEL_TOL = 1e-9  # m per EPS step
+
+
+class InvariantViolation(AssertionError):
+    """A physics invariant failed during an audited solve."""
+
+    def __init__(self, reports: list["OracleReport"]):
+        self.reports = reports
+        failed = [r for r in reports if not r.passed]
+        super().__init__(
+            "; ".join(
+                f"{r.name}: residual {r.max_residual:.3e} > tol {r.tolerance:.1e}"
+                f" ({r.detail})" if r.detail else
+                f"{r.name}: residual {r.max_residual:.3e} > tol {r.tolerance:.1e}"
+                for r in failed
+            )
+            or "invariant violation"
+        )
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """Outcome of one invariant check.
+
+    Attributes:
+        name: invariant identifier (``mass_balance``, ``energy`` ...).
+        max_residual: worst observed residual, in the invariant's unit.
+        tolerance: the pass/fail threshold applied.
+        passed: whether ``max_residual <= tolerance``.
+        detail: human-readable context (worst component, units).
+    """
+
+    name: str
+    max_residual: float
+    tolerance: float
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.passed else "FAIL"
+        tail = f"  ({self.detail})" if self.detail else ""
+        return (
+            f"[{status}] {self.name:<14s} residual {self.max_residual:.3e}"
+            f" <= {self.tolerance:.1e}{tail}"
+        )
+
+
+def _report(name: str, residuals: np.ndarray, tol: float, labels=None) -> OracleReport:
+    """Build a report from a residual vector, naming the worst offender."""
+    if residuals.size == 0:
+        return OracleReport(name=name, max_residual=0.0, tolerance=tol, passed=True)
+    finite = np.isfinite(residuals)
+    if not finite.all():
+        bad = int(np.nonzero(~finite)[0][0])
+        where = f" at {labels[bad]}" if labels is not None else ""
+        return OracleReport(
+            name=name,
+            max_residual=float("inf"),
+            tolerance=tol,
+            passed=False,
+            detail=f"non-finite residual{where}",
+        )
+    worst = int(np.argmax(np.abs(residuals)))
+    value = float(abs(residuals[worst]))
+    detail = f"worst at {labels[worst]}" if labels is not None else ""
+    return OracleReport(
+        name=name,
+        max_residual=value,
+        tolerance=tol,
+        passed=value <= tol,
+        detail=detail,
+    )
+
+
+# ----------------------------------------------------------------------
+def mass_balance_report(
+    network: WaterNetwork, solution, tol: float = MASS_BALANCE_TOL
+) -> OracleReport:
+    """Nodal mass balance: net link inflow = delivered demand + leak.
+
+    Recomputed from the network incidence and the solution's link flows —
+    never from the solver's internal residual.
+    """
+    names = solution.junction_names
+    index = {name: i for i, name in enumerate(names)}
+    net_inflow = np.zeros(len(names))
+    flows = solution.link_flow
+    for link_name, link in network.links.items():
+        flow = flows[link_name]
+        start = index.get(link.start_node)
+        if start is not None:
+            net_inflow[start] -= flow
+        end = index.get(link.end_node)
+        if end is not None:
+            net_inflow[end] += flow
+    residuals = net_inflow - solution.junction_demands - solution.junction_leaks
+    return _report("mass_balance", residuals, tol, labels=names)
+
+
+def energy_report(
+    network: WaterNetwork,
+    solution,
+    tol: float = ENERGY_TOL,
+    closed_flow_tol: float = CLOSED_FLOW_TOL,
+) -> OracleReport:
+    """Pipe energy: headloss(q) must equal the head drop across each pipe.
+
+    Satisfying this per pipe implies loop energy conservation (the signed
+    sum of headlosses around any loop telescopes to zero).  CLOSED pipes
+    are instead required to carry (numerically) zero flow.  Pumps and
+    valves regulate rather than dissipate and are covered by the solver's
+    status rules, so they are excluded here.
+    """
+    darcy = network.options.headloss_model.upper().startswith("D")
+    heads = solution.node_head
+    statuses = solution.link_status
+    flows = solution.link_flow
+    residuals: list[float] = []
+    labels: list[str] = []
+    for name, link in network.links.items():
+        if not isinstance(link, Pipe):
+            continue
+        flow = flows[name]
+        if statuses[name] is LinkStatus.CLOSED:
+            # A closed pipe leaks flow ~ dh / R_CLOSED; expressed in the
+            # energy report as flow (m^3/s) against closed_flow_tol,
+            # rescaled onto the head tolerance for a single report unit.
+            residuals.append(flow / closed_flow_tol * tol)
+            labels.append(f"{name} (closed)")
+            continue
+        if darcy:
+            headloss, _ = dw_headloss_and_gradient(
+                flow,
+                link.length,
+                link.diameter,
+                link.roughness * 1e-3,
+                link.minor_loss_resistance(),
+            )
+        else:
+            resistance = hazen_williams_resistance(
+                link.length, link.diameter, link.roughness
+            )
+            headloss, _ = hw_headloss_and_gradient(
+                flow, resistance, link.minor_loss_resistance()
+            )
+        drop = heads[link.start_node] - heads[link.end_node]
+        residuals.append(headloss - drop)
+        labels.append(name)
+    return _report("energy", np.array(residuals), tol, labels=labels)
+
+
+def emitter_report(
+    network: WaterNetwork,
+    solution,
+    emitters: "dict[str, tuple[float, float]] | tuple[np.ndarray, np.ndarray] | None" = None,
+    tol: float = EMITTER_TOL,
+) -> OracleReport:
+    """Emitter law: leak outflow must equal ``EC * max(p, 0)**beta``.
+
+    Args:
+        network: the solved network (supplies static emitter attributes).
+        solution: the solve to check.
+        emitters: the emitter overrides the solve actually used — either
+            the name-keyed dict or the junction-order ``(ec, beta)`` array
+            pair accepted by ``GGASolver.solve``.  None means the
+            network's own junction emitter attributes (the solver's
+            default).
+        tol: max tolerated |expected - reported| in m^3/s.
+    """
+    names = solution.junction_names
+    n = len(names)
+    if isinstance(emitters, tuple):
+        ec = np.asarray(emitters[0], dtype=float)
+        beta = np.asarray(emitters[1], dtype=float)
+    else:
+        ec = np.zeros(n)
+        beta = np.full(n, 0.5)
+        if emitters is None:
+            for i, name in enumerate(names):
+                junction = network.nodes[name]
+                assert isinstance(junction, Junction)
+                ec[i] = junction.emitter_coefficient
+                beta[i] = junction.emitter_exponent
+        else:
+            index = {name: i for i, name in enumerate(names)}
+            for name, (coefficient, exponent) in emitters.items():
+                ec[index[name]] = coefficient
+                beta[index[name]] = exponent
+    pressure = solution.junction_pressures
+    expected = np.where(
+        (ec > 0.0) & (pressure > 0.0),
+        ec * np.maximum(pressure, 0.0) ** beta,
+        0.0,
+    )
+    return _report(
+        "emitter_law", expected - solution.junction_leaks, tol, labels=names
+    )
+
+
+def finiteness_report(solution) -> OracleReport:
+    """Finiteness and sign guards: no NaN/inf anywhere, leaks >= 0."""
+    arrays = {
+        "junction_heads": solution.junction_heads,
+        "junction_pressures": solution.junction_pressures,
+        "junction_demands": solution.junction_demands,
+        "junction_leaks": solution.junction_leaks,
+        "fixed_heads": solution.fixed_heads,
+        "link_flows": solution.link_flows,
+    }
+    for label, values in arrays.items():
+        if not np.all(np.isfinite(values)):
+            return OracleReport(
+                name="finiteness",
+                max_residual=float("inf"),
+                tolerance=0.0,
+                passed=False,
+                detail=f"non-finite values in {label}",
+            )
+    negative = float(np.minimum(solution.junction_leaks, 0.0).min(initial=0.0))
+    return OracleReport(
+        name="finiteness",
+        max_residual=abs(negative),
+        tolerance=0.0,
+        passed=negative >= 0.0,
+        detail="" if negative >= 0.0 else "negative emitter outflow",
+    )
+
+
+def tank_volume_report(
+    network: WaterNetwork,
+    results: SimulationResults,
+    timestep: float | None = None,
+    tol: float = TANK_LEVEL_TOL,
+) -> OracleReport:
+    """Tank volume bookkeeping across EPS steps.
+
+    Re-integrates each tank's level with forward Euler from the recorded
+    link flows (``level[t+1] = clamp(level[t] + net_inflow * dt / area)``,
+    exactly the simulator's scheme) and compares against the recorded
+    levels.  Requires results recorded from ``report_start=0`` with a
+    uniform timestep.
+    """
+    tanks = list(network.tanks())
+    if not tanks or results.n_timesteps < 2:
+        return OracleReport(
+            name="tank_volume", max_residual=0.0, tolerance=tol, passed=True
+        )
+    if timestep is None:
+        timestep = float(np.median(np.diff(results.times)))
+    residuals: list[float] = []
+    labels: list[str] = []
+    for tank in tanks:
+        column = results.node_column(tank.name)
+        levels = results.tank_level[:, column]
+        inflow_links = []
+        for link in network.links.values():
+            if link.end_node == tank.name:
+                inflow_links.append((results.link_column(link.name), 1.0))
+            elif link.start_node == tank.name:
+                inflow_links.append((results.link_column(link.name), -1.0))
+        for t in range(results.n_timesteps - 1):
+            net_inflow = sum(
+                sign * results.flow[t, col] for col, sign in inflow_links
+            )
+            expected = levels[t] + net_inflow * timestep / tank.area
+            expected = min(max(expected, tank.min_level), tank.max_level)
+            residuals.append(expected - levels[t + 1])
+            labels.append(f"{tank.name}@t{t + 1}")
+    return _report("tank_volume", np.array(residuals), tol, labels=labels)
+
+
+# ----------------------------------------------------------------------
+def audit_solution(
+    network: WaterNetwork,
+    solution,
+    emitters=None,
+    mass_tol: float = MASS_BALANCE_TOL,
+    energy_tol: float = ENERGY_TOL,
+    emitter_tol: float = EMITTER_TOL,
+) -> list[OracleReport]:
+    """Run every steady-state oracle on one solution."""
+    return [
+        finiteness_report(solution),
+        mass_balance_report(network, solution, tol=mass_tol),
+        energy_report(network, solution, tol=energy_tol),
+        emitter_report(network, solution, emitters=emitters, tol=emitter_tol),
+    ]
+
+
+def audit_results(
+    network: WaterNetwork,
+    results: SimulationResults,
+    timestep: float | None = None,
+    tol: float = TANK_LEVEL_TOL,
+) -> list[OracleReport]:
+    """Run the EPS-level oracles on a recorded simulation."""
+    return [tank_volume_report(network, results, timestep=timestep, tol=tol)]
+
+
+@dataclass
+class InvariantAuditor:
+    """Opt-in per-solve audit mode for :class:`GGASolver`.
+
+    Attach with :meth:`attach` (or assign to ``solver.audit``); every
+    subsequent ``solve`` call is then checked against the steady-state
+    oracles using the *actual* demand/emitter inputs of that solve.
+
+    Args:
+        strict: raise :class:`InvariantViolation` on the first failing
+            solve (default).  Non-strict auditors accumulate failures in
+            :attr:`failures` for batch inspection.
+        mass_tol / energy_tol / emitter_tol: oracle thresholds.
+
+    Attributes:
+        n_solves: solves observed since construction (or :meth:`reset`).
+        worst: per-oracle worst residual seen, ``{name: residual}``.
+        failures: failing reports collected in non-strict mode.
+    """
+
+    strict: bool = True
+    mass_tol: float = MASS_BALANCE_TOL
+    energy_tol: float = ENERGY_TOL
+    emitter_tol: float = EMITTER_TOL
+    n_solves: int = 0
+    worst: dict[str, float] = field(default_factory=dict)
+    failures: list[OracleReport] = field(default_factory=list)
+
+    def attach(self, solver) -> "InvariantAuditor":
+        """Enable auditing on ``solver`` (its ``audit`` hook); returns self."""
+        solver.audit = self
+        return self
+
+    @staticmethod
+    def detach(solver) -> None:
+        """Disable auditing on ``solver``."""
+        solver.audit = None
+
+    def reset(self) -> None:
+        """Clear the accumulated counters, worsts, and failures."""
+        self.n_solves = 0
+        self.worst = {}
+        self.failures = []
+
+    # The solver hook: called by GGASolver.solve after packaging.
+    def observe(self, solver, solution, emitters=None) -> list[OracleReport]:
+        """Audit one solve; called by the solver hook or directly."""
+        reports = audit_solution(
+            solver.network,
+            solution,
+            emitters=emitters,
+            mass_tol=self.mass_tol,
+            energy_tol=self.energy_tol,
+            emitter_tol=self.emitter_tol,
+        )
+        self.n_solves += 1
+        for report in reports:
+            previous = self.worst.get(report.name, 0.0)
+            self.worst[report.name] = max(previous, report.max_residual)
+        failed = [r for r in reports if not r.passed]
+        if failed:
+            if self.strict:
+                raise InvariantViolation(reports)
+            self.failures.extend(failed)
+        return reports
+
+    def summary(self) -> dict:
+        """Counters for logs: solves audited, worst residual per oracle."""
+        return {
+            "n_solves": self.n_solves,
+            "n_failures": len(self.failures),
+            "worst": dict(self.worst),
+        }

@@ -1,0 +1,125 @@
+"""Stock properties for the fuzz engine.
+
+Each property takes a :class:`~repro.verify.fuzz.NetworkCase`, raises on
+violation, and raises :class:`~repro.verify.fuzz.SkipCase` for cases it
+does not apply to (e.g. hydraulics that legitimately diverge).  They are
+what ``repro verify`` and the seed-matrix CI job run; they are also the
+targets the emitted regression tests import, so keep their signatures
+stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hydraulics import ConvergenceError, GGASolver, read_inp
+from ..hydraulics.inp import inp_text
+from .fuzz import NetworkCase, SkipCase
+from .oracles import InvariantViolation, audit_solution
+
+
+def _solve_or_skip(solver: GGASolver, **kwargs):
+    try:
+        return solver.solve(**kwargs)
+    except ConvergenceError as exc:
+        raise SkipCase(f"non-convergent hydraulics: {exc}") from exc
+
+
+def prop_solve_invariants(case: NetworkCase) -> None:
+    """Every converged solve satisfies the physics oracles.
+
+    Solves the case with its leak events as emitter overrides and runs
+    mass-balance, energy, emitter-law and finiteness oracles on the
+    result.
+    """
+    network = case.build()
+    solver = GGASolver(network)
+    emitters = case.emitter_overrides()
+    solution = _solve_or_skip(solver, emitters=emitters)
+    reports = audit_solution(network, solution, emitters=emitters)
+    if any(not r.passed for r in reports):
+        raise InvariantViolation(reports)
+
+
+def prop_inp_roundtrip(case: NetworkCase) -> None:
+    """``read_inp(inp_text(net))`` preserves topology and hydraulics."""
+    network = case.build()
+    parsed, _ = read_inp(inp_text(network), name=network.name)
+    assert parsed.describe() == network.describe(), (
+        f"topology changed: {network.describe()} -> {parsed.describe()}"
+    )
+    options, parsed_options = network.options, parsed.options
+    for attr in ("duration", "hydraulic_timestep", "pattern_timestep"):
+        assert getattr(parsed_options, attr) == getattr(options, attr), attr
+    solution = _solve_or_skip(GGASolver(network), emitters=case.emitter_overrides())
+    roundtrip = _solve_or_skip(GGASolver(parsed), emitters=case.emitter_overrides())
+    # Geometry is serialised at %.6g, so flows agree to that precision.
+    np.testing.assert_allclose(
+        roundtrip.link_flows,
+        solution.link_flows,
+        rtol=1e-4,
+        atol=1e-6,
+        err_msg="link flows drifted across the INP round-trip",
+    )
+
+
+def prop_warm_equals_cold(case: NetworkCase) -> None:
+    """Warm-started solves reach the same fixed point as cold solves."""
+    network = case.build()
+    solver = GGASolver(network)
+    baseline = _solve_or_skip(solver)
+    emitters = case.emitter_overrides()
+    cold = _solve_or_skip(solver, emitters=emitters)
+    warm = _solve_or_skip(solver, emitters=emitters, warm_start=baseline)
+    np.testing.assert_allclose(
+        warm.junction_heads, cold.junction_heads, atol=1e-5,
+        err_msg="warm-started heads diverged from the cold solve",
+    )
+    np.testing.assert_allclose(
+        warm.link_flows, cold.link_flows, atol=1e-5,
+        err_msg="warm-started flows diverged from the cold solve",
+    )
+
+
+def prop_array_equals_dict(case: NetworkCase) -> None:
+    """The array fast path is bit-identical to the dict slow path."""
+    network = case.build()
+    solver = GGASolver(network)
+    junction_names = solver.junction_names
+    # Perturbed demands exercise the override plumbing, not just defaults.
+    demand_values = [
+        (1.0 + 0.1 * (i % 5)) * network.nodes[name].base_demand
+        for i, name in enumerate(junction_names)
+    ]
+    demand_dict = dict(zip(junction_names, demand_values))
+    demand_array = np.array(demand_values)
+    emitter_dict = case.emitter_overrides()
+    if emitter_dict is None:
+        emitter_arrays = None
+    else:
+        ec = np.zeros(len(junction_names))
+        beta = np.full(len(junction_names), 0.5)
+        index = {name: i for i, name in enumerate(junction_names)}
+        for name, (coefficient, exponent) in emitter_dict.items():
+            ec[index[name]] = coefficient
+            beta[index[name]] = exponent
+        emitter_arrays = (ec, beta)
+    slow = _solve_or_skip(solver, demands=demand_dict, emitters=emitter_dict)
+    fast = _solve_or_skip(solver, demands=demand_array, emitters=emitter_arrays)
+    for attribute in ("junction_heads", "junction_leaks", "link_flows"):
+        a = getattr(slow, attribute)
+        b = getattr(fast, attribute)
+        assert np.array_equal(a, b), (
+            f"array fast path is not bit-identical on {attribute}: "
+            f"max diff {np.max(np.abs(a - b)):.3e}"
+        )
+
+
+def stock_properties() -> dict[str, object]:
+    """Name -> property mapping for sweeps and CLIs."""
+    return {
+        "solve-invariants": prop_solve_invariants,
+        "inp-roundtrip": prop_inp_roundtrip,
+        "warm-equals-cold": prop_warm_equals_cold,
+        "array-equals-dict": prop_array_equals_dict,
+    }

@@ -1,0 +1,253 @@
+"""The ``repro verify`` sweep: one command, every correctness claim.
+
+:func:`run_verify` walks the network catalog and, per network,
+
+1. attaches an :class:`~repro.verify.oracles.InvariantAuditor` to a
+   :class:`~repro.hydraulics.GGASolver` through the solver's ``audit``
+   hook and audits the baseline solve plus a batch of random leak
+   scenarios (physics invariants on every solve the sweep performs);
+2. runs a short extended-period simulation and checks tank volume
+   bookkeeping across timesteps;
+3. runs the differential oracles (array vs dict, warm vs cold,
+   workers vs serial, n_jobs vs serial);
+4. checks the committed golden snapshots (steady heads/flows always,
+   the Phase-I/Phase-II accuracy golden in full mode);
+
+then fuzzes the stock properties on random small networks.  Quick mode
+trims scenario counts and skips the accuracy golden so the sweep stays
+CI-sized; every *kind* of check still runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hydraulics import GGASolver, TimedLeak, simulate
+from ..networks import available_networks, build_network
+from .differential import DiffReport, run_differential_oracles
+from .fuzz import FuzzReport, run_property
+from .golden import (
+    GoldenReport,
+    check_accuracy_golden,
+    check_steady_golden,
+    update_accuracy_golden,
+    update_steady_golden,
+)
+from .oracles import InvariantAuditor, OracleReport, audit_results
+
+#: Networks whose accuracy golden is maintained (full mode only; the
+#: pipeline run is too heavy to repeat for every catalog entry).
+ACCURACY_NETWORKS = ("epanet",)
+
+#: EPS workload for the tank-volume oracle (seconds).
+EPS_DURATION = 4 * 3600.0
+
+
+class _WorstReportRecorder:
+    """Audit hook that wraps an auditor and keeps the worst report per oracle.
+
+    ``GGASolver.audit`` is duck-typed — anything with ``observe`` works —
+    so the sweep can record per-oracle worst *reports* (not just worst
+    residuals) while still exercising the real attach path.
+    """
+
+    def __init__(self, auditor: InvariantAuditor):
+        self.auditor = auditor
+        self.worst_reports: dict[str, OracleReport] = {}
+
+    def observe(self, solver, solution, emitters=None) -> list[OracleReport]:
+        reports = self.auditor.observe(solver, solution, emitters=emitters)
+        for report in reports:
+            held = self.worst_reports.get(report.name)
+            if held is None or report.max_residual > held.max_residual:
+                self.worst_reports[report.name] = report
+        return reports
+
+
+@dataclass(frozen=True)
+class NetworkVerifyReport:
+    """All verification outcomes for one catalog network."""
+
+    network: str
+    n_solves: int
+    oracle_reports: tuple[OracleReport, ...]
+    diff_reports: tuple[DiffReport, ...]
+    golden_reports: tuple[GoldenReport, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(
+            r.passed
+            for r in (*self.oracle_reports, *self.diff_reports, *self.golden_reports)
+        )
+
+    @property
+    def max_mass_residual(self) -> float:
+        """Worst mass-balance residual seen on this network (m^3/s)."""
+        return max(
+            (r.max_residual for r in self.oracle_reports if r.name == "mass_balance"),
+            default=0.0,
+        )
+
+
+@dataclass(frozen=True)
+class VerifyResult:
+    """Outcome of one :func:`run_verify` sweep."""
+
+    networks: tuple[NetworkVerifyReport, ...]
+    fuzz_reports: tuple[FuzzReport, ...]
+    seed: int
+    quick: bool
+
+    @property
+    def passed(self) -> bool:
+        return all(n.passed for n in self.networks) and all(
+            f.passed for f in self.fuzz_reports
+        )
+
+    @property
+    def max_mass_residual(self) -> float:
+        """Worst mass-balance residual across the whole sweep (m^3/s)."""
+        return max((n.max_mass_residual for n in self.networks), default=0.0)
+
+    def lines(self) -> list[str]:
+        """Human-readable report, one check per line."""
+        out: list[str] = []
+        for report in self.networks:
+            out.append(f"network {report.network} ({report.n_solves} solves audited)")
+            out.extend(f"  {r}" for r in report.oracle_reports)
+            out.extend(f"  {r}" for r in report.diff_reports)
+            out.extend(f"  {r}" for r in report.golden_reports)
+        for fuzz in self.fuzz_reports:
+            status = "PASS" if fuzz.passed else "FAIL"
+            out.append(
+                f"fuzz {fuzz.property_name}: [{status}] "
+                f"{fuzz.n_cases} cases, {fuzz.n_skipped} skipped, "
+                f"{len(fuzz.failures)} failures (seed {fuzz.seed})"
+            )
+            for failure in fuzz.failures:
+                out.append(f"  case #{failure.case_index}: {failure.error}")
+                out.append(
+                    f"  shrunk to size {failure.shrunk.size} "
+                    f"in {failure.shrink_steps} steps: {failure.shrunk_error}"
+                )
+        mass = self.max_mass_residual
+        out.append(f"max mass-balance residual: {mass:.3e} m^3/s")
+        out.append(f"overall: {'PASS' if self.passed else 'FAIL'}")
+        return out
+
+
+def _leak_scenarios(
+    network, seed: int, n_scenarios: int
+) -> list[dict[str, tuple[float, float]]]:
+    """Deterministic random leak-emitter batches for the audit sweep."""
+    junctions = network.junction_names()
+    scenarios = []
+    for child in np.random.SeedSequence(seed).spawn(n_scenarios):
+        rng = np.random.default_rng(child)
+        n_leaks = int(rng.integers(1, 4))
+        chosen = rng.choice(len(junctions), size=min(n_leaks, len(junctions)),
+                            replace=False)
+        scenarios.append(
+            {
+                junctions[int(i)]: (float(rng.uniform(5e-4, 4e-3)), 0.5)
+                for i in chosen
+            }
+        )
+    return scenarios
+
+
+def _audit_network(
+    name: str, seed: int, n_scenarios: int
+) -> tuple[int, list[OracleReport]]:
+    """Audited baseline + leak solves, then an audited EPS run."""
+    network = build_network(name)
+    solver = GGASolver(network)
+    recorder = _WorstReportRecorder(InvariantAuditor(strict=False))
+    solver.audit = recorder
+    baseline = solver.solve()
+    for emitters in _leak_scenarios(network, seed, n_scenarios):
+        solver.solve(emitters=emitters, warm_start=baseline)
+    solver.audit = None
+
+    # EPS leg: a timed leak at the first junction, tank bookkeeping checked.
+    first = network.junction_names()[0]
+    leak = TimedLeak(node=first, emitter_coefficient=1e-3,
+                     start_time=EPS_DURATION / 2)
+    results = simulate(network, duration=EPS_DURATION, leaks=[leak])
+    eps_reports = audit_results(network, results)
+
+    reports = sorted(recorder.worst_reports.values(), key=lambda r: r.name)
+    return recorder.auditor.n_solves, [*reports, *eps_reports]
+
+
+def run_verify(
+    networks: list[str] | None = None,
+    quick: bool = False,
+    seed: int = 0,
+    fuzz: bool = True,
+    update_golden: bool = False,
+    workers: int = 4,
+) -> VerifyResult:
+    """Run the full verification sweep; see the module docstring.
+
+    Args:
+        networks: catalog names to sweep (default: the whole catalog).
+        quick: trim scenario counts and skip the accuracy golden.
+        seed: master seed for leak scenarios and the fuzzer.
+        fuzz: also fuzz the stock properties on random networks.
+        update_golden: regenerate golden snapshots instead of checking
+            them (the result then reports the fresh comparison, which
+            passes by construction).
+        workers: pool size for the parallel differential oracles.
+    """
+    from .properties import stock_properties
+
+    names = list(networks) if networks else available_networks()
+    n_scenarios = 3 if quick else 10
+    network_reports = []
+    for name in names:
+        if update_golden:
+            update_steady_golden(name)
+            if not quick and name in ACCURACY_NETWORKS:
+                update_accuracy_golden(name)
+        n_solves, oracle_reports = _audit_network(name, seed, n_scenarios)
+        diff_reports = run_differential_oracles(
+            build_network(name), seed=seed, quick=quick, workers=workers
+        )
+        golden_reports = [check_steady_golden(name)]
+        if not quick and name in ACCURACY_NETWORKS:
+            golden_reports.append(check_accuracy_golden(name))
+        network_reports.append(
+            NetworkVerifyReport(
+                network=name,
+                n_solves=n_solves,
+                oracle_reports=tuple(oracle_reports),
+                diff_reports=tuple(diff_reports),
+                golden_reports=tuple(golden_reports),
+            )
+        )
+
+    fuzz_reports = []
+    if fuzz:
+        n_cases = 8 if quick else 25
+        for prop_name, prop in sorted(stock_properties().items()):
+            fuzz_reports.append(
+                run_property(prop, n_cases=n_cases, seed=seed)
+            )
+    return VerifyResult(
+        networks=tuple(network_reports),
+        fuzz_reports=tuple(fuzz_reports),
+        seed=seed,
+        quick=quick,
+    )
+
+
+__all__ = [
+    "ACCURACY_NETWORKS",
+    "NetworkVerifyReport",
+    "VerifyResult",
+    "run_verify",
+]

@@ -1,5 +1,7 @@
 """Dataset / profile persistence tests."""
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -11,6 +13,9 @@ from repro.datasets import (
     save_dataset,
     save_profile,
 )
+from repro.datasets.cache import _npz_path
+from repro.datasets.generation import LeakDataset
+from repro.failures import FailureScenario, LeakEvent
 
 
 class TestDatasetRoundTrip:
@@ -75,6 +80,116 @@ class TestDatasetRoundTrip:
             )
         with pytest.raises(ValueError, match="version"):
             load_dataset(path)
+
+
+def _synthetic_dataset(rng, junction_names, n_samples, scenarios):
+    """A hand-built dataset: round-trips without any hydraulics."""
+    n_candidates = 2 * len(junction_names)
+    return LeakDataset(
+        X_candidates=rng.normal(size=(n_samples, n_candidates)),
+        Y=rng.integers(0, 2, size=(n_samples, len(junction_names))).astype(np.int64),
+        candidate_keys=[f"c{i}" for i in range(n_candidates)],
+        junction_names=list(junction_names),
+        scenarios=scenarios,
+        elapsed_slots=2,
+    )
+
+
+class TestNpzPathNormalisation:
+    @pytest.mark.parametrize(
+        ("given", "expected"),
+        [
+            ("bundle", "bundle.npz"),
+            ("bundle.npz", "bundle.npz"),
+            ("bundle.dat", "bundle.dat.npz"),
+            ("dir.v2/bundle", "dir.v2/bundle.npz"),
+            ("archive.npz.bak", "archive.npz.bak.npz"),
+        ],
+    )
+    def test_suffix_rules(self, given, expected):
+        assert _npz_path(given) == Path(expected)
+
+    def test_save_load_agree_for_every_spelling(self, tmp_path, rng):
+        dataset = _synthetic_dataset(rng, ["J0", "J1"], 3, scenarios=[])
+        for spelling in ("a", "b.npz", "c.dat"):
+            save_dataset(dataset, tmp_path / spelling)
+            loaded = load_dataset(tmp_path / spelling)
+            assert np.array_equal(loaded.X_candidates, dataset.X_candidates)
+
+
+class TestSyntheticRoundTripFuzz:
+    def test_empty_scenarios(self, tmp_path, rng):
+        dataset = _synthetic_dataset(rng, ["J0", "J1", "J2"], 0, scenarios=[])
+        path = tmp_path / "empty.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.X_candidates.shape == dataset.X_candidates.shape
+        assert loaded.scenarios == []
+        assert loaded.Y.shape == (0, 3)
+
+    def test_multi_leak_scenarios(self, tmp_path, rng):
+        scenario = FailureScenario(
+            events=(
+                LeakEvent(location="J0", size=1e-3, start_slot=2),
+                LeakEvent(location="J1", size=2e-3, start_slot=2, beta=0.75),
+                LeakEvent(location="J2", size=3e-3, start_slot=2),
+            ),
+            start_slot=2,
+            frozen_nodes=frozenset({"J1"}),
+            temperature_f=20.0,
+        )
+        dataset = _synthetic_dataset(
+            rng, ["J0", "J1", "J2"], 1, scenarios=[scenario]
+        )
+        save_dataset(dataset, tmp_path / "multi.npz")
+        loaded = load_dataset(tmp_path / "multi.npz")
+        restored = loaded.scenarios[0]
+        assert restored.leak_nodes == scenario.leak_nodes
+        assert restored.frozen_nodes == scenario.frozen_nodes
+        assert restored.temperature_f == scenario.temperature_f
+        assert restored.events == scenario.events
+
+    def test_unusual_node_ids_survive_json(self, tmp_path, rng):
+        # Names a utility GIS export might produce: spaces, unicode,
+        # quotes, JSON-hostile punctuation.
+        names = ['Node "7"', "Pump-Station/3", "Brunnenstraße", "J 001"]
+        scenario = FailureScenario(
+            events=(LeakEvent(location=names[2], size=1e-3, start_slot=0),),
+            start_slot=0,
+        )
+        dataset = _synthetic_dataset(rng, names, 2, scenarios=[scenario])
+        save_dataset(dataset, tmp_path / "odd.npz")
+        loaded = load_dataset(tmp_path / "odd.npz")
+        assert loaded.junction_names == names
+        assert loaded.scenarios[0].events[0].location == names[2]
+
+    def test_random_shapes_fuzz(self, tmp_path, rng):
+        for i in range(10):
+            names = [f"N{k}" for k in range(int(rng.integers(1, 9)))]
+            n_samples = int(rng.integers(0, 7))
+            scenarios = [
+                FailureScenario(
+                    events=(
+                        LeakEvent(
+                            location=str(rng.choice(names)),
+                            size=float(rng.uniform(1e-4, 4e-3)),
+                            start_slot=int(rng.integers(0, 96)),
+                        ),
+                    ),
+                    start_slot=0,
+                )
+                for _ in range(n_samples)
+            ]
+            dataset = _synthetic_dataset(rng, names, n_samples, scenarios)
+            path = tmp_path / f"fuzz{i}.npz"
+            save_dataset(dataset, path)
+            loaded = load_dataset(path)
+            assert np.array_equal(loaded.X_candidates, dataset.X_candidates)
+            assert np.array_equal(loaded.Y, dataset.Y)
+            assert loaded.candidate_keys == dataset.candidate_keys
+            assert [s.events for s in loaded.scenarios] == [
+                s.events for s in dataset.scenarios
+            ]
 
 
 class TestProfileRoundTrip:

@@ -8,6 +8,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hydraulics import GGASolver, WaterNetwork, read_inp, write_inp
+from repro.hydraulics.controls import ControlCondition, SimpleControl
+from repro.hydraulics.components import LinkStatus
+from repro.hydraulics.inp import (
+    InpSyntaxError,
+    _apply_time_option,
+    _parse_control,
+    inp_text,
+)
 
 
 def build_random_network(seed: int, n_junctions: int) -> WaterNetwork:
@@ -80,3 +88,130 @@ def test_roundtrip_preserves_hydraulics(tmp_path_factory, seed):
         assert sol_b.link_flow[name] == pytest.approx(
             sol_a.link_flow[name], rel=1e-4, abs=1e-6
         )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    duration_hours=st.integers(0, 96),
+    hydraulic_minutes=st.integers(1, 120),
+    pattern_minutes=st.integers(1, 240),
+    trials=st.integers(10, 400),
+    accuracy=st.sampled_from([1e-3, 1e-4, 5e-5, 1e-5]),
+)
+def test_roundtrip_preserves_options(
+    seed, duration_hours, hydraulic_minutes, pattern_minutes, trials, accuracy
+):
+    """[TIMES]/[OPTIONS] survive a text round-trip exactly."""
+    net = build_random_network(seed, 4)
+    net.options.duration = duration_hours * 3600.0
+    net.options.hydraulic_timestep = hydraulic_minutes * 60.0
+    net.options.pattern_timestep = pattern_minutes * 60.0
+    net.options.trials = trials
+    net.options.accuracy = accuracy
+    parsed, _ = read_inp(inp_text(net))
+    assert parsed.options.duration == net.options.duration
+    assert parsed.options.hydraulic_timestep == net.options.hydraulic_timestep
+    assert parsed.options.pattern_timestep == net.options.pattern_timestep
+    assert parsed.options.trials == trials
+    assert parsed.options.accuracy == pytest.approx(accuracy)
+
+
+_control_strategy = st.builds(
+    SimpleControl,
+    link_name=st.sampled_from(["P0", "P1", "P2"]),
+    status=st.sampled_from([LinkStatus.OPEN, LinkStatus.CLOSED]),
+    condition=st.sampled_from(
+        [
+            ControlCondition.NODE_ABOVE,
+            ControlCondition.NODE_BELOW,
+            ControlCondition.AT_TIME,
+        ]
+    ),
+    threshold=st.integers(0, 86_400).map(float),
+    node_name=st.sampled_from(["J0", "J1", "J2"]),
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), controls=st.lists(_control_strategy, max_size=4))
+def test_roundtrip_preserves_controls(seed, controls):
+    """[CONTROLS] lines survive a text round-trip field by field.
+
+    Time thresholds are whole seconds (the ``HH:MM:SS`` wire format), so
+    the comparison is exact.
+    """
+    net = build_random_network(seed, 3)
+    _, parsed_controls = read_inp(inp_text(net, controls=controls))
+    assert len(parsed_controls) == len(controls)
+    for original, parsed in zip(controls, parsed_controls):
+        assert parsed.link_name == original.link_name
+        assert parsed.status == original.status
+        assert parsed.condition == original.condition
+        assert parsed.threshold == pytest.approx(original.threshold, rel=1e-6)
+        if original.condition is not ControlCondition.AT_TIME:
+            assert parsed.node_name == original.node_name
+
+
+class TestParseControlEdges:
+    def test_node_above_and_below(self):
+        above = _parse_control(
+            "LINK P1 CLOSED IF NODE T1 ABOVE 6.5".split(), lineno=1
+        )
+        assert above.condition is ControlCondition.NODE_ABOVE
+        assert above.threshold == 6.5
+        below = _parse_control(
+            "LINK P1 OPEN IF NODE T1 BELOW 2.0".split(), lineno=1
+        )
+        assert below.condition is ControlCondition.NODE_BELOW
+        assert below.status is LinkStatus.OPEN
+
+    def test_at_time_parses_clock_formats(self):
+        control = _parse_control("LINK P1 CLOSED AT TIME 1:30".split(), lineno=1)
+        assert control.condition is ControlCondition.AT_TIME
+        assert control.threshold == 5400.0
+        decimal = _parse_control("LINK P1 CLOSED AT TIME 1.5".split(), lineno=1)
+        assert decimal.threshold == 5400.0
+
+    def test_unsupported_forms_return_none(self):
+        # AT CLOCKTIME and other EPANET forms are recognised-but-skipped.
+        tokens = "LINK P1 OPEN AT CLOCKTIME 12 AM".split()
+        assert _parse_control(tokens, lineno=1) is None
+
+    def test_bad_prefix_raises(self):
+        with pytest.raises(InpSyntaxError, match="LINK"):
+            _parse_control("PUMP P1 OPEN AT TIME 2:00".split(), lineno=3)
+
+    def test_unknown_status_raises(self):
+        with pytest.raises(InpSyntaxError, match="status"):
+            _parse_control("LINK P1 THROTTLED AT TIME 2:00".split(), lineno=3)
+
+
+class TestApplyTimeOptionEdges:
+    def test_recognised_keys_set_options(self, two_loop):
+        _apply_time_option(two_loop, ["DURATION", "2:00"], lineno=1)
+        _apply_time_option(two_loop, ["HYDRAULIC", "TIMESTEP", "0:15"], lineno=2)
+        _apply_time_option(two_loop, ["PATTERN", "TIMESTEP", "1:00"], lineno=3)
+        assert two_loop.options.duration == 7200.0
+        assert two_loop.options.hydraulic_timestep == 900.0
+        assert two_loop.options.pattern_timestep == 3600.0
+
+    def test_case_insensitive(self, two_loop):
+        _apply_time_option(two_loop, ["duration", "24:00"], lineno=1)
+        assert two_loop.options.duration == 86_400.0
+
+    def test_unknown_or_truncated_lines_are_ignored(self, two_loop):
+        before = (
+            two_loop.options.duration,
+            two_loop.options.hydraulic_timestep,
+            two_loop.options.pattern_timestep,
+        )
+        _apply_time_option(two_loop, ["DURATION"], lineno=1)  # no value
+        _apply_time_option(two_loop, ["REPORT", "TIMESTEP", "1:00"], lineno=2)
+        _apply_time_option(two_loop, ["HYDRAULIC"], lineno=3)
+        after = (
+            two_loop.options.duration,
+            two_loop.options.hydraulic_timestep,
+            two_loop.options.pattern_timestep,
+        )
+        assert after == before

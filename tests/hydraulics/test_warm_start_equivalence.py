@@ -1,0 +1,102 @@
+"""Warm-started solves must reach the cold-start fixed point.
+
+Regression tests for the PR 2 warm-start fast path: leak perturbations,
+demand perturbations, forced status transitions, and the shape guard
+that rejects solutions from a different network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hydraulics import GGASolver, NetworkTopologyError
+from repro.hydraulics.components import LinkStatus
+
+#: Warm and cold solves share a fixed point only to solver accuracy.
+ATOL = 1e-5
+
+
+def assert_same_fixed_point(warm, cold):
+    np.testing.assert_allclose(warm.junction_heads, cold.junction_heads, atol=ATOL)
+    np.testing.assert_allclose(warm.link_flows, cold.link_flows, atol=ATOL)
+    np.testing.assert_allclose(warm.junction_leaks, cold.junction_leaks, atol=ATOL)
+
+
+class TestLeakPerturbations:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_epanet_random_leaks(self, epanet_solver, seed):
+        baseline = epanet_solver.solve()
+        rng = np.random.default_rng(seed)
+        names = epanet_solver.junction_names
+        chosen = rng.choice(len(names), size=3, replace=False)
+        emitters = {
+            names[int(i)]: (float(rng.uniform(5e-4, 4e-3)), 0.5) for i in chosen
+        }
+        cold = epanet_solver.solve(emitters=emitters)
+        warm = epanet_solver.solve(emitters=emitters, warm_start=baseline)
+        assert_same_fixed_point(warm, cold)
+
+    def test_warm_from_leak_solution_back_to_baseline(self, epanet_solver):
+        leaky = epanet_solver.solve(emitters={"J5": (3e-3, 0.5)})
+        cold = epanet_solver.solve()
+        warm = epanet_solver.solve(warm_start=leaky)
+        assert_same_fixed_point(warm, cold)
+
+    def test_chained_warm_starts_do_not_drift(self, two_loop):
+        solver = GGASolver(two_loop)
+        previous = solver.solve()
+        for k in range(5):
+            emitters = {"J3": ((k + 1) * 1e-3, 0.5)}
+            cold = solver.solve(emitters=emitters)
+            warm = solver.solve(emitters=emitters, warm_start=previous)
+            assert_same_fixed_point(warm, cold)
+            previous = warm
+
+
+class TestDemandAndStatusTransitions:
+    def test_demand_scaling(self, epanet_solver, epanet):
+        baseline = epanet_solver.solve()
+        names = epanet_solver.junction_names
+        demands = np.array([epanet.nodes[n].base_demand for n in names]) * 1.4
+        cold = epanet_solver.solve(demands=demands)
+        warm = epanet_solver.solve(demands=demands, warm_start=baseline)
+        assert_same_fixed_point(warm, cold)
+
+    def test_pipe_closure_transition(self, two_loop):
+        solver = GGASolver(two_loop)
+        baseline = solver.solve()
+        overrides = {"P4": LinkStatus.CLOSED}
+        cold = solver.solve(status_overrides=overrides)
+        warm = solver.solve(status_overrides=overrides, warm_start=baseline)
+        assert_same_fixed_point(warm, cold)
+        flow = warm.link_flow["P4"]
+        assert abs(flow) < 1e-6
+
+    def test_reopening_transition(self, two_loop):
+        solver = GGASolver(two_loop)
+        closed = solver.solve(status_overrides={"P4": LinkStatus.CLOSED})
+        cold = solver.solve()
+        warm = solver.solve(warm_start=closed)
+        assert_same_fixed_point(warm, cold)
+
+
+class TestShapeGuard:
+    def test_foreign_network_solution_rejected(self, epanet_solver, two_loop):
+        foreign = GGASolver(two_loop).solve()
+        with pytest.raises(NetworkTopologyError, match="shape"):
+            epanet_solver.solve(warm_start=foreign)
+
+    def test_truncated_heads_rejected(self, two_loop):
+        solver = GGASolver(two_loop)
+        solution = solver.solve()
+        solution.junction_heads = solution.junction_heads[:-1]
+        with pytest.raises(NetworkTopologyError, match="shape"):
+            solver.solve(warm_start=solution)
+
+    def test_truncated_flows_rejected(self, two_loop):
+        solver = GGASolver(two_loop)
+        solution = solver.solve()
+        solution.link_flows = solution.link_flows[:-1]
+        with pytest.raises(NetworkTopologyError, match="shape"):
+            solver.solve(warm_start=solution)

@@ -57,3 +57,51 @@ class TestLinearSVC:
         soft = LinearSVC(C=0.001).fit(X, y)
         hard = LinearSVC(C=10.0).fit(X, y)
         assert np.linalg.norm(soft.coef_) < np.linalg.norm(hard.coef_)
+
+
+class TestPlattScaling:
+    """Calibration-layer contract: sigmoid(a * decision + b)."""
+
+    def test_proba_monotone_in_decision_value(self, binary_data):
+        X, y = binary_data
+        model = LinearSVC(random_state=0).fit(X, y)
+        order = np.argsort(model.decision_function(X))
+        p1 = model.predict_proba(X)[order, 1]
+        assert (np.diff(p1) >= 0).all()
+
+    def test_proba_bounded_and_normalised(self, binary_data):
+        X, y = binary_data
+        model = LinearSVC(random_state=0).fit(X, y)
+        # Include far-out-of-distribution points: probabilities must stay
+        # in [0, 1] even where the sigmoid saturates.
+        X_wide = np.vstack([X, 100.0 * X[:5], -100.0 * X[:5]])
+        proba = model.predict_proba(X_wide)
+        assert (proba >= 0.0).all() and (proba <= 1.0).all()
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_platt_property_matches_predict_proba(self, binary_data):
+        X, y = binary_data
+        model = LinearSVC(random_state=0).fit(X, y)
+        a, b = model.platt_
+        expected = 1.0 / (1.0 + np.exp(-(a * model.decision_function(X) + b)))
+        assert np.allclose(model.predict_proba(X)[:, 1], expected)
+
+    def test_platt_slope_is_positive(self, binary_data):
+        # A negative slope would invert the decision ordering entirely.
+        X, y = binary_data
+        model = LinearSVC(random_state=0).fit(X, y)
+        assert model.platt_[0] > 0.0
+
+    def test_single_class_fallback_coefficients(self):
+        X = np.zeros((10, 2))
+        model = LinearSVC().fit(X, np.ones(10, dtype=int))
+        assert model.platt_ == (1.0, 0.0)
+        proba = model.predict_proba(X)
+        assert proba.shape == (10, 1)
+        assert (proba == 1.0).all()
+
+    def test_platt_before_fit_raises(self):
+        from repro.ml.base import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            LinearSVC().platt_

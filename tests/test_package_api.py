@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.platform",
     "repro.sensing",
     "repro.stream",
+    "repro.verify",
 ]
 
 

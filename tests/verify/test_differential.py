@@ -1,0 +1,71 @@
+"""Differential oracles: fast paths vs reference paths."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.verify import (
+    diff_array_vs_dict,
+    diff_njobs_training,
+    diff_warm_vs_cold,
+    diff_workers_dataset,
+    run_differential_oracles,
+)
+from repro.verify.differential import _compare
+
+
+class TestCompare:
+    def test_bit_identical_passes_zero_tolerance(self):
+        a = np.arange(5.0)
+        report = _compare("x", [(a, a.copy())], tolerance=0.0)
+        assert report.passed and report.bit_identical
+
+    def test_within_tolerance_passes(self):
+        a = np.arange(5.0)
+        report = _compare("x", [(a, a + 1e-8)], tolerance=1e-6)
+        assert report.passed and not report.bit_identical
+        assert report.max_abs_diff <= 1e-6
+
+    def test_beyond_tolerance_fails(self):
+        a = np.arange(5.0)
+        report = _compare("x", [(a, a + 1e-3)], tolerance=1e-6)
+        assert not report.passed
+
+    def test_shape_mismatch_fails(self):
+        report = _compare(
+            "x", [(np.zeros(3), np.zeros(4))], tolerance=1.0
+        )
+        assert not report.passed
+        assert "shape mismatch" in report.detail
+
+
+class TestOracles:
+    def test_array_vs_dict_bit_identical(self, two_loop):
+        report = diff_array_vs_dict(two_loop, seed=0)
+        assert report.passed, str(report)
+        assert report.bit_identical
+
+    def test_warm_vs_cold_within_tolerance(self, two_loop):
+        report = diff_warm_vs_cold(two_loop, seed=0)
+        assert report.passed, str(report)
+        assert report.max_abs_diff <= report.tolerance
+
+    def test_workers_vs_serial_bit_identical(self, two_loop):
+        report = diff_workers_dataset(two_loop, seed=0, n_samples=6, workers=2)
+        assert report.passed, str(report)
+        assert report.bit_identical
+
+    def test_njobs_vs_serial_bit_identical(self, two_loop):
+        report = diff_njobs_training(two_loop, seed=0, n_samples=20, n_jobs=2)
+        assert report.passed, str(report)
+        assert report.bit_identical
+
+    def test_quick_sweep_all_pass(self, two_loop):
+        reports = run_differential_oracles(two_loop, seed=0, quick=True)
+        assert [r.name for r in reports] == [
+            "array_vs_dict",
+            "warm_vs_cold",
+            "workers_vs_serial",
+            "njobs_vs_serial",
+        ]
+        assert all(r.passed for r in reports), [str(r) for r in reports]

@@ -1,0 +1,189 @@
+"""Fuzz engine: determinism, shrinking, and emitted regression tests."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.verify import (
+    EventSpec,
+    JunctionSpec,
+    NetworkCase,
+    PipeSpec,
+    SkipCase,
+    TankSpec,
+    emit_regression_test,
+    random_case,
+    run_property,
+    shrink_case,
+)
+from repro.verify.fuzz import _candidates
+
+
+def prop_injected_fault(case: NetworkCase) -> None:
+    """A deliberately broken property: fails on >= 3 junctions + a leak.
+
+    Module-level (not a closure) so emitted regression tests can import
+    it back from this module.
+    """
+    assert not (len(case.junctions) >= 3 and case.events), "injected fault"
+
+
+def prop_always_passes(case: NetworkCase) -> None:
+    """Trivially true property."""
+
+
+def prop_always_skips(case: NetworkCase) -> None:
+    """Property that applies to no case."""
+    raise SkipCase("not applicable")
+
+
+class TestCaseStructure:
+    def test_random_case_is_pure_function_of_seed(self):
+        assert random_case(42) == random_case(42)
+        assert random_case(42) != random_case(43)
+
+    def test_build_produces_valid_network(self):
+        for seed in range(10):
+            case = random_case(seed)
+            network = case.build()
+            assert network.num_nodes >= 3
+            counts = network.describe()
+            expected_links = (
+                len(case.chain_pipes)
+                + len(case.extra_pipes)
+                + (1 if case.tank else 0)
+            )
+            assert counts["links"] == expected_links
+
+    def test_mismatched_chain_rejected(self):
+        with pytest.raises(ValueError, match="chain pipe"):
+            NetworkCase(
+                junctions=(JunctionSpec(elevation=0.0, base_demand=1e-3),),
+                chain_pipes=(),
+            )
+
+    def test_emitter_overrides_sum_event_sizes(self):
+        case = NetworkCase(
+            junctions=(
+                JunctionSpec(elevation=0.0, base_demand=1e-3),
+                JunctionSpec(elevation=0.0, base_demand=1e-3),
+            ),
+            chain_pipes=(
+                PipeSpec(-1, 0, length=100.0, diameter=0.3, roughness=100.0),
+                PipeSpec(0, 1, length=100.0, diameter=0.3, roughness=100.0),
+            ),
+            events=(
+                EventSpec(junction=1, size=1e-3),
+                EventSpec(junction=1, size=2e-3),
+            ),
+        )
+        overrides = case.emitter_overrides()
+        assert overrides["J1"][0] == pytest.approx(3e-3)
+
+    def test_repr_is_constructor_syntax(self):
+        case = random_case(7)
+        rebuilt = eval(  # noqa: S307 - the documented shrink-output contract
+            repr(case),
+            {
+                "JunctionSpec": JunctionSpec,
+                "PipeSpec": PipeSpec,
+                "TankSpec": TankSpec,
+                "EventSpec": EventSpec,
+                "NetworkCase": NetworkCase,
+            },
+        )
+        assert rebuilt == case
+
+
+class TestRunProperty:
+    def test_passing_property(self):
+        report = run_property(prop_always_passes, n_cases=10, seed=0)
+        assert report.passed
+        assert report.n_cases == 10
+        assert report.n_skipped == 0
+
+    def test_skips_are_counted(self):
+        report = run_property(prop_always_skips, n_cases=5, seed=0)
+        assert report.passed
+        assert report.n_skipped == 5
+
+    def test_injected_fault_is_found_and_shrunk(self):
+        report = run_property(prop_injected_fault, n_cases=30, seed=0)
+        assert not report.passed
+        failure = report.failures[0]
+        assert "injected fault" in failure.error
+        # The minimal case for this fault: exactly 3 junctions, 1 event,
+        # and none of the optional structure.
+        shrunk = failure.shrunk
+        assert len(shrunk.junctions) == 3
+        assert len(shrunk.events) == 1
+        assert shrunk.tank is None
+        assert shrunk.pattern is None
+        assert shrunk.extra_pipes == ()
+        assert failure.shrink_steps > 0
+
+    def test_same_seed_reproduces_identical_failure(self):
+        first = run_property(prop_injected_fault, n_cases=30, seed=123)
+        second = run_property(prop_injected_fault, n_cases=30, seed=123)
+        assert not first.passed and not second.passed
+        a, b = first.failures[0], second.failures[0]
+        assert a.case_index == b.case_index
+        assert a.case == b.case
+        assert a.shrunk == b.shrunk
+        assert a.regression_test == b.regression_test
+
+    def test_different_seed_finds_different_case(self):
+        a = run_property(prop_injected_fault, n_cases=30, seed=0).failures[0]
+        b = run_property(prop_injected_fault, n_cases=30, seed=99).failures[0]
+        assert a.case != b.case
+
+    def test_collect_all_failures(self):
+        report = run_property(
+            prop_injected_fault, n_cases=20, seed=0, stop_on_first=False
+        )
+        assert len(report.failures) >= 2
+
+
+class TestShrinking:
+    def test_shrink_rejects_passing_case(self):
+        with pytest.raises(ValueError, match="passing"):
+            shrink_case(random_case(0), prop_always_passes)
+
+    def test_shrunk_case_still_fails(self):
+        report = run_property(prop_injected_fault, n_cases=30, seed=0)
+        shrunk = report.failures[0].shrunk
+        with pytest.raises(AssertionError, match="injected fault"):
+            prop_injected_fault(shrunk)
+
+    def test_candidates_strictly_reduce_or_simplify(self):
+        case = random_case(3)
+        for candidate in _candidates(case):
+            assert candidate != case
+            assert candidate.size <= case.size
+
+
+class TestEmittedRegressionTest:
+    def test_emitted_test_is_runnable_and_fails(self):
+        report = run_property(prop_injected_fault, n_cases=30, seed=0)
+        source = report.failures[0].regression_test
+        assert source.startswith("def test_regression_injected_fault():")
+        namespace: dict = {}
+        exec(compile(source, "<emitted>", "exec"), namespace)  # noqa: S102
+        with pytest.raises(AssertionError, match="injected fault"):
+            namespace["test_regression_injected_fault"]()
+
+    def test_emitted_test_embeds_case_literally(self):
+        case = random_case(5)
+        source = emit_regression_test(
+            case, prop_always_passes, name="test_custom_name"
+        )
+        assert "def test_custom_name():" in source
+        for f in dataclasses.fields(case):
+            value = getattr(case, f.name)
+            if value != f.default:
+                assert f.name in source
+        namespace: dict = {}
+        exec(compile(source, "<emitted>", "exec"), namespace)  # noqa: S102
+        namespace["test_custom_name"]()  # passes: the property is trivial

@@ -1,0 +1,91 @@
+"""Golden snapshot gates: committed files, update/check round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.verify import (
+    check_accuracy_golden,
+    check_steady_golden,
+    golden_dir,
+    update_steady_golden,
+)
+from repro.verify import golden as golden_module
+
+
+@pytest.fixture()
+def sandbox_golden(monkeypatch, tmp_path):
+    """Redirect golden files to a temp directory for mutation tests."""
+    monkeypatch.setattr(golden_module, "golden_dir", lambda: tmp_path)
+    return tmp_path
+
+
+class TestCommittedGoldens:
+    @pytest.mark.parametrize("network", ["two-loop", "epanet", "wssc"])
+    def test_steady_golden_exists_and_passes(self, network):
+        assert (golden_dir() / f"steady-{network}.json").exists()
+        report = check_steady_golden(network)
+        assert report.passed, str(report)
+
+    def test_accuracy_golden_exists(self):
+        path = golden_dir() / "accuracy-epanet.json"
+        assert path.exists()
+        snapshot = json.loads(path.read_text())
+        assert snapshot["config"] == golden_module.ACCURACY_CONFIG
+        assert 0.0 <= snapshot["score"] <= 1.0
+
+
+class TestSteadyRoundTrip:
+    def test_missing_golden_fails_with_hint(self, sandbox_golden):
+        report = check_steady_golden("two-loop")
+        assert not report.passed
+        assert "--update-golden" in report.detail
+
+    def test_update_then_check_passes(self, sandbox_golden):
+        path = update_steady_golden("two-loop")
+        assert path.parent == sandbox_golden
+        report = check_steady_golden("two-loop")
+        assert report.passed
+        assert report.max_abs_diff == 0.0
+
+    def test_value_drift_is_caught(self, sandbox_golden):
+        path = update_steady_golden("two-loop")
+        snapshot = json.loads(path.read_text())
+        key = next(iter(snapshot["node_head"]))
+        snapshot["node_head"][key] += 0.01
+        path.write_text(json.dumps(snapshot))
+        report = check_steady_golden("two-loop")
+        assert not report.passed
+        assert report.max_abs_diff == pytest.approx(0.01)
+
+    def test_topology_change_is_structural_failure(self, sandbox_golden):
+        path = update_steady_golden("two-loop")
+        snapshot = json.loads(path.read_text())
+        snapshot["node_head"]["GHOST"] = 1.0
+        path.write_text(json.dumps(snapshot))
+        report = check_steady_golden("two-loop")
+        assert not report.passed
+        assert "key set changed" in report.detail
+
+
+class TestAccuracyGolden:
+    def test_missing_golden_fails(self, sandbox_golden):
+        report = check_accuracy_golden("epanet")
+        assert not report.passed
+
+    def test_config_change_is_caught(self, sandbox_golden):
+        stale = dict(golden_module.ACCURACY_CONFIG, n_train=999)
+        (sandbox_golden / "accuracy-epanet.json").write_text(
+            json.dumps({"network": "epanet", "config": stale, "score": 0.5})
+        )
+        report = check_accuracy_golden("epanet")
+        assert not report.passed
+        assert "config changed" in report.detail
+
+    def test_committed_accuracy_golden_reproduces(self):
+        report = check_accuracy_golden("epanet")
+        assert report.passed, str(report)
+        # The pipeline is seeded end to end, so the re-run is exact.
+        assert report.max_abs_diff == 0.0

@@ -1,0 +1,157 @@
+"""Invariant oracles: pass on real solves, catch injected corruption."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hydraulics import GGASolver, TimedLeak, simulate
+from repro.verify import (
+    InvariantAuditor,
+    InvariantViolation,
+    audit_results,
+    audit_solution,
+    emitter_report,
+    energy_report,
+    finiteness_report,
+    mass_balance_report,
+    tank_volume_report,
+)
+
+
+@pytest.fixture()
+def solved(two_loop):
+    solver = GGASolver(two_loop)
+    return solver, solver.solve()
+
+
+class TestSteadyOracles:
+    def test_all_pass_on_real_solve(self, two_loop, solved):
+        _, solution = solved
+        reports = audit_solution(two_loop, solution)
+        assert [r.name for r in reports] == [
+            "finiteness", "mass_balance", "energy", "emitter_law",
+        ]
+        assert all(r.passed for r in reports), [str(r) for r in reports]
+
+    def test_mass_balance_residual_is_tiny(self, two_loop, solved):
+        _, solution = solved
+        report = mass_balance_report(two_loop, solution)
+        assert report.max_residual < 1e-12
+
+    def test_mass_balance_catches_corrupted_flow(self, two_loop, solved):
+        _, solution = solved
+        solution.link_flows[0] += 0.01
+        report = mass_balance_report(two_loop, solution)
+        assert not report.passed
+        assert report.max_residual >= 0.01 - 1e-9
+
+    def test_energy_catches_corrupted_head(self, two_loop, solved):
+        _, solution = solved
+        solution.junction_heads[2] += 1.0
+        report = energy_report(two_loop, solution)
+        assert not report.passed
+        assert "worst at" in report.detail
+
+    def test_emitter_law_with_dict_and_array_overrides(self, two_loop):
+        solver = GGASolver(two_loop)
+        overrides = {"J3": (2e-3, 0.5)}
+        solution = solver.solve(emitters=overrides)
+        assert emitter_report(two_loop, solution, emitters=overrides).passed
+        ec = np.zeros(len(solver.junction_names))
+        beta = np.full(len(solver.junction_names), 0.5)
+        ec[solver.junction_names.index("J3")] = 2e-3
+        arrays = (ec, beta)
+        fast = solver.solve(emitters=arrays)
+        assert emitter_report(two_loop, fast, emitters=arrays).passed
+
+    def test_emitter_law_catches_corrupted_leak(self, two_loop):
+        solver = GGASolver(two_loop)
+        overrides = {"J3": (2e-3, 0.5)}
+        solution = solver.solve(emitters=overrides)
+        solution.junction_leaks[solver.junction_names.index("J3")] *= 2.0
+        report = emitter_report(two_loop, solution, emitters=overrides)
+        assert not report.passed
+
+    def test_finiteness_catches_nan(self, solved):
+        _, solution = solved
+        solution.junction_heads[0] = np.nan
+        report = finiteness_report(solution)
+        assert not report.passed
+
+    def test_finiteness_catches_negative_leak(self, solved):
+        _, solution = solved
+        solution.junction_leaks[0] = -1e-3
+        assert not finiteness_report(solution).passed
+
+
+class TestTankVolumeOracle:
+    def test_passes_on_real_eps(self, epanet):
+        leak = TimedLeak(node="J1", emitter_coefficient=1e-3, start_time=3600.0)
+        results = simulate(epanet, duration=4 * 3600.0, leaks=[leak])
+        report = tank_volume_report(epanet, results)
+        assert report.passed, str(report)
+
+    def test_catches_corrupted_level(self, epanet):
+        results = simulate(epanet, duration=2 * 3600.0)
+        column = results.node_column("T1")
+        results.tank_level[-1, column] += 0.5
+        report = tank_volume_report(epanet, results)
+        assert not report.passed
+        assert "T1" in report.detail
+
+    def test_no_tanks_is_trivially_true(self, two_loop):
+        results = simulate(two_loop, duration=3600.0)
+        assert tank_volume_report(two_loop, results).passed
+        assert all(r.passed for r in audit_results(two_loop, results))
+
+
+class TestInvariantAuditor:
+    def test_attach_observes_every_solve(self, two_loop):
+        solver = GGASolver(two_loop)
+        auditor = InvariantAuditor().attach(solver)
+        solver.solve()
+        solver.solve(emitters={"J1": (1e-3, 0.5)})
+        assert auditor.n_solves == 2
+        assert set(auditor.worst) == {
+            "finiteness", "mass_balance", "energy", "emitter_law",
+        }
+        assert not auditor.failures
+
+    def test_detach_stops_observing(self, two_loop):
+        solver = GGASolver(two_loop)
+        auditor = InvariantAuditor().attach(solver)
+        solver.solve()
+        InvariantAuditor.detach(solver)
+        solver.solve()
+        assert auditor.n_solves == 1
+
+    def test_strict_raises_on_violation(self, two_loop, solved):
+        _, solution = solved
+        solution.link_flows[0] += 0.01
+        auditor = InvariantAuditor(strict=True)
+        with pytest.raises(InvariantViolation) as excinfo:
+            auditor.observe(GGASolver(two_loop), solution)
+        assert "mass_balance" in str(excinfo.value)
+
+    def test_non_strict_accumulates(self, two_loop, solved):
+        solver, solution = solved
+        solution.link_flows[0] += 0.01
+        auditor = InvariantAuditor(strict=False)
+        auditor.observe(solver, solution)
+        assert auditor.failures
+        assert auditor.n_solves == 1
+        auditor.reset()
+        assert auditor.n_solves == 0 and not auditor.failures
+
+    def test_audit_through_simulate(self, two_loop):
+        auditor = InvariantAuditor(strict=True)
+        simulate(two_loop, duration=2 * 3600.0, audit=auditor)
+        assert auditor.n_solves >= 3
+
+    def test_audit_through_generate_dataset(self, two_loop):
+        from repro.datasets import generate_dataset
+
+        auditor = InvariantAuditor(strict=True)
+        generate_dataset(two_loop, 4, kind="single", seed=0, audit=auditor)
+        assert auditor.n_solves > 4  # baselines + scenario solves

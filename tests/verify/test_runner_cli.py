@@ -1,0 +1,77 @@
+"""The ``repro verify`` sweep and its CLI wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.verify import run_verify
+from repro.verify import golden as golden_module
+
+
+class TestRunVerify:
+    def test_quick_sweep_passes_on_two_loop(self):
+        result = run_verify(networks=["two-loop"], quick=True, fuzz=False)
+        assert result.passed
+        assert result.max_mass_residual < 1e-6
+        report = result.networks[0]
+        assert report.network == "two-loop"
+        assert report.n_solves == 4  # baseline + 3 quick leak scenarios
+        oracle_names = {r.name for r in report.oracle_reports}
+        assert {"mass_balance", "energy", "emitter_law", "finiteness",
+                "tank_volume"} <= oracle_names
+        assert len(report.diff_reports) == 4
+        assert len(report.golden_reports) == 1  # quick skips accuracy
+
+    def test_fuzz_pass_included(self):
+        result = run_verify(networks=["two-loop"], quick=True, fuzz=True)
+        assert result.passed
+        assert {f.property_name for f in result.fuzz_reports} == {
+            "prop_array_equals_dict",
+            "prop_inp_roundtrip",
+            "prop_solve_invariants",
+            "prop_warm_equals_cold",
+        }
+
+    def test_lines_report_mass_residual_and_verdict(self):
+        result = run_verify(networks=["two-loop"], quick=True, fuzz=False)
+        lines = result.lines()
+        assert any("max mass-balance residual" in line for line in lines)
+        assert lines[-1] == "overall: PASS"
+
+    def test_missing_golden_fails_sweep(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(golden_module, "golden_dir", lambda: tmp_path)
+        result = run_verify(networks=["two-loop"], quick=True, fuzz=False)
+        assert not result.passed
+
+    def test_update_golden_repairs_sweep(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(golden_module, "golden_dir", lambda: tmp_path)
+        result = run_verify(
+            networks=["two-loop"], quick=True, fuzz=False, update_golden=True
+        )
+        assert result.passed
+        assert (tmp_path / "steady-two-loop.json").exists()
+
+
+class TestVerifyCLI:
+    def test_quick_exits_zero_and_reports(self, capsys):
+        code = main(
+            ["verify", "--network", "two-loop", "--quick", "--no-fuzz"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "network two-loop" in out
+        assert "max mass-balance residual" in out
+        assert "overall: PASS" in out
+
+    def test_failing_sweep_exits_nonzero(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setattr(golden_module, "golden_dir", lambda: tmp_path)
+        code = main(
+            ["verify", "--network", "two-loop", "--quick", "--no-fuzz"]
+        )
+        assert code == 1
+        assert "overall: FAIL" in capsys.readouterr().out
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            main(["verify", "--network", "nope", "--quick", "--no-fuzz"])
