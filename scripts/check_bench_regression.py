@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Fail CI when a re-measured benchmark regresses past the committed baseline.
+
+Compares one benchmark's ``mean_seconds`` between the committed
+``BENCH_pipeline.json`` and a freshly measured report (written by
+``repro bench --phase1``).  Exit code 1 means the fresh timing exceeds
+the committed one by more than ``--max-regression`` (default 25%) —
+generous enough for shared-runner noise, tight enough to catch a real
+perf loss in the training engine.
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_pipeline.json BENCH_fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def mean_seconds(path: str, name: str) -> float | None:
+    """The named benchmark's mean from a ``repro bench`` report, if present."""
+    with open(path) as handle:
+        report = json.load(handle)
+    entries = report.get("pytest_benchmarks")
+    if not isinstance(entries, list):
+        return None
+    for entry in entries:
+        if entry.get("name") == name:
+            return float(entry["mean_seconds"])
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gate a fresh benchmark timing against the committed one"
+    )
+    parser.add_argument("committed", help="baseline report (committed in-repo)")
+    parser.add_argument("fresh", help="freshly measured report")
+    parser.add_argument(
+        "--benchmark",
+        default="test_phase1_profile_training",
+        help="benchmark name to compare (default: Phase-I training)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown vs the committed mean (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    committed = mean_seconds(args.committed, args.benchmark)
+    fresh = mean_seconds(args.fresh, args.benchmark)
+    if committed is None:
+        print(
+            f"{args.benchmark} not in {args.committed}; nothing to gate against"
+        )
+        return 0
+    if fresh is None:
+        print(f"{args.benchmark} missing from {args.fresh}; did the run fail?")
+        return 1
+
+    limit = committed * (1.0 + args.max_regression)
+    ok = fresh <= limit
+    print(
+        f"{args.benchmark}: committed {committed:.3f}s, fresh {fresh:.3f}s, "
+        f"limit {limit:.3f}s -> {'OK' if ok else 'REGRESSION'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -203,6 +203,11 @@ def _add_bench(sub: argparse._SubParsersAction) -> None:
         "--skip-pytest", action="store_true",
         help="only time the scenario engine, skip benchmarks/test_perf_*",
     )
+    parser.add_argument(
+        "--phase1", action="store_true",
+        help="only run the Phase-I training benchmark and merge its timing "
+             "into an existing report at --out (CI regression gate)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -528,6 +533,68 @@ def cmd_stream(args) -> int:
     return 0
 
 
+def _bench_phase1(args) -> int:
+    """Run only the Phase-I training benchmark and merge it into --out.
+
+    The CI bench-smoke job uses this to re-measure
+    ``test_phase1_profile_training`` without paying for the full perf
+    suite; the refreshed entry replaces its row in an existing report so
+    the committed baseline's other timings survive.
+    """
+    import json
+    import subprocess
+    import sys as _sys
+    import tempfile
+    from pathlib import Path
+
+    target = "benchmarks/test_perf_pipeline.py::test_phase1_profile_training"
+    if not Path(target.split("::")[0]).exists():
+        print(f"missing {target}; run from the repo root")
+        return 2
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        bench_json = tmp.name
+    print(f"running {target} ...")
+    proc = subprocess.run(
+        [_sys.executable, "-m", "pytest", "-q", target,
+         f"--benchmark-json={bench_json}"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        print(proc.stdout[-2000:])
+        print(proc.stderr[-2000:])
+        Path(bench_json).unlink(missing_ok=True)
+        return 1
+    with open(bench_json) as handle:
+        raw = json.load(handle)
+    Path(bench_json).unlink(missing_ok=True)
+    entries = [
+        {
+            "name": b["name"],
+            "mean_seconds": round(b["stats"]["mean"], 6),
+            "stddev_seconds": round(b["stats"]["stddev"], 6),
+            "rounds": b["stats"]["rounds"],
+        }
+        for b in raw.get("benchmarks", [])
+    ]
+    out = Path(args.out)
+    report = json.loads(out.read_text()) if out.exists() else {}
+    existing = report.get("pytest_benchmarks")
+    if not isinstance(existing, list):
+        existing = []
+    by_name = {b.get("name"): i for i, b in enumerate(existing)}
+    for entry in entries:
+        if entry["name"] in by_name:
+            existing[by_name[entry["name"]]] = entry
+        else:
+            existing.append(entry)
+    report["pytest_benchmarks"] = existing
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    for entry in entries:
+        print(f"{entry['name']}: {entry['mean_seconds']:.3f}s (merged into {out})")
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Time the scenario engine (and perf suite) into a JSON report."""
     import json
@@ -540,6 +607,8 @@ def cmd_bench(args) -> int:
     from .datasets import generate_dataset
     from .networks import build_network
 
+    if args.phase1:
+        return _bench_phase1(args)
     network = build_network(args.network)
     n_samples = min(args.samples, 50) if args.quick else args.samples
 

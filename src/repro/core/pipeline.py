@@ -177,6 +177,20 @@ class AquaScale:
         """Phase II for one live sample."""
         return self.engine.infer(features, weather=weather, human=human)
 
+    def localize_batch(
+        self,
+        features: np.ndarray,
+        weather: list[WeatherObservation | None] | None = None,
+        human: list[HumanObservation | None] | None = None,
+    ) -> list[InferenceResult]:
+        """Phase II for a batch of samples in one vectorized dispatch.
+
+        The profile model scores all rows through the flattened tree
+        kernel at once; per-sample fusion then runs on top.  Equivalent
+        to (but much faster than) mapping :meth:`localize` over rows.
+        """
+        return self.engine.infer_batch(features, weather=weather, human=human)
+
     def localize_scenario(
         self,
         scenario: FailureScenario,

@@ -75,22 +75,47 @@ class ProfileModel:
         """
         if dataset.junction_names != self.junction_names:
             raise ValueError("dataset junctions do not match the network")
-        X = self._detrend(dataset.features_for(self.sensor_network))
+        # One owned copy of the features; detrending and scaling then
+        # work in place so the dataset's array is never aliased or
+        # touched (regression-tested in tests/core/test_profile.py).
+        X = np.array(dataset.features_for(self.sensor_network), dtype=float)
+        self._detrend_inplace(X)
         if self.scale_features:
             self._scaler = StandardScaler().fit(X)
-            X = self._scaler.transform(X)
+            X = self._scaler.transform(X, copy=False)
         else:
             self._scaler = None
+        # The quantile bin mapper is computed once here (on the final
+        # standardized X, inside MultiOutputClassifier.fit) and its uint8
+        # codes are shared by every per-junction classifier down to the
+        # tree growers — Phase I bins the matrix once, not per junction.
         self._model = MultiOutputClassifier(
             clone(self._template),
             negative_ratio=self.negative_ratio,
             random_state=self.random_state,
             n_jobs=self.n_jobs,
+            bin_mapper=self._make_bin_mapper(),
         )
         self._model.fit(X, dataset.Y)
         return self
 
+    def _make_bin_mapper(self):
+        """Fresh shared BinMapper when the technique reaches a hist tree."""
+        from ..ml.binning import BinMapper, hist_max_bins, supports_binned_fit
+
+        max_bins = hist_max_bins(self._template)
+        if max_bins is None or not supports_binned_fit(self._template):
+            return None
+        return BinMapper(max_bins=max_bins)
+
     def _detrend(self, X: np.ndarray) -> np.ndarray:
+        """Copying wrapper around :meth:`_detrend_inplace` (ablations and
+        tests call this directly on arrays they still own)."""
+        if not self.detrend:
+            return X
+        return self._detrend_inplace(np.array(X, dtype=float))
+
+    def _detrend_inplace(self, X: np.ndarray) -> np.ndarray:
         """Remove the network-wide common-mode Δ from each modality.
 
         Diurnal demand drift between the ``t - 1`` and ``t + n`` readings
@@ -98,6 +123,9 @@ class ProfileModel:
         subtracting the per-sample median turns features into relative
         drops, which localise.  Controlled by ``detrend`` and ablated in
         ``benchmarks/test_ablation_detrend.py``.
+
+        Mutates ``X`` (an owned float64 matrix) and returns it — the
+        feature path makes its one copy before calling.
         """
         if not self.detrend:
             return X
@@ -109,7 +137,6 @@ class ProfileModel:
             self._flow_columns = np.array(
                 [i for i, k in enumerate(kinds) if k == "flow"], dtype=np.int64
             )
-        X = np.array(X, dtype=float)
         # nanmedian keeps the common-mode estimate stable under sensor
         # dropout (NaN columns from the streaming runtime's masking).
         if len(self._pressure_columns) > 1:
@@ -130,17 +157,19 @@ class ProfileModel:
         return np.where(all_nan, 0.0, med)
 
     def _prepare(self, features: np.ndarray) -> np.ndarray:
-        features = np.asarray(features, dtype=float)
+        # One owned copy up front; detrend/scale/impute all mutate it in
+        # place, so the caller's array is never aliased or modified.
+        features = np.array(features, dtype=float)
         if features.ndim == 1:
             features = features[None, :]
-        features = self._detrend(features)
+        self._detrend_inplace(features)
         if self._scaler is not None:
-            features = self._scaler.transform(features)
+            features = self._scaler.transform(features, copy=False)
         # Masked readings (NaN columns — dropped-out sensors in a live
         # feed) are imputed as "no evidence": the training mean in
         # standardized space, a zero Δ otherwise.
         if np.isnan(features).any():
-            features = np.nan_to_num(features, nan=0.0)
+            np.nan_to_num(features, nan=0.0, copy=False)
         return features
 
     # ------------------------------------------------------------------

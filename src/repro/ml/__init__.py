@@ -16,10 +16,12 @@ from .base import (
     check_X_y,
     clone,
 )
+from .binning import BinMapper
 from .boosting import GradientBoostingClassifier
 from .cluster import KMeans, KMedoids
 from .decomposition import PCA, PrincipalFeatureAnalysis
 from .ensemble import StackingClassifier
+from .flatten import FlattenedForest
 from .forest import RandomForestClassifier
 from .linear import LinearRegression, LinearRegressionClassifier, LogisticRegression
 from .metrics import (
@@ -41,9 +43,11 @@ from .tree import DecisionTreeClassifier, DecisionTreeRegressor
 
 __all__ = [
     "BaseEstimator",
+    "BinMapper",
     "ClassifierMixin",
     "DecisionTreeClassifier",
     "DecisionTreeRegressor",
+    "FlattenedForest",
     "GradientBoostingClassifier",
     "KFold",
     "KMeans",

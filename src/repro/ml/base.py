@@ -128,7 +128,15 @@ def check_X_y(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
 
 
 def check_array(X: Any) -> np.ndarray:
-    """Validate and convert prediction input to a 2-D float array."""
+    """Validate and convert prediction input to a 2-D float array.
+
+    Already-conforming arrays are returned as-is (no copy, no re-checks),
+    so wrappers that validate once — e.g. ``MultiOutputClassifier`` fanning
+    one batch out to 91 per-column estimators — pay for validation once
+    instead of once per inner call.
+    """
+    if isinstance(X, np.ndarray) and X.dtype == np.float64 and X.ndim == 2:
+        return X
     X = np.asarray(X, dtype=float)
     if X.ndim != 2:
         raise ValueError(f"X must be 2-D, got shape {X.shape}")

@@ -1,0 +1,131 @@
+"""Shared quantile binning for histogram-based tree training.
+
+Histogram ("hist") tree splitters never look at raw feature values during
+growth — only at quantile bin indices.  Binning is therefore a pure
+preprocessing step, and recomputing it inside every estimator is wasted
+work: the paper's Phase I trains one classifier per junction on the *same*
+standardized feature matrix, so a 91-junction profile used to quantile-bin
+an identical matrix 91 times (and each random forest re-binned its
+bootstrap again).
+
+:class:`BinMapper` computes the bin edges and the uint8 binned matrix
+**once**; every consumer — :class:`~repro.ml.MultiOutputClassifier` down
+through :class:`~repro.ml.RandomForestClassifier` /
+:class:`~repro.ml.GradientBoostingClassifier` to the tree growers — then
+shares row-sliced views of the same codes.  This is the bin-once design of
+LightGBM-style trainers (Ke et al., NeurIPS 2017).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_array
+
+#: Hard cap so binned matrices always fit uint8.
+MAX_BINS_LIMIT = 256
+
+
+class BinMapper(BaseEstimator):
+    """Quantile bin mapper: raw float features -> uint8 bin codes.
+
+    Args:
+        max_bins: number of bins per feature (<= 256 so codes stay uint8).
+
+    Attributes:
+        edges_: (n_features, max_bins - 1) raw upper bin boundaries,
+            padded with +inf for features with fewer distinct quantiles
+            (phantom bins separate nothing and are never chosen by the
+            splitter).
+        n_features_: column count the mapper was fitted on.
+    """
+
+    def __init__(self, max_bins: int = 32):
+        if not 2 <= max_bins <= MAX_BINS_LIMIT:
+            raise ValueError(
+                f"max_bins must be in [2, {MAX_BINS_LIMIT}], got {max_bins}"
+            )
+        self.max_bins = max_bins
+
+    def fit(self, X, y=None) -> "BinMapper":
+        """Compute per-feature quantile cut points."""
+        X = check_array(X)
+        n, d = X.shape
+        quantiles = np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
+        edges = np.full((d, self.max_bins - 1), np.inf)
+        for f in range(d):
+            cuts = np.unique(np.quantile(X[:, f], quantiles))
+            edges[f, : len(cuts)] = cuts
+        self.edges_ = edges
+        self.n_features_ = d
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Bin codes for X, shape (n_samples, n_features), dtype uint8."""
+        self._check_fitted("edges_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, mapper was fitted with "
+                f"{self.n_features_}"
+            )
+        codes = np.empty(X.shape, dtype=np.uint8)
+        for f in range(self.n_features_):
+            edges = self.edges_[f]
+            finite = int(np.searchsorted(edges, np.inf, side="left"))
+            codes[:, f] = np.searchsorted(
+                edges[:finite], X[:, f], side="right"
+            ).astype(np.uint8)
+        return codes
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def supports_binned_fit(estimator) -> bool:
+    """True when ``estimator.fit`` accepts a ``binned=(codes, edges)`` kwarg."""
+    import inspect
+
+    fit = getattr(estimator, "fit", None)
+    if fit is None:
+        return False
+    try:
+        return "binned" in inspect.signature(fit).parameters
+    except (TypeError, ValueError):  # builtins / C-implemented fits
+        return False
+
+
+def hist_max_bins(estimator) -> int | None:
+    """``max_bins`` of the first hist-splitter estimator reachable from
+    ``estimator``, or None when nothing in the composition uses "hist".
+
+    Walks ensemble compositions (``estimators`` lists and nested
+    estimator-valued parameters) so a stacked HybridRSL profile reports
+    its random forest's bin count.
+    """
+    seen: set[int] = set()
+
+    def walk(node) -> int | None:
+        if node is None or id(node) in seen:
+            return None
+        seen.add(id(node))
+        if getattr(node, "splitter", None) == "hist":
+            return int(getattr(node, "max_bins", 32))
+        params = node.get_params() if isinstance(node, BaseEstimator) else {}
+        for value in params.values():
+            candidates = []
+            if isinstance(value, BaseEstimator):
+                candidates = [value]
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, tuple) and len(item) == 2:
+                        item = item[1]
+                    if isinstance(item, BaseEstimator):
+                        candidates.append(item)
+            for candidate in candidates:
+                found = walk(candidate)
+                if found is not None:
+                    return found
+        return None
+
+    return walk(estimator)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import BaseEstimator, ClassifierMixin, check_array, check_X_y
+from .flatten import FlattenedForest
 from .linear import _sigmoid
 from .tree import DecisionTreeRegressor
 
@@ -53,7 +54,15 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
         self.max_bins = max_bins
         self.random_state = random_state
 
-    def fit(self, X, y) -> "GradientBoostingClassifier":
+    def fit(self, X, y, binned=None) -> "GradientBoostingClassifier":
+        """Fit the boosting stages.
+
+        Args:
+            X, y: training data.
+            binned: optional pre-binned ``(codes, edges)`` for X from a
+                shared :class:`~repro.ml.binning.BinMapper` — skips the
+                per-estimator quantile binning when ``splitter="hist"``.
+        """
         X, y = check_X_y(X, y)
         encoded = self._encode_labels(y)
         if len(self.classes_) > 2:
@@ -61,6 +70,7 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
         if len(self.classes_) == 1:
             self._baseline = 0.0
             self._stages: list[tuple[DecisionTreeRegressor, np.ndarray]] = []
+            self._flattened = None
             return self
         target = encoded.astype(float)
         positive_rate = float(np.clip(np.mean(target), 1e-6, 1.0 - 1e-6))
@@ -69,8 +79,9 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
         rng = np.random.default_rng(self.random_state)
         self._stages = []
         n = X.shape[0]
-        binned = None
-        if self.splitter == "hist":
+        if self.splitter != "hist":
+            binned = None
+        elif binned is None:
             from .tree import _bin_features
 
             binned = _bin_features(X, self.max_bins)
@@ -107,10 +118,41 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
             leaves_all = tree.apply(X)
             raw = raw + self.learning_rate * leaf_values[leaves_all]
             self._stages.append((tree, leaf_values))
+        self._flattened = self._flatten()
         return self
+
+    def _flatten(self) -> FlattenedForest | None:
+        """Compile the fitted stages into the flat inference kernel.
+
+        Each stage's Newton leaf values (not the tree's raw means) become
+        the node value rows, so the kernel's additive accumulation replays
+        the sequential ``raw + lr * leaf_values[leaves]`` updates exactly.
+        """
+        if not self._stages:
+            return None
+        trees = [tree for tree, _ in self._stages]
+        values = [leaf_values[:, None] for _, leaf_values in self._stages]
+        return FlattenedForest.from_trees(trees, values)
+
+    @property
+    def flattened_(self) -> FlattenedForest | None:
+        """Flat inference kernel (built lazily for pre-kernel pickles)."""
+        self._check_fitted("_stages")
+        if getattr(self, "_flattened", None) is None:
+            self._flattened = self._flatten()
+        return self._flattened
 
     def decision_function(self, X) -> np.ndarray:
         self._check_fitted("_stages")
+        X = check_array(X)
+        kernel = self.flattened_
+        if kernel is None:
+            return np.full(X.shape[0], self._baseline)
+        return kernel.raw_score(X, self._baseline, self.learning_rate)
+
+    def _decision_function_recursive(self, X) -> np.ndarray:
+        """Reference stage-by-stage path (kept for the flattened==recursive
+        differential oracle)."""
         X = check_array(X)
         raw = np.full(X.shape[0], self._baseline)
         for tree, leaf_values in self._stages:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import BaseEstimator, ClassifierMixin, check_array, check_X_y, clone
+from .binning import supports_binned_fit
 from .model_selection import KFold
 
 
@@ -44,7 +45,17 @@ class StackingClassifier(BaseEstimator, ClassifierMixin):
         self.passthrough = passthrough
         self.random_state = random_state
 
-    def fit(self, X, y) -> "StackingClassifier":
+    def fit(self, X, y, binned=None) -> "StackingClassifier":
+        """Fit base estimators then the meta-learner.
+
+        Args:
+            X, y: training data.
+            binned: optional pre-binned ``(codes, edges)`` for X, forwarded
+                to base estimators whose ``fit`` accepts a ``binned``
+                kwarg (hist-splitter forests/boosters) so the shared
+                :class:`~repro.ml.binning.BinMapper` codes flow through
+                the stack.
+        """
         X, y = check_X_y(X, y)
         encoded = self._encode_labels(y)
         if len(self.classes_) == 1:
@@ -52,7 +63,7 @@ class StackingClassifier(BaseEstimator, ClassifierMixin):
             return self
 
         if self.cv and self.cv > 1:
-            meta_features = self._out_of_fold_features(X, encoded)
+            meta_features = self._out_of_fold_features(X, encoded, binned)
         else:
             meta_features = None
 
@@ -60,7 +71,10 @@ class StackingClassifier(BaseEstimator, ClassifierMixin):
         columns = []
         for _name, estimator in self.estimators:
             model = clone(estimator)
-            model.fit(X, encoded)
+            if binned is not None and supports_binned_fit(model):
+                model.fit(X, encoded, binned=binned)
+            else:
+                model.fit(X, encoded)
             self.fitted_estimators_.append(model)
             columns.append(self._positive_proba(model, X))
         in_sample = np.column_stack(columns)
@@ -73,14 +87,23 @@ class StackingClassifier(BaseEstimator, ClassifierMixin):
         self.final_estimator_.fit(meta_features, encoded)
         return self
 
-    def _out_of_fold_features(self, X: np.ndarray, encoded: np.ndarray) -> np.ndarray:
+    def _out_of_fold_features(
+        self, X: np.ndarray, encoded: np.ndarray, binned=None
+    ) -> np.ndarray:
         n = X.shape[0]
         features = np.zeros((n, len(self.estimators)))
         splitter = KFold(min(self.cv, n), shuffle=True, random_state=self.random_state)
         for train_idx, test_idx in splitter.split(X):
+            fold_binned = None
+            if binned is not None:
+                codes, edges = binned
+                fold_binned = (codes[train_idx], edges)
             for j, (_name, estimator) in enumerate(self.estimators):
                 model = clone(estimator)
-                model.fit(X[train_idx], encoded[train_idx])
+                if fold_binned is not None and supports_binned_fit(model):
+                    model.fit(X[train_idx], encoded[train_idx], binned=fold_binned)
+                else:
+                    model.fit(X[train_idx], encoded[train_idx])
                 features[test_idx, j] = self._positive_proba(model, X[test_idx])
         return features
 

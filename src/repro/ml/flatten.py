@@ -1,0 +1,133 @@
+"""Flattened tree-ensemble inference kernel.
+
+A fitted forest is a list of small Python objects, and predicting walks
+them one tree at a time — dozens of tiny numpy dispatches per batch.
+:class:`FlattenedForest` compiles the ensemble once into flat arrays
+(``feature``, ``threshold``, ``left``, ``right``, ``value`` with absolute
+node indices and per-tree ``roots``) and traverses **all trees for all
+samples** level-synchronously, so a Phase-II batch costs one short loop of
+large vector ops instead of ``n_trees`` traversals.
+
+Predictions are exactly those of the recursive estimators: traversal uses
+the same ``x <= threshold`` comparisons, and accumulation replays the same
+per-tree sequential order (see :meth:`predict_proba` / :meth:`raw_score`),
+which is what the ``repro verify`` flattened==recursive oracle asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FlattenedForest:
+    """Array-of-structs compilation of a fitted tree ensemble.
+
+    Attributes:
+        feature: (n_nodes,) split feature per node, -1 for leaves.
+        threshold: (n_nodes,) split threshold (go left when x <= t).
+        left/right: (n_nodes,) absolute child node indices, -1 at leaves.
+        value: (n_nodes, n_outputs) per-node output rows.
+        roots: (n_trees,) absolute root index of every tree.
+
+    Instances hold only plain numpy arrays, so they pickle with the
+    fitted estimator and survive process-pool round-trips.
+    """
+
+    def __init__(
+        self,
+        feature: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        value: np.ndarray,
+        roots: np.ndarray,
+    ):
+        self.feature = feature
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+        self.value = value
+        self.roots = roots
+
+    @classmethod
+    def from_trees(cls, trees, values=None) -> "FlattenedForest":
+        """Compile fitted trees (objects owning a ``_TreeArrays``).
+
+        Args:
+            trees: fitted estimators with a finalized ``_tree``.
+            values: optional per-tree (n_nodes_t, n_outputs) matrices that
+                replace each tree's own ``value_arr`` — used to pre-align
+                forest class columns or to store boosting leaf values.
+        """
+        features, thresholds, lefts, rights, vals, roots = [], [], [], [], [], []
+        offset = 0
+        for t, tree in enumerate(trees):
+            arrays = tree._tree
+            n_nodes = len(arrays.feature_arr)
+            roots.append(offset)
+            features.append(arrays.feature_arr)
+            thresholds.append(arrays.threshold_arr)
+            internal = arrays.feature_arr >= 0
+            lefts.append(np.where(internal, arrays.left_arr + offset, -1))
+            rights.append(np.where(internal, arrays.right_arr + offset, -1))
+            vals.append(values[t] if values is not None else arrays.value_arr)
+            offset += n_nodes
+        return cls(
+            feature=np.concatenate(features),
+            threshold=np.concatenate(thresholds),
+            left=np.concatenate(lefts),
+            right=np.concatenate(rights),
+            value=np.vstack(vals),
+            roots=np.asarray(roots, dtype=np.int64),
+        )
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.roots)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Absolute leaf node index for every (sample, tree) pair.
+
+        Level-synchronous traversal: each iteration advances every sample
+        that has not reached a leaf in *any* tree, so the loop runs
+        max-depth times over the whole (n_samples, n_trees) frontier.
+        """
+        n = X.shape[0]
+        nodes = np.repeat(self.roots[None, :], n, axis=0)
+        active = self.feature[nodes] >= 0
+        while np.any(active):
+            rows, cols = np.nonzero(active)
+            idx = nodes[rows, cols]
+            go_left = X[rows, self.feature[idx]] <= self.threshold[idx]
+            nodes[rows, cols] = np.where(go_left, self.left[idx], self.right[idx])
+            active = self.feature[nodes] >= 0
+        return nodes
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Average of per-tree output rows (random-forest voting).
+
+        Accumulates tree-by-tree in index order — the same float addition
+        sequence as the recursive forest loop — so results are
+        bit-identical to the pre-flattening implementation.
+        """
+        leaves = self.apply(X)
+        total = np.zeros((X.shape[0], self.value.shape[1]))
+        for t in range(self.n_trees):
+            total += self.value[leaves[:, t]]
+        return total / self.n_trees
+
+    def raw_score(self, X: np.ndarray, baseline: float, learning_rate: float) -> np.ndarray:
+        """Boosting decision function: baseline + lr * sum of leaf values.
+
+        Replays the per-stage ``raw = raw + lr * value[leaves]`` update of
+        the sequential boosting loop, keeping the result bit-identical.
+        """
+        leaves = self.apply(X)
+        raw = np.full(X.shape[0], baseline)
+        for t in range(self.n_trees):
+            raw = raw + learning_rate * self.value[leaves[:, t], 0]
+        return raw

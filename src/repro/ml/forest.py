@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import BaseEstimator, ClassifierMixin, check_array, check_X_y
+from .flatten import FlattenedForest
 from .tree import DecisionTreeClassifier
 
 
@@ -45,18 +46,28 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         self.max_bins = max_bins
         self.random_state = random_state
 
-    def fit(self, X, y) -> "RandomForestClassifier":
+    def fit(self, X, y, binned=None) -> "RandomForestClassifier":
+        """Fit the forest.
+
+        Args:
+            X, y: training data.
+            binned: optional pre-binned ``(codes, edges)`` for X from a
+                shared :class:`~repro.ml.binning.BinMapper` — skips the
+                per-forest quantile binning when ``splitter="hist"``.
+        """
         X, y = check_X_y(X, y)
         encoded = self._encode_labels(y)
         rng = np.random.default_rng(self.random_state)
         n = X.shape[0]
-        binned = None
-        if self.splitter == "hist":
+        if self.splitter != "hist":
+            binned = None
+        elif binned is None:
             from .tree import _bin_features
 
             binned = _bin_features(X, self.max_bins)
         tree_classes = np.arange(len(self.classes_))
         self.estimators_: list[DecisionTreeClassifier] = []
+        samples: list[np.ndarray] = []
         for _ in range(self.n_estimators):
             seed = int(rng.integers(0, 2**31 - 1))
             tree = DecisionTreeClassifier(
@@ -71,22 +82,74 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
                 indices = rng.integers(0, n, size=n)
             else:
                 indices = np.arange(n)
-            if binned is not None:
-                codes, edges = binned
-                tree.fit_binned(codes[indices], edges, encoded[indices], tree_classes)
-            else:
+            if binned is None:
                 tree.fit(X[indices], encoded[indices])
+            else:
+                samples.append(indices)
             self.estimators_.append(tree)
+        if binned is not None:
+            # Hist forests train every tree level-synchronously: one
+            # histogram pass per depth covers the whole frontier, which
+            # amortises per-node dispatch overhead across the ensemble's
+            # many small trees (see _HistForestGrower).
+            from .tree import _HistForestGrower, _resolve_max_features
+
+            codes, edges = binned
+            grower = _HistForestGrower(
+                codes,
+                encoded,
+                edges,
+                n_classes=len(self.classes_),
+                max_depth=self.max_depth,
+                min_samples_split=2,
+                min_samples_leaf=self.min_samples_leaf,
+                k_features=_resolve_max_features(self.max_features, codes.shape[1]),
+                rng=rng,
+            )
+            for tree, arrays in zip(self.estimators_, grower.grow(samples)):
+                tree.classes_ = tree_classes
+                tree._n_classes = len(tree_classes)
+                tree._tree = arrays
+        self._flattened = self._flatten()
         return self
+
+    def _flatten(self) -> FlattenedForest:
+        """Compile the fitted trees into the flat inference kernel.
+
+        Per-tree class distributions are pre-aligned into forest class
+        columns (a bootstrap draw can miss a class entirely), so the
+        kernel's sequential accumulation reproduces the recursive loop's
+        column-aligned additions bit for bit.
+        """
+        n_classes = len(self.classes_)
+        values = []
+        for tree in self.estimators_:
+            aligned = np.zeros((tree.node_count, n_classes))
+            aligned[:, tree.classes_.astype(np.int64)] = tree._tree.value_arr
+            values.append(aligned)
+        return FlattenedForest.from_trees(self.estimators_, values)
+
+    @property
+    def flattened_(self) -> FlattenedForest:
+        """Flat inference kernel (built lazily for pre-kernel pickles)."""
+        self._check_fitted("estimators_")
+        if getattr(self, "_flattened", None) is None:
+            self._flattened = self._flatten()
+        return self._flattened
 
     def predict_proba(self, X) -> np.ndarray:
         self._check_fitted("estimators_")
+        X = check_array(X)
+        return self.flattened_.predict_proba(X)
+
+    def _predict_proba_recursive(self, X) -> np.ndarray:
+        """Reference tree-by-tree path (kept for the flattened==recursive
+        differential oracle)."""
         X = check_array(X)
         n_classes = len(self.classes_)
         total = np.zeros((X.shape[0], n_classes))
         for tree in self.estimators_:
             proba = tree.predict_proba(X)
-            # A bootstrap draw can miss a class entirely; align columns.
             for j, cls in enumerate(tree.classes_):
                 total[:, int(cls)] += proba[:, j]
         return total / len(self.estimators_)

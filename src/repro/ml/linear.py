@@ -3,8 +3,8 @@
 The paper plugs ``LinearR`` and ``LogisticR`` into its profile model
 (Sec. IV-A) and also uses logistic regression as the meta-learner of
 HybridRSL.  Both are implemented directly on numpy/scipy: least squares
-via ``lstsq`` and logistic regression by L-BFGS on the L2-regularised
-negative log-likelihood.
+via ``lstsq`` and logistic regression by damped Newton/IRLS (default)
+or L-BFGS on the L2-regularised negative log-likelihood.
 """
 
 from __future__ import annotations
@@ -130,15 +130,21 @@ def _sigmoid(z: np.ndarray) -> np.ndarray:
 
 
 class LogisticRegression(BaseEstimator, ClassifierMixin):
-    """Binary logistic regression with L2 regularisation (L-BFGS).
+    """Binary logistic regression with L2 regularisation.
 
     Args:
         C: inverse regularisation strength (sklearn convention).
         fit_intercept: include a bias term.
-        max_iter: L-BFGS iteration cap.
+        max_iter: iteration cap for the chosen solver.
         class_weight: ``None`` or ``"balanced"``; balanced reweights
             classes inversely to their frequency, which matters for the
             per-node leak labels (positives are ~3% of samples).
+        solver: ``"newton"`` (default) solves the IRLS normal system
+            directly — a handful of exact Newton steps instead of
+            hundreds of L-BFGS updates, which matters when the profile
+            trains 91 per-junction models; ``"lbfgs"`` keeps the
+            quasi-Newton path.  Both minimise the same objective and
+            agree to optimiser accuracy.
     """
 
     def __init__(
@@ -147,13 +153,19 @@ class LogisticRegression(BaseEstimator, ClassifierMixin):
         fit_intercept: bool = True,
         max_iter: int = 200,
         class_weight: str | None = None,
+        solver: str = "newton",
     ):
         self.C = C
         self.fit_intercept = fit_intercept
         self.max_iter = max_iter
         self.class_weight = class_weight
+        self.solver = solver
 
     def fit(self, X, y) -> "LogisticRegression":
+        if self.solver not in ("newton", "lbfgs"):
+            raise ValueError(
+                f"solver must be 'newton' or 'lbfgs', got {self.solver!r}"
+            )
         X, y = check_X_y(X, y)
         encoded = self._encode_labels(y)
         n, d = X.shape
@@ -175,6 +187,16 @@ class LogisticRegression(BaseEstimator, ClassifierMixin):
                     target == 1.0, 0.5 / positive_fraction, 0.5 / (1.0 - positive_fraction)
                 )
         lam = 1.0 / (self.C * n)
+
+        if self.solver == "newton":
+            theta = self._irls(X, target, weights, lam)
+            if self.fit_intercept:
+                self.coef_ = theta[:-1]
+                self.intercept_ = float(theta[-1])
+            else:
+                self.coef_ = theta
+                self.intercept_ = 0.0
+            return self
 
         def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
             if self.fit_intercept:
@@ -213,6 +235,67 @@ class LogisticRegression(BaseEstimator, ClassifierMixin):
             self.coef_ = theta
             self.intercept_ = 0.0
         return self
+
+    def _irls(
+        self,
+        X: np.ndarray,
+        target: np.ndarray,
+        weights: np.ndarray,
+        lam: float,
+    ) -> np.ndarray:
+        """Damped Newton / IRLS on the (mean) penalised log-loss.
+
+        Each iteration solves the exact (d+1)-dimensional normal system
+        ``(X~' D X~ / n + lam I) step = -grad`` (intercept unpenalised)
+        with an Armijo backtracking line search — the classic IRLS
+        scheme, which converges in single-digit iterations on the
+        standardized, well-conditioned features this pipeline produces.
+        """
+        n, d = X.shape
+        Xa = np.hstack([X, np.ones((n, 1))]) if self.fit_intercept else X
+        m = Xa.shape[1]
+        reg = np.full(m, lam)
+        if self.fit_intercept:
+            reg[-1] = 0.0
+        eps = 1e-12
+        diag = np.arange(m)
+
+        def value_of(z: np.ndarray, theta: np.ndarray) -> float:
+            p = _sigmoid(z)
+            w_part = theta[:-1] if self.fit_intercept else theta
+            nll = -np.mean(
+                weights
+                * (target * np.log(p + eps) + (1 - target) * np.log(1 - p + eps))
+            )
+            return nll + 0.5 * lam * float(w_part @ w_part)
+
+        theta = np.zeros(m)
+        z = Xa @ theta
+        value = value_of(z, theta)
+        for _ in range(min(self.max_iter, 50)):
+            p = _sigmoid(z)
+            grad = Xa.T @ (weights * (p - target)) / n + reg * theta
+            if float(np.max(np.abs(grad))) <= 1e-8:
+                break
+            curvature = weights * p * (1.0 - p)
+            hessian = (Xa.T * curvature) @ Xa / n
+            hessian[diag, diag] += reg + 1e-12
+            step = np.linalg.solve(hessian, -grad)
+            slope = float(grad @ step)
+            t = 1.0
+            trial, z_trial, new_value = theta, z, value
+            for _ in range(30):
+                trial = theta + t * step
+                z_trial = Xa @ trial
+                new_value = value_of(z_trial, trial)
+                if new_value <= value + 1e-4 * t * slope:
+                    break
+                t *= 0.5
+            converged = abs(value - new_value) <= 1e-12 * max(1.0, abs(value))
+            theta, z, value = trial, z_trial, new_value
+            if converged:
+                break
+        return theta
 
     def decision_function(self, X) -> np.ndarray:
         self._check_fitted("coef_")

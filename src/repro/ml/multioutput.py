@@ -4,15 +4,93 @@ The paper transforms the multi-output leak problem into independent
 binary classifications, one per node (Sec. III-B): "a binary classifier is
 trained for each node independently".  :class:`MultiOutputClassifier`
 implements that decomposition for any base estimator.
+
+Two shared-work optimisations live here:
+
+* **Shared binning** — when the per-column template uses the "hist" tree
+  splitter, the quantile :class:`~repro.ml.binning.BinMapper` is fitted
+  once on X and every column trains from row-slices of the same uint8
+  codes instead of re-binning an identical matrix per column.
+* **Validate once** — ``fit`` and ``predict_proba`` check X a single time
+  at the wrapper; per-column calls receive the pre-checked array (inner
+  ``check_array`` calls short-circuit on conforming arrays).
+
+Column fits are independent, so they parallelise embarrassingly; the
+``backend`` flag chooses threads (cheap, GIL-bound) or processes
+(pickled round-trips, true parallelism for the pure-Python growers).
+Either way column ``j``'s model depends only on ``(random_state, j)`` —
+never on n_jobs, the backend, or chunk boundaries — so every
+configuration fits bit-identical models.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
-from .base import BaseEstimator, check_array, check_X_y, clone
+from .base import BaseEstimator, check_array, clone
+from .binning import BinMapper, hist_max_bins, supports_binned_fit
+
+
+def _column_rows(
+    y: np.ndarray,
+    rng: np.random.Generator,
+    negative_ratio: float | None,
+    min_negatives: int,
+) -> np.ndarray:
+    """Row subset for one column honouring ``negative_ratio``."""
+    if negative_ratio is None:
+        return np.arange(len(y))
+    positives = np.nonzero(y == 1)[0]
+    negatives = np.nonzero(y != 1)[0]
+    if len(positives) == 0 or len(negatives) == 0:
+        return np.arange(len(y))
+    keep = int(max(negative_ratio * len(positives), min_negatives))
+    if keep >= len(negatives):
+        return np.arange(len(y))
+    sampled = rng.choice(negatives, size=keep, replace=False)
+    return np.sort(np.concatenate([positives, sampled]))
+
+
+def _fit_one_column(
+    template: BaseEstimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    seed: np.random.SeedSequence,
+    negative_ratio: float | None,
+    min_negatives: int,
+    binned,
+) -> BaseEstimator:
+    """Fit one column's clone — the single code path every backend runs."""
+    model = clone(template)
+    rows = _column_rows(y, np.random.default_rng(seed), negative_ratio, min_negatives)
+    if binned is not None and supports_binned_fit(model):
+        codes, edges = binned
+        model.fit(X[rows], y[rows], binned=(codes[rows], edges))
+    else:
+        model.fit(X[rows], y[rows])
+    return model
+
+
+def _fit_column_chunk(
+    template: BaseEstimator,
+    X: np.ndarray,
+    Y: np.ndarray,
+    columns: list[int],
+    seeds: list[np.random.SeedSequence],
+    negative_ratio: float | None,
+    min_negatives: int,
+    binned,
+) -> list[BaseEstimator]:
+    """Process-pool task: fit a chunk of columns (module-level so it
+    pickles; one task per worker amortises the X round-trip)."""
+    return [
+        _fit_one_column(
+            template, X, Y[:, column], seed, negative_ratio, min_negatives, binned
+        )
+        for column, seed in zip(columns, seeds)
+    ]
 
 
 class MultiOutputClassifier(BaseEstimator):
@@ -33,10 +111,18 @@ class MultiOutputClassifier(BaseEstimator):
             magnitude.
         min_negatives: floor on the retained negatives per column.
         random_state: seed for the negative subsampling.
-        n_jobs: thread count for fitting columns concurrently.  Column
+        n_jobs: worker count for fitting columns concurrently.  Column
             ``j``'s negative subsample is drawn from its own RNG stream
             spawned from ``random_state``, so the fitted model is
             identical for every ``n_jobs`` value.
+        backend: "thread" (default) or "process".  Processes sidestep the
+            GIL for the pure-Python tree growers at the cost of pickling
+            X and the fitted models; results are bit-identical either way.
+        bin_mapper: shared-binning control — "auto" (default) fits a
+            :class:`BinMapper` once per ``fit`` when the template reaches
+            a hist-splitter tree and accepts ``binned=``; ``None``
+            disables sharing (every estimator re-bins); or pass a
+            :class:`BinMapper` instance to pin ``max_bins`` explicitly.
     """
 
     def __init__(
@@ -46,35 +132,103 @@ class MultiOutputClassifier(BaseEstimator):
         min_negatives: int = 200,
         random_state: int | None = None,
         n_jobs: int | None = None,
+        backend: str = "thread",
+        bin_mapper="auto",
     ):
         self.estimator = estimator
         self.negative_ratio = negative_ratio
         self.min_negatives = min_negatives
         self.random_state = random_state
         self.n_jobs = n_jobs
+        self.backend = backend
+        self.bin_mapper = bin_mapper
+
+    def _shared_binned(self, X: np.ndarray):
+        """(codes, edges) for X under the ``bin_mapper`` policy, or None."""
+        if self.bin_mapper is None:
+            return None
+        if isinstance(self.bin_mapper, BinMapper):
+            mapper = self.bin_mapper
+        elif self.bin_mapper == "auto":
+            if not supports_binned_fit(self.estimator):
+                return None
+            max_bins = hist_max_bins(self.estimator)
+            if max_bins is None:
+                return None
+            mapper = BinMapper(max_bins=max_bins)
+        else:
+            raise ValueError(
+                f"bin_mapper must be 'auto', None, or a BinMapper, "
+                f"got {self.bin_mapper!r}"
+            )
+        if not hasattr(mapper, "edges_"):
+            mapper.fit(X)
+        return mapper.transform(X), mapper.edges_
 
     def fit(self, X, Y) -> "MultiOutputClassifier":
+        if self.backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', got {self.backend!r}"
+            )
+        # Validate X once here; every per-column fit receives the checked
+        # array (and a row-slice of the shared binned codes).
         X = check_array(X)
+        if not np.all(np.isfinite(X)):
+            raise ValueError("X contains NaN or infinite values")
         Y = np.asarray(Y)
         if Y.ndim != 2:
             raise ValueError(f"Y must be 2-D (n_samples, n_outputs), got {Y.shape}")
         if Y.shape[0] != X.shape[0]:
             raise ValueError(f"X has {X.shape[0]} rows, Y has {Y.shape[0]}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit with 0 samples")
         n_outputs = Y.shape[1]
+        binned = self._shared_binned(X)
         # One subsampling stream per column, spawned from a single root:
         # the rows kept for column j depend only on (random_state, j),
-        # never on n_jobs or the order columns happen to finish in.
+        # never on n_jobs, the backend, or the order columns finish in.
         seeds = np.random.SeedSequence(self.random_state).spawn(n_outputs)
 
         def fit_column(column: int) -> BaseEstimator:
-            model = clone(self.estimator)
-            _, y = check_X_y(X, Y[:, column])
-            rows = self._column_rows(y, np.random.default_rng(seeds[column]))
-            model.fit(X[rows], y[rows])
-            return model
+            return _fit_one_column(
+                self.estimator,
+                X,
+                Y[:, column],
+                seeds[column],
+                self.negative_ratio,
+                self.min_negatives,
+                binned,
+            )
 
         n_jobs = int(self.n_jobs) if self.n_jobs else 1
-        if n_jobs > 1:
+        if n_jobs > 1 and self.backend == "process":
+            # Round-robin chunks, one task per worker: column order inside
+            # a chunk is irrelevant to the result (per-column seeds), and
+            # reassembly below restores index order.
+            chunks = [list(range(i, n_outputs, n_jobs)) for i in range(n_jobs)]
+            chunks = [chunk for chunk in chunks if chunk]
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                futures = [
+                    pool.submit(
+                        _fit_column_chunk,
+                        self.estimator,
+                        X,
+                        Y,
+                        chunk,
+                        [seeds[column] for column in chunk],
+                        self.negative_ratio,
+                        self.min_negatives,
+                        binned,
+                    )
+                    for chunk in chunks
+                ]
+                results = [future.result() for future in futures]
+            estimators: list[BaseEstimator | None] = [None] * n_outputs
+            for chunk, fitted in zip(chunks, results):
+                for column, model in zip(chunk, fitted):
+                    estimators[column] = model
+            self.estimators_ = list(estimators)
+        elif n_jobs > 1:
             with ThreadPoolExecutor(max_workers=n_jobs) as pool:
                 self.estimators_ = list(pool.map(fit_column, range(n_outputs)))
         else:
@@ -84,21 +238,13 @@ class MultiOutputClassifier(BaseEstimator):
 
     def _column_rows(self, y: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Row subset for one column honouring ``negative_ratio``."""
-        if self.negative_ratio is None:
-            return np.arange(len(y))
-        positives = np.nonzero(y == 1)[0]
-        negatives = np.nonzero(y != 1)[0]
-        if len(positives) == 0 or len(negatives) == 0:
-            return np.arange(len(y))
-        keep = int(max(self.negative_ratio * len(positives), self.min_negatives))
-        if keep >= len(negatives):
-            return np.arange(len(y))
-        sampled = rng.choice(negatives, size=keep, replace=False)
-        return np.sort(np.concatenate([positives, sampled]))
+        return _column_rows(y, rng, self.negative_ratio, self.min_negatives)
 
     def predict_proba(self, X) -> np.ndarray:
         """P(output == 1) per column, shape (n_samples, n_outputs)."""
         self._check_fitted("estimators_")
+        # Validate once; per-column predict_proba calls see the same
+        # conforming ndarray and skip re-validation.
         X = check_array(X)
         columns = np.empty((X.shape[0], self.n_outputs_))
         for j, model in enumerate(self.estimators_):

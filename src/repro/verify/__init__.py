@@ -15,7 +15,8 @@ bulk:
   (solve invariants, INP round-trip, warm≡cold, array≡dict);
 * :mod:`~repro.verify.differential` — fast-path vs reference-path
   differential oracles (array vs dict, warm vs cold, ``workers=N`` vs
-  serial, ``n_jobs`` vs serial);
+  serial, ``n_jobs``/process backend vs serial, flattened tree kernel vs
+  recursion, binned vs exact splits);
 * :mod:`~repro.verify.golden` — committed, tolerance-checked snapshots of
   steady-state hydraulics and pipeline accuracy;
 * :mod:`~repro.verify.runner` — the ``repro verify`` sweep over the
@@ -25,7 +26,10 @@ bulk:
 from .differential import (
     DiffReport,
     diff_array_vs_dict,
+    diff_binned_vs_exact,
+    diff_flattened_vs_recursive,
     diff_njobs_training,
+    diff_process_vs_serial,
     diff_warm_vs_cold,
     diff_workers_dataset,
     run_differential_oracles,
@@ -93,7 +97,10 @@ __all__ = [
     "check_accuracy_golden",
     "check_steady_golden",
     "diff_array_vs_dict",
+    "diff_binned_vs_exact",
+    "diff_flattened_vs_recursive",
     "diff_njobs_training",
+    "diff_process_vs_serial",
     "diff_warm_vs_cold",
     "diff_workers_dataset",
     "emit_regression_test",

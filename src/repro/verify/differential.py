@@ -7,6 +7,14 @@ PR 2 added four fast paths whose correctness is an *equivalence* claim:
 * ``workers=N`` dataset engine    ≡  serial generation (bit-identical);
 * ``n_jobs=N`` threaded training  ≡  serial fits (bit-identical).
 
+The shared-binning training engine added three more:
+
+* flattened tree-kernel inference ≡  tree-by-tree recursion
+  (bit-identical);
+* ``backend="process"`` training  ≡  serial fits (bit-identical);
+* hist (pre-binned) training      ≈  exact splits (accuracy within
+  tolerance — binning is a controlled approximation, not an identity).
+
 Each oracle here runs both sides on a deterministic workload and reports
 the worst disagreement.  ``repro verify`` runs them per network; the
 acceptance bar is bit-identical where the claim is bit-identity and
@@ -206,13 +214,142 @@ def diff_njobs_training(
     )
 
 
+def _busiest_column(Y: np.ndarray) -> np.ndarray:
+    """The label column with the most positives (best-conditioned fit)."""
+    return Y[:, int(np.argmax(Y.sum(axis=0)))]
+
+
+def diff_flattened_vs_recursive(
+    network: WaterNetwork, seed: int = 0, n_samples: int = 24
+) -> DiffReport:
+    """Flattened tree-kernel inference vs the tree-by-tree reference.
+
+    The flat kernel accumulates per-tree leaf distributions in the same
+    order as the recursive loop, so the claim is bit-identity — for the
+    random forest (both splitters) and the boosting raw scores.
+    """
+    from ..datasets import generate_dataset
+    from ..ml import GradientBoostingClassifier, RandomForestClassifier
+
+    dataset = generate_dataset(network, n_samples, kind="multi", seed=seed)
+    X = dataset.X_candidates
+    y = _busiest_column(dataset.Y)
+    pairs = []
+    for splitter in ("exact", "hist"):
+        rf = RandomForestClassifier(
+            n_estimators=8, max_depth=6, splitter=splitter, random_state=seed
+        ).fit(X, y)
+        pairs.append((rf._predict_proba_recursive(X), rf.predict_proba(X)))
+    gb = GradientBoostingClassifier(
+        n_estimators=8, max_depth=3, random_state=seed
+    ).fit(X, y)
+    pairs.append((gb._decision_function_recursive(X), gb.decision_function(X)))
+    return _compare(
+        "flat_vs_recursive",
+        pairs,
+        tolerance=0.0,
+        detail=f"{network.name}, {n_samples} samples, RF(exact,hist)+GB",
+    )
+
+
+def diff_process_vs_serial(
+    network: WaterNetwork,
+    seed: int = 0,
+    n_samples: int = 24,
+    n_jobs: int = 2,
+) -> DiffReport:
+    """``backend="process"`` per-column training vs serial fits.
+
+    Column models are seeded from per-column ``SeedSequence`` streams, so
+    the fitted ensemble must be bit-identical no matter where the column
+    ran — this oracle pushes tree training through pickled round-trips.
+    """
+    from ..datasets import generate_dataset
+    from ..ml import MultiOutputClassifier, RandomForestClassifier
+
+    dataset = generate_dataset(network, n_samples, kind="multi", seed=seed)
+    X = dataset.X_candidates
+
+    def fit(jobs: int | None, backend: str) -> np.ndarray:
+        model = MultiOutputClassifier(
+            RandomForestClassifier(
+                n_estimators=4, max_depth=5, splitter="hist", random_state=seed
+            ),
+            negative_ratio=3.0,
+            random_state=seed,
+            n_jobs=jobs,
+            backend=backend,
+        )
+        model.fit(X, dataset.Y)
+        return model.predict_proba(X)
+
+    return _compare(
+        "process_vs_serial",
+        [(fit(None, "thread"), fit(n_jobs, "process"))],
+        tolerance=0.0,
+        detail=f"{network.name}, {n_samples} samples, n_jobs={n_jobs}",
+    )
+
+
+#: Binned quantile splits approximate exact splits; train-set accuracy of
+#: the two forests may differ by at most this much.
+BINNED_ACCURACY_TOL = 0.05
+
+
+def diff_binned_vs_exact(
+    network: WaterNetwork,
+    seed: int = 0,
+    n_samples: int = 24,
+    tolerance: float = BINNED_ACCURACY_TOL,
+) -> DiffReport:
+    """Shared-binning hist training vs exact splits, as an accuracy claim.
+
+    Binning is a lossy (but controlled) approximation: thresholds snap to
+    quantile edges, so fitted trees differ.  The oracle checks the claim
+    that matters — hist forests localize as well as exact ones — by
+    comparing mean hamming scores on the training scenarios.
+    """
+    from ..datasets import generate_dataset
+    from ..ml import (
+        MultiOutputClassifier,
+        RandomForestClassifier,
+        mean_hamming_score,
+    )
+
+    dataset = generate_dataset(network, n_samples, kind="multi", seed=seed)
+    X = dataset.X_candidates
+
+    def score(splitter: str) -> float:
+        model = MultiOutputClassifier(
+            RandomForestClassifier(
+                n_estimators=8, max_depth=6, splitter=splitter, random_state=seed
+            ),
+            negative_ratio=3.0,
+            random_state=seed,
+        )
+        model.fit(X, dataset.Y)
+        predictions = (model.predict_proba(X) > 0.5).astype(np.int64)
+        return mean_hamming_score(dataset.Y, predictions)
+
+    exact_score, hist_score = score("exact"), score("hist")
+    return _compare(
+        "binned_vs_exact",
+        [(np.array([exact_score]), np.array([hist_score]))],
+        tolerance=tolerance,
+        detail=(
+            f"{network.name}, {n_samples} samples, "
+            f"exact={exact_score:.4f} hist={hist_score:.4f}"
+        ),
+    )
+
+
 def run_differential_oracles(
     network: WaterNetwork,
     seed: int = 0,
     quick: bool = False,
     workers: int = 4,
 ) -> list[DiffReport]:
-    """All four differential oracles on one network.
+    """All seven differential oracles on one network.
 
     Quick mode trims the workload (fewer scenarios, 2 workers) so the
     catalog sweep stays CI-sized; the claims checked are identical.
@@ -225,4 +362,7 @@ def run_differential_oracles(
         diff_warm_vs_cold(network, seed=seed, n_scenarios=2 if quick else 5),
         diff_workers_dataset(network, seed=seed, n_samples=n_samples, workers=pool),
         diff_njobs_training(network, seed=seed, n_samples=n_train, n_jobs=pool),
+        diff_flattened_vs_recursive(network, seed=seed, n_samples=n_samples),
+        diff_process_vs_serial(network, seed=seed, n_samples=n_samples, n_jobs=pool),
+        diff_binned_vs_exact(network, seed=seed, n_samples=n_samples),
     ]

@@ -1,0 +1,59 @@
+"""ProfileModel feature-path regression tests.
+
+The fit/predict paths copy the caller's features exactly once and then
+detrend/scale in place; these tests pin the "no aliasing" contract —
+neither the dataset's matrix nor a caller's array may ever be mutated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ProfileModel
+
+
+@pytest.fixture(scope="module")
+def fitted(epanet, epanet_sensors_full, epanet_single_train):
+    model = ProfileModel(
+        epanet, epanet_sensors_full, classifier="logistic", random_state=0
+    )
+    model.fit(epanet_single_train)
+    return model
+
+
+class TestNoAliasing:
+    def test_fit_does_not_mutate_dataset(
+        self, epanet, epanet_sensors_full, epanet_single_train
+    ):
+        snapshot = epanet_single_train.X_candidates.copy()
+        ProfileModel(
+            epanet, epanet_sensors_full, classifier="logistic", random_state=0
+        ).fit(epanet_single_train)
+        np.testing.assert_array_equal(
+            epanet_single_train.X_candidates, snapshot
+        )
+
+    def test_predict_proba_does_not_mutate_features(
+        self, fitted, epanet_single_test, epanet_sensors_full
+    ):
+        features = epanet_single_test.features_for(epanet_sensors_full)
+        snapshot = features.copy()
+        fitted.predict_proba(features)
+        np.testing.assert_array_equal(features, snapshot)
+
+    def test_predict_proba_does_not_mutate_nan_masked_features(
+        self, fitted, epanet_single_test, epanet_sensors_full
+    ):
+        features = epanet_single_test.features_for(epanet_sensors_full).copy()
+        features[:, 0] = np.nan  # dropped-out sensor column
+        snapshot = features.copy()
+        fitted.predict_proba(features)
+        np.testing.assert_array_equal(features, snapshot)
+
+    def test_detrend_copying_wrapper_leaves_input_alone(
+        self, fitted, epanet_single_test, epanet_sensors_full
+    ):
+        features = epanet_single_test.features_for(epanet_sensors_full)
+        snapshot = features.copy()
+        detrended = fitted._detrend(features)
+        np.testing.assert_array_equal(features, snapshot)
+        assert detrended is not features

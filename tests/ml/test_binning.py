@@ -1,0 +1,111 @@
+"""Shared quantile binning (BinMapper) and its fit-kwarg plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BinMapper,
+    GradientBoostingClassifier,
+    LogisticRegression,
+    RandomForestClassifier,
+    StackingClassifier,
+)
+from repro.ml.binning import hist_max_bins, supports_binned_fit
+
+
+@pytest.fixture()
+def data(rng):
+    X = rng.normal(size=(200, 5))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+class TestBinMapper:
+    def test_codes_shape_and_dtype(self, data):
+        X, _ = data
+        mapper = BinMapper(max_bins=16).fit(X)
+        codes = mapper.transform(X)
+        assert codes.shape == X.shape
+        assert codes.dtype == np.uint8
+        assert codes.max() < 16
+
+    def test_edges_padded_with_inf(self, rng):
+        # A feature with 3 distinct values cannot fill 31 quantile edges;
+        # the surplus must be +inf phantom bins that separate nothing.
+        X = np.column_stack([rng.normal(size=100), rng.integers(0, 3, size=100)])
+        mapper = BinMapper(max_bins=32).fit(X)
+        assert mapper.edges_.shape == (2, 31)
+        assert np.isinf(mapper.edges_[1]).any()
+
+    def test_monotone_with_feature_order(self, rng):
+        X = rng.normal(size=(300, 1))
+        mapper = BinMapper(max_bins=8).fit(X)
+        codes = mapper.transform(X)[:, 0].astype(int)
+        order = np.argsort(X[:, 0])
+        assert (np.diff(codes[order]) >= 0).all()
+
+    def test_deterministic(self, data):
+        X, _ = data
+        a = BinMapper(max_bins=32).fit(X)
+        b = BinMapper(max_bins=32).fit(X)
+        np.testing.assert_array_equal(a.edges_, b.edges_)
+        np.testing.assert_array_equal(a.transform(X), b.transform(X))
+
+    @pytest.mark.parametrize("bad", [1, 0, 257, 1000])
+    def test_max_bins_validation(self, bad):
+        with pytest.raises(ValueError, match="max_bins"):
+            BinMapper(max_bins=bad)
+
+
+class TestBinnedFitPlumbing:
+    def test_supports_binned_fit(self):
+        assert supports_binned_fit(RandomForestClassifier())
+        assert supports_binned_fit(GradientBoostingClassifier())
+        assert not supports_binned_fit(LogisticRegression())
+
+    def test_hist_max_bins_resolution(self):
+        assert hist_max_bins(RandomForestClassifier(splitter="exact")) is None
+        assert (
+            hist_max_bins(RandomForestClassifier(splitter="hist", max_bins=64))
+            == 64
+        )
+        assert hist_max_bins(LogisticRegression()) is None
+        # Recurses through composites to the first hist splitter.
+        stack = StackingClassifier(
+            estimators=[
+                (
+                    "rf",
+                    RandomForestClassifier(splitter="hist", max_bins=16),
+                ),
+            ],
+            final_estimator=LogisticRegression(),
+        )
+        assert hist_max_bins(stack) == 16
+
+    def test_precomputed_binned_fit_is_identical(self, data):
+        """fit(binned=...) with the shared mapper must reproduce the
+        internally-binned fit bit for bit (same BinMapper algorithm)."""
+        X, y = data
+        mapper = BinMapper(max_bins=32).fit(X)
+        shared = RandomForestClassifier(
+            n_estimators=6, splitter="hist", random_state=0
+        ).fit(X, y, binned=(mapper.transform(X), mapper.edges_))
+        internal = RandomForestClassifier(
+            n_estimators=6, splitter="hist", random_state=0
+        ).fit(X, y)
+        np.testing.assert_array_equal(
+            shared.predict_proba(X), internal.predict_proba(X)
+        )
+
+    def test_binned_ignored_for_exact_splitter(self, data):
+        X, y = data
+        mapper = BinMapper(max_bins=32).fit(X)
+        with_kwarg = RandomForestClassifier(
+            n_estimators=4, splitter="exact", random_state=0
+        ).fit(X, y, binned=(mapper.transform(X), mapper.edges_))
+        without = RandomForestClassifier(
+            n_estimators=4, splitter="exact", random_state=0
+        ).fit(X, y)
+        np.testing.assert_array_equal(
+            with_kwarg.predict_proba(X), without.predict_proba(X)
+        )

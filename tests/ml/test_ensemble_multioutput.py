@@ -139,6 +139,39 @@ class TestNJobs:
         )
         np.testing.assert_array_equal(serial.predict(X), threaded.predict(X))
 
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backends_bit_identical(self, n_jobs, backend):
+        """Fitted models depend only on (random_state, column): every
+        (n_jobs, backend) combination must reproduce the serial fit
+        bit for bit — including tree training through pickled workers."""
+        X, Y = self._data()
+
+        def fit(jobs=None, how="thread"):
+            return MultiOutputClassifier(
+                RandomForestClassifier(
+                    n_estimators=4, max_depth=5, splitter="hist", random_state=0
+                ),
+                negative_ratio=2.0,
+                min_negatives=5,
+                random_state=3,
+                n_jobs=jobs,
+                backend=how,
+            ).fit(X, Y)
+
+        serial = fit()
+        candidate = fit(jobs=n_jobs, how=backend)
+        np.testing.assert_array_equal(
+            serial.predict_proba(X), candidate.predict_proba(X)
+        )
+
+    def test_invalid_backend_rejected(self):
+        X, Y = self._data()
+        with pytest.raises(ValueError, match="backend"):
+            MultiOutputClassifier(
+                LogisticRegression(), n_jobs=2, backend="greenlet"
+            ).fit(X, Y)
+
     def test_column_order_preserved(self):
         X, Y = self._data()
         model = MultiOutputClassifier(LogisticRegression(), n_jobs=3).fit(X, Y)

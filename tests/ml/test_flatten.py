@@ -1,0 +1,103 @@
+"""Flattened tree-kernel inference tests.
+
+The kernel (:class:`repro.ml.FlattenedForest`) must be an *identity*
+rewrite of the recursive per-tree loops: same probabilities bit for bit,
+and — being plain numpy arrays — picklable with the fitted model.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    FlattenedForest,
+    GradientBoostingClassifier,
+    RandomForestClassifier,
+)
+
+
+@pytest.fixture()
+def data(rng):
+    X = rng.normal(size=(250, 8))
+    w = rng.normal(size=8)
+    y = (X @ w + rng.normal(scale=0.4, size=250) > 0).astype(int)
+    return X, y
+
+
+class TestFlattenedForest:
+    @pytest.mark.parametrize("splitter", ["exact", "hist"])
+    def test_rf_matches_recursive(self, data, splitter):
+        X, y = data
+        model = RandomForestClassifier(
+            n_estimators=10, max_depth=6, splitter=splitter, random_state=0
+        ).fit(X, y)
+        np.testing.assert_array_equal(
+            model.predict_proba(X), model._predict_proba_recursive(X)
+        )
+
+    def test_gb_matches_recursive(self, data):
+        X, y = data
+        model = GradientBoostingClassifier(
+            n_estimators=15, max_depth=3, random_state=0
+        ).fit(X, y)
+        np.testing.assert_array_equal(
+            model.decision_function(X), model._decision_function_recursive(X)
+        )
+
+    def test_apply_returns_leaves(self, data):
+        X, y = data
+        model = RandomForestClassifier(
+            n_estimators=5, splitter="hist", random_state=0
+        ).fit(X, y)
+        kernel = model.flattened_
+        leaves = kernel.apply(X)
+        assert leaves.shape == (X.shape[0], 5)
+        # Every landed node must actually be a leaf (feature == -1).
+        assert (kernel.feature[leaves] == -1).all()
+
+    def test_missing_class_padding(self, rng):
+        """Bootstrap draws that miss a class still align into forest
+        class columns (the pad column stays exactly zero)."""
+        X = rng.normal(size=(30, 4))
+        y = np.zeros(30, dtype=int)
+        y[:2] = 1  # rare positive: some bootstraps see only class 0
+        model = RandomForestClassifier(
+            n_estimators=12, splitter="hist", random_state=5
+        ).fit(X, y)
+        proba = model.predict_proba(X)
+        np.testing.assert_array_equal(proba, model._predict_proba_recursive(X))
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+
+class TestPickle:
+    @pytest.mark.parametrize("splitter", ["exact", "hist"])
+    def test_rf_round_trip(self, data, splitter):
+        X, y = data
+        model = RandomForestClassifier(
+            n_estimators=6, splitter=splitter, random_state=1
+        ).fit(X, y)
+        clone = pickle.loads(pickle.dumps(model))
+        np.testing.assert_array_equal(
+            model.predict_proba(X), clone.predict_proba(X)
+        )
+
+    def test_gb_round_trip(self, data):
+        X, y = data
+        model = GradientBoostingClassifier(n_estimators=8, random_state=1).fit(X, y)
+        clone = pickle.loads(pickle.dumps(model))
+        np.testing.assert_array_equal(
+            model.predict_proba(X), clone.predict_proba(X)
+        )
+
+    def test_pre_kernel_pickle_rebuilds_lazily(self, data):
+        """Models pickled before the kernel existed (older fits) rebuild
+        it on first use instead of crashing."""
+        X, y = data
+        model = RandomForestClassifier(
+            n_estimators=4, splitter="hist", random_state=2
+        ).fit(X, y)
+        expected = model.predict_proba(X)
+        model._flattened = None
+        assert isinstance(model.flattened_, FlattenedForest)
+        np.testing.assert_array_equal(model.predict_proba(X), expected)

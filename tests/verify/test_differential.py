@@ -67,5 +67,8 @@ class TestOracles:
             "warm_vs_cold",
             "workers_vs_serial",
             "njobs_vs_serial",
+            "flat_vs_recursive",
+            "process_vs_serial",
+            "binned_vs_exact",
         ]
         assert all(r.passed for r in reports), [str(r) for r in reports]
