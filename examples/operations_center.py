@@ -7,13 +7,21 @@ telemetry, runs the two-phase analytics with every available source, and
 emits decision-support records — including a flood forecast when a burst
 is confirmed.
 
+After the shifts, the trained model goes on duty as a network service:
+`repro.serve` hosts it with micro-batching and the consoles query it
+through `ServeClient` — the deployment mode of a real operations centre,
+where many dashboards share one model.
+
 Run:  python examples/operations_center.py        (~2 minutes)
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.networks import epanet_canonical
 from repro.platform import AquaScaleWorkflow
+from repro.serve import ServeClient, ServeConfig, start_in_background
 
 
 def main() -> None:
@@ -48,6 +56,32 @@ def main() -> None:
                 f"  flood outlook: {outcome.flood_summary['volume_m3']:.0f} m^3 "
                 f"released, max depth {outcome.flood_summary['max_depth_m']:.3f} m"
             )
+
+    print("\n=== night shift: model goes on duty as a service ===")
+    config = ServeConfig(max_batch_size=8, max_wait_ms=10.0)
+    with start_in_background(workflow.core, config=config) as handle:
+        print(f"  localization service listening on {handle.address[1]}")
+        with ServeClient(*handle.address) as client:
+            health = client.health()
+            print(
+                f"  health: {health['status']}, model "
+                f"{health['model']['name']} ({health['model']['etag'][:15]}…)"
+            )
+            # Replay telemetry from tonight's consoles: a block of
+            # Δ-feature rows fired through one pipelined connection, so
+            # the server coalesces them into micro-batches.
+            rng = np.random.default_rng(1)
+            rows = rng.normal(0.0, 0.5, size=(16, len(workflow.core.sensors)))
+            replies = client.localize_many(rows)
+            mean_batch = float(np.mean([r.batch_size for r in replies]))
+            mean_latency = float(np.mean([r.elapsed_ms for r in replies]))
+            print(
+                f"  {len(replies)} console queries answered, mean batch "
+                f"{mean_batch:.1f}, mean latency {mean_latency:.0f} ms"
+            )
+            quiet = sum(1 for r in replies if not r.leak_nodes)
+            print(f"  quiet readings: {quiet}/{len(replies)}")
+    print("  service drained cleanly — see docs/serving.md")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""CI smoke for the localization service, end to end through a real process.
+
+Boots ``repro serve`` as a subprocess on an ephemeral port, fires a block
+of concurrent ``localize`` requests through :class:`repro.serve.ServeClient`,
+and asserts the operational claims the serving layer makes:
+
+* every request is answered, and answered within its deadline
+  (p99 end-to-end latency under the per-request budget);
+* the dynamic micro-batcher actually coalesces under concurrent load
+  (server-side batch-size histogram mean > 1);
+* SIGTERM drains gracefully: the process exits 0 after finishing
+  admitted work.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py --profile profile.pkl
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", required=True, metavar="PROFILE.pkl",
+                        help="trained profile artifact to serve")
+    parser.add_argument("--requests", type=int, default=50,
+                        help="total concurrent localize requests")
+    parser.add_argument("--clients", type=int, default=5,
+                        help="concurrent client threads")
+    parser.add_argument("--deadline-ms", type=float, default=5000.0,
+                        help="per-request deadline every reply must beat")
+    parser.add_argument("--startup-timeout", type=float, default=120.0)
+    return parser.parse_args()
+
+
+def start_server(profile: str, timeout: float) -> tuple[subprocess.Popen, int]:
+    """Launch ``repro serve`` and wait for its 'serving on' line."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--profile", profile,
+         "--port", "0", "--max-wait-ms", "10"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=os.environ,
+    )
+    deadline = time.monotonic() + timeout
+    port = None
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        print(f"server: {line.rstrip()}")
+        match = re.match(r"serving on .*:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+            break
+    if port is None:
+        proc.kill()
+        raise SystemExit("server never reported its port")
+    return proc, port
+
+
+def main() -> int:
+    from repro.serve import ServeClient
+
+    args = parse_args()
+    proc, port = start_server(args.profile, args.startup_timeout)
+    failures: list[str] = []
+    try:
+        with ServeClient("127.0.0.1", port) as client:
+            health = client.health()
+            n_features = health["n_features"]
+            print(f"health: {health['status']}, model {health['model']['name']} "
+                  f"({health['model']['etag'][:15]}…), {n_features} features")
+
+            rng = np.random.default_rng(0)
+            rows = rng.normal(0.0, 1.0, size=(args.requests, n_features))
+            per_client = args.requests // args.clients
+            replies: list = []
+            lock = threading.Lock()
+
+            def drive(worker: int) -> None:
+                with ServeClient("127.0.0.1", port) as c:
+                    block = rows[worker * per_client:(worker + 1) * per_client]
+                    got = c.localize_many(block, deadline_ms=args.deadline_ms)
+                with lock:
+                    replies.extend(got)
+
+            threads = [
+                threading.Thread(target=drive, args=(i,))
+                for i in range(args.clients)
+            ]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - t0
+
+            leftovers = rows[args.clients * per_client:]
+            if len(leftovers):
+                replies.extend(
+                    client.localize_many(leftovers, deadline_ms=args.deadline_ms)
+                )
+
+            latencies = sorted(r.elapsed_ms for r in replies)
+            p99 = latencies[min(len(latencies) - 1,
+                                int(0.99 * (len(latencies) - 1)))]
+            mean_batch = float(np.mean([r.batch_size for r in replies]))
+            snapshot = client.health()["metrics"]
+            hist_mean = snapshot["histograms"]["serve_batch_size"]["mean"]
+            print(
+                f"{len(replies)} replies in {wall:.2f}s "
+                f"({len(replies) / wall:.0f} req/s), p99 {p99:.1f} ms, "
+                f"mean batch (replies) {mean_batch:.2f}, "
+                f"mean batch (server hist) {hist_mean:.2f}"
+            )
+
+            if len(replies) != args.requests:
+                failures.append(
+                    f"expected {args.requests} replies, got {len(replies)}"
+                )
+            if p99 > args.deadline_ms:
+                failures.append(
+                    f"p99 {p99:.1f} ms exceeds deadline {args.deadline_ms} ms"
+                )
+            if hist_mean <= 1.0:
+                failures.append(
+                    f"batch-size histogram mean {hist_mean:.2f} <= 1 — "
+                    "micro-batching never coalesced"
+                )
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            failures.append("server did not drain within 30s of SIGTERM")
+            code = proc.wait()
+    tail = proc.stdout.read() if proc.stdout else ""
+    if tail.strip():
+        print(f"server: {tail.strip()}")
+    if code != 0:
+        failures.append(f"server exited {code} after SIGTERM (expected 0)")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("serve smoke PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,9 @@ Commands mirror how a utility would operate the system:
 * ``flood``       — predict flooding from specified leak events;
 * ``stream``      — run the always-on streaming runtime on simulated
   live feeds: online trigger detection + localization + metrics.
+* ``serve``       — run the localization service: an asyncio TCP
+  JSON-lines server with dynamic micro-batching, a versioned model
+  registry with hot-swap, and admission control / load shedding.
 * ``verify``      — run the correctness sweep (``repro.verify``):
   physics-invariant oracles, differential oracles, golden snapshots,
   and deterministic property fuzzing.
@@ -157,6 +160,39 @@ def _add_stream(sub: argparse._SubParsersAction) -> None:
                         help="structured logs as JSON lines")
 
 
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "serve", help="always-on localization service (TCP JSON lines)"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7711,
+                        help="bind port (0 = ephemeral; the bound port is printed)")
+    parser.add_argument(
+        "--profile", action="append", default=[], metavar="PROFILE.pkl",
+        help="saved trained model to register (repeatable; the first one "
+             "is activated). Trains on the fly when omitted.",
+    )
+    parser.add_argument("--network", default="epanet",
+                        help="network for on-the-fly training")
+    parser.add_argument("--classifier", default="hybrid-rsl")
+    parser.add_argument("--iot-percent", type=float, default=100.0)
+    parser.add_argument("--train-samples", type=int, default=400,
+                        help="Phase-I scenarios when no profile is given")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-batch-size", type=int, default=8,
+                        help="micro-batch dispatch threshold")
+    parser.add_argument("--max-wait-ms", type=float, default=5.0,
+                        help="micro-batch hold time after the first request")
+    parser.add_argument("--inference-workers", type=int, default=2,
+                        help="thread-pool size for kernel calls")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="admission window (in-flight request ceiling)")
+    parser.add_argument("--deadline-ms", type=float, default=2000.0,
+                        help="default per-request deadline")
+    parser.add_argument("--json-logs", action="store_true",
+                        help="structured logs as JSON lines")
+
+
 def _add_verify(sub: argparse._SubParsersAction) -> None:
     parser = sub.add_parser(
         "verify",
@@ -208,6 +244,11 @@ def _add_bench(sub: argparse._SubParsersAction) -> None:
         help="only run the Phase-I training benchmark and merge its timing "
              "into an existing report at --out (CI regression gate)",
     )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="only run the serving throughput benchmark (in-process "
+             "server + pipelined clients) and merge it into --out",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -227,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience(sub)
     _add_flood(sub)
     _add_stream(sub)
+    _add_serve(sub)
     _add_verify(sub)
     _add_bench(sub)
     return parser
@@ -595,6 +637,79 @@ def _bench_phase1(args) -> int:
     return 0
 
 
+def _bench_serve(args) -> int:
+    """Measure service throughput/latency and merge it into --out.
+
+    Trains a small profile, hosts it in-process, and drives it with
+    pipelined clients so the micro-batcher coalesces — the honest serving
+    number is requests/second *through* admission + batching + TCP, not a
+    bare kernel timing.
+    """
+    import json
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+    from pathlib import Path
+
+    from .core import AquaScale
+    from .datasets import generate_dataset
+    from .networks import build_network
+    from .serve import ServeClient, ServeConfig, start_in_background
+
+    network = build_network(args.network)
+    n_clients = 4
+    per_client = 25 if args.quick else 100
+    dataset = generate_dataset(
+        network, 40 if args.quick else 120, kind="multi", seed=42
+    )
+    model = AquaScale(network, iot_percent=100.0, classifier="logistic", seed=0)
+    model.train(dataset=dataset)
+    rows = dataset.features_for(model.sensors)
+    config = ServeConfig(max_batch_size=16, max_wait_ms=2.0, inference_workers=2,
+                         max_pending=n_clients * per_client)
+    print(
+        f"serving {n_clients} x {per_client} pipelined requests "
+        f"({model.classifier} profile on {network.name}) ..."
+    )
+    with start_in_background(model, config=config) as handle:
+        def drive(worker: int) -> None:
+            with ServeClient(*handle.address) as client:
+                batch = [rows[(worker + k) % len(rows)] for k in range(per_client)]
+                client.localize_many(batch, deadline_ms=60_000.0)
+
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=n_clients) as pool:
+            list(pool.map(drive, range(n_clients)))
+        wall = time.perf_counter() - t0
+        snapshot = handle.metrics_snapshot()
+    total = n_clients * per_client
+    latency = snapshot["histograms"]["serve_latency_seconds"]
+    batch_hist = snapshot["histograms"]["serve_batch_size"]
+    section = {
+        "network": args.network,
+        "clients": n_clients,
+        "requests": total,
+        "throughput_rps": round(total / wall, 1),
+        "latency_ms": {
+            "mean": round(latency["mean"] * 1000.0, 3),
+            "p50": round(latency["p50"] * 1000.0, 3),
+            "p95": round(latency["p95"] * 1000.0, 3),
+            "p99": round(latency["p99"] * 1000.0, 3),
+        },
+        "mean_batch_size": round(batch_hist["mean"], 2),
+        "max_batch_size_policy": config.max_batch_size,
+    }
+    out = Path(args.out)
+    report = json.loads(out.read_text()) if out.exists() else {}
+    report["serve"] = section
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"serve: {section['throughput_rps']} req/s, "
+        f"p99 {section['latency_ms']['p99']:.1f} ms, "
+        f"mean batch {section['mean_batch_size']} (merged into {out})"
+    )
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Time the scenario engine (and perf suite) into a JSON report."""
     import json
@@ -609,6 +724,8 @@ def cmd_bench(args) -> int:
 
     if args.phase1:
         return _bench_phase1(args)
+    if args.serve:
+        return _bench_serve(args)
     network = build_network(args.network)
     n_samples = min(args.samples, 50) if args.quick else args.samples
 
@@ -724,6 +841,65 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the localization service until SIGTERM/SIGINT drains it."""
+    import asyncio
+    import time
+
+    from .serve import LocalizationServer, ModelRegistry, ServeConfig
+    from .stream import get_stream_logger
+
+    registry = ModelRegistry()
+    if args.profile:
+        for i, path in enumerate(args.profile):
+            entry = registry.load(path, activate=(i == 0))
+            print(f"registered {entry.name} ({entry.etag[:15]}…) from {path}")
+    else:
+        from .core import AquaScale
+        from .networks import build_network
+
+        network = build_network(args.network)
+        model = AquaScale(
+            network,
+            iot_percent=args.iot_percent,
+            classifier=args.classifier,
+            seed=args.seed,
+        )
+        print(
+            f"training {args.classifier} profile on {network.name} "
+            f"({args.train_samples} scenarios, {len(model.sensors)} sensors) ..."
+        )
+        t0 = time.perf_counter()
+        model.train(n_train=args.train_samples, kind="multi")
+        print(f"  Phase I done in {time.perf_counter() - t0:.1f}s")
+        registry.register("default", model)
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        inference_workers=args.inference_workers,
+        max_pending=args.max_pending,
+        default_deadline_ms=args.deadline_ms,
+    )
+    server = LocalizationServer(
+        registry,
+        config=config,
+        logger=get_stream_logger(json_lines=args.json_logs),
+    )
+
+    async def run() -> None:
+        await server.start()
+        # The smoke harness parses this line to find an ephemeral port.
+        print(f"serving on {config.host}:{server.port}", flush=True)
+        await server.serve_forever()
+
+    asyncio.run(run())
+    print("drained cleanly")
+    return 0
+
+
 def cmd_verify(args) -> int:
     """Run the verification sweep and print its report."""
     from .verify import run_verify
@@ -752,6 +928,7 @@ _HANDLERS = {
     "resilience": cmd_resilience,
     "flood": cmd_flood,
     "stream": cmd_stream,
+    "serve": cmd_serve,
     "verify": cmd_verify,
     "bench": cmd_bench,
 }

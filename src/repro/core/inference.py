@@ -135,6 +135,33 @@ class LeakInferenceEngine:
             stages=stages,
         )
 
+    @staticmethod
+    def _check_observations(kind: str, observations, n: int) -> list:
+        """Validate a per-sample observation list against the batch size.
+
+        Raises:
+            ValueError: when ``observations`` is not a sequence (a single
+                observation would silently mis-zip against samples) or
+                its length differs from ``n``.
+        """
+        if observations is None:
+            return [None] * n
+        if isinstance(observations, (WeatherObservation, HumanObservation)) or not hasattr(
+            observations, "__len__"
+        ):
+            raise ValueError(
+                f"{kind} must be a sequence with one entry per sample "
+                f"(got {type(observations).__name__}); wrap a single "
+                f"observation in a list"
+            )
+        observations = list(observations)
+        if len(observations) != n:
+            raise ValueError(
+                f"{kind} list has {len(observations)} entries for "
+                f"{n} feature row(s); the lists must align per sample"
+            )
+        return observations
+
     def infer_batch(
         self,
         features: np.ndarray,
@@ -150,10 +177,13 @@ class LeakInferenceEngine:
         if features.ndim != 2:
             raise ValueError("infer_batch expects (n_samples, n_features)")
         n = features.shape[0]
-        weather = weather if weather is not None else [None] * n
-        human = human if human is not None else [None] * n
-        if len(weather) != n or len(human) != n:
-            raise ValueError("observation lists must match the batch size")
+        weather = self._check_observations("weather", weather, n)
+        human = self._check_observations("human", human, n)
+        if n == 0:
+            # An empty batch is a legal no-op (e.g. every request of a
+            # micro-batch expired before dispatch) — the profile model
+            # never sees a zero-row matrix.
+            return []
         proba = self.profile.predict_proba(features)
         results = []
         junction_names = self.profile.junction_names

@@ -1,6 +1,13 @@
 """Simulation-driven dataset generation for profile training."""
 
-from .cache import load_dataset, load_profile, save_dataset, save_profile
+from .cache import (
+    load_dataset,
+    load_profile,
+    profile_content_hash,
+    read_profile_header,
+    save_dataset,
+    save_profile,
+)
 from .generation import LeakDataset, generate_dataset
 
 __all__ = [
@@ -8,6 +15,8 @@ __all__ = [
     "generate_dataset",
     "load_dataset",
     "load_profile",
+    "profile_content_hash",
+    "read_profile_header",
     "save_dataset",
     "save_profile",
 ]

@@ -10,6 +10,7 @@ estimators and are trusted artifacts).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pickle
 from pathlib import Path
@@ -21,6 +22,12 @@ from .generation import LeakDataset
 
 #: Bumped whenever the on-disk layout changes.
 FORMAT_VERSION = 1
+
+#: Bumped whenever the profile artifact layout changes.
+PROFILE_FORMAT_VERSION = 1
+
+#: First bytes of every profile artifact; anything else is rejected.
+PROFILE_MAGIC = b"#repro-profile "
 
 
 def _scenario_to_dict(scenario: FailureScenario) -> dict:
@@ -122,16 +129,105 @@ def load_dataset(path: str | Path) -> LeakDataset:
         )
 
 
+def _profile_metadata(profile) -> dict:
+    """Describe a profile artifact (works for AquaScale and ProfileModel)."""
+    network = getattr(profile, "network", None)
+    sensors = getattr(profile, "sensors", None)
+    if sensors is None:
+        sensors = getattr(profile, "sensor_network", None)
+    classifier = getattr(profile, "classifier", None)
+    if not isinstance(classifier, str):
+        classifier = getattr(profile, "classifier_name", None) or type(profile).__name__
+    return {
+        "network": getattr(network, "name", None),
+        "classifier": classifier,
+        "n_sensors": len(sensors) if sensors is not None else None,
+    }
+
+
+def profile_content_hash(payload: bytes) -> str:
+    """The artifact etag: ``sha256:<hex>`` over the pickle payload."""
+    return "sha256:" + hashlib.sha256(payload).hexdigest()
+
+
 def save_profile(profile, path: str | Path) -> None:
-    """Persist a fitted :class:`~repro.core.ProfileModel` (pickle)."""
+    """Persist a fitted :class:`~repro.core.ProfileModel` or
+    :class:`~repro.core.AquaScale` as a self-describing artifact.
+
+    The file starts with one JSON header line (format version, network
+    name, classifier, sensor count, content hash of the payload) followed
+    by the pickle payload.  :func:`read_profile_header` reads the header
+    without unpickling; the model registry uses the content hash as the
+    artifact etag.
+    """
+    payload = pickle.dumps(profile, protocol=pickle.HIGHEST_PROTOCOL)
+    header = {
+        "format_version": PROFILE_FORMAT_VERSION,
+        **_profile_metadata(profile),
+        "content_hash": profile_content_hash(payload),
+    }
     with open(Path(path), "wb") as handle:
-        pickle.dump(profile, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.write(PROFILE_MAGIC)
+        handle.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+        handle.write(b"\n")
+        handle.write(payload)
+
+
+def _read_profile_file(path: str | Path) -> tuple[dict, bytes]:
+    """Split a profile artifact into (header, payload), validating both.
+
+    Raises:
+        ValueError: when the file has no header (e.g. a legacy bare
+            pickle), an unsupported format version, or a payload whose
+            content hash does not match the header.
+    """
+    raw = Path(path).read_bytes()
+    if not raw.startswith(PROFILE_MAGIC):
+        raise ValueError(
+            f"{path}: not a repro profile artifact (missing "
+            f"{PROFILE_MAGIC!r} header) — re-save it with save_profile()"
+        )
+    header_line, _, payload = raw[len(PROFILE_MAGIC):].partition(b"\n")
+    try:
+        header = json.loads(header_line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"{path}: corrupt profile header ({error})") from error
+    version = header.get("format_version")
+    if version != PROFILE_FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported profile format version {version!r} "
+            f"(this build reads version {PROFILE_FORMAT_VERSION})"
+        )
+    expected = header.get("content_hash")
+    if expected is not None and profile_content_hash(payload) != expected:
+        raise ValueError(
+            f"{path}: profile payload does not match its content hash — "
+            "the artifact is truncated or corrupt"
+        )
+    return header, payload
+
+
+def read_profile_header(path: str | Path) -> dict:
+    """Read a profile artifact's header without unpickling the payload.
+
+    Returns the header dict (``format_version``, ``network``,
+    ``classifier``, ``n_sensors``, ``content_hash``).
+
+    Raises:
+        ValueError: on missing/corrupt headers or version mismatches.
+    """
+    header, _ = _read_profile_file(path)
+    return header
 
 
 def load_profile(path: str | Path):
     """Load a profile written by :func:`save_profile`.
 
     Only load artifacts you produced yourself — pickle executes code.
+
+    Raises:
+        ValueError: on missing/corrupt headers, unsupported format
+            versions, or content-hash mismatches.
     """
-    with open(Path(path), "rb") as handle:
-        return pickle.load(handle)
+    _, payload = _read_profile_file(path)
+    return pickle.loads(payload)

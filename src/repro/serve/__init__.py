@@ -1,0 +1,55 @@
+"""repro.serve — the always-on localization service.
+
+The operations-facing deployment of the two-phase pipeline: a
+stdlib-only asyncio TCP server speaking newline-delimited JSON, with
+
+* **dynamic micro-batching** — concurrent ``localize`` requests coalesce
+  into one :meth:`~repro.core.AquaScale.localize_batch` kernel call
+  under a ``max_batch_size`` / ``max_wait_ms`` policy
+  (:mod:`~repro.serve.batcher`);
+* a **model registry** — named, versioned profiles with content-hash
+  etags and atomic hot-swap; in-flight batches finish on the model they
+  captured (:mod:`~repro.serve.registry`);
+* **admission control** — a bounded in-flight window, per-request
+  deadlines, load shedding with honest ``retry_after_ms`` hints, and
+  graceful drain on SIGTERM (:mod:`~repro.serve.admission`).
+
+Everything is instrumented through :mod:`repro.stream.metrics` and
+logged through :mod:`repro.stream.log`.  Run it from the CLI with
+``repro serve``, or in-process::
+
+    from repro.serve import ServeClient, start_in_background
+
+    with start_in_background(trained_model) as handle:
+        with ServeClient(*handle.address) as client:
+            reply = client.localize(features)
+
+See ``docs/serving.md`` for the protocol, batching policy, and tuning.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .batcher import BatcherClosed, MicroBatcher
+from .client import LocalizeReply, ServeClient, ServeError
+from .registry import ModelEntry, ModelRegistry
+from .server import (
+    LocalizationServer,
+    ServeConfig,
+    ServerHandle,
+    start_in_background,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BatcherClosed",
+    "LocalizationServer",
+    "LocalizeReply",
+    "MicroBatcher",
+    "ModelEntry",
+    "ModelRegistry",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerHandle",
+    "start_in_background",
+]

@@ -1,0 +1,166 @@
+"""Admission control: keep the service alive by refusing excess load.
+
+A serving system protecting a CPU-bound inference core has one lever
+that always works — don't enqueue what it cannot finish in time.  The
+:class:`AdmissionController` bounds the number of requests in flight
+(queued + batching + inferring), stamps every admitted request with a
+deadline, and sheds the rest with an honest ``retry_after_ms`` hint
+derived from the observed service rate, so well-behaved clients back off
+instead of hammering a melting server.  During drain (SIGTERM) new work
+is refused immediately while admitted requests finish.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..stream.metrics import MetricsRegistry
+from . import protocol
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    Attributes:
+        admitted: the request may enter the queue.
+        code: protocol error code when refused.
+        message: human-readable refusal reason.
+        retry_after_ms: suggested client back-off when shed for load.
+    """
+
+    admitted: bool
+    code: str | None = None
+    message: str = ""
+    retry_after_ms: float | None = None
+
+
+class AdmissionController:
+    """Bounded in-flight window + deadline stamping + load shedding.
+
+    Args:
+        max_pending: in-flight request ceiling; request ``max_pending+1``
+            is shed with ``overloaded``.
+        default_deadline_ms: deadline applied when a request names none.
+        metrics: registry for the ``serve_inflight`` gauge and shed
+            counters (a private registry is created when omitted).
+
+    Raises:
+        ValueError: for a non-positive window or deadline.
+    """
+
+    #: Seed for the service-time EWMA before any batch has completed (s).
+    INITIAL_SERVICE_SECONDS = 0.005
+    #: EWMA smoothing for per-request service time.
+    EWMA_ALPHA = 0.2
+
+    def __init__(
+        self,
+        max_pending: int = 64,
+        default_deadline_ms: float = 2000.0,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be > 0, got {default_deadline_ms}"
+            )
+        self.max_pending = max_pending
+        self.default_deadline_ms = default_deadline_ms
+        self.metrics = metrics or MetricsRegistry()
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._draining = False
+        self._service_ewma = self.INITIAL_SERVICE_SECONDS
+        self._inflight_gauge = self.metrics.gauge("serve_inflight")
+        self._shed_counter = self.metrics.counter("serve_shed_total")
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests currently admitted and not yet answered."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`begin_drain` has been called."""
+        with self._lock:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        """Refuse all new work from now on; admitted requests finish."""
+        with self._lock:
+            self._draining = True
+
+    # ------------------------------------------------------------------
+    def admit(self) -> AdmissionDecision:
+        """Decide one request; on admission the in-flight count is taken.
+
+        The caller owns a matching :meth:`release` for every admitted
+        request (use try/finally around the request lifetime).
+        """
+        with self._lock:
+            if self._draining:
+                return AdmissionDecision(
+                    admitted=False,
+                    code=protocol.E_DRAINING,
+                    message="server is draining; connect elsewhere",
+                )
+            if self._pending >= self.max_pending:
+                self._shed_counter.inc()
+                return AdmissionDecision(
+                    admitted=False,
+                    code=protocol.E_OVERLOADED,
+                    message=(
+                        f"request queue full ({self._pending} in flight, "
+                        f"limit {self.max_pending})"
+                    ),
+                    retry_after_ms=self._retry_after_ms_locked(),
+                )
+            self._pending += 1
+            self._inflight_gauge.set(self._pending)
+            return AdmissionDecision(admitted=True)
+
+    def release(self) -> None:
+        """Return one admitted request's slot (response sent or failed)."""
+        with self._lock:
+            self._pending = max(0, self._pending - 1)
+            self._inflight_gauge.set(self._pending)
+
+    # ------------------------------------------------------------------
+    def deadline_for(self, deadline_ms: float | None, now: float | None = None) -> float:
+        """Absolute monotonic deadline for a request.
+
+        Args:
+            deadline_ms: the client's budget; the server default applies
+                when omitted.
+            now: monotonic arrival stamp (defaults to ``time.monotonic()``).
+
+        Raises:
+            ValueError: for a non-positive client budget.
+        """
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        deadline_ms = float(deadline_ms)
+        if deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
+        return (time.monotonic() if now is None else now) + deadline_ms / 1000.0
+
+    def observe_service_time(self, seconds_per_request: float) -> None:
+        """Fold one completed request's service time into the EWMA."""
+        if seconds_per_request < 0:
+            return
+        with self._lock:
+            self._service_ewma = (
+                (1.0 - self.EWMA_ALPHA) * self._service_ewma
+                + self.EWMA_ALPHA * seconds_per_request
+            )
+
+    def _retry_after_ms_locked(self) -> float:
+        """Back-off hint: time to clear the current backlog at the
+        observed service rate (called with the lock held)."""
+        return max(1.0, self._pending * self._service_ewma * 1000.0)

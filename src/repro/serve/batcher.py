@@ -1,0 +1,170 @@
+"""Dynamic micro-batching: coalesce concurrent requests into one kernel call.
+
+The flattened tree-kernel inference path (``AquaScale.localize_batch``)
+amortises its dispatch overhead across rows, so a serving layer wins by
+stacking whatever requests are in flight *right now* into one call.  The
+:class:`MicroBatcher` implements the classic policy pair:
+
+* ``max_batch_size`` — dispatch as soon as this many requests are
+  waiting (throughput bound);
+* ``max_wait_ms``    — never hold the first request longer than this
+  (latency bound).
+
+Batches execute on a worker thread pool, never on the event loop — the
+loop keeps accepting sockets and forming the *next* batch while
+inference runs, which is what makes coalescing actually happen under
+load.  The batcher is generic: items are opaque, and a ``run_batch``
+callable (supplied by the server) maps a list of items to a list of
+results of the same length.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from ..stream.metrics import MetricsRegistry
+
+
+class BatcherClosed(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` after drain has begun."""
+
+
+class MicroBatcher:
+    """Coalesces awaitable submissions into bounded batches.
+
+    Args:
+        run_batch: ``list[item] -> list[result]``; executed on a worker
+            thread, must return exactly one result per item (exceptions
+            fail every item of the batch).
+        max_batch_size: dispatch when this many items are waiting.
+        max_wait_ms: dispatch at latest this long after the first item.
+        workers: inference thread-pool size (concurrent batches).
+        metrics: registry for the ``serve_batch_size`` histogram and
+            ``serve_queue_depth`` gauge.
+
+    Raises:
+        ValueError: for non-positive batch size, wait, or worker count.
+    """
+
+    def __init__(
+        self,
+        run_batch: Callable[[list[Any]], list[Any]],
+        max_batch_size: int = 8,
+        max_wait_ms: float = 5.0,
+        workers: int = 2,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.run_batch = run_batch
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.workers = workers
+        self.metrics = metrics or MetricsRegistry()
+        self._batch_size_hist = self.metrics.histogram("serve_batch_size")
+        self._batches_counter = self.metrics.counter("serve_batches_total")
+        self._queue_gauge = self.metrics.gauge("serve_queue_depth")
+        self._queue: asyncio.Queue | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._gather_task: asyncio.Task | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind to the running loop and start the gather task."""
+        self._queue = asyncio.Queue()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="serve-infer"
+        )
+        self._closed = False
+        self._gather_task = asyncio.get_running_loop().create_task(self._gather())
+
+    async def submit(self, item: Any) -> Any:
+        """Queue one item and await its result.
+
+        Raises:
+            BatcherClosed: when the batcher is draining or stopped.
+            Exception: whatever ``run_batch`` raised for this batch.
+        """
+        if self._closed or self._queue is None:
+            raise BatcherClosed("micro-batcher is not accepting work")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((item, future))
+        self._queue_gauge.set(self._queue.qsize())
+        return await future
+
+    async def drain(self) -> None:
+        """Stop intake, flush queued items, and wait for running batches."""
+        self._closed = True
+        if self._queue is not None:
+            await self._queue.join()
+        if self._gather_task is not None:
+            self._gather_task.cancel()
+            try:
+                await self._gather_task
+            except asyncio.CancelledError:
+                pass
+            self._gather_task = None
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    async def _gather(self) -> None:
+        """The batching loop: pull, coalesce under the policy, dispatch."""
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        max_wait = self.max_wait_ms / 1000.0
+        while True:
+            entry = await self._queue.get()
+            batch = [entry]
+            deadline = loop.time() + max_wait
+            while len(batch) < self.max_batch_size:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), timeout)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            self._queue_gauge.set(self._queue.qsize())
+            task = loop.create_task(self._execute(batch))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    async def _execute(self, batch: list) -> None:
+        """Run one batch on the pool and deliver per-item results."""
+        assert self._queue is not None and self._pool is not None
+        items = [item for item, _ in batch]
+        self._batch_size_hist.observe(len(items))
+        self._batches_counter.inc()
+        try:
+            results = await asyncio.get_running_loop().run_in_executor(
+                self._pool, self.run_batch, items
+            )
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"run_batch returned {len(results)} results for "
+                    f"{len(items)} items"
+                )
+            for (_, future), result in zip(batch, results):
+                if not future.cancelled():
+                    future.set_result(result)
+        except Exception as error:
+            for _, future in batch:
+                if not future.cancelled():
+                    future.set_exception(error)
+        finally:
+            for _ in batch:
+                self._queue.task_done()

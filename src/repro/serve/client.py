@@ -1,0 +1,299 @@
+"""In-process client for the localization service.
+
+:class:`ServeClient` speaks the JSON-lines protocol over one TCP
+connection and pipelines: a background reader thread matches responses
+to outstanding request ids, so any number of threads can call
+:meth:`ServeClient.localize` concurrently on one client — which is
+exactly what exercises the server-side micro-batcher.  Used by the test
+suite, the benchmarks, ``examples/operations_center.py``, and the
+``serve_vs_direct`` differential oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..observations import HumanObservation, WeatherObservation
+from . import protocol
+
+
+class ServeError(RuntimeError):
+    """A protocol-level failure response.
+
+    Attributes:
+        code: protocol error code (``overloaded``, ``deadline_exceeded``,
+            ``draining``, ``bad_request``, ...).
+        retry_after_ms: server back-off hint when shed for load.
+    """
+
+    def __init__(self, code: str, message: str, retry_after_ms: float | None = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.retry_after_ms = retry_after_ms
+
+
+@dataclass(frozen=True)
+class LocalizeReply:
+    """One decoded ``localize`` result.
+
+    Attributes:
+        probabilities: (n_junctions,) posterior in junction order.
+        leak_nodes: the predicted leak set (sorted).
+        top_suspects: ``(junction, probability)`` pairs, best first.
+        energy: MRF energy of the served posterior.
+        model_name: registry name of the model that answered.
+        model_etag: content-hash etag of that model.
+        batch_size: live size of the micro-batch this rode in.
+        elapsed_ms: server-side latency (admission to response).
+    """
+
+    probabilities: np.ndarray
+    leak_nodes: list[str]
+    top_suspects: list[tuple[str, float]] = field(default_factory=list)
+    energy: float = 0.0
+    model_name: str = ""
+    model_etag: str = ""
+    batch_size: int = 1
+    elapsed_ms: float = 0.0
+
+
+def _decode_reply(result: dict) -> LocalizeReply:
+    """Build a :class:`LocalizeReply` from a wire result object."""
+    return LocalizeReply(
+        probabilities=np.asarray(result["probabilities"], dtype=float),
+        leak_nodes=list(result["leak_nodes"]),
+        top_suspects=[(name, float(p)) for name, p in result["top_suspects"]],
+        energy=float(result["energy"]),
+        model_name=result["model"]["name"],
+        model_etag=result["model"]["etag"],
+        batch_size=int(result["batch_size"]),
+        elapsed_ms=float(result["elapsed_ms"]),
+    )
+
+
+class ServeClient:
+    """A pipelined JSON-lines client; safe to share across threads.
+
+    Args:
+        host: server address.
+        port: server port.
+        timeout: per-request response timeout in seconds.
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._wfile = self._sock.makefile("wb")
+        self._rfile = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._waiting: dict[int, Future] = {}
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name="serve-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------------
+    def _read_loop(self) -> None:
+        """Match incoming response lines to outstanding request futures."""
+        error: BaseException = ConnectionError("connection closed by server")
+        try:
+            while True:
+                line = self._rfile.readline()
+                if not line:
+                    break
+                response = protocol.loads_line(line)
+                with self._lock:
+                    future = self._waiting.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (OSError, ValueError) as exc:
+            if not self._closed:
+                error = exc
+        finally:
+            with self._lock:
+                waiting, self._waiting = self._waiting, {}
+            for future in waiting.values():
+                if not future.done():
+                    future.set_exception(error)
+
+    def _submit(self, message: dict) -> Future:
+        """Send one request line; the returned future holds the response."""
+        if self._closed:
+            raise ConnectionError("client is closed")
+        request_id = next(self._ids)
+        message = {"id": request_id, **message}
+        future: Future = Future()
+        with self._lock:
+            self._waiting[request_id] = future
+        try:
+            data = protocol.dumps_line(message)
+            with self._lock:
+                self._wfile.write(data)
+                self._wfile.flush()
+        except BaseException:
+            with self._lock:
+                self._waiting.pop(request_id, None)
+            raise
+        return future
+
+    def _call(self, message: dict, timeout: float | None = None) -> dict:
+        """Round-trip one request; raise :class:`ServeError` on failure."""
+        response = self._submit(message).result(
+            timeout if timeout is not None else self.timeout
+        )
+        if response.get("ok"):
+            return response["result"]
+        error = response.get("error", {})
+        raise ServeError(
+            error.get("code", protocol.E_INTERNAL),
+            error.get("message", "unspecified server error"),
+            error.get("retry_after_ms"),
+        )
+
+    # ------------------------------------------------------------------
+    def localize(
+        self,
+        features,
+        weather: WeatherObservation | None = None,
+        human: HumanObservation | None = None,
+        deadline_ms: float | None = None,
+        timeout: float | None = None,
+    ) -> LocalizeReply:
+        """Localize one snapshot through the service (blocking).
+
+        Args:
+            features: flat sensor feature vector (deployment width).
+            weather: optional weather evidence for fusion.
+            human: optional human-report evidence for fusion.
+            deadline_ms: per-request deadline (server default if None).
+            timeout: client-side wait bound (defaults to the client's).
+
+        Raises:
+            ServeError: for shed, expired, draining, or malformed requests.
+        """
+        future = self.localize_async(
+            features, weather=weather, human=human, deadline_ms=deadline_ms
+        )
+        return self._resolve(future, timeout)
+
+    def localize_async(
+        self,
+        features,
+        weather: WeatherObservation | None = None,
+        human: HumanObservation | None = None,
+        deadline_ms: float | None = None,
+    ) -> Future:
+        """Fire one localize request without waiting.
+
+        Returns a :class:`concurrent.futures.Future` holding the raw
+        response; pass it to :meth:`resolve` (or call
+        ``client.localize``) to decode.  Issuing many of these before
+        resolving is what drives server-side batch coalescing from a
+        single client.
+        """
+        message: dict = {
+            "op": "localize",
+            "features": [float(x) for x in np.asarray(features, dtype=float)],
+            "weather": protocol.encode_weather(weather),
+            "human": protocol.encode_human(human),
+        }
+        if deadline_ms is not None:
+            message["deadline_ms"] = float(deadline_ms)
+        return self._submit(message)
+
+    def resolve(self, future: Future, timeout: float | None = None) -> LocalizeReply:
+        """Decode one :meth:`localize_async` future into a reply.
+
+        Raises:
+            ServeError: when the server answered with an error payload.
+        """
+        return self._resolve(future, timeout)
+
+    def _resolve(self, future: Future, timeout: float | None) -> LocalizeReply:
+        response = future.result(timeout if timeout is not None else self.timeout)
+        if response.get("ok"):
+            return _decode_reply(response["result"])
+        error = response.get("error", {})
+        raise ServeError(
+            error.get("code", protocol.E_INTERNAL),
+            error.get("message", "unspecified server error"),
+            error.get("retry_after_ms"),
+        )
+
+    def localize_many(
+        self,
+        feature_rows,
+        weather=None,
+        human=None,
+        deadline_ms: float | None = None,
+        timeout: float | None = None,
+    ) -> list[LocalizeReply]:
+        """Pipeline a block of requests and collect every reply.
+
+        All requests go on the wire before any response is awaited, so a
+        single client saturates the server's micro-batch window.
+
+        Args:
+            feature_rows: iterable of flat feature vectors.
+            weather: optional per-row list of weather observations.
+            human: optional per-row list of human observations.
+            deadline_ms: per-request deadline applied to every row.
+            timeout: client-side wait bound per reply.
+        """
+        rows = list(feature_rows)
+        weather = weather if weather is not None else [None] * len(rows)
+        human = human if human is not None else [None] * len(rows)
+        if len(weather) != len(rows) or len(human) != len(rows):
+            raise ValueError("weather/human lists must align with feature_rows")
+        futures = [
+            self.localize_async(row, weather=w, human=h, deadline_ms=deadline_ms)
+            for row, w, h in zip(rows, weather, human)
+        ]
+        return [self._resolve(future, timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    def health(self, timeout: float | None = None) -> dict:
+        """The server's ``health`` payload (status, model, metrics)."""
+        return self._call({"op": "health"}, timeout)
+
+    def models(self, timeout: float | None = None) -> list[dict]:
+        """Registered model versions, active flagged."""
+        return self._call({"op": "models"}, timeout)["models"]
+
+    def activate(self, name: str, timeout: float | None = None) -> dict:
+        """Hot-swap the serving model to ``name``.
+
+        Raises:
+            ServeError: with code ``unknown_model`` for unknown names.
+        """
+        return self._call({"op": "activate", "name": name}, timeout)
+
+    def close(self) -> None:
+        """Close the connection and release the reader thread."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(5.0)
+
+    def __enter__(self) -> "ServeClient":
+        """Context-manager entry: the client itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()

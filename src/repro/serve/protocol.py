@@ -1,0 +1,210 @@
+"""The JSON-lines wire protocol of the localization service.
+
+One request or response per line, UTF-8 JSON, newline-delimited — the
+shape every log pipeline and load-balancer sidecar already speaks.  Both
+ends are Python, so ``NaN`` feature entries (masked sensors from the
+streaming runtime) survive the wire via the stdlib's non-strict JSON.
+
+Requests::
+
+    {"id": 7, "op": "localize", "features": [...], "deadline_ms": 2000,
+     "weather": {...} | null, "human": {...} | null}
+    {"id": 8, "op": "health"}
+    {"id": 9, "op": "models"}
+    {"id": 10, "op": "activate", "name": "canary"}
+
+Responses::
+
+    {"id": 7, "ok": true, "result": {...}}
+    {"id": 7, "ok": false, "error": {"code": "overloaded",
+     "message": "...", "retry_after_ms": 12.5}}
+
+Floats round-trip exactly (``json`` emits shortest-repr), so served
+probabilities are bit-identical to in-process inference — the
+``serve_vs_direct`` oracle in :mod:`repro.verify` holds the service to
+that.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..observations import Clique, HumanObservation, WeatherObservation
+
+#: Wire-format version, echoed by ``health`` and checked by clients.
+PROTOCOL_VERSION = 1
+
+#: Operations a request may name.
+OPERATIONS = ("localize", "health", "models", "activate")
+
+# Error codes (the ``code`` field of error payloads).
+E_BAD_REQUEST = "bad_request"
+E_OVERLOADED = "overloaded"
+E_DEADLINE = "deadline_exceeded"
+E_DRAINING = "draining"
+E_UNKNOWN_MODEL = "unknown_model"
+E_INTERNAL = "internal"
+
+
+def dumps_line(message: dict) -> bytes:
+    """Encode one protocol message as a JSON line (with trailing newline)."""
+    import json
+
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def loads_line(line: bytes | str) -> dict:
+    """Decode one protocol line.
+
+    Raises:
+        ValueError: when the line is not a JSON object.
+    """
+    import json
+
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"not valid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ValueError(f"protocol messages are objects, got {type(message).__name__}")
+    return message
+
+
+def error_payload(
+    code: str, message: str, retry_after_ms: float | None = None
+) -> dict:
+    """Build the ``error`` object of a failure response."""
+    payload: dict[str, Any] = {"code": code, "message": message}
+    if retry_after_ms is not None:
+        payload["retry_after_ms"] = round(float(retry_after_ms), 3)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Observation (de)serialization — optional request context for fusion.
+def encode_weather(observation: WeatherObservation | None) -> dict | None:
+    """Weather evidence as a wire object (None passes through)."""
+    if observation is None:
+        return None
+    return {
+        "temperature_f": float(observation.temperature_f),
+        "frozen_nodes": sorted(observation.frozen_nodes),
+        "p_leak_given_freeze": float(observation.p_leak_given_freeze),
+    }
+
+
+def decode_weather(data: dict | None) -> WeatherObservation | None:
+    """Inverse of :func:`encode_weather`.
+
+    Raises:
+        ValueError: on a malformed weather object.
+    """
+    if data is None:
+        return None
+    if not isinstance(data, dict) or "temperature_f" not in data:
+        raise ValueError("weather must be an object with temperature_f")
+    return WeatherObservation(
+        temperature_f=float(data["temperature_f"]),
+        frozen_nodes=frozenset(data.get("frozen_nodes", ())),
+        p_leak_given_freeze=float(
+            data.get("p_leak_given_freeze", WeatherObservation.p_leak_given_freeze)
+        ),
+    )
+
+
+def encode_human(observation: HumanObservation | None) -> dict | None:
+    """Human-report cliques as a wire object (None passes through)."""
+    if observation is None:
+        return None
+    return {
+        "gamma": float(observation.gamma),
+        "cliques": [
+            {
+                "nodes": list(clique.nodes),
+                "centre": [float(clique.centre[0]), float(clique.centre[1])],
+                "report_count": int(clique.report_count),
+                "confidence": float(clique.confidence),
+            }
+            for clique in observation.cliques
+        ],
+    }
+
+
+def decode_human(data: dict | None) -> HumanObservation | None:
+    """Inverse of :func:`encode_human`.
+
+    Raises:
+        ValueError: on a malformed human-observation object.
+    """
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise ValueError("human must be an object with a cliques list")
+    cliques = []
+    for raw in data.get("cliques", ()):
+        try:
+            cliques.append(
+                Clique(
+                    nodes=tuple(raw["nodes"]),
+                    centre=(float(raw["centre"][0]), float(raw["centre"][1])),
+                    report_count=int(raw["report_count"]),
+                    confidence=float(raw["confidence"]),
+                )
+            )
+        except (KeyError, IndexError, TypeError) as error:
+            raise ValueError(f"malformed clique object: {error}") from error
+    return HumanObservation(
+        cliques=tuple(cliques), gamma=float(data.get("gamma", 30.0))
+    )
+
+
+# ----------------------------------------------------------------------
+def decode_features(data: Any, n_features: int) -> np.ndarray:
+    """Validate and convert a request's feature vector.
+
+    Raises:
+        ValueError: when the payload is not a flat numeric vector of the
+            deployment's feature width.
+    """
+    if data is None:
+        raise ValueError("localize requires a features array")
+    features = np.asarray(data, dtype=float)
+    if features.ndim != 1:
+        raise ValueError(
+            f"features must be a flat vector, got shape {features.shape}"
+        )
+    if features.shape[0] != n_features:
+        raise ValueError(
+            f"expected {n_features} features for this deployment, "
+            f"got {features.shape[0]}"
+        )
+    return features
+
+
+def encode_result(
+    result,
+    model_name: str,
+    model_etag: str,
+    batch_size: int,
+    elapsed_ms: float,
+    top_k: int = 5,
+) -> dict:
+    """An :class:`~repro.core.InferenceResult` as a wire object.
+
+    Probabilities are emitted in junction order (the order ``models``
+    reports for the serving model) so clients can rebuild the full
+    posterior; leak nodes and top suspects ride along pre-digested.
+    """
+    return {
+        "probabilities": [float(p) for p in result.probabilities],
+        "leak_nodes": sorted(result.leak_nodes),
+        "top_suspects": [
+            [name, float(p)] for name, p in result.top_suspects(top_k)
+        ],
+        "energy": float(result.energy),
+        "model": {"name": model_name, "etag": model_etag},
+        "batch_size": int(batch_size),
+        "elapsed_ms": round(float(elapsed_ms), 3),
+    }

@@ -1,0 +1,174 @@
+"""Versioned model registry with content-hash etags and atomic hot-swap.
+
+Utilities retrain profiles as deployments change; the service must pick
+up a new model without dropping requests.  The registry holds any number
+of named :class:`ModelEntry` rows (a trained
+:class:`~repro.core.AquaScale` plus the artifact header and its
+content-hash etag from :func:`repro.datasets.save_profile`) and one
+*active* pointer.  :meth:`ModelRegistry.activate` swaps that pointer
+under a lock — batches capture the entry at dispatch time, so in-flight
+requests finish on the model they were admitted under while new batches
+see the new one.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core import AquaScale
+from ..datasets.cache import (
+    _profile_metadata,
+    _read_profile_file,
+    profile_content_hash,
+)
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One registered model version.
+
+    Attributes:
+        name: registry key (unique).
+        model: the trained core serving requests.
+        etag: ``sha256:...`` content hash of the serialized artifact.
+        source: artifact path, or ``"<in-process>"`` for direct registers.
+        header: artifact header (network, classifier, sensor count, ...).
+    """
+
+    name: str
+    model: AquaScale
+    etag: str
+    source: str = "<in-process>"
+    header: dict = field(default_factory=dict)
+
+    def describe(self, active: bool) -> dict:
+        """The ``models`` endpoint row for this entry."""
+        return {
+            "name": self.name,
+            "etag": self.etag,
+            "active": bool(active),
+            "source": self.source,
+            "network": self.header.get("network"),
+            "classifier": self.header.get("classifier"),
+            "n_sensors": self.header.get("n_sensors"),
+        }
+
+
+class ModelRegistry:
+    """Named model versions behind one atomically-swapped active pointer."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: dict[str, ModelEntry] = {}
+        self._active: str | None = None
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, model: AquaScale, activate: bool = True) -> ModelEntry:
+        """Register a trained in-process model under ``name``.
+
+        The etag is the content hash of the model's pickled form — the
+        same value :func:`repro.datasets.save_profile` would write — so
+        in-process and on-disk registrations of one model agree.
+
+        Raises:
+            ValueError: for a duplicate name.
+            RuntimeError: for an untrained model.
+        """
+        model.engine  # fail fast when untrained
+        payload = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+        entry = ModelEntry(
+            name=name,
+            model=model,
+            etag=profile_content_hash(payload),
+            header=_profile_metadata(model),
+        )
+        return self._install(entry, activate)
+
+    def load(self, path: str | Path, name: str | None = None, activate: bool = True) -> ModelEntry:
+        """Load a :func:`~repro.datasets.save_profile` artifact.
+
+        Args:
+            path: profile artifact path.
+            name: registry key (default: the file stem).
+            activate: also make this the serving model.
+
+        Raises:
+            ValueError: for duplicate names, format-version mismatches,
+                or corrupt artifacts.
+            RuntimeError: for an untrained model.
+        """
+        path = Path(path)
+        header, payload = _read_profile_file(path)
+        model = pickle.loads(payload)
+        model.engine  # fail fast when untrained
+        entry = ModelEntry(
+            name=name or path.stem,
+            model=model,
+            etag=header["content_hash"],
+            source=str(path),
+            header=header,
+        )
+        return self._install(entry, activate)
+
+    def _install(self, entry: ModelEntry, activate: bool) -> ModelEntry:
+        with self._lock:
+            if entry.name in self._entries:
+                raise ValueError(f"model {entry.name!r} is already registered")
+            self._entries[entry.name] = entry
+            if activate or self._active is None:
+                self._active = entry.name
+        return entry
+
+    # ------------------------------------------------------------------
+    def activate(self, name: str) -> ModelEntry:
+        """Atomically make ``name`` the serving model (hot swap).
+
+        In-flight batches keep the entry they captured at dispatch; only
+        batches formed after this call see the new model.
+
+        Raises:
+            KeyError: for an unregistered name.
+        """
+        with self._lock:
+            if name not in self._entries:
+                raise KeyError(f"model {name!r} is not registered")
+            self._active = name
+            return self._entries[name]
+
+    @property
+    def active(self) -> ModelEntry:
+        """The entry new batches will be served by.
+
+        Raises:
+            RuntimeError: when the registry is empty.
+        """
+        with self._lock:
+            if self._active is None:
+                raise RuntimeError("model registry has no active model")
+            return self._entries[self._active]
+
+    def get(self, name: str) -> ModelEntry:
+        """Look up one entry by name.
+
+        Raises:
+            KeyError: for an unregistered name.
+        """
+        with self._lock:
+            if name not in self._entries:
+                raise KeyError(f"model {name!r} is not registered")
+            return self._entries[name]
+
+    def describe(self) -> list[dict]:
+        """The ``models`` endpoint payload: every entry, active flagged."""
+        with self._lock:
+            return [
+                entry.describe(active=(name == self._active))
+                for name, entry in sorted(self._entries.items())
+            ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,517 @@
+"""The always-on localization service: asyncio TCP + JSON lines.
+
+:class:`LocalizationServer` is the request/response layer over the
+two-phase core: it accepts any number of concurrent connections, admits
+requests through the :class:`~repro.serve.admission.AdmissionController`,
+coalesces admitted ``localize`` calls in the
+:class:`~repro.serve.batcher.MicroBatcher` (one
+``AquaScale.localize_batch`` kernel call per batch, on a worker thread
+pool), and serves ``health`` / ``models`` / ``activate`` inline on the
+event loop.  Every stage is instrumented through a
+:class:`~repro.stream.metrics.MetricsRegistry` and logged through
+:class:`~repro.stream.log.StructuredLogger`.
+
+Lifecycle: ``await start()`` binds the port; ``await serve_forever()``
+blocks until :meth:`drain` (installed on SIGTERM/SIGINT where the
+platform allows) completes — new requests are refused with ``draining``
+while admitted ones finish, then the loop exits cleanly.
+:func:`start_in_background` hosts the whole thing on a daemon thread for
+tests, examples, and benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import AquaScale
+from ..stream.log import StructuredLogger, get_stream_logger
+from ..stream.metrics import MetricsRegistry
+from . import protocol
+from .admission import AdmissionController
+from .batcher import BatcherClosed, MicroBatcher
+from .registry import ModelEntry, ModelRegistry
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs of one server instance.
+
+    Attributes:
+        host: bind address.
+        port: bind port (0 = ephemeral; read ``server.port`` after start).
+        max_batch_size: micro-batch dispatch threshold.
+        max_wait_ms: micro-batch hold time after the first request.
+        inference_workers: thread-pool size for kernel calls.
+        max_pending: admission window (in-flight request ceiling).
+        default_deadline_ms: deadline for requests that name none.
+        drain_timeout_s: upper bound on graceful drain.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch_size: int = 8
+    max_wait_ms: float = 5.0
+    inference_workers: int = 2
+    max_pending: int = 64
+    default_deadline_ms: float = 2000.0
+    drain_timeout_s: float = 10.0
+
+
+class _Pending:
+    """One admitted localize request travelling through the batcher."""
+
+    __slots__ = ("features", "weather", "human", "deadline", "arrival")
+
+    def __init__(self, features, weather, human, deadline, arrival):
+        self.features = features
+        self.weather = weather
+        self.human = human
+        self.deadline = deadline
+        self.arrival = arrival
+
+
+class _Expired:
+    """Sentinel outcome for requests whose deadline passed in queue."""
+
+    __slots__ = ()
+
+
+_EXPIRED = _Expired()
+
+
+class LocalizationServer:
+    """Serve ``localize`` / ``health`` / ``models`` / ``activate`` over TCP.
+
+    Args:
+        model: a trained :class:`~repro.core.AquaScale`, or a ready
+            :class:`~repro.serve.registry.ModelRegistry` with at least
+            one active entry.
+        config: server tuning (defaults are test-friendly).
+        metrics: shared registry (a fresh one is created when omitted).
+        logger: structured logger (default: the ``repro.stream`` logger).
+    """
+
+    def __init__(
+        self,
+        model: AquaScale | ModelRegistry,
+        config: ServeConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        logger: StructuredLogger | None = None,
+    ):
+        self.config = config or ServeConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.log = logger or get_stream_logger()
+        if isinstance(model, ModelRegistry):
+            self.registry = model
+            self.registry.active  # fail fast when empty
+        else:
+            self.registry = ModelRegistry()
+            self.registry.register("default", model)
+        self.admission = AdmissionController(
+            max_pending=self.config.max_pending,
+            default_deadline_ms=self.config.default_deadline_ms,
+            metrics=self.metrics,
+        )
+        self.batcher = MicroBatcher(
+            self._run_batch,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+            workers=self.config.inference_workers,
+            metrics=self.metrics,
+        )
+        self._requests = self.metrics.counter("serve_requests_total")
+        self._ok = self.metrics.counter("serve_ok_total")
+        self._errors = self.metrics.counter("serve_errors_total")
+        self._expired = self.metrics.counter("serve_deadline_expired_total")
+        self._connections = self.metrics.gauge("serve_connections")
+        self._latency = self.metrics.histogram("serve_latency_seconds")
+        self._inference = self.metrics.histogram("serve_inference_seconds")
+        self._server: asyncio.base_events.Server | None = None
+        self._port: int | None = None
+        self._drained = asyncio.Event()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`).
+
+        Raises:
+            RuntimeError: before the server has started.
+        """
+        if self._port is None:
+            raise RuntimeError("server is not started")
+        return self._port
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the micro-batcher."""
+        await self.batcher.start()
+        self._drained = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        # Remembered past close so handles can report where they served.
+        self._port = self._server.sockets[0].getsockname()[1]
+        self.log.event(
+            "serve.start",
+            host=self.config.host,
+            port=self.port,
+            max_batch=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+            model=self.registry.active.name,
+        )
+
+    async def serve_forever(self, install_signal_handlers: bool = True) -> None:
+        """Serve until drained (e.g. by SIGTERM); returns after cleanup.
+
+        Args:
+            install_signal_handlers: install SIGTERM/SIGINT → drain
+                handlers (skipped automatically off the main thread or
+                on loops without signal support).
+        """
+        if self._server is None:
+            await self.start()
+        if install_signal_handlers:
+            self._install_signal_handlers()
+        await self._drained.wait()
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda s=signum: asyncio.ensure_future(self.drain(s))
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-main thread or unsupported platform: drain stays
+                # available programmatically.
+                return
+
+    async def drain(self, signum: int | None = None) -> None:
+        """Graceful shutdown: refuse new work, finish admitted requests.
+
+        Safe to call more than once; later calls await the first drain.
+        """
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        self.admission.begin_drain()
+        self.log.event(
+            "serve.drain",
+            signal=signum if signum is not None else "(api)",
+            pending=self.admission.pending,
+        )
+        if self._server is not None:
+            self._server.close()
+        try:
+            await asyncio.wait_for(
+                self.batcher.drain(), timeout=self.config.drain_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.log.event("serve.drain_timeout", pending=self.admission.pending)
+        # Let the response writes scheduled by the final batches reach
+        # their sockets before the hosting loop is torn down.
+        for _ in range(3):
+            await asyncio.sleep(0)
+        if self._server is not None:
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        self.log.event("serve.stop", metrics_pending=self.admission.pending)
+        self._drained.set()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One JSON-lines session; requests may interleave (pipelining)."""
+        self._connections.inc()
+        tasks: set[asyncio.Task] = set()
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._serve_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+            self._connections.dec()
+
+    async def _serve_line(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        """Decode, dispatch, and answer one request line."""
+        request_id = None
+        try:
+            message = protocol.loads_line(line)
+            request_id = message.get("id")
+            response = await self._dispatch(message)
+        except ValueError as error:
+            response = self._error_response(
+                request_id, protocol.error_payload(protocol.E_BAD_REQUEST, str(error))
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            response = self._error_response(
+                request_id, protocol.error_payload(protocol.E_INTERNAL, repr(error))
+            )
+        async with write_lock:
+            writer.write(protocol.dumps_line(response))
+            with contextlib.suppress(ConnectionResetError):
+                await writer.drain()
+
+    def _error_response(self, request_id, error: dict) -> dict:
+        self._errors.inc()
+        return {"id": request_id, "ok": False, "error": error}
+
+    def _ok_response(self, request_id, result: dict) -> dict:
+        self._ok.inc()
+        return {"id": request_id, "ok": True, "result": result}
+
+    # ------------------------------------------------------------------
+    async def _dispatch(self, message: dict) -> dict:
+        """Route one decoded request to its endpoint."""
+        self._requests.inc()
+        request_id = message.get("id")
+        op = message.get("op")
+        if op == "localize":
+            return await self._op_localize(request_id, message)
+        if op == "health":
+            return self._ok_response(request_id, self._health_payload())
+        if op == "models":
+            return self._ok_response(request_id, {"models": self.registry.describe()})
+        if op == "activate":
+            return self._op_activate(request_id, message)
+        raise ValueError(
+            f"unknown op {op!r}; expected one of {protocol.OPERATIONS}"
+        )
+
+    def _health_payload(self) -> dict:
+        active = self.registry.active
+        return {
+            "status": "draining" if self._draining else "serving",
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "model": {"name": active.name, "etag": active.etag},
+            "pending": self.admission.pending,
+            "junction_names": list(active.model.profile.junction_names),
+            "n_features": len(active.model.sensors),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def _op_activate(self, request_id, message: dict) -> dict:
+        name = message.get("name")
+        if not isinstance(name, str):
+            raise ValueError("activate requires a model name")
+        try:
+            entry = self.registry.activate(name)
+        except KeyError:
+            return self._error_response(
+                request_id,
+                protocol.error_payload(
+                    protocol.E_UNKNOWN_MODEL, f"model {name!r} is not registered"
+                ),
+            )
+        self.log.event("serve.activate", model=entry.name, etag=entry.etag)
+        return self._ok_response(
+            request_id, {"model": {"name": entry.name, "etag": entry.etag}}
+        )
+
+    async def _op_localize(self, request_id, message: dict) -> dict:
+        arrival = time.monotonic()
+        decision = self.admission.admit()
+        if not decision.admitted:
+            return self._error_response(
+                request_id,
+                protocol.error_payload(
+                    decision.code, decision.message, decision.retry_after_ms
+                ),
+            )
+        try:
+            features = protocol.decode_features(
+                message.get("features"), len(self.registry.active.model.sensors)
+            )
+            weather = protocol.decode_weather(message.get("weather"))
+            human = protocol.decode_human(message.get("human"))
+            deadline = self.admission.deadline_for(
+                message.get("deadline_ms"), now=arrival
+            )
+            pending = _Pending(features, weather, human, deadline, arrival)
+            try:
+                outcome = await self.batcher.submit(pending)
+            except BatcherClosed:
+                return self._error_response(
+                    request_id,
+                    protocol.error_payload(
+                        protocol.E_DRAINING, "server is draining; connect elsewhere"
+                    ),
+                )
+            elapsed = time.monotonic() - arrival
+            self._latency.observe(elapsed)
+            self.admission.observe_service_time(elapsed)
+            if outcome[0] is _EXPIRED:
+                self._expired.inc()
+                return self._error_response(
+                    request_id,
+                    protocol.error_payload(
+                        protocol.E_DEADLINE,
+                        "deadline expired before inference was dispatched",
+                    ),
+                )
+            result, entry, batch_size = outcome
+            return self._ok_response(
+                request_id,
+                protocol.encode_result(
+                    result,
+                    model_name=entry.name,
+                    model_etag=entry.etag,
+                    batch_size=batch_size,
+                    elapsed_ms=elapsed * 1000.0,
+                ),
+            )
+        finally:
+            self.admission.release()
+
+    # ------------------------------------------------------------------
+    def _run_batch(self, items: list[_Pending]) -> list[tuple]:
+        """One coalesced kernel call (worker thread).
+
+        Expired requests are answered without inference; the rest are
+        stacked into a single ``localize_batch`` dispatch against the
+        model entry captured *here* — a concurrent hot swap only affects
+        batches formed after this point.
+        """
+        entry: ModelEntry = self.registry.active
+        now = time.monotonic()
+        live_index = [i for i, item in enumerate(items) if item.deadline > now]
+        outcomes: list[tuple] = [(_EXPIRED, None, 0)] * len(items)
+        if live_index:
+            start = time.perf_counter()
+            features = np.vstack([items[i].features for i in live_index])
+            results = entry.model.localize_batch(
+                features,
+                weather=[items[i].weather for i in live_index],
+                human=[items[i].human for i in live_index],
+            )
+            self._inference.observe(time.perf_counter() - start)
+            for i, result in zip(live_index, results):
+                outcomes[i] = (result, entry, len(live_index))
+        self.log.event(
+            "serve.batch",
+            size=len(items),
+            live=len(live_index),
+            model=entry.name,
+        )
+        return outcomes
+
+
+# ----------------------------------------------------------------------
+class ServerHandle:
+    """A running server hosted on a background thread.
+
+    Returned by :func:`start_in_background`; usable as a context
+    manager.  ``stop()`` drains gracefully and joins the thread.
+    """
+
+    def __init__(self, server: LocalizationServer, loop, thread: threading.Thread):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        """The server's bound TCP port."""
+        return self.server.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) for :class:`~repro.serve.client.ServeClient`."""
+        return (self.server.config.host, self.server.port)
+
+    def metrics_snapshot(self) -> dict:
+        """Point-in-time metrics of the hosted server."""
+        return self.server.metrics.snapshot()
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Drain the server and join the hosting thread."""
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(self.server.drain(), self._loop)
+            future.result(timeout or self.server.config.drain_timeout_s + 5.0)
+        self._thread.join(timeout or 10.0)
+
+    def __enter__(self) -> "ServerHandle":
+        """Context-manager entry: the handle itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: graceful stop."""
+        self.stop()
+
+
+def start_in_background(
+    model: AquaScale | ModelRegistry,
+    config: ServeConfig | None = None,
+    metrics: MetricsRegistry | None = None,
+    logger: StructuredLogger | None = None,
+    startup_timeout: float = 10.0,
+) -> ServerHandle:
+    """Host a :class:`LocalizationServer` on a daemon thread.
+
+    The in-process deployment used by tests, examples, benchmarks and
+    the differential oracle: the caller gets a :class:`ServerHandle`
+    once the port is bound.
+
+    Raises:
+        Exception: whatever ``server.start()`` raised, re-raised here.
+    """
+    server = LocalizationServer(model, config=config, metrics=metrics, logger=logger)
+    started = threading.Event()
+    startup_error: list[BaseException] = []
+    loop_holder: list = []
+
+    def host() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        loop_holder.append(loop)
+
+        async def run() -> None:
+            try:
+                await server.start()
+            except BaseException as error:
+                startup_error.append(error)
+                return
+            finally:
+                started.set()
+            await server.serve_forever(install_signal_handlers=False)
+
+        try:
+            loop.run_until_complete(run())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=host, name="repro-serve", daemon=True)
+    thread.start()
+    if not started.wait(startup_timeout):
+        raise RuntimeError("localization server failed to start in time")
+    if startup_error:
+        thread.join(5.0)
+        raise startup_error[0]
+    return ServerHandle(server, loop_holder[0], thread)

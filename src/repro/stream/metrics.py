@@ -104,6 +104,11 @@ class Histogram:
             ordered = sorted(self._values)
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
+        return self._interpolate(ordered, q)
+
+    @staticmethod
+    def _interpolate(ordered: list[float], q: float) -> float:
+        """Exact q-th percentile of an already-sorted sample."""
         index = (len(ordered) - 1) * q / 100.0
         low = int(index)
         high = min(low + 1, len(ordered) - 1)
@@ -111,7 +116,7 @@ class Histogram:
         return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
     def summary(self) -> dict[str, float]:
-        """count/total/min/mean/max/p50/p95 of the observations."""
+        """count/total/min/mean/max/p50/p95/p99 of the observations."""
         with self._lock:
             values = list(self._values)
         if not values:
@@ -124,8 +129,9 @@ class Histogram:
             "min": values[0],
             "mean": total / len(values),
             "max": values[-1],
-            "p50": self.percentile(50.0),
-            "p95": self.percentile(95.0),
+            "p50": self._interpolate(values, 50.0),
+            "p95": self._interpolate(values, 95.0),
+            "p99": self._interpolate(values, 99.0),
         }
 
 

@@ -16,7 +16,8 @@ bulk:
 * :mod:`~repro.verify.differential` — fast-path vs reference-path
   differential oracles (array vs dict, warm vs cold, ``workers=N`` vs
   serial, ``n_jobs``/process backend vs serial, flattened tree kernel vs
-  recursion, binned vs exact splits);
+  recursion, binned vs exact splits, micro-batched serving vs direct
+  inference);
 * :mod:`~repro.verify.golden` — committed, tolerance-checked snapshots of
   steady-state hydraulics and pipeline accuracy;
 * :mod:`~repro.verify.runner` — the ``repro verify`` sweep over the
@@ -30,6 +31,7 @@ from .differential import (
     diff_flattened_vs_recursive,
     diff_njobs_training,
     diff_process_vs_serial,
+    diff_serve_vs_direct,
     diff_warm_vs_cold,
     diff_workers_dataset,
     run_differential_oracles,
@@ -101,6 +103,7 @@ __all__ = [
     "diff_flattened_vs_recursive",
     "diff_njobs_training",
     "diff_process_vs_serial",
+    "diff_serve_vs_direct",
     "diff_warm_vs_cold",
     "diff_workers_dataset",
     "emit_regression_test",

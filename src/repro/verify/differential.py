@@ -343,13 +343,76 @@ def diff_binned_vs_exact(
     )
 
 
+def diff_serve_vs_direct(
+    network: WaterNetwork,
+    seed: int = 0,
+    n_samples: int = 16,
+    n_requests: int = 12,
+) -> DiffReport:
+    """Responses through the serving micro-batcher vs direct ``localize``.
+
+    The service JSON-encodes floats with shortest-repr (exact round-trip)
+    and the flattened tree kernel scores each row independently of its
+    batch, so the claim is bit-identity: a posterior served through TCP +
+    admission + coalescing must equal the in-process single-row call.
+    The workload pipelines every request before reading any reply, so the
+    micro-batcher genuinely coalesces (the detail line reports the mean
+    served batch size).
+    """
+    from ..core import AquaScale
+    from ..datasets import generate_dataset
+    from ..ml import RandomForestClassifier
+    from ..serve import ServeClient, ServeConfig, start_in_background
+
+    dataset = generate_dataset(network, n_samples, kind="multi", seed=seed)
+    model = AquaScale(
+        network,
+        iot_percent=100.0,
+        classifier=RandomForestClassifier(
+            n_estimators=4, max_depth=4, random_state=seed
+        ),
+        seed=seed,
+    )
+    model.train(dataset=dataset)
+    rows = dataset.features_for(model.sensors)[:n_requests]
+    direct = [model.localize(row) for row in rows]
+    config = ServeConfig(max_batch_size=4, max_wait_ms=25.0, inference_workers=1)
+    with start_in_background(model, config=config) as handle:
+        with ServeClient(*handle.address) as client:
+            served = client.localize_many(rows)
+    mean_batch = float(np.mean([reply.batch_size for reply in served]))
+    report = _compare(
+        "serve_vs_direct",
+        [
+            (reference.probabilities, reply.probabilities)
+            for reference, reply in zip(direct, served)
+        ],
+        tolerance=0.0,
+        detail=(
+            f"{network.name}, {len(rows)} requests, "
+            f"mean batch {mean_batch:.1f}"
+        ),
+    )
+    sets_agree = all(
+        sorted(reference.leak_nodes) == list(reply.leak_nodes)
+        for reference, reply in zip(direct, served)
+    )
+    if not sets_agree:
+        from dataclasses import replace
+
+        report = replace(
+            report, passed=False, detail=report.detail + ", leak sets diverge"
+        )
+    return report
+
+
 def run_differential_oracles(
     network: WaterNetwork,
     seed: int = 0,
     quick: bool = False,
     workers: int = 4,
 ) -> list[DiffReport]:
-    """All seven differential oracles on one network.
+    """All eight differential oracles on one network.
 
     Quick mode trims the workload (fewer scenarios, 2 workers) so the
     catalog sweep stays CI-sized; the claims checked are identical.
@@ -365,4 +428,7 @@ def run_differential_oracles(
         diff_flattened_vs_recursive(network, seed=seed, n_samples=n_samples),
         diff_process_vs_serial(network, seed=seed, n_samples=n_samples, n_jobs=pool),
         diff_binned_vs_exact(network, seed=seed, n_samples=n_samples),
+        diff_serve_vs_direct(
+            network, seed=seed, n_samples=n_samples, n_requests=8 if quick else 12
+        ),
     ]

@@ -9,7 +9,8 @@
 2. runs a short extended-period simulation and checks tank volume
    bookkeeping across timesteps;
 3. runs the differential oracles (array vs dict, warm vs cold,
-   workers vs serial, n_jobs vs serial);
+   workers vs serial, n_jobs vs serial, flattened vs recursive trees,
+   micro-batched serving vs direct inference);
 4. checks the committed golden snapshots (steady heads/flows always,
    the Phase-I/Phase-II accuracy golden in full mode);
 

@@ -102,3 +102,73 @@ class TestObservationFactory:
         scenario = ScenarioGenerator(epanet, seed=0).multi_failure()
         observation = factory.human_for(scenario, elapsed_slots=20)
         assert observation.gamma == 60.0
+
+
+class TestLocalizeBatchGuards:
+    """Edge cases around the vectorized Phase-II dispatch."""
+
+    def test_empty_batch_returns_empty_list(self, aqua):
+        import numpy as np
+
+        n_features = len(aqua.sensors)
+        results = aqua.localize_batch(np.empty((0, n_features)))
+        assert results == []
+
+    def test_empty_batch_with_empty_observations(self, aqua):
+        import numpy as np
+
+        results = aqua.localize_batch(
+            np.empty((0, len(aqua.sensors))), weather=[], human=[]
+        )
+        assert results == []
+
+    def test_one_dimensional_features_rejected(self, aqua):
+        import numpy as np
+
+        with pytest.raises(ValueError, match="n_samples, n_features"):
+            aqua.localize_batch(np.zeros(len(aqua.sensors)))
+
+    def test_weather_length_mismatch_rejected(self, aqua):
+        import numpy as np
+
+        features = np.zeros((3, len(aqua.sensors)))
+        with pytest.raises(ValueError, match="weather"):
+            aqua.localize_batch(features, weather=[None, None])
+
+    def test_human_length_mismatch_rejected(self, aqua):
+        import numpy as np
+
+        features = np.zeros((2, len(aqua.sensors)))
+        with pytest.raises(ValueError, match="human"):
+            aqua.localize_batch(features, human=[None, None, None])
+
+    def test_single_observation_must_be_wrapped(self, aqua):
+        """A bare observation (not a list) must not zip per-character."""
+        import numpy as np
+
+        from repro.observations import WeatherObservation
+
+        features = np.zeros((2, len(aqua.sensors)))
+        obs = WeatherObservation(temperature_f=10.0, frozen_nodes=frozenset({"J1"}))
+        with pytest.raises(ValueError, match="wrap"):
+            aqua.localize_batch(features, weather=obs)
+
+    def test_batch_matches_single_sample_inference(self, aqua, epanet_single_test):
+        """Batch and per-row dispatch agree to the last ulp.
+
+        Linear techniques route through BLAS, where the matrix-matrix
+        and matrix-vector kernels round differently, so the logistic
+        profile here agrees to ~1 ulp rather than bit-exactly; the
+        tree-kernel path is bit-identical and pinned by the
+        ``serve_vs_direct`` differential oracle in ``repro.verify``.
+        """
+        import numpy as np
+
+        features = epanet_single_test.features_for(aqua.sensors)[:4]
+        batch = aqua.localize_batch(features)
+        for row, result in zip(features, batch):
+            single = aqua.localize(row)
+            assert np.allclose(
+                single.probabilities, result.probabilities, rtol=0, atol=1e-12
+            )
+            assert single.leak_nodes == result.leak_nodes

@@ -219,3 +219,98 @@ class TestProfileRoundTrip:
             a = model.engine.infer(X[i])
             b = loaded.engine.infer(X[i])
             assert a.leak_nodes == b.leak_nodes
+
+
+class TestProfileHeader:
+    """save_profile writes a self-describing header; load_profile enforces it."""
+
+    def _saved(self, epanet, epanet_sensors_full, epanet_single_train, tmp_path):
+        profile = ProfileModel(
+            epanet, epanet_sensors_full, classifier="logistic", random_state=0
+        )
+        profile.fit(epanet_single_train)
+        path = tmp_path / "profile.pkl"
+        save_profile(profile, path)
+        return profile, path
+
+    def test_header_fields(
+        self, epanet, epanet_sensors_full, epanet_single_train, tmp_path
+    ):
+        from repro.datasets import read_profile_header
+        from repro.datasets.cache import PROFILE_FORMAT_VERSION
+
+        _, path = self._saved(
+            epanet, epanet_sensors_full, epanet_single_train, tmp_path
+        )
+        header = read_profile_header(path)
+        assert header["format_version"] == PROFILE_FORMAT_VERSION
+        assert header["network"] == epanet.name
+        assert header["classifier"] == "logistic"
+        assert header["n_sensors"] == len(epanet_sensors_full)
+        assert header["content_hash"].startswith("sha256:")
+
+    def test_header_readable_without_unpickling(
+        self, epanet, epanet_sensors_full, epanet_single_train, tmp_path, monkeypatch
+    ):
+        import pickle
+
+        from repro.datasets import read_profile_header
+
+        _, path = self._saved(
+            epanet, epanet_sensors_full, epanet_single_train, tmp_path
+        )
+
+        def boom(*args, **kwargs):
+            raise AssertionError("read_profile_header must not unpickle")
+
+        monkeypatch.setattr(pickle, "loads", boom)
+        assert read_profile_header(path)["classifier"] == "logistic"
+
+    def test_aquascale_header_names_network(self, epanet, epanet_single_train, tmp_path):
+        from repro.core import AquaScale
+        from repro.datasets import read_profile_header
+
+        model = AquaScale(epanet, iot_percent=100.0, classifier="logistic", seed=0)
+        model.train(dataset=epanet_single_train)
+        path = tmp_path / "aqua.pkl"
+        save_profile(model, path)
+        header = read_profile_header(path)
+        assert header["network"] == epanet.name
+        assert header["n_sensors"] == len(model.sensors)
+
+    def test_version_mismatch_rejected(
+        self, epanet, epanet_sensors_full, epanet_single_train, tmp_path
+    ):
+        import json
+
+        from repro.datasets.cache import PROFILE_MAGIC
+
+        _, path = self._saved(
+            epanet, epanet_sensors_full, epanet_single_train, tmp_path
+        )
+        raw = path.read_bytes()
+        header_line, _, payload = raw[len(PROFILE_MAGIC):].partition(b"\n")
+        header = json.loads(header_line)
+        header["format_version"] = 999
+        path.write_bytes(PROFILE_MAGIC + json.dumps(header).encode() + b"\n" + payload)
+        with pytest.raises(ValueError, match="format version 999"):
+            load_profile(path)
+
+    def test_legacy_bare_pickle_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "legacy.pkl"
+        path.write_bytes(pickle.dumps({"old": "artifact"}))
+        with pytest.raises(ValueError, match="missing"):
+            load_profile(path)
+
+    def test_corrupt_payload_rejected(
+        self, epanet, epanet_sensors_full, epanet_single_train, tmp_path
+    ):
+        _, path = self._saved(
+            epanet, epanet_sensors_full, epanet_single_train, tmp_path
+        )
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-7])  # truncate the payload, keep the header
+        with pytest.raises(ValueError, match="content hash"):
+            load_profile(path)

@@ -1,0 +1,44 @@
+"""Fixtures for the serving layer.
+
+Trained models are session-scoped (training is the expensive part); the
+servers themselves are cheap to start, so each test hosts its own on an
+ephemeral port and drains it on exit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AquaScale
+from repro.datasets import generate_dataset
+from repro.ml import RandomForestClassifier
+from repro.networks import two_loop_test_network
+
+
+@pytest.fixture(scope="session")
+def serve_model(epanet, epanet_single_train) -> AquaScale:
+    """A fast logistic model on EPA-NET (shared; do not mutate)."""
+    model = AquaScale(epanet, iot_percent=100.0, classifier="logistic", seed=0)
+    model.train(dataset=epanet_single_train)
+    return model
+
+
+@pytest.fixture(scope="session")
+def tree_serve_model():
+    """(model, dataset) with a tiny forest on two-loop.
+
+    Tree kernels score each row independently of its batch, so this is
+    the model for bit-identity claims across the wire.
+    """
+    network = two_loop_test_network()
+    dataset = generate_dataset(network, 40, kind="single", seed=5)
+    model = AquaScale(
+        network,
+        iot_percent=100.0,
+        classifier=RandomForestClassifier(
+            n_estimators=4, max_depth=4, random_state=0
+        ),
+        seed=0,
+    )
+    model.train(dataset=dataset)
+    return model, dataset

@@ -1,0 +1,96 @@
+"""Admission control: bounded window, deadlines, honest shedding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import AdmissionController
+from repro.serve import protocol
+from repro.stream.metrics import MetricsRegistry
+
+
+class TestWindow:
+    def test_admit_and_release_bookkeeping(self):
+        controller = AdmissionController(max_pending=4)
+        assert controller.pending == 0
+        assert controller.admit().admitted
+        assert controller.admit().admitted
+        assert controller.pending == 2
+        controller.release()
+        assert controller.pending == 1
+
+    def test_shed_beyond_the_window(self):
+        controller = AdmissionController(max_pending=2)
+        assert controller.admit().admitted
+        assert controller.admit().admitted
+        decision = controller.admit()
+        assert not decision.admitted
+        assert decision.code == protocol.E_OVERLOADED
+        assert decision.retry_after_ms is not None
+        assert decision.retry_after_ms >= 1.0
+        # Shedding does not consume a slot.
+        assert controller.pending == 2
+
+    def test_release_never_goes_negative(self):
+        controller = AdmissionController(max_pending=2)
+        controller.release()
+        assert controller.pending == 0
+
+    def test_shed_counter_and_inflight_gauge(self):
+        metrics = MetricsRegistry()
+        controller = AdmissionController(max_pending=1, metrics=metrics)
+        controller.admit()
+        controller.admit()
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["serve_shed_total"] == 1
+        assert snapshot["gauges"]["serve_inflight"] == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            AdmissionController(max_pending=0)
+        with pytest.raises(ValueError, match="default_deadline_ms"):
+            AdmissionController(default_deadline_ms=0.0)
+
+
+class TestDrain:
+    def test_draining_refuses_with_draining_code(self):
+        controller = AdmissionController(max_pending=8)
+        controller.begin_drain()
+        decision = controller.admit()
+        assert not decision.admitted
+        assert decision.code == protocol.E_DRAINING
+        assert controller.draining
+
+
+class TestDeadlines:
+    def test_default_deadline_applies(self):
+        controller = AdmissionController(default_deadline_ms=500.0)
+        deadline = controller.deadline_for(None, now=100.0)
+        assert deadline == pytest.approx(100.5)
+
+    def test_client_budget_overrides(self):
+        controller = AdmissionController(default_deadline_ms=500.0)
+        assert controller.deadline_for(50.0, now=0.0) == pytest.approx(0.05)
+
+    def test_non_positive_budget_rejected(self):
+        controller = AdmissionController()
+        with pytest.raises(ValueError, match="deadline_ms"):
+            controller.deadline_for(0.0)
+
+
+class TestRetryAfter:
+    def test_hint_tracks_observed_service_rate(self):
+        controller = AdmissionController(max_pending=1)
+        controller.admit()
+        slow_free = controller.admit().retry_after_ms
+        # Fold in much slower observed service times; the hint must grow.
+        for _ in range(50):
+            controller.observe_service_time(1.0)
+        slow_loaded = controller.admit().retry_after_ms
+        assert slow_loaded > slow_free
+
+    def test_negative_service_time_ignored(self):
+        controller = AdmissionController()
+        before = controller._service_ewma
+        controller.observe_service_time(-5.0)
+        assert controller._service_ewma == before

@@ -1,0 +1,160 @@
+"""Micro-batcher policy: coalescing, latency bound, failure delivery."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve import BatcherClosed, MicroBatcher
+from repro.stream.metrics import MetricsRegistry
+
+
+def run(coro):
+    """Each test drives its own fresh event loop."""
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_concurrent_submissions_share_a_batch(self):
+        seen: list[list[int]] = []
+
+        def run_batch(items):
+            seen.append(list(items))
+            return [item * 10 for item in items]
+
+        async def main():
+            batcher = MicroBatcher(run_batch, max_batch_size=8, max_wait_ms=50.0)
+            await batcher.start()
+            results = await asyncio.gather(*(batcher.submit(i) for i in range(6)))
+            await batcher.drain()
+            return results
+
+        assert run(main()) == [i * 10 for i in range(6)]
+        # All six were queued before the wait window closed -> one batch.
+        assert [sorted(batch) for batch in seen] == [[0, 1, 2, 3, 4, 5]]
+
+    def test_max_batch_size_splits_the_queue(self):
+        sizes: list[int] = []
+
+        def run_batch(items):
+            sizes.append(len(items))
+            return items
+
+        async def main():
+            batcher = MicroBatcher(run_batch, max_batch_size=3, max_wait_ms=200.0)
+            await batcher.start()
+            await asyncio.gather(*(batcher.submit(i) for i in range(7)))
+            await batcher.drain()
+
+        run(main())
+        assert max(sizes) <= 3
+        assert sum(sizes) == 7
+
+    def test_lone_item_dispatches_after_max_wait(self):
+        async def main():
+            batcher = MicroBatcher(lambda items: items, max_batch_size=64,
+                                   max_wait_ms=5.0)
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            result = await batcher.submit("only")
+            elapsed = loop.time() - t0
+            await batcher.drain()
+            return result, elapsed
+
+        result, elapsed = run(main())
+        assert result == "only"
+        assert elapsed < 2.0  # the wait bound, not the batch-size bound
+
+    def test_batch_size_metrics_recorded(self):
+        metrics = MetricsRegistry()
+
+        async def main():
+            batcher = MicroBatcher(lambda items: items, max_batch_size=8,
+                                   max_wait_ms=50.0, metrics=metrics)
+            await batcher.start()
+            await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+            await batcher.drain()
+
+        run(main())
+        snapshot = metrics.snapshot()
+        assert snapshot["histograms"]["serve_batch_size"]["count"] >= 1
+        assert snapshot["histograms"]["serve_batch_size"]["max"] <= 8
+        assert snapshot["counters"]["serve_batches_total"] >= 1
+
+
+class TestFailureDelivery:
+    def test_run_batch_exception_fails_every_member(self):
+        def run_batch(items):
+            raise RuntimeError("kernel exploded")
+
+        async def main():
+            batcher = MicroBatcher(run_batch, max_batch_size=4, max_wait_ms=20.0)
+            await batcher.start()
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(3)), return_exceptions=True
+            )
+            await batcher.drain()
+            return results
+
+        results = run(main())
+        assert len(results) == 3
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_length_mismatch_is_an_error(self):
+        async def main():
+            batcher = MicroBatcher(lambda items: items[:-1], max_batch_size=4,
+                                   max_wait_ms=20.0)
+            await batcher.start()
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(2)), return_exceptions=True
+            )
+            await batcher.drain()
+            return results
+
+        results = run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert "returned 1 results for 2 items" in str(results[0])
+
+
+class TestLifecycle:
+    def test_submit_after_drain_raises(self):
+        async def main():
+            batcher = MicroBatcher(lambda items: items, max_batch_size=4,
+                                   max_wait_ms=5.0)
+            await batcher.start()
+            await batcher.drain()
+            with pytest.raises(BatcherClosed):
+                await batcher.submit(1)
+
+        run(main())
+
+    def test_drain_flushes_queued_work(self):
+        """Items queued before drain still get answered."""
+        release = threading.Event()
+
+        def run_batch(items):
+            release.wait(5.0)
+            return items
+
+        async def main():
+            batcher = MicroBatcher(run_batch, max_batch_size=1, max_wait_ms=0.0,
+                                   workers=1)
+            await batcher.start()
+            futures = [asyncio.ensure_future(batcher.submit(i)) for i in range(3)]
+            await asyncio.sleep(0.05)  # let the gather loop pick them up
+            release.set()
+            await batcher.drain()
+            return await asyncio.gather(*futures)
+
+        assert run(main()) == [0, 1, 2]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            MicroBatcher(lambda items: items, max_batch_size=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            MicroBatcher(lambda items: items, max_wait_ms=-1.0)
+        with pytest.raises(ValueError, match="workers"):
+            MicroBatcher(lambda items: items, workers=0)

@@ -1,0 +1,64 @@
+"""Client-side behaviour: validation, error surface, lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeClient, ServeConfig, ServeError, start_in_background
+
+
+class TestServeError:
+    def test_carries_code_and_hint(self):
+        error = ServeError("overloaded", "queue full", retry_after_ms=42.0)
+        assert error.code == "overloaded"
+        assert error.retry_after_ms == 42.0
+        assert str(error) == "[overloaded] queue full"
+
+
+class TestClientLifecycle:
+    @pytest.fixture()
+    def server(self, tree_serve_model):
+        model, dataset = tree_serve_model
+        config = ServeConfig(max_batch_size=2, max_wait_ms=5.0)
+        with start_in_background(model, config=config) as handle:
+            yield model, dataset, handle
+
+    def test_close_is_idempotent(self, server):
+        _, _, handle = server
+        client = ServeClient(*handle.address)
+        assert client.health()["status"] == "serving"
+        client.close()
+        client.close()
+        with pytest.raises(ConnectionError, match="closed"):
+            client.health()
+
+    def test_localize_many_validates_observation_lists(self, server):
+        model, dataset, handle = server
+        rows = dataset.features_for(model.sensors)[:3]
+        with ServeClient(*handle.address) as client:
+            with pytest.raises(ValueError, match="align"):
+                client.localize_many(rows, weather=[None, None])
+
+    def test_requests_from_many_threads_share_one_connection(self, server):
+        from concurrent.futures import ThreadPoolExecutor
+
+        model, dataset, handle = server
+        rows = dataset.features_for(model.sensors)[:8]
+        with ServeClient(*handle.address) as client:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                replies = list(pool.map(client.localize, rows))
+        assert len(replies) == 8
+        assert all(reply.model_name == "default" for reply in replies)
+
+    def test_pending_futures_fail_when_server_goes_away(self, tree_serve_model):
+        model, dataset = tree_serve_model
+        config = ServeConfig(max_batch_size=2, max_wait_ms=5.0)
+        handle = start_in_background(model, config=config)
+        client = ServeClient(*handle.address)
+        try:
+            client.health()
+            handle.stop()
+            with pytest.raises((ServeError, ConnectionError, OSError)):
+                client.localize(dataset.features_for(model.sensors)[0])
+        finally:
+            client.close()

@@ -1,0 +1,108 @@
+"""Wire-protocol round trips and validation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.observations import Clique, HumanObservation, WeatherObservation
+from repro.serve import protocol
+
+
+class TestLines:
+    def test_dumps_loads_round_trip(self):
+        message = {"id": 3, "op": "health"}
+        line = protocol.dumps_line(message)
+        assert line.endswith(b"\n")
+        assert protocol.loads_line(line) == message
+
+    def test_loads_rejects_non_object(self):
+        with pytest.raises(ValueError, match="objects"):
+            protocol.loads_line(b"[1, 2, 3]\n")
+
+    def test_loads_rejects_invalid_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            protocol.loads_line(b"{nope}\n")
+
+    def test_nan_survives_the_wire(self):
+        """Masked sensors arrive as NaN; stdlib JSON must carry them."""
+        line = protocol.dumps_line({"features": [1.0, float("nan")]})
+        decoded = protocol.loads_line(line)
+        assert math.isnan(decoded["features"][1])
+
+    def test_floats_round_trip_exactly(self):
+        values = [0.1, 1.0 / 3.0, 2.220446049250313e-16, 12345.678901234567]
+        decoded = protocol.loads_line(protocol.dumps_line({"v": values}))
+        assert decoded["v"] == values
+
+    def test_error_payload_rounds_retry_hint(self):
+        payload = protocol.error_payload("overloaded", "full", 12.34567)
+        assert payload == {
+            "code": "overloaded",
+            "message": "full",
+            "retry_after_ms": 12.346,
+        }
+        assert "retry_after_ms" not in protocol.error_payload("x", "y")
+
+
+class TestObservationCodecs:
+    def test_weather_round_trip(self):
+        observation = WeatherObservation(
+            temperature_f=24.5,
+            frozen_nodes=frozenset({"J2", "J7"}),
+            p_leak_given_freeze=0.7,
+        )
+        decoded = protocol.decode_weather(protocol.encode_weather(observation))
+        assert decoded == observation
+
+    def test_weather_none_passes_through(self):
+        assert protocol.encode_weather(None) is None
+        assert protocol.decode_weather(None) is None
+
+    def test_weather_malformed_rejected(self):
+        with pytest.raises(ValueError, match="temperature_f"):
+            protocol.decode_weather({"frozen_nodes": ["J1"]})
+
+    def test_human_round_trip(self):
+        observation = HumanObservation(
+            cliques=(
+                Clique(
+                    nodes=("J1", "J2"),
+                    centre=(12.5, -3.0),
+                    report_count=4,
+                    confidence=0.9919,
+                ),
+            ),
+            gamma=60.0,
+        )
+        decoded = protocol.decode_human(protocol.encode_human(observation))
+        assert decoded == observation
+
+    def test_human_malformed_clique_rejected(self):
+        with pytest.raises(ValueError, match="malformed clique"):
+            protocol.decode_human({"cliques": [{"nodes": ["J1"]}]})
+
+    def test_human_non_object_rejected(self):
+        with pytest.raises(ValueError, match="object"):
+            protocol.decode_human([1, 2])
+
+
+class TestFeatureValidation:
+    def test_valid_vector(self):
+        features = protocol.decode_features([1.0, 2.0, 3.0], 3)
+        assert isinstance(features, np.ndarray)
+        assert features.shape == (3,)
+
+    def test_missing_rejected(self):
+        with pytest.raises(ValueError, match="requires a features array"):
+            protocol.decode_features(None, 3)
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError, match="expected 3 features"):
+            protocol.decode_features([1.0, 2.0], 3)
+
+    def test_matrix_rejected(self):
+        with pytest.raises(ValueError, match="flat vector"):
+            protocol.decode_features([[1.0, 2.0]], 2)

@@ -1,0 +1,98 @@
+"""Model registry: etags, artifact loading, atomic activation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AquaScale
+from repro.datasets import read_profile_header, save_profile
+from repro.serve import ModelRegistry
+
+
+class TestRegister:
+    def test_first_registration_becomes_active(self, serve_model):
+        registry = ModelRegistry()
+        entry = registry.register("prod", serve_model, activate=False)
+        assert registry.active is entry
+        assert entry.etag.startswith("sha256:")
+        assert entry.source == "<in-process>"
+
+    def test_duplicate_name_rejected(self, serve_model):
+        registry = ModelRegistry()
+        registry.register("prod", serve_model)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("prod", serve_model)
+
+    def test_untrained_model_rejected(self, epanet):
+        registry = ModelRegistry()
+        with pytest.raises(RuntimeError, match="not trained"):
+            registry.register("raw", AquaScale(epanet, classifier="logistic"))
+
+    def test_etag_matches_saved_artifact(self, serve_model, tmp_path):
+        """In-process and on-disk registrations of one model agree."""
+        registry = ModelRegistry()
+        entry = registry.register("prod", serve_model)
+        path = tmp_path / "prod.pkl"
+        save_profile(serve_model, path)
+        assert read_profile_header(path)["content_hash"] == entry.etag
+
+
+class TestLoad:
+    def test_load_names_from_stem_and_keeps_header(self, serve_model, tmp_path):
+        path = tmp_path / "canary.pkl"
+        save_profile(serve_model, path)
+        registry = ModelRegistry()
+        entry = registry.load(path)
+        assert entry.name == "canary"
+        assert entry.source == str(path)
+        assert entry.header["network"] == serve_model.network.name
+        assert entry.model.localize is not None
+
+    def test_load_rejects_bare_pickle(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "legacy.pkl"
+        path.write_bytes(pickle.dumps({"not": "a profile"}))
+        with pytest.raises(ValueError, match="missing"):
+            ModelRegistry().load(path)
+
+
+class TestActivate:
+    def test_hot_swap_moves_the_active_pointer(self, serve_model, tmp_path):
+        path = tmp_path / "canary.pkl"
+        save_profile(serve_model, path)
+        registry = ModelRegistry()
+        registry.register("prod", serve_model)
+        registry.load(path, activate=False)
+        assert registry.active.name == "prod"
+        registry.activate("canary")
+        assert registry.active.name == "canary"
+        rows = registry.describe()
+        assert [(r["name"], r["active"]) for r in rows] == [
+            ("canary", True),
+            ("prod", False),
+        ]
+
+    def test_activate_unknown_raises(self):
+        with pytest.raises(KeyError, match="not registered"):
+            ModelRegistry().activate("ghost")
+
+    def test_get_and_len(self, serve_model):
+        registry = ModelRegistry()
+        registry.register("prod", serve_model)
+        assert registry.get("prod").name == "prod"
+        assert len(registry) == 1
+        with pytest.raises(KeyError):
+            registry.get("ghost")
+
+    def test_empty_registry_has_no_active(self):
+        with pytest.raises(RuntimeError, match="no active model"):
+            ModelRegistry().active
+
+    def test_describe_rows_carry_metadata(self, serve_model):
+        registry = ModelRegistry()
+        registry.register("prod", serve_model)
+        (row,) = registry.describe()
+        assert row["network"] == serve_model.network.name
+        assert row["n_sensors"] == len(serve_model.sensors)
+        assert row["classifier"] == "logistic"

@@ -1,0 +1,265 @@
+"""End-to-end service tests: TCP, batching, shedding, hot swap, drain."""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ModelRegistry,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    start_in_background,
+)
+
+
+class SlowLocalize:
+    """Delegates to a trained core but sleeps first — forces queueing."""
+
+    def __init__(self, inner, delay: float):
+        self.inner = inner
+        self.delay = delay
+
+    @property
+    def engine(self):
+        """Trained-model check passthrough."""
+        return self.inner.engine
+
+    @property
+    def sensors(self):
+        """Deployment width passthrough."""
+        return self.inner.sensors
+
+    @property
+    def profile(self):
+        """Profile passthrough (junction names for health)."""
+        return self.inner.profile
+
+    @property
+    def network(self):
+        """Network passthrough (registry metadata)."""
+        return self.inner.network
+
+    def localize_batch(self, features, weather=None, human=None):
+        """The slow kernel: sleep, then defer to the real core."""
+        time.sleep(self.delay)
+        return self.inner.localize_batch(features, weather=weather, human=human)
+
+
+@pytest.fixture()
+def served(tree_serve_model):
+    """A running server + connected client over the tiny tree model."""
+    model, dataset = tree_serve_model
+    config = ServeConfig(max_batch_size=4, max_wait_ms=20.0)
+    with start_in_background(model, config=config) as handle:
+        with ServeClient(*handle.address) as client:
+            yield model, dataset, handle, client
+
+
+class TestLocalize:
+    def test_reply_matches_direct_inference(self, served):
+        model, dataset, _, client = served
+        row = dataset.features_for(model.sensors)[0]
+        direct = model.localize(row)
+        reply = client.localize(row)
+        np.testing.assert_array_equal(reply.probabilities, direct.probabilities)
+        assert reply.leak_nodes == sorted(direct.leak_nodes)
+        assert reply.top_suspects == [
+            (name, pytest.approx(p, abs=0)) for name, p in direct.top_suspects(5)
+        ]
+        assert reply.energy == direct.energy
+        assert reply.model_name == "default"
+        assert reply.model_etag.startswith("sha256:")
+        assert reply.elapsed_ms > 0
+
+    def test_pipelined_requests_coalesce(self, served):
+        model, dataset, handle, client = served
+        rows = dataset.features_for(model.sensors)[:12]
+        replies = client.localize_many(rows)
+        assert len(replies) == 12
+        # Coalescing actually happened: batches bigger than one request.
+        assert max(reply.batch_size for reply in replies) > 1
+        histogram = handle.metrics_snapshot()["histograms"]["serve_batch_size"]
+        assert histogram["mean"] > 1.0
+
+    def test_wrong_feature_width_is_bad_request(self, served):
+        _, _, _, client = served
+        with pytest.raises(ServeError) as excinfo:
+            client.localize([1.0, 2.0])
+        assert excinfo.value.code == "bad_request"
+
+    def test_unknown_op_is_bad_request(self, served):
+        _, _, _, client = served
+        with pytest.raises(ServeError) as excinfo:
+            client._call({"op": "explode"})
+        assert excinfo.value.code == "bad_request"
+        assert "unknown op" in str(excinfo.value)
+
+
+class TestEndpoints:
+    def test_health_payload(self, served):
+        model, _, _, client = served
+        health = client.health()
+        assert health["status"] == "serving"
+        assert health["n_features"] == len(model.sensors)
+        assert health["junction_names"] == list(model.profile.junction_names)
+        assert health["model"]["name"] == "default"
+        assert "serve_requests_total" in health["metrics"]["counters"]
+
+    def test_models_endpoint(self, served):
+        _, _, _, client = served
+        rows = client.models()
+        assert [row["name"] for row in rows] == ["default"]
+        assert rows[0]["active"] is True
+
+    def test_activate_unknown_model(self, served):
+        _, _, _, client = served
+        with pytest.raises(ServeError) as excinfo:
+            client.activate("ghost")
+        assert excinfo.value.code == "unknown_model"
+
+
+class TestHotSwap:
+    def test_activate_swaps_served_model(self, tree_serve_model):
+        model, dataset = tree_serve_model
+        registry = ModelRegistry()
+        prod = registry.register("prod", model)
+        canary = registry.register("canary", model, activate=False)
+        registry.activate("prod")
+        assert prod.etag == canary.etag  # same weights, two names
+        config = ServeConfig(max_batch_size=2, max_wait_ms=5.0)
+        row = dataset.features_for(model.sensors)[0]
+        with start_in_background(registry, config=config) as handle:
+            with ServeClient(*handle.address) as client:
+                assert client.localize(row).model_name == "prod"
+                client.activate("canary")
+                assert client.localize(row).model_name == "canary"
+                names = {m["name"]: m["active"] for m in client.models()}
+                assert names == {"canary": True, "prod": False}
+
+
+class TestDeadlines:
+    def test_expired_in_queue_is_deadline_exceeded(self, tree_serve_model):
+        model, dataset = tree_serve_model
+        slow = SlowLocalize(model, delay=0.3)
+        config = ServeConfig(
+            max_batch_size=1, max_wait_ms=0.0, inference_workers=1,
+            max_pending=16,
+        )
+        row = dataset.features_for(model.sensors)[0]
+        with start_in_background(slow, config=config) as handle:
+            with ServeClient(*handle.address) as client:
+                # Occupy the single worker, then queue a request whose
+                # budget is far smaller than the in-flight service time.
+                first = client.localize_async(row, deadline_ms=10_000.0)
+                time.sleep(0.05)
+                with pytest.raises(ServeError) as excinfo:
+                    client.localize(row, deadline_ms=50.0)
+                assert excinfo.value.code == "deadline_exceeded"
+                client.resolve(first)  # the long-budget request still lands
+            counters = handle.metrics_snapshot()["counters"]
+            assert counters["serve_deadline_expired_total"] >= 1
+
+    def test_non_positive_deadline_is_bad_request(self, served):
+        model, dataset, _, client = served
+        row = dataset.features_for(model.sensors)[0]
+        with pytest.raises(ServeError) as excinfo:
+            client.localize(row, deadline_ms=-5.0)
+        assert excinfo.value.code == "bad_request"
+
+
+class TestShedding:
+    def test_overload_is_shed_with_retry_hint(self, tree_serve_model):
+        model, dataset = tree_serve_model
+        slow = SlowLocalize(model, delay=0.2)
+        config = ServeConfig(
+            max_batch_size=1, max_wait_ms=0.0, inference_workers=1,
+            max_pending=2,
+        )
+        row = dataset.features_for(model.sensors)[0]
+        with start_in_background(slow, config=config) as handle:
+            with ServeClient(*handle.address) as client:
+                # One connection delivers requests in order: the first two
+                # take the admission window, the third must be shed.
+                futures = [
+                    client.localize_async(row, deadline_ms=30_000.0)
+                    for _ in range(3)
+                ]
+                outcomes = []
+                for future in futures:
+                    try:
+                        outcomes.append(client.resolve(future, timeout=10.0))
+                    except ServeError as error:
+                        outcomes.append(error)
+                shed = [o for o in outcomes if isinstance(o, ServeError)]
+                assert len(shed) == 1
+                assert shed[0].code == "overloaded"
+                assert shed[0].retry_after_ms >= 1.0
+            counters = handle.metrics_snapshot()["counters"]
+            assert counters["serve_shed_total"] >= 1
+
+
+class TestDrain:
+    def test_draining_refuses_new_work(self, tree_serve_model):
+        model, dataset = tree_serve_model
+        config = ServeConfig(max_batch_size=2, max_wait_ms=5.0)
+        row = dataset.features_for(model.sensors)[0]
+        with start_in_background(model, config=config) as handle:
+            with ServeClient(*handle.address) as client:
+                assert client.localize(row).leak_nodes is not None
+                handle.server.admission.begin_drain()
+                with pytest.raises(ServeError) as excinfo:
+                    client.localize(row)
+                assert excinfo.value.code == "draining"
+
+    def test_stop_is_clean_and_idempotent(self, tree_serve_model):
+        model, dataset = tree_serve_model
+        handle = start_in_background(
+            model, config=ServeConfig(max_batch_size=2, max_wait_ms=5.0)
+        )
+        with ServeClient(*handle.address) as client:
+            client.localize(dataset.features_for(model.sensors)[0])
+        handle.stop()
+        handle.stop()  # a second stop is a no-op
+        with pytest.raises(OSError):
+            ServeClient("127.0.0.1", handle.port, timeout=1.0)
+
+    def test_inflight_requests_finish_during_drain(self, tree_serve_model):
+        model, dataset = tree_serve_model
+        slow = SlowLocalize(model, delay=0.15)
+        config = ServeConfig(
+            max_batch_size=4, max_wait_ms=10.0, inference_workers=1
+        )
+        rows = dataset.features_for(model.sensors)[:4]
+        handle = start_in_background(slow, config=config)
+        with ServeClient(*handle.address) as client:
+            futures = [client.localize_async(r, deadline_ms=30_000.0) for r in rows]
+            time.sleep(0.05)  # let the batch form before draining
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                stopping = pool.submit(handle.stop)
+                replies = [client.resolve(f, timeout=10.0) for f in futures]
+                stopping.result(timeout=10.0)
+        assert len(replies) == 4
+        assert all(reply.model_name == "default" for reply in replies)
+
+
+class TestWireRobustness:
+    def test_malformed_json_line_gets_error_response(self, served):
+        _, _, _, client = served
+        # Bypass the client's encoder and write a broken line directly.
+        with client._lock:
+            client._wfile.write(b"{broken\n")
+            client._wfile.flush()
+        # The server answers with id=null and stays healthy.
+        assert client.health()["status"] == "serving"
+
+    def test_blank_lines_ignored(self, served):
+        _, _, _, client = served
+        with client._lock:
+            client._wfile.write(b"\n\n")
+            client._wfile.flush()
+        assert client.health()["status"] == "serving"

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -97,3 +98,52 @@ class TestRegistry:
             t.join()
         assert counter.value == 8000
         assert hist.count == 8000
+
+
+class TestHistogramConcurrentReads:
+    """The server reads latency percentiles while workers keep observing."""
+
+    def test_percentile_and_snapshot_under_concurrent_writers(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer(offset: float):
+            value = offset
+            while not stop.is_set():
+                hist.observe(value)
+                value += 1.0
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    if hist.count == 0:
+                        continue
+                    p99 = hist.percentile(99.0)
+                    summary = hist.summary()
+                    snap = registry.snapshot()
+                    # Reads must be internally consistent snapshots.
+                    assert summary["count"] >= 1
+                    assert summary["min"] <= summary["p50"] <= summary["p99"]
+                    assert summary["p99"] <= summary["max"]
+                    assert p99 >= 0.0
+                    assert snap["histograms"]["latency"]["count"] >= 1
+            except BaseException as error:  # surfaced after join
+                errors.append(error)
+
+        writers = [
+            threading.Thread(target=writer, args=(float(i),)) for i in range(4)
+        ]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in writers + readers:
+            t.start()
+        time.sleep(0.3)
+        stop.set()
+        for t in writers + readers:
+            t.join(timeout=5)
+        assert not errors, errors
+        # Monotonic count: everything written is still there.
+        final = hist.count
+        assert final > 0
+        assert hist.summary()["count"] == final

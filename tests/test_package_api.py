@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.observations",
     "repro.platform",
     "repro.sensing",
+    "repro.serve",
     "repro.stream",
     "repro.verify",
 ]

@@ -7,6 +7,7 @@ import numpy as np
 from repro.verify import (
     diff_array_vs_dict,
     diff_njobs_training,
+    diff_serve_vs_direct,
     diff_warm_vs_cold,
     diff_workers_dataset,
     run_differential_oracles,
@@ -60,6 +61,13 @@ class TestOracles:
         assert report.passed, str(report)
         assert report.bit_identical
 
+    def test_serve_vs_direct_bit_identical(self, two_loop):
+        report = diff_serve_vs_direct(two_loop, seed=0, n_samples=10, n_requests=8)
+        assert report.passed, str(report)
+        assert report.bit_identical
+        # The detail line carries the observed coalescing evidence.
+        assert "mean batch" in report.detail
+
     def test_quick_sweep_all_pass(self, two_loop):
         reports = run_differential_oracles(two_loop, seed=0, quick=True)
         assert [r.name for r in reports] == [
@@ -70,5 +78,6 @@ class TestOracles:
             "flat_vs_recursive",
             "process_vs_serial",
             "binned_vs_exact",
+            "serve_vs_direct",
         ]
         assert all(r.passed for r in reports), [str(r) for r in reports]
