@@ -1,16 +1,23 @@
 #!/usr/bin/env python3
 """Fail CI when a re-measured benchmark regresses past the committed baseline.
 
-Compares one benchmark's ``mean_seconds`` between the committed
+Compares one benchmark timing between the committed
 ``BENCH_pipeline.json`` and a freshly measured report (written by
-``repro bench --phase1``).  Exit code 1 means the fresh timing exceeds
-the committed one by more than ``--max-regression`` (default 25%) —
-generous enough for shared-runner noise, tight enough to catch a real
-perf loss in the training engine.
+``repro bench --phase1`` / ``--phase2``).  Exit code 1 means the fresh
+timing exceeds the committed one by more than ``--max-regression``
+(default 25%) — generous enough for shared-runner noise, tight enough
+to catch a real perf loss.
+
+``--benchmark`` accepts either a pytest-benchmark entry name (looked up
+in the report's ``pytest_benchmarks`` list by its ``mean_seconds``) or a
+dotted path into the report's nested sections, e.g.
+``phase2.crf.batch_seconds``.
 
 Usage::
 
     python scripts/check_bench_regression.py BENCH_pipeline.json BENCH_fresh.json
+    python scripts/check_bench_regression.py BENCH_pipeline.json BENCH_fresh.json \\
+        --benchmark phase2.crf.batch_seconds --max-regression 0.5
 """
 
 from __future__ import annotations
@@ -21,9 +28,21 @@ import sys
 
 
 def mean_seconds(path: str, name: str) -> float | None:
-    """The named benchmark's mean from a ``repro bench`` report, if present."""
+    """The named benchmark's timing from a ``repro bench`` report, if present.
+
+    Names with dots resolve as a key path through the report's nested
+    sections (``phase2.crf.batch_seconds``); plain names are looked up
+    in the ``pytest_benchmarks`` list by their ``mean_seconds``.
+    """
     with open(path) as handle:
         report = json.load(handle)
+    if "." in name:
+        node = report
+        for key in name.split("."):
+            if not isinstance(node, dict) or key not in node:
+                return None
+            node = node[key]
+        return float(node) if isinstance(node, (int, float)) else None
     entries = report.get("pytest_benchmarks")
     if not isinstance(entries, list):
         return None

@@ -9,6 +9,9 @@ Commands mirror how a utility would operate the system:
 * ``train``       — train a profile model on a dataset and save it;
 * ``localize``    — run Phase II on a simulated scenario with a saved
   profile;
+* ``infer``       — Phase II on a simulated scenario comparing the
+  aggregation modes: paper-greedy (``independent``) vs factor-graph
+  message passing (``crf``), with BP diagnostics;
 * ``experiment``  — run a paper-figure experiment and print its table;
 * ``flood``       — predict flooding from specified leak events;
 * ``stream``      — run the always-on streaming runtime on simulated
@@ -86,6 +89,33 @@ def _add_localize(sub: argparse._SubParsersAction) -> None:
                         choices=("iot", "iot+temp", "iot+human", "all"))
     parser.add_argument("--elapsed-slots", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_infer(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "infer",
+        help="compare aggregation modes (independent vs crf) on a scenario",
+    )
+    parser.add_argument("--profile", required=True, metavar="PROFILE.pkl")
+    parser.add_argument(
+        "--kind", choices=("single", "multi", "low-temperature"), default="multi"
+    )
+    parser.add_argument("--sources", default="all",
+                        choices=("iot", "iot+temp", "iot+human", "all"))
+    parser.add_argument("--elapsed-slots", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--inference", choices=("independent", "crf", "both"), default="both",
+        help="aggregation mode(s) to run (default: both, side by side)",
+    )
+    parser.add_argument(
+        "--pairwise-strength", type=float, default=None,
+        help="override the CRF's Potts coupling along pipes",
+    )
+    parser.add_argument(
+        "--clique-penalty-scale", type=float, default=None,
+        help="override the CRF's human-report clique penalty scale",
+    )
 
 
 def _add_experiment(sub: argparse._SubParsersAction) -> None:
@@ -249,6 +279,12 @@ def _add_bench(sub: argparse._SubParsersAction) -> None:
         help="only run the serving throughput benchmark (in-process "
              "server + pipelined clients) and merge it into --out",
     )
+    parser.add_argument(
+        "--phase2", action="store_true",
+        help="only run the Phase-II aggregation benchmark (CRF vs "
+             "independent: batched latency + multi-leak accuracy) and "
+             "merge it into --out",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -263,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generate(sub)
     _add_train(sub)
     _add_localize(sub)
+    _add_infer(sub)
     _add_experiment(sub)
     _add_isolate(sub)
     _add_resilience(sub)
@@ -397,6 +434,51 @@ def cmd_localize(args) -> int:
     print("top suspects :")
     for name, probability in result.top_suspects(5):
         print(f"  {name:8s} {probability:.3f}")
+    return 0
+
+
+def cmd_infer(args) -> int:
+    """Run one scenario through the selected aggregation mode(s)."""
+    from dataclasses import replace
+
+    from .datasets import load_profile
+    from .failures import ScenarioGenerator
+
+    model = load_profile(args.profile)
+    overrides = {}
+    if args.pairwise_strength is not None:
+        overrides["pairwise_strength"] = args.pairwise_strength
+    if args.clique_penalty_scale is not None:
+        overrides["clique_penalty_scale"] = args.clique_penalty_scale
+    if overrides:
+        model.engine.configure_crf(replace(model.engine.crf_config, **overrides))
+    generator = ScenarioGenerator(model.network, seed=args.seed)
+    if args.kind == "single":
+        scenario = generator.single_failure()
+    elif args.kind == "multi":
+        scenario = generator.multi_failure()
+    else:
+        scenario = generator.low_temperature_failure()
+    modes = (
+        ("independent", "crf") if args.inference == "both" else (args.inference,)
+    )
+    print(f"ground truth : {sorted(scenario.leak_nodes)}")
+    for mode in modes:
+        result = model.localize_scenario(
+            scenario,
+            elapsed_slots=args.elapsed_slots,
+            sources=args.sources,
+            inference=mode,
+        )
+        print(f"[{mode}]")
+        print(f"  predicted : {sorted(result.leak_nodes)}")
+        print(f"  energy    : {result.energy:.3f}")
+        if mode == "crf":
+            status = "converged" if result.bp_converged else "hit max-iters"
+            print(f"  bp        : {result.bp_iterations} sweep(s), {status}")
+        print("  top suspects:")
+        for name, probability in result.top_suspects(5):
+            print(f"    {name:8s} {probability:.3f}")
     return 0
 
 
@@ -710,6 +792,120 @@ def _bench_serve(args) -> int:
     return 0
 
 
+def _bench_phase2(args) -> int:
+    """Measure CRF-vs-independent aggregation and merge it into --out.
+
+    Runs the multi-leak golden workload
+    (:data:`repro.verify.golden.MULTI_ACCURACY_CONFIG`): one trained
+    profile, one test batch with weather + human observations, then
+    batched Phase II in both aggregation modes.  Records each mode's
+    batch latency and multi-leak accuracy so the CRF's accuracy win and
+    its message-passing cost are pinned in the committed report.
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    import numpy as np
+
+    from .core import AquaScale
+    from .datasets import generate_dataset
+    from .inference import CRFConfig
+    from .networks import build_network
+    from .verify.golden import MULTI_ACCURACY_CONFIG
+
+    config = dict(MULTI_ACCURACY_CONFIG)
+    if args.quick:
+        config["n_train"] = 60
+        config["n_test"] = 15
+    network = build_network(args.network)
+    print(
+        f"training {config['classifier']} profile on {network.name} "
+        f"({config['n_train']} multi-leak scenarios) ..."
+    )
+    model = AquaScale(
+        network,
+        iot_percent=config["iot_percent"],
+        classifier=config["classifier"],
+        seed=config["seed"],
+        gamma=config["gamma"],
+        elapsed_slots=config["elapsed_slots"],
+        crf_config=CRFConfig(**config["crf"]),
+    )
+    model.train(
+        n_train=config["n_train"],
+        kind=config["kind"],
+        max_events=config["max_events"],
+    )
+    test = generate_dataset(
+        network,
+        config["n_test"],
+        kind=config["kind"],
+        seed=config["seed"] + 1,
+        elapsed_slots=config["elapsed_slots"],
+        max_events=config["max_events"],
+    )
+    rows = test.features_for(model.sensors)
+    weather = [model.observations.weather_for(s) for s in test.scenarios]
+    human = [
+        model.observations.human_for(s, config["elapsed_slots"])
+        for s in test.scenarios
+    ]
+
+    def best_of(fn, repeats: int = 3) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    section: dict = {
+        "network": args.network,
+        "batch_rows": int(rows.shape[0]),
+        "kind": config["kind"],
+        "crf_config": dict(config["crf"]),
+    }
+    results: dict[str, list] = {}
+    for mode in ("independent", "crf"):
+        print(f"timing localize_batch({rows.shape[0]} rows, inference={mode!r}) ...")
+        seconds = best_of(
+            lambda m=mode: results.__setitem__(
+                m, model.localize_batch(rows, weather, human, inference=m)
+            )
+        )
+        accuracy = float(
+            model.evaluate(test, sources=config["sources"], inference=mode)
+        )
+        section[mode] = {
+            "batch_seconds": round(seconds, 4),
+            "per_row_ms": round(seconds / rows.shape[0] * 1000.0, 3),
+            "accuracy": round(accuracy, 4),
+        }
+    crf_results = results["crf"]
+    section["crf"]["bp_iterations_mean"] = round(
+        float(np.mean([r.bp_iterations for r in crf_results])), 1
+    )
+    section["crf"]["bp_all_converged"] = bool(
+        all(r.bp_converged for r in crf_results)
+    )
+    section["crf"]["overhead_x"] = round(
+        section["crf"]["batch_seconds"] / section["independent"]["batch_seconds"], 2
+    )
+    out = Path(args.out)
+    report = json.loads(out.read_text()) if out.exists() else {}
+    report["phase2"] = section
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"phase2: independent {section['independent']['batch_seconds']:.3f}s "
+        f"(acc {section['independent']['accuracy']:.4f}) vs "
+        f"crf {section['crf']['batch_seconds']:.3f}s "
+        f"(acc {section['crf']['accuracy']:.4f}, "
+        f"{section['crf']['overhead_x']}x) (merged into {out})"
+    )
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Time the scenario engine (and perf suite) into a JSON report."""
     import json
@@ -726,6 +922,8 @@ def cmd_bench(args) -> int:
         return _bench_phase1(args)
     if args.serve:
         return _bench_serve(args)
+    if args.phase2:
+        return _bench_phase2(args)
     network = build_network(args.network)
     n_samples = min(args.samples, 50) if args.quick else args.samples
 
@@ -923,6 +1121,7 @@ _HANDLERS = {
     "generate": cmd_generate,
     "train": cmd_train,
     "localize": cmd_localize,
+    "infer": cmd_infer,
     "experiment": cmd_experiment,
     "isolate": cmd_isolate,
     "resilience": cmd_resilience,

@@ -5,8 +5,15 @@ observations arrived, and produces the updated leak set:
 
 1. *Event prediction* — the profile model scores every junction; frozen
    nodes fuse the freeze prior via Bayes (Eqs. 5-6).
-2. *Event tuning* — human-report cliques with infinite potential flip
-   their highest-entropy member (Eq. 10), minimising the energy (Eq. 9).
+2. *Event aggregation* — one of two selectable modes:
+
+   * ``"independent"`` (the paper): human-report cliques with infinite
+     potential flip their highest-entropy member (Eq. 10), minimising
+     the energy (Eq. 9) greedily;
+   * ``"crf"``: max-product message passing on the
+     :mod:`repro.inference` factor graph — pairwise Potts couplings
+     along pipes plus soft clique factors — following the paper
+     lineage's CRF/factor-graph formulations (see PAPERS.md).
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..inference import INFERENCE_MODES, CRFConfig, CRFEngine
 from ..observations import HumanObservation, WeatherObservation
 from .entropy import total_uncertainty
 from .fusion import aggregate_freeze_evidence
@@ -30,10 +38,14 @@ class InferenceResult:
         probabilities: (n_junctions,) final P(leak) per junction.
         junction_names: column order of ``probabilities``.
         leak_nodes: the predicted set S.
-        tuning_steps: human-input flips applied (explainability record).
-        energy: Eq. (9) after tuning.
+        tuning_steps: human-input flips applied (explainability record;
+            greedy tuning only — the CRF absorbs cliques as factors).
+        energy: Eq. (9) after aggregation.
         stages: P(leak) snapshots after each stage, keyed
-            "iot" / "weather" / "human" — handy for the fusion ablation.
+            "iot" / "weather" / "human" / "crf" — handy for ablations.
+        inference: aggregation mode that produced this result.
+        bp_iterations: message-passing sweeps run (CRF mode; 0 otherwise).
+        bp_converged: whether BP met its tolerance (True outside CRF).
     """
 
     probabilities: np.ndarray
@@ -42,6 +54,9 @@ class InferenceResult:
     tuning_steps: list[TuningStep] = field(default_factory=list)
     energy: float = 0.0
     stages: dict[str, np.ndarray] = field(default_factory=dict)
+    inference: str = "independent"
+    bp_iterations: int = 0
+    bp_converged: bool = True
 
     def label_vector(self) -> np.ndarray:
         """Binary indicator over ``junction_names``."""
@@ -65,6 +80,9 @@ class LeakInferenceEngine:
         entropy_threshold: Gamma of Eq. (10); the paper evaluates with 0.
         min_clique_confidence: drop cliques below this Eq.-(3) confidence
             (0 = paper behaviour, every clique applies).
+        crf_config: factor-graph knobs for ``inference="crf"`` (defaults
+            apply when omitted); ``min_clique_confidence`` is inherited
+            unless the config overrides it.
     """
 
     def __init__(
@@ -72,16 +90,36 @@ class LeakInferenceEngine:
         profile: ProfileModel,
         entropy_threshold: float = 0.0,
         min_clique_confidence: float = 0.0,
+        crf_config: CRFConfig | None = None,
     ):
         self.profile = profile
         self.entropy_threshold = entropy_threshold
         self.min_clique_confidence = min_clique_confidence
+        if crf_config is None:
+            crf_config = CRFConfig(min_clique_confidence=min_clique_confidence)
+        self.crf_config = crf_config
+        self._crf: CRFEngine | None = None
+
+    @property
+    def crf(self) -> CRFEngine:
+        """The factor-graph engine, built on first CRF-mode request."""
+        if self._crf is None:
+            self._crf = CRFEngine(
+                self.profile.network.junction_adjacency(), self.crf_config
+            )
+        return self._crf
+
+    def configure_crf(self, config: CRFConfig) -> None:
+        """Swap the factor-graph knobs; the CRF engine rebuilds lazily."""
+        self.crf_config = config
+        self._crf = None
 
     def infer(
         self,
         features: np.ndarray,
         weather: WeatherObservation | None = None,
         human: HumanObservation | None = None,
+        inference: str = "independent",
     ) -> InferenceResult:
         """Localize leaks for one live sample.
 
@@ -89,51 +127,15 @@ class LeakInferenceEngine:
             features: Δ-readings from the deployed sensors (1-D).
             weather: freeze evidence, or None when unavailable.
             human: tweet cliques, or None when unavailable.
+            inference: ``"independent"`` (paper) or ``"crf"``.
         """
-        junction_names = self.profile.junction_names
-        stages: dict[str, np.ndarray] = {}
-
-        # --- event prediction: IoT through the profile model ----------
-        p = self.profile.predict_proba(features)[0]
-        stages["iot"] = p.copy()
-
-        # --- weather fusion (Algorithm 2 lines 6-13) -------------------
-        if weather is not None and weather.active:
-            frozen_mask = np.array(
-                [name in weather.frozen_nodes for name in junction_names]
-            )
-            p = aggregate_freeze_evidence(
-                p, frozen_mask, weather.p_leak_given_freeze
-            )
-            stages["weather"] = p.copy()
-
-        # --- event tuning with human cliques (lines 14-26) -------------
-        tuning_steps: list[TuningStep] = []
-        cliques = human.cliques if human is not None else ()
-        if cliques:
-            p, tuning_steps = apply_event_tuning(
-                p,
-                junction_names,
-                cliques,
-                entropy_threshold=self.entropy_threshold,
-                min_confidence=self.min_clique_confidence,
-            )
-            stages["human"] = p.copy()
-
-        leak_nodes = {
-            name for name, prob in zip(junction_names, p) if prob > 0.5
-        }
-        energy = total_energy(
-            p, junction_names, cliques, self.entropy_threshold
-        )
-        return InferenceResult(
-            probabilities=p,
-            junction_names=junction_names,
-            leak_nodes=leak_nodes,
-            tuning_steps=tuning_steps,
-            energy=energy,
-            stages=stages,
-        )
+        features = np.asarray(features, dtype=float)
+        return self.infer_batch(
+            features[None, :],
+            weather=[weather],
+            human=[human],
+            inference=inference,
+        )[0]
 
     @staticmethod
     def _check_observations(kind: str, observations, n: int) -> list:
@@ -167,15 +169,26 @@ class LeakInferenceEngine:
         features: np.ndarray,
         weather: list[WeatherObservation | None] | None = None,
         human: list[HumanObservation | None] | None = None,
+        inference: str = "independent",
     ) -> list[InferenceResult]:
         """Vector of :meth:`infer` calls sharing one proba batch.
 
         The profile model scores the whole batch at once (the expensive
-        part); fusion and tuning then run per sample.
+        part); fusion then runs per sample — except CRF message passing,
+        which additionally coalesces all rows without human evidence
+        into one vectorized kernel call.
+
+        Raises:
+            ValueError: for a non-2-D feature matrix, misaligned
+                observation lists, or an unknown ``inference`` mode.
         """
         features = np.asarray(features, dtype=float)
         if features.ndim != 2:
             raise ValueError("infer_batch expects (n_samples, n_features)")
+        if inference not in INFERENCE_MODES:
+            raise ValueError(
+                f"inference must be one of {INFERENCE_MODES}, got {inference!r}"
+            )
         n = features.shape[0]
         weather = self._check_observations("weather", weather, n)
         human = self._check_observations("human", human, n)
@@ -185,8 +198,11 @@ class LeakInferenceEngine:
             # never sees a zero-row matrix.
             return []
         proba = self.profile.predict_proba(features)
-        results = []
         junction_names = self.profile.junction_names
+
+        # --- event prediction + weather fusion (Algorithm 2 lines 6-13)
+        fused_rows: list[np.ndarray] = []
+        stages_list: list[dict[str, np.ndarray]] = []
         for i in range(n):
             p = proba[i].copy()
             stages = {"iot": p.copy()}
@@ -197,7 +213,20 @@ class LeakInferenceEngine:
                 )
                 p = aggregate_freeze_evidence(p, frozen_mask, w.p_leak_given_freeze)
                 stages["weather"] = p.copy()
-            h = human[i]
+            fused_rows.append(p)
+            stages_list.append(stages)
+
+        if inference == "crf":
+            return self._finish_crf(fused_rows, stages_list, human, junction_names)
+        return self._finish_independent(fused_rows, stages_list, human, junction_names)
+
+    # ------------------------------------------------------------------
+    def _finish_independent(
+        self, fused_rows, stages_list, human, junction_names
+    ) -> list[InferenceResult]:
+        """Greedy event tuning (Eq. 10), the paper's aggregation."""
+        results = []
+        for p, stages, h in zip(fused_rows, stages_list, human):
             steps: list[TuningStep] = []
             cliques = h.cliques if h is not None else ()
             if cliques:
@@ -210,15 +239,55 @@ class LeakInferenceEngine:
                 )
                 stages["human"] = p.copy()
             results.append(
-                InferenceResult(
-                    probabilities=p,
-                    junction_names=junction_names,
-                    leak_nodes={
-                        name for name, prob in zip(junction_names, p) if prob > 0.5
-                    },
-                    tuning_steps=steps,
-                    energy=total_energy(p, junction_names, cliques, self.entropy_threshold),
-                    stages=stages,
+                self._result(p, junction_names, cliques, steps, stages, "independent")
+            )
+        return results
+
+    def _finish_crf(
+        self, fused_rows, stages_list, human, junction_names
+    ) -> list[InferenceResult]:
+        """Factor-graph aggregation: one batched max-product dispatch."""
+        fused = np.vstack(fused_rows)
+        out, diagnostics = self.crf.fuse_batch(fused, human)
+        results = []
+        for i, (stages, h) in enumerate(zip(stages_list, human)):
+            p = out[i]
+            stages["crf"] = p.copy()
+            cliques = h.cliques if h is not None else ()
+            results.append(
+                self._result(
+                    p,
+                    junction_names,
+                    cliques,
+                    [],
+                    stages,
+                    "crf",
+                    diagnostics=diagnostics[i],
                 )
             )
         return results
+
+    def _result(
+        self,
+        p: np.ndarray,
+        junction_names: list[str],
+        cliques,
+        steps: list[TuningStep],
+        stages: dict[str, np.ndarray],
+        inference: str,
+        diagnostics=None,
+    ) -> InferenceResult:
+        """Assemble one :class:`InferenceResult` from a final posterior."""
+        return InferenceResult(
+            probabilities=p,
+            junction_names=junction_names,
+            leak_nodes={
+                name for name, prob in zip(junction_names, p) if prob > 0.5
+            },
+            tuning_steps=steps,
+            energy=total_energy(p, junction_names, cliques, self.entropy_threshold),
+            stages=stages,
+            inference=inference,
+            bp_iterations=diagnostics.iterations if diagnostics is not None else 0,
+            bp_converged=diagnostics.converged if diagnostics is not None else True,
+        )

@@ -112,6 +112,8 @@ class AquaScale:
         seed: master seed (placement, training data, observations).
         gamma: tweet-clique coarseness in metres.
         elapsed_slots: default ``n`` used for training features.
+        crf_config: factor-graph knobs for ``inference="crf"`` requests
+            (:class:`~repro.inference.CRFConfig`; defaults when None).
     """
 
     def __init__(
@@ -122,6 +124,7 @@ class AquaScale:
         seed: int = 0,
         gamma: float = 30.0,
         elapsed_slots: int = 1,
+        crf_config=None,
     ):
         self.network = network
         self.iot_percent = iot_percent
@@ -136,6 +139,7 @@ class AquaScale:
             network, self.sensors, classifier=classifier, random_state=seed
         )
         self.observations = ObservationFactory(network, gamma=gamma, seed=seed)
+        self.crf_config = crf_config
         self._engine: LeakInferenceEngine | None = None
 
     # ------------------------------------------------------------------
@@ -157,7 +161,7 @@ class AquaScale:
                 max_events=max_events,
             )
         self.profile.fit(dataset)
-        self._engine = LeakInferenceEngine(self.profile)
+        self._engine = LeakInferenceEngine(self.profile, crf_config=self.crf_config)
         return self
 
     @property
@@ -173,15 +177,27 @@ class AquaScale:
         features: np.ndarray,
         weather: WeatherObservation | None = None,
         human: HumanObservation | None = None,
+        inference: str = "independent",
     ) -> InferenceResult:
-        """Phase II for one live sample."""
-        return self.engine.infer(features, weather=weather, human=human)
+        """Phase II for one live sample.
+
+        Args:
+            features: Δ-readings from the deployed sensors (1-D).
+            weather: freeze evidence, or None when unavailable.
+            human: tweet cliques, or None when unavailable.
+            inference: ``"independent"`` (paper) or ``"crf"``
+                (factor-graph message passing over the pipe network).
+        """
+        return self.engine.infer(
+            features, weather=weather, human=human, inference=inference
+        )
 
     def localize_batch(
         self,
         features: np.ndarray,
         weather: list[WeatherObservation | None] | None = None,
         human: list[HumanObservation | None] | None = None,
+        inference: str = "independent",
     ) -> list[InferenceResult]:
         """Phase II for a batch of samples in one vectorized dispatch.
 
@@ -189,13 +205,16 @@ class AquaScale:
         kernel at once; per-sample fusion then runs on top.  Equivalent
         to (but much faster than) mapping :meth:`localize` over rows.
         """
-        return self.engine.infer_batch(features, weather=weather, human=human)
+        return self.engine.infer_batch(
+            features, weather=weather, human=human, inference=inference
+        )
 
     def localize_scenario(
         self,
         scenario: FailureScenario,
         elapsed_slots: int | None = None,
         sources: str = "all",
+        inference: str = "independent",
     ) -> InferenceResult:
         """Simulate a scenario's telemetry + observations, then localize.
 
@@ -214,7 +233,9 @@ class AquaScale:
         )
         features = dataset.features_for(self.sensors)[0]
         weather, human = self._observations_for(scenario, n, sources)
-        return self.localize(features, weather=weather, human=human)
+        return self.localize(
+            features, weather=weather, human=human, inference=inference
+        )
 
     def _observations_for(
         self, scenario: FailureScenario, elapsed_slots: int, sources: str
@@ -239,6 +260,7 @@ class AquaScale:
         dataset: LeakDataset,
         sources: str = "iot",
         elapsed_slots: int | None = None,
+        inference: str = "independent",
     ) -> float:
         """Mean per-scenario hamming score of Phase II on a test dataset.
 
@@ -249,6 +271,7 @@ class AquaScale:
                 ``"all"``.
             elapsed_slots: ``n`` used for human-report accumulation
                 (defaults to the dataset's own).
+            inference: aggregation mode, ``"independent"`` or ``"crf"``.
         """
         n = elapsed_slots if elapsed_slots is not None else dataset.elapsed_slots
         features = dataset.features_for(self.sensors)
@@ -258,6 +281,8 @@ class AquaScale:
             weather, human = self._observations_for(scenario, n, sources)
             weather_list.append(weather)
             human_list.append(human)
-        results = self.engine.infer_batch(features, weather_list, human_list)
+        results = self.engine.infer_batch(
+            features, weather_list, human_list, inference=inference
+        )
         predictions = np.vstack([r.label_vector() for r in results])
         return mean_hamming_score(dataset.Y, predictions)

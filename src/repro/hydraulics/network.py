@@ -76,6 +76,7 @@ class WaterNetwork:
         self._links: dict[str, Link] = {}
         self._patterns: dict[str, Pattern] = {}
         self._curves: dict[str, Curve] = {}
+        self._adjacency_cache = None
 
     # ------------------------------------------------------------------
     # Component registration
@@ -84,6 +85,7 @@ class WaterNetwork:
         if node.name in self._nodes:
             raise NetworkTopologyError(f"duplicate node name {node.name!r}")
         self._nodes[node.name] = node
+        self._adjacency_cache = None
 
     def _register_link(self, link: Link) -> None:
         if link.name in self._links:
@@ -96,6 +98,7 @@ class WaterNetwork:
         if link.start_node == link.end_node:
             raise NetworkTopologyError(f"link {link.name!r} is a self-loop")
         self._links[link.name] = link
+        self._adjacency_cache = None
 
     def add_junction(
         self,
@@ -403,6 +406,21 @@ class WaterNetwork:
                 length=length,
             )
         return graph
+
+    def junction_adjacency(self):
+        """The cached undirected junction-junction CSR graph.
+
+        Built by :func:`repro.networks.junction_adjacency` (conductance
+        weights, directed half-edge arrays) on first use and memoised;
+        registering any node or link invalidates the cache.  Leak
+        emitters do not touch topology, so scenario injection keeps the
+        cache warm.
+        """
+        if self._adjacency_cache is None:
+            from ..networks.adjacency import junction_adjacency
+
+            self._adjacency_cache = junction_adjacency(self)
+        return self._adjacency_cache
 
     def shortest_path_lengths(self, source: str) -> dict[str, float]:
         """Pipe-length shortest-path distance from ``source`` to all nodes.

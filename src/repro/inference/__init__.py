@@ -1,0 +1,48 @@
+"""Graph-structured Phase-II aggregation: factor graphs + max-product BP.
+
+The paper scores junctions independently and patches inconsistencies
+with a greedy clique flip (Eq. 10).  Its lineage — *Leak Event
+Identification in Water Systems Using High Order CRF* and *Factor Graph
+Optimization for Leak Localization in Water Distribution Networks*
+(PAPERS.md) — treats localization as MAP inference over the pipe
+topology instead.  This subsystem supplies that layer:
+
+* :mod:`factor_graph` — variables, Potts pipe couplings weighted by
+  hydraulic conductance, soft at-least-one clique factors;
+* :mod:`bp` — damped synchronous max-product as batched array kernels
+  over the CSR half-edge structure;
+* :mod:`crf` — the :class:`CRFEngine` facade Phase II calls, with a
+  batch entry point that composes with ``AquaScale.localize_batch`` and
+  the serving micro-batcher.
+
+Select it per request with ``inference="crf"`` on
+:meth:`~repro.core.AquaScale.localize` (or the serve ``localize`` op);
+``inference="independent"`` keeps the paper's behaviour.
+"""
+
+from .bp import BPResult, max_product
+from .crf import CRFConfig, CRFDiagnostics, CRFEngine
+from .factor_graph import (
+    MAX_CLIQUE_PENALTY,
+    CliqueFactor,
+    FactorGraph,
+    build_factor_graph,
+    cliques_to_factors,
+)
+
+#: Inference modes Phase II understands, in wire-format spelling.
+INFERENCE_MODES = ("independent", "crf")
+
+__all__ = [
+    "BPResult",
+    "CRFConfig",
+    "CRFDiagnostics",
+    "CRFEngine",
+    "CliqueFactor",
+    "FactorGraph",
+    "INFERENCE_MODES",
+    "MAX_CLIQUE_PENALTY",
+    "build_factor_graph",
+    "cliques_to_factors",
+    "max_product",
+]

@@ -1,0 +1,183 @@
+"""The CRF aggregation engine: posterior rows in, smoothed rows out.
+
+:class:`CRFEngine` binds the factor graph of one network to tuning knobs
+(:class:`CRFConfig`) and exposes the two entry points Phase II uses:
+
+* :meth:`CRFEngine.fuse` — one sample;
+* :meth:`CRFEngine.fuse_batch` — a batch, with rows that carry no human
+  evidence coalesced into a single vectorized :func:`max_product` call
+  (the common serving case) and rows with cliques solved per sample,
+  since clique factors are per-request evidence.
+
+The engine is deliberately ignorant of the profile model and of weather:
+it consumes *fused* posteriors (IoT through the classifiers, freeze
+evidence already Bayes-aggregated per Eqs. 5-6) so the unary factors are
+exactly what independent aggregation would have output — which is what
+makes the ``crf_vs_independent`` differential oracle a bit-identity
+claim in the degenerate configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..networks.adjacency import JunctionAdjacency
+from .bp import BPResult, max_product
+from .factor_graph import FactorGraph, build_factor_graph, cliques_to_factors
+
+
+@dataclass(frozen=True)
+class CRFConfig:
+    """Tuning knobs of the factor-graph aggregation.
+
+    Attributes:
+        pairwise_strength: Potts coupling scale along pipes; 0 turns the
+            CRF into independent aggregation (bit-identically).
+        clique_penalty_scale: multiplier on the confidence-derived
+            all-off penalty of human-report cliques.
+        min_clique_confidence: drop cliques below this Eq.-(3)
+            confidence (0 = keep every clique, the paper's behaviour).
+        damping: message damping of the synchronous schedule.
+        max_iters: sweep budget per sample.
+        tol: convergence threshold on the largest message change.
+    """
+
+    pairwise_strength: float = 0.5
+    clique_penalty_scale: float = 1.0
+    min_clique_confidence: float = 0.0
+    damping: float = 0.4
+    max_iters: int = 60
+    tol: float = 1e-6
+
+
+@dataclass(frozen=True)
+class CRFDiagnostics:
+    """Per-sample message-passing telemetry.
+
+    Attributes:
+        iterations: sweeps run for this sample's BP call.
+        converged: whether that call met ``tol`` within budget.
+        n_cliques: clique factors applied to this sample.
+    """
+
+    iterations: int
+    converged: bool
+    n_cliques: int
+
+
+class CRFEngine:
+    """Factor-graph aggregation bound to one network's adjacency.
+
+    Args:
+        adjacency: the junction CSR graph (see
+            :meth:`~repro.hydraulics.WaterNetwork.junction_adjacency`).
+        config: tuning knobs (defaults reproduce the committed goldens).
+    """
+
+    def __init__(
+        self,
+        adjacency: JunctionAdjacency,
+        config: CRFConfig | None = None,
+    ):
+        self.config = config or CRFConfig()
+        self.graph: FactorGraph = build_factor_graph(
+            adjacency, self.config.pairwise_strength
+        )
+        self._name_index = adjacency.index_of()
+
+    # ------------------------------------------------------------------
+    def _factors(self, human) -> list:
+        """Clique factors for one sample's human evidence (may be empty)."""
+        cliques = human.cliques if human is not None else ()
+        if not cliques:
+            return []
+        return cliques_to_factors(
+            cliques,
+            self._name_index,
+            penalty_scale=self.config.clique_penalty_scale,
+            min_confidence=self.config.min_clique_confidence,
+        )
+
+    def _run(self, probabilities: np.ndarray, factors: list) -> BPResult:
+        """One max-product call with this engine's knobs."""
+        return max_product(
+            self.graph,
+            probabilities,
+            cliques=factors,
+            damping=self.config.damping,
+            max_iters=self.config.max_iters,
+            tol=self.config.tol,
+        )
+
+    def fuse(
+        self, probabilities: np.ndarray, human=None
+    ) -> tuple[np.ndarray, CRFDiagnostics]:
+        """Aggregate one sample's posterior over the pipe graph.
+
+        Args:
+            probabilities: (n_junctions,) fused unary posterior.
+            human: optional :class:`~repro.observations.HumanObservation`.
+
+        Returns:
+            ``(updated posterior, diagnostics)``.
+        """
+        factors = self._factors(human)
+        result = self._run(np.asarray(probabilities, dtype=float), factors)
+        return result.probabilities[0], CRFDiagnostics(
+            iterations=result.iterations,
+            converged=result.converged,
+            n_cliques=len(factors),
+        )
+
+    def fuse_batch(
+        self,
+        probabilities: np.ndarray,
+        human: list | None = None,
+    ) -> tuple[np.ndarray, list[CRFDiagnostics]]:
+        """Aggregate a batch, coalescing rows without human evidence.
+
+        Args:
+            probabilities: (n_samples, n_junctions) fused posteriors.
+            human: optional per-row observations (None entries allowed).
+
+        Returns:
+            ``(updated posteriors, per-row diagnostics)``.
+        """
+        p = np.asarray(probabilities, dtype=float)
+        if p.ndim != 2:
+            raise ValueError("fuse_batch expects (n_samples, n_junctions)")
+        n_samples = p.shape[0]
+        humans = human if human is not None else [None] * n_samples
+        if len(humans) != n_samples:
+            raise ValueError(
+                f"human list has {len(humans)} entries for {n_samples} rows"
+            )
+        out = np.empty_like(p)
+        diagnostics: list[CRFDiagnostics | None] = [None] * n_samples
+        factor_lists = [self._factors(h) for h in humans]
+        plain = [i for i, factors in enumerate(factor_lists) if not factors]
+        if plain:
+            result = self._run(p[plain], [])
+            out[plain] = result.probabilities
+            for i in plain:
+                diagnostics[i] = CRFDiagnostics(
+                    iterations=result.iterations,
+                    converged=result.converged,
+                    n_cliques=0,
+                )
+        for i, factors in enumerate(factor_lists):
+            if not factors:
+                continue
+            result = self._run(p[i], factors)
+            out[i] = result.probabilities[0]
+            diagnostics[i] = CRFDiagnostics(
+                iterations=result.iterations,
+                converged=result.converged,
+                n_cliques=len(factors),
+            )
+        return out, diagnostics
+
+
+__all__ = ["CRFConfig", "CRFDiagnostics", "CRFEngine"]

@@ -1,0 +1,167 @@
+"""The factor graph Phase II optimises over (CRF formulation).
+
+The paper's energy (Eq. 9) is a sum of per-node entropies plus
+higher-order clique potentials (Eq. 10), minimised by a greedy flip
+heuristic.  The follow-on work of the same lineage — *Leak Event
+Identification in Water Systems Using High Order CRF* and *Factor Graph
+Optimization for Leak Localization in Water Distribution Networks*
+(PAPERS.md) — recasts localization as MAP inference in a graphical model
+over the pipe topology.  This module builds that model:
+
+* **Variables** — one binary label ``y_v`` (leak / no leak) per junction.
+* **Unary factors** — log-odds of the fused per-node posterior (profile
+  model output, Bayes-fused with freeze evidence per Eqs. 5-6).
+* **Pairwise factors** — an attractive Potts coupling along every pipe,
+  ``psi_uv(y_u, y_v) = strength * conductance_uv * [y_u = y_v]`` in log
+  space: hydraulically tight neighbours prefer agreeing labels.
+* **Clique factors** — one soft "at least one member leaks" factor per
+  human-report subzone; the all-off configuration pays
+  ``-log(1 - confidence)``, the soft counterpart of Eq. 10's infinity.
+
+:mod:`repro.inference.bp` runs max-product message passing over this
+structure; :mod:`repro.inference.crf` packages both behind the engine
+API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..networks.adjacency import JunctionAdjacency
+
+#: Penalty ceiling for clique factors (a confidence of 1 would otherwise
+#: reproduce Eq. 10's infinite potential and break convergence checks).
+MAX_CLIQUE_PENALTY = -float(np.log(1e-6))
+
+
+@dataclass(frozen=True)
+class CliqueFactor:
+    """One higher-order "at least one member leaks" factor.
+
+    Attributes:
+        members: vertex indices of the clique's junctions (deduplicated,
+            ascending).
+        penalty: log-space cost of the all-off configuration (>= 0).
+    """
+
+    members: np.ndarray
+    penalty: float
+
+
+@dataclass(frozen=True)
+class FactorGraph:
+    """Variables + pairwise structure of one network's CRF.
+
+    Clique factors are per-sample evidence (each request carries its own
+    human reports), so they are passed to the solver separately; this
+    object is the reusable, network-level part.
+
+    Attributes:
+        adjacency: the junction CSR graph (vertex order, half-edges).
+        pairwise_strength: Potts coupling scale; 0 decouples every
+            junction and message passing degenerates to independent
+            aggregation (bit-identically — see the
+            ``crf_vs_independent`` oracle).
+        edge_potentials: (2m,) per-half-edge log-space coupling,
+            ``pairwise_strength * weight``.
+    """
+
+    adjacency: JunctionAdjacency
+    pairwise_strength: float
+    edge_potentials: np.ndarray
+
+    @property
+    def n_variables(self) -> int:
+        """Number of binary label variables (junctions)."""
+        return self.adjacency.n_junctions
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Junction names, fixing the variable order."""
+        return self.adjacency.names
+
+
+def build_factor_graph(
+    adjacency: JunctionAdjacency, pairwise_strength: float
+) -> FactorGraph:
+    """Assemble the network-level factor graph.
+
+    Args:
+        adjacency: from :meth:`WaterNetwork.junction_adjacency`.
+        pairwise_strength: Potts coupling scale (>= 0).
+
+    Raises:
+        ValueError: for a negative coupling (max-product's closed-form
+            message update assumes an attractive potential).
+    """
+    if pairwise_strength < 0.0:
+        raise ValueError(
+            f"pairwise_strength must be >= 0, got {pairwise_strength}"
+        )
+    return FactorGraph(
+        adjacency=adjacency,
+        pairwise_strength=float(pairwise_strength),
+        edge_potentials=pairwise_strength * adjacency.weights,
+    )
+
+
+def cliques_to_factors(
+    cliques,
+    name_index: dict[str, int],
+    penalty_scale: float = 1.0,
+    min_confidence: float = 0.0,
+    max_penalty: float = MAX_CLIQUE_PENALTY,
+) -> list[CliqueFactor]:
+    """Convert human-report cliques into soft at-least-one factors.
+
+    The all-off penalty is ``penalty_scale * -log(1 - confidence)``
+    (capped): a single report with the paper's ``p_e = 0.3`` costs about
+    1.2 nats, two co-located reports about 2.4 — so a subzone must
+    overcome genuinely confident "no leak" evidence before being
+    ignored, where the greedy tuner (Eq. 10 with Gamma = 0) always
+    flipped.
+
+    Args:
+        cliques: :class:`~repro.observations.Clique` sequence.
+        name_index: junction name -> variable index (members outside the
+            map — reports from beyond the modelled region — are
+            dropped; a clique with no mapped member yields no factor).
+        penalty_scale: multiplier on the confidence-derived penalty.
+        min_confidence: cliques below this Eq.-(3) confidence are
+            ignored outright.
+        max_penalty: penalty ceiling (keeps potentials finite).
+
+    Returns:
+        Factors in clique order (deterministic).
+    """
+    factors: list[CliqueFactor] = []
+    for clique in cliques:
+        if clique.confidence < min_confidence:
+            continue
+        members = sorted(
+            {name_index[node] for node in clique.nodes if node in name_index}
+        )
+        if not members:
+            continue
+        confidence = min(max(float(clique.confidence), 0.0), 1.0 - 1e-12)
+        penalty = min(penalty_scale * -np.log1p(-confidence), max_penalty)
+        if penalty <= 0.0:
+            continue
+        factors.append(
+            CliqueFactor(
+                members=np.asarray(members, dtype=np.int64),
+                penalty=float(penalty),
+            )
+        )
+    return factors
+
+
+__all__ = [
+    "MAX_CLIQUE_PENALTY",
+    "CliqueFactor",
+    "FactorGraph",
+    "build_factor_graph",
+    "cliques_to_factors",
+]

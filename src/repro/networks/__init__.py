@@ -1,14 +1,17 @@
 """Evaluation networks: EPA-NET and WSSC-SUBNET surrogates + test nets."""
 
+from .adjacency import JunctionAdjacency, junction_adjacency
 from .catalog import available_networks, build_network, register_network
 from .epanet_canonical import epanet_canonical
 from .synthetic import two_loop_test_network
 from .wssc_subnet import wssc_subnet
 
 __all__ = [
+    "JunctionAdjacency",
     "available_networks",
     "build_network",
     "epanet_canonical",
+    "junction_adjacency",
     "register_network",
     "two_loop_test_network",
     "wssc_subnet",

@@ -1,0 +1,164 @@
+"""Cached junction-adjacency CSR structure for graph-structured inference.
+
+Every consumer that needed "which junctions touch which" used to walk
+``network.pipes()`` ad hoc.  :func:`junction_adjacency` builds the
+canonical undirected junction-junction graph once — CSR neighbour lists
+plus the directed-edge arrays message passing wants — weighted by
+hydraulic conductance (the inverse Hazen-Williams resistance of the
+connecting pipe, normalised to ``(0, 1]``).  Pumps and valves couple
+their endpoints at full strength; parallel links sum their conductances.
+
+:meth:`repro.hydraulics.WaterNetwork.junction_adjacency` memoises the
+result per network and invalidates the cache whenever a node or link is
+registered, so repeated factor-graph builds are free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hydraulics import WaterNetwork
+from ..hydraulics.components import Junction, Pipe
+from ..hydraulics.headloss import hazen_williams_resistance
+
+
+@dataclass(frozen=True)
+class JunctionAdjacency:
+    """The undirected junction graph of one network, in CSR form.
+
+    Each undirected edge appears as two directed half-edges; half-edge
+    ``e`` runs ``src[e] -> dst[e]`` and ``reverse[e]`` indexes its
+    opposite.  Neighbours of junction ``v`` occupy the CSR slice
+    ``indices[indptr[v]:indptr[v + 1]]`` in ascending index order, which
+    fixes a deterministic message schedule.
+
+    Attributes:
+        names: junction names, fixing the vertex order.
+        indptr: (n + 1,) CSR row pointers.
+        indices: (2m,) neighbour junction index per half-edge.
+        weights: (2m,) normalised conductance per half-edge, in (0, 1]
+            (both half-edges of an undirected edge share one weight).
+        src: (2m,) source junction index per half-edge.
+        reverse: (2m,) index of each half-edge's opposite.
+    """
+
+    names: tuple[str, ...]
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+    src: np.ndarray = field(repr=False)
+    reverse: np.ndarray = field(repr=False)
+
+    @property
+    def n_junctions(self) -> int:
+        """Number of vertices."""
+        return len(self.names)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return self.indices.shape[0] // 2
+
+    def degree(self, index: int) -> int:
+        """Neighbour count of one junction."""
+        return int(self.indptr[index + 1] - self.indptr[index])
+
+    def index_of(self) -> dict[str, int]:
+        """Name -> vertex index mapping (fresh dict each call)."""
+        return {name: i for i, name in enumerate(self.names)}
+
+
+#: Conductance assigned to pump/valve couplings before normalisation —
+#: effectively "as strong as the strongest pipe".
+_NON_PIPE_CONDUCTANCE = float("inf")
+
+
+def _link_conductance(link) -> float:
+    """Hydraulic conductance of one link (1 / HW resistance for pipes)."""
+    if isinstance(link, Pipe):
+        resistance = hazen_williams_resistance(
+            link.length, link.diameter, link.roughness
+        )
+        return 1.0 / max(resistance, 1e-12)
+    return _NON_PIPE_CONDUCTANCE
+
+
+def junction_adjacency(network: WaterNetwork) -> JunctionAdjacency:
+    """Build the undirected junction-junction CSR graph of a network.
+
+    Links whose endpoints are both junctions become edges; links touching
+    a reservoir or tank are dropped (fixed-head nodes carry no label).
+    Parallel links merge by summing conductance, then every weight is
+    divided by the maximum so weights land in ``(0, 1]`` — pump and valve
+    couplings saturate at 1.
+
+    Args:
+        network: the network to index (not mutated).
+
+    Returns:
+        The immutable :class:`JunctionAdjacency`.
+    """
+    names = tuple(network.junction_names())
+    index = {name: i for i, name in enumerate(names)}
+    n = len(names)
+    conductance: dict[tuple[int, int], float] = {}
+    saturated: set[tuple[int, int]] = set()
+    for link in network.links.values():
+        u = index.get(link.start_node)
+        v = index.get(link.end_node)
+        if u is None or v is None:
+            continue
+        key = (min(u, v), max(u, v))
+        g = _link_conductance(link)
+        if np.isinf(g):
+            saturated.add(key)
+            conductance.setdefault(key, 0.0)
+        else:
+            conductance[key] = conductance.get(key, 0.0) + g
+    finite = [g for k, g in conductance.items() if k not in saturated and g > 0.0]
+    scale = max(finite) if finite else 1.0
+    pair_weight = {
+        key: 1.0 if key in saturated else min(g / scale, 1.0)
+        for key, g in conductance.items()
+    }
+
+    neighbours: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    for (u, v), w in sorted(pair_weight.items()):
+        neighbours[u].append((v, w))
+        neighbours[v].append((u, w))
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    indices = np.empty(sum(len(row) for row in neighbours), dtype=np.int64)
+    weights = np.empty(indices.shape[0], dtype=float)
+    src = np.empty(indices.shape[0], dtype=np.int64)
+    position = 0
+    for u, row in enumerate(neighbours):
+        row.sort()
+        for v, w in row:
+            indices[position] = v
+            weights[position] = w
+            src[position] = u
+            position += 1
+        indptr[u + 1] = position
+
+    # Opposite half-edge: the (dst, src) entry in dst's CSR slice.  With
+    # neighbour lists sorted and parallel links merged, the pair is unique.
+    half_edge = {
+        (int(src[e]), int(indices[e])): e for e in range(indices.shape[0])
+    }
+    reverse = np.array(
+        [half_edge[(int(indices[e]), int(src[e]))] for e in range(indices.shape[0])],
+        dtype=np.int64,
+    )
+    return JunctionAdjacency(
+        names=names,
+        indptr=indptr,
+        indices=indices,
+        weights=weights,
+        src=src,
+        reverse=reverse,
+    )
+
+
+__all__ = ["JunctionAdjacency", "junction_adjacency"]

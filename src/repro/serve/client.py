@@ -51,6 +51,9 @@ class LocalizeReply:
         model_etag: content-hash etag of that model.
         batch_size: live size of the micro-batch this rode in.
         elapsed_ms: server-side latency (admission to response).
+        inference: aggregation mode that produced the posterior.
+        bp_iterations: message-passing sweeps (``crf`` mode; else 0).
+        bp_converged: whether BP met its tolerance (True outside crf).
     """
 
     probabilities: np.ndarray
@@ -61,6 +64,9 @@ class LocalizeReply:
     model_etag: str = ""
     batch_size: int = 1
     elapsed_ms: float = 0.0
+    inference: str = "independent"
+    bp_iterations: int = 0
+    bp_converged: bool = True
 
 
 def _decode_reply(result: dict) -> LocalizeReply:
@@ -74,6 +80,9 @@ def _decode_reply(result: dict) -> LocalizeReply:
         model_etag=result["model"]["etag"],
         batch_size=int(result["batch_size"]),
         elapsed_ms=float(result["elapsed_ms"]),
+        inference=result.get("inference", "independent"),
+        bp_iterations=int(result.get("bp_iterations", 0)),
+        bp_converged=bool(result.get("bp_converged", True)),
     )
 
 
@@ -168,6 +177,7 @@ class ServeClient:
         human: HumanObservation | None = None,
         deadline_ms: float | None = None,
         timeout: float | None = None,
+        inference: str | None = None,
     ) -> LocalizeReply:
         """Localize one snapshot through the service (blocking).
 
@@ -177,12 +187,18 @@ class ServeClient:
             human: optional human-report evidence for fusion.
             deadline_ms: per-request deadline (server default if None).
             timeout: client-side wait bound (defaults to the client's).
+            inference: aggregation mode, ``"independent"`` or ``"crf"``
+                (server default — independent — when None).
 
         Raises:
             ServeError: for shed, expired, draining, or malformed requests.
         """
         future = self.localize_async(
-            features, weather=weather, human=human, deadline_ms=deadline_ms
+            features,
+            weather=weather,
+            human=human,
+            deadline_ms=deadline_ms,
+            inference=inference,
         )
         return self._resolve(future, timeout)
 
@@ -192,6 +208,7 @@ class ServeClient:
         weather: WeatherObservation | None = None,
         human: HumanObservation | None = None,
         deadline_ms: float | None = None,
+        inference: str | None = None,
     ) -> Future:
         """Fire one localize request without waiting.
 
@@ -209,6 +226,8 @@ class ServeClient:
         }
         if deadline_ms is not None:
             message["deadline_ms"] = float(deadline_ms)
+        if inference is not None:
+            message["inference"] = inference
         return self._submit(message)
 
     def resolve(self, future: Future, timeout: float | None = None) -> LocalizeReply:
@@ -237,6 +256,7 @@ class ServeClient:
         human=None,
         deadline_ms: float | None = None,
         timeout: float | None = None,
+        inference: str | None = None,
     ) -> list[LocalizeReply]:
         """Pipeline a block of requests and collect every reply.
 
@@ -249,6 +269,7 @@ class ServeClient:
             human: optional per-row list of human observations.
             deadline_ms: per-request deadline applied to every row.
             timeout: client-side wait bound per reply.
+            inference: aggregation mode applied to every row.
         """
         rows = list(feature_rows)
         weather = weather if weather is not None else [None] * len(rows)
@@ -256,7 +277,9 @@ class ServeClient:
         if len(weather) != len(rows) or len(human) != len(rows):
             raise ValueError("weather/human lists must align with feature_rows")
         futures = [
-            self.localize_async(row, weather=w, human=h, deadline_ms=deadline_ms)
+            self.localize_async(
+                row, weather=w, human=h, deadline_ms=deadline_ms, inference=inference
+            )
             for row, w, h in zip(rows, weather, human)
         ]
         return [self._resolve(future, timeout) for future in futures]

@@ -8,7 +8,8 @@ streaming runtime) survive the wire via the stdlib's non-strict JSON.
 Requests::
 
     {"id": 7, "op": "localize", "features": [...], "deadline_ms": 2000,
-     "weather": {...} | null, "human": {...} | null}
+     "weather": {...} | null, "human": {...} | null,
+     "inference": "independent" | "crf"}
     {"id": 8, "op": "health"}
     {"id": 9, "op": "models"}
     {"id": 10, "op": "activate", "name": "canary"}
@@ -31,6 +32,7 @@ from typing import Any
 
 import numpy as np
 
+from ..inference import INFERENCE_MODES
 from ..observations import Clique, HumanObservation, WeatherObservation
 
 #: Wire-format version, echoed by ``health`` and checked by clients.
@@ -160,6 +162,22 @@ def decode_human(data: dict | None) -> HumanObservation | None:
     )
 
 
+def decode_inference(data: Any) -> str:
+    """Validate a request's aggregation mode (absent/None = independent).
+
+    Raises:
+        ValueError: for a value outside
+            :data:`repro.inference.INFERENCE_MODES`.
+    """
+    if data is None:
+        return "independent"
+    if data not in INFERENCE_MODES:
+        raise ValueError(
+            f"inference must be one of {list(INFERENCE_MODES)}, got {data!r}"
+        )
+    return data
+
+
 # ----------------------------------------------------------------------
 def decode_features(data: Any, n_features: int) -> np.ndarray:
     """Validate and convert a request's feature vector.
@@ -204,6 +222,9 @@ def encode_result(
             [name, float(p)] for name, p in result.top_suspects(top_k)
         ],
         "energy": float(result.energy),
+        "inference": result.inference,
+        "bp_iterations": int(result.bp_iterations),
+        "bp_converged": bool(result.bp_converged),
         "model": {"name": model_name, "etag": model_etag},
         "batch_size": int(batch_size),
         "elapsed_ms": round(float(elapsed_ms), 3),

@@ -67,12 +67,13 @@ class ServeConfig:
 class _Pending:
     """One admitted localize request travelling through the batcher."""
 
-    __slots__ = ("features", "weather", "human", "deadline", "arrival")
+    __slots__ = ("features", "weather", "human", "inference", "deadline", "arrival")
 
-    def __init__(self, features, weather, human, deadline, arrival):
+    def __init__(self, features, weather, human, inference, deadline, arrival):
         self.features = features
         self.weather = weather
         self.human = human
+        self.inference = inference
         self.deadline = deadline
         self.arrival = arrival
 
@@ -351,10 +352,11 @@ class LocalizationServer:
             )
             weather = protocol.decode_weather(message.get("weather"))
             human = protocol.decode_human(message.get("human"))
+            inference = protocol.decode_inference(message.get("inference"))
             deadline = self.admission.deadline_for(
                 message.get("deadline_ms"), now=arrival
             )
-            pending = _Pending(features, weather, human, deadline, arrival)
+            pending = _Pending(features, weather, human, inference, deadline, arrival)
             try:
                 outcome = await self.batcher.submit(pending)
             except BatcherClosed:
@@ -392,11 +394,13 @@ class LocalizationServer:
 
     # ------------------------------------------------------------------
     def _run_batch(self, items: list[_Pending]) -> list[tuple]:
-        """One coalesced kernel call (worker thread).
+        """One coalesced kernel call per aggregation mode (worker thread).
 
         Expired requests are answered without inference; the rest are
-        stacked into a single ``localize_batch`` dispatch against the
-        model entry captured *here* — a concurrent hot swap only affects
+        grouped by their requested ``inference`` mode (a micro-batch may
+        mix ``independent`` and ``crf`` requests) and each group is
+        stacked into one ``localize_batch`` dispatch against the model
+        entry captured *here* — a concurrent hot swap only affects
         batches formed after this point.
         """
         entry: ModelEntry = self.registry.active
@@ -405,15 +409,20 @@ class LocalizationServer:
         outcomes: list[tuple] = [(_EXPIRED, None, 0)] * len(items)
         if live_index:
             start = time.perf_counter()
-            features = np.vstack([items[i].features for i in live_index])
-            results = entry.model.localize_batch(
-                features,
-                weather=[items[i].weather for i in live_index],
-                human=[items[i].human for i in live_index],
-            )
+            groups: dict[str, list[int]] = {}
+            for i in live_index:
+                groups.setdefault(items[i].inference, []).append(i)
+            for mode, index in groups.items():
+                features = np.vstack([items[i].features for i in index])
+                results = entry.model.localize_batch(
+                    features,
+                    weather=[items[i].weather for i in index],
+                    human=[items[i].human for i in index],
+                    inference=mode,
+                )
+                for i, result in zip(index, results):
+                    outcomes[i] = (result, entry, len(index))
             self._inference.observe(time.perf_counter() - start)
-            for i, result in zip(live_index, results):
-                outcomes[i] = (result, entry, len(live_index))
         self.log.event(
             "serve.batch",
             size=len(items),

@@ -98,10 +98,14 @@ class StreamRuntime:
             assembly (bounds memory for long-running streams).
         metrics: shared registry; a fresh one is created when omitted.
         logger: structured logger; the default logs to stderr.
+        inference: Phase-II aggregation mode for every localization this
+            runtime dispatches — ``"independent"`` (paper) or ``"crf"``
+            (factor-graph message passing).
 
     Raises:
         RuntimeError: if the core is not trained (via ``core.engine``).
-        ValueError: for a non-positive worker count.
+        ValueError: for a non-positive worker count or unknown
+            ``inference`` mode.
     """
 
     def __init__(
@@ -112,9 +116,16 @@ class StreamRuntime:
         history_slots: int = 16,
         metrics: MetricsRegistry | None = None,
         logger: StructuredLogger | None = None,
+        inference: str = "independent",
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        from ..inference import INFERENCE_MODES
+
+        if inference not in INFERENCE_MODES:
+            raise ValueError(
+                f"inference must be one of {INFERENCE_MODES}, got {inference!r}"
+            )
         core.engine  # fail fast when untrained
         self.core = core
         self.workers = workers
@@ -122,13 +133,16 @@ class StreamRuntime:
         self.history_slots = history_slots
         self.metrics = metrics or MetricsRegistry()
         self.log = logger or get_stream_logger()
+        self.inference = inference
 
     # ------------------------------------------------------------------
     def _localize(
         self, delta: np.ndarray, weather=None, human=None
     ) -> tuple[InferenceResult, float]:
         start = time.perf_counter()
-        result = self.core.localize(delta, weather=weather, human=human)
+        result = self.core.localize(
+            delta, weather=weather, human=human, inference=self.inference
+        )
         return result, time.perf_counter() - start
 
     def _localize_batch(
@@ -141,7 +155,9 @@ class StreamRuntime:
         just pays the profile-model dispatch overhead once.
         """
         start = time.perf_counter()
-        results = self.core.localize_batch(deltas, weather=weather, human=human)
+        results = self.core.localize_batch(
+            deltas, weather=weather, human=human, inference=self.inference
+        )
         return results, time.perf_counter() - start
 
     def _delta_feature(
@@ -196,9 +212,10 @@ class StreamRuntime:
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate feed ids: {sorted(ids)}")
 
-        # Touch every lazy code path (detrend column split, scaler) once
-        # before the pool starts, so worker threads only ever read.
-        self.core.localize(np.zeros(len(self.core.sensors)))
+        # Touch every lazy code path (detrend column split, scaler, the
+        # CRF engine's adjacency build) once before the pool starts, so
+        # worker threads only ever read.
+        self.core.localize(np.zeros(len(self.core.sensors)), inference=self.inference)
 
         detectors = {
             feed.feed_id: TriggerDetector(feed.noise_scales, **self.detector_params)

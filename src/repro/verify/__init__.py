@@ -28,6 +28,7 @@ from .differential import (
     DiffReport,
     diff_array_vs_dict,
     diff_binned_vs_exact,
+    diff_crf_vs_independent,
     diff_flattened_vs_recursive,
     diff_njobs_training,
     diff_process_vs_serial,
@@ -53,9 +54,11 @@ from .fuzz import (
 from .golden import (
     GoldenReport,
     check_accuracy_golden,
+    check_multi_accuracy_golden,
     check_steady_golden,
     golden_dir,
     update_accuracy_golden,
+    update_multi_accuracy_golden,
     update_steady_golden,
 )
 from .oracles import (
@@ -97,9 +100,11 @@ __all__ = [
     "audit_results",
     "audit_solution",
     "check_accuracy_golden",
+    "check_multi_accuracy_golden",
     "check_steady_golden",
     "diff_array_vs_dict",
     "diff_binned_vs_exact",
+    "diff_crf_vs_independent",
     "diff_flattened_vs_recursive",
     "diff_njobs_training",
     "diff_process_vs_serial",
@@ -124,5 +129,6 @@ __all__ = [
     "stock_properties",
     "tank_volume_report",
     "update_accuracy_golden",
+    "update_multi_accuracy_golden",
     "update_steady_golden",
 ]

@@ -15,6 +15,12 @@ The shared-binning training engine added three more:
 * hist (pre-binned) training      ≈  exact splits (accuracy within
   tolerance — binning is a controlled approximation, not an identity).
 
+The factor-graph aggregation added one more:
+
+* degenerate CRF (pairwise weight 0, no cliques)  ≡  independent
+  aggregation (bit-identical — zero messages pass the unary posterior
+  through untouched).
+
 Each oracle here runs both sides on a deterministic workload and reports
 the worst disagreement.  ``repro verify`` runs them per network; the
 acceptance bar is bit-identical where the claim is bit-identity and
@@ -343,6 +349,54 @@ def diff_binned_vs_exact(
     )
 
 
+def diff_crf_vs_independent(
+    network: WaterNetwork,
+    seed: int = 0,
+    n_samples: int = 16,
+) -> DiffReport:
+    """Degenerate-config CRF aggregation vs independent aggregation.
+
+    With ``pairwise_strength=0`` and no human-report cliques every
+    max-product message is exactly zero, and the BP kernel passes rows
+    with zero message delta through untouched — so the factor-graph path
+    must reproduce independent aggregation *bit-identically*, including
+    through the Bayes weather-fusion stage.  Any drift here means the
+    message kernels leak numerical noise into the no-evidence case.
+    """
+    from ..core import AquaScale, ObservationFactory
+    from ..datasets import generate_dataset
+    from ..inference import CRFConfig
+    from ..ml import RandomForestClassifier
+
+    dataset = generate_dataset(network, n_samples, kind="multi", seed=seed)
+    model = AquaScale(
+        network,
+        iot_percent=100.0,
+        classifier=RandomForestClassifier(
+            n_estimators=4, max_depth=4, random_state=seed
+        ),
+        seed=seed,
+        crf_config=CRFConfig(pairwise_strength=0.0),
+    )
+    model.train(dataset=dataset)
+    rows = dataset.features_for(model.sensors)
+    weather = [
+        ObservationFactory(network, seed=seed).weather_for(scenario)
+        for scenario in dataset.scenarios
+    ]
+    independent = model.localize_batch(rows, weather=weather)
+    crf = model.localize_batch(rows, weather=weather, inference="crf")
+    return _compare(
+        "crf_vs_independent",
+        [
+            (reference.probabilities, candidate.probabilities)
+            for reference, candidate in zip(independent, crf)
+        ],
+        tolerance=0.0,
+        detail=f"{network.name}, {n_samples} samples, pairwise=0, no cliques",
+    )
+
+
 def diff_serve_vs_direct(
     network: WaterNetwork,
     seed: int = 0,
@@ -355,9 +409,12 @@ def diff_serve_vs_direct(
     and the flattened tree kernel scores each row independently of its
     batch, so the claim is bit-identity: a posterior served through TCP +
     admission + coalescing must equal the in-process single-row call.
-    The workload pipelines every request before reading any reply, so the
-    micro-batcher genuinely coalesces (the detail line reports the mean
-    served batch size).
+    Both aggregation modes are checked — BP freezes each row's messages
+    at its own convergence, so ``inference="crf"`` results are also
+    independent of micro-batch composition.  The workload pipelines
+    every request before reading any reply, so the micro-batcher
+    genuinely coalesces (the detail line reports the mean served batch
+    size).
     """
     from ..core import AquaScale
     from ..datasets import generate_dataset
@@ -376,26 +433,28 @@ def diff_serve_vs_direct(
     model.train(dataset=dataset)
     rows = dataset.features_for(model.sensors)[:n_requests]
     direct = [model.localize(row) for row in rows]
+    direct_crf = [model.localize(row, inference="crf") for row in rows]
     config = ServeConfig(max_batch_size=4, max_wait_ms=25.0, inference_workers=1)
     with start_in_background(model, config=config) as handle:
         with ServeClient(*handle.address) as client:
             served = client.localize_many(rows)
+            served_crf = client.localize_many(rows, inference="crf")
     mean_batch = float(np.mean([reply.batch_size for reply in served]))
     report = _compare(
         "serve_vs_direct",
         [
             (reference.probabilities, reply.probabilities)
-            for reference, reply in zip(direct, served)
+            for reference, reply in zip(direct + direct_crf, served + served_crf)
         ],
         tolerance=0.0,
         detail=(
-            f"{network.name}, {len(rows)} requests, "
+            f"{network.name}, {len(rows)} requests x 2 modes, "
             f"mean batch {mean_batch:.1f}"
         ),
     )
     sets_agree = all(
         sorted(reference.leak_nodes) == list(reply.leak_nodes)
-        for reference, reply in zip(direct, served)
+        for reference, reply in zip(direct + direct_crf, served + served_crf)
     )
     if not sets_agree:
         from dataclasses import replace
@@ -412,7 +471,7 @@ def run_differential_oracles(
     quick: bool = False,
     workers: int = 4,
 ) -> list[DiffReport]:
-    """All eight differential oracles on one network.
+    """All nine differential oracles on one network.
 
     Quick mode trims the workload (fewer scenarios, 2 workers) so the
     catalog sweep stays CI-sized; the claims checked are identical.
@@ -428,6 +487,7 @@ def run_differential_oracles(
         diff_flattened_vs_recursive(network, seed=seed, n_samples=n_samples),
         diff_process_vs_serial(network, seed=seed, n_samples=n_samples, n_jobs=pool),
         diff_binned_vs_exact(network, seed=seed, n_samples=n_samples),
+        diff_crf_vs_independent(network, seed=seed, n_samples=n_samples),
         diff_serve_vs_direct(
             network, seed=seed, n_samples=n_samples, n_requests=8 if quick else 12
         ),

@@ -9,7 +9,13 @@ Two families of golden files live in ``src/repro/verify/golden/``:
   hydraulic change);
 * ``accuracy-<network>.json`` — the Phase-I/Phase-II hamming score of a
   small fixed training/evaluation run, checked to an absolute band that
-  flags pipeline regressions without pinning ML floating point exactly.
+  flags pipeline regressions without pinning ML floating point exactly;
+* ``accuracy-<network>-multi.json`` — a harder multi-leak run with
+  coarse human subzones, recording *both* aggregation modes; the check
+  additionally requires ``inference="crf"`` to strictly beat the
+  paper's independent aggregation (the factor graph earns its place by
+  suppressing false-report cliques and flipping the evidence-weighted
+  member instead of the most uncertain one).
 
 ``repro verify`` checks them; ``repro verify --update-golden``
 regenerates them after an *intentional* hydraulic or pipeline change
@@ -43,6 +49,24 @@ ACCURACY_CONFIG = {
     "kind": "multi",
     "max_events": 2,
     "sources": "iot",
+}
+
+#: Fixed configuration of the multi-leak (two-mode) golden run.  The
+#: coarse ``gamma`` makes human subzones span several junctions and lets
+#: false reports form cliques — the regime where factor-graph
+#: aggregation beats the paper's always-flip greedy tuning.
+MULTI_ACCURACY_CONFIG = {
+    "classifier": "logistic",
+    "iot_percent": 100.0,
+    "seed": 0,
+    "n_train": 120,
+    "n_test": 30,
+    "kind": "multi",
+    "max_events": 3,
+    "elapsed_slots": 3,
+    "gamma": 500.0,
+    "sources": "all",
+    "crf": {"pairwise_strength": 0.1, "clique_penalty_scale": 2.0},
 }
 
 
@@ -246,15 +270,124 @@ def check_accuracy_golden(
     )
 
 
+# ----------------------------------------------------------------------
+# multi-leak two-mode accuracy goldens
+# ----------------------------------------------------------------------
+def _multi_accuracy_path(network_name: str) -> Path:
+    return golden_dir() / f"accuracy-{network_name}-multi.json"
+
+
+def _multi_accuracy_scores(network_name: str) -> dict[str, float]:
+    """Run the fixed multi-leak pipeline in both aggregation modes."""
+    from ..core import AquaScale
+    from ..datasets import generate_dataset
+    from ..inference import CRFConfig
+
+    config = MULTI_ACCURACY_CONFIG
+    network = build_network(network_name)
+    model = AquaScale(
+        network,
+        iot_percent=config["iot_percent"],
+        classifier=config["classifier"],
+        seed=config["seed"],
+        gamma=config["gamma"],
+        elapsed_slots=config["elapsed_slots"],
+        crf_config=CRFConfig(**config["crf"]),
+    )
+    model.train(
+        n_train=config["n_train"],
+        kind=config["kind"],
+        max_events=config["max_events"],
+    )
+    test = generate_dataset(
+        network,
+        config["n_test"],
+        kind=config["kind"],
+        seed=config["seed"] + 1,
+        elapsed_slots=config["elapsed_slots"],
+        max_events=config["max_events"],
+    )
+    return {
+        "independent": float(model.evaluate(test, sources=config["sources"])),
+        "crf": float(
+            model.evaluate(test, sources=config["sources"], inference="crf")
+        ),
+    }
+
+
+def update_multi_accuracy_golden(network_name: str) -> Path:
+    """Recompute and write the multi-leak golden for one network."""
+    path = _multi_accuracy_path(network_name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    snapshot = {
+        "network": network_name,
+        "kind": "multi",
+        "config": MULTI_ACCURACY_CONFIG,
+        "scores": _multi_accuracy_scores(network_name),
+    }
+    path.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def check_multi_accuracy_golden(
+    network_name: str, tolerance: float = ACCURACY_TOL
+) -> GoldenReport:
+    """Re-run the multi-leak pipeline and compare both modes.
+
+    Passes only when each mode's score sits within ``tolerance`` of its
+    snapshot *and* the freshly computed CRF score strictly beats the
+    independent one — the structural claim the factor graph makes.
+    """
+    name = f"accuracy-multi:{network_name}"
+    path = _multi_accuracy_path(network_name)
+    if not path.exists():
+        return GoldenReport(
+            name=name,
+            max_abs_diff=float("inf"),
+            tolerance=tolerance,
+            passed=False,
+            detail=f"no golden at {path}; run `repro verify --update-golden`",
+        )
+    golden = json.loads(path.read_text())
+    if golden.get("config") != MULTI_ACCURACY_CONFIG:
+        return GoldenReport(
+            name=name,
+            max_abs_diff=float("inf"),
+            tolerance=tolerance,
+            passed=False,
+            detail="pipeline config changed; regenerate the multi-leak golden",
+        )
+    scores = _multi_accuracy_scores(network_name)
+    diff = max(
+        abs(scores[mode] - golden["scores"][mode]) for mode in ("independent", "crf")
+    )
+    crf_wins = scores["crf"] > scores["independent"]
+    return GoldenReport(
+        name=name,
+        max_abs_diff=float(diff),
+        tolerance=tolerance,
+        passed=bool(diff <= tolerance and crf_wins),
+        detail=(
+            f"independent {scores['independent']:.4f} vs crf {scores['crf']:.4f}"
+            f" (golden {golden['scores']['independent']:.4f}/"
+            f"{golden['scores']['crf']:.4f}; crf must win"
+            f"{'' if crf_wins else ' — IT DID NOT'})"
+        ),
+    )
+
+
 __all__ = [
     "ACCURACY_CONFIG",
     "ACCURACY_TOL",
     "FLOW_TOL",
     "GoldenReport",
     "HEAD_TOL",
+    "MULTI_ACCURACY_CONFIG",
     "check_accuracy_golden",
+    "check_multi_accuracy_golden",
     "check_steady_golden",
     "golden_dir",
     "update_accuracy_golden",
+    "update_multi_accuracy_golden",
     "update_steady_golden",
 ]

@@ -10,9 +10,11 @@
    bookkeeping across timesteps;
 3. runs the differential oracles (array vs dict, warm vs cold,
    workers vs serial, n_jobs vs serial, flattened vs recursive trees,
-   micro-batched serving vs direct inference);
+   degenerate CRF vs independent aggregation, micro-batched serving vs
+   direct inference);
 4. checks the committed golden snapshots (steady heads/flows always,
-   the Phase-I/Phase-II accuracy golden in full mode);
+   the Phase-I/Phase-II accuracy goldens — single-mode and multi-leak
+   two-mode — in full mode);
 
 then fuzzes the stock properties on random small networks.  Quick mode
 trims scenario counts and skips the accuracy golden so the sweep stays
@@ -32,8 +34,10 @@ from .fuzz import FuzzReport, run_property
 from .golden import (
     GoldenReport,
     check_accuracy_golden,
+    check_multi_accuracy_golden,
     check_steady_golden,
     update_accuracy_golden,
+    update_multi_accuracy_golden,
     update_steady_golden,
 )
 from .oracles import InvariantAuditor, OracleReport, audit_results
@@ -214,6 +218,7 @@ def run_verify(
             update_steady_golden(name)
             if not quick and name in ACCURACY_NETWORKS:
                 update_accuracy_golden(name)
+                update_multi_accuracy_golden(name)
         n_solves, oracle_reports = _audit_network(name, seed, n_scenarios)
         diff_reports = run_differential_oracles(
             build_network(name), seed=seed, quick=quick, workers=workers
@@ -221,6 +226,7 @@ def run_verify(
         golden_reports = [check_steady_golden(name)]
         if not quick and name in ACCURACY_NETWORKS:
             golden_reports.append(check_accuracy_golden(name))
+            golden_reports.append(check_multi_accuracy_golden(name))
         network_reports.append(
             NetworkVerifyReport(
                 network=name,

@@ -1,0 +1,131 @@
+"""Aggregation-mode wiring tests: independent vs CRF through the facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import AquaScale
+from repro.datasets import generate_dataset
+from repro.inference import CRFConfig
+from repro.ml import RandomForestClassifier
+from repro.networks import two_loop_test_network
+
+
+@pytest.fixture(scope="module")
+def tree_model():
+    """(model, dataset) on two-loop with batch-invariant tree kernels."""
+    network = two_loop_test_network()
+    dataset = generate_dataset(network, 60, kind="multi", seed=4)
+    model = AquaScale(
+        network,
+        iot_percent=100.0,
+        classifier=RandomForestClassifier(
+            n_estimators=4, max_depth=4, random_state=0
+        ),
+        seed=0,
+        crf_config=CRFConfig(pairwise_strength=0.2),
+    )
+    model.train(dataset=dataset)
+    return model, dataset
+
+
+class TestModeSelection:
+    def test_default_mode_is_independent(self, tree_model):
+        model, dataset = tree_model
+        row = dataset.features_for(model.sensors)[0]
+        result = model.localize(row)
+        assert result.inference == "independent"
+        assert result.bp_iterations == 0
+        assert result.bp_converged
+
+    def test_crf_mode_reports_diagnostics(self, tree_model):
+        model, dataset = tree_model
+        row = dataset.features_for(model.sensors)[0]
+        result = model.localize(row, inference="crf")
+        assert result.inference == "crf"
+        assert result.bp_iterations >= 1
+        assert result.bp_converged
+        assert "crf" in result.stages
+
+    def test_invalid_mode_rejected(self, tree_model):
+        model, dataset = tree_model
+        row = dataset.features_for(model.sensors)[0]
+        with pytest.raises(ValueError, match="inference"):
+            model.localize(row, inference="bogus")
+
+    def test_evaluate_accepts_mode(self, tree_model):
+        model, dataset = tree_model
+        independent = model.evaluate(dataset, sources="iot")
+        crf = model.evaluate(dataset, sources="iot", inference="crf")
+        assert 0.0 <= independent <= 1.0
+        assert 0.0 <= crf <= 1.0
+
+
+class TestDegenerateIdentity:
+    def test_zero_coupling_matches_independent_bitwise(self):
+        network = two_loop_test_network()
+        dataset = generate_dataset(network, 40, kind="multi", seed=9)
+        model = AquaScale(
+            network,
+            iot_percent=100.0,
+            classifier=RandomForestClassifier(
+                n_estimators=4, max_depth=4, random_state=0
+            ),
+            seed=0,
+            crf_config=CRFConfig(pairwise_strength=0.0),
+        )
+        model.train(dataset=dataset)
+        rows = dataset.features_for(model.sensors)[:8]
+        independent = model.localize_batch(rows)
+        crf = model.localize_batch(rows, inference="crf")
+        for a, b in zip(independent, crf):
+            assert np.array_equal(a.probabilities, b.probabilities)
+            assert a.leak_nodes == b.leak_nodes
+
+
+class TestBatchParity:
+    def test_crf_batch_matches_single(self, tree_model):
+        """Per-row BP freezing + tree kernels: batch-size invariant."""
+        model, dataset = tree_model
+        rows = dataset.features_for(model.sensors)[:6]
+        batch = model.localize_batch(rows, inference="crf")
+        for row, from_batch in zip(rows, batch):
+            single = model.localize(row, inference="crf")
+            assert np.array_equal(single.probabilities, from_batch.probabilities)
+            assert single.bp_iterations == from_batch.bp_iterations
+
+    def test_scenario_path_carries_mode(self, tree_model):
+        model, _ = tree_model
+        from repro.failures import ScenarioGenerator
+
+        scenario = ScenarioGenerator(model.network, seed=2).multi_failure()
+        result = model.localize_scenario(scenario, sources="all", inference="crf")
+        assert result.inference == "crf"
+        assert result.bp_iterations >= 1
+
+
+class TestConfigureCrf:
+    def test_configure_crf_rebuilds_engine(self, tree_model):
+        model, dataset = tree_model
+        engine = model.engine
+        original = engine.crf_config
+        first = engine.crf
+        try:
+            engine.configure_crf(CRFConfig(pairwise_strength=0.0))
+            assert engine.crf is not first
+            row = dataset.features_for(model.sensors)[0]
+            independent = model.localize(row)
+            crf = model.localize(row, inference="crf")
+            assert np.array_equal(independent.probabilities, crf.probabilities)
+        finally:
+            engine.configure_crf(original)
+
+
+class TestStreamMode:
+    def test_runtime_validates_and_threads_mode(self, tree_model):
+        from repro.stream import StreamRuntime
+
+        model, _ = tree_model
+        with pytest.raises(ValueError, match="inference"):
+            StreamRuntime(model, inference="bogus")
+        runtime = StreamRuntime(model, inference="crf")
+        assert runtime.inference == "crf"

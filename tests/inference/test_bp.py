@@ -1,0 +1,127 @@
+"""Max-product kernel tests: identities, convergence, batch parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference import (
+    CliqueFactor,
+    build_factor_graph,
+    max_product,
+)
+from repro.networks import junction_adjacency, two_loop_test_network
+
+
+@pytest.fixture(scope="module")
+def adjacency():
+    return junction_adjacency(two_loop_test_network())
+
+
+@pytest.fixture(scope="module")
+def rows(adjacency):
+    rng = np.random.default_rng(11)
+    return rng.uniform(0.02, 0.98, size=(6, adjacency.n_junctions))
+
+
+class TestDegenerateIdentity:
+    def test_zero_coupling_is_bit_identical(self, adjacency, rows):
+        graph = build_factor_graph(adjacency, 0.0)
+        result = max_product(graph, rows)
+        assert result.converged
+        assert np.array_equal(result.probabilities, rows)
+        assert np.all(result.message_delta == 0.0)
+
+    def test_uninformative_row_passes_through(self, adjacency):
+        """Logit-0 inputs generate exactly-zero messages."""
+        graph = build_factor_graph(adjacency, 0.8)
+        p = np.full(adjacency.n_junctions, 0.5)
+        result = max_product(graph, p)
+        assert np.array_equal(result.probabilities[0], p)
+
+
+class TestPairwise:
+    def test_attractive_coupling_boosts_neighbours(self, adjacency):
+        graph = build_factor_graph(adjacency, 0.8)
+        hot = 0
+        p = np.full(adjacency.n_junctions, 0.2)
+        p[hot] = 0.95
+        result = max_product(graph, p)
+        assert result.converged
+        out = result.probabilities[0]
+        neighbours = adjacency.indices[
+            adjacency.indptr[hot]:adjacency.indptr[hot + 1]
+        ]
+        others = np.setdiff1d(
+            np.arange(adjacency.n_junctions), np.append(neighbours, hot)
+        )
+        assert np.all(out[neighbours] > 0.2)
+        assert out[neighbours].min() > out[others].max()
+        assert np.all((out > 0.0) & (out < 1.0))
+
+    def test_deterministic(self, adjacency, rows):
+        graph = build_factor_graph(adjacency, 0.5)
+        a = max_product(graph, rows)
+        b = max_product(graph, rows)
+        assert np.array_equal(a.probabilities, b.probabilities)
+        assert a.iterations == b.iterations
+
+    def test_iteration_budget_respected(self, adjacency, rows):
+        graph = build_factor_graph(adjacency, 0.9)
+        starved = max_product(graph, rows, max_iters=1, tol=1e-15, damping=0.9)
+        assert starved.iterations == 1
+        assert not starved.converged
+        assert starved.max_delta > 1e-15
+        full = max_product(graph, rows)
+        assert full.converged
+        assert full.max_delta < 1e-6
+
+
+class TestBatchParity:
+    def test_batch_rows_match_single_rows_bitwise(self, adjacency, rows):
+        """Per-row convergence freezing makes results batch-invariant."""
+        graph = build_factor_graph(adjacency, 0.6)
+        batch = max_product(graph, rows).probabilities
+        for i, row in enumerate(rows):
+            single = max_product(graph, row).probabilities[0]
+            assert np.array_equal(batch[i], single)
+
+    def test_padding_rows_do_not_perturb(self, adjacency, rows):
+        graph = build_factor_graph(adjacency, 0.6)
+        alone = max_product(graph, rows[:2]).probabilities
+        padded = max_product(
+            graph, np.vstack([rows[:2], rows])
+        ).probabilities[:2]
+        assert np.array_equal(alone, padded)
+
+
+class TestCliqueFactors:
+    def test_singleton_clique_forces_member_on(self, adjacency):
+        graph = build_factor_graph(adjacency, 0.0)
+        p = np.full(adjacency.n_junctions, 0.2)
+        clique = CliqueFactor(members=np.array([2]), penalty=5.0)
+        result = max_product(graph, p, cliques=[clique])
+        assert result.converged
+        out = result.probabilities[0]
+        assert out[2] > 0.5
+        untouched = np.setdiff1d(np.arange(adjacency.n_junctions), [2])
+        assert np.array_equal(out[untouched], p[untouched])
+
+    def test_weak_penalty_cannot_flip_confident_evidence(self, adjacency):
+        graph = build_factor_graph(adjacency, 0.0)
+        p = np.full(adjacency.n_junctions, 0.05)
+        clique = CliqueFactor(members=np.array([2]), penalty=0.5)
+        result = max_product(graph, p, cliques=[clique])
+        out = result.probabilities[0]
+        assert p[2] < out[2] < 0.5
+
+    def test_satisfied_clique_leaves_on_member_on(self, adjacency):
+        graph = build_factor_graph(adjacency, 0.0)
+        p = np.full(adjacency.n_junctions, 0.1)
+        p[1] = 0.9
+        clique = CliqueFactor(members=np.array([1, 2, 3]), penalty=3.0)
+        result = max_product(graph, p, cliques=[clique])
+        out = result.probabilities[0]
+        assert out[1] >= 0.9
+        # The satisfied factor must not drag the other members on.
+        assert out[2] < 0.5 and out[3] < 0.5

@@ -1,0 +1,171 @@
+"""CRF engine tests: batch coalescing, clique edge cases, Eq.-9 energy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.potentials import total_energy
+from repro.inference import CRFConfig, CRFEngine
+from repro.networks import junction_adjacency, two_loop_test_network
+from repro.observations import Clique, HumanObservation
+
+
+@pytest.fixture(scope="module")
+def adjacency():
+    return junction_adjacency(two_loop_test_network())
+
+
+@pytest.fixture()
+def engine(adjacency):
+    return CRFEngine(adjacency, CRFConfig(pairwise_strength=0.1))
+
+
+def _human(*cliques: Clique) -> HumanObservation:
+    return HumanObservation(cliques=tuple(cliques))
+
+
+def _clique(nodes, confidence, count=1):
+    return Clique(
+        nodes=tuple(nodes), centre=(0.0, 0.0),
+        report_count=count, confidence=confidence,
+    )
+
+
+def _energy(p: np.ndarray, adjacency, human: HumanObservation | None) -> float:
+    cliques = human.cliques if human is not None else ()
+    return total_energy(p, list(adjacency.names), cliques)
+
+
+class TestEngineBasics:
+    def test_degenerate_config_is_identity(self, adjacency):
+        engine = CRFEngine(adjacency, CRFConfig(pairwise_strength=0.0))
+        rng = np.random.default_rng(3)
+        rows = rng.uniform(0.05, 0.95, size=(4, adjacency.n_junctions))
+        out, diagnostics = engine.fuse_batch(rows)
+        assert np.array_equal(out, rows)
+        assert all(d.converged and d.n_cliques == 0 for d in diagnostics)
+
+    def test_fuse_matches_fuse_batch_row(self, engine, adjacency):
+        rng = np.random.default_rng(5)
+        rows = rng.uniform(0.05, 0.95, size=(5, adjacency.n_junctions))
+        batch, _ = engine.fuse_batch(rows)
+        for i, row in enumerate(rows):
+            single, diag = engine.fuse(row)
+            assert np.array_equal(batch[i], single)
+            assert diag.converged
+
+    def test_mixed_batch_coalesces_plain_rows(self, engine, adjacency):
+        rng = np.random.default_rng(7)
+        rows = rng.uniform(0.05, 0.95, size=(3, adjacency.n_junctions))
+        human = [None, _human(_clique([adjacency.names[0]], 0.8)), None]
+        out, diagnostics = engine.fuse_batch(rows, human)
+        assert diagnostics[0].n_cliques == 0
+        assert diagnostics[1].n_cliques == 1
+        assert diagnostics[2].n_cliques == 0
+        plain_only, _ = engine.fuse_batch(rows[[0, 2]])
+        assert np.array_equal(out[[0, 2]], plain_only)
+
+    def test_shape_validation(self, engine, adjacency):
+        with pytest.raises(ValueError, match="n_samples"):
+            engine.fuse_batch(np.zeros(adjacency.n_junctions))
+        with pytest.raises(ValueError, match="entries"):
+            engine.fuse_batch(
+                np.zeros((2, adjacency.n_junctions)), human=[None]
+            )
+
+    def test_min_confidence_drops_cliques(self, adjacency):
+        engine = CRFEngine(
+            adjacency,
+            CRFConfig(pairwise_strength=0.0, min_clique_confidence=0.5),
+        )
+        p = np.full(adjacency.n_junctions, 0.2)
+        out, diag = engine.fuse(p, _human(_clique([adjacency.names[2]], 0.3)))
+        assert diag.n_cliques == 0
+        assert np.array_equal(out, p)
+
+
+class TestCliqueEdgeCases:
+    """The satellites' edge cases: BP converges, Eq.-9 energy never rises."""
+
+    def test_overlapping_cliques(self, adjacency):
+        engine = CRFEngine(
+            adjacency,
+            CRFConfig(pairwise_strength=0.1, clique_penalty_scale=2.0),
+        )
+        names = adjacency.names
+        human = _human(
+            _clique([names[0], names[1]], 0.8, count=2),
+            _clique([names[1], names[2]], 0.8, count=2),
+        )
+        p = np.full(adjacency.n_junctions, 0.2)
+        out, diag = engine.fuse(p, human)
+        assert diag.converged
+        assert diag.n_cliques == 2
+        # Both subzones end up explained by at least one member.
+        assert max(out[0], out[1]) > 0.5
+        assert max(out[1], out[2]) > 0.5
+        assert _energy(out, adjacency, human) <= _energy(p, adjacency, human)
+
+    def test_clique_outside_sensed_region(self, adjacency):
+        """Confident "no leak" evidence beats a weak report — and the
+        energy cannot increase (inf stays inf, Eq. 10 with Gamma = 0)."""
+        engine = CRFEngine(
+            adjacency, CRFConfig(pairwise_strength=0.1)
+        )
+        names = adjacency.names
+        human = _human(_clique([names[4], names[5]], 0.3))
+        p = np.full(adjacency.n_junctions, 0.01)
+        out, diag = engine.fuse(p, human)
+        assert diag.converged
+        assert np.all(out < 0.5)
+        assert _energy(out, adjacency, human) <= _energy(p, adjacency, human)
+
+    def test_contradictory_reports(self, adjacency):
+        """One clique already satisfied, one fighting hard-off evidence."""
+        engine = CRFEngine(
+            adjacency,
+            CRFConfig(pairwise_strength=0.1, clique_penalty_scale=2.0),
+        )
+        names = adjacency.names
+        satisfied = _clique([names[1]], 0.95, count=3)
+        contradicted = _clique([names[4]], 0.95, count=3)
+        human = _human(satisfied, contradicted)
+        p = np.full(adjacency.n_junctions, 0.05)
+        p[1] = 0.9
+        p[4] = 0.02
+        out, diag = engine.fuse(p, human)
+        assert diag.converged
+        assert out[1] > 0.5  # the consistent report stays explained
+        assert _energy(out, adjacency, human) <= _energy(p, adjacency, human)
+
+    def test_clique_spanning_whole_network_converges(self, adjacency):
+        engine = CRFEngine(
+            adjacency,
+            CRFConfig(pairwise_strength=0.3, clique_penalty_scale=2.0),
+        )
+        human = _human(_clique(list(adjacency.names), 0.9, count=2))
+        p = np.linspace(0.2, 0.4, adjacency.n_junctions)
+        out, diag = engine.fuse(p, human)
+        assert diag.converged
+        # The member with the strongest evidence absorbs the flip.
+        assert np.any(out > 0.5)
+        assert np.argmax(out) == adjacency.n_junctions - 1
+        assert _energy(out, adjacency, human) <= _energy(p, adjacency, human)
+
+    def test_symmetric_tie_reports_nonconvergence_honestly(self, adjacency):
+        """A whole-network clique over perfectly uniform evidence is a
+        frustrated tie — max-product oscillates over *which* member
+        flips.  The engine must say so rather than fake convergence,
+        and the output must still be sane and no worse in energy."""
+        engine = CRFEngine(
+            adjacency,
+            CRFConfig(pairwise_strength=0.3, clique_penalty_scale=2.0),
+        )
+        human = _human(_clique(list(adjacency.names), 0.9, count=2))
+        p = np.full(adjacency.n_junctions, 0.3)
+        out, diag = engine.fuse(p, human)
+        assert not diag.converged
+        assert diag.iterations == engine.config.max_iters
+        assert np.all(np.isfinite(out)) and np.all((out > 0) & (out < 1))
+        assert _energy(out, adjacency, human) <= _energy(p, adjacency, human)

@@ -1,0 +1,93 @@
+"""Factor-graph assembly tests (pairwise structure, clique factors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference import (
+    MAX_CLIQUE_PENALTY,
+    build_factor_graph,
+    cliques_to_factors,
+)
+from repro.networks import junction_adjacency, two_loop_test_network
+from repro.observations import Clique
+
+
+@pytest.fixture()
+def adjacency():
+    return junction_adjacency(two_loop_test_network())
+
+
+def _clique(nodes, confidence, count=1):
+    return Clique(
+        nodes=tuple(nodes), centre=(0.0, 0.0),
+        report_count=count, confidence=confidence,
+    )
+
+
+class TestBuildFactorGraph:
+    def test_edge_potentials_scale_with_strength(self, adjacency):
+        graph = build_factor_graph(adjacency, 0.7)
+        assert np.allclose(graph.edge_potentials, 0.7 * adjacency.weights)
+        assert graph.n_variables == adjacency.n_junctions
+        assert graph.names == adjacency.names
+
+    def test_zero_strength_zeroes_every_potential(self, adjacency):
+        graph = build_factor_graph(adjacency, 0.0)
+        assert np.all(graph.edge_potentials == 0.0)
+
+    def test_negative_strength_rejected(self, adjacency):
+        with pytest.raises(ValueError, match=">= 0"):
+            build_factor_graph(adjacency, -0.1)
+
+
+class TestCliquesToFactors:
+    def test_members_deduplicated_ascending(self, adjacency):
+        index = adjacency.index_of()
+        names = list(adjacency.names)
+        factors = cliques_to_factors(
+            [_clique([names[3], names[1], names[3]], confidence=0.5)], index
+        )
+        assert len(factors) == 1
+        assert factors[0].members.tolist() == sorted({1, 3})
+
+    def test_unmapped_members_dropped(self, adjacency):
+        index = adjacency.index_of()
+        names = list(adjacency.names)
+        factors = cliques_to_factors(
+            [_clique([names[0], "NOT-A-JUNCTION"], confidence=0.5)], index
+        )
+        assert factors[0].members.tolist() == [0]
+        assert cliques_to_factors(
+            [_clique(["NOWHERE"], confidence=0.9)], index
+        ) == []
+
+    def test_penalty_follows_confidence_and_cap(self, adjacency):
+        index = adjacency.index_of()
+        name = adjacency.names[0]
+        low = cliques_to_factors([_clique([name], confidence=0.3)], index)[0]
+        high = cliques_to_factors([_clique([name], confidence=0.91)], index)[0]
+        assert low.penalty == pytest.approx(-np.log1p(-0.3))
+        assert high.penalty > low.penalty
+        saturated = cliques_to_factors(
+            [_clique([name], confidence=1.0)], index
+        )[0]
+        assert saturated.penalty == pytest.approx(MAX_CLIQUE_PENALTY)
+
+    def test_min_confidence_filters(self, adjacency):
+        index = adjacency.index_of()
+        name = adjacency.names[0]
+        cliques = [_clique([name], 0.2), _clique([name], 0.8)]
+        kept = cliques_to_factors(cliques, index, min_confidence=0.5)
+        assert len(kept) == 1
+        assert kept[0].penalty == pytest.approx(-np.log1p(-0.8))
+
+    def test_penalty_scale_multiplies(self, adjacency):
+        index = adjacency.index_of()
+        name = adjacency.names[0]
+        base = cliques_to_factors([_clique([name], 0.3)], index)[0]
+        doubled = cliques_to_factors(
+            [_clique([name], 0.3)], index, penalty_scale=2.0
+        )[0]
+        assert doubled.penalty == pytest.approx(2.0 * base.penalty)

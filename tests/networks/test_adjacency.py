@@ -1,0 +1,138 @@
+"""Junction-adjacency CSR tests (structure, weights, caching)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hydraulics.components import Pipe
+from repro.networks import (
+    JunctionAdjacency,
+    build_network,
+    junction_adjacency,
+    two_loop_test_network,
+)
+
+
+@pytest.fixture(params=["two-loop", "epanet", "wssc"])
+def adjacency(request):
+    """(network, adjacency) for every catalog network."""
+    network = build_network(request.param)
+    return network, junction_adjacency(network)
+
+
+class TestStructure:
+    def test_vertex_order_is_junction_order(self, adjacency):
+        network, adj = adjacency
+        assert list(adj.names) == network.junction_names()
+        assert adj.n_junctions == len(network.junction_names())
+
+    def test_csr_shape_invariants(self, adjacency):
+        _, adj = adjacency
+        assert adj.indptr.shape == (adj.n_junctions + 1,)
+        assert adj.indptr[0] == 0
+        assert adj.indptr[-1] == adj.indices.shape[0]
+        assert np.all(np.diff(adj.indptr) >= 0)
+        assert adj.indices.shape == adj.weights.shape == adj.src.shape
+        assert adj.indices.shape[0] == 2 * adj.n_edges
+
+    def test_neighbour_lists_sorted(self, adjacency):
+        """Ascending CSR slices fix a deterministic message schedule."""
+        _, adj = adjacency
+        for v in range(adj.n_junctions):
+            row = adj.indices[adj.indptr[v]:adj.indptr[v + 1]]
+            assert np.all(np.diff(row) > 0)
+
+    def test_reverse_is_an_involution(self, adjacency):
+        _, adj = adjacency
+        edges = np.arange(adj.indices.shape[0])
+        assert np.array_equal(adj.reverse[adj.reverse], edges)
+        # The opposite half-edge swaps endpoints and shares the weight.
+        assert np.array_equal(adj.src[adj.reverse], adj.indices)
+        assert np.array_equal(adj.indices[adj.reverse], adj.src)
+        assert np.array_equal(adj.weights[adj.reverse], adj.weights)
+
+    def test_src_matches_csr_rows(self, adjacency):
+        _, adj = adjacency
+        for v in range(adj.n_junctions):
+            assert np.all(adj.src[adj.indptr[v]:adj.indptr[v + 1]] == v)
+
+    def test_no_self_loops(self, adjacency):
+        _, adj = adjacency
+        assert np.all(adj.indices != adj.src)
+
+    def test_degree_and_index_helpers(self, adjacency):
+        _, adj = adjacency
+        degrees = [adj.degree(v) for v in range(adj.n_junctions)]
+        assert sum(degrees) == 2 * adj.n_edges
+        index = adj.index_of()
+        assert all(adj.names[i] == name for name, i in index.items())
+
+
+class TestWeights:
+    def test_weights_normalised(self, adjacency):
+        _, adj = adjacency
+        assert np.all(adj.weights > 0.0)
+        assert np.all(adj.weights <= 1.0)
+        assert adj.weights.max() == pytest.approx(1.0)
+
+    def test_edges_match_junction_junction_links(self, adjacency):
+        network, adj = adjacency
+        junctions = set(network.junction_names())
+        expected = {
+            tuple(sorted((link.start_node, link.end_node)))
+            for link in network.links.values()
+            if link.start_node in junctions and link.end_node in junctions
+        }
+        index = adj.index_of()
+        built = {
+            tuple(sorted((adj.names[int(u)], adj.names[int(v)])))
+            for u, v in zip(adj.src, adj.indices)
+        }
+        assert built == expected
+        assert all(name in index for pair in built for name in pair)
+
+    def test_shorter_fatter_pipe_weighs_more(self):
+        """Conductance ordering: hydraulically tight edges dominate."""
+        network = two_loop_test_network()
+        adj = junction_adjacency(network)
+        index = adj.index_of()
+
+        def weight(a: str, b: str) -> float:
+            u, v = index[a], index[b]
+            row = slice(adj.indptr[u], adj.indptr[u + 1])
+            position = np.nonzero(adj.indices[row] == v)[0]
+            assert position.size == 1
+            return float(adj.weights[row][position[0]])
+
+        pipes = [
+            link for link in network.links.values()
+            if isinstance(link, Pipe)
+            and link.start_node in index and link.end_node in index
+        ]
+        resistances = {
+            (p.start_node, p.end_node):
+                p.length / p.diameter ** 4.87 for p in pipes
+        }
+        tightest = min(resistances, key=resistances.get)
+        loosest = max(resistances, key=resistances.get)
+        assert weight(*tightest) > weight(*loosest)
+
+
+class TestCaching:
+    def test_network_method_memoises(self):
+        network = two_loop_test_network()
+        first = network.junction_adjacency()
+        assert network.junction_adjacency() is first
+        assert isinstance(first, JunctionAdjacency)
+
+    def test_mutation_invalidates_cache(self):
+        network = two_loop_test_network()
+        before = network.junction_adjacency()
+        existing = network.junction_names()[0]
+        network.add_junction("JX", elevation=5.0)
+        network.add_pipe("PX", existing, "JX", length=100.0, diameter=0.2)
+        after = network.junction_adjacency()
+        assert after is not before
+        assert after.n_junctions == before.n_junctions + 1
+        assert after.n_edges == before.n_edges + 1

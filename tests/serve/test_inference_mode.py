@@ -1,0 +1,72 @@
+"""Per-request aggregation-mode tests through the service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import ServeClient, ServeConfig, ServeError, start_in_background
+
+
+@pytest.fixture()
+def served(tree_serve_model):
+    model, dataset = tree_serve_model
+    config = ServeConfig(max_batch_size=4, max_wait_ms=20.0)
+    with start_in_background(model, config=config) as handle:
+        with ServeClient(*handle.address) as client:
+            yield model, dataset, client
+
+
+class TestPerRequestMode:
+    def test_default_is_independent(self, served):
+        model, dataset, client = served
+        row = dataset.features_for(model.sensors)[0]
+        reply = client.localize(row)
+        assert reply.inference == "independent"
+        assert reply.bp_iterations == 0
+        assert reply.bp_converged
+
+    def test_crf_request_reports_diagnostics(self, served):
+        model, dataset, client = served
+        row = dataset.features_for(model.sensors)[0]
+        reply = client.localize(row, inference="crf")
+        assert reply.inference == "crf"
+        assert reply.bp_iterations >= 1
+        assert reply.bp_converged
+
+    def test_unknown_mode_is_bad_request(self, served):
+        model, dataset, client = served
+        row = dataset.features_for(model.sensors)[0]
+        with pytest.raises(ServeError) as excinfo:
+            client.localize(row, inference="bayes-net")
+        assert excinfo.value.code == "bad_request"
+
+    def test_mixed_batch_partitions_by_mode(self, served):
+        """One wire batch mixing modes: each row is answered in its own
+        mode and matches the direct engine output bit-for-bit."""
+        model, dataset, client = served
+        rows = dataset.features_for(model.sensors)[:4]
+        futures = [
+            client.localize_async(row, inference=mode, deadline_ms=30_000.0)
+            for row, mode in zip(
+                rows, ["crf", "independent", "crf", "independent"]
+            )
+        ]
+        replies = [client.resolve(f) for f in futures]
+        assert [r.inference for r in replies] == [
+            "crf", "independent", "crf", "independent"
+        ]
+        for row, reply in zip(rows, replies):
+            direct = model.localize(row, inference=reply.inference)
+            assert np.array_equal(reply.probabilities, direct.probabilities)
+
+    def test_localize_many_threads_mode(self, served):
+        model, dataset, client = served
+        rows = dataset.features_for(model.sensors)[:5]
+        replies = client.localize_many(
+            rows, inference="crf", deadline_ms=30_000.0
+        )
+        assert all(r.inference == "crf" for r in replies)
+        direct = model.localize_batch(rows, inference="crf")
+        for reply, expected in zip(replies, direct):
+            assert np.array_equal(reply.probabilities, expected.probabilities)

@@ -44,10 +44,13 @@ class SlowLocalize:
         """Network passthrough (registry metadata)."""
         return self.inner.network
 
-    def localize_batch(self, features, weather=None, human=None):
+    def localize_batch(self, features, weather=None, human=None,
+                       inference="independent"):
         """The slow kernel: sleep, then defer to the real core."""
         time.sleep(self.delay)
-        return self.inner.localize_batch(features, weather=weather, human=human)
+        return self.inner.localize_batch(
+            features, weather=weather, human=human, inference=inference
+        )
 
 
 @pytest.fixture()

@@ -79,6 +79,50 @@ class TestDataPipeline:
         assert "ground truth" in out and "top suspects" in out
 
 
+class TestInfer:
+    @pytest.fixture(scope="class")
+    def profile(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("infer") / "profile.pkl"
+        assert main(
+            [
+                "train", "--network", "two-loop", "--samples", "80",
+                "--kind", "multi", "--classifier", "logistic",
+                "--out", str(path),
+            ]
+        ) == 0
+        return path
+
+    def test_both_modes_side_by_side(self, capsys, profile):
+        assert main(
+            ["infer", "--profile", str(profile), "--kind", "multi",
+             "--sources", "all", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ground truth" in out
+        assert "[independent]" in out and "[crf]" in out
+        assert "bp        :" in out and "sweep(s)" in out
+
+    def test_single_mode_with_knob_overrides(self, capsys, profile):
+        assert main(
+            ["infer", "--profile", str(profile), "--inference", "crf",
+             "--pairwise-strength", "0.0", "--clique-penalty-scale", "2.0",
+             "--sources", "iot", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[crf]" in out and "[independent]" not in out
+
+    def test_unknown_mode_rejected(self, profile):
+        with pytest.raises(SystemExit):
+            main(["infer", "--profile", str(profile), "--inference", "magic"])
+
+
+class TestBenchParser:
+    def test_phase2_flag_parses(self):
+        args = build_parser().parse_args(["bench", "--phase2", "--quick"])
+        assert args.phase2 and args.quick
+        assert args.out == "BENCH_pipeline.json"
+
+
 class TestAnalysisCommands:
     def test_isolate_node(self, capsys):
         assert main(["isolate", "--network", "wssc", "--node", "N5"]) == 0

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.failures",
     "repro.flood",
     "repro.hydraulics",
+    "repro.inference",
     "repro.ml",
     "repro.networks",
     "repro.observations",

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.verify import (
     diff_array_vs_dict,
+    diff_crf_vs_independent,
     diff_njobs_training,
     diff_serve_vs_direct,
     diff_warm_vs_cold,
@@ -61,6 +62,12 @@ class TestOracles:
         assert report.passed, str(report)
         assert report.bit_identical
 
+    def test_crf_vs_independent_bit_identical(self, two_loop):
+        report = diff_crf_vs_independent(two_loop, seed=0, n_samples=8)
+        assert report.passed, str(report)
+        assert report.bit_identical
+        assert report.tolerance == 0.0
+
     def test_serve_vs_direct_bit_identical(self, two_loop):
         report = diff_serve_vs_direct(two_loop, seed=0, n_samples=10, n_requests=8)
         assert report.passed, str(report)
@@ -78,6 +85,7 @@ class TestOracles:
             "flat_vs_recursive",
             "process_vs_serial",
             "binned_vs_exact",
+            "crf_vs_independent",
             "serve_vs_direct",
         ]
         assert all(r.passed for r in reports), [str(r) for r in reports]

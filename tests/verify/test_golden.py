@@ -36,6 +36,18 @@ class TestCommittedGoldens:
         assert snapshot["config"] == golden_module.ACCURACY_CONFIG
         assert 0.0 <= snapshot["score"] <= 1.0
 
+    def test_multi_accuracy_golden_exists_and_crf_wins(self):
+        path = golden_dir() / "accuracy-epanet-multi.json"
+        assert path.exists()
+        snapshot = json.loads(path.read_text())
+        assert snapshot["kind"] == "multi"
+        assert snapshot["config"] == golden_module.MULTI_ACCURACY_CONFIG
+        scores = snapshot["scores"]
+        assert 0.0 <= scores["independent"] <= 1.0
+        assert 0.0 <= scores["crf"] <= 1.0
+        # The committed snapshot must record a strict CRF win.
+        assert scores["crf"] > scores["independent"]
+
 
 class TestSteadyRoundTrip:
     def test_missing_golden_fails_with_hint(self, sandbox_golden):
@@ -89,3 +101,21 @@ class TestAccuracyGolden:
         assert report.passed, str(report)
         # The pipeline is seeded end to end, so the re-run is exact.
         assert report.max_abs_diff == 0.0
+
+
+class TestMultiAccuracyGolden:
+    """Cheap failure paths only — both return before the pipeline runs."""
+
+    def test_missing_golden_fails(self, sandbox_golden):
+        report = golden_module.check_multi_accuracy_golden("epanet")
+        assert not report.passed
+        assert "no golden" in report.detail
+
+    def test_config_change_is_caught(self, sandbox_golden):
+        stale = dict(golden_module.MULTI_ACCURACY_CONFIG, gamma=1.0)
+        (sandbox_golden / "accuracy-epanet-multi.json").write_text(
+            json.dumps({"network": "epanet", "config": stale, "scores": {}})
+        )
+        report = golden_module.check_multi_accuracy_golden("epanet")
+        assert not report.passed
+        assert "config changed" in report.detail

@@ -20,7 +20,7 @@ class TestRunVerify:
         oracle_names = {r.name for r in report.oracle_reports}
         assert {"mass_balance", "energy", "emitter_law", "finiteness",
                 "tank_volume"} <= oracle_names
-        assert len(report.diff_reports) == 8
+        assert len(report.diff_reports) == 9
         assert len(report.golden_reports) == 1  # quick skips accuracy
 
     def test_fuzz_pass_included(self):
