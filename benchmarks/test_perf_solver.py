@@ -48,3 +48,18 @@ def test_eps_day_epanet(benchmark):
 
     results = benchmark.pedantic(run_day, rounds=1, iterations=1)
     assert results.n_timesteps == 97
+
+
+def test_steady_state_city10k_warm(benchmark):
+    """Warm repeated steady solve on the 10k-junction synthetic city.
+
+    The regime the localization pipeline lives in: thousands of
+    warm-started forward solves against one network, served by the
+    cached-pattern sparse Schur core (trisolve / rank-k PCG reuse).
+    """
+    from repro.networks import build_network
+
+    solver = GGASolver(build_network("city10k"), linear_solver="sparse")
+    baseline = solver.solve()
+    solution = benchmark(solver.solve, warm_start=baseline)
+    assert solution.converged

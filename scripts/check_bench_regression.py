@@ -1,23 +1,28 @@
 #!/usr/bin/env python3
 """Fail CI when a re-measured benchmark regresses past the committed baseline.
 
-Compares one benchmark timing between the committed
+Compares benchmark timings between the committed
 ``BENCH_pipeline.json`` and a freshly measured report (written by
-``repro bench --phase1`` / ``--phase2``).  Exit code 1 means the fresh
-timing exceeds the committed one by more than ``--max-regression``
-(default 25%) — generous enough for shared-runner noise, tight enough
-to catch a real perf loss.
+``repro bench --phase1`` / ``--phase2`` / ``--steady``).  Exit code 1
+means a fresh timing exceeds the committed one by more than
+``--max-regression`` (default 25%) — generous enough for shared-runner
+noise, tight enough to catch a real perf loss.
 
 ``--benchmark`` accepts either a pytest-benchmark entry name (looked up
 in the report's ``pytest_benchmarks`` list by its ``mean_seconds``) or a
 dotted path into the report's nested sections, e.g.
-``phase2.crf.batch_seconds``.
+``phase2.crf.batch_seconds`` or ``steady.steady_city10k_seconds``.  It
+may be repeated; every named benchmark is gated and the worst outcome
+wins.
 
 Usage::
 
     python scripts/check_bench_regression.py BENCH_pipeline.json BENCH_fresh.json
     python scripts/check_bench_regression.py BENCH_pipeline.json BENCH_fresh.json \\
         --benchmark phase2.crf.batch_seconds --max-regression 0.5
+    python scripts/check_bench_regression.py BENCH_pipeline.json BENCH_fresh.json \\
+        --benchmark steady.steady_city10k_seconds \\
+        --benchmark steady.eps_city10k_seconds
 """
 
 from __future__ import annotations
@@ -60,8 +65,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("fresh", help="freshly measured report")
     parser.add_argument(
         "--benchmark",
-        default="test_phase1_profile_training",
-        help="benchmark name to compare (default: Phase-I training)",
+        action="append",
+        default=None,
+        help="benchmark name to gate; repeatable "
+             "(default: Phase-I training)",
     )
     parser.add_argument(
         "--max-regression",
@@ -70,25 +77,27 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional slowdown vs the committed mean (default 0.25)",
     )
     args = parser.parse_args(argv)
+    names = args.benchmark or ["test_phase1_profile_training"]
 
-    committed = mean_seconds(args.committed, args.benchmark)
-    fresh = mean_seconds(args.fresh, args.benchmark)
-    if committed is None:
+    worst = 0
+    for name in names:
+        committed = mean_seconds(args.committed, name)
+        fresh = mean_seconds(args.fresh, name)
+        if committed is None:
+            print(f"{name} not in {args.committed}; nothing to gate against")
+            continue
+        if fresh is None:
+            print(f"{name} missing from {args.fresh}; did the run fail?")
+            worst = 1
+            continue
+        limit = committed * (1.0 + args.max_regression)
+        ok = fresh <= limit
         print(
-            f"{args.benchmark} not in {args.committed}; nothing to gate against"
+            f"{name}: committed {committed:.3f}s, fresh {fresh:.3f}s, "
+            f"limit {limit:.3f}s -> {'OK' if ok else 'REGRESSION'}"
         )
-        return 0
-    if fresh is None:
-        print(f"{args.benchmark} missing from {args.fresh}; did the run fail?")
-        return 1
-
-    limit = committed * (1.0 + args.max_regression)
-    ok = fresh <= limit
-    print(
-        f"{args.benchmark}: committed {committed:.3f}s, fresh {fresh:.3f}s, "
-        f"limit {limit:.3f}s -> {'OK' if ok else 'REGRESSION'}"
-    )
-    return 0 if ok else 1
+        worst = max(worst, 0 if ok else 1)
+    return worst
 
 
 if __name__ == "__main__":

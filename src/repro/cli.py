@@ -285,6 +285,13 @@ def _add_bench(sub: argparse._SubParsersAction) -> None:
              "independent: batched latency + multi-leak accuracy) and "
              "merge it into --out",
     )
+    parser.add_argument(
+        "--steady", action="store_true",
+        help="only benchmark the sparse Schur solver core (warm/cold "
+             "steady solves, leak sweep, EPS) against the pre-PR "
+             "coo_matrix+spsolve path on --network and merge it into "
+             "--out (use --network city10k for the city-scale numbers)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -325,7 +332,7 @@ def _parse_leak(token: str, with_slot: bool = True):
 # ----------------------------------------------------------------------
 def cmd_networks(args) -> int:
     """List or describe the built-in networks."""
-    from .networks import available_networks, build_network
+    from .networks import available_networks, build_network, large_networks
 
     if args.name:
         network = build_network(args.name)
@@ -340,6 +347,8 @@ def cmd_networks(args) -> int:
             f"{name:10s} nodes={counts['nodes']:4d} links={counts['links']:4d} "
             f"pumps={counts['pumps']} valves={counts['valves']} tanks={counts['tanks']}"
         )
+    # City-scale networks are built on demand, never eagerly here.
+    print(f"large (build-on-demand): {', '.join(large_networks())}")
     return 0
 
 
@@ -906,6 +915,145 @@ def _bench_phase2(args) -> int:
     return 0
 
 
+def _bench_steady(args) -> int:
+    """Benchmark the sparse Schur core vs the pre-PR path and merge into --out.
+
+    Times the same four hydraulic workloads through the cached-pattern
+    Schur core (``linear_solver="sparse"``) and the pre-PR per-iteration
+    ``coo_matrix``+``spsolve`` path (``linear_solver="legacy"``):
+
+    - warm: repeated steady solve on a persistent solver, warm-started
+      from the baseline — the regime the localization pipeline lives in
+      (thousands of forward solves per network);
+    - cold: first solve on a fresh solver (sparsity structure already
+      cached on the network after the initial build);
+    - sweep: warm-started random leak-emitter scenarios;
+    - EPS: an extended-period simulation with a timed leak, reported
+      per hydraulic step so quick and full runs stay comparable.
+
+    The flat gate keys merged under the report's ``steady`` section are
+    ``steady_<net>_seconds`` / ``eps_<net>_seconds`` (sparse core) and
+    their ``*_legacy_seconds`` counterparts (pre-PR path); the full
+    per-mode breakdown lands under ``steady.<net>``.
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    import numpy as np
+
+    from .hydraulics import GGASolver, TimedLeak, simulate
+    from .networks import build_network
+
+    netkey = args.network.replace("-", "").replace("_", "")
+    print(f"building {args.network} ...")
+    t0 = time.perf_counter()
+    network = build_network(args.network)
+    build_seconds = time.perf_counter() - t0
+    junctions = network.junction_names()
+    warm_reps = 5 if args.quick else 30
+    n_scenarios = 5 if args.quick else 30
+    eps_duration = (2.0 if args.quick else 6.0) * 3600.0
+    eps_step = 900.0
+
+    leak_sets = []
+    for child in np.random.SeedSequence(1234).spawn(n_scenarios):
+        rng = np.random.default_rng(child)
+        chosen = rng.choice(len(junctions), size=min(3, len(junctions)),
+                            replace=False)
+        leak_sets.append(
+            {junctions[int(i)]: (float(rng.uniform(5e-4, 4e-3)), 0.5)
+             for i in chosen}
+        )
+    eps_leak = TimedLeak(node=junctions[0], emitter_coefficient=1e-3,
+                         start_time=eps_duration / 2)
+
+    def measure(mode: str) -> dict:
+        print(f"  timing linear_solver={mode!r} ...")
+        solver = GGASolver(network, linear_solver=mode)
+        t0 = time.perf_counter()
+        baseline = solver.solve()
+        cold = time.perf_counter() - t0
+        samples = []
+        for _ in range(warm_reps):
+            t0 = time.perf_counter()
+            solver.solve(warm_start=baseline)
+            samples.append(time.perf_counter() - t0)
+        # Median, not mean: every rep does identical work, so spread is
+        # pure scheduler/allocator noise and the median is the stable
+        # per-solve figure to gate regressions against.
+        warm = float(np.median(samples))
+        t0 = time.perf_counter()
+        for emitters in leak_sets:
+            solver.solve(emitters=emitters, warm_start=baseline)
+        sweep = (time.perf_counter() - t0) / len(leak_sets)
+        t0 = time.perf_counter()
+        results = simulate(network, duration=eps_duration, timestep=eps_step,
+                           leaks=[eps_leak], linear_solver=mode)
+        eps_total = time.perf_counter() - t0
+        entry = {
+            "cold_solve_seconds": round(cold, 6),
+            "warm_solve_seconds": round(warm, 6),
+            "sweep_solve_seconds": round(sweep, 6),
+            "eps_step_seconds": round(eps_total / results.n_timesteps, 6),
+            "eps_total_seconds": round(eps_total, 6),
+            "eps_steps": results.n_timesteps,
+        }
+        stats = solver.schur_stats
+        if stats is not None:
+            entry["schur_stats"] = {
+                "factorizations": stats.factorizations,
+                "reuse_solves": stats.reuse_solves,
+                "pcg_solves": stats.pcg_solves,
+                "pcg_iterations": stats.pcg_iterations,
+                "direct_solves": stats.direct_solves,
+                "assemblies": stats.assemblies,
+            }
+        return entry
+
+    sparse = measure("sparse")
+    legacy = measure("legacy")
+    detail = {
+        "network": args.network,
+        "n_junctions": len(junctions),
+        "n_links": len(network.links),
+        "build_seconds": round(build_seconds, 3),
+        "warm_reps": warm_reps,
+        "n_scenarios": n_scenarios,
+        "eps_duration_seconds": eps_duration,
+        "sparse": sparse,
+        "legacy": legacy,
+    }
+    out = Path(args.out)
+    report = json.loads(out.read_text()) if out.exists() else {}
+    section = report.get("steady")
+    if not isinstance(section, dict):
+        section = {}
+    section["notes"] = (
+        "steady_* keys are seconds per warm steady solve; eps_* keys are "
+        "seconds per EPS hydraulic step; *_legacy_* keys run the pre-PR "
+        "coo_matrix+spsolve path on the same workload"
+    )
+    section[f"steady_{netkey}_seconds"] = sparse["warm_solve_seconds"]
+    section[f"steady_{netkey}_legacy_seconds"] = legacy["warm_solve_seconds"]
+    section[f"eps_{netkey}_seconds"] = sparse["eps_step_seconds"]
+    section[f"eps_{netkey}_legacy_seconds"] = legacy["eps_step_seconds"]
+    section[f"steady_{netkey}_speedup_x"] = round(
+        legacy["warm_solve_seconds"] / sparse["warm_solve_seconds"], 1
+    )
+    section[netkey] = detail
+    report["steady"] = section
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"steady {args.network}: warm {sparse['warm_solve_seconds'] * 1e3:.2f}ms"
+        f" vs legacy {legacy['warm_solve_seconds'] * 1e3:.2f}ms "
+        f"({section[f'steady_{netkey}_speedup_x']}x); "
+        f"eps/step {sparse['eps_step_seconds'] * 1e3:.2f}ms vs "
+        f"{legacy['eps_step_seconds'] * 1e3:.2f}ms (merged into {out})"
+    )
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Time the scenario engine (and perf suite) into a JSON report."""
     import json
@@ -924,6 +1072,8 @@ def cmd_bench(args) -> int:
         return _bench_serve(args)
     if args.phase2:
         return _bench_phase2(args)
+    if args.steady:
+        return _bench_steady(args)
     network = build_network(args.network)
     n_samples = min(args.samples, 50) if args.quick else args.samples
 

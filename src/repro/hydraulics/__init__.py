@@ -49,14 +49,22 @@ from .quality import (
 from .results import SimulationResults
 from .rules import Action, Comparator, Premise, Rule, evaluate_rules, parse_rule
 from .simulation import ExtendedPeriodSimulator, TimedLeak, simulate
-from .solver import GGASolver, SteadyStateSolution
+from .solver import DENSE_SOLVE_LIMIT, GGASolver, SteadyStateSolution
+from .sparse import (
+    CachedSchurSolver,
+    SchurPattern,
+    SchurStats,
+    SingularSchurError,
+)
 
 __all__ = [
     "Action",
+    "CachedSchurSolver",
     "Comparator",
     "ControlCondition",
     "ConvergenceError",
     "Curve",
+    "DENSE_SOLVE_LIMIT",
     "ExtendedPeriodSimulator",
     "GGASolver",
     "HydraulicsError",
@@ -76,10 +84,13 @@ __all__ = [
     "QualitySource",
     "Reservoir",
     "Rule",
+    "SchurPattern",
+    "SchurStats",
     "SimpleControl",
     "SimulationError",
     "SimulationOptions",
     "SimulationResults",
+    "SingularSchurError",
     "SteadyStateSolution",
     "Tank",
     "TimedLeak",

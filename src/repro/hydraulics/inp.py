@@ -50,8 +50,23 @@ _SECTIONS = {
 }
 
 
-def _tokenize(path_or_text: str | Path) -> list[tuple[int, str, list[str]]]:
-    """Yield (line_number, section, tokens) for every data line."""
+#: Sentinel section name for data rows inside a tolerated unknown section.
+_UNKNOWN = "__UNKNOWN__"
+
+
+def _tokenize(
+    path_or_text: str | Path, strict: bool = False
+) -> list[tuple[int, str, list[str]]]:
+    """Yield (line_number, section, tokens) for every data line.
+
+    Real-world INP files routinely carry vendor sections this reader has
+    no use for, mixed-case headers (``[Pipes]``), blank sections, and
+    inline ``;`` comments.  All of those are tolerated: headers are
+    upper-cased, comments stripped, and data inside an unrecognised
+    section is skipped (kept under the ``_UNKNOWN`` sentinel so callers
+    never see it).  Pass ``strict=True`` to restore the old behaviour of
+    rejecting any section outside the canonical EPANET list.
+    """
     if isinstance(path_or_text, Path) or "\n" not in str(path_or_text):
         text = Path(path_or_text).read_text()
     else:
@@ -63,13 +78,18 @@ def _tokenize(path_or_text: str | Path) -> list[tuple[int, str, list[str]]]:
         if not line:
             continue
         if line.startswith("["):
-            name = line.strip("[] \t").upper()
+            name = line[1:].split("]", 1)[0].strip().upper()
             if name not in _SECTIONS:
-                raise InpSyntaxError(f"unknown section [{name}]", lineno)
+                if strict:
+                    raise InpSyntaxError(f"unknown section [{name}]", lineno)
+                section = _UNKNOWN
+                continue
             section = name
             continue
         if not section:
             raise InpSyntaxError("data before any section header", lineno)
+        if section == _UNKNOWN:
+            continue
         rows.append((lineno, section, line.split()))
     return rows
 
@@ -116,7 +136,11 @@ def read_rules(path_or_text: str | Path) -> list:
     return rules
 
 
-def read_inp(path_or_text: str | Path, name: str | None = None) -> tuple[WaterNetwork, list[SimpleControl]]:
+def read_inp(
+    path_or_text: str | Path,
+    name: str | None = None,
+    strict: bool = False,
+) -> tuple[WaterNetwork, list[SimpleControl]]:
     """Parse an INP file (or INP text) into a network plus its controls.
 
     The ``[RULES]`` section is accepted but not returned here — use
@@ -126,6 +150,9 @@ def read_inp(path_or_text: str | Path, name: str | None = None) -> tuple[WaterNe
         path_or_text: path to a ``.inp`` file, or the raw INP text itself
             (detected by the presence of newlines).
         name: network name; defaults to the file stem or ``"inp"``.
+        strict: reject sections outside the canonical EPANET list
+            instead of skipping them (the tolerant default handles
+            vendor extensions found in real-world files).
 
     Returns:
         (network, simple controls).
@@ -133,7 +160,7 @@ def read_inp(path_or_text: str | Path, name: str | None = None) -> tuple[WaterNe
     Raises:
         InpSyntaxError: on malformed input.
     """
-    rows = _tokenize(path_or_text)
+    rows = _tokenize(path_or_text, strict=strict)
     flow_unit = "GPM"
     for lineno, section, tokens in rows:
         if section == "OPTIONS" and tokens and tokens[0].upper() == "UNITS" and len(tokens) > 1:

@@ -77,6 +77,7 @@ class WaterNetwork:
         self._patterns: dict[str, Pattern] = {}
         self._curves: dict[str, Curve] = {}
         self._adjacency_cache = None
+        self._rcm_cache = None
 
     # ------------------------------------------------------------------
     # Component registration
@@ -86,6 +87,7 @@ class WaterNetwork:
             raise NetworkTopologyError(f"duplicate node name {node.name!r}")
         self._nodes[node.name] = node
         self._adjacency_cache = None
+        self._rcm_cache = None
 
     def _register_link(self, link: Link) -> None:
         if link.name in self._links:
@@ -99,6 +101,7 @@ class WaterNetwork:
             raise NetworkTopologyError(f"link {link.name!r} is a self-loop")
         self._links[link.name] = link
         self._adjacency_cache = None
+        self._rcm_cache = None
 
     def add_junction(
         self,
@@ -421,6 +424,42 @@ class WaterNetwork:
 
             self._adjacency_cache = junction_adjacency(self)
         return self._adjacency_cache
+
+    def rcm_permutation(self):
+        """Cached reverse Cuthill–McKee ordering of the junctions.
+
+        A fill-reducing/bandwidth-reducing permutation over the same
+        junction order as :meth:`junction_adjacency` (whose CSR graph it
+        is computed from).  The sparse Schur solver core folds it into
+        its scatter map once per pattern build, so large-network solves
+        assemble an already-banded matrix at zero per-iteration cost.
+        Like the adjacency, it is invalidated whenever a node or link is
+        registered.
+
+        Returns:
+            ``int64`` array ``perm`` with ``perm[k]`` = original junction
+            index placed at position ``k``.
+        """
+        if self._rcm_cache is None:
+            import numpy as np
+            import scipy.sparse as sp
+            from scipy.sparse.csgraph import reverse_cuthill_mckee
+
+            adjacency = self.junction_adjacency()
+            n = len(adjacency.indptr) - 1
+            graph = sp.csr_matrix(
+                (
+                    np.ones(len(adjacency.indices)),
+                    adjacency.indices,
+                    adjacency.indptr,
+                ),
+                shape=(n, n),
+            )
+            self._rcm_cache = np.asarray(
+                reverse_cuthill_mckee(graph, symmetric_mode=True),
+                dtype=np.int64,
+            )
+        return self._rcm_cache
 
     def shortest_path_lengths(self, source: str) -> dict[str, float]:
         """Pipe-length shortest-path distance from ``source`` to all nodes.

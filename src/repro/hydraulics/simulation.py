@@ -47,11 +47,12 @@ class ExtendedPeriodSimulator:
         controls: list[SimpleControl] | None = None,
         rules: list | None = None,
         audit=None,
+        linear_solver: str = "auto",
     ):
         self.network = network
         self.controls = list(controls or [])
         self.rules = list(rules or [])
-        self._solver = GGASolver(network)
+        self._solver = GGASolver(network, linear_solver=linear_solver)
         if audit is not None:
             self._solver.audit = audit
 
@@ -230,9 +231,11 @@ def simulate(
     controls: list[SimpleControl] | None = None,
     rules: list | None = None,
     audit=None,
+    linear_solver: str = "auto",
 ) -> SimulationResults:
     """One-call EPS convenience wrapper around ExtendedPeriodSimulator."""
     simulator = ExtendedPeriodSimulator(
-        network, controls=controls, rules=rules, audit=audit
+        network, controls=controls, rules=rules, audit=audit,
+        linear_solver=linear_solver,
     )
     return simulator.run(duration=duration, timestep=timestep, leaks=leaks)

@@ -15,11 +15,10 @@ are resolved in an outer loop around the Newton iteration.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
-import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 from scipy.linalg.lapack import dposv as _dposv
 
 from .components import (
@@ -43,6 +42,13 @@ from .headloss import (
     hw_headloss_and_gradient_array,
 )
 from .network import WaterNetwork
+from .sparse import (
+    CachedSchurSolver,
+    SchurPattern,
+    SchurStats,
+    SingularSchurError,
+    legacy_sparse_solve,
+)
 
 #: Resistance used for CLOSED links (headloss = R_CLOSED * q).
 R_CLOSED = 1e8
@@ -54,10 +60,34 @@ RHO_G = 998.2 * 9.80665
 Q_PUMP_MIN = 1e-6
 #: Maximum outer status-resolution passes.
 MAX_STATUS_PASSES = 20
+
+
+def _dense_limit_from_env() -> int:
+    """Resolve the dense/sparse crossover junction count.
+
+    Defaults to 700; the ``REPRO_DENSE_LIMIT`` environment variable
+    overrides it (an integer junction count — ``0`` forces the sparse
+    path everywhere, a huge value forces dense).  Read once at import.
+    """
+    raw = os.environ.get("REPRO_DENSE_LIMIT")
+    if raw is None:
+        return 700
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_DENSE_LIMIT must be an integer, got {raw!r}"
+        ) from exc
+
+
 #: Junction counts up to this size use a dense LAPACK solve for the Schur
-#: complement — far cheaper than per-iteration sparse assembly at the
-#: network sizes the paper evaluates (~100 nodes).
-DENSE_SOLVE_LIMIT = 700
+#: complement — far cheaper than sparse machinery at the network sizes the
+#: paper evaluates (~100 nodes).  Larger networks use the cached-pattern
+#: sparse core in :mod:`repro.hydraulics.sparse`.  Overridable via the
+#: ``REPRO_DENSE_LIMIT`` environment variable (see
+#: :func:`_dense_limit_from_env`); per-solver override via the
+#: ``linear_solver`` constructor argument.
+DENSE_SOLVE_LIMIT = _dense_limit_from_env()
 
 
 class SteadyStateSolution:
@@ -235,11 +265,28 @@ class GGASolver:
     Building the solver pre-computes index arrays; repeated ``solve`` calls
     (dataset generation runs tens of thousands) then avoid per-call
     structure work.  The solver never mutates the network.
+
+    ``linear_solver`` picks the Schur-complement backend:
+
+    * ``"auto"`` (default) — dense LAPACK Cholesky up to
+      :data:`DENSE_SOLVE_LIMIT` junctions, the cached-pattern sparse
+      core (:mod:`repro.hydraulics.sparse`) beyond it;
+    * ``"dense"`` / ``"sparse"`` — force one path regardless of size
+      (the ``sparse_vs_dense`` differential oracle uses both);
+    * ``"legacy"`` — the pre-cache per-iteration COO + ``spsolve``
+      path, kept as the measurable baseline for ``repro bench
+      --steady``.
     """
 
-    def __init__(self, network: WaterNetwork):
+    def __init__(self, network: WaterNetwork, linear_solver: str = "auto"):
+        if linear_solver not in ("auto", "dense", "sparse", "legacy"):
+            raise ValueError(
+                "linear_solver must be one of 'auto', 'dense', 'sparse', "
+                f"'legacy'; got {linear_solver!r}"
+            )
         network.validate()
         self.network = network
+        self._linear_solver = linear_solver
         self._use_darcy_weisbach = network.options.headloss_model.upper().startswith("D")
         self._junction_names: list[str] = []
         self._fixed_names: list[str] = []
@@ -270,6 +317,12 @@ class GGASolver:
         self._base_demand_arr = np.array(
             [network.nodes[n].base_demand for n in self._junction_names]  # type: ignore[union-attr]
         )
+        self._emitter_ec_arr = np.array(
+            [network.nodes[n].emitter_coefficient for n in self._junction_names]  # type: ignore[union-attr]
+        )
+        self._emitter_beta_arr = np.array(
+            [network.nodes[n].emitter_exponent for n in self._junction_names]  # type: ignore[union-attr]
+        )
         self._fixed_elev_arr = np.array(
             [
                 network.nodes[n].elevation if isinstance(network.nodes[n], Tank) else 0.0
@@ -296,8 +349,17 @@ class GGASolver:
         self._pipe_diam = np.array([max(r.diameter, 1e-9) for r in records])
         self._pipe_rough = np.array([r.roughness_height for r in records])
         n = self._n_junctions
-        self._dense = 0 < n <= DENSE_SOLVE_LIMIT
+        if linear_solver == "dense":
+            self._dense = n > 0
+        elif linear_solver in ("sparse", "legacy"):
+            self._dense = False
+        else:
+            self._dense = 0 < n <= DENSE_SOLVE_LIMIT
         self._dense_A = np.zeros((n, n)) if self._dense else None
+        # Sparse Schur cores keyed by the PRV-active set (active PRVs
+        # leave the normal link set, changing the sparsity pattern; all
+        # other status flips only change values).
+        self._schur_cache: dict[tuple[int, ...], CachedSchurSolver] = {}
         # Only check-valve pipes, pumps and valves can change operating
         # status; plain pipes (the bulk of the network) never do, so the
         # status-resolution pass skips them entirely.
@@ -306,6 +368,32 @@ class GGASolver:
             for i, r in enumerate(records)
             if r.kind != "pipe" or r.check_valve
         ]
+        # Per-solve O(links) Python loops are the scalability wall at
+        # city scale (ten of milliseconds per solve at 10k junctions),
+        # so everything that depends only on structure is templated here
+        # and per-solve work touches only the handful of links that can
+        # deviate: status-capable links, overrides, pumps, FCVs.
+        self._link_index = {r.name: i for i, r in enumerate(records)}
+        self._status_template = [r.status for r in records]
+        self._speed_template = [r.speed for r in records]
+        self._pump_positions = [i for i, r in enumerate(records) if r.kind == "pump"]
+        self._fcv_positions = [
+            i
+            for i, r in enumerate(records)
+            if r.kind == "valve" and r.valve_type is ValveType.FCV
+        ]
+        self._prv_positions = [
+            i
+            for i, r in enumerate(records)
+            if r.kind == "valve" and r.valve_type is ValveType.PRV
+        ]
+        self._initially_nonopen = [
+            i for i, r in enumerate(records) if r.status is not LinkStatus.OPEN
+        ]
+        self._all_links = np.arange(len(records), dtype=np.int64)
+        self._initial_flow_template = np.array(
+            [self._initial_flow(r, r.speed) for r in records]
+        )
         #: Opt-in audit hook (see :class:`repro.verify.InvariantAuditor`):
         #: any object with ``observe(solver, solution, emitters=...)`` is
         #: called after every successful solve with the emitter arrays the
@@ -441,19 +529,24 @@ class GGASolver:
         emitter_ec, emitter_beta = self._emitter_arrays(emitters)
 
         records = self._records
-        for rec in records:
-            if rec.kind == "valve" and rec.valve_type is ValveType.FCV:
-                rec.minor = 0.0  # FCV throttling is re-derived per solve
-        statuses = [r.status for r in records]
+        for i in self._fcv_positions:
+            records[i].minor = 0.0  # FCV throttling is re-derived per solve
+        statuses = self._status_template.copy()
+        #: Links whose status may deviate from the template this solve —
+        #: the only ones the closed-mask scan needs to inspect.
+        nonopen_candidates = set(self._initially_nonopen)
+        nonopen_candidates.update(self._status_positions)
         if status_overrides:
-            for i, rec in enumerate(records):
-                if rec.name in status_overrides:
-                    statuses[i] = status_overrides[rec.name]
-        speeds = [r.speed for r in records]
+            for name, status in status_overrides.items():
+                index = self._link_index.get(name)
+                if index is not None:
+                    statuses[index] = status
+                    nonopen_candidates.add(index)
+        speeds = self._speed_template.copy()
         if pump_speeds:
-            for i, rec in enumerate(records):
-                if rec.kind == "pump" and rec.name in pump_speeds:
-                    speeds[i] = pump_speeds[rec.name]
+            for i in self._pump_positions:
+                if records[i].name in pump_speeds:
+                    speeds[i] = pump_speeds[records[i].name]
 
         n = self._n_junctions
         if warm_start is not None:
@@ -471,9 +564,9 @@ class GGASolver:
                 float(np.mean(list(head_fixed.values()))) if head_fixed else 50.0,
                 self._elevation_arr + 10.0,
             )
-            flows = np.array(
-                [self._initial_flow(r, s) for r, s in zip(records, speeds)]
-            )
+            flows = self._initial_flow_template.copy()
+            for i in self._pump_positions:
+                flows[i] = self._initial_flow(records[i], speeds[i])
 
         pdd = options.demand_model.upper() == "PDD"
         fixed_arr = np.array([head_fixed[name] for name in self._fixed_names])
@@ -493,6 +586,7 @@ class GGASolver:
                 emitter_beta,
                 max_trials,
                 tol,
+                nonopen_candidates,
                 pdd=pdd,
             )
             total_iterations += iters
@@ -501,6 +595,11 @@ class GGASolver:
             )
             if not changed:
                 break
+            # A status flip changes link conductances by orders of
+            # magnitude, so cached factorizations stop being useful
+            # preconditioners; drop them (patterns stay cached).
+            for core in self._schur_cache.values():
+                core.invalidate()
 
         if not converged:
             raise ConvergenceError(
@@ -577,15 +676,11 @@ class GGASolver:
                     f"({self._n_junctions},) in junction_names order"
                 )
             return ec.copy(), beta.copy()
-        ec = np.zeros(self._n_junctions)
-        beta = np.full(self._n_junctions, 0.5)
-        for i, name in enumerate(self._junction_names):
-            junction = self.network.nodes[name]
-            assert isinstance(junction, Junction)
-            ec[i] = junction.emitter_coefficient
-            beta[i] = junction.emitter_exponent
-        if emitters is not None:
-            ec[:] = 0.0
+        beta = self._emitter_beta_arr.copy()
+        if emitters is None:
+            ec = self._emitter_ec_arr.copy()
+        else:
+            ec = np.zeros(self._n_junctions)
             for name, (coefficient, exponent) in emitters.items():
                 index = self._junction_index.get(name)
                 if index is None:
@@ -730,6 +825,7 @@ class GGASolver:
         emitter_beta: np.ndarray,
         max_trials: int,
         tol: float,
+        nonopen_candidates: set[int],
         pdd: bool = False,
     ) -> tuple[np.ndarray, np.ndarray, int, float, bool]:
         n = self._n_junctions
@@ -737,16 +833,16 @@ class GGASolver:
         # Active PRVs pin their downstream junction's head; their flow is
         # carried as a lagged demand on the upstream node (EPANET's scheme).
         prv_active = [
-            i
-            for i, (r, s) in enumerate(zip(records, statuses))
-            if r.kind == "valve"
-            and r.valve_type is ValveType.PRV
-            and s is LinkStatus.ACTIVE
+            i for i in self._prv_positions if statuses[i] is LinkStatus.ACTIVE
         ]
-        prv_set = set(prv_active)
-        normal = np.array(
-            [i for i in range(len(records)) if i not in prv_set], dtype=np.int64
-        )
+        if prv_active:
+            prv_set = set(prv_active)
+            normal = np.array(
+                [i for i in range(len(records)) if i not in prv_set],
+                dtype=np.int64,
+            )
+        else:
+            normal = self._all_links
 
         start_idx = self._start_jidx[normal]
         end_idx = self._end_jidx[normal]
@@ -768,12 +864,18 @@ class GGASolver:
         both = s_mask & e_mask
         # Statuses are frozen for the duration of a Newton run (they only
         # change in the status-resolution pass between runs), so the
-        # closed/open-pipe/other partition is loop-invariant.
-        closed = np.fromiter(
-            (statuses[i] is LinkStatus.CLOSED for i in normal),
-            bool,
-            len(normal),
-        )
+        # closed/open-pipe/other partition is loop-invariant.  Only links
+        # in ``nonopen_candidates`` (initially non-open, overridden, or
+        # status-capable) can be CLOSED, so the scan skips the bulk of
+        # the network instead of walking every link.
+        closed = np.zeros(len(normal), dtype=bool)
+        closed_links = [
+            i for i in nonopen_candidates if statuses[i] is LinkStatus.CLOSED
+        ]
+        if closed_links:
+            # A CLOSED link is never PRV-active, so every closed link is
+            # present in the (sorted) ``normal`` array.
+            closed[np.searchsorted(normal, np.array(closed_links, dtype=np.int64))] = True
         pipe_open = ~closed & (kind_n == 0)
         other_pos = np.nonzero(~closed & (kind_n != 0))[0]
         masks = (closed, pipe_open, other_pos)
@@ -896,25 +998,21 @@ class GGASolver:
                             f"GGA linear solve failed: {exc}", iterations, residual
                         ) from exc
             else:
-                rows = [
-                    start_idx[s_mask], end_idx[e_mask],
-                    start_idx[both], end_idx[both], np.arange(n),
-                ]
-                cols = [
-                    start_idx[s_mask], end_idx[e_mask],
-                    end_idx[both], start_idx[both], np.arange(n),
-                ]
-                data = [
-                    inv_g[s_mask], inv_g[e_mask],
-                    -inv_g[both], -inv_g[both], diag_extra + 1e-12,
-                ]
-                matrix = sp.coo_matrix(
-                    (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
-                    shape=(n, n),
-                ).tocsc()
                 try:
-                    dh = spla.spsolve(matrix, rhs)
-                except RuntimeError as exc:  # singular factorisation
+                    if self._linear_solver == "legacy":
+                        dh = legacy_sparse_solve(
+                            start_idx, end_idx, inv_g, diag_extra, rhs
+                        )
+                    else:
+                        # The first iteration solves at the warm-start
+                        # state, which recurs across scenario sweeps and
+                        # EPS steps — let the core re-center its cached
+                        # factorization there (``anchor``) instead of
+                        # limping along on a drifted preconditioner.
+                        dh = self._schur_core(
+                            tuple(prv_active), start_idx, end_idx
+                        ).solve(inv_g, diag_extra, rhs, anchor=iterations == 1)
+                except SingularSchurError as exc:
                     raise ConvergenceError(
                         f"GGA linear solve failed: {exc}", iterations, residual
                     ) from exc
@@ -955,6 +1053,47 @@ class GGASolver:
                 break
 
         return heads, flows, iterations, residual, converged
+
+    def _schur_core(
+        self,
+        prv_key: tuple[int, ...],
+        start_idx: np.ndarray,
+        end_idx: np.ndarray,
+    ) -> CachedSchurSolver:
+        """The cached sparse Schur core for one PRV-active set.
+
+        The pattern build (CSC structure, RCM permutation, scatter map)
+        happens once per key and is reused by every subsequent Newton
+        iteration, warm start, and scenario solve on this solver.
+        """
+        core = self._schur_cache.get(prv_key)
+        if core is None:
+            pattern = SchurPattern(
+                self._n_junctions,
+                start_idx,
+                end_idx,
+                permutation=self.network.rcm_permutation(),
+            )
+            core = CachedSchurSolver(pattern)
+            self._schur_cache[prv_key] = core
+        return core
+
+    @property
+    def schur_stats(self) -> SchurStats:
+        """Aggregated sparse-core counters across all cached patterns.
+
+        Zeros when the solver has only used the dense or legacy path.
+        """
+        total = SchurStats()
+        for core in self._schur_cache.values():
+            stats = core.stats
+            total.factorizations += stats.factorizations
+            total.direct_solves += stats.direct_solves
+            total.reuse_solves += stats.reuse_solves
+            total.pcg_solves += stats.pcg_solves
+            total.pcg_iterations += stats.pcg_iterations
+            total.assemblies += stats.assemblies
+        return total
 
     @staticmethod
     def _a21_invg_f1(

@@ -1,0 +1,631 @@
+"""Reusable sparse Schur solver core for city-scale networks.
+
+Beyond the dense limit the GGA used to rebuild a COO Schur complement
+and call :func:`scipy.sparse.linalg.spsolve` from scratch on every
+Newton iteration — paying triplet sorting, symbolic analysis and
+fill-in ordering costs that are invariant across iterations, warm
+starts, and whole scenario datasets.  This module factors all of that
+invariant work out:
+
+* :class:`SchurPattern` is built once per (network topology,
+  PRV-active set).  It precomputes the CSC sparsity structure of the
+  Schur complement ``A21 diag(1/g) A12 + diag(extra)`` and a scatter
+  map from per-link conductance arrays straight into the CSC ``data``
+  buffer — the sparse analogue of the dense path's static
+  ``flat_ss/flat_ee/flat_se`` scatter indices.  Assembly is then one
+  gather + one :func:`numpy.bincount` per iteration, no COO sorting.
+  A fill-reducing reverse Cuthill–McKee permutation (cached on the
+  :class:`~repro.hydraulics.network.WaterNetwork`) is folded into the
+  scatter map, so the assembled matrix is already banded and no
+  per-iteration permutation cost exists.
+* :class:`CachedSchurSolver` owns the numeric side: it factorizes the
+  assembled matrix with SuperLU (``MMD_AT_PLUS_A`` column ordering +
+  symmetric mode — the right settings for this SPD matrix), then
+  *reuses* that factorization across subsequent Newton iterations and
+  across whole warm-started solves as a preconditioner for conjugate
+  gradients.  Only when the conductances have drifted far enough that
+  PCG stops converging quickly does it pay for a fresh factorization.
+  When scikit-sparse is importable its CHOLMOD Cholesky is used for
+  the direct factorization instead (pure-scipy SuperLU fallback
+  otherwise); neither is required.
+
+The linear systems are still solved to near machine precision
+(``PCG_RTOL``), so the Newton trajectory matches the dense path to
+well below solver accuracy — the ``sparse_vs_dense`` differential
+oracle in :mod:`repro.verify` holds both paths to ≤ 1e-8 agreement.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from .exceptions import ConvergenceError
+
+try:  # pragma: no cover - exercised only where scikit-sparse is installed
+    from sksparse.cholmod import cholesky as _cholmod_cholesky
+except ImportError:  # the container image ships pure scipy
+    _cholmod_cholesky = None
+
+#: Relative residual at which a preconditioned-CG solve is accepted.
+#: Newton tolerates inexact steps (later iterations correct them), and
+#: the final step of a converged run is millimetre-scale, so 1e-9
+#: relative leaves the converged heads within ~1e-11 m of the
+#: exact-solve trajectory — far inside the 1e-8 ``sparse_vs_dense``
+#: oracle tolerance — while saving several CG iterations per solve.
+PCG_RTOL = 1e-9
+#: PCG iteration budget before falling back to a fresh factorization.
+#: One PCG iteration is two triangular solves + one matvec — roughly
+#: 1/30th of a refactorization at 10k junctions — so a generous budget
+#: keeps the cached factorization alive across whole scenario sweeps.
+PCG_MAX_ITERS = 60
+#: Relative drift of the link/diagonal values from the factorized ones
+#: beyond which PCG is not even attempted mid-Newton.  Measured on the
+#: 10k-junction synthetic city, PCG needs ~15-25 iterations at a few
+#: percent drift (clearly cheaper than a refactorization) but ~35-60
+#: at 5-30% drift — about the price of refactorizing, with none of the
+#: downstream reuse — so past this point the solver goes straight to a
+#: fresh factorization.
+PCG_DRIFT_LIMIT = 0.05
+#: Stricter PCG gate for *anchor* solves (the first Newton iteration of
+#: a warm-started solve).  Warm-start states recur — every scenario in a
+#: localization sweep warm-starts from the same baseline, every EPS step
+#: from the previous step — so when the factorization has drifted more
+#: than this from one, re-centering it there (one refactorization)
+#: converts all future visits into near-free direct triangular solves,
+#: which beats limping along on a stale preconditioner forever.
+ANCHOR_DRIFT_LIMIT = 0.02
+#: Drift below which the cached factorization is applied directly (two
+#: triangular solves, no assembly, no CG).  A leak scenario's first
+#: warm-started Newton iteration differs from the factorized baseline
+#: only by one emitter-gradient diagonal term (the leak itself enters
+#: through the right-hand side), so this fires constantly in scenario
+#: sweeps; the introduced step error is ~drift * |dh|, orders of
+#: magnitude below solver accuracy.
+TRISOLVE_DRIFT_LIMIT = 1e-6
+#: When the link conductances match the factorized state and at most
+#: this many *diagonal* entries moved (a leak scenario's emitter
+#: gradients touch one junction per leak), the matrix is a rank-k
+#: diagonal perturbation of the factorized one.  The factor-
+#: preconditioned system then has only ~k non-unit eigenvalues, so CG
+#: converges in ~k+1 iterations regardless of how *large* the
+#: perturbation is — the drift-magnitude gates are bypassed entirely.
+LOW_RANK_DIAG_LIMIT = 32
+#: A diagonal entry counts as *unchanged* from the anchor state when it
+#: moved by less than this fraction of the matrix scale — numerical
+#: noise, not a physical change.  Anchor trisolves require every entry
+#: unchanged at this level; anything looser would smuggle a stale
+#: emitter gradient through a full-size first Newton step.
+DIAG_MATCH_RTOL = 1e-12
+#: Tiny diagonal regulariser keeping the Schur complement positive
+#: definite when a junction momentarily has no pressure-dependent term.
+DIAG_EPS = 1e-12
+
+
+class SingularSchurError(ConvergenceError):
+    """The Schur complement factorization was singular (or produced
+    non-finite results) — a :class:`ConvergenceError` subclass so
+    callers handle dense and sparse failures through one contract."""
+
+    def __init__(
+        self, message: str, iterations: int = 0, residual: float = math.inf
+    ):
+        super().__init__(message, iterations, residual)
+
+
+@dataclass
+class SchurStats:
+    """Counters describing how the cached core earned its keep.
+
+    Attributes:
+        factorizations: direct factorizations paid for.
+        direct_solves: solves answered straight from a fresh factor.
+        reuse_solves: solves answered by applying the cached factor
+            directly (drift below :data:`TRISOLVE_DRIFT_LIMIT`).
+        pcg_solves: solves answered by preconditioned CG reuse.
+        pcg_iterations: total CG iterations across all reused solves.
+        assemblies: matrix assemblies (reuse solves skip assembly).
+    """
+
+    factorizations: int = 0
+    direct_solves: int = 0
+    reuse_solves: int = 0
+    pcg_solves: int = 0
+    pcg_iterations: int = 0
+    assemblies: int = 0
+
+
+class SchurPattern:
+    """Precomputed sparsity structure + scatter map for the GGA Schur
+    complement of one (topology, PRV-active set).
+
+    The Schur complement couples junctions ``i`` and ``j`` whenever a
+    non-PRV-active link joins them; links touching a fixed-head node
+    contribute only to their junction's diagonal.  None of that depends
+    on flows, demands, or emitters, so the CSC ``indptr``/``indices``
+    arrays, the fill-reducing permutation, and the scatter positions
+    from link conductances into ``data`` are all computed once here and
+    reused for every assembly.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        start_idx: np.ndarray,
+        end_idx: np.ndarray,
+        permutation: np.ndarray | None = None,
+    ):
+        """Build the pattern.
+
+        Args:
+            n: junction count (matrix dimension).
+            start_idx: per-link start-junction index (< 0 for fixed nodes),
+                normal (non-PRV-active) links only.
+            end_idx: per-link end-junction index (< 0 for fixed nodes).
+            permutation: optional fill-reducing junction permutation
+                (``perm[k]`` = original index placed at row ``k``);
+                identity when omitted.  Folded into the scatter map so
+                assembly emits the permuted matrix directly.
+        """
+        self.n = int(n)
+        if permutation is None:
+            permutation = np.arange(self.n, dtype=np.int64)
+        self.perm = np.asarray(permutation, dtype=np.int64)
+        #: inverse permutation: original junction -> permuted row.
+        self.iperm = np.empty_like(self.perm)
+        self.iperm[self.perm] = np.arange(self.n, dtype=np.int64)
+
+        s_mask = start_idx >= 0
+        e_mask = end_idx >= 0
+        both = s_mask & e_mask
+        # Gather positions into the per-link inv_g array, and the sign of
+        # each contribution: +inv_g on the two diagonals, -inv_g on the
+        # two off-diagonals of every junction-junction link.
+        g_ss = np.nonzero(s_mask)[0]
+        g_ee = np.nonzero(e_mask)[0]
+        g_ij = np.nonzero(both)[0]
+        self._gather = np.concatenate([g_ss, g_ee, g_ij, g_ij])
+        self._sign = np.concatenate(
+            [
+                np.ones(len(g_ss) + len(g_ee)),
+                -np.ones(2 * len(g_ij)),
+            ]
+        )
+        p_start = self.iperm[np.maximum(start_idx, 0)]
+        p_end = self.iperm[np.maximum(end_idx, 0)]
+        rows = np.concatenate(
+            [p_start[s_mask], p_end[e_mask], p_start[both], p_end[both]]
+        )
+        cols = np.concatenate(
+            [p_start[s_mask], p_end[e_mask], p_end[both], p_start[both]]
+        )
+
+        structure = sp.csc_matrix(
+            (np.ones(len(rows)), (rows, cols)), shape=(self.n, self.n)
+        )
+        structure.sum_duplicates()
+        self.indptr = structure.indptr.copy()
+        self.indices = structure.indices.copy()
+        self.nnz = int(self.indices.shape[0])
+
+        # Scatter map: CSC stores entries column-major with rows sorted
+        # inside each column, so the flattened (col * n + row) keys are
+        # globally sorted and every triplet's slot is one searchsorted.
+        csc_cols = np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(self.indptr)
+        )
+        sorted_keys = csc_cols * self.n + self.indices
+        self._scatter = np.searchsorted(
+            sorted_keys, cols.astype(np.int64) * self.n + rows
+        )
+        diag = np.arange(self.n, dtype=np.int64)
+        self._diag_scatter = np.searchsorted(sorted_keys, diag * self.n + diag)
+
+    def assemble(self, inv_g: np.ndarray, diag_extra: np.ndarray) -> np.ndarray:
+        """Assemble the permuted Schur complement's CSC ``data`` array.
+
+        Args:
+            inv_g: per-normal-link inverse headloss gradients.
+            diag_extra: per-junction extra diagonal (emitter/PDD/PRV
+                terms), in *original* junction order.
+
+        Returns:
+            The dense ``data`` vector matching ``indptr``/``indices``.
+        """
+        contrib = inv_g[self._gather] * self._sign
+        data = np.bincount(self._scatter, weights=contrib, minlength=self.nnz)
+        data[self._diag_scatter] += diag_extra[self.perm] + DIAG_EPS
+        return data
+
+    def matrix(self, data: np.ndarray) -> sp.csc_matrix:
+        """Wrap an assembled ``data`` vector as a CSC matrix (no copy)."""
+        return sp.csc_matrix(
+            (data, self.indices, self.indptr), shape=(self.n, self.n)
+        )
+
+
+def _factorize(matrix: sp.csc_matrix):
+    """Direct factorization of the SPD Schur complement.
+
+    CHOLMOD (scikit-sparse) when importable, else SuperLU with
+    ``MMD_AT_PLUS_A`` ordering and symmetric mode — both return an
+    object with a ``solve(rhs)`` method.
+
+    Raises:
+        SingularSchurError: when the factorization is singular.
+    """
+    if _cholmod_cholesky is not None:  # pragma: no cover - optional dep
+        try:
+            return _cholmod_cholesky(matrix)
+        except Exception as exc:
+            raise SingularSchurError(
+                f"CHOLMOD factorization failed: {exc}"
+            ) from exc
+    try:
+        with warnings.catch_warnings():
+            # Near-singular factorizations surface as MatrixRankWarning
+            # with inf/nan results; promote them to the error contract.
+            warnings.simplefilter("error", spla.MatrixRankWarning)
+            return spla.splu(
+                matrix,
+                permc_spec="MMD_AT_PLUS_A",
+                options={"SymmetricMode": True},
+            )
+    except (RuntimeError, spla.MatrixRankWarning) as exc:
+        raise SingularSchurError(
+            f"sparse Schur factorization failed: {exc}"
+        ) from exc
+
+
+@dataclass
+class CachedSchurSolver:
+    """Numeric solver bound to one :class:`SchurPattern`.
+
+    Holds the most recent direct factorization and answers subsequent
+    linear systems with preconditioned conjugate gradients against it,
+    refactorizing only when the matrix has drifted too far (PCG budget
+    exhausted) or a status pass invalidated the cache.  All solves are
+    exact to :data:`PCG_RTOL`, so callers see direct-solve semantics.
+
+    Attributes:
+        pattern: the precomputed sparsity structure / scatter map.
+        stats: reuse counters (factorizations vs PCG-served solves).
+    """
+
+    pattern: SchurPattern
+    stats: SchurStats = field(default_factory=SchurStats)
+    _factor: object | None = field(default=None, repr=False)
+    _ref_inv_g: np.ndarray | None = field(default=None, repr=False)
+    _ref_diag: np.ndarray | None = field(default=None, repr=False)
+    _ref_scale: float = field(default=0.0, repr=False)
+    # The *anchor* factorization is pinned at the last refactorized
+    # anchor state (first Newton iteration of a warm-started solve).
+    # Mid-Newton refactorizations move the working factor but leave this
+    # one alone, so when the next solve warm-starts from the same
+    # baseline its anchor state still matches — a scenario sweep's leak
+    # emitters then differ only in a few diagonal entries and the solve
+    # collapses to a trisolve or a rank-k PCG instead of a refactor.
+    _anchor_factor: object | None = field(default=None, repr=False)
+    _anchor_inv_g: np.ndarray | None = field(default=None, repr=False)
+    _anchor_diag: np.ndarray | None = field(default=None, repr=False)
+    _anchor_scale: float = field(default=0.0, repr=False)
+
+    def invalidate(self) -> None:
+        """Drop the cached factorizations (e.g. after a status flip)."""
+        self._factor = None
+        self._ref_inv_g = None
+        self._ref_diag = None
+        self._anchor_factor = None
+        self._anchor_inv_g = None
+        self._anchor_diag = None
+
+    @staticmethod
+    def _drift(
+        ref_inv_g: np.ndarray | None,
+        ref_diag: np.ndarray | None,
+        ref_scale: float,
+        inv_g: np.ndarray,
+        diag_extra: np.ndarray,
+    ) -> tuple[float, float]:
+        """Relative ``(link, diagonal)`` drift from a factorized state.
+
+        Computed from the raw link/diagonal value arrays so the
+        reuse-vs-refactor decision costs O(links) *before* any matrix
+        assembly.  Link and diagonal changes are scaled separately:
+        a PRV's huge ``K_PRV`` diagonal penalty must not mask real
+        conductance drift (and vice versa).
+        """
+        if ref_inv_g is None or ref_diag is None:
+            return math.inf, math.inf
+        link_scale = float(np.max(np.abs(ref_inv_g)))
+        diag_scale = max(ref_scale, 1e-300)
+        link = float(np.max(np.abs(inv_g - ref_inv_g))) / max(
+            link_scale, 1e-300
+        )
+        diag = float(np.max(np.abs(diag_extra - ref_diag))) / diag_scale
+        return link, diag
+
+    def _anchor_attempt(
+        self, inv_g: np.ndarray, diag_extra: np.ndarray, b: np.ndarray
+    ) -> np.ndarray | None:
+        """Serve an anchor solve from the pinned anchor factorization.
+
+        Returns the (permuted) solution, or None when the anchor state
+        has genuinely moved (link drift, or a more-than-rank-k diagonal
+        change) and the regular tiered policy should take over.
+        """
+        link, diag = self._drift(
+            self._anchor_inv_g, self._anchor_diag, self._anchor_scale,
+            inv_g, diag_extra,
+        )
+        if link > TRISOLVE_DRIFT_LIMIT:
+            return None
+        # Anchor steps are *large* (the first Newton correction of a new
+        # scenario), so even a relatively-tiny stale diagonal would leave
+        # a visible head error if trisolved through.  Trisolve only on a
+        # noise-level diagonal match; any genuinely moved entries go
+        # through rank-k PCG, which is exact to PCG_RTOL.
+        changed = np.abs(diag_extra - self._anchor_diag) > (
+            DIAG_MATCH_RTOL * max(self._anchor_scale, 1e-300)
+        )
+        n_changed = int(np.count_nonzero(changed))
+        if n_changed == 0 and diag <= TRISOLVE_DRIFT_LIMIT:
+            x = self._anchor_factor.solve(b)
+            if np.all(np.isfinite(x)):
+                self.stats.reuse_solves += 1
+                return x
+            return None
+        if n_changed > LOW_RANK_DIAG_LIMIT:
+            return None
+        data = self.pattern.assemble(inv_g, diag_extra)
+        self.stats.assemblies += 1
+        matrix = sp.csr_matrix(
+            (data, self.pattern.indices, self.pattern.indptr),
+            shape=(self.pattern.n, self.pattern.n),
+        )
+        x, iters, converged = _pcg(matrix, b, self._anchor_factor)
+        if converged:
+            self.stats.pcg_solves += 1
+            self.stats.pcg_iterations += iters
+            return x
+        return None
+
+    def solve(
+        self,
+        inv_g: np.ndarray,
+        diag_extra: np.ndarray,
+        rhs: np.ndarray,
+        anchor: bool = False,
+    ) -> np.ndarray:
+        """Solve ``A(inv_g, diag_extra) x = rhs``.
+
+        Three-tier policy, cheapest first:
+
+        1. drift <= :data:`TRISOLVE_DRIFT_LIMIT` — apply the cached
+           factorization directly (two triangular solves, no assembly);
+        2. drift within the PCG gate, *or* the change is a low-rank
+           diagonal perturbation (links unchanged, at most
+           :data:`LOW_RANK_DIAG_LIMIT` diagonal entries moved — e.g. a
+           leak scenario's emitter gradients) — assemble and run
+           conjugate gradients preconditioned by the cached
+           factorization to :data:`PCG_RTOL`;
+        3. otherwise (or on CG breakdown) — assemble and refactorize,
+           re-centering the cache on the current state.
+
+        Args:
+            inv_g: per-link inverse gradients (solver link order).
+            diag_extra: per-junction diagonal terms (solver order).
+            rhs: right-hand side (solver junction order, unpermuted).
+            anchor: True when this is the first Newton iteration of a
+                warm-started solve — a state that recurs across solves
+                (scenario sweeps re-warm-start from one baseline, EPS
+                steps from their predecessor).  A separate *anchor
+                factorization* is pinned at the last refactorized
+                anchor state; anchor solves whose link conductances
+                still match it are answered by a trisolve or a rank-k
+                PCG against it, untouched by mid-Newton
+                refactorizations.  When the anchor state itself has
+                moved, the tight :data:`ANCHOR_DRIFT_LIMIT` PCG gate
+                applies, so a drifted factorization is re-centered (and
+                re-pinned) *here* rather than reused — making every
+                future visit to this state near-free.  Mid-Newton
+                states never recur, so those solves prefer PCG (up to
+                :data:`PCG_DRIFT_LIMIT`) and keep the anchor alive.
+
+        Raises:
+            SingularSchurError: singular factorization or non-finite
+                solution (same contract as :class:`ConvergenceError`).
+        """
+        pattern = self.pattern
+        b = rhs[pattern.perm]
+
+        if anchor and self._anchor_factor is not None:
+            x = self._anchor_attempt(inv_g, diag_extra, b)
+            if x is not None:
+                return self._unpermute(x)
+
+        link_drift, diag_drift = self._drift(
+            self._ref_inv_g, self._ref_diag, self._ref_scale, inv_g, diag_extra
+        )
+        drift = max(link_drift, diag_drift)
+
+        if self._factor is not None and drift <= TRISOLVE_DRIFT_LIMIT:
+            x = self._factor.solve(b)
+            if np.all(np.isfinite(x)):
+                self.stats.reuse_solves += 1
+                return self._unpermute(x)
+
+        data = pattern.assemble(inv_g, diag_extra)
+        self.stats.assemblies += 1
+
+        pcg_gate = ANCHOR_DRIFT_LIMIT if anchor else PCG_DRIFT_LIMIT
+        try_pcg = self._factor is not None and drift <= pcg_gate
+        if self._factor is not None and not try_pcg and (
+            link_drift <= TRISOLVE_DRIFT_LIMIT
+        ):
+            # Links match the factorized state: the matrix is a diagonal
+            # perturbation of the factorized one.  If it is low-rank
+            # (few entries past the trisolve threshold), CG converges in
+            # ~rank+1 iterations however large the entries are.
+            changed = np.abs(diag_extra - self._ref_diag) > (
+                TRISOLVE_DRIFT_LIMIT * max(self._ref_scale, 1e-300)
+            )
+            try_pcg = int(np.count_nonzero(changed)) <= LOW_RANK_DIAG_LIMIT
+        if try_pcg:
+            # The assembled arrays double as the CSR form of the (symmetric)
+            # permuted matrix, which is what CG's matvec wants.
+            matrix = sp.csr_matrix(
+                (data, pattern.indices, pattern.indptr),
+                shape=(pattern.n, pattern.n),
+            )
+            x, iters, converged = _pcg(matrix, b, self._factor)
+            if converged:
+                self.stats.pcg_solves += 1
+                self.stats.pcg_iterations += iters
+                return self._unpermute(x)
+
+        self._factor = _factorize(pattern.matrix(data))
+        self._ref_inv_g = inv_g.copy()
+        self._ref_diag = diag_extra.copy()
+        self._ref_scale = float(np.max(np.abs(data)))
+        if anchor:
+            # Pin this factorization as the anchor: warm-start states
+            # recur, so future solves from the same baseline will find
+            # it here even after mid-Newton refactorizations move the
+            # working factor.
+            self._anchor_factor = self._factor
+            self._anchor_inv_g = self._ref_inv_g
+            self._anchor_diag = self._ref_diag
+            self._anchor_scale = self._ref_scale
+        self.stats.factorizations += 1
+        x = self._factor.solve(b)
+        if not np.all(np.isfinite(x)):
+            self.invalidate()
+            raise SingularSchurError(
+                "sparse Schur solve produced non-finite heads"
+            )
+        self.stats.direct_solves += 1
+        return self._unpermute(x)
+
+    def _unpermute(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x)
+        out[self.pattern.perm] = x
+        return out
+
+
+def _pcg(
+    matrix: sp.csr_matrix,
+    b: np.ndarray,
+    factor,
+    rtol: float = PCG_RTOL,
+    max_iters: int = PCG_MAX_ITERS,
+) -> tuple[np.ndarray, int, bool]:
+    """Preconditioned conjugate gradients with a direct-factor preconditioner.
+
+    Args:
+        matrix: the current (SPD) system matrix.
+        b: right-hand side.
+        factor: previous factorization exposing ``solve`` — applied as
+            the preconditioner.
+        rtol: relative residual target.
+        max_iters: iteration budget; exceeding it reports failure so the
+            caller refactorizes.
+
+    Returns:
+        ``(x, iterations, converged)``.
+    """
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return np.zeros_like(b), 0, True
+    target = rtol * bnorm
+    x = np.zeros_like(b)
+    r = b.copy()
+    z = factor.solve(r)
+    p = z.copy()
+    rz = float(r @ z)
+    if not np.isfinite(rz) or rz <= 0.0:
+        return x, 0, False
+    for iteration in range(1, max_iters + 1):
+        Ap = matrix @ p
+        pAp = float(p @ Ap)
+        if not np.isfinite(pAp) or pAp <= 0.0:
+            return x, iteration, False
+        alpha = rz / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        if float(np.linalg.norm(r)) <= target:
+            return x, iteration, True
+        z = factor.solve(r)
+        rz_new = float(r @ z)
+        if not np.isfinite(rz_new) or rz_new <= 0.0:
+            return x, iteration, False
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+    return x, max_iters, False
+
+
+def legacy_sparse_solve(
+    start_idx: np.ndarray,
+    end_idx: np.ndarray,
+    inv_g: np.ndarray,
+    diag_extra: np.ndarray,
+    rhs: np.ndarray,
+) -> np.ndarray:
+    """The pre-pattern-cache sparse path: per-call COO assembly + spsolve.
+
+    Kept as the measurable reference for the ``repro bench --steady``
+    old-vs-new comparison and as a correctness cross-check; not used on
+    any hot path.
+
+    Raises:
+        SingularSchurError: singular factorization (RuntimeError or
+            :class:`scipy.sparse.linalg.MatrixRankWarning` alike).
+    """
+    n = len(rhs)
+    s_mask = start_idx >= 0
+    e_mask = end_idx >= 0
+    both = s_mask & e_mask
+    rows = [
+        start_idx[s_mask], end_idx[e_mask],
+        start_idx[both], end_idx[both], np.arange(n),
+    ]
+    cols = [
+        start_idx[s_mask], end_idx[e_mask],
+        end_idx[both], start_idx[both], np.arange(n),
+    ]
+    data = [
+        inv_g[s_mask], inv_g[e_mask],
+        -inv_g[both], -inv_g[both], diag_extra + DIAG_EPS,
+    ]
+    matrix = sp.coo_matrix(
+        (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n, n),
+    ).tocsc()
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", spla.MatrixRankWarning)
+            return spla.spsolve(matrix, rhs)
+    except (RuntimeError, spla.MatrixRankWarning) as exc:
+        raise SingularSchurError(
+            f"sparse Schur solve failed: {exc}"
+        ) from exc
+
+
+__all__ = [
+    "ANCHOR_DRIFT_LIMIT",
+    "LOW_RANK_DIAG_LIMIT",
+    "PCG_DRIFT_LIMIT",
+    "PCG_MAX_ITERS",
+    "PCG_RTOL",
+    "TRISOLVE_DRIFT_LIMIT",
+    "CachedSchurSolver",
+    "SchurPattern",
+    "SchurStats",
+    "SingularSchurError",
+    "legacy_sparse_solve",
+]

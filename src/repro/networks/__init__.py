@@ -1,9 +1,15 @@
 """Evaluation networks: EPA-NET and WSSC-SUBNET surrogates + test nets."""
 
 from .adjacency import JunctionAdjacency, junction_adjacency
-from .catalog import available_networks, build_network, register_network
+from .catalog import (
+    available_networks,
+    build_network,
+    large_networks,
+    register_network,
+)
 from .epanet_canonical import epanet_canonical
 from .synthetic import two_loop_test_network
+from .synthetic_city import synthetic_city
 from .wssc_subnet import wssc_subnet
 
 __all__ = [
@@ -12,7 +18,9 @@ __all__ = [
     "build_network",
     "epanet_canonical",
     "junction_adjacency",
+    "large_networks",
     "register_network",
+    "synthetic_city",
     "two_loop_test_network",
     "wssc_subnet",
 ]

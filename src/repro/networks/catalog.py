@@ -11,6 +11,7 @@ from typing import Callable
 from ..hydraulics import WaterNetwork
 from .epanet_canonical import epanet_canonical
 from .synthetic import two_loop_test_network
+from .synthetic_city import city_10k, city_100k
 from .wssc_subnet import wssc_subnet
 
 _BUILDERS: dict[str, Callable[..., WaterNetwork]] = {
@@ -19,17 +20,41 @@ _BUILDERS: dict[str, Callable[..., WaterNetwork]] = {
     "two-loop": lambda seed=0: two_loop_test_network(),
 }
 
+#: City-scale networks, resolvable by :func:`build_network` but kept out
+#: of the default :func:`available_networks` listing: the verify sweep,
+#: differential oracles, and CLI defaults iterate that listing, and a
+#: 10k–100k-junction build per oracle would swamp them.
+_LARGE_BUILDERS: dict[str, Callable[..., WaterNetwork]] = {
+    "city10k": city_10k,
+    "city100k": city_100k,
+}
+
 #: Alternate spellings accepted by :func:`build_network` (the paper calls
 #: the networks EPA-NET and WSSC-SUBNET).
 _ALIASES: dict[str, str] = {
     "epa-net": "epanet",
     "wssc-subnet": "wssc",
+    "city-10k": "city10k",
+    "city-100k": "city100k",
 }
 
 
-def available_networks() -> list[str]:
-    """Names accepted by :func:`build_network`."""
-    return sorted(_BUILDERS)
+def available_networks(include_large: bool = False) -> list[str]:
+    """Names accepted by :func:`build_network`.
+
+    Args:
+        include_large: also list the city-scale networks (10k+ junctions)
+            that bulk sweeps deliberately skip.
+    """
+    names = dict(_BUILDERS)
+    if include_large:
+        names.update(_LARGE_BUILDERS)
+    return sorted(names)
+
+
+def large_networks() -> list[str]:
+    """Names of the city-scale networks (built on demand, never swept)."""
+    return sorted(_LARGE_BUILDERS)
 
 
 def build_network(name: str, seed: int | None = None) -> WaterNetwork:
@@ -44,11 +69,15 @@ def build_network(name: str, seed: int | None = None) -> WaterNetwork:
     """
     key = name.strip().lower()
     key = _ALIASES.get(key, key)
-    if key not in _BUILDERS:
-        raise KeyError(f"unknown network {name!r}; available: {available_networks()}")
+    builder = _BUILDERS.get(key) or _LARGE_BUILDERS.get(key)
+    if builder is None:
+        raise KeyError(
+            f"unknown network {name!r}; available: "
+            f"{available_networks(include_large=True)}"
+        )
     if seed is None:
-        return _BUILDERS[key]()
-    return _BUILDERS[key](seed=seed)
+        return builder()
+    return builder(seed=seed)
 
 
 def register_network(name: str, builder: Callable[..., WaterNetwork]) -> None:

@@ -1,0 +1,217 @@
+"""Deterministic city-scale synthetic networks (10k–100k junctions).
+
+The paper evaluates on 96- and 299-node networks; the ROADMAP north
+star is city scale.  This module extends the looped-grid-plus-laterals
+pattern of :mod:`repro.networks.wssc_subnet` to five-digit junction
+counts: a full orthogonal street grid (connected by construction, so no
+spanning-tree machinery is needed at 100k nodes), a random sprinkling
+of diagonal cross-streets, short service-lateral chains hanging off the
+grid, and one perimeter reservoir per ~5k junctions feeding the grid
+through large transmission mains, with pipe diameters tapering with
+distance from the nearest source.
+
+Everything is drawn in bulk from one seeded
+:func:`numpy.random.default_rng` stream (SeedSequence-pure, no
+Python-loop draws on the hot path), so a network is bit-for-bit
+reproducible from ``(n_junctions, seed)`` and builds in seconds even at
+100k junctions.  These networks exist to exercise the sparse Schur
+solver core (:mod:`repro.hydraulics.sparse`) — they are registered in
+the catalog as ``city10k``/``city100k`` but excluded from the default
+:func:`~repro.networks.catalog.available_networks` sweep that the
+verify and oracle harnesses iterate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..hydraulics import WaterNetwork
+from .synthetic import attach_standard_pattern
+
+#: Grid spacing between adjacent street junctions (m).
+_SPACING = 100.0
+#: Fraction of junctions that are service laterals (not grid nodes).
+_LATERAL_FRACTION = 0.2
+#: Probability that a grid cell gets a diagonal cross-street.
+_DIAGONAL_PROBABILITY = 0.04
+#: Probability that a lateral chains off the previous lateral instead of
+#: attaching straight to its grid parent.
+_CHAIN_PROBABILITY = 0.35
+#: One perimeter reservoir per this many junctions (minimum one).
+_JUNCTIONS_PER_RESERVOIR = 5000
+
+
+def _city_terrain(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Smooth rolling terrain (m), vectorised over coordinate arrays."""
+    u = x / 1900.0
+    v = y / 1500.0
+    return (
+        12.0
+        + 9.0 * np.sin(0.9 * u) * np.cos(1.1 * v)
+        + 4.0 * np.sin(2.3 * u + 0.7) * np.sin(1.7 * v + 0.3)
+    )
+
+
+def synthetic_city(n_junctions: int = 10_000, seed: int = 20260807) -> WaterNetwork:
+    """Build a city-scale looped-grid network, deterministic per seed.
+
+    Args:
+        n_junctions: total junction count (grid + laterals), >= 16.
+        seed: RNG seed; every stochastic choice comes from one
+            ``default_rng(seed)`` stream in a fixed draw order.
+
+    Returns:
+        A validated :class:`~repro.hydraulics.WaterNetwork` with exactly
+        ``n_junctions`` junctions, ``max(1, n_junctions // 5000)``
+        reservoirs, and roughly 1.3 links per junction.
+    """
+    if n_junctions < 16:
+        raise ValueError(f"synthetic_city needs >= 16 junctions, got {n_junctions}")
+    rng = np.random.default_rng(seed)
+
+    n_lateral = int(n_junctions * _LATERAL_FRACTION)
+    n_grid = n_junctions - n_lateral
+    rows = max(int(math.sqrt(n_grid)), 2)
+    cols = n_grid // rows
+    n_grid = rows * cols
+    n_lateral = n_junctions - n_grid
+
+    # --- grid junction positions (row-major), jittered ------------------
+    r_idx, c_idx = np.divmod(np.arange(n_grid), cols)
+    gx = c_idx * _SPACING + rng.uniform(-15.0, 15.0, n_grid)
+    gy = r_idx * _SPACING + rng.uniform(-15.0, 15.0, n_grid)
+
+    # --- orthogonal street edges (connected by construction) ------------
+    idx = np.arange(n_grid)
+    horiz_a = idx[c_idx < cols - 1]
+    vert_a = idx[r_idx < rows - 1]
+    edges_a = [horiz_a, vert_a]
+    edges_b = [horiz_a + 1, vert_a + cols]
+    # Diagonal cross-streets on a random subset of cells.
+    cell_a = idx[(c_idx < cols - 1) & (r_idx < rows - 1)]
+    diag = cell_a[rng.random(len(cell_a)) < _DIAGONAL_PROBABILITY]
+    edges_a.append(diag)
+    edges_b.append(diag + cols + 1)
+
+    # --- service laterals: short chains off the grid --------------------
+    parent_grid = rng.integers(0, n_grid, n_lateral)
+    chain = rng.random(n_lateral) < _CHAIN_PROBABILITY
+    chain[:1] = False
+    lat_idx = np.arange(n_lateral)
+    # Chain roots: each lateral inherits the grid parent of the most
+    # recent non-chained lateral; depth counts steps along the chain.
+    root_at = np.maximum.accumulate(np.where(~chain, lat_idx, -1))
+    root_parent = parent_grid[root_at]
+    depth = lat_idx - root_at
+    parent = np.where(chain, n_grid + lat_idx - 1, root_parent)
+    angle = rng.uniform(0.0, 2.0 * math.pi, n_lateral)
+    reach = rng.uniform(40.0, 90.0, n_lateral)
+    # All laterals of a chain share the root's angle draw, stepping
+    # outward, which keeps positions computable without a Python loop.
+    angle = angle[root_at]
+    lx = gx[root_parent] + np.cos(angle) * reach * (depth + 1)
+    ly = gy[root_parent] + np.sin(angle) * reach * (depth + 1)
+
+    x = np.concatenate([gx, lx])
+    y = np.concatenate([gy, ly])
+    elevation = _city_terrain(x, y)
+    demand = rng.lognormal(mean=math.log(1.8e-4), sigma=0.4, size=n_junctions)
+
+    # --- reservoirs: evenly spaced around the grid perimeter ------------
+    n_res = max(1, n_junctions // _JUNCTIONS_PER_RESERVOIR)
+    perimeter = np.concatenate(
+        [
+            idx[r_idx == 0],
+            idx[c_idx == cols - 1][1:],
+            idx[r_idx == rows - 1][::-1][1:],
+            idx[c_idx == 0][::-1][1:-1],
+        ]
+    )
+    feed = perimeter[
+        (np.arange(n_res) * len(perimeter)) // n_res % len(perimeter)
+    ]
+
+    # --- diameters taper with distance to the nearest reservoir ---------
+    feed_x, feed_y = x[feed], y[feed]
+    dist = np.full(n_grid, np.inf)
+    for fx, fy in zip(feed_x, feed_y):
+        np.minimum(dist, np.hypot(gx - fx, gy - fy), out=dist)
+
+    net = WaterNetwork(f"CITY-{n_junctions}")
+    net.options.hydraulic_timestep = 900.0
+    net.options.pattern_timestep = 3600.0
+    pattern = attach_standard_pattern(net)
+
+    for i in range(n_junctions):
+        net.add_junction(
+            f"N{i + 1}",
+            elevation=float(elevation[i]),
+            base_demand=float(demand[i]),
+            demand_pattern=pattern,
+            coordinates=(float(x[i]), float(y[i])),
+        )
+
+    edge_a = np.concatenate(edges_a)
+    edge_b = np.concatenate(edges_b)
+    edge_len = np.hypot(x[edge_b] - x[edge_a], y[edge_b] - y[edge_a]) * 1.1
+    edge_dist = np.minimum(dist[edge_a], dist[edge_b])
+    span = max(float(dist.max()), 1.0)
+    edge_diam = np.where(
+        edge_dist < 0.12 * span, 0.6, np.where(edge_dist < 0.4 * span, 0.35, 0.25)
+    )
+    edge_rough = rng.uniform(95.0, 130.0, len(edge_a))
+    for k in range(len(edge_a)):
+        net.add_pipe(
+            f"M{k + 1}",
+            f"N{edge_a[k] + 1}",
+            f"N{edge_b[k] + 1}",
+            length=float(edge_len[k]),
+            diameter=float(edge_diam[k]),
+            roughness=float(edge_rough[k]),
+        )
+
+    lat_len = reach * 1.1
+    lat_rough = rng.uniform(85.0, 120.0, n_lateral)
+    for k in range(n_lateral):
+        net.add_pipe(
+            f"L{k + 1}",
+            f"N{int(parent[k]) + 1}",
+            f"N{n_grid + k + 1}",
+            length=float(lat_len[k]),
+            diameter=0.12,
+            roughness=float(lat_rough[k]),
+        )
+
+    base_head = float(elevation.max()) + 70.0
+    for r, node in enumerate(feed):
+        rx, ry = float(x[node]), float(y[node])
+        net.add_reservoir(
+            f"SRC{r + 1}",
+            base_head=base_head,
+            coordinates=(rx - 200.0, ry - 200.0),
+        )
+        net.add_pipe(
+            f"T{r + 1}",
+            f"SRC{r + 1}",
+            f"N{int(node) + 1}",
+            length=400.0,
+            diameter=0.9,
+            roughness=135.0,
+        )
+
+    counts = net.describe()
+    assert counts["junctions"] == n_junctions, counts
+    assert counts["reservoirs"] == n_res, counts
+    return net
+
+
+def city_10k(seed: int = 20260807) -> WaterNetwork:
+    """The catalog's ``city10k`` builder: 10,000 junctions."""
+    return synthetic_city(10_000, seed=seed)
+
+
+def city_100k(seed: int = 20260807) -> WaterNetwork:
+    """The catalog's ``city100k`` builder: 100,000 junctions."""
+    return synthetic_city(100_000, seed=seed)

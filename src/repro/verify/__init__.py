@@ -33,6 +33,7 @@ from .differential import (
     diff_njobs_training,
     diff_process_vs_serial,
     diff_serve_vs_direct,
+    diff_sparse_vs_dense,
     diff_warm_vs_cold,
     diff_workers_dataset,
     run_differential_oracles,
@@ -109,6 +110,7 @@ __all__ = [
     "diff_njobs_training",
     "diff_process_vs_serial",
     "diff_serve_vs_direct",
+    "diff_sparse_vs_dense",
     "diff_warm_vs_cold",
     "diff_workers_dataset",
     "emit_regression_test",

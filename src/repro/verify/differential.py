@@ -21,6 +21,12 @@ The factor-graph aggregation added one more:
   aggregation (bit-identical — zero messages pass the unary posterior
   through untouched).
 
+The sparse Schur solver core added one more:
+
+* forced-sparse GGA solves  ≈  forced-dense solves (heads and flows
+  within 1e-8 — the cached-factorization/PCG policy must be invisible
+  at solver accuracy on every catalog network).
+
 Each oracle here runs both sides on a deterministic workload and reports
 the worst disagreement.  ``repro verify`` runs them per network; the
 acceptance bar is bit-identical where the claim is bit-identity and
@@ -38,6 +44,11 @@ from ..hydraulics import GGASolver, WaterNetwork
 #: Warm and cold solves converge to the same fixed point only to solver
 #: accuracy; this is the agreement bound (heads in m, flows in m^3/s).
 WARM_COLD_TOL = 1e-5
+
+#: Sparse and dense linear solvers must follow the same Newton
+#: trajectory to floating-point noise; 1e-8 (heads in m, flows in
+#: m^3/s) is orders of magnitude above what either path accumulates.
+SPARSE_DENSE_TOL = 1e-8
 
 
 @dataclass(frozen=True)
@@ -165,6 +176,49 @@ def diff_warm_vs_cold(
         pairs,
         tolerance=tolerance,
         detail=f"{network.name}, {n_scenarios} leak scenarios",
+    )
+
+
+def diff_sparse_vs_dense(
+    network: WaterNetwork,
+    seed: int = 0,
+    n_scenarios: int = 3,
+    tolerance: float = SPARSE_DENSE_TOL,
+) -> DiffReport:
+    """Forced-sparse GGA solves vs forced-dense, cold and warm-started.
+
+    The sparse Schur core reuses cached factorizations (direct triangular
+    solves below :data:`~repro.hydraulics.sparse.TRISOLVE_DRIFT_LIMIT`
+    drift, preconditioned CG above it), so its steps are deliberately
+    inexact at the 1e-9 level; this oracle checks the resulting heads and
+    flows stay within 1e-8 of the dense LAPACK path on the baseline, on
+    leak scenarios, and through warm starts — the full reuse policy, not
+    just one cold factorization.
+    """
+    dense = GGASolver(network, linear_solver="dense")
+    sparse = GGASolver(network, linear_solver="sparse")
+    dense_base = dense.solve()
+    sparse_base = sparse.solve()
+    pairs = [
+        (dense_base.junction_heads, sparse_base.junction_heads),
+        (dense_base.link_flows, sparse_base.link_flows),
+    ]
+    for k in range(n_scenarios):
+        emitters = _leak_emitters(dense, seed + 31 * k)
+        d = dense.solve(emitters=emitters, warm_start=dense_base)
+        s = sparse.solve(emitters=emitters, warm_start=sparse_base)
+        pairs.append((d.junction_heads, s.junction_heads))
+        pairs.append((d.link_flows, s.link_flows))
+    stats = sparse.schur_stats
+    return _compare(
+        "sparse_vs_dense",
+        pairs,
+        tolerance=tolerance,
+        detail=(
+            f"{network.name}, baseline + {n_scenarios} leak scenarios "
+            f"({stats.factorizations} factorizations, "
+            f"{stats.reuse_solves} reuse, {stats.pcg_solves} pcg)"
+        ),
     )
 
 
@@ -471,7 +525,7 @@ def run_differential_oracles(
     quick: bool = False,
     workers: int = 4,
 ) -> list[DiffReport]:
-    """All nine differential oracles on one network.
+    """All ten differential oracles on one network.
 
     Quick mode trims the workload (fewer scenarios, 2 workers) so the
     catalog sweep stays CI-sized; the claims checked are identical.
@@ -482,6 +536,7 @@ def run_differential_oracles(
     return [
         diff_array_vs_dict(network, seed=seed),
         diff_warm_vs_cold(network, seed=seed, n_scenarios=2 if quick else 5),
+        diff_sparse_vs_dense(network, seed=seed, n_scenarios=2 if quick else 4),
         diff_workers_dataset(network, seed=seed, n_samples=n_samples, workers=pool),
         diff_njobs_training(network, seed=seed, n_samples=n_train, n_jobs=pool),
         diff_flattened_vs_recursive(network, seed=seed, n_samples=n_samples),

@@ -108,9 +108,9 @@ def _steady_path(network_name: str) -> Path:
     return golden_dir() / f"steady-{network_name}.json"
 
 
-def _steady_snapshot(network_name: str) -> dict:
+def _steady_snapshot(network_name: str, linear_solver: str = "auto") -> dict:
     network = build_network(network_name)
-    solution = GGASolver(network).solve()
+    solution = GGASolver(network, linear_solver=linear_solver).solve()
     return {
         "network": network_name,
         "node_head": {k: float(v) for k, v in solution.node_head.items()},
@@ -145,9 +145,20 @@ def check_steady_golden(
     network_name: str,
     head_tol: float = HEAD_TOL,
     flow_tol: float = FLOW_TOL,
+    linear_solver: str = "auto",
 ) -> GoldenReport:
-    """Compare a fresh steady solve against the committed snapshot."""
-    name = f"steady:{network_name}"
+    """Compare a fresh steady solve against the committed snapshot.
+
+    The committed snapshot is always produced by the default (dense,
+    below ``DENSE_SOLVE_LIMIT``) path; passing ``linear_solver="sparse"``
+    re-solves through the sparse Schur core and holds it to the same
+    snapshot and tolerances — the forced-sparse regression gate.
+    """
+    name = (
+        f"steady:{network_name}"
+        if linear_solver == "auto"
+        else f"steady[{linear_solver}]:{network_name}"
+    )
     path = _steady_path(network_name)
     if not path.exists():
         return GoldenReport(
@@ -158,7 +169,7 @@ def check_steady_golden(
             detail=f"no golden at {path}; run `repro verify --update-golden`",
         )
     golden = json.loads(path.read_text())
-    current = _steady_snapshot(network_name)
+    current = _steady_snapshot(network_name, linear_solver=linear_solver)
     head_diff, head_err = _compare_mapping(golden["node_head"], current["node_head"])
     flow_diff, flow_err = _compare_mapping(golden["link_flow"], current["link_flow"])
     structural = head_err or flow_err

@@ -9,12 +9,13 @@
 2. runs a short extended-period simulation and checks tank volume
    bookkeeping across timesteps;
 3. runs the differential oracles (array vs dict, warm vs cold,
-   workers vs serial, n_jobs vs serial, flattened vs recursive trees,
-   degenerate CRF vs independent aggregation, micro-batched serving vs
-   direct inference);
-4. checks the committed golden snapshots (steady heads/flows always,
-   the Phase-I/Phase-II accuracy goldens — single-mode and multi-leak
-   two-mode — in full mode);
+   sparse vs dense linear solvers, workers vs serial, n_jobs vs
+   serial, flattened vs recursive trees, degenerate CRF vs independent
+   aggregation, micro-batched serving vs direct inference);
+4. checks the committed golden snapshots (steady heads/flows always —
+   on the default dense path *and* re-solved through the forced-sparse
+   Schur core — plus the Phase-I/Phase-II accuracy goldens —
+   single-mode and multi-leak two-mode — in full mode);
 
 then fuzzes the stock properties on random small networks.  Quick mode
 trims scenario counts and skips the accuracy golden so the sweep stays
@@ -223,7 +224,10 @@ def run_verify(
         diff_reports = run_differential_oracles(
             build_network(name), seed=seed, quick=quick, workers=workers
         )
-        golden_reports = [check_steady_golden(name)]
+        golden_reports = [
+            check_steady_golden(name),
+            check_steady_golden(name, linear_solver="sparse"),
+        ]
         if not quick and name in ACCURACY_NETWORKS:
             golden_reports.append(check_accuracy_golden(name))
             golden_reports.append(check_multi_accuracy_golden(name))

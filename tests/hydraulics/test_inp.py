@@ -132,9 +132,9 @@ class TestParse:
 
 
 class TestParseErrors:
-    def test_unknown_section(self):
+    def test_unknown_section_strict(self):
         with pytest.raises(InpSyntaxError, match="unknown section"):
-            read_inp("[NOTASECTION]\nfoo 1 2\n")
+            read_inp("[NOTASECTION]\nfoo 1 2\n", strict=True)
 
     def test_data_before_section(self):
         with pytest.raises(InpSyntaxError, match="before any section"):
@@ -149,6 +149,126 @@ class TestParseErrors:
         text = "[JUNCTIONS]\nJ1 5\nJ2 5\n[PIPES]\nP1 J1 J2\n"
         with pytest.raises(InpSyntaxError, match="pipe row"):
             read_inp(text)
+
+
+class TestRealWorldTolerance:
+    """Real exported INP files carry vendor sections, odd casing and
+    comments everywhere; the reader skips what it does not understand."""
+
+    MESSY = """
+[Title]
+Vendor-exported network ; exported 2026-08-07
+
+[UnKnOwN-Vendor Extension]
+ some opaque payload 1 2 3
+
+[Junctions]   ; mixed-case header with trailing comment
+ J1  10  0.5   ; inline comment after data
+ J2  12  0.25
+
+[RESERVOIRS]
+
+[EmptySection]
+
+[reservoirs]
+ R1  60
+
+[PIPES]
+ P1  R1  J1  100  300  120  0  Open
+ P2  J1  J2  100  250  120  0  OPEN
+
+[OPTIONS]
+ UNITS LPS
+
+[END]
+"""
+
+    def test_unknown_sections_skipped(self):
+        net, _ = read_inp(self.MESSY)
+        assert net.describe()["junctions"] == 2
+        assert net.describe()["reservoirs"] == 1
+        assert net.describe()["pipes"] == 2
+
+    def test_mixed_case_headers_and_inline_comments(self):
+        net, _ = read_inp(self.MESSY)
+        assert net.node("J1").base_demand == pytest.approx(0.5e-3)  # LPS
+
+    def test_blank_sections_tolerated(self):
+        net, _ = read_inp(self.MESSY)
+        assert net.node("R1").base_head == pytest.approx(60.0)
+
+    def test_strict_mode_still_rejects(self):
+        with pytest.raises(InpSyntaxError, match="unknown section"):
+            read_inp(self.MESSY, strict=True)
+
+
+class TestUnitRoundTrips:
+    """The same physical network authored in different flow units must
+    parse to identical SI values, and survive a write/re-read cycle."""
+
+    TEMPLATE = """
+[JUNCTIONS]
+ J1  {elev}  {demand}
+[RESERVOIRS]
+ R1  {head}
+[PIPES]
+ P1  R1  J1  {length}  {diam}  120  0  OPEN
+[EMITTERS]
+ J1  {emitter}
+[OPTIONS]
+ UNITS {unit}
+[END]
+"""
+
+    # One physical network: elevation 30 m, demand 2 L/s, head 80 m,
+    # pipe 150 m x 200 mm, emitter 0.4 L/s per sqrt(m) — expressed in
+    # each file's native units (US units use ft / in / psi).
+    CASES = {
+        "GPM": dict(
+            elev=30 / 0.3048, demand=2e-3 / (3.785411784e-3 / 60.0),
+            head=80 / 0.3048, length=150 / 0.3048, diam=200 / 25.4,
+            emitter=(0.4e-3 / (3.785411784e-3 / 60.0)) * 0.7030695796**0.5,
+        ),
+        "LPS": dict(
+            elev=30.0, demand=2.0, head=80.0, length=150.0, diam=200.0,
+            emitter=0.4,
+        ),
+        "CMH": dict(
+            elev=30.0, demand=2e-3 * 3600.0, head=80.0, length=150.0,
+            diam=200.0, emitter=0.4e-3 * 3600.0,
+        ),
+    }
+
+    @pytest.mark.parametrize("unit", sorted(CASES))
+    def test_parses_to_same_si_values(self, unit):
+        text = self.TEMPLATE.format(unit=unit, **self.CASES[unit])
+        net, _ = read_inp(text)
+        assert net.node("J1").elevation == pytest.approx(30.0, rel=1e-9)
+        assert net.node("J1").base_demand == pytest.approx(2e-3, rel=1e-9)
+        assert net.node("R1").base_head == pytest.approx(80.0, rel=1e-9)
+        pipe = net.link("P1")
+        assert pipe.length == pytest.approx(150.0, rel=1e-9)
+        assert pipe.diameter == pytest.approx(0.2, rel=1e-9)
+        assert net.node("J1").emitter_coefficient == pytest.approx(
+            0.4e-3, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("unit", sorted(CASES))
+    def test_write_reread_preserves_values(self, unit, tmp_path):
+        text = self.TEMPLATE.format(unit=unit, **self.CASES[unit])
+        net, _ = read_inp(text)
+        path = tmp_path / f"{unit.lower()}.inp"
+        write_inp(net, path)
+        reread, _ = read_inp(path)
+        assert reread.node("J1").base_demand == pytest.approx(
+            net.node("J1").base_demand, rel=1e-9
+        )
+        assert reread.link("P1").diameter == pytest.approx(
+            net.link("P1").diameter, rel=1e-9
+        )
+        assert reread.node("J1").emitter_coefficient == pytest.approx(
+            net.node("J1").emitter_coefficient, rel=1e-9
+        )
 
 
 class TestRulesSection:

@@ -1,0 +1,252 @@
+"""Sparse Schur core tests: pattern assembly, tiered reuse, error contract."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+import scipy.sparse as sps
+
+from repro.hydraulics import GGASolver
+from repro.hydraulics.exceptions import ConvergenceError
+from repro.hydraulics.sparse import (
+    DIAG_EPS,
+    LOW_RANK_DIAG_LIMIT,
+    CachedSchurSolver,
+    SchurPattern,
+    SchurStats,
+    SingularSchurError,
+    _factorize,
+    legacy_sparse_solve,
+)
+from repro.networks import build_network
+
+
+def _random_structure(n, extra_links, seed):
+    """A connected chain over ``n`` junctions plus random extra links.
+
+    A few links touch fixed-head nodes (index -1), exercising the
+    diagonal-only contribution path.
+    """
+    rng = np.random.default_rng(seed)
+    start = list(range(n - 1))
+    end = list(range(1, n))
+    for _ in range(extra_links):
+        a, b = rng.integers(0, n, 2)
+        if a != b:
+            start.append(int(a))
+            end.append(int(b))
+    # Two source links from fixed-head nodes into the network.
+    start += [-1, -1]
+    end += [0, n // 2]
+    return np.array(start, dtype=np.int64), np.array(end, dtype=np.int64)
+
+
+def _reference_dense(start_idx, end_idx, inv_g, diag_extra):
+    """Straightforward dense assembly of the Schur complement."""
+    n = len(diag_extra)
+    A = np.zeros((n, n))
+    for k in range(len(start_idx)):
+        s, e, g = start_idx[k], end_idx[k], inv_g[k]
+        if s >= 0:
+            A[s, s] += g
+        if e >= 0:
+            A[e, e] += g
+        if s >= 0 and e >= 0:
+            A[s, e] -= g
+            A[e, s] -= g
+    A[np.diag_indices(n)] += diag_extra + DIAG_EPS
+    return A
+
+
+class TestSchurPattern:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_assembly_matches_dense_reference(self, seed):
+        n = 30
+        start_idx, end_idx = _random_structure(n, 25, seed)
+        rng = np.random.default_rng(seed + 100)
+        inv_g = rng.uniform(0.1, 5.0, len(start_idx))
+        diag_extra = rng.uniform(0.0, 0.3, n)
+        pattern = SchurPattern(n, start_idx, end_idx)
+        data = pattern.assemble(inv_g, diag_extra)
+        assembled = pattern.matrix(data).toarray()
+        np.testing.assert_allclose(
+            assembled, _reference_dense(start_idx, end_idx, inv_g, diag_extra),
+            rtol=0, atol=1e-14,
+        )
+
+    def test_permutation_folded_into_assembly(self):
+        n = 20
+        start_idx, end_idx = _random_structure(n, 15, 5)
+        rng = np.random.default_rng(6)
+        inv_g = rng.uniform(0.1, 5.0, len(start_idx))
+        diag_extra = rng.uniform(0.0, 0.3, n)
+        perm = rng.permutation(n).astype(np.int64)
+        pattern = SchurPattern(n, start_idx, end_idx, permutation=perm)
+        assembled = pattern.matrix(pattern.assemble(inv_g, diag_extra)).toarray()
+        reference = _reference_dense(start_idx, end_idx, inv_g, diag_extra)
+        np.testing.assert_allclose(
+            assembled, reference[np.ix_(perm, perm)], rtol=0, atol=1e-14
+        )
+
+    def test_matches_legacy_solve(self):
+        n = 40
+        start_idx, end_idx = _random_structure(n, 30, 9)
+        rng = np.random.default_rng(10)
+        inv_g = rng.uniform(0.1, 5.0, len(start_idx))
+        diag_extra = rng.uniform(0.0, 0.3, n)
+        rhs = rng.standard_normal(n)
+        core = CachedSchurSolver(SchurPattern(n, start_idx, end_idx))
+        x = core.solve(inv_g, diag_extra, rhs)
+        x_legacy = legacy_sparse_solve(start_idx, end_idx, inv_g, diag_extra, rhs)
+        np.testing.assert_allclose(x, x_legacy, rtol=0, atol=1e-9)
+
+
+class TestCachedSchurSolverTiers:
+    def _core(self, seed=0, n=50):
+        start_idx, end_idx = _random_structure(n, 40, seed)
+        rng = np.random.default_rng(seed + 1)
+        inv_g = rng.uniform(0.1, 5.0, len(start_idx))
+        diag_extra = rng.uniform(0.05, 0.3, n)
+        rhs = rng.standard_normal(n)
+        return CachedSchurSolver(SchurPattern(n, start_idx, end_idx)), inv_g, diag_extra, rhs
+
+    def test_repeat_anchor_solve_is_trisolve_reuse(self):
+        core, inv_g, diag, rhs = self._core()
+        core.solve(inv_g, diag, rhs, anchor=True)
+        assert core.stats.factorizations == 1
+        core.solve(inv_g, diag, rhs, anchor=True)
+        assert core.stats.reuse_solves == 1
+        assert core.stats.factorizations == 1
+
+    def test_low_rank_diag_change_served_by_pcg(self):
+        core, inv_g, diag, rhs = self._core()
+        x0 = core.solve(inv_g, diag, rhs, anchor=True)
+        bumped = diag.copy()
+        bumped[[3, 17, 29]] += 50.0  # far past every drift gate
+        x1 = core.solve(inv_g, bumped, rhs, anchor=True)
+        assert core.stats.pcg_solves == 1
+        assert core.stats.factorizations == 1  # no refactorization paid
+        # Exactness: matches a fresh direct solve of the bumped system.
+        fresh = CachedSchurSolver(core.pattern)
+        np.testing.assert_allclose(
+            x1, fresh.solve(inv_g, bumped, rhs), rtol=0, atol=1e-8
+        )
+        assert not np.allclose(x0, x1)
+
+    def test_dense_diag_change_refactorizes(self):
+        core, inv_g, diag, rhs = self._core()
+        core.solve(inv_g, diag, rhs, anchor=True)
+        bumped = diag + 50.0  # every entry moves: not low-rank
+        assert len(diag) > LOW_RANK_DIAG_LIMIT
+        core.solve(inv_g, bumped, rhs, anchor=True)
+        assert core.stats.factorizations == 2
+
+    def test_link_change_refactorizes_and_repins_anchor(self):
+        core, inv_g, diag, rhs = self._core()
+        core.solve(inv_g, diag, rhs, anchor=True)
+        core.solve(inv_g * 3.0, diag, rhs, anchor=True)
+        assert core.stats.factorizations == 2
+        # The new anchor state is pinned: repeating it is a reuse.
+        core.solve(inv_g * 3.0, diag, rhs, anchor=True)
+        assert core.stats.reuse_solves == 1
+
+    def test_small_drift_served_by_pcg_mid_newton(self):
+        core, inv_g, diag, rhs = self._core()
+        core.solve(inv_g, diag, rhs)
+        x = core.solve(inv_g * 1.001, diag, rhs)
+        assert core.stats.pcg_solves == 1
+        assert core.stats.factorizations == 1
+        fresh = CachedSchurSolver(core.pattern)
+        np.testing.assert_allclose(
+            x, fresh.solve(inv_g * 1.001, diag, rhs), rtol=0, atol=1e-8
+        )
+
+    def test_invalidate_drops_both_factors(self):
+        core, inv_g, diag, rhs = self._core()
+        core.solve(inv_g, diag, rhs, anchor=True)
+        core.invalidate()
+        assert core._factor is None and core._anchor_factor is None
+        core.solve(inv_g, diag, rhs, anchor=True)
+        assert core.stats.factorizations == 2
+
+
+class TestErrorContract:
+    def test_singular_factorization_raises_convergence_error(self):
+        singular = sps.csc_matrix(np.zeros((3, 3)))
+        with pytest.raises(SingularSchurError):
+            _factorize(singular)
+        assert issubclass(SingularSchurError, ConvergenceError)
+
+    def test_legacy_solve_promotes_singular_to_contract(self):
+        start_idx = np.array([0], dtype=np.int64)
+        end_idx = np.array([1], dtype=np.int64)
+        with pytest.raises(SingularSchurError):
+            legacy_sparse_solve(
+                start_idx, end_idx, np.array([0.0]),
+                np.array([-DIAG_EPS, -DIAG_EPS]), np.array([1.0, -1.0]),
+            )
+
+    def test_stats_defaults(self):
+        stats = SchurStats()
+        assert stats.factorizations == 0
+        assert stats.reuse_solves == 0
+
+
+class TestSolverIntegration:
+    def test_forced_sparse_matches_dense(self):
+        network = build_network("two-loop")
+        dense = GGASolver(network, linear_solver="dense").solve()
+        sparse = GGASolver(network, linear_solver="sparse").solve()
+        assert np.max(np.abs(dense.junction_heads - sparse.junction_heads)) < 1e-8
+
+    def test_warm_repeat_reuses_factorization(self):
+        network = build_network("wssc")
+        solver = GGASolver(network, linear_solver="sparse")
+        baseline = solver.solve()
+        cold_factorizations = solver.schur_stats.factorizations
+        for _ in range(3):
+            solver.solve(warm_start=baseline)
+        stats = solver.schur_stats
+        # Warm repeats are answered from the cached factorization —
+        # trisolve or a few PCG iterations — never a fresh factorization.
+        assert stats.factorizations == cold_factorizations
+        assert stats.reuse_solves + stats.pcg_solves >= 3
+
+    def test_invalid_linear_solver_rejected(self):
+        with pytest.raises(ValueError):
+            GGASolver(build_network("two-loop"), linear_solver="quantum")
+
+    def test_dense_limit_env_override(self):
+        """REPRO_DENSE_LIMIT=0 forces the sparse path on any network."""
+        code = (
+            "from repro.hydraulics import GGASolver\n"
+            "from repro.hydraulics import solver as solver_mod\n"
+            "from repro.networks import build_network\n"
+            "assert solver_mod.DENSE_SOLVE_LIMIT == 0\n"
+            "s = GGASolver(build_network('two-loop'))\n"
+            "assert not s._dense\n"
+            "s.solve()\n"
+            "assert s.schur_stats is not None\n"
+            "print('ok')\n"
+        )
+        env = dict(os.environ)
+        env["REPRO_DENSE_LIMIT"] = "0"
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env,
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "ok" in proc.stdout
+
+    def test_dense_limit_env_rejects_garbage(self):
+        """A non-integer REPRO_DENSE_LIMIT fails fast at import."""
+        env = dict(os.environ)
+        env["REPRO_DENSE_LIMIT"] = "lots"
+        proc = subprocess.run(
+            [sys.executable, "-c", "import repro.hydraulics.solver"],
+            env=env, capture_output=True, text=True,
+        )
+        assert proc.returncode != 0
+        assert "REPRO_DENSE_LIMIT" in proc.stderr

@@ -1,0 +1,76 @@
+"""Synthetic-city generator tests: determinism, structure, solvability."""
+
+import numpy as np
+import pytest
+
+from repro.hydraulics import GGASolver
+from repro.networks import (
+    available_networks,
+    build_network,
+    large_networks,
+    synthetic_city,
+)
+
+
+class TestSyntheticCity:
+    def test_deterministic_per_seed(self):
+        a = synthetic_city(400, seed=7)
+        b = synthetic_city(400, seed=7)
+        assert a.describe() == b.describe()
+        for name in a.junction_names():
+            ja, jb = a.node(name), b.node(name)
+            assert ja.base_demand == jb.base_demand
+            assert ja.elevation == jb.elevation
+        for name in a.link_names():
+            assert a.link(name).diameter == b.link(name).diameter
+
+    def test_different_seeds_differ(self):
+        a = synthetic_city(400, seed=1)
+        b = synthetic_city(400, seed=2)
+        assert [j.base_demand for j in a.junctions()] != [
+            j.base_demand for j in b.junctions()
+        ]
+
+    def test_component_counts(self):
+        net = synthetic_city(400, seed=0)
+        counts = net.describe()
+        assert counts["junctions"] == 400
+        assert counts["reservoirs"] == 1
+        # Looped grid plus laterals: more links than a tree, but sparse.
+        assert 400 < counts["links"] < 2 * 400
+
+    def test_reservoirs_scale_with_size(self):
+        net = synthetic_city(12_000, seed=0)
+        counts = net.describe()
+        assert counts["junctions"] == 12_000
+        assert counts["reservoirs"] == 2
+
+    def test_rejects_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            synthetic_city(8)
+
+    def test_small_instance_solves_with_positive_pressure(self):
+        net = synthetic_city(400, seed=3)
+        solution = GGASolver(net).solve()
+        pressures = solution.junction_pressures
+        assert np.all(np.isfinite(pressures))
+        assert float(pressures.min()) > 5.0
+
+    def test_sparse_and_dense_paths_agree(self):
+        net = synthetic_city(400, seed=3)
+        dense = GGASolver(net, linear_solver="dense").solve()
+        sparse = GGASolver(net, linear_solver="sparse").solve()
+        assert np.max(np.abs(dense.junction_heads - sparse.junction_heads)) < 1e-8
+        assert np.max(np.abs(dense.link_flows - sparse.link_flows)) < 1e-8
+
+
+class TestCatalogRegistration:
+    def test_large_networks_listed_separately(self):
+        assert "city10k" in large_networks()
+        assert "city100k" in large_networks()
+        assert "city10k" not in available_networks()
+        assert "city10k" in available_networks(include_large=True)
+
+    def test_build_network_resolves_city_aliases(self):
+        net = build_network("city-10k")
+        assert net.describe()["junctions"] == 10_000

@@ -9,6 +9,7 @@ from repro.verify import (
     diff_crf_vs_independent,
     diff_njobs_training,
     diff_serve_vs_direct,
+    diff_sparse_vs_dense,
     diff_warm_vs_cold,
     diff_workers_dataset,
     run_differential_oracles,
@@ -52,6 +53,13 @@ class TestOracles:
         assert report.passed, str(report)
         assert report.max_abs_diff <= report.tolerance
 
+    def test_sparse_vs_dense_within_tolerance(self, two_loop):
+        report = diff_sparse_vs_dense(two_loop, seed=0)
+        assert report.passed, str(report)
+        assert report.max_abs_diff <= report.tolerance
+        # The detail line carries the reuse-policy evidence.
+        assert "factorizations" in report.detail
+
     def test_workers_vs_serial_bit_identical(self, two_loop):
         report = diff_workers_dataset(two_loop, seed=0, n_samples=6, workers=2)
         assert report.passed, str(report)
@@ -80,6 +88,7 @@ class TestOracles:
         assert [r.name for r in reports] == [
             "array_vs_dict",
             "warm_vs_cold",
+            "sparse_vs_dense",
             "workers_vs_serial",
             "njobs_vs_serial",
             "flat_vs_recursive",

@@ -20,8 +20,13 @@ class TestRunVerify:
         oracle_names = {r.name for r in report.oracle_reports}
         assert {"mass_balance", "energy", "emitter_law", "finiteness",
                 "tank_volume"} <= oracle_names
-        assert len(report.diff_reports) == 9
-        assert len(report.golden_reports) == 1  # quick skips accuracy
+        assert len(report.diff_reports) == 10
+        # Dense + forced-sparse steady goldens; quick skips accuracy.
+        assert len(report.golden_reports) == 2
+        assert {g.name for g in report.golden_reports} == {
+            "steady:two-loop",
+            "steady[sparse]:two-loop",
+        }
 
     def test_fuzz_pass_included(self):
         result = run_verify(networks=["two-loop"], quick=True, fuzz=True)
