@@ -124,6 +124,7 @@ def cached_dataset(
     elapsed_slots: int = 1,
     max_events: int = 5,
     workers: int | None = None,
+    engine: str = "sequential",
     cache_dir: str | Path | None = None,
 ) -> LeakDataset:
     """Generate (or reuse) a dataset keyed by its full parameter tuple.
@@ -134,6 +135,12 @@ def cached_dataset(
     parameter tuple plus a hash of the network's INP content.  A disk
     hit loads bit-identical arrays instead of re-running hydraulics;
     corrupt or unreadable bundles are regenerated and overwritten.
+
+    ``engine`` and ``workers`` are deliberately *excluded* from the
+    cache key: the batched engine reproduces the sequential engine
+    bit-for-bit (see :mod:`repro.verify.differential`), so a bundle
+    generated by either engine is valid for both and they share cache
+    entries.
     """
     key = (network_name, n_samples, kind, seed, elapsed_slots, max_events)
     if key in _DATASET_CACHE:
@@ -159,6 +166,7 @@ def cached_dataset(
         elapsed_slots=elapsed_slots,
         max_events=max_events,
         workers=workers,
+        engine=engine,
     )
     if path is not None:
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -46,6 +46,11 @@ from .quality import (
     QualitySource,
     simulate_quality,
 )
+from .batched import (
+    BatchedGGASolver,
+    BatchResult,
+    BatchTrace,
+)
 from .results import SimulationResults
 from .rules import Action, Comparator, Premise, Rule, evaluate_rules, parse_rule
 from .simulation import ExtendedPeriodSimulator, TimedLeak, simulate
@@ -59,6 +64,9 @@ from .sparse import (
 
 __all__ = [
     "Action",
+    "BatchResult",
+    "BatchTrace",
+    "BatchedGGASolver",
     "CachedSchurSolver",
     "Comparator",
     "ControlCondition",

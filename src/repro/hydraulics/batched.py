@@ -1,0 +1,945 @@
+"""Scenario-axis-vectorized GGA Newton engine.
+
+Dataset generation, telemetry candidate sweeps and robustness campaigns
+all solve thousands of steady states *on the same network*: the topology,
+the Jacobian sparsity pattern, the dense scatter layout and the status
+machinery are identical across scenarios — only demands, emitters and
+warm starts differ.  :class:`BatchedGGASolver` exploits that by running
+Newton with stacked per-scenario state:
+
+* ``(lanes, n_junctions)`` head arrays and ``(lanes, n_links)`` flow
+  arrays — one *lane* per scenario;
+* the headloss / emitter / PDD kernels shared with
+  :class:`~repro.hydraulics.solver.GGASolver` evaluated on the whole
+  stack at once;
+* RHS and Schur-complement assembly through the same scatter maps,
+  batched with 2-D ``np.add.at`` (whose C-order traversal reproduces the
+  sequential per-lane accumulation order bit for bit);
+* per-lane convergence masking: converged lanes retire from the active
+  set and their state is frozen (never touched again) while stragglers
+  keep iterating;
+* status passes (check valves, pumps, PRVs) applied per lane between
+  Newton runs, with lanes regrouped by status profile so each group's
+  re-solve touches only the lanes whose statuses actually flipped.
+
+Equivalence contract (the ``batched_vs_sequential`` oracle pins this):
+on the dense linear-solve path the batched engine performs *the same
+floating-point operations in the same order* as a sequential
+per-scenario sweep, including one LAPACK ``dposv`` per lane per
+iteration, so heads and flows match the sequential solver **bit for
+bit** (tolerance 0.0).  On the sparse path (networks beyond
+``DENSE_SOLVE_LIMIT``) lanes share the sequential solver's
+cached-pattern Schur core; its tiered factorization reuse is
+history-dependent, so results are pinned to ``<= 1e-8`` instead (the
+core itself is exact to ``PCG_RTOL``).  Per-lane LAPACK solves are the
+single-core compute floor at these sizes — a shared-factor multi-RHS
+PCG was measured slower than one ``dposv`` per lane once lane states
+diverge after the first Newton iteration — so the engine's win comes
+from vectorizing everything *around* the linear solve and from skipping
+per-scenario Python packaging (``package=False``).
+
+Lanes the vectorized kernel cannot express — active PRVs (whose lagged
+continuity flows are inherently scalar) and networks with FCVs (whose
+throttling mutates shared link records) — transparently fall back to a
+per-lane sequential solve with identical inputs, so ``solve_batch`` is
+total: any scenario the sequential solver accepts, the batch accepts.
+
+Errors are isolated per lane: one non-converging scenario marks only its
+own lane (``BatchResult.errors``) and never poisons siblings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.linalg.lapack import dposv as _dposv
+
+from .components import LinkStatus, ValveType
+from .exceptions import ConvergenceError, NetworkTopologyError
+from .headloss import (
+    dw_headloss_and_gradient_array,
+    hw_headloss_and_gradient_array,
+)
+from .network import WaterNetwork
+from .headloss import Q_LAMINAR
+from .solver import (
+    MAX_STATUS_PASSES,
+    Q_PUMP_MIN,
+    R_CLOSED,
+    RHO_G,
+    GGASolver,
+    SteadyStateSolution,
+    emitter_flow_and_gradient,
+    pdd_delivery_and_gradient,
+)
+from .sparse import SingularSchurError
+
+
+def _link_coefficients_column(record, speed: float, q: np.ndarray):
+    """Per-lane ``_link_coefficients`` for one open pump/valve column.
+
+    ``record``/``speed`` are constant across a lane group (statuses and
+    speeds are part of the group key), so only the flow column varies.
+    Valves vectorize exactly — their coefficients are multiplications
+    only, so the array arithmetic is bit-identical to the scalar path.
+    Pumps stay on the scalar :meth:`GGASolver._pump_coefficients` per
+    lane: their head curve needs ``pow``, and NumPy's array power (an
+    ``x*x`` fast path for exponent 2.0) differs from the scalar power
+    (libm) by 1 ulp — a few scalar calls per pump column is the price of
+    bit-identity, and networks carry few pumps.
+    """
+    if record.kind == "pump":
+        f = np.empty(q.shape)
+        g = np.empty(q.shape)
+        for a in range(len(q)):
+            f[a], g[a] = GGASolver._pump_coefficients(record, speed, q[a])
+        return f, g
+    assert record.kind == "valve"
+    if record.valve_type is ValveType.TCV:
+        minor = record.minor if record.minor > 0 else record.open_minor
+    else:
+        minor = record.open_minor
+    minor = max(minor, 1e-3)
+    aq = np.abs(q)
+    f = minor * q * aq
+    g = 2.0 * minor * aq
+    laminar = aq < Q_LAMINAR
+    if np.any(laminar):
+        slope = 2.0 * minor * Q_LAMINAR
+        f = np.where(laminar, q * slope, f)
+        g = np.where(laminar, slope, g)
+    return f, g
+
+
+class _RankedScatter:
+    """Batched scatter-add reproducing ``np.add.at`` bit for bit.
+
+    ``np.add.at(out, cols, vals)`` accumulates duplicate buckets in
+    element order but runs at interpreter-like speed (~20M elements/s);
+    ``np.add.reduceat`` is fast but reassociates within segments.  This
+    decomposes the column list by *occurrence rank* (the j-th time a
+    bucket appears lands in level j): within one level every bucket is
+    unique, so ``out[:, cols] += vals[:, members]`` is a well-defined
+    vectorized fancy add, and running levels in rank order replays each
+    bucket's contributions in exactly the element order ``np.add.at``
+    would have used — same floats, same order, same bits, at numpy
+    gather/scatter speed.  The level count equals the largest bucket
+    multiplicity (the maximum node degree for nodal scatters).
+    """
+
+    def __init__(self, cols: np.ndarray):
+        cols = np.asarray(cols, dtype=np.int64)
+        rank = np.empty(len(cols), dtype=np.int64)
+        seen: dict[int, int] = {}
+        for i, c in enumerate(cols.tolist()):
+            r = seen.get(c, 0)
+            rank[i] = r
+            seen[c] = r + 1
+        self.uniq = np.unique(cols)
+        self.levels: list[tuple[np.ndarray, np.ndarray]] = []
+        max_rank = int(rank.max()) if len(cols) else -1
+        for r in range(max_rank + 1):
+            members = np.nonzero(rank == r)[0]
+            self.levels.append((cols[members], members))
+
+    def add_into(self, out: np.ndarray, vals: np.ndarray) -> None:
+        """``out[:, cols] += vals`` with add.at's accumulation order."""
+        for cols_r, members_r in self.levels:
+            out[:, cols_r] += vals[:, members_r]
+
+
+@dataclass(frozen=True)
+class BatchIterationRecord:
+    """One Newton iteration of one lane group, as seen by a trace."""
+
+    status_pass: int
+    iteration: int
+    lanes: tuple[int, ...]
+    heads: np.ndarray
+    flows: np.ndarray
+
+
+@dataclass
+class BatchTrace:
+    """Opt-in iteration trace for convergence-mask and status-pass tests.
+
+    ``records`` carries a full ``(S, n)`` / ``(S, m)`` snapshot after
+    every group Newton iteration together with the lane ids that were
+    *active* during it; a lane retired from the active set must show
+    bit-frozen rows across all later records.  ``resolves`` records, for
+    every status pass after the first, exactly which lanes were
+    re-solved — the masked-re-solve assertion.
+    """
+
+    records: list[BatchIterationRecord] = field(default_factory=list)
+    resolves: list[tuple[int, tuple[int, ...]]] = field(default_factory=list)
+
+    def lanes_active_at(self, status_pass: int, iteration: int) -> tuple[int, ...]:
+        """Lane indices still iterating at ``(status_pass, iteration)``."""
+        for record in self.records:
+            if record.status_pass == status_pass and record.iteration == iteration:
+                return record.lanes
+        return ()
+
+
+@dataclass
+class BatchResult:
+    """Stacked solutions of one :meth:`BatchedGGASolver.solve_batch` call.
+
+    ``heads``/``flows`` are ``(S, n_junctions)`` / ``(S, n_links)``
+    stacks in lane order; failed lanes hold NaN rows and a
+    :class:`~repro.hydraulics.exceptions.ConvergenceError` in
+    ``errors``.  ``solutions`` holds per-lane
+    :class:`~repro.hydraulics.solver.SteadyStateSolution` objects when
+    the batch was run with ``package=True`` (None entries for failed
+    lanes), else None.
+    """
+
+    heads: np.ndarray
+    flows: np.ndarray
+    iterations: np.ndarray
+    residuals: np.ndarray
+    converged: np.ndarray
+    errors: list[ConvergenceError | None]
+    solutions: list[SteadyStateSolution | None] | None = None
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.errors)
+
+    @property
+    def all_converged(self) -> bool:
+        return bool(np.all(self.converged)) if self.n_lanes else True
+
+    def first_error(self) -> ConvergenceError | None:
+        """The lowest failing lane's error, or None if every lane converged."""
+        for error in self.errors:
+            if error is not None:
+                return error
+        return None
+
+    def require(self) -> list[SteadyStateSolution]:
+        """Per-lane solutions, raising the first lane's error if any failed.
+
+        Matches the observable behaviour of a sequential sweep: the
+        exception a serial ``for scenario: solve(...)`` loop would have
+        raised (the lowest failing lane's) is the one the caller sees.
+        """
+        error = self.first_error()
+        if error is not None:
+            raise error
+        if self.solutions is None:
+            raise RuntimeError(
+                "solve_batch(package=False) result has no solution objects"
+            )
+        return list(self.solutions)  # type: ignore[arg-type]
+
+
+def _per_lane(value, n_lanes: int, *, shared_types: tuple) -> list:
+    """Normalise a shared-or-per-lane argument to one entry per lane."""
+    if value is None or isinstance(value, shared_types):
+        return [value] * n_lanes
+    entries = list(value)
+    if len(entries) != n_lanes:
+        raise NetworkTopologyError(
+            f"per-lane argument has {len(entries)} entries for {n_lanes} lanes"
+        )
+    return entries
+
+
+class BatchedGGASolver:
+    """Batched steady-state solves sharing one network's structure.
+
+    Composes a :class:`~repro.hydraulics.solver.GGASolver` (pass
+    ``solver=`` to share an existing one, e.g. the telemetry engine's,
+    so Schur patterns, RCM orderings and dense layouts are computed
+    once per network and reused everywhere).
+
+    Args:
+        network: the network to solve on.
+        linear_solver: forwarded to the composed ``GGASolver`` when one
+            is built here; ignored when ``solver`` is given.
+        solver: an existing sequential solver to share structure with.
+    """
+
+    def __init__(
+        self,
+        network: WaterNetwork,
+        linear_solver: str = "auto",
+        solver: GGASolver | None = None,
+    ):
+        if solver is None:
+            solver = GGASolver(network, linear_solver)
+        self._seq = solver
+        self.network = solver.network
+        seq = solver
+        n = seq._n_junctions
+        m = len(seq._records)
+        self._n = n
+        self._m = m
+        start_idx = seq._start_jidx
+        end_idx = seq._end_jidx
+        self._s_mask = start_idx >= 0
+        self._e_mask = end_idx >= 0
+        self._both = self._s_mask & self._e_mask
+        self._f2_start_cols = start_idx[self._s_mask]
+        self._f2_end_cols = end_idx[self._e_mask]
+        # Nodal scatter (F2 and A21*inv_g*F1): start contributions then
+        # end contributions, exactly the order of the sequential
+        # solver's two scatter-adds, so each node bucket accumulates in
+        # the same element order.
+        s_links = np.nonzero(self._s_mask)[0]
+        e_links = np.nonzero(self._e_mask)[0]
+        self._node_src = np.concatenate([s_links, e_links])
+        self._node_sign = np.concatenate(
+            [-np.ones(len(s_links)), np.ones(len(e_links))]
+        )
+        self._node_scatter = _RankedScatter(
+            np.concatenate([self._f2_start_cols, self._f2_end_cols])
+        )
+        # Dense Schur layout: flat indices identical to the sequential
+        # solver's, concatenated in its exact scatter order (ss, ee, se,
+        # es) so the ranked scatter reproduces the four sequential
+        # scatter-adds' per-bucket accumulation order.
+        if n:
+            flat_ss = start_idx[self._s_mask] * (n + 1)
+            flat_ee = end_idx[self._e_mask] * (n + 1)
+            flat_se = start_idx[self._both] * n + end_idx[self._both]
+            flat_es = end_idx[self._both] * n + start_idx[self._both]
+            self._dense_cols = np.concatenate([flat_ss, flat_ee, flat_se, flat_es])
+            self._flat_diag = np.arange(n) * (n + 1)
+            both_links = np.nonzero(self._both)[0]
+            self._dense_src = np.concatenate(
+                [s_links, e_links, both_links, both_links]
+            )
+            self._dense_sign = np.concatenate(
+                [
+                    np.ones(len(s_links)),
+                    np.ones(len(e_links)),
+                    -np.ones(len(both_links)),
+                    -np.ones(len(both_links)),
+                ]
+            )
+            self._dense_scatter = _RankedScatter(self._dense_cols)
+            # Columns that must be reset each iteration: every scatter
+            # bucket plus every diagonal (the sequential path zeroes the
+            # whole matrix; untouched columns stay zero from allocation).
+            self._dense_reset = np.union1d(self._dense_cols, self._flat_diag)
+        else:
+            self._dense_cols = np.zeros(0, dtype=np.int64)
+            self._flat_diag = np.zeros(0, dtype=np.int64)
+            self._dense_src = np.zeros(0, dtype=np.int64)
+            self._dense_sign = np.zeros(0)
+            self._dense_scatter = _RankedScatter(self._dense_cols)
+            self._dense_reset = np.zeros(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def solve_batch(
+        self,
+        demands=None,
+        fixed_heads=None,
+        emitters=None,
+        status_overrides=None,
+        pump_speeds=None,
+        trials: int | None = None,
+        accuracy: float | None = None,
+        warm_starts=None,
+        n_lanes: int | None = None,
+        package: bool = True,
+        trace: BatchTrace | None = None,
+    ) -> BatchResult:
+        """Solve a stack of scenarios as one vectorized Newton run.
+
+        Each argument accepts either one shared value (applied to every
+        lane; the sequential ``solve`` types) or a sequence with one
+        entry per lane.  ``demands`` additionally accepts an ``(S, n)``
+        array of junction-order rows, and ``emitters`` an ``(ec, beta)``
+        pair of ``(S, n)`` arrays.  ``n_lanes`` is required when every
+        argument is shared (nothing else determines the batch size).
+
+        Per-lane failures (non-convergence, singular systems) are
+        captured in ``BatchResult.errors`` — sibling lanes always
+        complete.  Call :meth:`BatchResult.require` for sequential-sweep
+        raise semantics.
+        """
+        seq = self._seq
+        demand_rows, n_lanes, demand_stack = self._demand_rows(demands, n_lanes)
+        emitter_rows, emitter_stack = self._emitter_rows(emitters, n_lanes)
+        fixed_rows = _per_lane(fixed_heads, n_lanes, shared_types=(dict,))
+        status_rows = _per_lane(status_overrides, n_lanes, shared_types=(dict,))
+        speed_rows = _per_lane(pump_speeds, n_lanes, shared_types=(dict,))
+        warm_rows = _per_lane(
+            warm_starts, n_lanes, shared_types=(SteadyStateSolution,)
+        )
+
+        n, m = self._n, self._m
+        result = BatchResult(
+            heads=np.full((n_lanes, n), np.nan),
+            flows=np.full((n_lanes, m), np.nan),
+            iterations=np.zeros(n_lanes, dtype=np.int64),
+            residuals=np.full(n_lanes, np.inf),
+            converged=np.zeros(n_lanes, dtype=bool),
+            errors=[None] * n_lanes,
+            solutions=[None] * n_lanes if package else None,
+        )
+        if n_lanes == 0:
+            return result
+
+        options = seq.network.options
+        max_trials = trials if trials is not None else options.trials
+        tol = accuracy if accuracy is not None else options.accuracy
+        pdd = options.demand_model.upper() == "PDD"
+
+        # -- per-lane input normalisation through the sequential helpers
+        # (same validation, same arrays).  Stacked/shared inputs take
+        # vectorized fast paths whose arithmetic is elementwise identical
+        # to the per-lane helper calls.
+        records = seq._records
+        for i in seq._fcv_positions:
+            records[i].minor = 0.0  # matches the sequential per-solve reset
+        if demand_stack is not None:
+            demand = demand_stack * options.demand_multiplier
+        else:
+            demand = np.empty((n_lanes, n))
+            for k in range(n_lanes):
+                demand[k] = seq._demand_vector(demand_rows[k])
+        if emitter_stack is not None:
+            ec, beta = emitter_stack
+        else:
+            ec = np.empty((n_lanes, n))
+            beta = np.empty((n_lanes, n))
+            for k in range(n_lanes):
+                ec[k], beta[k] = seq._emitter_arrays(emitter_rows[k])
+        fixed_arr = np.empty((n_lanes, len(seq._fixed_names)))
+        if fixed_heads is None or isinstance(fixed_heads, dict):
+            head_fixed = seq._fixed_head_map(fixed_heads)
+            head_fixed_maps = [head_fixed] * n_lanes
+            fixed_arr[:] = [head_fixed[name] for name in seq._fixed_names]
+        else:
+            head_fixed_maps = []
+            for k in range(n_lanes):
+                head_fixed = seq._fixed_head_map(fixed_rows[k])
+                head_fixed_maps.append(head_fixed)
+                fixed_arr[k] = [head_fixed[name] for name in seq._fixed_names]
+        statuses_rows: list[list[LinkStatus]] = []
+        speeds_rows: list[list[float]] = []
+        for k in range(n_lanes):
+            statuses = seq._status_template.copy()
+            if status_rows[k]:
+                for name, status in status_rows[k].items():
+                    index = seq._link_index.get(name)
+                    if index is not None:
+                        statuses[index] = status
+            statuses_rows.append(statuses)
+            speeds = seq._speed_template.copy()
+            if speed_rows[k]:
+                for i in seq._pump_positions:
+                    if records[i].name in speed_rows[k]:
+                        speeds[i] = speed_rows[k][records[i].name]
+            speeds_rows.append(speeds)
+        heads = np.empty((n_lanes, n))
+        flows = np.empty((n_lanes, m))
+        if isinstance(warm_starts, SteadyStateSolution):
+            warm = warm_starts
+            if len(warm.junction_heads) != n or len(warm.link_flows) != m:
+                raise NetworkTopologyError(
+                    "warm_start solution does not match this network's shape"
+                )
+            heads[:] = warm.junction_heads
+            flows[:] = warm.link_flows
+        else:
+            for k in range(n_lanes):
+                warm = warm_rows[k]
+                if warm is not None:
+                    if len(warm.junction_heads) != n or len(warm.link_flows) != m:
+                        raise NetworkTopologyError(
+                            "warm_start solution does not match this "
+                            "network's shape"
+                        )
+                    heads[k] = warm.junction_heads
+                    flows[k] = warm.link_flows
+                else:
+                    head_fixed = head_fixed_maps[k]
+                    heads[k] = np.maximum(
+                        float(np.mean(list(head_fixed.values())))
+                        if head_fixed
+                        else 50.0,
+                        seq._elevation_arr + 10.0,
+                    )
+                    flows[k] = seq._initial_flow_template
+                    for i in seq._pump_positions:
+                        flows[k, i] = seq._initial_flow(records[i], speeds_rows[k][i])
+
+        # -- lanes the vectorized kernel cannot express run sequentially --
+        fallback = set()
+        if seq._fcv_positions or seq._linear_solver == "legacy" or n == 0:
+            fallback.update(range(n_lanes))
+        else:
+            for k in range(n_lanes):
+                if any(
+                    statuses_rows[k][i] is LinkStatus.ACTIVE
+                    for i in seq._prv_positions
+                ):
+                    fallback.add(k)
+
+        active = [k for k in range(n_lanes) if k not in fallback]
+        total_iterations = np.zeros(n_lanes, dtype=np.int64)
+        live = set(active)
+        for status_pass in range(MAX_STATUS_PASSES):
+            if not live:
+                break
+            groups: dict[tuple, list[int]] = {}
+            for k in sorted(live):
+                # id() of interned enum members: hashing 118-element
+                # LinkStatus tuples through enum.__hash__ dominated the
+                # profile; identity keys are equivalent and C-speed.
+                key = (tuple(map(id, statuses_rows[k])), tuple(speeds_rows[k]))
+                groups.setdefault(key, []).append(k)
+            if trace is not None and status_pass > 0:
+                trace.resolves.append(
+                    (status_pass, tuple(sorted(live)))
+                )
+            pass_converged: dict[int, bool] = {}
+            for lanes in groups.values():
+                self._newton_group(
+                    lanes,
+                    statuses_rows[lanes[0]],
+                    speeds_rows[lanes[0]],
+                    heads,
+                    flows,
+                    demand,
+                    fixed_arr,
+                    ec,
+                    beta,
+                    max_trials,
+                    tol,
+                    pdd,
+                    status_pass,
+                    total_iterations,
+                    result,
+                    pass_converged,
+                    trace,
+                )
+            any_changed = False
+            for k in sorted(live):
+                if result.errors[k] is not None:
+                    live.discard(k)
+                    continue
+                changed = seq._update_statuses(
+                    records, statuses_rows[k], flows[k], heads[k], fixed_arr[k]
+                )
+                if changed:
+                    any_changed = True
+                    if any(
+                        statuses_rows[k][i] is LinkStatus.ACTIVE
+                        for i in seq._prv_positions
+                    ):
+                        # The lane entered PRV-regulating territory; its
+                        # lagged-flow bookkeeping is scalar, so replay the
+                        # whole lane sequentially from its original inputs.
+                        fallback.add(k)
+                        live.discard(k)
+                    continue
+                live.discard(k)
+                if not pass_converged.get(k, False):
+                    result.errors[k] = ConvergenceError(
+                        "GGA failed to converge "
+                        f"(residual {result.residuals[k]:.3e} m^3/s)",
+                        iterations=int(total_iterations[k]),
+                        residual=float(result.residuals[k]),
+                    )
+                else:
+                    result.converged[k] = True
+                    result.iterations[k] = total_iterations[k]
+            if any_changed:
+                # Status flips change conductances by orders of magnitude;
+                # cached factorizations stop being useful preconditioners.
+                for core in seq._schur_cache.values():
+                    core.invalidate()
+        for k in sorted(live):
+            # Lanes still flipping statuses after MAX_STATUS_PASSES: like
+            # the sequential solver, succeed iff the final Newton run
+            # converged (with whatever statuses it last had).
+            if pass_converged.get(k, False):
+                result.converged[k] = True
+                result.iterations[k] = total_iterations[k]
+            elif result.errors[k] is None:
+                result.errors[k] = ConvergenceError(
+                    "GGA failed to converge "
+                    f"(residual {result.residuals[k]:.3e} m^3/s)",
+                    iterations=int(total_iterations[k]),
+                    residual=float(result.residuals[k]),
+                )
+
+        # -- package converged vectorized lanes --
+        need_package = package or seq.audit is not None
+        for k in active:
+            if not result.converged[k] or k in fallback:
+                continue
+            if need_package:
+                solution = seq._package(
+                    records,
+                    statuses_rows[k],
+                    heads[k],
+                    flows[k],
+                    demand[k],
+                    head_fixed_maps[k],
+                    ec[k],
+                    beta[k],
+                    int(total_iterations[k]),
+                    float(result.residuals[k]),
+                    True,
+                )
+                if result.solutions is not None:
+                    result.solutions[k] = solution
+                if seq.audit is not None:
+                    seq.audit.observe(seq, solution, emitters=(ec[k], beta[k]))
+            result.heads[k] = heads[k]
+            result.flows[k] = flows[k]
+
+        # -- sequential fallback lanes (active PRVs, FCV networks, legacy) --
+        for k in sorted(fallback):
+            try:
+                solution = seq.solve(
+                    demands=demand_rows[k],
+                    fixed_heads=fixed_rows[k],
+                    emitters=emitter_rows[k],
+                    status_overrides=status_rows[k],
+                    pump_speeds=speed_rows[k],
+                    trials=trials,
+                    accuracy=accuracy,
+                    warm_start=warm_rows[k],
+                )
+            except ConvergenceError as exc:
+                result.errors[k] = exc
+                result.converged[k] = False
+                continue
+            result.heads[k] = solution.junction_heads
+            result.flows[k] = solution.link_flows
+            result.iterations[k] = solution.iterations
+            result.residuals[k] = solution.residual
+            result.converged[k] = True
+            if result.solutions is not None:
+                result.solutions[k] = solution
+        return result
+
+    # ------------------------------------------------------------------
+    def _demand_rows(self, demands, n_lanes):
+        """Split ``demands`` into per-lane specs + lane count + stacked form.
+
+        The third return is the validated ``(S, n)`` float stack when the
+        caller passed one (the vectorized normalisation fast path), else
+        None.
+        """
+        rows: list
+        stacked = None
+        if isinstance(demands, np.ndarray) and demands.ndim == 2:
+            if demands.shape[1] != self._n:
+                raise NetworkTopologyError(
+                    f"demand stack has shape {demands.shape}, expected "
+                    f"(lanes, {self._n}) in junction_names order"
+                )
+            stacked = demands.astype(float)
+            rows = [demands[k] for k in range(demands.shape[0])]
+        elif demands is None or isinstance(demands, (dict, np.ndarray)):
+            rows = None  # shared; resolved below
+        else:
+            rows = list(demands)
+        if rows is not None:
+            if n_lanes is not None and len(rows) != n_lanes:
+                raise NetworkTopologyError(
+                    f"demands has {len(rows)} lanes, n_lanes={n_lanes}"
+                )
+            return rows, len(rows), stacked
+        if n_lanes is None:
+            raise NetworkTopologyError(
+                "n_lanes is required when no argument is per-lane"
+            )
+        return [demands] * n_lanes, n_lanes, None
+
+    def _emitter_rows(self, emitters, n_lanes):
+        """Per-lane emitter specs + the stacked ``(ec, beta)`` fast path."""
+        if isinstance(emitters, tuple) and len(emitters) == 2:
+            ec, beta = np.asarray(emitters[0]), np.asarray(emitters[1])
+            if ec.ndim == 2:
+                if ec.shape != (n_lanes, self._n) or beta.shape != ec.shape:
+                    raise NetworkTopologyError(
+                        "stacked emitter arrays must both have shape "
+                        f"({n_lanes}, {self._n}) in junction_names order"
+                    )
+                rows = [(ec[k], beta[k]) for k in range(ec.shape[0])]
+                return rows, (ec.astype(float), beta.astype(float))
+            return [emitters] * n_lanes, None
+        return _per_lane(emitters, n_lanes, shared_types=(dict,)), None
+
+    # ------------------------------------------------------------------
+    def _newton_group(
+        self,
+        lanes: list[int],
+        statuses: list[LinkStatus],
+        speeds: list[float],
+        heads_all: np.ndarray,
+        flows_all: np.ndarray,
+        demand_all: np.ndarray,
+        fixed_all: np.ndarray,
+        ec_all: np.ndarray,
+        beta_all: np.ndarray,
+        max_trials: int,
+        tol: float,
+        pdd: bool,
+        status_pass: int,
+        total_iterations: np.ndarray,
+        result: BatchResult,
+        pass_converged: dict[int, bool],
+        trace: BatchTrace | None,
+    ) -> None:
+        """One Newton run over a group of lanes sharing a status profile.
+
+        Mirrors ``GGASolver._newton`` with a leading lane axis; lanes
+        retire from the active set as they converge (their rows in
+        ``heads_all``/``flows_all`` are written back once and never
+        touched again) or fail (their error is recorded and siblings
+        continue).
+        """
+        seq = self._seq
+        n, m = self._n, self._m
+        start_idx = seq._start_jidx
+        end_idx = seq._end_jidx
+        s_mask, e_mask, both = self._s_mask, self._e_mask, self._both
+        elevations = seq._elevation_arr
+        options = seq.network.options
+
+        lane_ids = np.array(lanes, dtype=np.int64)
+        heads = heads_all[lane_ids].copy()
+        flows = flows_all[lane_ids].copy()
+        demand = demand_all[lane_ids]
+        ec = ec_all[lane_ids]
+        beta = beta_all[lane_ids]
+        fixed = fixed_all[lane_ids]
+        sf = seq._start_fidx
+        ef = seq._end_fidx
+        start_fixed = np.where(
+            sf >= 0, fixed[:, np.maximum(sf, 0)], 0.0
+        )
+        end_fixed = np.where(ef >= 0, fixed[:, np.maximum(ef, 0)], 0.0)
+
+        # Loop-invariant status partition (statuses are frozen within a
+        # Newton run), matching the sequential masks.
+        kind = seq._kind_codes
+        closed = np.fromiter(
+            (status is LinkStatus.CLOSED for status in statuses), bool, m
+        )
+        pipe_open = ~closed & (kind == 0)
+        other_pos = np.nonzero(~closed & (kind != 0))[0]
+        use_dense = seq._dense
+
+        total_demand_scale = np.sum(np.abs(demand), axis=1) + 1e-6
+        n_active = len(lanes)
+        iters_here = np.zeros(n_active, dtype=np.int64)
+        residual = np.full(n_active, np.inf)
+
+        def retire(local: int, *, converged: bool, error=None) -> None:
+            lane = int(lane_ids[local])
+            heads_all[lane] = heads[local]
+            flows_all[lane] = flows[local]
+            total_iterations[lane] += iters_here[local]
+            result.residuals[lane] = residual[local]
+            if error is not None:
+                result.errors[lane] = error
+            pass_converged[lane] = converged
+
+        active = np.arange(n_active)
+        dense_buf: np.ndarray | None = None
+
+        for iteration in range(1, max_trials + 1):
+            if active.size == 0:
+                break
+            iters_here[active] = iteration
+            q = flows[active]
+            A = active.size
+
+            # -- per-link headloss coefficients --
+            f_vals = np.empty((A, m))
+            g_vals = np.empty((A, m))
+            if closed.any():
+                f_vals[:, closed] = R_CLOSED * q[:, closed]
+                g_vals[:, closed] = R_CLOSED
+            if pipe_open.any():
+                rows = np.nonzero(pipe_open)[0]
+                if seq._use_darcy_weisbach:
+                    f, g = dw_headloss_and_gradient_array(
+                        q[:, rows],
+                        seq._pipe_len[rows],
+                        seq._pipe_diam[rows],
+                        seq._pipe_rough[rows],
+                        seq._pipe_minor[rows],
+                    )
+                else:
+                    f, g = hw_headloss_and_gradient_array(
+                        q[:, rows], seq._pipe_res[rows], seq._pipe_minor[rows]
+                    )
+                f_vals[:, rows] = f
+                g_vals[:, rows] = g
+            for pos in other_pos:
+                i = int(pos)
+                f_vals[:, i], g_vals[:, i] = _link_coefficients_column(
+                    seq._records[i], speeds[i], q[:, i]
+                )
+            g_vals = np.maximum(g_vals, 1e-10)
+            inv_g = 1.0 / g_vals
+
+            h = heads[active]
+            h_start = np.where(
+                s_mask, h[:, np.maximum(start_idx, 0)], start_fixed[active]
+            )
+            h_end = np.where(
+                e_mask, h[:, np.maximum(end_idx, 0)], end_fixed[active]
+            )
+            f1 = f_vals - (h_start - h_end)
+
+            pressure = h - elevations
+            em_flow, em_grad = emitter_flow_and_gradient(
+                pressure, ec[active], beta[active]
+            )
+            if pdd:
+                delivered, pdd_grad = pdd_delivery_and_gradient(
+                    pressure,
+                    demand[active],
+                    options.minimum_pressure,
+                    options.required_pressure,
+                )
+            else:
+                delivered = demand[active]
+                pdd_grad = np.zeros((A, n))
+
+            # Mass residual F2 = A21 q - delivered - emitter; the ranked
+            # scatter replays the sequential per-bucket accumulation
+            # order (see _RankedScatter).
+            f2 = -delivered - em_flow
+            self._node_scatter.add_into(
+                f2, self._node_sign * q[:, self._node_src]
+            )
+            residual[active] = np.max(np.abs(f2), axis=1)
+
+            diag_extra = em_grad + pdd_grad
+            contrib = inv_g * f1
+            a21f1 = np.zeros((A, n))
+            self._node_scatter.add_into(
+                a21f1, self._node_sign * contrib[:, self._node_src]
+            )
+            rhs = f2 - a21f1
+
+            # -- linear solve: dh per lane --
+            failed: dict[int, ConvergenceError] = {}
+            if use_dense:
+                dh = np.empty((A, n))
+                if dense_buf is None or dense_buf.shape[0] < A:
+                    dense_buf = np.zeros((A, n * n))
+                A_flat = dense_buf[:A]
+                # Equivalent to the sequential full-matrix zeroing:
+                # untouched columns are zero from allocation and
+                # never written.
+                A_flat[:, self._dense_reset] = 0.0
+                self._dense_scatter.add_into(
+                    A_flat, self._dense_sign * inv_g[:, self._dense_src]
+                )
+                A_flat[:, self._flat_diag] += diag_extra + 1e-12
+                for a in range(A):
+                    matrix = A_flat[a].reshape(n, n)
+                    _, x, info = _dposv(matrix, rhs[a], lower=1)
+                    if info != 0:
+                        try:
+                            x = np.linalg.solve(matrix, rhs[a])
+                        except np.linalg.LinAlgError as exc:
+                            failed[a] = ConvergenceError(
+                                f"GGA linear solve failed: {exc}",
+                                iteration,
+                                float(residual[active[a]]),
+                            )
+                            continue
+                    dh[a] = x
+            else:
+                dh = np.empty((A, n))
+                core = seq._schur_core((), start_idx, end_idx)
+                for a in range(A):
+                    try:
+                        dh[a] = core.solve(
+                            inv_g[a],
+                            diag_extra[a],
+                            rhs[a],
+                            anchor=iteration == 1,
+                        )
+                    except SingularSchurError as exc:
+                        failed[a] = ConvergenceError(
+                            f"GGA linear solve failed: {exc}",
+                            iteration,
+                            float(residual[active[a]]),
+                        )
+
+            bad = ~np.all(np.isfinite(dh), axis=1)
+            for a in np.nonzero(bad)[0]:
+                if int(a) not in failed:
+                    failed[int(a)] = ConvergenceError(
+                        "GGA linear solve produced non-finite heads",
+                        iteration,
+                        float(residual[active[a]]),
+                    )
+            if pdd:
+                np.clip(dh, -50.0, 50.0, out=dh)
+
+            # Failed lanes keep their pre-iteration state (the update
+            # below is masked away from them) and retire with an error.
+            ok = np.ones(A, dtype=bool)
+            for a in failed:
+                ok[a] = False
+
+            heads_new = h[ok] + dh[ok]
+            heads[active[ok]] = heads_new
+            dh_ok = dh[ok]
+            dh_start = np.where(
+                s_mask, dh_ok[:, np.maximum(start_idx, 0)], 0.0
+            )
+            dh_end = np.where(e_mask, dh_ok[:, np.maximum(end_idx, 0)], 0.0)
+            dq = -inv_g[ok] * (f1[ok] + dh_end - dh_start)
+            new_flows = q[ok] + dq
+            flow_change = np.sum(np.abs(new_flows - q[ok]), axis=1)
+            flow_scale = np.sum(np.abs(new_flows), axis=1) + 1e-9
+            flows[active[ok]] = new_flows
+            conv_now = (flow_change / flow_scale < tol) & (
+                residual[active[ok]]
+                < 1e-6 + 1e-4 * total_demand_scale[active[ok]]
+            )
+
+            if trace is not None:
+                lanes_now = tuple(int(lane_ids[a]) for a in active)
+                snap_h = heads_all.copy()
+                snap_f = flows_all.copy()
+                snap_h[lane_ids] = heads
+                snap_f[lane_ids] = flows
+                trace.records.append(
+                    BatchIterationRecord(
+                        status_pass=status_pass,
+                        iteration=iteration,
+                        lanes=lanes_now,
+                        heads=snap_h,
+                        flows=snap_f,
+                    )
+                )
+
+            # -- retire failed and converged lanes, compact the rest --
+            keep = np.ones(A, dtype=bool)
+            for a, error in failed.items():
+                retire(int(active[a]), converged=False, error=error)
+                keep[a] = False
+            ok_locals = active[ok]
+            for pos, local in enumerate(ok_locals):
+                if conv_now[pos]:
+                    retire(int(local), converged=True)
+            keep[ok] &= ~conv_now
+            active = active[keep]
+
+        for local in active:
+            # max_trials exhausted: not converged (the status pass may
+            # still flip something and trigger another run).
+            retire(int(local), converged=False)

@@ -61,6 +61,70 @@ Q_PUMP_MIN = 1e-6
 #: Maximum outer status-resolution passes.
 MAX_STATUS_PASSES = 20
 
+#: Below this delivery fraction the PDD Wagner curve continues linearly
+#: to the origin instead of following sqrt (whose derivative blows up).
+PDD_FRAC_EPS = 0.01
+
+
+def emitter_flow_and_gradient(
+    pressure: np.ndarray, ec: np.ndarray, beta: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Emitter outflow ``Q = EC * p**beta`` and ``dQ/dp`` (paper Eq. 1).
+
+    Shape-generic lane kernel: all three inputs must share one shape —
+    ``(n,)`` for the sequential solver, ``(lanes, n)`` for the batched
+    engine — and the arithmetic per active element is identical either
+    way, so the two paths agree bit for bit.
+    """
+    active = (ec > 0.0) & (pressure > 0.0)
+    flow = np.zeros(pressure.shape)
+    grad = np.zeros(pressure.shape)
+    if np.any(active):
+        p_act = pressure[active]
+        ec_act = ec[active]
+        beta_act = beta[active]
+        flow[active] = ec_act * p_act**beta_act
+        grad[active] = (
+            ec_act * beta_act * np.maximum(p_act, 1e-6) ** (beta_act - 1.0)
+        )
+    return flow, grad
+
+
+def pdd_delivery_and_gradient(
+    pressure: np.ndarray,
+    demand: np.ndarray,
+    minimum_pressure: float,
+    required_pressure: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pressure-driven delivery (Wagner curve) and its head gradient.
+
+    ``delivered = demand * sqrt(clip((p - pmin)/(preq - pmin), 0, 1))``
+    with a linearised toe below :data:`PDD_FRAC_EPS` (sqrt has an
+    infinite derivative at zero, which makes Newton crawl when a starved
+    node settles near zero delivery).  Shape-generic like
+    :func:`emitter_flow_and_gradient`: ``pressure`` and ``demand`` may be
+    ``(n,)`` or ``(lanes, n)``.
+    """
+    span = max(required_pressure - minimum_pressure, 1e-6)
+    frac = np.clip((pressure - minimum_pressure) / span, 0.0, 1.0)
+    toe = frac < PDD_FRAC_EPS
+    factor = np.sqrt(np.maximum(frac, PDD_FRAC_EPS))
+    factor[toe] = frac[toe] / np.sqrt(PDD_FRAC_EPS)
+    delivered = demand * factor
+    partial = (frac < 1.0) & (demand > 0.0)
+    grad = np.zeros(pressure.shape)
+    grad[~toe] = 0.5 / (span * np.maximum(factor[~toe], 1e-9))
+    grad[toe] = 1.0 / (span * np.sqrt(PDD_FRAC_EPS))
+    pdd_grad = np.zeros(pressure.shape)
+    pdd_grad[partial] = demand[partial] * grad[partial]
+    # A small floor keeps starved nodes anchored even at the flat ends
+    # of the curve.
+    has_demand = demand > 0.0
+    pdd_grad[has_demand] = np.maximum(
+        pdd_grad[has_demand], demand[has_demand] * 1e-3 / span
+    )
+    return delivered, pdd_grad
+
 
 def _dense_limit_from_env() -> int:
     """Resolve the dense/sparse crossover junction count.
@@ -901,49 +965,26 @@ class GGASolver:
             # Energy residual F1 = f(q) - (H_i - H_j)
             f1 = f_vals - (h_start - h_end)
 
-            # Emitter outflow and derivative at current heads.
+            # Emitter outflow and derivative at current heads; the lane
+            # kernels are shared with the batched engine so both paths
+            # stay bit-identical by construction.
             pressure = heads - elevations
-            active_em = (emitter_ec > 0.0) & (pressure > 0.0)
-            em_flow = np.zeros(n)
-            em_grad = np.zeros(n)
-            if np.any(active_em):
-                p_act = pressure[active_em]
-                ec_act = emitter_ec[active_em]
-                beta_act = emitter_beta[active_em]
-                em_flow[active_em] = ec_act * p_act**beta_act
-                em_grad[active_em] = (
-                    ec_act * beta_act * np.maximum(p_act, 1e-6) ** (beta_act - 1.0)
-                )
+            em_flow, em_grad = emitter_flow_and_gradient(
+                pressure, emitter_ec, emitter_beta
+            )
 
-            # Pressure-driven delivery (Wagner curve) when enabled:
-            # delivered = demand * sqrt(clip((p - pmin)/(preq - pmin), 0, 1)).
-            pdd_grad = np.zeros(n)
+            # Pressure-driven delivery (Wagner curve) when enabled.
             if pdd:
                 options = self.network.options
-                span = max(options.required_pressure - options.minimum_pressure, 1e-6)
-                frac = np.clip((pressure - options.minimum_pressure) / span, 0.0, 1.0)
-                # Wagner curve with a linearised toe: sqrt has an infinite
-                # derivative at frac -> 0, which makes Newton crawl when a
-                # starved node settles near zero delivery; below FRAC_EPS
-                # the curve continues linearly to the origin instead.
-                FRAC_EPS = 0.01
-                toe = frac < FRAC_EPS
-                factor = np.sqrt(np.maximum(frac, FRAC_EPS))
-                factor[toe] = frac[toe] / np.sqrt(FRAC_EPS)
-                delivered = demand * factor
-                partial = (frac < 1.0) & (demand > 0.0)
-                grad = np.zeros(n)
-                grad[~toe] = 0.5 / (span * np.maximum(factor[~toe], 1e-9))
-                grad[toe] = 1.0 / (span * np.sqrt(FRAC_EPS))
-                pdd_grad[partial] = demand[partial] * grad[partial]
-                # A small floor keeps starved nodes anchored even at the
-                # flat ends of the curve.
-                has_demand = demand > 0.0
-                pdd_grad[has_demand] = np.maximum(
-                    pdd_grad[has_demand], demand[has_demand] * 1e-3 / span
+                delivered, pdd_grad = pdd_delivery_and_gradient(
+                    pressure,
+                    demand,
+                    options.minimum_pressure,
+                    options.required_pressure,
                 )
             else:
                 delivered = demand
+                pdd_grad = np.zeros(n)
 
             # Mass residual F2 = A21 q - delivered - emitter - prv_lagged.
             flows_n = flows[normal]

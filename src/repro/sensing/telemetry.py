@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..failures import FailureScenario, events_to_emitters
-from ..hydraulics import GGASolver, SimulationResults, WaterNetwork
+from ..hydraulics import BatchedGGASolver, GGASolver, SimulationResults, WaterNetwork
 from .sensors import SensorNetwork
 
 
@@ -83,6 +83,7 @@ class SteadyStateTelemetry:
         self.slots_per_day = slots_per_day
         self.background_emitters = dict(background_emitters or {})
         self._solver = GGASolver(network)
+        self._batched: BatchedGGASolver | None = None
         self._rng = np.random.default_rng(seed)
         self._baseline_cache: dict[int, object] = {}
         self._reference = None
@@ -272,6 +273,96 @@ class SteadyStateTelemetry:
                 0.0, flow_noise * factor, size=len(link_delta)
             )
         return np.concatenate([node_delta, link_delta])
+
+    @property
+    def batched_solver(self) -> BatchedGGASolver:
+        """Lazily built batched engine sharing this telemetry's solver.
+
+        Sharing ``self._solver`` means Schur patterns, RCM orderings and
+        the dense scatter layout are computed once and the batched lanes
+        warm-start from the same cached baselines the sequential path
+        uses.
+        """
+        if self._batched is None:
+            self._batched = BatchedGGASolver(self.network, solver=self._solver)
+        return self._batched
+
+    def candidate_deltas_batch(
+        self,
+        scenarios,
+        elapsed_slots: int = 1,
+        pressure_noise: float = 0.05,
+        flow_noise: float = 2e-4,
+        rngs=None,
+    ) -> np.ndarray:
+        """Δ readings for a stack of scenarios as one vectorized solve.
+
+        Returns an ``(S, |V| + |E|)`` matrix whose row ``k`` is
+        bit-identical to ``candidate_deltas(scenarios[k], ...)`` called
+        in sequence: baselines come from the same per-slot cache (solved
+        sequentially on demand), the leaky states are solved by the
+        batched engine (bit-identical to sequential on the dense path),
+        and the noise stream per scenario is drawn in the sequential
+        order (nodes then links) from ``rngs[k]`` — pass the same
+        per-scenario generators the serial sweep would have used.
+
+        A scenario the sequential sweep would have failed on raises the
+        same :class:`~repro.hydraulics.ConvergenceError` here (the
+        lowest failing lane's, matching a serial loop's first raise).
+        """
+        scenarios = list(scenarios)
+        n_scenarios = len(scenarios)
+        n_candidates = self._n_nodes + self._n_links
+        if n_scenarios == 0:
+            return np.zeros((0, n_candidates))
+        n = len(self._junction_order)
+        demand_stack = np.empty((n_scenarios, n))
+        ec_stack = np.empty((n_scenarios, n))
+        beta_stack = np.empty((n_scenarios, n))
+        warm_rows = []
+        before_vecs = np.empty((n_scenarios, n_candidates))
+        vec_cache: dict[int, np.ndarray] = {}
+        for k, scenario in enumerate(scenarios):
+            after_slot = scenario.start_slot + elapsed_slots
+            before_key = (scenario.start_slot - 1) % self.slots_per_day
+            if before_key not in vec_cache:
+                vec_cache[before_key] = self._solution_vector(
+                    self._baseline(scenario.start_slot - 1)
+                )
+            before_vecs[k] = vec_cache[before_key]
+            demand_stack[k] = self.slot_demand_array(after_slot)
+            ec_stack[k], beta_stack[k] = self._merged_emitter_arrays(scenario)
+            warm_rows.append(self._baseline(after_slot))
+        result = self.batched_solver.solve_batch(
+            demands=demand_stack,
+            emitters=(ec_stack, beta_stack),
+            warm_starts=warm_rows,
+            package=False,
+        )
+        error = result.first_error()
+        if error is not None:
+            raise error
+        # Same per-element arithmetic as _package + _solution_vector:
+        # junction pressures are heads - elevations; fixed-node columns
+        # cancel exactly in the delta (identical floats in both states),
+        # so they start as copies of the baseline vector.
+        pressures = result.heads - self._solver._elevation_arr
+        after_vecs = before_vecs.copy()
+        after_vecs[:, self._node_jpos] = pressures[:, self._node_jsrc]
+        after_vecs[:, self._n_nodes :] = result.flows[:, self._link_perm]
+        deltas = after_vecs - before_vecs
+        factor = np.sqrt(1.0 + 1.0 / max(elapsed_slots, 1))
+        for k in range(n_scenarios):
+            rng = self._rng if rngs is None else rngs[k]
+            if pressure_noise > 0:
+                deltas[k, : self._n_nodes] += rng.normal(
+                    0.0, pressure_noise * factor, size=self._n_nodes
+                )
+            if flow_noise > 0:
+                deltas[k, self._n_nodes :] += rng.normal(
+                    0.0, flow_noise * factor, size=self._n_links
+                )
+        return deltas
 
     def candidate_keys(self) -> list[str]:
         """Stable feature-column keys matching :meth:`candidate_deltas`."""

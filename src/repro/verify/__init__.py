@@ -12,12 +12,13 @@ bulk:
   fuzzer with greedy shrinking that prints minimal failing cases as
   ready-to-paste regression tests;
 * :mod:`~repro.verify.properties` — the stock properties the fuzzer runs
-  (solve invariants, INP round-trip, warm≡cold, array≡dict);
+  (solve invariants, INP round-trip, warm≡cold, array≡dict, batched≡
+  sequential over heterogeneous lane batches);
 * :mod:`~repro.verify.differential` — fast-path vs reference-path
-  differential oracles (array vs dict, warm vs cold, ``workers=N`` vs
-  serial, ``n_jobs``/process backend vs serial, flattened tree kernel vs
-  recursion, binned vs exact splits, micro-batched serving vs direct
-  inference);
+  differential oracles (array vs dict, warm vs cold, batched vs
+  sequential, ``workers=N`` vs serial, ``n_jobs``/process backend vs
+  serial, flattened tree kernel vs recursion, binned vs exact splits,
+  micro-batched serving vs direct inference);
 * :mod:`~repro.verify.golden` — committed, tolerance-checked snapshots of
   steady-state hydraulics and pipeline accuracy;
 * :mod:`~repro.verify.runner` — the ``repro verify`` sweep over the
@@ -27,6 +28,7 @@ bulk:
 from .differential import (
     DiffReport,
     diff_array_vs_dict,
+    diff_batched_vs_sequential,
     diff_binned_vs_exact,
     diff_crf_vs_independent,
     diff_flattened_vs_recursive,
@@ -39,15 +41,18 @@ from .differential import (
     run_differential_oracles,
 )
 from .fuzz import (
+    BatchCase,
     EventSpec,
     FuzzFailure,
     FuzzReport,
     JunctionSpec,
+    LaneSpec,
     NetworkCase,
     PipeSpec,
     SkipCase,
     TankSpec,
     emit_regression_test,
+    random_batch_case,
     random_case,
     run_property,
     shrink_case,
@@ -55,10 +60,12 @@ from .fuzz import (
 from .golden import (
     GoldenReport,
     check_accuracy_golden,
+    check_dataset_golden,
     check_multi_accuracy_golden,
     check_steady_golden,
     golden_dir,
     update_accuracy_golden,
+    update_dataset_golden,
     update_multi_accuracy_golden,
     update_steady_golden,
 )
@@ -76,6 +83,8 @@ from .oracles import (
 )
 from .properties import (
     prop_array_equals_dict,
+    prop_batched_equals_sequential,
+    prop_batched_error_isolation,
     prop_inp_roundtrip,
     prop_solve_invariants,
     prop_warm_equals_cold,
@@ -84,6 +93,7 @@ from .properties import (
 from .runner import VerifyResult, run_verify
 
 __all__ = [
+    "BatchCase",
     "DiffReport",
     "EventSpec",
     "FuzzFailure",
@@ -92,6 +102,7 @@ __all__ = [
     "InvariantAuditor",
     "InvariantViolation",
     "JunctionSpec",
+    "LaneSpec",
     "NetworkCase",
     "OracleReport",
     "PipeSpec",
@@ -101,9 +112,11 @@ __all__ = [
     "audit_results",
     "audit_solution",
     "check_accuracy_golden",
+    "check_dataset_golden",
     "check_multi_accuracy_golden",
     "check_steady_golden",
     "diff_array_vs_dict",
+    "diff_batched_vs_sequential",
     "diff_binned_vs_exact",
     "diff_crf_vs_independent",
     "diff_flattened_vs_recursive",
@@ -120,9 +133,12 @@ __all__ = [
     "golden_dir",
     "mass_balance_report",
     "prop_array_equals_dict",
+    "prop_batched_equals_sequential",
+    "prop_batched_error_isolation",
     "prop_inp_roundtrip",
     "prop_solve_invariants",
     "prop_warm_equals_cold",
+    "random_batch_case",
     "random_case",
     "run_differential_oracles",
     "run_property",
@@ -131,6 +147,7 @@ __all__ = [
     "stock_properties",
     "tank_volume_report",
     "update_accuracy_golden",
+    "update_dataset_golden",
     "update_multi_accuracy_golden",
     "update_steady_golden",
 ]

@@ -209,6 +209,84 @@ class NetworkCase:
         )
 
 
+@dataclass(frozen=True)
+class LaneSpec:
+    """One lane of a batched solve: scenario perturbations of the base net.
+
+    ``closed_links`` holds chain-pipe indices forced CLOSED for this lane
+    (name ``C<i>``), which exercises heterogeneous status profiles across
+    the batch — lanes with different closures land in different Newton
+    groups and may fail (e.g. a starved downstream segment) while their
+    siblings converge.
+    """
+
+    demand_multiplier: float = 1.0
+    events: tuple[EventSpec, ...] = ()
+    closed_links: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class BatchCase:
+    """A base network plus heterogeneous lanes for ``solve_batch``.
+
+    The lane axis is where batched-vs-sequential equivalence can break:
+    mixed leak counts, demand multipliers and closed links force lane
+    grouping, per-lane convergence masking and per-lane status passes.
+    ``lanes`` may be empty (the S=0 batch) or a singleton.
+    """
+
+    base: NetworkCase
+    lanes: tuple[LaneSpec, ...] = ()
+
+    def build(self) -> WaterNetwork:
+        """Materialise the shared network."""
+        return self.base.build()
+
+    def lane_kwargs(self, network: WaterNetwork) -> list[dict]:
+        """Per-lane ``GGASolver.solve`` kwargs (also feed ``solve_batch``)."""
+        from ..failures import events_to_emitters
+        from ..hydraulics import LinkStatus
+
+        names = [f"J{i}" for i in range(len(self.base.junctions))]
+        rows = []
+        for lane in self.lanes:
+            demands = {
+                name: network.nodes[name].base_demand * lane.demand_multiplier
+                for name in names
+            }
+            emitters = None
+            if lane.events:
+                emitters = events_to_emitters(
+                    [
+                        LeakEvent(
+                            location=f"J{e.junction}",
+                            size=e.size,
+                            start_slot=e.start_slot,
+                            beta=e.beta,
+                        )
+                        for e in lane.events
+                    ]
+                )
+            statuses = (
+                {f"C{i}": LinkStatus.CLOSED for i in lane.closed_links} or None
+            )
+            rows.append(
+                {
+                    "demands": demands,
+                    "emitters": emitters,
+                    "status_overrides": statuses,
+                }
+            )
+        return rows
+
+    @property
+    def size(self) -> int:
+        """Shrink-ordering size: base components + lane perturbations."""
+        return self.base.size + sum(
+            1 + len(lane.events) + len(lane.closed_links) for lane in self.lanes
+        )
+
+
 # ----------------------------------------------------------------------
 # Generators.
 # ----------------------------------------------------------------------
@@ -307,6 +385,58 @@ def random_case(
     )
 
 
+def random_batch_case(
+    seed: "int | np.random.SeedSequence | np.random.Generator",
+    max_junctions: int = 12,
+    max_events: int = 3,
+    max_lanes: int = 4,
+) -> BatchCase:
+    """Draw one random batched case: a base network + heterogeneous lanes.
+
+    The lane count is uniform on ``0..max_lanes`` so S=0 and singleton
+    batches appear in every stream; each lane draws its own leak set
+    (``0..max_events`` events), demand multiplier, and — on longer
+    chains — an occasional closed chain pipe, so a batch mixes lanes
+    that converge quickly, slowly, or not at all.
+    """
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    base = random_case(
+        rng, max_junctions=max_junctions, p_tank=0.2, p_pattern=0.3, max_events=0
+    )
+    n = len(base.junctions)
+    lanes = []
+    for _ in range(int(rng.integers(0, max_lanes + 1))):
+        n_events = int(rng.integers(0, max_events + 1))
+        event_nodes = (
+            rng.choice(n, size=min(n_events, n), replace=False) if n_events else []
+        )
+        events = tuple(
+            EventSpec(
+                junction=int(j),
+                size=round(
+                    float(np.exp(rng.uniform(np.log(5e-4), np.log(4e-3)))), 6
+                ),
+                start_slot=int(rng.integers(1, 12)),
+            )
+            for j in event_nodes
+        )
+        closed = ()
+        if n >= 3 and rng.random() < 0.25:
+            closed = (int(rng.integers(1, n)),)
+        lanes.append(
+            LaneSpec(
+                demand_multiplier=round(float(rng.uniform(0.5, 1.6)), 3),
+                events=events,
+                closed_links=closed,
+            )
+        )
+    return BatchCase(base=base, lanes=tuple(lanes))
+
+
 # ----------------------------------------------------------------------
 # Engine.
 # ----------------------------------------------------------------------
@@ -326,9 +456,9 @@ class FuzzFailure:
     """
 
     case_index: int
-    case: NetworkCase
+    case: "NetworkCase | BatchCase"
     error: str
-    shrunk: NetworkCase
+    shrunk: "NetworkCase | BatchCase"
     shrunk_error: str
     shrink_steps: int
     regression_test: str
@@ -416,7 +546,50 @@ def _round_floats(case: NetworkCase) -> NetworkCase:
     )
 
 
-def _candidates(case: NetworkCase):
+def _candidates(case):
+    """Yield shrink candidates for either case type, most-aggressive first."""
+    if isinstance(case, BatchCase):
+        yield from _batch_candidates(case)
+        return
+    yield from _network_candidates(case)
+
+
+def _batch_candidates(case: BatchCase):
+    """Shrink a batched case: drop lanes, simplify lanes, shrink the base."""
+    for k in range(len(case.lanes)):
+        yield replace(case, lanes=case.lanes[:k] + case.lanes[k + 1 :])
+    for k, lane in enumerate(case.lanes):
+        simpler = []
+        for j in range(len(lane.events)):
+            simpler.append(
+                replace(lane, events=lane.events[:j] + lane.events[j + 1 :])
+            )
+        if lane.closed_links:
+            simpler.append(replace(lane, closed_links=()))
+        if lane.demand_multiplier != 1.0:
+            simpler.append(replace(lane, demand_multiplier=1.0))
+        for simple in simpler:
+            yield replace(
+                case, lanes=case.lanes[:k] + (simple,) + case.lanes[k + 1 :]
+            )
+    for inner in _network_candidates(case.base):
+        # Clamp lane events/closures onto the (possibly truncated) base.
+        n = len(inner.junctions)
+        lanes = tuple(
+            replace(
+                lane,
+                events=tuple(
+                    replace(e, junction=min(e.junction, n - 1))
+                    for e in lane.events
+                ),
+                closed_links=tuple(c for c in lane.closed_links if c < n),
+            )
+            for lane in case.lanes
+        )
+        yield BatchCase(base=inner, lanes=lanes)
+
+
+def _network_candidates(case: NetworkCase):
     """Yield shrink candidates, most-aggressive first."""
     if case.tank is not None:
         yield replace(case, tank=None)
@@ -441,10 +614,10 @@ def _candidates(case: NetworkCase):
         yield simplified
 
 
-def shrink_case(
-    case: NetworkCase, prop, max_attempts: int = 500
-) -> tuple[NetworkCase, str, int]:
+def shrink_case(case, prop, max_attempts: int = 500):
     """Greedy shrink: accept any candidate that still fails, repeat.
+
+    Works on :class:`NetworkCase` and :class:`BatchCase` alike.
 
     Returns ``(minimal_case, failure_message, accepted_steps)``.  The
     process is fully deterministic: candidates are tried in a fixed
@@ -480,12 +653,16 @@ def run_property(
     max_events: int = 3,
     shrink: bool = True,
     stop_on_first: bool = True,
+    case_factory=None,
 ) -> FuzzReport:
     """Fuzz a property over ``n_cases`` deterministic random cases.
 
     Args:
-        prop: callable taking a :class:`NetworkCase`; raises to fail,
-            raises :class:`SkipCase` to skip.
+        prop: callable taking a case; raises to fail, raises
+            :class:`SkipCase` to skip.  A property may carry its own
+            generator as a ``case_factory`` attribute (the batched
+            properties point at :func:`random_batch_case`); plain
+            properties get :func:`random_case`.
         n_cases: cases to draw.
         seed: root seed; case ``i`` is a pure function of ``(seed, i)``.
         max_junctions: generator bound on chain length.
@@ -493,14 +670,15 @@ def run_property(
         shrink: greedily shrink failures to minimal cases.
         stop_on_first: stop at the first failure (default); otherwise
             keep fuzzing and collect every failure.
+        case_factory: explicit generator override; wins over the
+            property's own ``case_factory`` attribute.
     """
     name = getattr(prop, "__name__", repr(prop))
+    factory = case_factory or getattr(prop, "case_factory", random_case)
     report = FuzzReport(property_name=name, seed=seed, n_cases=n_cases)
     children = np.random.SeedSequence(seed).spawn(n_cases)
     for index, child in enumerate(children):
-        case = random_case(
-            child, max_junctions=max_junctions, max_events=max_events
-        )
+        case = factory(child, max_junctions=max_junctions, max_events=max_events)
         try:
             prop(case)
             continue
@@ -529,12 +707,13 @@ def run_property(
 
 
 def emit_regression_test(
-    case: NetworkCase, prop, name: str | None = None
+    case, prop, name: str | None = None
 ) -> str:
     """Render a failing case as a runnable, self-contained pytest test.
 
     The case structure is embedded literally (dataclass reprs are valid
-    constructor calls), so the test does not depend on generator or
+    constructor calls, recursively — a ``BatchCase`` embeds its base
+    network and lanes), so the test does not depend on generator or
     shrinker behaviour staying stable.
     """
     if callable(prop):
@@ -555,9 +734,10 @@ def emit_regression_test(
         f'    """Shrunk failing case found by repro.verify.fuzz; '
         f'see docs/testing.md."""\n'
         f"    from repro.verify.fuzz import (\n"
-        f"        EventSpec, JunctionSpec, NetworkCase, PipeSpec, TankSpec,\n"
+        f"        BatchCase, EventSpec, JunctionSpec, LaneSpec, NetworkCase,\n"
+        f"        PipeSpec, TankSpec,\n"
         f"    )\n"
         f"    from {module} import {func}\n\n"
-        f"    case = NetworkCase(\n{body}\n    )\n"
+        f"    case = {type(case).__name__}(\n{body}\n    )\n"
         f"    {func}(case)\n"
     )

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..hydraulics import ConvergenceError, GGASolver, read_inp
+from ..hydraulics import BatchedGGASolver, ConvergenceError, GGASolver, read_inp
 from ..hydraulics.inp import inp_text
-from .fuzz import NetworkCase, SkipCase
+from ..hydraulics.sparse import SingularSchurError
+from .fuzz import BatchCase, NetworkCase, SkipCase, random_batch_case
 from .oracles import InvariantViolation, audit_solution
 
 
@@ -115,6 +116,111 @@ def prop_array_equals_dict(case: NetworkCase) -> None:
         )
 
 
+def _lane_reference(solver: GGASolver, kwargs: dict):
+    """Sequential outcome for one lane: (solution, None) or (None, error)."""
+    try:
+        return solver.solve(**kwargs), None
+    except (ConvergenceError, SingularSchurError) as exc:
+        return None, exc
+
+
+def prop_batched_equals_sequential(case: BatchCase) -> None:
+    """``solve_batch`` lane outcomes ≡ a sequential per-lane sweep.
+
+    Fuzz networks are small, hence dense, hence the claim is full
+    bit-identity: converged lanes reproduce the sequential heads and
+    flows exactly, and lanes whose sequential solve raises fail in the
+    batch with the same error type while their rows stay NaN.
+    """
+    network = case.build()
+    solver = GGASolver(network)
+    lane_kwargs = case.lane_kwargs(network)
+    batched = BatchedGGASolver(network, solver=solver)
+    result = batched.solve_batch(
+        demands=[kw["demands"] for kw in lane_kwargs],
+        emitters=[kw["emitters"] for kw in lane_kwargs],
+        status_overrides=[kw["status_overrides"] for kw in lane_kwargs],
+        n_lanes=len(lane_kwargs),
+    )
+    assert result.n_lanes == len(lane_kwargs), (
+        f"batch produced {result.n_lanes} lanes for {len(lane_kwargs)} specs"
+    )
+    for k, kwargs in enumerate(lane_kwargs):
+        reference, error = _lane_reference(solver, kwargs)
+        if error is not None:
+            assert not result.converged[k], (
+                f"lane {k} converged in the batch but sequentially raised "
+                f"{type(error).__name__}"
+            )
+            assert type(result.errors[k]) is type(error), (
+                f"lane {k} error type {type(result.errors[k]).__name__} "
+                f"!= sequential {type(error).__name__}"
+            )
+            assert np.all(np.isnan(result.heads[k])), (
+                f"failed lane {k} leaked non-NaN heads"
+            )
+            continue
+        assert result.converged[k] and result.errors[k] is None, (
+            f"lane {k} failed in the batch ({result.errors[k]}) but "
+            "converged sequentially"
+        )
+        assert np.array_equal(reference.junction_heads, result.heads[k]), (
+            f"lane {k} heads not bit-identical: max diff "
+            f"{np.max(np.abs(reference.junction_heads - result.heads[k])):.3e}"
+        )
+        assert np.array_equal(reference.link_flows, result.flows[k]), (
+            f"lane {k} flows not bit-identical: max diff "
+            f"{np.max(np.abs(reference.link_flows - result.flows[k])):.3e}"
+        )
+
+
+prop_batched_equals_sequential.case_factory = random_batch_case
+
+
+def prop_batched_error_isolation(case: BatchCase) -> None:
+    """A failing lane never contaminates its siblings.
+
+    Re-runs the batch under a starvation Newton budget (``trials=2``)
+    that routinely pushes slow lanes into :class:`ConvergenceError`.
+    Whatever mix of per-lane outcomes results, each lane must match its
+    own sequential solve under the same budget — errors stay in
+    ``result.errors`` (the batch call itself never raises) and surviving
+    lanes stay bit-identical.
+    """
+    network = case.build()
+    solver = GGASolver(network)
+    lane_kwargs = case.lane_kwargs(network)
+    batched = BatchedGGASolver(network, solver=solver)
+    result = batched.solve_batch(
+        demands=[kw["demands"] for kw in lane_kwargs],
+        emitters=[kw["emitters"] for kw in lane_kwargs],
+        status_overrides=[kw["status_overrides"] for kw in lane_kwargs],
+        n_lanes=len(lane_kwargs),
+        trials=2,
+    )
+    for k, kwargs in enumerate(lane_kwargs):
+        reference, error = _lane_reference(solver, dict(kwargs, trials=2))
+        if error is not None:
+            assert not result.converged[k] and result.errors[k] is not None, (
+                f"lane {k}: sequential trials=2 raised "
+                f"{type(error).__name__} but the batch lane succeeded"
+            )
+            continue
+        assert result.converged[k] and result.errors[k] is None, (
+            f"lane {k} failed in the batch ({result.errors[k]}) but "
+            "converged sequentially under the same budget"
+        )
+        assert np.array_equal(reference.junction_heads, result.heads[k]), (
+            f"lane {k} heads diverged beside a failing sibling"
+        )
+        assert np.array_equal(reference.link_flows, result.flows[k]), (
+            f"lane {k} flows diverged beside a failing sibling"
+        )
+
+
+prop_batched_error_isolation.case_factory = random_batch_case
+
+
 def stock_properties() -> dict[str, object]:
     """Name -> property mapping for sweeps and CLIs."""
     return {
@@ -122,4 +228,6 @@ def stock_properties() -> dict[str, object]:
         "inp-roundtrip": prop_inp_roundtrip,
         "warm-equals-cold": prop_warm_equals_cold,
         "array-equals-dict": prop_array_equals_dict,
+        "batched-equals-sequential": prop_batched_equals_sequential,
+        "batched-error-isolation": prop_batched_error_isolation,
     }

@@ -35,9 +35,11 @@ from .fuzz import FuzzReport, run_property
 from .golden import (
     GoldenReport,
     check_accuracy_golden,
+    check_dataset_golden,
     check_multi_accuracy_golden,
     check_steady_golden,
     update_accuracy_golden,
+    update_dataset_golden,
     update_multi_accuracy_golden,
     update_steady_golden,
 )
@@ -46,6 +48,10 @@ from .oracles import InvariantAuditor, OracleReport, audit_results
 #: Networks whose accuracy golden is maintained (full mode only; the
 #: pipeline run is too heavy to repeat for every catalog entry).
 ACCURACY_NETWORKS = ("epanet",)
+
+#: Networks whose fixed-seed dataset golden (sequential ≡ batched
+#: engine, hashed) is maintained.
+DATASET_NETWORKS = ("epanet",)
 
 #: EPS workload for the tank-volume oracle (seconds).
 EPS_DURATION = 4 * 3600.0
@@ -217,6 +223,8 @@ def run_verify(
     for name in names:
         if update_golden:
             update_steady_golden(name)
+            if name in DATASET_NETWORKS:
+                update_dataset_golden(name)
             if not quick and name in ACCURACY_NETWORKS:
                 update_accuracy_golden(name)
                 update_multi_accuracy_golden(name)
@@ -228,6 +236,8 @@ def run_verify(
             check_steady_golden(name),
             check_steady_golden(name, linear_solver="sparse"),
         ]
+        if name in DATASET_NETWORKS:
+            golden_reports.append(check_dataset_golden(name))
         if not quick and name in ACCURACY_NETWORKS:
             golden_reports.append(check_accuracy_golden(name))
             golden_reports.append(check_multi_accuracy_golden(name))
@@ -258,6 +268,7 @@ def run_verify(
 
 __all__ = [
     "ACCURACY_NETWORKS",
+    "DATASET_NETWORKS",
     "NetworkVerifyReport",
     "VerifyResult",
     "run_verify",

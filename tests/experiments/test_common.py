@@ -41,6 +41,31 @@ class TestDatasetCache:
         b = cached_dataset("two-loop", 5, "single", 1, elapsed_slots=4)
         assert a is not b
 
+    def test_engine_excluded_from_key(self):
+        """Batched and sequential datasets are bit-identical, so they
+        share both the in-process memo and the on-disk bundle."""
+        a = cached_dataset("two-loop", 10, "single", 1, engine="sequential")
+        b = cached_dataset("two-loop", 10, "single", 1, engine="batched")
+        assert a is b  # memo hit: engine is not part of the key
+        assert len(_DATASET_CACHE) == 1
+
+    def test_engines_share_disk_bundles(self, tmp_path):
+        """A bundle written by one engine is loaded verbatim by the other."""
+        import numpy as np
+
+        a = cached_dataset(
+            "two-loop", 8, "multi", 3, engine="batched", cache_dir=tmp_path
+        )
+        bundles = list(tmp_path.glob("dataset-*.npz"))
+        assert len(bundles) == 1
+        clear_caches()
+        b = cached_dataset(
+            "two-loop", 8, "multi", 3, engine="sequential", cache_dir=tmp_path
+        )
+        assert list(tmp_path.glob("dataset-*.npz")) == bundles
+        assert np.array_equal(a.X_candidates, b.X_candidates)
+        assert np.array_equal(a.Y, b.Y)
+
     def test_clear_caches_empties(self):
         cached_dataset("two-loop", 5, "single", 1)
         assert _DATASET_CACHE

@@ -1,0 +1,241 @@
+"""Batched multi-scenario Newton engine: masking, status passes, errors.
+
+The equivalence claim itself (batched ≡ sequential, bit-identical on
+dense networks) is held by ``repro.verify.differential`` and the fuzz
+properties; these tests pin the *mechanics* — per-lane convergence
+masking, masked status-pass re-solves, per-lane error isolation, and the
+input-validation surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hydraulics import (
+    BatchedGGASolver,
+    BatchResult,
+    BatchTrace,
+    ConvergenceError,
+    GGASolver,
+    LinkStatus,
+    NetworkTopologyError,
+    WaterNetwork,
+)
+
+
+def _leak_arrays(solver: GGASolver, leaks: dict[str, float]):
+    """(ec, beta) arrays for a {junction: coefficient} leak mapping."""
+    ec = np.zeros(len(solver.junction_names))
+    beta = np.full(len(solver.junction_names), 0.5)
+    index = {name: i for i, name in enumerate(solver.junction_names)}
+    for name, coefficient in leaks.items():
+        ec[index[name]] = coefficient
+    return ec, beta
+
+
+class TestConvergenceMasking:
+    def test_converged_lane_rows_freeze_while_sibling_iterates(self, two_loop):
+        """Lane A (warm-started at the fixed point) retires iterations
+        before lane B (cold, with a leak); A's state rows must be
+        bit-frozen in every snapshot taken after its retirement."""
+        solver = GGASolver(two_loop)
+        exact = solver.solve()
+        batched = BatchedGGASolver(two_loop, solver=solver)
+        leaks = _leak_arrays(solver, {solver.junction_names[-1]: 3e-3})
+        ec = np.vstack([np.zeros_like(leaks[0]), leaks[0]])
+        beta = np.vstack([leaks[1], leaks[1]])
+        trace = BatchTrace()
+        result = batched.solve_batch(
+            emitters=(ec, beta),
+            warm_starts=[exact, None],
+            n_lanes=2,
+            trace=trace,
+        )
+        assert result.all_converged
+        assert result.iterations[0] < result.iterations[1], (
+            "warm lane should converge in fewer iterations than the cold "
+            f"leak lane, got {result.iterations.tolist()}"
+        )
+        # Find the snapshot where lane 0 was last active.
+        active_iters = [r for r in trace.records if 0 in r.lanes]
+        later = [r for r in trace.records if 0 not in r.lanes]
+        assert later, "lane 1 must keep iterating after lane 0 retires"
+        frozen_heads = active_iters[-1].heads[0]
+        frozen_flows = active_iters[-1].flows[0]
+        for record in later:
+            assert np.array_equal(record.heads[0], frozen_heads), (
+                f"lane 0 heads moved at masked iteration {record.iteration}"
+            )
+            assert np.array_equal(record.flows[0], frozen_flows), (
+                f"lane 0 flows moved at masked iteration {record.iteration}"
+            )
+            assert not np.array_equal(record.heads[1], frozen_heads)
+        assert np.array_equal(result.heads[0], frozen_heads)
+
+    def test_trace_lane_sets_shrink_monotonically(self, two_loop):
+        solver = GGASolver(two_loop)
+        batched = BatchedGGASolver(two_loop, solver=solver)
+        rng = np.random.default_rng(0)
+        base = np.array(
+            [two_loop.nodes[n].base_demand for n in solver.junction_names]
+        )
+        demands = base * rng.uniform(0.6, 1.4, size=(4, len(base)))
+        trace = BatchTrace()
+        result = batched.solve_batch(demands=demands, trace=trace)
+        assert result.all_converged
+        first_pass = [r for r in trace.records if r.status_pass == 0]
+        seen = set(first_pass[0].lanes)
+        for record in first_pass:
+            assert set(record.lanes) <= seen, "a retired lane re-entered"
+            seen = set(record.lanes)
+
+
+class TestMaskedStatusPasses:
+    def make_cv_net(self) -> WaterNetwork:
+        net = WaterNetwork("cv-batch")
+        net.add_reservoir("A", base_head=60.0)
+        net.add_reservoir("B", base_head=40.0)
+        net.add_junction("J", elevation=0.0, base_demand=0.01)
+        net.add_pipe("PA", "A", "J", length=100, diameter=0.3)
+        net.add_pipe("PB", "B", "J", length=100, diameter=0.3, check_valve=True)
+        return net
+
+    def test_status_resolve_touches_only_flipped_lane(self):
+        """Lane 0's check valve slams shut after the first Newton run;
+        lane 1 (with B raised above A) keeps it open.  Only lane 0 may be
+        re-solved in the second status pass."""
+        net = self.make_cv_net()
+        batched = BatchedGGASolver(net)
+        trace = BatchTrace()
+        result = batched.solve_batch(
+            fixed_heads=[None, {"B": 80.0}],
+            n_lanes=2,
+            trace=trace,
+        )
+        assert result.all_converged
+        assert trace.resolves, "expected at least one status re-solve"
+        for _status_pass, lanes in trace.resolves:
+            assert lanes == (0,), (
+                f"status pass re-solved lanes {lanes}; only lane 0 flipped"
+            )
+        assert result.solutions[0].link_status["PB"] is LinkStatus.CLOSED
+        assert result.solutions[1].link_status["PB"] is LinkStatus.OPEN
+
+    def test_resolved_lane_matches_sequential(self):
+        net = self.make_cv_net()
+        solver = GGASolver(net)
+        batched = BatchedGGASolver(net, solver=solver)
+        result = batched.solve_batch(fixed_heads=[None, {"B": 80.0}], n_lanes=2)
+        closed = solver.solve()
+        opened = solver.solve(fixed_heads={"B": 80.0})
+        assert np.array_equal(result.heads[0], closed.junction_heads)
+        assert np.array_equal(result.flows[0], closed.link_flows)
+        assert np.array_equal(result.heads[1], opened.junction_heads)
+        assert np.array_equal(result.flows[1], opened.link_flows)
+
+
+class TestErrorIsolation:
+    def test_failing_lane_reports_error_without_contaminating_sibling(
+        self, two_loop
+    ):
+        """Under a 2-iteration Newton budget the cold leak lane cannot
+        converge; the warm lane still must, bit-identically to its own
+        sequential solve under the same budget."""
+        solver = GGASolver(two_loop)
+        exact = solver.solve()
+        batched = BatchedGGASolver(two_loop, solver=solver)
+        leaks = _leak_arrays(solver, {solver.junction_names[-1]: 3e-3})
+        ec = np.vstack([np.zeros_like(leaks[0]), leaks[0]])
+        beta = np.vstack([leaks[1], leaks[1]])
+        result = batched.solve_batch(
+            emitters=(ec, beta),
+            warm_starts=[exact, None],
+            n_lanes=2,
+            trials=2,
+        )
+        assert result.converged[0] and result.errors[0] is None
+        assert not result.converged[1]
+        assert isinstance(result.errors[1], ConvergenceError)
+        assert np.all(np.isnan(result.heads[1]))
+        reference = solver.solve(warm_start=exact, trials=2)
+        assert np.array_equal(result.heads[0], reference.junction_heads)
+        assert np.array_equal(result.flows[0], reference.link_flows)
+        with pytest.raises(ConvergenceError):
+            result.require()
+
+    def test_all_lanes_failing_never_raises(self, two_loop):
+        batched = BatchedGGASolver(two_loop)
+        result = batched.solve_batch(n_lanes=2, trials=1)
+        assert isinstance(result, BatchResult)
+        assert not result.all_converged
+        assert all(isinstance(e, ConvergenceError) for e in result.errors)
+
+
+class TestBatchShapes:
+    def test_empty_batch(self, two_loop):
+        result = BatchedGGASolver(two_loop).solve_batch(n_lanes=0)
+        assert result.n_lanes == 0
+        assert result.all_converged
+        assert result.heads.shape[0] == 0 and result.flows.shape[0] == 0
+
+    def test_singleton_batch_equals_sequential(self, two_loop):
+        solver = GGASolver(two_loop)
+        batched = BatchedGGASolver(two_loop, solver=solver)
+        result = batched.solve_batch(n_lanes=1)
+        reference = solver.solve()
+        assert result.n_lanes == 1 and result.all_converged
+        assert np.array_equal(result.heads[0], reference.junction_heads)
+        assert np.array_equal(result.flows[0], reference.link_flows)
+        assert result.iterations[0] == reference.iterations
+
+    def test_epanet_pumps_and_valves_equal_sequential(self, epanet):
+        """The pump-curve and valve coefficient columns (EPA-NET has
+        both, plus a check valve) reproduce sequential solves exactly."""
+        solver = GGASolver(epanet)
+        batched = BatchedGGASolver(epanet, solver=solver)
+        rng = np.random.default_rng(7)
+        base = np.array(
+            [epanet.nodes[n].base_demand for n in solver.junction_names]
+        )
+        demands = base * rng.uniform(0.7, 1.3, size=(3, len(base)))
+        speeds = [None, {"111": 0.9}, None]
+        result = batched.solve_batch(demands=demands, pump_speeds=speeds)
+        assert result.all_converged
+        for k in range(3):
+            reference = solver.solve(demands=demands[k], pump_speeds=speeds[k])
+            assert np.array_equal(result.heads[k], reference.junction_heads)
+            assert np.array_equal(result.flows[k], reference.link_flows)
+            assert result.iterations[k] == reference.iterations
+
+
+class TestInputValidation:
+    def test_n_lanes_required_when_everything_shared(self, two_loop):
+        with pytest.raises(NetworkTopologyError, match="n_lanes"):
+            BatchedGGASolver(two_loop).solve_batch()
+
+    def test_demand_stack_shape_checked(self, two_loop):
+        batched = BatchedGGASolver(two_loop)
+        with pytest.raises(NetworkTopologyError, match="demand stack"):
+            batched.solve_batch(demands=np.zeros((2, 3)))
+
+    def test_emitter_stack_shape_checked(self, two_loop):
+        batched = BatchedGGASolver(two_loop)
+        n = len(GGASolver(two_loop).junction_names)
+        with pytest.raises(NetworkTopologyError, match="emitter"):
+            batched.solve_batch(
+                emitters=(np.zeros((2, n)), np.zeros((3, n))), n_lanes=2
+            )
+
+    def test_per_lane_length_mismatch(self, two_loop):
+        batched = BatchedGGASolver(two_loop)
+        with pytest.raises(NetworkTopologyError, match="lanes"):
+            batched.solve_batch(fixed_heads=[None, None, None], n_lanes=2)
+
+    def test_require_without_packaging_raises(self, two_loop):
+        result = BatchedGGASolver(two_loop).solve_batch(
+            n_lanes=1, package=False
+        )
+        assert result.solutions is None
+        with pytest.raises(RuntimeError, match="package"):
+            result.require()

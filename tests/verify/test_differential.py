@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.verify import (
     diff_array_vs_dict,
+    diff_batched_vs_sequential,
     diff_crf_vs_independent,
     diff_njobs_training,
     diff_serve_vs_direct,
@@ -60,6 +61,14 @@ class TestOracles:
         # The detail line carries the reuse-policy evidence.
         assert "factorizations" in report.detail
 
+    def test_batched_vs_sequential_bit_identical(self, two_loop):
+        report = diff_batched_vs_sequential(two_loop, seed=0, n_lanes=4)
+        assert report.passed, str(report)
+        # two_loop is dense, so the claim is bit-identity at tolerance 0.
+        assert report.bit_identical
+        assert report.tolerance == 0.0
+        assert "2-chunk replay" in report.detail
+
     def test_workers_vs_serial_bit_identical(self, two_loop):
         report = diff_workers_dataset(two_loop, seed=0, n_samples=6, workers=2)
         assert report.passed, str(report)
@@ -89,6 +98,7 @@ class TestOracles:
             "array_vs_dict",
             "warm_vs_cold",
             "sparse_vs_dense",
+            "batched_vs_serial",
             "workers_vs_serial",
             "njobs_vs_serial",
             "flat_vs_recursive",

@@ -7,13 +7,16 @@ import dataclasses
 import pytest
 
 from repro.verify import (
+    BatchCase,
     EventSpec,
     JunctionSpec,
+    LaneSpec,
     NetworkCase,
     PipeSpec,
     SkipCase,
     TankSpec,
     emit_regression_test,
+    random_batch_case,
     random_case,
     run_property,
     shrink_case,
@@ -28,6 +31,14 @@ def prop_injected_fault(case: NetworkCase) -> None:
     it back from this module.
     """
     assert not (len(case.junctions) >= 3 and case.events), "injected fault"
+
+
+def prop_injected_batch_fault(case: BatchCase) -> None:
+    """Broken batched property: fails once any two lane events exist."""
+    assert sum(len(lane.events) for lane in case.lanes) < 2, "batch fault"
+
+
+prop_injected_batch_fault.case_factory = random_batch_case
 
 
 def prop_always_passes(case: NetworkCase) -> None:
@@ -95,6 +106,64 @@ class TestCaseStructure:
             },
         )
         assert rebuilt == case
+
+
+class TestBatchCaseStream:
+    def test_random_batch_case_is_pure_function_of_seed(self):
+        assert random_batch_case(42) == random_batch_case(42)
+        assert random_batch_case(42) != random_batch_case(43)
+
+    def test_stream_contains_empty_and_singleton_batches(self):
+        sizes = [len(random_batch_case(seed).lanes) for seed in range(100)]
+        assert 0 in sizes  # the S=0 batch
+        assert 1 in sizes  # singleton batches
+        assert max(sizes) >= 2  # genuine multi-lane batches
+
+    def test_lanes_are_heterogeneous(self):
+        for seed in range(50):
+            case = random_batch_case(seed)
+            if len({lane.demand_multiplier for lane in case.lanes}) >= 2 and (
+                len({len(lane.events) for lane in case.lanes}) >= 2
+            ):
+                break
+        else:
+            raise AssertionError("no batch mixed multipliers and leak counts")
+
+    def test_case_factory_attribute_drives_generation(self):
+        report = run_property(prop_injected_batch_fault, n_cases=40, seed=0)
+        assert not report.passed
+        assert isinstance(report.failures[0].case, BatchCase)
+
+    def test_batch_shrinking_reaches_minimal_lane_set(self):
+        report = run_property(prop_injected_batch_fault, n_cases=40, seed=0)
+        shrunk = report.failures[0].shrunk
+        # Minimal for "two lane events": exactly the events, nothing else.
+        assert sum(len(lane.events) for lane in shrunk.lanes) == 2
+        assert all(lane.closed_links == () for lane in shrunk.lanes)
+        assert all(lane.demand_multiplier == 1.0 for lane in shrunk.lanes)
+        assert len(shrunk.base.junctions) == 1
+
+    def test_emitted_batch_regression_test_is_runnable(self):
+        report = run_property(prop_injected_batch_fault, n_cases=40, seed=0)
+        source = report.failures[0].regression_test
+        assert "case = BatchCase(" in source
+        assert "LaneSpec" in source
+        namespace: dict = {"prop_injected_batch_fault": prop_injected_batch_fault}
+        source = source.replace(
+            f"from {__name__} import prop_injected_batch_fault\n", ""
+        )
+        exec(compile(source, "<emitted>", "exec"), namespace)  # noqa: S102
+        with pytest.raises(AssertionError, match="batch fault"):
+            namespace["test_regression_injected_batch_fault"]()
+
+    def test_batch_candidates_strictly_reduce_or_simplify(self):
+        for seed in range(20):
+            case = random_batch_case(seed)
+            if case.lanes:
+                break
+        for candidate in _candidates(case):
+            assert candidate != case
+            assert candidate.size <= case.size
 
 
 class TestRunProperty:

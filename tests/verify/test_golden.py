@@ -103,6 +103,43 @@ class TestAccuracyGolden:
         assert report.max_abs_diff == 0.0
 
 
+class TestDatasetGolden:
+    def test_committed_goldens_exist_and_are_equal(self):
+        sequential = json.loads(
+            (golden_dir() / "dataset-epanet.json").read_text()
+        )
+        batched = json.loads(
+            (golden_dir() / "dataset-epanet-batched.json").read_text()
+        )
+        assert sequential["engine"] == "sequential"
+        assert batched["engine"] == "batched"
+        assert sequential["config"] == golden_module.DATASET_CONFIG
+        # The batched engine's bit-identity claim, frozen at rest.
+        assert sequential["feature_sha256"] == batched["feature_sha256"]
+        assert sequential["label_sha256"] == batched["label_sha256"]
+        assert sequential["phase1_accuracy"] == batched["phase1_accuracy"]
+
+    def test_committed_dataset_golden_reproduces(self):
+        report = golden_module.check_dataset_golden("epanet")
+        assert report.passed, str(report)
+        assert report.max_abs_diff == 0.0
+
+    def test_missing_golden_fails(self, sandbox_golden):
+        report = golden_module.check_dataset_golden("epanet")
+        assert not report.passed
+        assert "no golden" in report.detail
+
+    def test_hash_drift_is_caught(self, sandbox_golden):
+        golden_module.update_dataset_golden("two-loop")
+        path = sandbox_golden / "dataset-two-loop-batched.json"
+        snapshot = json.loads(path.read_text())
+        snapshot["feature_sha256"] = "0" * 64
+        path.write_text(json.dumps(snapshot))
+        report = golden_module.check_dataset_golden("two-loop")
+        assert not report.passed
+        assert "DIVERGED" in report.detail
+
+
 class TestMultiAccuracyGolden:
     """Cheap failure paths only — both return before the pipeline runs."""
 

@@ -20,7 +20,7 @@ class TestRunVerify:
         oracle_names = {r.name for r in report.oracle_reports}
         assert {"mass_balance", "energy", "emitter_law", "finiteness",
                 "tank_volume"} <= oracle_names
-        assert len(report.diff_reports) == 10
+        assert len(report.diff_reports) == 11
         # Dense + forced-sparse steady goldens; quick skips accuracy.
         assert len(report.golden_reports) == 2
         assert {g.name for g in report.golden_reports} == {
@@ -33,6 +33,8 @@ class TestRunVerify:
         assert result.passed
         assert {f.property_name for f in result.fuzz_reports} == {
             "prop_array_equals_dict",
+            "prop_batched_equals_sequential",
+            "prop_batched_error_isolation",
             "prop_inp_roundtrip",
             "prop_solve_invariants",
             "prop_warm_equals_cold",
