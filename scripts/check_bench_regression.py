@@ -15,6 +15,12 @@ dotted path into the report's nested sections, e.g.
 may be repeated; every named benchmark is gated and the worst outcome
 wins.
 
+``--slo NAME=LIMIT`` adds an *absolute* ceiling on a value in the fresh
+report (same dotted-path addressing), independent of the committed
+baseline — this is how the serving tier's latency objective is enforced
+as a number, not a ratio: a slow committed run must not launder a slow
+fresh run.
+
 Usage::
 
     python scripts/check_bench_regression.py BENCH_pipeline.json BENCH_fresh.json
@@ -23,6 +29,8 @@ Usage::
     python scripts/check_bench_regression.py BENCH_pipeline.json BENCH_fresh.json \\
         --benchmark steady.steady_city10k_seconds \\
         --benchmark steady.eps_city10k_seconds
+    python scripts/check_bench_regression.py BENCH_pipeline.json BENCH_fresh.json \\
+        --benchmark serve.latency_ms.p99 --slo serve.latency_ms.p99=50
 """
 
 from __future__ import annotations
@@ -33,11 +41,12 @@ import sys
 
 
 def mean_seconds(path: str, name: str) -> float | None:
-    """The named benchmark's timing from a ``repro bench`` report, if present.
+    """The named benchmark's value from a ``repro bench`` report, if present.
 
     Names with dots resolve as a key path through the report's nested
-    sections (``phase2.crf.batch_seconds``); plain names are looked up
-    in the ``pytest_benchmarks`` list by their ``mean_seconds``.
+    sections (``phase2.crf.batch_seconds``, ``serve.latency_ms.p99``);
+    plain names are looked up in the ``pytest_benchmarks`` list by
+    their ``mean_seconds``.
     """
     with open(path) as handle:
         report = json.load(handle)
@@ -76,10 +85,35 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="allowed fractional slowdown vs the committed mean (default 0.25)",
     )
+    parser.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="NAME=LIMIT",
+        help="absolute ceiling on a fresh-report value (dotted path), "
+             "e.g. serve.latency_ms.p99=50; repeatable",
+    )
     args = parser.parse_args(argv)
     names = args.benchmark or ["test_phase1_profile_training"]
 
     worst = 0
+    for spec in args.slo or []:
+        name, sep, limit_text = spec.partition("=")
+        if not sep:
+            print(f"--slo {spec!r} is not NAME=LIMIT")
+            return 2
+        limit = float(limit_text)
+        fresh = mean_seconds(args.fresh, name)
+        if fresh is None:
+            print(f"{name} missing from {args.fresh}; did the run fail?")
+            worst = 1
+            continue
+        ok = fresh <= limit
+        print(
+            f"{name}: fresh {fresh:g}, SLO ceiling {limit:g} "
+            f"-> {'OK' if ok else 'SLO VIOLATION'}"
+        )
+        worst = max(worst, 0 if ok else 1)
     for name in names:
         committed = mean_seconds(args.committed, name)
         fresh = mean_seconds(args.fresh, name)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Open-loop Poisson load generator for the localization service.
+
+A thin CLI over :func:`repro.serve.loadgen.run_open_loop`, meant to run
+as its **own process** so the sender's clock and JSON work never share a
+GIL with the server, router, or bench harness — a load generator that
+competes with the system under test for one interpreter lock is a
+closed loop in disguise.
+
+Feature rows come from a ``.npy`` file (``--features``, 2-D float
+array), or are drawn at random when only ``--n-features`` is given —
+random rows are fine for latency work because the kernels are
+data-oblivious.  The report prints as one JSON object on stdout, so a
+parent bench can ``subprocess.run(...)`` this script and parse the
+result.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_load.py \
+        --host 127.0.0.1 --port 8790 --rate 600 --requests 4000 \
+        --features rows.npy --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.serve.loadgen import run_open_loop  # noqa: E402
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1", help="server or router host")
+    parser.add_argument("--port", type=int, required=True, help="server or router port")
+    parser.add_argument("--rate", type=float, required=True,
+                        help="offered Poisson arrival rate (requests/second)")
+    parser.add_argument("--requests", type=int, required=True,
+                        help="measured request count (excludes warmup)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="TCP connections to spread requests over")
+    parser.add_argument("--warmup", type=int, default=32,
+                        help="unmeasured closed-loop priming requests")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed of the arrival schedule")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-request deadline forwarded to the server")
+    parser.add_argument("--inference", default=None,
+                        choices=["independent", "crf"],
+                        help="aggregation mode forwarded to the server")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="wait bound for the final stragglers (seconds)")
+    parser.add_argument("--features", metavar="ROWS.npy", default=None,
+                        help="2-D float array of feature rows to cycle through")
+    parser.add_argument("--n-features", type=int, default=None,
+                        help="draw 64 random rows of this width instead")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full report as one JSON line")
+    args = parser.parse_args()
+    if (args.features is None) == (args.n_features is None):
+        parser.error("exactly one of --features / --n-features is required")
+    return args
+
+
+def load_rows(args: argparse.Namespace) -> np.ndarray:
+    if args.features is not None:
+        rows = np.load(args.features)
+        if rows.ndim != 2 or rows.shape[0] < 1:
+            raise SystemExit(f"--features must be a non-empty 2-D array, "
+                             f"got shape {rows.shape}")
+        return rows
+    return np.random.default_rng(args.seed).normal(
+        size=(64, args.n_features)
+    )
+
+
+def main() -> int:
+    args = parse_args()
+    rows = load_rows(args)
+    report = run_open_loop(
+        args.host,
+        args.port,
+        rows,
+        rate_rps=args.rate,
+        n_requests=args.requests,
+        clients=args.clients,
+        deadline_ms=args.deadline_ms,
+        inference=args.inference,
+        warmup=args.warmup,
+        seed=args.seed,
+        timeout=args.timeout,
+    )
+    if args.json:
+        print(json.dumps(report))
+    else:
+        latency = report["latency_ms"]
+        print(f"offered {report['offered_rps']} rps, "
+              f"achieved {report['achieved_rps']} rps, "
+              f"completed {report['completed']}/{report['n_requests']}")
+        print(f"latency ms: p50={latency.get('p50')} p95={latency.get('p95')} "
+              f"p99={latency.get('p99')} max={latency.get('max')}")
+        if report["errors"]:
+            print(f"errors: {report['errors']}")
+    return 0 if report["completed"] == report["n_requests"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,12 +9,14 @@ and asserts the operational claims the serving layer makes:
   (p99 end-to-end latency under the per-request budget);
 * the dynamic micro-batcher actually coalesces under concurrent load
   (server-side batch-size histogram mean > 1);
+* with ``--workers N`` (N > 1) the shared-memory cluster comes up with
+  every worker process healthy behind the router;
 * SIGTERM drains gracefully: the process exits 0 after finishing
-  admitted work.
+  admitted work (a cluster additionally unlinks its segments).
 
 Usage::
 
-    PYTHONPATH=src python scripts/serve_smoke.py --profile profile.pkl
+    PYTHONPATH=src python scripts/serve_smoke.py --profile profile.pkl --workers 2
 """
 
 from __future__ import annotations
@@ -41,15 +43,20 @@ def parse_args() -> argparse.Namespace:
                         help="concurrent client threads")
     parser.add_argument("--deadline-ms", type=float, default=5000.0,
                         help="per-request deadline every reply must beat")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="serve worker processes (>1 exercises the "
+                             "shared-memory cluster behind the router)")
     parser.add_argument("--startup-timeout", type=float, default=120.0)
     return parser.parse_args()
 
 
-def start_server(profile: str, timeout: float) -> tuple[subprocess.Popen, int]:
+def start_server(
+    profile: str, timeout: float, workers: int = 1
+) -> tuple[subprocess.Popen, int]:
     """Launch ``repro serve`` and wait for its 'serving on' line."""
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--profile", profile,
-         "--port", "0", "--max-wait-ms", "10"],
+         "--port", "0", "--max-wait-ms", "10", "--workers", str(workers)],
         stdout=subprocess.PIPE,
         text=True,
         env=os.environ,
@@ -76,7 +83,7 @@ def main() -> int:
     from repro.serve import ServeClient
 
     args = parse_args()
-    proc, port = start_server(args.profile, args.startup_timeout)
+    proc, port = start_server(args.profile, args.startup_timeout, args.workers)
     failures: list[str] = []
     try:
         with ServeClient("127.0.0.1", port) as client:
@@ -84,6 +91,20 @@ def main() -> int:
             n_features = health["n_features"]
             print(f"health: {health['status']}, model {health['model']['name']} "
                   f"({health['model']['etag'][:15]}…), {n_features} features")
+            if args.workers > 1:
+                router = health.get("router", {})
+                print(f"router: {router.get('healthy_workers', 0)}/"
+                      f"{router.get('n_workers', 0)} workers healthy")
+                if router.get("n_workers") != args.workers:
+                    failures.append(
+                        f"router reports {router.get('n_workers')} workers, "
+                        f"expected {args.workers}"
+                    )
+                if router.get("healthy_workers") != args.workers:
+                    failures.append(
+                        f"only {router.get('healthy_workers')} of "
+                        f"{args.workers} workers healthy"
+                    )
 
             rng = np.random.default_rng(0)
             rows = rng.normal(0.0, 1.0, size=(args.requests, n_features))

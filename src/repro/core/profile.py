@@ -149,12 +149,23 @@ class ProfileModel:
 
     @staticmethod
     def _nanmedian(block: np.ndarray) -> np.ndarray:
-        """Per-row nanmedian; 0 for rows where every reading is missing."""
-        all_nan = np.isnan(block).all(axis=1, keepdims=True)
-        safe = np.where(all_nan, 0.0, block)
-        with np.errstate(invalid="ignore"):
-            med = np.nanmedian(safe, axis=1, keepdims=True)
-        return np.where(all_nan, 0.0, med)
+        """Per-row nanmedian; 0 for rows where every reading is missing.
+
+        Sort-based rather than ``np.nanmedian``: sorting pushes NaNs to
+        the end of each row, so the median of the valid prefix is the
+        mean of its middle pair.  Equivalent for every input (the middle
+        pair's mean is the same ``(a + b) / 2``), but avoids
+        ``np.nanmedian``'s masked-array fallback, which costs ~0.5 ms
+        per call even on a two-row block and dominated serving-kernel
+        time before batching amortised anything.
+        """
+        ordered = np.sort(block, axis=1)
+        counts = np.count_nonzero(~np.isnan(block), axis=1)
+        lo = np.maximum((counts - 1) // 2, 0)
+        hi = counts // 2
+        rows = np.arange(block.shape[0])
+        med = (ordered[rows, lo] + ordered[rows, hi]) / 2.0
+        return np.where(counts == 0, 0.0, med)[:, None]
 
     def _prepare(self, features: np.ndarray) -> np.ndarray:
         # One owned copy up front; detrend/scale/impute all mutate it in

@@ -89,6 +89,26 @@ class FlattenedForest:
     def n_nodes(self) -> int:
         return len(self.feature)
 
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across the flat node tables.
+
+        The bulk of a trained forest's memory — what multi-worker
+        serving shares zero-copy (see :mod:`repro.serve.shm`).
+        """
+        return sum(array.nbytes for array in self.arrays().values())
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """The flat node tables by name (shared-memory publishing unit)."""
+        return {
+            "feature": self.feature,
+            "threshold": self.threshold,
+            "left": self.left,
+            "right": self.right,
+            "value": self.value,
+            "roots": self.roots,
+        }
+
     def apply(self, X: np.ndarray) -> np.ndarray:
         """Absolute leaf node index for every (sample, tree) pair.
 

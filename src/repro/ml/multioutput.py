@@ -53,6 +53,25 @@ def _column_rows(
     return np.sort(np.concatenate([positives, sampled]))
 
 
+def _predict_linear_stack(
+    X: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+    flip: np.ndarray,
+    const: np.ndarray,
+) -> np.ndarray:
+    """One GEMM + sigmoid over every stacked logistic column."""
+    from .linear import _sigmoid
+
+    proba = _sigmoid(X @ W.T + b)
+    if flip.any():
+        proba[:, flip] = 1.0 - proba[:, flip]
+    fixed = ~np.isnan(const)
+    if fixed.any():
+        proba[:, fixed] = const[fixed]
+    return proba
+
+
 def _fit_one_column(
     template: BaseEstimator,
     X: np.ndarray,
@@ -234,6 +253,7 @@ class MultiOutputClassifier(BaseEstimator):
         else:
             self.estimators_ = [fit_column(j) for j in range(n_outputs)]
         self.n_outputs_ = n_outputs
+        self._linear_stack_cache = False
         return self
 
     def _column_rows(self, y: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -246,6 +266,9 @@ class MultiOutputClassifier(BaseEstimator):
         # Validate once; per-column predict_proba calls see the same
         # conforming ndarray and skip re-validation.
         X = check_array(X)
+        stack = self._linear_stack()
+        if stack is not None:
+            return _predict_linear_stack(X, *stack)
         columns = np.empty((X.shape[0], self.n_outputs_))
         for j, model in enumerate(self.estimators_):
             proba = model.predict_proba(X)
@@ -256,6 +279,64 @@ class MultiOutputClassifier(BaseEstimator):
                 positive = int(np.where(classes == 1)[0][0]) if 1 in classes else 1
                 columns[:, j] = proba[:, positive]
         return columns
+
+    def __getstate__(self):
+        # The stacked-weight cache is derived data: keeping it out of
+        # the pickle keeps content-hash etags a function of the fitted
+        # model alone, not of whether predict_proba ran before pickling.
+        state = dict(self.__dict__)
+        state.pop("_linear_stack_cache", None)
+        return state
+
+    def _linear_stack(self):
+        """Stacked (W, b, flip, const) for an all-logistic column set.
+
+        Looping ~100 per-node logistic models costs more in Python call
+        overhead than the arithmetic itself (each column is one dot
+        product); stacking the weight vectors turns the whole sweep into
+        a single GEMM + sigmoid.  Built lazily after fit, ``None`` when
+        any column is not a plain fitted :class:`LogisticRegression`.
+        """
+        cached = getattr(self, "_linear_stack_cache", False)
+        if cached is not False:
+            return cached
+        from .linear import LogisticRegression
+
+        stack = None
+        if all(
+            type(model) is LogisticRegression and hasattr(model, "classes_")
+            for model in self.estimators_
+        ):
+            n_features = next(
+                (
+                    model.coef_.shape[0]
+                    for model in self.estimators_
+                    if len(model.classes_) == 2
+                ),
+                None,
+            )
+            if n_features is not None:
+                n_outputs = len(self.estimators_)
+                W = np.zeros((n_outputs, n_features))
+                b = np.zeros(n_outputs)
+                flip = np.zeros(n_outputs, dtype=bool)
+                const = np.full(n_outputs, np.nan)
+                for j, model in enumerate(self.estimators_):
+                    classes = model.classes_
+                    if len(classes) == 1:
+                        const[j] = float(classes[0] == 1)
+                        continue
+                    W[j] = model.coef_
+                    b[j] = model.intercept_
+                    # predict_proba columns are [1-p1, p1]; "positive"
+                    # selects where class 1 sorted, or column 1 if absent.
+                    positive = (
+                        int(np.where(classes == 1)[0][0]) if 1 in classes else 1
+                    )
+                    flip[j] = positive == 0
+                stack = (W, b, flip, const)
+        self._linear_stack_cache = stack
+        return stack
 
     def predict(self, X) -> np.ndarray:
         """Binary label matrix, shape (n_samples, n_outputs)."""

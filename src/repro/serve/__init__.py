@@ -3,20 +3,27 @@
 The operations-facing deployment of the two-phase pipeline: a
 stdlib-only asyncio TCP server speaking newline-delimited JSON, with
 
-* **dynamic micro-batching** — concurrent ``localize`` requests coalesce
-  into one :meth:`~repro.core.AquaScale.localize_batch` kernel call
-  under a ``max_batch_size`` / ``max_wait_ms`` policy
-  (:mod:`~repro.serve.batcher`);
+* **adaptive micro-batching** — concurrent ``localize`` requests
+  coalesce into one :meth:`~repro.core.AquaScale.localize_batch` kernel
+  call; the hold-down scales with an arrival-rate EWMA, bounded by
+  ``max_batch_size`` / ``max_wait_ms`` (:mod:`~repro.serve.batcher`);
 * a **model registry** — named, versioned profiles with content-hash
   etags and atomic hot-swap; in-flight batches finish on the model they
   captured (:mod:`~repro.serve.registry`);
 * **admission control** — a bounded in-flight window, per-request
   deadlines, load shedding with honest ``retry_after_ms`` hints, and
-  graceful drain on SIGTERM (:mod:`~repro.serve.admission`).
+  graceful drain on SIGTERM (:mod:`~repro.serve.admission`);
+* **multi-worker scale-out** — N worker processes sharing each model
+  zero-copy through ``multiprocessing.shared_memory``
+  (:mod:`~repro.serve.shm`), fronted by a consistent-hash router with
+  bounded-load spill (:mod:`~repro.serve.router`,
+  :mod:`~repro.serve.cluster`);
+* an **open-loop load harness** — Poisson arrivals, monotonic clocks,
+  queue-wait vs kernel-time split (:mod:`~repro.serve.loadgen`).
 
 Everything is instrumented through :mod:`repro.stream.metrics` and
 logged through :mod:`repro.stream.log`.  Run it from the CLI with
-``repro serve``, or in-process::
+``repro serve`` (``--workers N`` for a cluster), or in-process::
 
     from repro.serve import ServeClient, start_in_background
 
@@ -28,28 +35,42 @@ See ``docs/serving.md`` for the protocol, batching policy, and tuning.
 """
 
 from .admission import AdmissionController, AdmissionDecision
-from .batcher import BatcherClosed, MicroBatcher
+from .batcher import ArrivalEstimator, BatcherClosed, MicroBatcher
 from .client import LocalizeReply, ServeClient, ServeError
+from .cluster import ClusterHandle, ServeCluster, start_cluster_in_background
+from .loadgen import run_open_loop
 from .registry import ModelEntry, ModelRegistry
+from .router import HashRing, RouterServer, WorkerLink
 from .server import (
     LocalizationServer,
     ServeConfig,
     ServerHandle,
     start_in_background,
 )
+from .shm import ArtifactManifest, SharedModelArtifact
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "ArrivalEstimator",
+    "ArtifactManifest",
     "BatcherClosed",
+    "ClusterHandle",
+    "HashRing",
     "LocalizationServer",
     "LocalizeReply",
     "MicroBatcher",
     "ModelEntry",
     "ModelRegistry",
+    "RouterServer",
     "ServeClient",
+    "ServeCluster",
     "ServeConfig",
     "ServeError",
     "ServerHandle",
+    "SharedModelArtifact",
+    "WorkerLink",
+    "run_open_loop",
+    "start_cluster_in_background",
     "start_in_background",
 ]

@@ -3,24 +3,36 @@
 The flattened tree-kernel inference path (``AquaScale.localize_batch``)
 amortises its dispatch overhead across rows, so a serving layer wins by
 stacking whatever requests are in flight *right now* into one call.  The
-:class:`MicroBatcher` implements the classic policy pair:
+:class:`MicroBatcher` bounds every batch two ways:
 
 * ``max_batch_size`` — dispatch as soon as this many requests are
   waiting (throughput bound);
-* ``max_wait_ms``    — never hold the first request longer than this
-  (latency bound).
+* an **adaptive hold-down** — never hold the first request longer than
+  the traffic can actually repay.  A fixed TTL (the original
+  ``max_wait_ms`` policy) taxes sparse traffic with the full wait and
+  still dispatches half-empty batches when arrivals are merely *near*
+  the window; the adaptive policy instead estimates the request
+  inter-arrival gap with an EWMA (:class:`ArrivalEstimator`) and holds a
+  partial batch only for the time a full batch is *expected* to take to
+  form — long waits when requests are dense, immediate dispatch when
+  they are sparse.  ``max_wait_ms`` survives as the hard ceiling, and
+  ``adaptive=False`` restores the fixed-TTL behaviour.
 
 Batches execute on a worker thread pool, never on the event loop — the
 loop keeps accepting sockets and forming the *next* batch while
 inference runs, which is what makes coalescing actually happen under
 load.  The batcher is generic: items are opaque, and a ``run_batch``
 callable (supplied by the server) maps a list of items to a list of
-results of the same length.
+results of the same length.  Per-request queue wait (enqueue to kernel
+dispatch, monotonic clock) is recorded in the
+``serve_queue_wait_seconds`` histogram so the latency budget can be
+split into queueing policy vs kernel time.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
@@ -31,6 +43,45 @@ class BatcherClosed(RuntimeError):
     """Raised by :meth:`MicroBatcher.submit` after drain has begun."""
 
 
+class ArrivalEstimator:
+    """EWMA of request inter-arrival gaps, in seconds.
+
+    Single-writer (the event loop) — no locking.  ``gap_seconds`` is
+    ``None`` until two arrivals have been observed; a long idle period
+    between bursts is folded in like any other gap, so the estimate
+    recovers from stale density within a few arrivals.
+
+    Args:
+        alpha: EWMA smoothing weight for the newest gap.
+
+    Raises:
+        ValueError: for alpha outside (0, 1].
+    """
+
+    def __init__(self, alpha: float = 0.2):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._last: float | None = None
+        self._gap: float | None = None
+
+    def observe(self, now: float) -> None:
+        """Fold one arrival stamp (monotonic seconds) into the estimate."""
+        if self._last is not None:
+            gap = max(0.0, now - self._last)
+            self._gap = (
+                gap
+                if self._gap is None
+                else (1.0 - self.alpha) * self._gap + self.alpha * gap
+            )
+        self._last = now
+
+    @property
+    def gap_seconds(self) -> float | None:
+        """Current inter-arrival estimate (None before two arrivals)."""
+        return self._gap
+
+
 class MicroBatcher:
     """Coalesces awaitable submissions into bounded batches.
 
@@ -39,14 +90,25 @@ class MicroBatcher:
             thread, must return exactly one result per item (exceptions
             fail every item of the batch).
         max_batch_size: dispatch when this many items are waiting.
-        max_wait_ms: dispatch at latest this long after the first item.
+        max_wait_ms: hold-down ceiling after the first item (the whole
+            wait in fixed mode, the upper bound in adaptive mode).
         workers: inference thread-pool size (concurrent batches).
-        metrics: registry for the ``serve_batch_size`` histogram and
+        adaptive: scale the hold-down with the arrival-rate EWMA
+            (default) instead of always waiting the full ``max_wait_ms``.
+        ewma_alpha: smoothing weight of the arrival estimator.
+        metrics: registry for the ``serve_batch_size`` /
+            ``serve_queue_wait_seconds`` histograms and the
             ``serve_queue_depth`` gauge.
 
     Raises:
-        ValueError: for non-positive batch size, wait, or worker count.
+        ValueError: for non-positive batch size, wait, worker count, or
+            an out-of-range ``ewma_alpha``.
     """
+
+    #: Hold a partial batch this many expected fill-times (adaptive mode):
+    #: >1 absorbs arrival jitter without stretching the tail far past the
+    #: point where the batch should have filled.
+    FILL_HEADROOM = 2.0
 
     def __init__(
         self,
@@ -54,6 +116,8 @@ class MicroBatcher:
         max_batch_size: int = 8,
         max_wait_ms: float = 5.0,
         workers: int = 2,
+        adaptive: bool = True,
+        ewma_alpha: float = 0.2,
         metrics: MetricsRegistry | None = None,
     ):
         if max_batch_size < 1:
@@ -66,8 +130,11 @@ class MicroBatcher:
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
         self.workers = workers
+        self.adaptive = adaptive
+        self.arrivals = ArrivalEstimator(alpha=ewma_alpha)
         self.metrics = metrics or MetricsRegistry()
         self._batch_size_hist = self.metrics.histogram("serve_batch_size")
+        self._queue_wait_hist = self.metrics.histogram("serve_queue_wait_seconds")
         self._batches_counter = self.metrics.counter("serve_batches_total")
         self._queue_gauge = self.metrics.gauge("serve_queue_depth")
         self._queue: asyncio.Queue | None = None
@@ -95,8 +162,9 @@ class MicroBatcher:
         """
         if self._closed or self._queue is None:
             raise BatcherClosed("micro-batcher is not accepting work")
+        self.arrivals.observe(time.monotonic())
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait((item, future))
+        self._queue.put_nowait((item, future, time.monotonic()))
         self._queue_gauge.set(self._queue.qsize())
         return await future
 
@@ -119,50 +187,85 @@ class MicroBatcher:
             self._pool = None
 
     # ------------------------------------------------------------------
+    def _wait_budget(self, have: int) -> float:
+        """Hold-down (seconds) for a partial batch of ``have`` items.
+
+        Fixed mode: the full ``max_wait_ms``.  Adaptive mode: the
+        EWMA-estimated time for the remaining slots to fill, padded by
+        :data:`FILL_HEADROOM` and capped at ``max_wait_ms`` — and zero
+        whenever the traffic is too sparse for waiting to pay (no
+        history yet, or one *single* slot is expected to take longer
+        than the whole ceiling).
+        """
+        max_wait = self.max_wait_ms / 1000.0
+        if not self.adaptive:
+            return max_wait
+        gap = self.arrivals.gap_seconds
+        if gap is None or gap >= max_wait:
+            return 0.0
+        need = self.max_batch_size - have
+        return min(max_wait, gap * need * self.FILL_HEADROOM)
+
     async def _gather(self) -> None:
         """The batching loop: pull, coalesce under the policy, dispatch."""
         assert self._queue is not None
         loop = asyncio.get_running_loop()
-        max_wait = self.max_wait_ms / 1000.0
         while True:
             entry = await self._queue.get()
             batch = [entry]
-            deadline = loop.time() + max_wait
+            # Whatever is already queued joins for free — no policy, no
+            # waiting, and a burst straight to max_batch_size never even
+            # consults the estimator.
             while len(batch) < self.max_batch_size:
-                timeout = deadline - loop.time()
-                if timeout <= 0:
-                    break
                 try:
-                    batch.append(
-                        await asyncio.wait_for(self._queue.get(), timeout)
-                    )
-                except asyncio.TimeoutError:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
                     break
+            if len(batch) < self.max_batch_size:
+                budget = self._wait_budget(len(batch))
+                if budget > 0.0:
+                    deadline = loop.time() + budget
+                    while len(batch) < self.max_batch_size:
+                        timeout = deadline - loop.time()
+                        if timeout <= 0:
+                            break
+                        try:
+                            batch.append(
+                                await asyncio.wait_for(self._queue.get(), timeout)
+                            )
+                        except asyncio.TimeoutError:
+                            break
             self._queue_gauge.set(self._queue.qsize())
             task = loop.create_task(self._execute(batch))
             self._inflight.add(task)
             task.add_done_callback(self._inflight.discard)
 
+    def _run_timed(self, entries: list[tuple]) -> list[Any]:
+        """Record per-item queue wait, then run the batch (worker thread)."""
+        now = time.monotonic()
+        for _, _, enqueued in entries:
+            self._queue_wait_hist.observe(now - enqueued)
+        return self.run_batch([item for item, _, _ in entries])
+
     async def _execute(self, batch: list) -> None:
         """Run one batch on the pool and deliver per-item results."""
         assert self._queue is not None and self._pool is not None
-        items = [item for item, _ in batch]
-        self._batch_size_hist.observe(len(items))
+        self._batch_size_hist.observe(len(batch))
         self._batches_counter.inc()
         try:
             results = await asyncio.get_running_loop().run_in_executor(
-                self._pool, self.run_batch, items
+                self._pool, self._run_timed, batch
             )
-            if len(results) != len(items):
+            if len(results) != len(batch):
                 raise RuntimeError(
                     f"run_batch returned {len(results)} results for "
-                    f"{len(items)} items"
+                    f"{len(batch)} items"
                 )
-            for (_, future), result in zip(batch, results):
+            for (_, future, _), result in zip(batch, results):
                 if not future.cancelled():
                     future.set_result(result)
         except Exception as error:
-            for _, future in batch:
+            for _, future, _ in batch:
                 if not future.cancelled():
                     future.set_exception(error)
         finally:

@@ -12,8 +12,10 @@ suite, the benchmarks, ``examples/operations_center.py``, and the
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
@@ -51,6 +53,10 @@ class LocalizeReply:
         model_etag: content-hash etag of that model.
         batch_size: live size of the micro-batch this rode in.
         elapsed_ms: server-side latency (admission to response).
+        queue_wait_ms: time spent held by batching policy (arrival to
+            kernel dispatch) on the server.
+        kernel_ms: the shared inference-kernel time of the batch group
+            this request rode in.
         inference: aggregation mode that produced the posterior.
         bp_iterations: message-passing sweeps (``crf`` mode; else 0).
         bp_converged: whether BP met its tolerance (True outside crf).
@@ -64,6 +70,8 @@ class LocalizeReply:
     model_etag: str = ""
     batch_size: int = 1
     elapsed_ms: float = 0.0
+    queue_wait_ms: float = 0.0
+    kernel_ms: float = 0.0
     inference: str = "independent"
     bp_iterations: int = 0
     bp_converged: bool = True
@@ -80,10 +88,22 @@ def _decode_reply(result: dict) -> LocalizeReply:
         model_etag=result["model"]["etag"],
         batch_size=int(result["batch_size"]),
         elapsed_ms=float(result["elapsed_ms"]),
+        queue_wait_ms=float(result.get("queue_wait_ms", 0.0)),
+        kernel_ms=float(result.get("kernel_ms", 0.0)),
         inference=result.get("inference", "independent"),
         bp_iterations=int(result.get("bp_iterations", 0)),
         bp_converged=bool(result.get("bp_converged", True)),
     )
+
+
+#: Errors worth retrying a fresh connection over: the server restarting,
+#: a worker draining, or the router recycling a backend.
+_RETRYABLE_CONNECT = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+)
 
 
 class ServeClient:
@@ -93,31 +113,104 @@ class ServeClient:
         host: server address.
         port: server port.
         timeout: per-request response timeout in seconds.
+        retries: bounded retry budget — connection attempts at startup,
+            and per blocking :meth:`localize` call for refused/reset
+            connections and ``overloaded`` sheds (0 disables retry).
+        backoff_ms: base of the exponential backoff; attempt *k* sleeps
+            ``backoff_ms * 2**k`` plus uniform jitter of one base step,
+            capped at ``backoff_max_ms``.  An ``overloaded`` shed sleeps
+            at least the server's ``retry_after_ms`` hint instead of
+            failing the request.
+        backoff_max_ms: backoff ceiling.
+        retry_seed: seed of the jitter RNG (None = nondeterministic).
 
     Usable as a context manager; :meth:`close` is idempotent.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff_ms: float = 50.0,
+        backoff_max_ms: float = 2000.0,
+        retry_seed: int | None = None,
+    ):
         self.timeout = timeout
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._wfile = self._sock.makefile("wb")
-        self._rfile = self._sock.makefile("rb")
+        self.host = host
+        self.port = port
+        self.retries = max(0, int(retries))
+        self.backoff_ms = backoff_ms
+        self.backoff_max_ms = backoff_max_ms
+        self._jitter = random.Random(retry_seed)
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
+        self._conn_lock = threading.Lock()
         self._waiting: dict[int, Future] = {}
         self._closed = False
+        self._generation = 0
+        self._connect_with_retry()
+
+    # ------------------------------------------------------------------
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff with jitter for retry ``attempt`` (seconds)."""
+        delay = min(self.backoff_max_ms, self.backoff_ms * (2.0**attempt))
+        return (delay + self._jitter.uniform(0.0, self.backoff_ms)) / 1000.0
+
+    def _connect(self) -> None:
+        """Open the socket and start a reader for this connection."""
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        # One logical request spans several small writes on four sockets
+        # (client->router->worker and back); Nagle holding any of them for
+        # a delayed ACK adds ~40 ms per hop to an SLO of 50 ms total.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._wfile = self._sock.makefile("wb")
+        self._rfile = self._sock.makefile("rb")
+        self._generation += 1
         self._reader = threading.Thread(
-            target=self._read_loop, name="serve-client-reader", daemon=True
+            target=self._read_loop,
+            args=(self._rfile,),
+            name="serve-client-reader",
+            daemon=True,
         )
         self._reader.start()
 
+    def _connect_with_retry(self) -> None:
+        """Bounded connection attempts with exponential backoff + jitter.
+
+        Raises:
+            OSError: the final attempt's failure, when the budget runs out.
+        """
+        for attempt in range(self.retries + 1):
+            try:
+                self._connect()
+                return
+            except _RETRYABLE_CONNECT:
+                if attempt >= self.retries:
+                    raise
+                time.sleep(self._backoff_delay(attempt))
+
+    def _reconnect(self, generation: int) -> None:
+        """Replace a dead connection (one reconnect per generation)."""
+        with self._conn_lock:
+            if self._closed or self._generation != generation:
+                return
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._connect_with_retry()
+
     # ------------------------------------------------------------------
-    def _read_loop(self) -> None:
+    def _read_loop(self, rfile) -> None:
         """Match incoming response lines to outstanding request futures."""
         error: BaseException = ConnectionError("connection closed by server")
         try:
             while True:
-                line = self._rfile.readline()
+                line = rfile.readline()
                 if not line:
                     break
                 response = protocol.loads_line(line)
@@ -190,17 +283,43 @@ class ServeClient:
             inference: aggregation mode, ``"independent"`` or ``"crf"``
                 (server default — independent — when None).
 
+        Retries: an ``overloaded`` shed sleeps for the server's
+        ``retry_after_ms`` hint (or the backoff, whichever is longer)
+        and re-submits; a refused/reset connection reconnects with
+        exponential backoff — both bounded by the client's ``retries``
+        budget.  Other error codes (``bad_request``,
+        ``deadline_exceeded``, ...) raise immediately.
+
         Raises:
-            ServeError: for shed, expired, draining, or malformed requests.
+            ServeError: for shed-past-budget, expired, draining, or
+                malformed requests.
+            ConnectionError: when the connection cannot be re-established.
         """
-        future = self.localize_async(
-            features,
-            weather=weather,
-            human=human,
-            deadline_ms=deadline_ms,
-            inference=inference,
-        )
-        return self._resolve(future, timeout)
+        for attempt in range(self.retries + 1):
+            generation = self._generation
+            try:
+                future = self.localize_async(
+                    features,
+                    weather=weather,
+                    human=human,
+                    deadline_ms=deadline_ms,
+                    inference=inference,
+                )
+                return self._resolve(future, timeout)
+            except ServeError as error:
+                if (
+                    error.code != protocol.E_OVERLOADED
+                    or attempt >= self.retries
+                ):
+                    raise
+                hint = (error.retry_after_ms or 0.0) / 1000.0
+                time.sleep(max(hint, self._backoff_delay(attempt)))
+            except ConnectionError:
+                if self._closed or attempt >= self.retries:
+                    raise
+                time.sleep(self._backoff_delay(attempt))
+                self._reconnect(generation)
+        raise ConnectionError("retry budget exhausted")  # pragma: no cover
 
     def localize_async(
         self,

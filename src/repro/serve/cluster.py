@@ -1,0 +1,376 @@
+"""Multi-worker serving: N processes, one shared-memory model, one port.
+
+A single :class:`~repro.serve.server.LocalizationServer` tops out when
+its event loop (JSON parsing, socket writes) saturates one core.  The
+:class:`ServeCluster` scales the same box out:
+
+1. every registered model is **published once** into a
+   :class:`~repro.serve.shm.SharedModelArtifact` (flat arrays in a
+   ``multiprocessing.shared_memory`` segment);
+2. N worker processes are spawned, each attaching the segments
+   zero-copy and running an ordinary ``LocalizationServer`` on an
+   ephemeral port — same batcher, same admission, same wire protocol;
+3. a :class:`~repro.serve.router.RouterServer` fronts them on the
+   cluster's public port, consistent-hashing requests by network id
+   with bounded-load spill.
+
+Hot swap stays atomic: ``activate`` broadcasts through the router to
+every worker, and inside each worker in-flight batches keep the entry
+they captured at dispatch.  Drain is ordered — router stops feeding,
+workers get SIGTERM and finish their admitted requests, and only after
+the last worker exits are the segments unlinked, so no reader ever
+loses its mapping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import gc
+import multiprocessing
+import signal
+import threading
+
+from ..core import AquaScale
+from ..stream.log import StructuredLogger, get_stream_logger
+from ..stream.metrics import MetricsRegistry
+from .router import RouterServer, WorkerLink
+from .server import ServeConfig
+from .shm import SharedModelArtifact
+
+
+def _worker_main(conn, manifests, active_name, config_kwargs, worker_id):
+    """Entry point of one spawned worker process.
+
+    Attaches every published artifact, builds a registry over the
+    zero-copy models, reports its ephemeral port through ``conn``, and
+    serves until SIGTERM drains it.
+    """
+    from .registry import ModelRegistry
+    from .server import LocalizationServer
+
+    artifacts = [SharedModelArtifact.attach(manifest) for manifest in manifests]
+    registry = ModelRegistry()
+    for artifact in artifacts:
+        registry.register_shared(
+            artifact, activate=(artifact.manifest.name == active_name)
+        )
+    config = ServeConfig(**config_kwargs)
+
+    async def run() -> None:
+        server = LocalizationServer(registry, config=config)
+        await server.start()
+        conn.send(server.port)
+        conn.close()
+        await server.serve_forever(install_signal_handlers=True)
+
+    asyncio.run(run())
+
+
+class ServeCluster:
+    """N serve workers behind one consistent-hash router port.
+
+    Args:
+        models: one trained :class:`~repro.core.AquaScale` (registered
+            as ``"default"``) or an ordered ``{name: model}`` mapping;
+            the first name is the initially active model on every
+            worker.
+        n_workers: worker process count (>= 1).
+        config: per-worker :class:`~repro.serve.server.ServeConfig`
+            (host/port are overridden per worker).
+        host: router bind address.
+        port: router bind port (0 = ephemeral).
+        load_factor: bounded-load spill threshold of the router.
+        metrics: router-side metrics registry.
+        logger: structured logger.
+        startup_timeout: seconds to wait for each worker to report its
+            port.
+
+    Raises:
+        ValueError: for ``n_workers < 1`` or an empty model mapping.
+    """
+
+    def __init__(
+        self,
+        models: AquaScale | dict[str, AquaScale],
+        n_workers: int = 2,
+        config: ServeConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        load_factor: float = 1.25,
+        metrics: MetricsRegistry | None = None,
+        logger: StructuredLogger | None = None,
+        startup_timeout: float = 60.0,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if isinstance(models, AquaScale):
+            models = {"default": models}
+        if not models:
+            raise ValueError("cluster needs at least one model")
+        self.models = dict(models)
+        self.active_name = next(iter(self.models))
+        self.n_workers = n_workers
+        self.worker_config = config or ServeConfig()
+        self.host = host
+        self.config_port = port
+        self.load_factor = load_factor
+        self.metrics = metrics or MetricsRegistry()
+        self.log = logger or get_stream_logger()
+        self.startup_timeout = startup_timeout
+        self.artifacts: list[SharedModelArtifact] = []
+        self.processes: list[multiprocessing.Process] = []
+        self.router: RouterServer | None = None
+        self._draining = False
+        self._drained = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The router's bound public port (after :meth:`start`).
+
+        Raises:
+            RuntimeError: before the cluster has started.
+        """
+        if self.router is None:
+            raise RuntimeError("cluster is not started")
+        return self.router.port
+
+    async def start(self) -> None:
+        """Publish artifacts, spawn workers, and bind the router port.
+
+        Raises:
+            RuntimeError: when a worker fails to report its port in
+                time (all resources are cleaned up first).
+        """
+        self._drained = asyncio.Event()
+        try:
+            self.artifacts = [
+                SharedModelArtifact.publish(name, model)
+                for name, model in self.models.items()
+            ]
+            links = await asyncio.get_running_loop().run_in_executor(
+                None, self._spawn_workers
+            )
+            self.router = RouterServer(
+                links,
+                host=self.host,
+                port=self.config_port,
+                default_key=self.active_name,
+                load_factor=self.load_factor,
+                metrics=self.metrics,
+                logger=self.log,
+            )
+            await self.router.start()
+        except BaseException:
+            await self._cleanup()
+            raise
+        if self.worker_config.gc_freeze:
+            # The workers froze their own heaps (ServeConfig.gc_freeze);
+            # the router shares *this* process with whatever built the
+            # models, and a gen-2 pass over that heap stalls every
+            # relayed request just the same.
+            gc.collect()
+            gc.freeze()
+        self.log.event(
+            "cluster.start",
+            port=self.port,
+            workers=self.n_workers,
+            shared_mb=round(
+                sum(a.shared_nbytes for a in self.artifacts) / 1e6, 2
+            ),
+        )
+
+    def _spawn_workers(self) -> list[WorkerLink]:
+        """Spawn worker processes and collect their ports (blocking)."""
+        ctx = multiprocessing.get_context("spawn")
+        manifests = [artifact.manifest for artifact in self.artifacts]
+        config_kwargs = dataclasses.asdict(self.worker_config)
+        config_kwargs.update(host="127.0.0.1", port=0)
+        links = []
+        pipes = []
+        for i in range(self.n_workers):
+            worker_id = f"worker-{i}"
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, manifests, self.active_name, config_kwargs, worker_id),
+                name=f"repro-serve-{worker_id}",
+            )
+            process.start()
+            child_conn.close()
+            self.processes.append(process)
+            pipes.append((worker_id, parent_conn))
+        for worker_id, parent_conn in pipes:
+            if not parent_conn.poll(self.startup_timeout):
+                raise RuntimeError(f"{worker_id} failed to report its port in time")
+            port = parent_conn.recv()
+            parent_conn.close()
+            links.append(WorkerLink(worker_id, "127.0.0.1", port))
+        return links
+
+    async def serve_forever(self, install_signal_handlers: bool = True) -> None:
+        """Serve until drained (e.g. by SIGTERM); returns after cleanup."""
+        if self.router is None:
+            await self.start()
+        if install_signal_handlers:
+            self._install_signal_handlers()
+        await self._drained.wait()
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda s=signum: asyncio.ensure_future(self.drain(s))
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                return
+
+    async def drain(self, signum: int | None = None) -> None:
+        """Ordered shutdown: router → workers (SIGTERM) → unlink segments.
+
+        Safe to call more than once; later calls await the first drain.
+        """
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        self.log.event(
+            "cluster.drain", signal=signum if signum is not None else "(api)"
+        )
+        if self.router is not None:
+            await self.router.drain()
+        await asyncio.get_running_loop().run_in_executor(None, self._stop_workers)
+        for artifact in self.artifacts:
+            artifact.unlink()
+            artifact.detach()
+        self.log.event("cluster.stop")
+        self._drained.set()
+
+    async def _cleanup(self) -> None:
+        """Failure-path teardown for a partial :meth:`start`."""
+        if self.router is not None:
+            with contextlib.suppress(Exception):
+                await self.router.drain()
+        self._stop_workers()
+        for artifact in self.artifacts:
+            artifact.unlink()
+            artifact.detach()
+
+    def _stop_workers(self) -> None:
+        """SIGTERM every worker (graceful drain), escalate to kill."""
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+        deadline = self.worker_config.drain_timeout_s + 5.0
+        for process in self.processes:
+            process.join(deadline)
+            if process.is_alive():
+                process.kill()
+                process.join(5.0)
+
+    def health_payload(self) -> dict:
+        """Router-side worker status (no worker round-trip)."""
+        if self.router is None:
+            raise RuntimeError("cluster is not started")
+        return self.router._router_payload()
+
+
+# ----------------------------------------------------------------------
+class ClusterHandle:
+    """A running cluster hosted on a background thread.
+
+    Returned by :func:`start_cluster_in_background`; usable as a context
+    manager.  ``stop()`` drains the whole cluster and joins the thread.
+    """
+
+    def __init__(self, cluster: ServeCluster, loop, thread: threading.Thread):
+        self.cluster = cluster
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        """The router's public TCP port."""
+        return self.cluster.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) for :class:`~repro.serve.client.ServeClient`."""
+        return (self.cluster.host, self.cluster.port)
+
+    def metrics_snapshot(self) -> dict:
+        """Point-in-time router metrics."""
+        return self.cluster.metrics.snapshot()
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Drain the cluster and join the hosting thread."""
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.cluster.drain(), self._loop
+            )
+            future.result(
+                timeout or self.cluster.worker_config.drain_timeout_s + 30.0
+            )
+        self._thread.join(timeout or 10.0)
+
+    def __enter__(self) -> "ClusterHandle":
+        """Context-manager entry: the handle itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: graceful stop."""
+        self.stop()
+
+
+def start_cluster_in_background(
+    models: AquaScale | dict[str, AquaScale],
+    n_workers: int = 2,
+    config: ServeConfig | None = None,
+    startup_timeout: float = 120.0,
+    **kwargs,
+) -> ClusterHandle:
+    """Host a :class:`ServeCluster` on a daemon thread.
+
+    The multi-worker analogue of
+    :func:`repro.serve.server.start_in_background`: returns once the
+    router port is bound and every worker has reported in.
+
+    Raises:
+        Exception: whatever ``cluster.start()`` raised, re-raised here.
+    """
+    cluster = ServeCluster(models, n_workers=n_workers, config=config, **kwargs)
+    started = threading.Event()
+    startup_error: list[BaseException] = []
+    loop_holder: list = []
+
+    def host() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        loop_holder.append(loop)
+
+        async def run() -> None:
+            try:
+                await cluster.start()
+            except BaseException as error:
+                startup_error.append(error)
+                return
+            finally:
+                started.set()
+            await cluster.serve_forever(install_signal_handlers=False)
+
+        try:
+            loop.run_until_complete(run())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=host, name="repro-serve-cluster", daemon=True)
+    thread.start()
+    if not started.wait(startup_timeout):
+        raise RuntimeError("serve cluster failed to start in time")
+    if startup_error:
+        thread.join(5.0)
+        raise startup_error[0]
+    return ClusterHandle(cluster, loop_holder[0], thread)

@@ -1,0 +1,199 @@
+"""Open-loop Poisson load generation for the serving tier.
+
+A closed-loop bench (K clients, each firing its next request when the
+previous reply lands) measures the *server's convenience*, not the
+user's experience: the clients slow down exactly when the server does,
+arrivals synchronize with queue drains, and the tail collapses onto the
+body (the old serve bench reported p99 ≈ p95).  This is the classic
+*coordinated omission* bias.
+
+:func:`run_open_loop` drives the service the way a community actually
+does: request arrival times are drawn up front from a Poisson process
+(exponential inter-arrival gaps at the offered rate), every request is
+fired at its scheduled time whether or not earlier replies have landed,
+and **latency is measured from the scheduled arrival stamp** on one
+monotonic clock — a request the sender fired late because the server
+pushed back is charged for that lag.  Replies carry the server's own
+``queue_wait_ms`` / ``kernel_ms`` split, so the report separates time
+spent in batching policy from time spent in the inference kernel.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+import threading
+import time
+
+import numpy as np
+
+from .client import ServeClient
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Suspend cyclic GC for the measured window.
+
+    A gen-2 collection in the *measuring* process stalls the sender and
+    every reader thread for 100 ms+ and books that pause as server
+    latency.  Reference counting still reclaims the per-request garbage
+    (futures, dicts, arrays are acyclic); the deferred cycles are
+    collected after the window closes.
+    """
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+        gc.collect()
+
+
+def summarize_ms(values) -> dict:
+    """mean/p50/p95/p99/max summary (milliseconds) of a sample."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        return {"count": 0}
+    return {
+        "count": int(data.size),
+        "mean": round(float(data.mean()), 3),
+        "p50": round(float(np.percentile(data, 50)), 3),
+        "p95": round(float(np.percentile(data, 95)), 3),
+        "p99": round(float(np.percentile(data, 99)), 3),
+        "max": round(float(data.max()), 3),
+    }
+
+
+def run_open_loop(
+    host: str,
+    port: int,
+    feature_rows,
+    rate_rps: float,
+    n_requests: int,
+    clients: int = 4,
+    deadline_ms: float | None = None,
+    inference: str | None = None,
+    warmup: int = 32,
+    seed: int = 0,
+    timeout: float = 60.0,
+) -> dict:
+    """Offer Poisson traffic at ``rate_rps`` and report the latency tail.
+
+    Args:
+        host: server (or router) address.
+        port: server (or router) port.
+        feature_rows: feature vectors to cycle through (any length ≥ 1).
+        rate_rps: offered arrival rate (requests per second).
+        n_requests: measured request count (excludes warmup).
+        clients: TCP connections to spread requests over round-robin —
+            sockets are not the bottleneck under test, the server is.
+        deadline_ms: per-request deadline forwarded to the server.
+        inference: aggregation mode forwarded to the server.
+        warmup: unmeasured priming requests (closed-loop) before the
+            clock starts.
+        seed: RNG seed of the arrival schedule.
+        timeout: wait bound for the final stragglers.
+
+    Returns:
+        A report dict: offered/achieved rates, ``latency_ms`` /
+        ``queue_wait_ms`` / ``kernel_ms`` summaries, error counts by
+        code, mean batch size, and the sender's worst scheduling lag
+        (``send_lag_ms_max`` — how open the loop actually stayed).
+
+    Raises:
+        ValueError: for a non-positive rate or request count.
+    """
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    rows = [np.asarray(row, dtype=float) for row in feature_rows]
+    if not rows:
+        raise ValueError("feature_rows must not be empty")
+    pool = [ServeClient(host, port, timeout=timeout) for _ in range(max(1, clients))]
+    try:
+        with _gc_paused():
+            for i in range(warmup):
+                pool[i % len(pool)].localize(
+                    rows[i % len(rows)], deadline_ms=deadline_ms, inference=inference
+                )
+            gaps = np.random.default_rng(seed).exponential(
+                1.0 / rate_rps, n_requests
+            )
+            schedule = np.cumsum(gaps)
+            done_at = [0.0] * n_requests
+            outcomes: list[dict | str] = [""] * n_requests
+            remaining = threading.Semaphore(0)
+
+            def make_callback(index: int):
+                def on_done(future) -> None:
+                    done_at[index] = time.monotonic()
+                    try:
+                        response = future.result()
+                        outcomes[index] = (
+                            response["result"]
+                            if response.get("ok")
+                            else response.get("error", {}).get("code", "error")
+                        )
+                    except BaseException:
+                        outcomes[index] = "connection_error"
+                    remaining.release()
+
+                return on_done
+
+            start = time.monotonic()
+            max_lag = 0.0
+            for i in range(n_requests):
+                target = start + schedule[i]
+                while True:
+                    lag = time.monotonic() - target
+                    if lag >= 0:
+                        break
+                    time.sleep(min(-lag, 0.002))
+                max_lag = max(max_lag, lag)
+                future = pool[i % len(pool)].localize_async(
+                    rows[i % len(rows)], deadline_ms=deadline_ms, inference=inference
+                )
+                future.add_done_callback(make_callback(i))
+            deadline = time.monotonic() + timeout
+            for _ in range(n_requests):
+                if not remaining.acquire(
+                    timeout=max(0.1, deadline - time.monotonic())
+                ):
+                    break
+    finally:
+        for client in pool:
+            client.close()
+
+    latencies, queue_waits, kernels, batches = [], [], [], []
+    errors: dict[str, int] = {}
+    for i, outcome in enumerate(outcomes):
+        if isinstance(outcome, dict):
+            latencies.append((done_at[i] - (start + schedule[i])) * 1000.0)
+            if "queue_wait_ms" in outcome:
+                queue_waits.append(outcome["queue_wait_ms"])
+            if "kernel_ms" in outcome:
+                kernels.append(outcome["kernel_ms"])
+            batches.append(outcome.get("batch_size", 1))
+        else:
+            errors[outcome or "pending"] = errors.get(outcome or "pending", 0) + 1
+    duration = (max(t for t in done_at if t) - start) if latencies else 0.0
+    return {
+        "mode": "open-loop-poisson",
+        "offered_rps": round(rate_rps, 1),
+        "n_requests": n_requests,
+        "completed": len(latencies),
+        "clients": len(pool),
+        "duration_s": round(duration, 3),
+        "achieved_rps": round(len(latencies) / duration, 1) if duration > 0 else 0.0,
+        "errors": errors,
+        "latency_ms": summarize_ms(latencies),
+        "queue_wait_ms": summarize_ms(queue_waits),
+        "kernel_ms": summarize_ms(kernels),
+        "mean_batch_size": (
+            round(float(np.mean(batches)), 2) if batches else 0.0
+        ),
+        "send_lag_ms_max": round(max_lag * 1000.0, 3),
+    }

@@ -208,14 +208,19 @@ def encode_result(
     batch_size: int,
     elapsed_ms: float,
     top_k: int = 5,
+    queue_wait_ms: float | None = None,
+    kernel_ms: float | None = None,
 ) -> dict:
     """An :class:`~repro.core.InferenceResult` as a wire object.
 
     Probabilities are emitted in junction order (the order ``models``
     reports for the serving model) so clients can rebuild the full
     posterior; leak nodes and top suspects ride along pre-digested.
+    ``queue_wait_ms`` / ``kernel_ms`` split the server-side budget:
+    enqueue-to-dispatch hold time vs the shared kernel call of the batch
+    the request rode in.
     """
-    return {
+    payload = {
         "probabilities": [float(p) for p in result.probabilities],
         "leak_nodes": sorted(result.leak_nodes),
         "top_suspects": [
@@ -229,3 +234,8 @@ def encode_result(
         "batch_size": int(batch_size),
         "elapsed_ms": round(float(elapsed_ms), 3),
     }
+    if queue_wait_ms is not None:
+        payload["queue_wait_ms"] = round(float(queue_wait_ms), 3)
+    if kernel_ms is not None:
+        payload["kernel_ms"] = round(float(kernel_ms), 3)
+    return payload

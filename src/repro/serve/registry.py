@@ -87,6 +87,27 @@ class ModelRegistry:
         )
         return self._install(entry, activate)
 
+    def register_shared(self, artifact, activate: bool = True) -> ModelEntry:
+        """Register a :class:`~repro.serve.shm.SharedModelArtifact`.
+
+        The entry serves the artifact's zero-copy model (read-only views
+        over the shared segment) and reuses the artifact's etag, which
+        is the content hash of the ordinary pickled form — so a shared
+        registration and a direct :meth:`register` of the same model
+        report one identity.
+
+        Raises:
+            ValueError: for a duplicate name.
+        """
+        entry = ModelEntry(
+            name=artifact.manifest.name,
+            model=artifact.model,
+            etag=artifact.manifest.etag,
+            source=f"<shared:{artifact.manifest.segment}>",
+            header=dict(artifact.manifest.header),
+        )
+        return self._install(entry, activate)
+
     def load(self, path: str | Path, name: str | None = None, activate: bool = True) -> ModelEntry:
         """Load a :func:`~repro.datasets.save_profile` artifact.
 

@@ -1,0 +1,565 @@
+"""Consistent-hash front tier for multi-worker serving.
+
+The :class:`RouterServer` is the single public endpoint of a
+:class:`~repro.serve.cluster.ServeCluster`: it speaks the same JSON-lines
+protocol as the workers, keeps one persistent pipelined connection per
+worker process, and forwards every ``localize`` to the worker chosen by
+a **consistent hash with bounded loads**:
+
+* the ring (:class:`HashRing`) maps a routing key — the request's
+  ``network`` field, falling back to the cluster's default — to a
+  preferred worker, so one network's traffic lands on one worker and
+  keeps its caches and micro-batches dense;
+* the bounded-load rule walks the ring past any worker whose in-flight
+  count exceeds ``load_factor`` times the cluster average, so a hot key
+  spills to the next worker instead of queueing behind itself
+  (Mirrokni et al.'s consistent-hashing-with-bounded-loads policy).
+
+Worker health is observed, not polled: a backend disconnect fails that
+link's in-flight requests, marks it unhealthy, and the ring walk skips
+it until the cluster replaces the process.  ``activate`` broadcasts to
+every healthy worker under one lock so a hot swap is serialized
+cluster-wide; ``health``/``models`` forward to one worker and the
+router annotates the reply with per-worker status.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import contextlib
+import hashlib
+import itertools
+import json
+import re
+
+from ..stream.log import StructuredLogger, get_stream_logger
+from ..stream.metrics import MetricsRegistry
+from . import protocol
+
+
+def _hash_point(value: str) -> int:
+    """Stable 64-bit ring position for a string."""
+    return int.from_bytes(hashlib.md5(value.encode("utf-8")).digest()[:8], "big")
+
+
+# Hot-path scanners: a router that fully re-parsed and re-serialized every
+# ~4 KB localize line (feature vector in, posterior out) would spend more
+# CPU on JSON than the workers spend on inference.  Instead the forward
+# path rewrites request/response ids *in the raw bytes* and never touches
+# the payload; only control ops (health/models/activate), draining, and
+# lines these scanners cannot read fall back to a full parse.
+_ID_RE = re.compile(rb'"id"[ \t]*:[ \t]*(-?\d+|null|"(?:[^"\\]|\\.)*")')
+_OP_RE = re.compile(rb'"op"[ \t]*:[ \t]*"([a-zA-Z_]+)"')
+_NETWORK_RE = re.compile(rb'"network"[ \t]*:[ \t]*"((?:[^"\\]|\\.)*)"')
+
+
+def _splice_id(line: bytes, new_id: bytes) -> bytes | None:
+    """Replace the first ``"id": <value>`` in a raw line (None = no id)."""
+    match = _ID_RE.search(line)
+    if match is None:
+        return None
+    return line[: match.start(1)] + new_id + line[match.end(1) :]
+
+
+def _id_value(token: bytes):
+    """Decode a raw id token (number, null, or string) to its JSON value."""
+    return json.loads(token)
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes with virtual replicas.
+
+    Args:
+        nodes: node names (must be non-empty and unique).
+        replicas: virtual points per node — smooths the key space so
+            each node owns roughly equal arc length.
+
+    Raises:
+        ValueError: for an empty or duplicated node list.
+    """
+
+    def __init__(self, nodes, replicas: int = 64):
+        nodes = list(nodes)
+        if not nodes:
+            raise ValueError("hash ring needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("hash ring nodes must be unique")
+        self.nodes = nodes
+        points = []
+        for node in nodes:
+            for replica in range(replicas):
+                points.append((_hash_point(f"{node}#{replica}"), node))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    def walk(self, key: str):
+        """Yield nodes in ring order from ``key``'s position, deduped.
+
+        The first yielded node is the key's consistent-hash owner; the
+        rest are the fallback order a bounded-load or health check
+        should try next.
+        """
+        start = bisect.bisect_right(self._points, _hash_point(key))
+        seen = set()
+        for i in range(len(self._owners)):
+            node = self._owners[(start + i) % len(self._owners)]
+            if node not in seen:
+                seen.add(node)
+                yield node
+                if len(seen) == len(self.nodes):
+                    return
+
+
+class WorkerLink:
+    """One persistent pipelined backend connection to a worker.
+
+    Rewrites request ids so many client requests multiplex over the
+    single connection; a disconnect fails every in-flight request and
+    flips :attr:`healthy` until the cluster replaces the worker.
+    """
+
+    def __init__(self, worker_id: str, host: str, port: int):
+        self.worker_id = worker_id
+        self.host = host
+        self.port = port
+        self.healthy = False
+        self.inflight = 0
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._read_task: asyncio.Task | None = None
+
+    async def connect(self) -> None:
+        """Open the backend connection and start the response matcher."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self.healthy = True
+        self._read_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        """Match raw response lines to futures by scanning the id only.
+
+        The response body is never parsed here — localize payloads are
+        relayed to the client verbatim (id re-spliced); control-op
+        callers parse the bytes themselves.
+        """
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                match = _ID_RE.search(line)
+                try:
+                    backend_id = int(match.group(1)) if match else None
+                except ValueError:
+                    backend_id = None
+                future = self._pending.pop(backend_id, None)
+                if future is not None and not future.done():
+                    future.set_result(line)
+        except (OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self.healthy = False
+            pending, self._pending = self._pending, {}
+            for future in pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError(f"worker {self.worker_id} disconnected")
+                    )
+
+    async def call_raw(self, line: bytes) -> bytes:
+        """Round-trip one raw request line, id spliced in place.
+
+        Returns the raw response line (still carrying the backend id).
+
+        Raises:
+            ValueError: when the line carries no id to rewrite.
+            ConnectionError: when the worker disconnects mid-request.
+        """
+        if not self.healthy or self._writer is None:
+            raise ConnectionError(f"worker {self.worker_id} is not connected")
+        backend_id = next(self._ids)
+        spliced = _splice_id(line, str(backend_id).encode("ascii"))
+        if spliced is None:
+            raise ValueError("request line has no id field")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[backend_id] = future
+        self.inflight += 1
+        try:
+            self._writer.write(spliced)
+            await self._writer.drain()
+            return await future
+        finally:
+            self.inflight -= 1
+            self._pending.pop(backend_id, None)
+
+    async def call(self, message: dict) -> dict:
+        """Round-trip one message dict (control-op convenience path).
+
+        Raises:
+            ConnectionError: when the worker disconnects mid-request.
+        """
+        raw = await self.call_raw(
+            protocol.dumps_line({"id": 0, **message})
+        )
+        return protocol.loads_line(raw)
+
+    async def close(self) -> None:
+        """Tear down the connection (idempotent)."""
+        self.healthy = False
+        if self._writer is not None:
+            with contextlib.suppress(Exception):
+                self._writer.close()
+                await self._writer.wait_closed()
+        if self._read_task is not None:
+            self._read_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._read_task
+            self._read_task = None
+
+    def describe(self) -> dict:
+        """Health row for this worker."""
+        return {
+            "worker_id": self.worker_id,
+            "port": self.port,
+            "healthy": self.healthy,
+            "inflight": self.inflight,
+        }
+
+
+class RouterServer:
+    """The cluster's public endpoint: hash-route, forward, annotate.
+
+    Args:
+        links: backend :class:`WorkerLink`\\ s (one per worker process).
+        host: bind address.
+        port: bind port (0 = ephemeral; read :attr:`port` after start).
+        default_key: routing key for requests that name no ``network``.
+        load_factor: bounded-load spill threshold — a worker is skipped
+            while its in-flight count exceeds ``load_factor`` times the
+            cluster-average load (minimum headroom of one request).
+        metrics: shared registry (fresh when omitted).
+        logger: structured logger.
+    """
+
+    def __init__(
+        self,
+        links: list[WorkerLink],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_key: str = "default",
+        load_factor: float = 1.25,
+        metrics: MetricsRegistry | None = None,
+        logger: StructuredLogger | None = None,
+    ):
+        if not links:
+            raise ValueError("router needs at least one worker link")
+        if load_factor <= 1.0:
+            raise ValueError(f"load_factor must be > 1, got {load_factor}")
+        self.links = {link.worker_id: link for link in links}
+        self.ring = HashRing(list(self.links))
+        self.config_host = host
+        self.config_port = port
+        self.default_key = default_key
+        self.load_factor = load_factor
+        self.metrics = metrics or MetricsRegistry()
+        self.log = logger or get_stream_logger()
+        self._routed = self.metrics.counter("router_requests_total")
+        self._spilled = self.metrics.counter("router_spills_total")
+        self._rejected = self.metrics.counter("router_no_worker_total")
+        self._activate_lock = asyncio.Lock()
+        self._server: asyncio.base_events.Server | None = None
+        self._port: int | None = None
+        self._draining = False
+        self._drained = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`).
+
+        Raises:
+            RuntimeError: before the router has started.
+        """
+        if self._port is None:
+            raise RuntimeError("router is not started")
+        return self._port
+
+    async def start(self) -> None:
+        """Connect every worker link and bind the public socket."""
+        for link in self.links.values():
+            if not link.healthy:
+                await link.connect()
+        self._drained = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config_host, port=self.config_port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        self.log.event(
+            "router.start",
+            host=self.config_host,
+            port=self.port,
+            workers=len(self.links),
+        )
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`drain` completes."""
+        if self._server is None:
+            await self.start()
+        await self._drained.wait()
+
+    async def drain(self) -> None:
+        """Stop accepting clients and close backend links.
+
+        Worker processes are not touched — the owning cluster drains
+        them (SIGTERM) after the router stops feeding them.
+        """
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        for link in self.links.values():
+            await link.close()
+        self.log.event("router.stop")
+        self._drained.set()
+
+    # ------------------------------------------------------------------
+    def pick(self, key: str) -> WorkerLink | None:
+        """The bounded-load consistent-hash choice for ``key``.
+
+        Walks the ring from the key's owner, skipping unhealthy workers
+        and workers above the load bound; falls back to the least
+        healthy choice standing (first healthy on the walk) when every
+        worker is over the bound, and ``None`` when none are healthy.
+        """
+        healthy = [link for link in self.links.values() if link.healthy]
+        if not healthy:
+            return None
+        total = sum(link.inflight for link in healthy)
+        limit = max(1.0, self.load_factor * (total + 1) / len(healthy))
+        first_healthy = None
+        for worker_id in self.ring.walk(key):
+            link = self.links[worker_id]
+            if not link.healthy:
+                continue
+            if first_healthy is None:
+                first_healthy = link
+            if link.inflight < limit:
+                if link is not first_healthy:
+                    self._spilled.inc()
+                return link
+        return first_healthy
+
+    def _routing_key(self, message: dict) -> str:
+        network = message.get("network")
+        return network if isinstance(network, str) and network else self.default_key
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One JSON-lines session; requests may interleave (pipelining)."""
+        tasks: set[asyncio.Task] = set()
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._serve_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _serve_line(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        raw = await self._forward_raw(line)
+        if raw is not None:
+            async with write_lock:
+                writer.write(raw)
+                with contextlib.suppress(ConnectionResetError):
+                    await writer.drain()
+            return
+        # Slow path: control ops, draining, or lines the scanners can't
+        # read — full parse.
+        request_id = None
+        try:
+            message = protocol.loads_line(line)
+            request_id = message.get("id")
+            response = await self._dispatch(message)
+        except ValueError as error:
+            response = {
+                "id": request_id,
+                "ok": False,
+                "error": protocol.error_payload(protocol.E_BAD_REQUEST, str(error)),
+            }
+        except ConnectionError as error:
+            response = {
+                "id": request_id,
+                "ok": False,
+                "error": protocol.error_payload(protocol.E_INTERNAL, str(error)),
+            }
+        except Exception as error:  # pragma: no cover - defensive
+            response = {
+                "id": request_id,
+                "ok": False,
+                "error": protocol.error_payload(protocol.E_INTERNAL, repr(error)),
+            }
+        async with write_lock:
+            writer.write(protocol.dumps_line(response))
+            with contextlib.suppress(ConnectionResetError):
+                await writer.drain()
+
+    async def _forward_raw(self, line: bytes) -> bytes | None:
+        """The zero-parse localize fast path.
+
+        Scans the raw line for op/id/network, picks a worker, relays the
+        bytes with the id spliced both ways.  Returns the response line
+        to write, or ``None`` to fall back to the parsing path.
+        """
+        if self._draining:
+            return None
+        op_match = _OP_RE.search(line)
+        id_match = _ID_RE.search(line)
+        if op_match is None or op_match.group(1) != b"localize" or id_match is None:
+            return None
+        client_id = id_match.group(1)
+        key_match = _NETWORK_RE.search(line)
+        key = (
+            key_match.group(1).decode("utf-8", "replace")
+            if key_match and key_match.group(1)
+            else self.default_key
+        )
+        link = self.pick(key)
+        if link is None:
+            self._rejected.inc()
+            return protocol.dumps_line(
+                {
+                    "id": _id_value(client_id),
+                    "ok": False,
+                    "error": protocol.error_payload(
+                        protocol.E_OVERLOADED, "no healthy workers", 100.0
+                    ),
+                }
+            )
+        self._routed.inc()
+        try:
+            raw = await link.call_raw(line)
+        except ConnectionError as error:
+            return protocol.dumps_line(
+                {
+                    "id": _id_value(client_id),
+                    "ok": False,
+                    "error": protocol.error_payload(protocol.E_INTERNAL, str(error)),
+                }
+            )
+        out = _splice_id(raw, client_id)
+        if out is None:  # pragma: no cover - workers always echo an id
+            return protocol.dumps_line(
+                {
+                    "id": _id_value(client_id),
+                    "ok": False,
+                    "error": protocol.error_payload(
+                        protocol.E_INTERNAL, "worker response missing id"
+                    ),
+                }
+            )
+        return out
+
+    async def _dispatch(self, message: dict) -> dict:
+        request_id = message.get("id")
+        op = message.get("op")
+        if self._draining:
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": protocol.error_payload(
+                    protocol.E_DRAINING, "router is draining; connect elsewhere"
+                ),
+            }
+        if op == "activate":
+            return await self._op_activate(request_id, message)
+        link = self.pick(self._routing_key(message))
+        if link is None:
+            self._rejected.inc()
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": protocol.error_payload(
+                    protocol.E_OVERLOADED,
+                    "no healthy workers",
+                    retry_after_ms=100.0,
+                ),
+            }
+        self._routed.inc()
+        response = await link.call(message)
+        response["id"] = request_id
+        if op == "health" and response.get("ok"):
+            response["result"]["router"] = self._router_payload()
+        return response
+
+    def _router_payload(self) -> dict:
+        workers = [link.describe() for link in self.links.values()]
+        return {
+            "workers": workers,
+            "n_workers": len(workers),
+            "healthy_workers": sum(1 for w in workers if w["healthy"]),
+            "load_factor": self.load_factor,
+        }
+
+    async def _op_activate(self, request_id, message: dict) -> dict:
+        """Broadcast a hot swap to every healthy worker, serialized.
+
+        The registry swap inside each worker is atomic; the router lock
+        serializes concurrent activations so every worker applies them
+        in the same order.  The reply is the first worker's on success,
+        or the first failure (all workers share one registry content,
+        so an unknown model fails uniformly).
+        """
+        async with self._activate_lock:
+            healthy = [link for link in self.links.values() if link.healthy]
+            if not healthy:
+                self._rejected.inc()
+                return {
+                    "id": request_id,
+                    "ok": False,
+                    "error": protocol.error_payload(
+                        protocol.E_OVERLOADED, "no healthy workers", 100.0
+                    ),
+                }
+            responses = await asyncio.gather(
+                *(link.call(message) for link in healthy)
+            )
+            for response in responses:
+                if not response.get("ok"):
+                    response["id"] = request_id
+                    return response
+            response = responses[0]
+            response["id"] = request_id
+            self.log.event(
+                "router.activate",
+                model=message.get("name"),
+                workers=len(healthy),
+            )
+            return response

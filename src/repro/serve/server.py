@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import gc
 import signal
 import threading
 import time
@@ -47,33 +48,55 @@ class ServeConfig:
         host: bind address.
         port: bind port (0 = ephemeral; read ``server.port`` after start).
         max_batch_size: micro-batch dispatch threshold.
-        max_wait_ms: micro-batch hold time after the first request.
+        max_wait_ms: micro-batch hold ceiling after the first request.
+        adaptive_batching: scale the hold time with the arrival-rate
+            EWMA (dense traffic waits for full batches, sparse traffic
+            dispatches immediately); ``False`` restores the fixed TTL.
+        arrival_ewma_alpha: smoothing weight of the arrival estimator.
         inference_workers: thread-pool size for kernel calls.
         max_pending: admission window (in-flight request ceiling).
         default_deadline_ms: deadline for requests that name none.
         drain_timeout_s: upper bound on graceful drain.
+        gc_freeze: move the startup object graph (model, registry,
+            network) into the GC's permanent generation once the socket
+            is bound.  Cyclic collections then scan only per-request
+            garbage instead of the whole heap — full-heap gen2 passes
+            otherwise stall every in-flight request by 100 ms+, which
+            is the single largest latency-tail contributor observed.
     """
 
     host: str = "127.0.0.1"
     port: int = 0
     max_batch_size: int = 8
     max_wait_ms: float = 5.0
+    adaptive_batching: bool = True
+    arrival_ewma_alpha: float = 0.2
     inference_workers: int = 2
     max_pending: int = 64
     default_deadline_ms: float = 2000.0
     drain_timeout_s: float = 10.0
+    gc_freeze: bool = True
 
 
 class _Pending:
-    """One admitted localize request travelling through the batcher."""
+    """One admitted localize request travelling through the batcher.
 
-    __slots__ = ("features", "weather", "human", "inference", "deadline", "arrival")
+    Carries the *raw* wire fields: feature extraction and observation
+    decoding run on the batcher's worker pool (see
+    :meth:`LocalizationServer._run_batch`), keeping NaN-masking and
+    array assembly off the asyncio event loop so the loop only parses
+    envelopes and writes responses.
+    """
 
-    def __init__(self, features, weather, human, inference, deadline, arrival):
-        self.features = features
-        self.weather = weather
-        self.human = human
-        self.inference = inference
+    __slots__ = ("raw_features", "raw_weather", "raw_human", "raw_inference",
+                 "deadline", "arrival")
+
+    def __init__(self, raw_features, raw_weather, raw_human, raw_inference,
+                 deadline, arrival):
+        self.raw_features = raw_features
+        self.raw_weather = raw_weather
+        self.raw_human = raw_human
+        self.raw_inference = raw_inference
         self.deadline = deadline
         self.arrival = arrival
 
@@ -85,6 +108,15 @@ class _Expired:
 
 
 _EXPIRED = _Expired()
+
+
+class _Rejected:
+    """Sentinel outcome for requests whose payload failed to decode."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str):
+        self.message = message
 
 
 class LocalizationServer:
@@ -125,6 +157,8 @@ class LocalizationServer:
             max_batch_size=self.config.max_batch_size,
             max_wait_ms=self.config.max_wait_ms,
             workers=self.config.inference_workers,
+            adaptive=self.config.adaptive_batching,
+            ewma_alpha=self.config.arrival_ewma_alpha,
             metrics=self.metrics,
         )
         self._requests = self.metrics.counter("serve_requests_total")
@@ -160,6 +194,9 @@ class LocalizationServer:
         )
         # Remembered past close so handles can report where they served.
         self._port = self._server.sockets[0].getsockname()[1]
+        if self.config.gc_freeze:
+            gc.collect()
+            gc.freeze()
         self.log.event(
             "serve.start",
             host=self.config.host,
@@ -347,16 +384,17 @@ class LocalizationServer:
                 ),
             )
         try:
-            features = protocol.decode_features(
-                message.get("features"), len(self.registry.active.model.sensors)
-            )
-            weather = protocol.decode_weather(message.get("weather"))
-            human = protocol.decode_human(message.get("human"))
-            inference = protocol.decode_inference(message.get("inference"))
             deadline = self.admission.deadline_for(
                 message.get("deadline_ms"), now=arrival
             )
-            pending = _Pending(features, weather, human, inference, deadline, arrival)
+            pending = _Pending(
+                message.get("features"),
+                message.get("weather"),
+                message.get("human"),
+                message.get("inference"),
+                deadline,
+                arrival,
+            )
             try:
                 outcome = await self.batcher.submit(pending)
             except BatcherClosed:
@@ -369,7 +407,8 @@ class LocalizationServer:
             elapsed = time.monotonic() - arrival
             self._latency.observe(elapsed)
             self.admission.observe_service_time(elapsed)
-            if outcome[0] is _EXPIRED:
+            payload, entry, batch_size, queue_wait_ms, kernel_ms = outcome
+            if payload is _EXPIRED:
                 self._expired.inc()
                 return self._error_response(
                     request_id,
@@ -378,15 +417,21 @@ class LocalizationServer:
                         "deadline expired before inference was dispatched",
                     ),
                 )
-            result, entry, batch_size = outcome
+            if isinstance(payload, _Rejected):
+                return self._error_response(
+                    request_id,
+                    protocol.error_payload(protocol.E_BAD_REQUEST, payload.message),
+                )
             return self._ok_response(
                 request_id,
                 protocol.encode_result(
-                    result,
+                    payload,
                     model_name=entry.name,
                     model_etag=entry.etag,
                     batch_size=batch_size,
                     elapsed_ms=elapsed * 1000.0,
+                    queue_wait_ms=queue_wait_ms,
+                    kernel_ms=kernel_ms,
                 ),
             )
         finally:
@@ -394,39 +439,65 @@ class LocalizationServer:
 
     # ------------------------------------------------------------------
     def _run_batch(self, items: list[_Pending]) -> list[tuple]:
-        """One coalesced kernel call per aggregation mode (worker thread).
+        """Decode payloads and run one kernel call per mode (worker thread).
 
-        Expired requests are answered without inference; the rest are
-        grouped by their requested ``inference`` mode (a micro-batch may
-        mix ``independent`` and ``crf`` requests) and each group is
+        Everything per-request and CPU-shaped happens here, off the
+        event loop: feature extraction (NaN-masked vectors → float
+        arrays), observation decoding, and the kernel calls themselves.
+        Expired requests are answered without inference and malformed
+        payloads become per-item :class:`_Rejected` outcomes; the rest
+        are grouped by their requested ``inference`` mode (a micro-batch
+        may mix ``independent`` and ``crf`` requests) and each group is
         stacked into one ``localize_batch`` dispatch against the model
         entry captured *here* — a concurrent hot swap only affects
         batches formed after this point.
+
+        Each outcome is ``(payload, entry, batch_size, queue_wait_ms,
+        kernel_ms)``: the queueing-policy hold (arrival to dispatch) vs
+        the shared kernel time of the request's mode group.
         """
         entry: ModelEntry = self.registry.active
+        n_features = len(entry.model.sensors)
         now = time.monotonic()
-        live_index = [i for i, item in enumerate(items) if item.deadline > now]
-        outcomes: list[tuple] = [(_EXPIRED, None, 0)] * len(items)
-        if live_index:
-            start = time.perf_counter()
-            groups: dict[str, list[int]] = {}
-            for i in live_index:
-                groups.setdefault(items[i].inference, []).append(i)
-            for mode, index in groups.items():
-                features = np.vstack([items[i].features for i in index])
-                results = entry.model.localize_batch(
-                    features,
-                    weather=[items[i].weather for i in index],
-                    human=[items[i].human for i in index],
-                    inference=mode,
+        outcomes: list[tuple] = [None] * len(items)
+        decoded: dict[int, tuple] = {}
+        for i, item in enumerate(items):
+            queue_wait_ms = (now - item.arrival) * 1000.0
+            if item.deadline <= now:
+                outcomes[i] = (_EXPIRED, None, 0, queue_wait_ms, 0.0)
+                continue
+            try:
+                decoded[i] = (
+                    protocol.decode_features(item.raw_features, n_features),
+                    protocol.decode_weather(item.raw_weather),
+                    protocol.decode_human(item.raw_human),
+                    protocol.decode_inference(item.raw_inference),
+                    queue_wait_ms,
                 )
-                for i, result in zip(index, results):
-                    outcomes[i] = (result, entry, len(index))
-            self._inference.observe(time.perf_counter() - start)
+            except ValueError as error:
+                outcomes[i] = (_Rejected(str(error)), None, 0, queue_wait_ms, 0.0)
+        groups: dict[str, list[int]] = {}
+        for i, (_, _, _, mode, _) in decoded.items():
+            groups.setdefault(mode, []).append(i)
+        for mode, index in groups.items():
+            start = time.perf_counter()
+            features = np.vstack([decoded[i][0] for i in index])
+            results = entry.model.localize_batch(
+                features,
+                weather=[decoded[i][1] for i in index],
+                human=[decoded[i][2] for i in index],
+                inference=mode,
+            )
+            kernel_seconds = time.perf_counter() - start
+            self._inference.observe(kernel_seconds)
+            for i, result in zip(index, results):
+                outcomes[i] = (
+                    result, entry, len(index), decoded[i][4], kernel_seconds * 1000.0
+                )
         self.log.event(
             "serve.batch",
             size=len(items),
-            live=len(live_index),
+            live=len(decoded),
             model=entry.name,
         )
         return outcomes

@@ -1,0 +1,308 @@
+"""Zero-copy shared-memory model artifacts for multi-worker serving.
+
+One serve box runs N worker processes, but a trained
+:class:`~repro.core.AquaScale` is dominated by a handful of large flat
+numpy arrays — the :class:`~repro.ml.flatten.FlattenedForest` node
+tables, steady-state baselines, covariance factors.  Pickling the model
+into every worker would multiply resident memory by N and make hot swap
+an N-way copy.  Instead the cluster *publishes* each model once:
+
+* :meth:`SharedModelArtifact.publish` pickles the model through an
+  extracting pickler that diverts every large C-contiguous array into a
+  single :class:`multiprocessing.shared_memory.SharedMemory` segment
+  (64-byte-aligned offsets) and keeps a small *skeleton* pickle with
+  persistent-id references in their place;
+* :meth:`SharedModelArtifact.attach` rebuilds the model in a worker by
+  unpickling the skeleton with the references resolved to **read-only
+  numpy views over the mapped segment** — no array bytes are copied,
+  and all workers page the same physical memory.
+
+The artifact's etag is the content hash of the model's ordinary pickled
+form — exactly what :meth:`repro.serve.registry.ModelRegistry.register`
+computes — so single-process and shared-memory deployments of one model
+agree on identity, and the ``serve_vs_direct`` oracle can hold the
+cluster to bit-identical posteriors.
+
+Lifetime follows Linux unlink-while-mapped semantics: the publisher
+:meth:`~SharedModelArtifact.unlink`\\ s the segment name after the last
+worker has exited (or at drain), and the kernel frees the pages when the
+final mapping disappears — a segment is never yanked out from under a
+reader.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+import pickle
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..core import AquaScale
+from ..datasets.cache import _profile_metadata, profile_content_hash
+
+#: Arrays smaller than this stay in the skeleton pickle: the per-array
+#: bookkeeping and alignment padding would cost more than the copy.  One
+#: KiB keeps per-junction weight vectors (a few hundred float64s each,
+#: the bulk of a trained profile) in the segment while tiny index arrays
+#: ride the skeleton.
+SHARE_MIN_BYTES = 1024
+
+#: Segment offsets are aligned to cache lines so views start clean.
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one externalized array inside the segment."""
+
+    offset: int
+    dtype: str
+    shape: tuple
+
+
+@dataclass(frozen=True)
+class ArtifactManifest:
+    """Everything a worker needs to attach one published model.
+
+    Plain picklable data (no live handles), so it travels to spawned
+    worker processes as part of their startup arguments.
+    """
+
+    name: str
+    segment: str
+    nbytes: int
+    arrays: tuple
+    skeleton: bytes
+    etag: str
+    header: dict = field(default_factory=dict)
+    creator_pid: int = 0
+
+
+class _ExtractingPickler(pickle.Pickler):
+    """Pickler that diverts large arrays out of the stream.
+
+    Every C-contiguous, non-object ndarray of at least ``min_bytes`` is
+    assigned the next aligned segment offset and replaced by a
+    persistent id; the caller copies the collected arrays into the
+    segment afterwards.  Duplicate objects collapse to one spec.
+    """
+
+    def __init__(self, file, min_bytes: int = SHARE_MIN_BYTES):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self.min_bytes = min_bytes
+        self.specs: list[ArraySpec] = []
+        self.arrays: list[np.ndarray] = []
+        self.total = 0
+        self._seen: dict[int, int] = {}
+
+    def persistent_id(self, obj):
+        if not (
+            isinstance(obj, np.ndarray)
+            and obj.dtype != object
+            and obj.flags["C_CONTIGUOUS"]
+            and obj.nbytes >= self.min_bytes
+        ):
+            return None
+        index = self._seen.get(id(obj))
+        if index is None:
+            index = len(self.specs)
+            self._seen[id(obj)] = index
+            self.specs.append(
+                ArraySpec(offset=self.total, dtype=obj.dtype.str, shape=obj.shape)
+            )
+            self.arrays.append(obj)
+            self.total += -(-obj.nbytes // _ALIGN) * _ALIGN
+        return ("shm-array", index)
+
+
+class _AttachingUnpickler(pickle.Unpickler):
+    """Unpickler that resolves persistent ids to views over the segment."""
+
+    def __init__(self, file, segment: shared_memory.SharedMemory, specs):
+        super().__init__(file)
+        self.segment = segment
+        self.specs = specs
+        self.views: list[weakref.ref] = []
+
+    def persistent_load(self, pid):
+        kind, index = pid
+        if kind != "shm-array":
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        spec = self.specs[index]
+        view = np.ndarray(
+            spec.shape,
+            dtype=np.dtype(spec.dtype),
+            buffer=self.segment.buf,
+            offset=spec.offset,
+        )
+        view.flags.writeable = False
+        # Weakly tracked so detach() can tell whether any reader still
+        # holds segment-backed memory (numpy acquires the raw pointer
+        # without an exported-buffer claim, so ``close()`` would succeed
+        # and leave such views dangling rather than raise BufferError).
+        self.views.append(weakref.ref(view))
+        return view
+
+
+@contextlib.contextmanager
+def _reader_attach():
+    """Suppress resource-tracker registration while attaching as reader.
+
+    Python < 3.13 registers every attach with the resource tracker,
+    which the workers share with the publisher — the first worker to
+    exit (or unregister) would strip the publisher's own claim and
+    either unlink the segment early or make the final unlink a
+    double-remove.  The publisher owns the name; readers never touch
+    the tracker.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+class SharedModelArtifact:
+    """One published model: manifest + segment handle + rebuilt model.
+
+    Created by :meth:`publish` (owner side) or :meth:`attach` (reader
+    side).  The owner is responsible for :meth:`unlink` once every
+    reader has detached or exited; readers :meth:`detach` (or simply
+    exit — the kernel drops their mapping either way).
+    """
+
+    def __init__(
+        self,
+        manifest: ArtifactManifest,
+        segment: shared_memory.SharedMemory,
+        model: AquaScale,
+        owner: bool,
+        views: list[weakref.ref] | None = None,
+    ):
+        self.manifest = manifest
+        self.model = model
+        self._segment: shared_memory.SharedMemory | None = segment
+        self.owner = owner
+        self._unlinked = False
+        self._views = list(views or [])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(cls, name: str, model: AquaScale) -> "SharedModelArtifact":
+        """Externalize ``model``'s large arrays into a fresh segment.
+
+        The returned artifact's ``model`` is the original object (the
+        publisher keeps serving zero-copy too, from its own pages).
+
+        Raises:
+            RuntimeError: for an untrained model.
+        """
+        model.engine  # fail fast when untrained
+        payload = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+        etag = profile_content_hash(payload)
+        buffer = io.BytesIO()
+        pickler = _ExtractingPickler(buffer)
+        pickler.dump(model)
+        segment = shared_memory.SharedMemory(create=True, size=max(pickler.total, 1))
+        for spec, array in zip(pickler.specs, pickler.arrays):
+            _copy_into(segment, spec, array)
+        manifest = ArtifactManifest(
+            name=name,
+            segment=segment.name,
+            nbytes=pickler.total,
+            arrays=tuple(pickler.specs),
+            skeleton=buffer.getvalue(),
+            etag=etag,
+            header=_profile_metadata(model),
+            creator_pid=os.getpid(),
+        )
+        return cls(manifest, segment=segment, model=model, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: ArtifactManifest) -> "SharedModelArtifact":
+        """Map a published segment and rebuild its model, zero-copy.
+
+        Raises:
+            FileNotFoundError: when the segment has been unlinked.
+        """
+        if os.getpid() != manifest.creator_pid:
+            with _reader_attach():
+                segment = shared_memory.SharedMemory(name=manifest.segment)
+        else:
+            segment = shared_memory.SharedMemory(name=manifest.segment)
+        unpickler = _AttachingUnpickler(
+            io.BytesIO(manifest.skeleton), segment=segment, specs=manifest.arrays
+        )
+        model = unpickler.load()
+        return cls(
+            manifest,
+            segment=segment,
+            model=model,
+            owner=False,
+            views=unpickler.views,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_shared_arrays(self) -> int:
+        """How many arrays live in the segment."""
+        return len(self.manifest.arrays)
+
+    @property
+    def shared_nbytes(self) -> int:
+        """Segment size in bytes (aligned)."""
+        return self.manifest.nbytes
+
+    def detach(self) -> bool:
+        """Drop the model and close this process's mapping.
+
+        Returns ``True`` when the mapping actually closed; ``False``
+        when live numpy views still pin the buffer — closing then would
+        unmap memory those arrays still point into, so the mapping is
+        kept and closes when the last view dies or the process exits.
+        """
+        self.model = None
+        if self._segment is None:
+            return True
+        self._views = [ref for ref in self._views if ref() is not None]
+        if self._views:
+            return False
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - exported-buffer path
+            return False
+        self._segment = None
+        return True
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner side; safe to repeat).
+
+        Existing mappings stay valid; the kernel frees the pages when
+        the last one disappears.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            target = self._segment or shared_memory.SharedMemory(
+                name=self.manifest.segment
+            )
+            target.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _copy_into(
+    segment: shared_memory.SharedMemory, spec: ArraySpec, array: np.ndarray
+) -> None:
+    """Copy one array to its segment offset (scoped so no view lingers)."""
+    view = np.ndarray(
+        spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf, offset=spec.offset
+    )
+    view[...] = array

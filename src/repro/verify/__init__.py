@@ -30,6 +30,7 @@ from .differential import (
     diff_array_vs_dict,
     diff_batched_vs_sequential,
     diff_binned_vs_exact,
+    diff_cluster_vs_direct,
     diff_crf_vs_independent,
     diff_flattened_vs_recursive,
     diff_njobs_training,
@@ -118,6 +119,7 @@ __all__ = [
     "diff_array_vs_dict",
     "diff_batched_vs_sequential",
     "diff_binned_vs_exact",
+    "diff_cluster_vs_direct",
     "diff_crf_vs_independent",
     "diff_flattened_vs_recursive",
     "diff_njobs_training",

@@ -618,13 +618,66 @@ def diff_serve_vs_direct(
     return report
 
 
+def diff_cluster_vs_direct(
+    network: WaterNetwork,
+    seed: int = 0,
+    n_samples: int = 16,
+    n_requests: int = 12,
+) -> DiffReport:
+    """Responses through the multi-worker cluster vs direct ``localize``.
+
+    Extends the :func:`diff_serve_vs_direct` claim across the whole
+    scale-out stack: the model crosses a ``pickle`` boundary into shared
+    memory, each worker process rebuilds its arrays as zero-copy views
+    over the segment, and requests travel client → router (raw byte
+    relay) → worker.  Tree kernels score rows independently of batch
+    composition, so posteriors must still be bit-identical to the
+    in-process call in both aggregation modes.
+    """
+    from ..core import AquaScale
+    from ..datasets import generate_dataset
+    from ..ml import RandomForestClassifier
+    from ..serve import ServeClient, ServeConfig, start_cluster_in_background
+
+    dataset = generate_dataset(network, n_samples, kind="multi", seed=seed)
+    model = AquaScale(
+        network,
+        iot_percent=100.0,
+        classifier=RandomForestClassifier(
+            n_estimators=4, max_depth=4, random_state=seed
+        ),
+        seed=seed,
+    )
+    model.train(dataset=dataset)
+    rows = dataset.features_for(model.sensors)[:n_requests]
+    direct = [model.localize(row) for row in rows]
+    direct_crf = [model.localize(row, inference="crf") for row in rows]
+    config = ServeConfig(max_batch_size=4, max_wait_ms=25.0, inference_workers=1)
+    with start_cluster_in_background(model, n_workers=2, config=config) as handle:
+        with ServeClient(*handle.address) as client:
+            served = client.localize_many(rows)
+            served_crf = client.localize_many(rows, inference="crf")
+    return _compare(
+        "cluster_vs_direct",
+        [
+            (reference.probabilities, reply.probabilities)
+            for reference, reply in zip(direct + direct_crf, served + served_crf)
+        ],
+        tolerance=0.0,
+        detail=(
+            f"{network.name}, {len(rows)} requests x 2 modes, "
+            f"2 shared-memory workers"
+        ),
+    )
+
+
 def run_differential_oracles(
     network: WaterNetwork,
     seed: int = 0,
     quick: bool = False,
     workers: int = 4,
 ) -> list[DiffReport]:
-    """All eleven differential oracles on one network.
+    """All twelve differential oracles on one network.
 
     Quick mode trims the workload (fewer scenarios, 2 workers) so the
     catalog sweep stays CI-sized; the claims checked are identical.
@@ -644,6 +697,9 @@ def run_differential_oracles(
         diff_binned_vs_exact(network, seed=seed, n_samples=n_samples),
         diff_crf_vs_independent(network, seed=seed, n_samples=n_samples),
         diff_serve_vs_direct(
+            network, seed=seed, n_samples=n_samples, n_requests=8 if quick else 12
+        ),
+        diff_cluster_vs_direct(
             network, seed=seed, n_samples=n_samples, n_requests=8 if quick else 12
         ),
     ]

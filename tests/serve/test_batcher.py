@@ -7,7 +7,7 @@ import threading
 
 import pytest
 
-from repro.serve import BatcherClosed, MicroBatcher
+from repro.serve import ArrivalEstimator, BatcherClosed, MicroBatcher
 from repro.stream.metrics import MetricsRegistry
 
 
@@ -158,3 +158,92 @@ class TestLifecycle:
             MicroBatcher(lambda items: items, max_wait_ms=-1.0)
         with pytest.raises(ValueError, match="workers"):
             MicroBatcher(lambda items: items, workers=0)
+
+
+class TestArrivalEstimator:
+    def test_no_history_means_no_estimate(self):
+        assert ArrivalEstimator().gap_seconds is None
+
+    def test_single_observation_is_still_no_estimate(self):
+        estimator = ArrivalEstimator()
+        estimator.observe(10.0)
+        assert estimator.gap_seconds is None
+
+    def test_constant_cadence_converges_to_the_gap(self):
+        estimator = ArrivalEstimator(alpha=0.2)
+        for i in range(50):
+            estimator.observe(i * 0.004)
+        assert estimator.gap_seconds == pytest.approx(0.004, rel=1e-6)
+
+    def test_ewma_tracks_a_rate_change(self):
+        estimator = ArrivalEstimator(alpha=0.5)
+        for i in range(10):
+            estimator.observe(i * 0.100)
+        slow = estimator.gap_seconds
+        t = 9 * 0.100
+        for _ in range(20):
+            t += 0.001
+            estimator.observe(t)
+        assert estimator.gap_seconds < 0.01 < slow
+
+
+class TestAdaptivePolicy:
+    def test_fixed_mode_always_budgets_max_wait(self):
+        batcher = MicroBatcher(
+            lambda items: items, max_batch_size=8, max_wait_ms=5.0, adaptive=False
+        )
+        batcher.arrivals.observe(0.0)
+        batcher.arrivals.observe(1.0)  # huge gap would zero the adaptive hold
+        assert batcher._wait_budget(1) == pytest.approx(0.005)
+
+    def test_no_history_dispatches_immediately(self):
+        batcher = MicroBatcher(
+            lambda items: items, max_batch_size=8, max_wait_ms=5.0, adaptive=True
+        )
+        assert batcher._wait_budget(1) == 0.0
+
+    def test_sparse_traffic_dispatches_immediately(self):
+        batcher = MicroBatcher(
+            lambda items: items, max_batch_size=8, max_wait_ms=5.0, adaptive=True
+        )
+        batcher.arrivals.observe(0.0)
+        batcher.arrivals.observe(1.0)  # gap 1 s >= max_wait -> no hold
+        assert batcher._wait_budget(1) == 0.0
+
+    def test_dense_traffic_scales_hold_with_remaining_slots(self):
+        batcher = MicroBatcher(
+            lambda items: items, max_batch_size=8, max_wait_ms=50.0, adaptive=True
+        )
+        for i in range(20):
+            batcher.arrivals.observe(i * 0.001)  # 1 ms cadence
+        nearly_full = batcher._wait_budget(7)
+        nearly_empty = batcher._wait_budget(1)
+        assert 0.0 < nearly_full < nearly_empty <= 0.050
+        # gap * need * headroom: 1 slot left -> ~2 ms, 7 left -> ~14 ms.
+        assert nearly_full == pytest.approx(0.001 * 1 * 2.0, rel=0.05)
+        assert nearly_empty == pytest.approx(0.001 * 7 * 2.0, rel=0.05)
+
+    def test_hold_never_exceeds_max_wait(self):
+        batcher = MicroBatcher(
+            lambda items: items, max_batch_size=64, max_wait_ms=5.0, adaptive=True
+        )
+        for i in range(20):
+            batcher.arrivals.observe(i * 0.004)
+        assert batcher._wait_budget(1) <= 0.005
+
+    def test_queue_wait_histogram_recorded(self):
+        metrics = MetricsRegistry()
+
+        async def main():
+            batcher = MicroBatcher(
+                lambda items: items, max_batch_size=8, max_wait_ms=20.0,
+                metrics=metrics,
+            )
+            await batcher.start()
+            await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+            await batcher.drain()
+
+        run(main())
+        histogram = metrics.snapshot()["histograms"]["serve_queue_wait_seconds"]
+        assert histogram["count"] == 4
+        assert histogram["max"] < 5.0

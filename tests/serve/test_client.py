@@ -1,10 +1,16 @@
-"""Client-side behaviour: validation, error surface, lifecycle."""
+"""Client-side behaviour: validation, error surface, retry, lifecycle."""
 
 from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
 
 import pytest
 
 from repro.serve import ServeClient, ServeConfig, ServeError, start_in_background
+from repro.serve import protocol
 
 
 class TestServeError:
@@ -62,3 +68,164 @@ class TestClientLifecycle:
                 client.localize(dataset.features_for(model.sensors)[0])
         finally:
             client.close()
+
+
+_CANNED_RESULT = {
+    "probabilities": [0.75, 0.25],
+    "leak_nodes": ["J1"],
+    "top_suspects": [["J1", 0.75]],
+    "energy": 0.0,
+    "model": {"name": "stub", "etag": "sha256:stub"},
+    "batch_size": 1,
+    "elapsed_ms": 0.1,
+}
+
+
+class _ScriptedServer:
+    """Line-protocol stub that sheds, drops, or answers on script.
+
+    The real server's failure modes are hard to trigger on demand, so
+    retry behaviour is tested against a stub that sheds the first
+    ``shed`` localize calls with ``overloaded`` + ``retry_after_ms``
+    (and/or hangs up once mid-request) before answering a canned reply.
+    """
+
+    def __init__(self, shed: int = 0, retry_after_ms: float = 50.0,
+                 drop_first: bool = False):
+        self.shed = shed
+        self.retry_after_ms = retry_after_ms
+        self.drop_first = drop_first
+        self.request_times: list[float] = []
+        self.connections = 0
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self._listener.getsockname()[1]
+        self._closed = False
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        dropped = False
+        while not self._closed:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            with conn:
+                for line in conn.makefile("rb"):
+                    message = json.loads(line)
+                    if message.get("op") != "localize":
+                        continue
+                    self.request_times.append(time.monotonic())
+                    if self.drop_first and not dropped:
+                        dropped = True
+                        break  # hang up mid-request
+                    if self.shed > 0:
+                        self.shed -= 1
+                        reply = {
+                            "id": message["id"],
+                            "ok": False,
+                            "error": {
+                                "code": protocol.E_OVERLOADED,
+                                "message": "queue full",
+                                "retry_after_ms": self.retry_after_ms,
+                            },
+                        }
+                    else:
+                        reply = {
+                            "id": message["id"],
+                            "ok": True,
+                            "result": _CANNED_RESULT,
+                        }
+                    conn.sendall((json.dumps(reply) + "\n").encode())
+
+    def close(self) -> None:
+        self._closed = True
+        self._listener.close()
+
+
+class TestRetry:
+    def test_backoff_delay_grows_exponentially_to_the_cap(self):
+        server = _ScriptedServer()
+        try:
+            client = ServeClient(
+                "127.0.0.1", server.port,
+                backoff_ms=50.0, backoff_max_ms=200.0, retry_seed=7,
+            )
+            try:
+                delays = [client._backoff_delay(k) for k in range(5)]
+            finally:
+                client.close()
+        finally:
+            server.close()
+        # attempt k sleeps min(cap, base * 2**k) + U(0, base), in seconds.
+        assert 0.050 <= delays[0] <= 0.100
+        assert 0.100 <= delays[1] <= 0.150
+        assert all(0.200 <= d <= 0.250 for d in delays[2:])
+
+    def test_jitter_is_seeded(self):
+        server = _ScriptedServer()
+        try:
+            a = ServeClient("127.0.0.1", server.port, retry_seed=11)
+            b = ServeClient("127.0.0.1", server.port, retry_seed=11)
+            try:
+                assert [a._backoff_delay(k) for k in range(4)] == [
+                    b._backoff_delay(k) for k in range(4)
+                ]
+            finally:
+                a.close()
+                b.close()
+        finally:
+            server.close()
+
+    def test_overloaded_retry_waits_at_least_the_server_hint(self):
+        server = _ScriptedServer(shed=1, retry_after_ms=120.0)
+        try:
+            with ServeClient(
+                "127.0.0.1", server.port,
+                retries=2, backoff_ms=1.0, retry_seed=0,
+            ) as client:
+                reply = client.localize([0.0])
+            assert reply.model_name == "stub"
+            assert len(server.request_times) == 2
+            gap = server.request_times[1] - server.request_times[0]
+            assert gap >= 0.110  # honored the 120 ms hint, not the 1 ms backoff
+        finally:
+            server.close()
+
+    def test_shed_past_the_budget_raises_overloaded(self):
+        server = _ScriptedServer(shed=10, retry_after_ms=1.0)
+        try:
+            with ServeClient(
+                "127.0.0.1", server.port,
+                retries=1, backoff_ms=1.0, retry_seed=0,
+            ) as client:
+                with pytest.raises(ServeError) as excinfo:
+                    client.localize([0.0])
+            assert excinfo.value.code == protocol.E_OVERLOADED
+            assert len(server.request_times) == 2  # initial + one retry
+        finally:
+            server.close()
+
+    def test_reconnects_after_the_server_hangs_up(self):
+        server = _ScriptedServer(drop_first=True)
+        try:
+            with ServeClient(
+                "127.0.0.1", server.port,
+                retries=2, backoff_ms=1.0, retry_seed=0,
+            ) as client:
+                reply = client.localize([0.0])
+            assert reply.model_name == "stub"
+            assert server.connections == 2  # dropped once, dialed back in
+        finally:
+            server.close()
+
+    def test_zero_retries_disables_resubmission(self):
+        server = _ScriptedServer(shed=1, retry_after_ms=1.0)
+        try:
+            with ServeClient("127.0.0.1", server.port, retries=0) as client:
+                with pytest.raises(ServeError):
+                    client.localize([0.0])
+            assert len(server.request_times) == 1
+        finally:
+            server.close()

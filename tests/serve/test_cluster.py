@@ -1,0 +1,146 @@
+"""Multi-worker cluster: routing, hot swap under load, drain lifecycle.
+
+Worker processes are spawned for real (multiprocessing ``spawn``), so
+the module shares one cluster across tests; the drain/unlink test runs
+its own short-lived cluster because it has to observe the teardown.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import AquaScale
+from repro.datasets import generate_dataset
+from repro.ml import RandomForestClassifier
+from repro.networks import two_loop_test_network
+from repro.serve import ServeClient, ServeConfig, start_cluster_in_background
+
+
+def _train(network, dataset, random_state: int) -> AquaScale:
+    model = AquaScale(
+        network,
+        iot_percent=100.0,
+        classifier=RandomForestClassifier(
+            n_estimators=4, max_depth=4, random_state=random_state
+        ),
+        seed=0,
+    )
+    model.train(dataset=dataset)
+    return model
+
+
+@pytest.fixture(scope="module")
+def cluster_setup():
+    network = two_loop_test_network()
+    dataset = generate_dataset(network, 40, kind="single", seed=5)
+    model_a = _train(network, dataset, random_state=0)
+    model_b = _train(network, dataset, random_state=1)
+    rows = dataset.features_for(model_a.sensors)[:10]
+    handle = start_cluster_in_background(
+        {"a": model_a, "b": model_b},
+        n_workers=2,
+        config=ServeConfig(max_batch_size=4, max_wait_ms=15.0),
+    )
+    with handle:
+        with ServeClient(*handle.address) as client:
+            yield handle, client, model_a, model_b, rows
+
+
+class TestRouting:
+    def test_health_reports_both_workers(self, cluster_setup):
+        _, client, *_ = cluster_setup
+        health = client.health()
+        router = health["router"]
+        assert router["n_workers"] == 2
+        assert router["healthy_workers"] == 2
+        assert {w["worker_id"] for w in router["workers"]} == {
+            "worker-0",
+            "worker-1",
+        }
+
+    def test_models_come_from_shared_segments(self, cluster_setup):
+        _, client, *_ = cluster_setup
+        models = {entry["name"]: entry for entry in client.models()}
+        assert set(models) == {"a", "b"}
+        assert models["a"]["active"] is True
+        assert all(
+            entry["source"].startswith("<shared:") for entry in models.values()
+        )
+
+    def test_posteriors_bit_identical_to_direct(self, cluster_setup):
+        _, client, model_a, _, rows = cluster_setup
+        direct = model_a.localize_batch(rows)
+        served = client.localize_many(rows)
+        for reference, reply in zip(direct, served):
+            assert np.array_equal(reference.probabilities, reply.probabilities)
+
+
+class TestHotSwap:
+    def test_swap_is_atomic_under_inflight_load(self, cluster_setup):
+        """In-flight requests finish on the model they captured; the swap
+        broadcast lands on every worker for later requests."""
+        _, client, model_a, model_b, rows = cluster_setup
+        try:
+            before = [
+                client.localize_async(rows[i % len(rows)]) for i in range(12)
+            ]
+            swap = client.activate("b")
+            after = [
+                client.localize_async(rows[i % len(rows)]) for i in range(12)
+            ]
+            assert swap["model"]["name"] == "b"
+            early = [client.resolve(f) for f in before]
+            late = [client.resolve(f) for f in after]
+            etags = {r.model_etag for r in early} | {r.model_etag for r in late}
+            # Every reply names exactly one of the two published models.
+            assert len(etags) <= 2
+            # Post-swap requests all ran on model b, on every worker.
+            reference = model_b.localize_batch(rows)
+            for i, reply in enumerate(late):
+                assert np.array_equal(
+                    reference[i % len(rows)].probabilities, reply.probabilities
+                )
+        finally:
+            client.activate("a")
+
+    def test_swap_back_restores_model_a(self, cluster_setup):
+        _, client, model_a, _, rows = cluster_setup
+        reply = client.localize(rows[0])
+        direct = model_a.localize(rows[0])
+        assert np.array_equal(direct.probabilities, reply.probabilities)
+
+    def test_activating_unknown_model_fails_cleanly(self, cluster_setup):
+        from repro.serve import ServeError
+
+        _, client, *_ = cluster_setup
+        from repro.serve import protocol
+
+        with pytest.raises(ServeError) as excinfo:
+            client.activate("missing")
+        assert excinfo.value.code == protocol.E_UNKNOWN_MODEL
+
+
+class TestDrainLifecycle:
+    def test_drain_unlinks_segments_after_workers_exit(self):
+        network = two_loop_test_network()
+        dataset = generate_dataset(network, 24, kind="single", seed=7)
+        model = _train(network, dataset, random_state=0)
+        rows = dataset.features_for(model.sensors)[:3]
+        handle = start_cluster_in_background(
+            model, n_workers=2, config=ServeConfig(max_wait_ms=10.0)
+        )
+        segments = [
+            artifact.manifest.segment for artifact in handle.cluster.artifacts
+        ]
+        assert segments
+        with handle:
+            assert all(
+                os.path.exists(f"/dev/shm/{name}") for name in segments
+            )
+            with ServeClient(*handle.address) as client:
+                client.localize(rows[0])
+        # Drain has terminated the workers (the readers) and unlinked.
+        assert not any(os.path.exists(f"/dev/shm/{name}") for name in segments)

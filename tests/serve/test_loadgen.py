@@ -1,0 +1,77 @@
+"""Open-loop Poisson load generator: summaries, validation, end-to-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeConfig, start_in_background
+from repro.serve.loadgen import run_open_loop, summarize_ms
+
+
+class TestSummarize:
+    def test_empty_sample_reports_only_count(self):
+        assert summarize_ms([]) == {"count": 0}
+
+    def test_percentiles_of_a_known_sample(self):
+        summary = summarize_ms(list(range(1, 101)))
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p99"] == pytest.approx(99.01)
+        assert summary["max"] == 100.0
+
+    def test_single_value_collapses_all_quantiles(self):
+        summary = summarize_ms([7.0])
+        assert summary["p50"] == summary["p99"] == summary["max"] == 7.0
+
+
+class TestValidation:
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            run_open_loop("localhost", 1, [[0.0]], rate_rps=0.0, n_requests=1)
+
+    def test_rejects_zero_requests(self):
+        with pytest.raises(ValueError, match="n_requests"):
+            run_open_loop("localhost", 1, [[0.0]], rate_rps=10.0, n_requests=0)
+
+    def test_rejects_empty_feature_rows(self):
+        with pytest.raises(ValueError, match="feature_rows"):
+            run_open_loop("localhost", 1, [], rate_rps=10.0, n_requests=1)
+
+
+class TestOpenLoop:
+    def test_report_shape_against_a_live_server(self, tree_serve_model):
+        model, dataset = tree_serve_model
+        rows = dataset.features_for(model.sensors)[:6]
+        config = ServeConfig(max_batch_size=4, max_wait_ms=5.0)
+        with start_in_background(model, config=config) as handle:
+            report = run_open_loop(
+                *handle.address,
+                feature_rows=rows,
+                rate_rps=200.0,
+                n_requests=40,
+                clients=2,
+                warmup=8,
+                seed=0,
+            )
+        assert report["mode"] == "open-loop-poisson"
+        assert report["completed"] == report["n_requests"] == 40
+        assert report["errors"] == {}
+        assert report["clients"] == 2
+        assert report["achieved_rps"] > 0
+        # Latency is stamped from the *scheduled* arrival, so every
+        # measured request carries the server's own timing split too.
+        assert report["latency_ms"]["count"] == 40
+        assert report["queue_wait_ms"]["count"] == 40
+        assert report["kernel_ms"]["count"] == 40
+        assert report["latency_ms"]["p99"] >= report["latency_ms"]["p50"] > 0
+        assert report["mean_batch_size"] >= 1.0
+        assert report["send_lag_ms_max"] >= 0.0
+
+    def test_same_seed_replays_the_same_schedule(self, tree_serve_model):
+        """The arrival schedule is a pure function of (seed, rate, n)."""
+        import numpy as np
+
+        gaps_a = np.random.default_rng(3).exponential(1.0 / 100.0, 16)
+        gaps_b = np.random.default_rng(3).exponential(1.0 / 100.0, 16)
+        assert np.array_equal(gaps_a, gaps_b)

@@ -96,3 +96,51 @@ class TestActivate:
         assert row["network"] == serve_model.network.name
         assert row["n_sensors"] == len(serve_model.sensors)
         assert row["classifier"] == "logistic"
+
+
+class TestRegisterShared:
+    def test_shared_entry_reuses_the_artifact_identity(self, serve_model):
+        from repro.serve.shm import SharedModelArtifact
+
+        artifact = SharedModelArtifact.publish("prod", serve_model)
+        try:
+            plain = ModelRegistry().register("prod", serve_model)
+            registry = ModelRegistry()
+            entry = registry.register_shared(artifact)
+            # Shared and direct registrations of one model agree on etag.
+            assert entry.etag == plain.etag
+            assert entry.source == f"<shared:{artifact.manifest.segment}>"
+            assert entry.header == plain.header
+            assert registry.active is entry
+        finally:
+            artifact.unlink()
+            artifact.detach()
+
+    def test_shared_registration_can_stay_passive(self, serve_model):
+        from repro.serve.shm import SharedModelArtifact
+
+        artifact = SharedModelArtifact.publish("canary", serve_model)
+        try:
+            registry = ModelRegistry()
+            registry.register("prod", serve_model)
+            registry.register_shared(artifact, activate=False)
+            assert registry.active.name == "prod"
+            rows = {r["name"]: r for r in registry.describe()}
+            assert rows["canary"]["active"] is False
+            assert rows["canary"]["source"].startswith("<shared:")
+        finally:
+            artifact.unlink()
+            artifact.detach()
+
+    def test_duplicate_shared_name_rejected(self, serve_model):
+        from repro.serve.shm import SharedModelArtifact
+
+        artifact = SharedModelArtifact.publish("prod", serve_model)
+        try:
+            registry = ModelRegistry()
+            registry.register("prod", serve_model)
+            with pytest.raises(ValueError, match="already registered"):
+                registry.register_shared(artifact)
+        finally:
+            artifact.unlink()
+            artifact.detach()

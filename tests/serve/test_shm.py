@@ -1,0 +1,137 @@
+"""Shared-memory model artifacts: publish/attach round trip, lifetime."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.datasets.cache import profile_content_hash
+from repro.serve.shm import SHARE_MIN_BYTES, SharedModelArtifact
+
+
+@pytest.fixture(scope="module")
+def shm_model():
+    """A tree model big enough that several node tables clear the
+    sharing threshold (the conftest serving model stays under 1 KiB
+    per array on the two-loop network)."""
+    from repro.core import AquaScale
+    from repro.datasets import generate_dataset
+    from repro.ml import RandomForestClassifier
+    from repro.networks import two_loop_test_network
+
+    network = two_loop_test_network()
+    dataset = generate_dataset(network, 40, kind="single", seed=5)
+    model = AquaScale(
+        network,
+        iot_percent=100.0,
+        classifier=RandomForestClassifier(
+            n_estimators=16, max_depth=6, random_state=0
+        ),
+        seed=0,
+    )
+    model.train(dataset=dataset)
+    return model, dataset
+
+
+@pytest.fixture(scope="module")
+def artifact(shm_model):
+    model, _ = shm_model
+    published = SharedModelArtifact.publish("default", model)
+    yield published
+    published.unlink()
+    published.detach()
+
+
+class TestPublish:
+    def test_large_arrays_leave_the_skeleton(self, artifact):
+        assert artifact.n_shared_arrays >= 1
+        assert artifact.shared_nbytes >= SHARE_MIN_BYTES
+        assert len(artifact.manifest.skeleton) < len(
+            pickle.dumps(artifact.model, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    def test_offsets_are_cache_line_aligned(self, artifact):
+        assert all(spec.offset % 64 == 0 for spec in artifact.manifest.arrays)
+
+    def test_etag_matches_the_plain_pickle_hash(self, artifact):
+        payload = pickle.dumps(artifact.model, protocol=pickle.HIGHEST_PROTOCOL)
+        assert artifact.manifest.etag == profile_content_hash(payload)
+
+    def test_untrained_model_is_rejected(self, two_loop):
+        from repro.core import AquaScale
+
+        with pytest.raises(RuntimeError):
+            SharedModelArtifact.publish("nope", AquaScale(two_loop, seed=0))
+
+
+class TestAttach:
+    def test_round_trip_is_bit_identical(self, artifact, shm_model):
+        model, dataset = shm_model
+        rows = dataset.features_for(model.sensors)[:6]
+        reader = SharedModelArtifact.attach(artifact.manifest)
+        try:
+            direct = model.localize_batch(rows)
+            attached = reader.model.localize_batch(rows)
+            for reference, rebuilt in zip(direct, attached):
+                assert np.array_equal(
+                    reference.probabilities, rebuilt.probabilities
+                )
+        finally:
+            reader.detach()
+
+    def test_views_are_read_only_and_zero_copy(self, artifact):
+        reader = SharedModelArtifact.attach(artifact.manifest)
+        try:
+            flat = reader.model.engine.profile._model  # noqa: SLF001
+            shared = [
+                array
+                for array in _ndarrays_of(reader.model)
+                if array.nbytes >= SHARE_MIN_BYTES and not array.flags.owndata
+            ]
+            assert len(shared) == artifact.n_shared_arrays
+            with pytest.raises(ValueError):
+                shared[0][...] = 0.0
+            assert flat is not None
+        finally:
+            reader.detach()
+
+    def test_detach_reports_pinned_views(self, artifact):
+        reader = SharedModelArtifact.attach(artifact.manifest)
+        pinned = [
+            array
+            for array in _ndarrays_of(reader.model)
+            if not array.flags.owndata and array.nbytes >= SHARE_MIN_BYTES
+        ]
+        assert reader.detach() is False  # views in `pinned` keep it mapped
+        del pinned
+        import gc
+
+        gc.collect()  # the dropped model graph is cyclic
+        assert reader.detach() is True
+
+    def test_attach_after_unlink_raises(self, shm_model):
+        model, _ = shm_model
+        published = SharedModelArtifact.publish("ephemeral", model)
+        published.unlink()
+        published.unlink()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            SharedModelArtifact.attach(published.manifest)
+        published.detach()
+
+
+def _ndarrays_of(model) -> list[np.ndarray]:
+    """Every distinct ndarray reachable through the model's pickle walk."""
+    found: dict[int, np.ndarray] = {}
+
+    class Collector(pickle.Pickler):
+        def persistent_id(self, obj):
+            if isinstance(obj, np.ndarray):
+                found.setdefault(id(obj), obj)
+            return None
+
+    import io
+
+    Collector(io.BytesIO(), protocol=pickle.HIGHEST_PROTOCOL).dump(model)
+    return list(found.values())

@@ -9,6 +9,7 @@ from repro.verify import (
     diff_batched_vs_sequential,
     diff_crf_vs_independent,
     diff_njobs_training,
+    diff_cluster_vs_direct,
     diff_serve_vs_direct,
     diff_sparse_vs_dense,
     diff_warm_vs_cold,
@@ -92,6 +93,12 @@ class TestOracles:
         # The detail line carries the observed coalescing evidence.
         assert "mean batch" in report.detail
 
+    def test_cluster_vs_direct_bit_identical(self, two_loop):
+        report = diff_cluster_vs_direct(two_loop, seed=0, n_samples=10, n_requests=8)
+        assert report.passed, str(report)
+        assert report.bit_identical
+        assert report.tolerance == 0.0
+
     def test_quick_sweep_all_pass(self, two_loop):
         reports = run_differential_oracles(two_loop, seed=0, quick=True)
         assert [r.name for r in reports] == [
@@ -106,5 +113,6 @@ class TestOracles:
             "binned_vs_exact",
             "crf_vs_independent",
             "serve_vs_direct",
+            "cluster_vs_direct",
         ]
         assert all(r.passed for r in reports), [str(r) for r in reports]
