@@ -12,6 +12,12 @@ After the shifts, the trained model goes on duty as a network service:
 through `ServeClient` — the deployment mode of a real operations centre,
 where many dashboards share one model.
 
+The night ends with a storm drill: a robustness campaign certifies the
+deployment under drift (`repro.robustness`), a perturbed multi-leak case
+is localized through the service, `repro.flood` forecasts each suspect
+site's inundation, and crews are dispatched in order of expected
+customer impact — probability times customers flooded.
+
 Run:  python examples/operations_center.py        (~2 minutes)
 """
 
@@ -19,9 +25,99 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.failures import LeakEvent
+from repro.flood import dem_from_network, predict_flood
 from repro.networks import epanet_canonical
 from repro.platform import AquaScaleWorkflow
+from repro.robustness import NOMINAL_VALUES, draw_case, run_campaign
+from repro.robustness.campaign import _candidate_noise_std
+from repro.sensing import (
+    FLOW_NOISE_STD,
+    PRESSURE_NOISE_STD,
+    SteadyStateTelemetry,
+    sensor_column_indices,
+)
 from repro.serve import ServeClient, ServeConfig, start_in_background
+
+#: Rough per-customer base demand (m^3/s) used to turn junction demand
+#: into a customer count for dispatch ranking (~170 L/day per customer).
+DEMAND_PER_CUSTOMER = 2e-6
+
+
+def customers_at_risk(network, dem, flood, threshold: float = 0.001) -> int:
+    """Customers whose junction sits in a flooded DEM cell."""
+    affected = 0.0
+    for junction in network.junctions():
+        row, col = dem.cell_of(*junction.coordinates)
+        if flood.max_depth[row, col] > threshold:
+            affected += junction.base_demand
+    return int(round(affected / DEMAND_PER_CUSTOMER))
+
+
+def storm_drill(workflow, client) -> None:
+    """Campaign-certify the deployment, then plan one dispatch."""
+    network = workflow.core.network
+    print("  certifying the deployed layout under drift (quick campaign) ...")
+    certificate = run_campaign(
+        "epanet", quick=True, seed=0, workers=2, sensors=workflow.core.sensors
+    )
+    worst = min(certificate.cells(), key=lambda cell: cell.hit1)
+    print(
+        f"  robustness: nominal hit@1 {certificate.nominal.hit1:.2f}, worst "
+        f"cell {worst.axis}={worst.value:g} at {worst.hit1:.2f} — "
+        f"{'CERTIFIED' if certificate.passed else 'NOT CERTIFIED'}"
+    )
+
+    # One perturbed two-leak case, drawn with the campaign's own dice.
+    telemetry = SteadyStateTelemetry(network)
+    noise_std = _candidate_noise_std(telemetry)
+    values = dict(NOMINAL_VALUES, demand_sigma=0.1)
+    rng = np.random.default_rng(2024)
+    case = draw_case(
+        rng,
+        values,
+        network.junction_names(),
+        telemetry.slot_demand_array(0).shape[0],
+        noise_std,
+        slots_per_day=telemetry.slots_per_day,
+    )
+    deltas = telemetry.perturbed_deltas_batch(
+        [case.scenario],
+        case.factors[None, :],
+        elapsed_slots=3,
+        pressure_noise=PRESSURE_NOISE_STD,
+        flow_noise=FLOW_NOISE_STD,
+        rngs=[rng],
+    )
+    columns = sensor_column_indices(
+        telemetry.candidate_keys(), workflow.core.sensors
+    )
+    reply = client.localize(deltas[0, columns])
+    truth = sorted(case.scenario.leak_nodes)
+    print(f"  drill ground truth : {truth}")
+    print(f"  service localized  : {sorted(reply.leak_nodes)}")
+
+    # Rank dispatch targets by expected customer impact: P(leak there)
+    # times the customers a burst at that site would flood.
+    junctions = network.junction_names()
+    probability = dict(zip(junctions, reply.probabilities))
+    suspects = sorted(probability, key=probability.get, reverse=True)[:3]
+    dem = dem_from_network(network, cell_size=50.0)
+    ranking = []
+    for node in suspects:
+        event = LeakEvent(location=node, size=3e-3, start_slot=0)
+        _, flood = predict_flood(
+            network, [event], duration=7200.0, cell_size=50.0, dem=dem
+        )
+        at_risk = customers_at_risk(network, dem, flood)
+        ranking.append((probability[node] * at_risk, node, at_risk))
+    ranking.sort(reverse=True)
+    print("  dispatch order (P x customers at risk):")
+    for rank, (score, node, at_risk) in enumerate(ranking, start=1):
+        print(
+            f"    {rank}. {node}: p={probability[node]:.2f}, "
+            f"~{at_risk} customers if it bursts (score {score:.1f})"
+        )
 
 
 def main() -> None:
@@ -81,6 +177,9 @@ def main() -> None:
             )
             quiet = sum(1 for r in replies if not r.leak_nodes)
             print(f"  quiet readings: {quiet}/{len(replies)}")
+
+            print("\n=== 03:40 storm drill: certify, localize, dispatch ===")
+            storm_drill(workflow, client)
     print("  service drained cleanly — see docs/serving.md")
 
 

@@ -21,6 +21,11 @@ baseline — this is how the serving tier's latency objective is enforced
 as a number, not a ratio: a slow committed run must not launder a slow
 fresh run.
 
+``--floor NAME=LIMIT`` is the mirror image: the fresh value must be at
+*least* ``LIMIT``.  Quality metrics (the robustness campaign's nominal
+hit@1) are gated this way so an accuracy collapse fails CI even though
+it makes every timing gate happier.
+
 Usage::
 
     python scripts/check_bench_regression.py BENCH_pipeline.json BENCH_fresh.json
@@ -31,6 +36,9 @@ Usage::
         --benchmark steady.eps_city10k_seconds
     python scripts/check_bench_regression.py BENCH_pipeline.json BENCH_fresh.json \\
         --benchmark serve.latency_ms.p99 --slo serve.latency_ms.p99=50
+    python scripts/check_bench_regression.py BENCH_pipeline.json BENCH_fresh.json \\
+        --benchmark robustness.seconds_per_draw \\
+        --floor robustness.hit1_nominal=0.3
 """
 
 from __future__ import annotations
@@ -93,27 +101,38 @@ def main(argv: list[str] | None = None) -> int:
         help="absolute ceiling on a fresh-report value (dotted path), "
              "e.g. serve.latency_ms.p99=50; repeatable",
     )
+    parser.add_argument(
+        "--floor",
+        action="append",
+        default=None,
+        metavar="NAME=LIMIT",
+        help="absolute floor on a fresh-report value (dotted path), "
+             "e.g. robustness.hit1_nominal=0.3; repeatable",
+    )
     args = parser.parse_args(argv)
     names = args.benchmark or ["test_phase1_profile_training"]
 
     worst = 0
-    for spec in args.slo or []:
-        name, sep, limit_text = spec.partition("=")
-        if not sep:
-            print(f"--slo {spec!r} is not NAME=LIMIT")
-            return 2
-        limit = float(limit_text)
-        fresh = mean_seconds(args.fresh, name)
-        if fresh is None:
-            print(f"{name} missing from {args.fresh}; did the run fail?")
-            worst = 1
-            continue
-        ok = fresh <= limit
-        print(
-            f"{name}: fresh {fresh:g}, SLO ceiling {limit:g} "
-            f"-> {'OK' if ok else 'SLO VIOLATION'}"
-        )
-        worst = max(worst, 0 if ok else 1)
+    for flag, specs, ceiling in (
+        ("--slo", args.slo or [], True),
+        ("--floor", args.floor or [], False),
+    ):
+        for spec in specs:
+            name, sep, limit_text = spec.partition("=")
+            if not sep:
+                print(f"{flag} {spec!r} is not NAME=LIMIT")
+                return 2
+            limit = float(limit_text)
+            fresh = mean_seconds(args.fresh, name)
+            if fresh is None:
+                print(f"{name} missing from {args.fresh}; did the run fail?")
+                worst = 1
+                continue
+            ok = fresh <= limit if ceiling else fresh >= limit
+            kind = "SLO ceiling" if ceiling else "floor"
+            bad = "SLO VIOLATION" if ceiling else "BELOW FLOOR"
+            print(f"{name}: fresh {fresh:g}, {kind} {limit:g} -> {'OK' if ok else bad}")
+            worst = max(worst, 0 if ok else 1)
     for name in names:
         committed = mean_seconds(args.committed, name)
         fresh = mean_seconds(args.fresh, name)

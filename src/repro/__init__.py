@@ -19,6 +19,12 @@ Subpackages:
     datasets:     simulation-driven sample generation.
     platform:     Sec-VI workflow modules (observe-analyze-adapt).
     experiments:  per-figure reproduction drivers.
+    analysis:     centrality localization, isolation planning.
+    stream:       always-on runtime (trigger detection, online loop).
+    inference:    factor-graph/CRF aggregation over the pipe network.
+    serve:        localization as a TCP service (micro-batching, shm).
+    robustness:   Monte Carlo drift campaigns, placement search.
+    verify:       physics oracles, differential checks, goldens, fuzz.
 """
 
 __version__ = "1.0.0"

@@ -267,6 +267,66 @@ def _add_verify(sub: argparse._SubParsersAction) -> None:
     parser.add_argument("--workers", type=int, default=4)
 
 
+def _add_robustness(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "robustness",
+        help="Monte Carlo robustness campaigns and localization-aware placement",
+    )
+    actions = parser.add_subparsers(dest="action", required=True)
+
+    run = actions.add_parser(
+        "run", help="sweep the perturbation axes and emit a robustness report"
+    )
+    run.add_argument("--network", default="epanet")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="campaign process-pool width (bit-identical to serial)",
+    )
+    run.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized sweep: trimmed axes and draw caps",
+    )
+    run.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON report here",
+    )
+    run.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report instead of the table",
+    )
+
+    report = actions.add_parser(
+        "report", help="render a previously written robustness report"
+    )
+    report.add_argument("path", help="JSON report written by `robustness run`")
+
+    place = actions.add_parser(
+        "place", help="greedily add the sensors that most improve campaign hit@1"
+    )
+    place.add_argument("--network", default="epanet")
+    place.add_argument("--add", type=int, default=2, metavar="N")
+    place.add_argument("--seed", type=int, default=0)
+    place.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized evaluation sweep",
+    )
+    place.add_argument(
+        "--iot-percent", type=float, default=10.0,
+        help="starting k-medoids deployment penetration",
+    )
+    place.add_argument("--max-candidates", type=int, default=24)
+    place.add_argument("--draws-per-cell", type=int, default=6)
+    place.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON placement trace here",
+    )
+    place.add_argument(
+        "--json", action="store_true",
+        help="print the JSON trace instead of the table",
+    )
+
+
 def _add_bench(sub: argparse._SubParsersAction) -> None:
     parser = sub.add_parser(
         "bench", help="run the perf suite and write BENCH_pipeline.json"
@@ -324,6 +384,12 @@ def _add_bench(sub: argparse._SubParsersAction) -> None:
              "dataset engine against the sequential engine on --network "
              "and merge it into --out",
     )
+    parser.add_argument(
+        "--robustness", action="store_true",
+        help="only run the robustness campaign benchmark (wall time, "
+             "seconds per draw, nominal hit@1, pass/fail) and merge it "
+             "into --out",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -346,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stream(sub)
     _add_serve(sub)
     _add_verify(sub)
+    _add_robustness(sub)
     _add_bench(sub)
     return parser
 
@@ -1024,6 +1091,7 @@ def _bench_steady(args) -> int:
 
     from .hydraulics import GGASolver, TimedLeak, simulate
     from .networks import build_network
+    from .verify.streams import case_streams
 
     netkey = args.network.replace("-", "").replace("_", "")
     print(f"building {args.network} ...")
@@ -1037,7 +1105,7 @@ def _bench_steady(args) -> int:
     eps_step = 900.0
 
     leak_sets = []
-    for child in np.random.SeedSequence(1234).spawn(n_scenarios):
+    for child in case_streams(1234, n_scenarios):
         rng = np.random.default_rng(child)
         chosen = rng.choice(len(junctions), size=min(3, len(junctions)),
                             replace=False)
@@ -1244,6 +1312,58 @@ def _bench_batched(args) -> int:
     return 0
 
 
+def _bench_robustness(args) -> int:
+    """Run the robustness-campaign benchmark and merge it into --out.
+
+    Times one full campaign sweep (quick axes under ``--quick``) on
+    ``--network`` and commits wall time, a draw-normalized rate, the
+    nominal cell's hit@1 and the report's pass/fail verdict — the CI
+    bench-smoke job gates on ``seconds_per_draw`` (ratio) and
+    ``hit1_nominal`` (floor).
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from .robustness import run_campaign
+
+    print(
+        f"running {'quick ' if args.quick else ''}robustness campaign on "
+        f"{args.network} (workers={args.workers}) ..."
+    )
+    # Warm the dataset cache so wall time measures the campaign itself.
+    t0 = time.perf_counter()
+    result = run_campaign(
+        args.network, seed=0, workers=args.workers, quick=args.quick
+    )
+    wall_seconds = time.perf_counter() - t0
+    total_draws = int(result.convergence.get("total_draws", 0))
+    section = {
+        "network": args.network,
+        "quick": bool(args.quick),
+        "workers": args.workers,
+        "n_cells": int(result.convergence.get("n_cells", 0)),
+        "total_draws": total_draws,
+        "wall_seconds": round(wall_seconds, 3),
+        "seconds_per_draw": round(wall_seconds / max(total_draws, 1), 6),
+        "hit1_nominal": result.nominal.hit1,
+        "accuracy_nominal": result.nominal.accuracy,
+        "detection_rate_nominal": result.nominal.detection_rate,
+        "passed": bool(result.passed),
+    }
+    out = Path(args.out)
+    report = json.loads(out.read_text()) if out.exists() else {}
+    report["robustness"] = section
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"robustness {args.network}: {wall_seconds:.2f}s for {total_draws} "
+        f"draws ({section['seconds_per_draw']*1000:.1f} ms/draw), nominal "
+        f"hit@1 {result.nominal.hit1:.3f}, "
+        f"{'PASS' if result.passed else 'FAIL'} (merged into {out})"
+    )
+    return 0 if result.passed else 1
+
+
 def cmd_bench(args) -> int:
     """Time the scenario engine (and perf suite) into a JSON report."""
     import json
@@ -1266,6 +1386,8 @@ def cmd_bench(args) -> int:
         return _bench_steady(args)
     if args.batched:
         return _bench_batched(args)
+    if args.robustness:
+        return _bench_robustness(args)
     network = build_network(args.network)
     n_samples = min(args.samples, 50) if args.quick else args.samples
 
@@ -1473,6 +1595,59 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_robustness(args) -> int:
+    """Run/render robustness campaigns and the placement search."""
+    from .robustness import iterative_placement, run_campaign
+    from .robustness.report import RobustnessReport
+
+    if args.action == "run":
+        result = run_campaign(
+            args.network,
+            seed=args.seed,
+            workers=args.workers,
+            quick=args.quick,
+        )
+        if args.out:
+            path = result.write(args.out)
+            print(f"wrote {path}", flush=True)
+        if args.json:
+            print(result.to_json(), end="")
+        else:
+            for line in result.lines():
+                print(line)
+        return 0 if result.passed else 1
+
+    if args.action == "report":
+        result = RobustnessReport.read(args.path)
+        for line in result.lines():
+            print(line)
+        return 0 if result.passed else 1
+
+    # action == "place"
+    deployment, trace = iterative_placement(
+        args.network,
+        add=args.add,
+        seed=args.seed,
+        iot_percent=args.iot_percent,
+        max_candidates=args.max_candidates,
+        draws_per_cell=args.draws_per_cell,
+        quick=args.quick,
+    )
+    if args.out:
+        from pathlib import Path
+
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(trace.to_json())
+        print(f"wrote {path}", flush=True)
+    if args.json:
+        print(trace.to_json(), end="")
+    else:
+        for line in trace.lines():
+            print(line)
+    return 0
+
+
 def cmd_verify(args) -> int:
     """Run the verification sweep and print its report."""
     from .verify import run_verify
@@ -1504,6 +1679,7 @@ _HANDLERS = {
     "stream": cmd_stream,
     "serve": cmd_serve,
     "verify": cmd_verify,
+    "robustness": cmd_robustness,
     "bench": cmd_bench,
 }
 

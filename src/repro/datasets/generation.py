@@ -33,6 +33,7 @@ import numpy as np
 from ..failures import FailureScenario, ScenarioGenerator
 from ..hydraulics import WaterNetwork
 from ..sensing import SensorNetwork, SteadyStateTelemetry, sensor_column_indices
+from ..verify.streams import case_streams
 
 
 @dataclass
@@ -299,7 +300,7 @@ def generate_dataset(
     # One noise stream per scenario, spawned from a single root: the
     # stream for scenario i depends only on (seed, i), never on which
     # process evaluates it or in what order.
-    seeds = np.random.SeedSequence(seed + 1).spawn(len(scenarios))
+    seeds = case_streams(seed + 1, len(scenarios))
     # Baselines for every slot the batch touches, solved once here.
     baselines = telemetry.compute_baselines(
         _needed_slots(scenarios, elapsed_slots, telemetry.slots_per_day)

@@ -1,0 +1,221 @@
+"""Perturbation axes and campaign configuration.
+
+A robustness campaign measures localization quality as a function of
+*one* deployment-drift axis at a time, everything else held at its
+nominal value — the axis-swept accuracy surfaces the paper's fixed-point
+evaluation never drew.  Five axes are modelled:
+
+``demand_sigma``
+    Demand-forecast error: every junction demand is scaled by an i.i.d.
+    multiplicative lognormal factor ``exp(sigma * z - sigma^2 / 2)``
+    (mean-preserving), perturbing baseline and leak states alike.
+``sensor_dropout``
+    Probability that a deployed device is dead for a case; dead sensors
+    surface as NaN feature columns, exactly like the streaming runtime's
+    masked sensors, and the profile model imputes them as no-evidence.
+``sensor_bias``
+    Systematic mis-calibration: each surviving sensor carries a constant
+    offset of ``bias * noise_std * z`` (one ``z`` per sensor per case) —
+    an offset the Δ-feature does *not* cancel because it enters between
+    the paired readings.
+``noise_scale``
+    Multiplier on both modality noise stds (pressure and flow).
+``leak_count``
+    Exact number of concurrent leak events per scenario (the paper
+    varies this only between figures).
+
+The convergence policy is Branitz2-style: per cell, draws accumulate in
+fixed batches until the hit@1 estimate's normal-approximation CI
+half-width falls under ``ci_halfwidth`` or ``max_draws`` hits; both the
+draw count and the final half-width land in the report's convergence
+metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+
+#: Recognised axis names, in canonical sweep order.
+AXIS_NAMES = (
+    "demand_sigma",
+    "sensor_dropout",
+    "sensor_bias",
+    "noise_scale",
+    "leak_count",
+)
+
+#: Value each axis takes when another axis is being swept.
+NOMINAL_VALUES = {
+    "demand_sigma": 0.0,
+    "sensor_dropout": 0.0,
+    "sensor_bias": 0.0,
+    "noise_scale": 1.0,
+    "leak_count": 2.0,
+}
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """One swept perturbation axis.
+
+    Attributes:
+        name: one of :data:`AXIS_NAMES`.
+        values: the sweep grid for this axis; every other axis sits at
+            its :data:`NOMINAL_VALUES` entry while this one is swept.
+    """
+
+    name: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in AXIS_NAMES:
+            raise ValueError(
+                f"unknown axis {self.name!r}; expected one of {AXIS_NAMES}"
+            )
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} has an empty value grid")
+        if self.name == "leak_count" and any(
+            v < 1 or v != int(v) for v in self.values
+        ):
+            raise ValueError("leak_count values must be positive integers")
+        if self.name != "leak_count" and any(v < 0 for v in self.values):
+            raise ValueError(f"axis {self.name!r} values must be >= 0")
+
+
+#: The default sweep: every axis, grids wide enough to show the knee.
+DEFAULT_AXES = (
+    AxisSpec("demand_sigma", (0.0, 0.05, 0.1, 0.2)),
+    AxisSpec("sensor_dropout", (0.0, 0.1, 0.25)),
+    AxisSpec("sensor_bias", (0.0, 1.0, 3.0)),
+    AxisSpec("noise_scale", (0.5, 1.0, 2.0, 4.0)),
+    AxisSpec("leak_count", (1.0, 2.0, 3.0, 5.0)),
+)
+
+#: The CI-sized sweep (still >= 3 axes, as the report contract requires).
+QUICK_AXES = (
+    AxisSpec("demand_sigma", (0.0, 0.1, 0.3)),
+    AxisSpec("sensor_dropout", (0.0, 0.25)),
+    AxisSpec("noise_scale", (1.0, 3.0)),
+    AxisSpec("leak_count", (1.0, 3.0)),
+)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the campaign grid.
+
+    Attributes:
+        axis: swept axis name, or ``"nominal"`` for the all-nominal cell.
+        value: the swept axis's value (nominal cells repeat the nominal).
+        index: position in the campaign's deterministic cell enumeration
+            — the cell's SeedSequence stream index, so a cell's draws
+            are a pure function of ``(campaign seed, index)``.
+        values: the full axis-name -> value mapping for this cell.
+    """
+
+    axis: str
+    value: float
+    index: int
+    values: dict[str, float] = field(hash=False, compare=True, default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that determines a campaign's output besides the seed.
+
+    Attributes:
+        axes: swept axes (the report requires at least 3).
+        classifier: Phase-I technique for the campaign model.
+        iot_percent: deployment penetration for the default (k-medoids)
+            layout when no explicit sensor set is given.
+        n_train: training scenarios for the campaign model.
+        train_kind: scenario kind for training data.
+        max_events: training ``U(1, m)`` bound.
+        elapsed_slots: the paper's ``n`` for Δ-features.
+        min_draws: draws every cell runs before convergence may stop it.
+        max_draws: hard per-cell draw cap.
+        batch_draws: draws added per adaptive batch (one batched solve).
+        ci_halfwidth: stop once the hit@1 CI half-width is under this.
+        ci_z: normal quantile for the CI (1.96 ~ 95%).
+        min_nominal_hit1: pass/fail floor on the nominal cell's hit@1.
+        min_cell_accuracy: pass/fail floor on every cell's hamming score.
+    """
+
+    axes: tuple[AxisSpec, ...] = DEFAULT_AXES
+    classifier: str = "logistic"
+    iot_percent: float = 40.0
+    n_train: int = 200
+    train_kind: str = "multi"
+    max_events: int = 3
+    elapsed_slots: int = 2
+    min_draws: int = 24
+    max_draws: int = 96
+    batch_draws: int = 24
+    ci_halfwidth: float = 0.08
+    ci_z: float = 1.96
+    min_nominal_hit1: float = 0.25
+    min_cell_accuracy: float = 0.8
+
+    def __post_init__(self) -> None:
+        if len(self.axes) < 3:
+            raise ValueError("a campaign needs at least 3 perturbation axes")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axes in {names}")
+        if not 1 <= self.min_draws <= self.max_draws:
+            raise ValueError("need 1 <= min_draws <= max_draws")
+        if self.batch_draws < 1:
+            raise ValueError("batch_draws must be >= 1")
+        if self.ci_halfwidth <= 0:
+            raise ValueError("ci_halfwidth must be > 0")
+
+    def cells(self) -> list[Cell]:
+        """The campaign grid: one nominal cell, then every axis value.
+
+        The enumeration order is part of the campaign's contract — cell
+        ``i`` draws from SeedSequence child ``i`` of the campaign seed,
+        so reordering cells would change results.
+        """
+        out = [Cell("nominal", 0.0, 0, dict(NOMINAL_VALUES))]
+        for axis in self.axes:
+            for value in axis.values:
+                values = dict(NOMINAL_VALUES)
+                values[axis.name] = float(value)
+                out.append(Cell(axis.name, float(value), len(out), values))
+        return out
+
+    def as_dict(self) -> dict:
+        """JSON-ready config echo (golden invalidation compares this)."""
+        payload = asdict(self)
+        payload["axes"] = [
+            {"name": axis.name, "values": list(axis.values)} for axis in self.axes
+        ]
+        return payload
+
+
+def quick_config(**overrides) -> CampaignConfig:
+    """The CI-sized campaign: trimmed axes and draw caps.
+
+    ``n_train`` deliberately matches the full default so quick and full
+    campaigns share one cached training dataset per network.
+    """
+    config = CampaignConfig(
+        axes=QUICK_AXES,
+        min_draws=8,
+        max_draws=24,
+        batch_draws=8,
+        ci_halfwidth=0.12,
+    )
+    return replace(config, **overrides) if overrides else config
+
+
+__all__ = [
+    "AXIS_NAMES",
+    "AxisSpec",
+    "CampaignConfig",
+    "Cell",
+    "DEFAULT_AXES",
+    "NOMINAL_VALUES",
+    "QUICK_AXES",
+    "quick_config",
+]

@@ -1,0 +1,490 @@
+"""The Monte Carlo campaign runner.
+
+A campaign certifies one trained deployment: for every cell of the
+perturbation grid (see :mod:`~repro.robustness.axes`) it draws failure
+cases under that cell's drift conditions, pushes them through the
+*batched* hydraulic engine and the Phase-II inference stack, and
+accumulates localization metrics until the hit@1 estimate converges.
+
+Determinism contract (the part ``repro verify`` enforces):
+
+* cell ``i`` draws from SeedSequence child ``i`` of the campaign seed
+  (:func:`~repro.verify.streams.case_streams` — the fuzzer's
+  discipline); draw ``j`` of a cell comes from sub-child ``j``
+  (:func:`~repro.verify.streams.substreams`), so batch boundaries never
+  leak into the stream;
+* each draw consumes its RNG in a fixed order — start slot, leak
+  locations, leak sizes, demand factors, dropout uniforms, bias
+  normals, then reading noise — so every case replays in isolation;
+* cells are embarrassingly parallel pure functions; ``workers=N``
+  assembles the identical report a serial run does, bit for bit.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import LeakInferenceEngine, ProfileModel
+from ..failures import FailureScenario, LeakEvent
+from ..failures.events import DEFAULT_EC_RANGE
+from ..hydraulics import WaterNetwork
+from ..networks import build_network
+from ..sensing import (
+    FLOW_NOISE_STD,
+    PRESSURE_NOISE_STD,
+    SensorNetwork,
+    SteadyStateTelemetry,
+    kmedoids_placement,
+    percentage_to_count,
+    sensor_column_indices,
+)
+from ..sensing.optimization import DETECTION_SIGMAS
+from ..verify.streams import case_streams, stream_rng, substreams
+from .axes import CampaignConfig, Cell, quick_config
+from .report import CellResult, RobustnessReport
+
+
+def _candidate_noise_std(telemetry: SteadyStateTelemetry) -> np.ndarray:
+    """Per-candidate reading-noise stds (pressure nodes, then flow links)."""
+    return np.concatenate(
+        [
+            np.full(telemetry._n_nodes, PRESSURE_NOISE_STD),
+            np.full(telemetry._n_links, FLOW_NOISE_STD),
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class DrawCase:
+    """One Monte Carlo draw, fully materialised before hydraulics.
+
+    Attributes:
+        scenario: the concurrent-leak failure to localize.
+        factors: per-junction multiplicative demand factors
+            (``GGASolver.junction_names`` order).
+        dropped: per-*candidate* dead-device mask — indexed by candidate
+            column so the same draw is meaningful under any layout (the
+            placement search compares layouts on identical draws).
+        bias: per-candidate systematic reading offset (same indexing).
+    """
+
+    scenario: FailureScenario
+    factors: np.ndarray
+    dropped: np.ndarray
+    bias: np.ndarray
+
+
+def draw_case(
+    rng: np.random.Generator,
+    values: dict[str, float],
+    junction_names: list[str],
+    n_solver_junctions: int,
+    noise_std: np.ndarray,
+    slots_per_day: int = 96,
+    ec_range: tuple[float, float] = DEFAULT_EC_RANGE,
+) -> DrawCase:
+    """Materialise one draw from a cell's per-draw stream.
+
+    The RNG consumption order is part of the campaign's determinism
+    contract (see the module docstring); reordering any draw here is a
+    breaking change that invalidates committed robustness goldens.
+    """
+    n_candidates = len(noise_std)
+    start_slot = int(rng.integers(1, slots_per_day))
+    count = min(int(values["leak_count"]), len(junction_names))
+    locations = rng.choice(junction_names, size=count, replace=False)
+    low, high = ec_range
+    sizes = np.exp(rng.uniform(np.log(low), np.log(high), size=count))
+    events = tuple(
+        LeakEvent(location=str(loc), size=float(size), start_slot=start_slot)
+        for loc, size in zip(locations, sizes)
+    )
+    scenario = FailureScenario(events=events, start_slot=start_slot)
+    sigma = float(values["demand_sigma"])
+    if sigma > 0:
+        # Mean-preserving lognormal: E[exp(sigma z - sigma^2/2)] = 1.
+        z = rng.standard_normal(n_solver_junctions)
+        factors = np.exp(sigma * z - 0.5 * sigma * sigma)
+    else:
+        factors = np.ones(n_solver_junctions)
+    rate = float(values["sensor_dropout"])
+    if rate > 0:
+        dropped = rng.random(n_candidates) < rate
+    else:
+        dropped = np.zeros(n_candidates, dtype=bool)
+    bias_sigmas = float(values["sensor_bias"])
+    if bias_sigmas > 0:
+        bias = bias_sigmas * noise_std * rng.standard_normal(n_candidates)
+    else:
+        bias = np.zeros(n_candidates)
+    return DrawCase(scenario=scenario, factors=factors, dropped=dropped, bias=bias)
+
+
+def _evaluate_cell(
+    telemetry: SteadyStateTelemetry,
+    engine: LeakInferenceEngine,
+    columns: np.ndarray,
+    noise_std: np.ndarray,
+    config: CampaignConfig,
+    seed: int,
+    n_cells: int,
+    cell: Cell,
+) -> CellResult:
+    """Run one grid cell to convergence; a pure function of its inputs."""
+    values = cell.values
+    noise_scale = float(values["noise_scale"])
+    stream = case_streams(seed, n_cells)[cell.index]
+    profile = engine.profile
+    junction_names = profile.junction_names
+    n_solver_junctions = telemetry.slot_demand_array(0).shape[0]
+    window = np.sqrt(1.0 + 1.0 / max(config.elapsed_slots, 1))
+    threshold = DETECTION_SIGMAS * noise_std[columns] * noise_scale * window
+
+    hit1, hit3, accuracy, detected = [], [], [], []
+    drawn = 0
+    n_failed = 0
+    batches = 0
+    halfwidth = float("inf")
+    while True:
+        batch = min(config.batch_draws, config.max_draws - drawn)
+        if batch <= 0:
+            break
+        cases, rngs = [], []
+        for child in substreams(stream, drawn, batch):
+            rng = stream_rng(child)
+            cases.append(
+                draw_case(
+                    rng,
+                    values,
+                    junction_names,
+                    n_solver_junctions,
+                    noise_std,
+                    slots_per_day=telemetry.slots_per_day,
+                )
+            )
+            rngs.append(rng)
+        deltas = telemetry.perturbed_deltas_batch(
+            [case.scenario for case in cases],
+            np.stack([case.factors for case in cases]),
+            elapsed_slots=config.elapsed_slots,
+            pressure_noise=PRESSURE_NOISE_STD * noise_scale,
+            flow_noise=FLOW_NOISE_STD * noise_scale,
+            rngs=rngs,
+            allow_failures=True,
+        )
+        rows, row_cases = [], []
+        for k, case in enumerate(cases):
+            if np.isnan(deltas[k, 0]):
+                n_failed += 1
+                continue
+            feature = deltas[k, columns] + case.bias[columns]
+            live = ~case.dropped[columns]
+            detected.append(bool(np.any(np.abs(feature[live]) > threshold[live])))
+            feature = feature.copy()
+            feature[~live] = np.nan
+            rows.append(feature)
+            row_cases.append(case)
+        if rows:
+            results = engine.infer_batch(np.vstack(rows))
+            for case, result in zip(row_cases, results):
+                truth = case.scenario.leak_nodes
+                suspects = [name for name, _ in result.top_suspects(3)]
+                hit1.append(suspects[0] in truth)
+                hit3.append(bool(truth.intersection(suspects)))
+                accuracy.append(
+                    float(
+                        np.mean(
+                            result.label_vector()
+                            == case.scenario.label_vector(junction_names)
+                        )
+                    )
+                )
+        drawn += batch
+        batches += 1
+        n_ok = len(hit1)
+        if n_ok:
+            p = float(np.mean(hit1))
+            halfwidth = config.ci_z * np.sqrt(p * (1.0 - p) / n_ok)
+        if drawn >= config.min_draws and (
+            halfwidth <= config.ci_halfwidth or drawn >= config.max_draws
+        ):
+            break
+    rate = float(np.mean(detected)) if detected else 0.0
+    return CellResult(
+        axis=cell.axis,
+        value=cell.value,
+        values=dict(values),
+        n_draws=drawn,
+        n_failed=n_failed,
+        batches=batches,
+        hit1=float(np.mean(hit1)) if hit1 else 0.0,
+        hit3=float(np.mean(hit3)) if hit3 else 0.0,
+        accuracy=float(np.mean(accuracy)) if accuracy else 0.0,
+        detection_rate=rate,
+        detection_latency_slots=float(config.elapsed_slots) if rate > 0 else None,
+        ci_halfwidth=float(halfwidth) if np.isfinite(halfwidth) else float("inf"),
+        converged=bool(halfwidth <= config.ci_halfwidth),
+    )
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing: workers evaluate whole cells, which are pure
+# functions of (network, profile, config, seed, cell index) — so the
+# assignment of cells to processes cannot affect any result.
+# ----------------------------------------------------------------------
+_WORKER_STATE: dict = {}
+
+
+def _campaign_worker_init(network, profile, config, seed, n_cells, baselines):
+    """Pool initializer: build per-process telemetry/inference state."""
+    telemetry = SteadyStateTelemetry(network)
+    telemetry.preload_baselines(baselines)
+    _WORKER_STATE.update(
+        telemetry=telemetry,
+        engine=LeakInferenceEngine(profile),
+        columns=sensor_column_indices(
+            telemetry.candidate_keys(), profile.sensor_network
+        ),
+        noise_std=_candidate_noise_std(telemetry),
+        config=config,
+        seed=seed,
+        n_cells=n_cells,
+    )
+
+
+def _campaign_worker_cell(cell: Cell) -> tuple[int, CellResult]:
+    """Evaluate one cell inside a pool worker."""
+    s = _WORKER_STATE
+    return cell.index, _evaluate_cell(
+        s["telemetry"],
+        s["engine"],
+        s["columns"],
+        s["noise_std"],
+        s["config"],
+        s["seed"],
+        s["n_cells"],
+        cell,
+    )
+
+
+class CampaignRunner:
+    """Sweeps the perturbation grid for one fitted deployment.
+
+    Args:
+        network: the certified network.
+        profile: a *fitted* Phase-I :class:`~repro.core.ProfileModel`
+            (see :func:`train_campaign_model`).
+        config: campaign knobs; defaults to :class:`CampaignConfig`.
+        seed: campaign master seed (independent of the training seed).
+        network_name: label recorded in the report (catalog name).
+    """
+
+    def __init__(
+        self,
+        network: WaterNetwork,
+        profile: ProfileModel,
+        config: CampaignConfig | None = None,
+        seed: int = 0,
+        network_name: str = "custom",
+    ):
+        self.network = network
+        self.profile = profile
+        self.config = config or CampaignConfig()
+        self.seed = seed
+        self.network_name = network_name
+
+    def run(self, workers: int = 1) -> RobustnessReport:
+        """Evaluate every grid cell and assemble the report.
+
+        ``workers > 1`` fans cells out over a process pool; the report
+        is bit-identical to a serial run (cells are pure functions and
+        results are reassembled in cell order).
+        """
+        cells = self.config.cells()
+        telemetry = SteadyStateTelemetry(self.network)
+        baselines = telemetry.compute_baselines(range(telemetry.slots_per_day))
+        if workers and workers > 1:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_campaign_worker_init,
+                initargs=(
+                    self.network,
+                    self.profile,
+                    self.config,
+                    self.seed,
+                    len(cells),
+                    baselines,
+                ),
+            ) as pool:
+                by_index = dict(pool.map(_campaign_worker_cell, cells))
+        else:
+            engine = LeakInferenceEngine(self.profile)
+            columns = sensor_column_indices(
+                telemetry.candidate_keys(), self.profile.sensor_network
+            )
+            noise_std = _candidate_noise_std(telemetry)
+            by_index = {
+                cell.index: _evaluate_cell(
+                    telemetry,
+                    engine,
+                    columns,
+                    noise_std,
+                    self.config,
+                    self.seed,
+                    len(cells),
+                    cell,
+                )
+                for cell in cells
+            }
+        ordered = [by_index[i] for i in range(len(cells))]
+        return self._assemble(ordered)
+
+    def _assemble(self, ordered: list[CellResult]) -> RobustnessReport:
+        """Group cell results per axis and judge the declared thresholds."""
+        config = self.config
+        nominal = ordered[0]
+        axes = []
+        cursor = 1
+        for axis in config.axes:
+            count = len(axis.values)
+            axes.append(
+                {
+                    "axis": axis.name,
+                    "values": [float(v) for v in axis.values],
+                    "cells": ordered[cursor : cursor + count],
+                }
+            )
+            cursor += count
+        total_draws = sum(c.n_draws for c in ordered)
+        failed = sum(c.n_failed for c in ordered)
+        checks = {
+            "nominal_hit1": nominal.hit1 >= config.min_nominal_hit1,
+            "cell_accuracy": all(
+                c.accuracy >= config.min_cell_accuracy for c in ordered
+            ),
+            "hydraulic_failures": failed <= 0.2 * total_draws,
+        }
+        return RobustnessReport(
+            network=self.network_name,
+            seed=self.seed,
+            config=config.as_dict(),
+            sensors=self.profile.sensor_network.keys(),
+            nominal=nominal,
+            axes=axes,
+            thresholds={
+                "min_nominal_hit1": config.min_nominal_hit1,
+                "min_cell_accuracy": config.min_cell_accuracy,
+                "max_failed_draw_fraction": 0.2,
+            },
+            checks=checks,
+            passed=all(checks.values()),
+            convergence={
+                "total_draws": total_draws,
+                "failed_draws": failed,
+                "n_cells": len(ordered),
+                "converged_cells": sum(c.converged for c in ordered),
+                "min_draws": config.min_draws,
+                "max_draws": config.max_draws,
+                "ci_halfwidth_target": config.ci_halfwidth,
+            },
+        )
+
+
+def campaign_dataset(
+    network: WaterNetwork,
+    config: CampaignConfig,
+    seed: int = 0,
+    network_name: str | None = None,
+):
+    """The campaign model's training dataset, via the dataset cache.
+
+    A catalog ``network_name`` routes through
+    :func:`repro.experiments.common.cached_dataset` (per-process memo +
+    optional ``REPRO_DATASET_CACHE`` disk bundles); anonymous networks
+    generate directly.  Both paths use ``engine="batched"``, which is
+    bit-identical to sequential generation.
+    """
+    if network_name is not None:
+        from ..experiments.common import cached_dataset
+
+        return cached_dataset(
+            network_name,
+            config.n_train,
+            config.train_kind,
+            seed,
+            elapsed_slots=config.elapsed_slots,
+            max_events=config.max_events,
+            engine="batched",
+        )
+    from ..datasets import generate_dataset
+
+    return generate_dataset(
+        network,
+        config.n_train,
+        kind=config.train_kind,
+        seed=seed,
+        elapsed_slots=config.elapsed_slots,
+        max_events=config.max_events,
+        engine="batched",
+    )
+
+
+def train_campaign_model(
+    network: WaterNetwork,
+    config: CampaignConfig,
+    seed: int = 0,
+    sensors: SensorNetwork | None = None,
+    network_name: str | None = None,
+) -> ProfileModel:
+    """Phase-I model for a campaign: k-medoids layout + cached dataset."""
+    if sensors is None:
+        n_sensors = percentage_to_count(network, config.iot_percent)
+        sensors = kmedoids_placement(network, n_sensors, seed=seed)
+    dataset = campaign_dataset(network, config, seed=seed, network_name=network_name)
+    return ProfileModel(
+        network, sensors, classifier=config.classifier, random_state=seed
+    ).fit(dataset)
+
+
+def run_campaign(
+    network_name: str,
+    config: CampaignConfig | None = None,
+    seed: int = 0,
+    workers: int = 1,
+    quick: bool = False,
+    sensors: SensorNetwork | None = None,
+) -> RobustnessReport:
+    """Train the campaign model and run the sweep on a catalog network.
+
+    Args:
+        network_name: catalog entry (``repro networks`` lists them).
+        config: explicit campaign config; wins over ``quick``.
+        seed: campaign master seed.
+        workers: process-pool width (``N`` is bit-identical to serial).
+        quick: use :func:`~repro.robustness.axes.quick_config`.
+        sensors: explicit deployment; default is the config's k-medoids
+            layout.
+    """
+    if config is None:
+        config = quick_config() if quick else CampaignConfig()
+    network = build_network(network_name)
+    profile = train_campaign_model(
+        network, config, seed=seed, sensors=sensors, network_name=network_name
+    )
+    runner = CampaignRunner(
+        network, profile, config=config, seed=seed, network_name=network_name
+    )
+    return runner.run(workers=workers)
+
+
+__all__ = [
+    "CampaignRunner",
+    "DrawCase",
+    "campaign_dataset",
+    "draw_case",
+    "run_campaign",
+    "train_campaign_model",
+]

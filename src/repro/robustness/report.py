@@ -1,0 +1,230 @@
+"""Machine-readable robustness reports.
+
+A :class:`RobustnessReport` is the campaign's only output: per-axis
+accuracy curves (hamming score, hit@1, hit@3, detection rate/latency),
+per-cell convergence metadata, and a pass/fail verdict against the
+config's declared thresholds — the shape of Branitz2's
+``design_validator`` reports, applied to leak localization.
+
+The report is deliberately a pure function of ``(network, config,
+seed)``: wall-clock time and worker counts are *not* part of it, so a
+``workers=4`` campaign serializes bit-identically to a serial one and
+the epanet report can be committed as a tolerance-0.0 golden.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: Report schema identifier, bumped on any structural change.
+SCHEMA = "repro.robustness/1"
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Converged metrics for one campaign grid cell.
+
+    Attributes:
+        axis: swept axis name (``"nominal"`` for the all-nominal cell).
+        value: the swept axis's value at this cell.
+        values: full axis -> value mapping the cell ran under.
+        n_draws: Monte Carlo draws evaluated (failed ones included).
+        n_failed: draws whose perturbed hydraulics did not converge.
+        batches: adaptive batches run before the stop rule fired.
+        hit1: fraction of evaluable draws whose top-1 suspect is a true
+            leak node (the campaign's primary metric).
+        hit3: ditto for the top-3 suspect set intersecting the truth.
+        accuracy: mean per-draw hamming score of the predicted label
+            vector against the truth.
+        detection_rate: fraction of draws where at least one live sensor
+            Δ cleared the 3-sigma detection threshold.
+        detection_latency_slots: slots from onset to the evaluated
+            reading window for detected draws (the campaign evaluates
+            one fixed window, so this is the window length — reported
+            per cell for schema stability, null when nothing detected).
+        ci_halfwidth: final CI half-width of the hit@1 estimate.
+        converged: the CI target was met before the draw cap.
+    """
+
+    axis: str
+    value: float
+    values: dict[str, float]
+    n_draws: int
+    n_failed: int
+    batches: int
+    hit1: float
+    hit3: float
+    accuracy: float
+    detection_rate: float
+    detection_latency_slots: float | None
+    ci_halfwidth: float
+    converged: bool
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """One campaign's full, deterministic output.
+
+    Attributes:
+        schema: :data:`SCHEMA`.
+        network: catalog name (or caller-supplied label).
+        seed: campaign master seed.
+        config: :meth:`~repro.robustness.axes.CampaignConfig.as_dict`
+            echo — consumers and the golden gate key off it.
+        sensors: deployed sensor keys the campaign certified.
+        nominal: the all-nominal cell's :class:`CellResult`.
+        axes: per-axis curves: ``{"axis", "values", "cells"}`` entries
+            in sweep order.
+        thresholds: the declared pass/fail floors.
+        checks: named boolean outcomes against the thresholds.
+        passed: conjunction of all checks.
+        convergence: campaign-level convergence metadata (total draws,
+            failed draws, converged cell count).
+    """
+
+    network: str
+    seed: int
+    config: dict
+    sensors: list[str]
+    nominal: CellResult
+    axes: list[dict] = field(default_factory=list)
+    thresholds: dict = field(default_factory=dict)
+    checks: dict = field(default_factory=dict)
+    passed: bool = False
+    convergence: dict = field(default_factory=dict)
+    schema: str = SCHEMA
+
+    # ------------------------------------------------------------------
+    def cells(self) -> list[CellResult]:
+        """Every cell in enumeration order, nominal first."""
+        out = [self.nominal]
+        for axis in self.axes:
+            out.extend(axis["cells"])
+        return out
+
+    def grid(self) -> list[list[float]]:
+        """The accuracy grid the golden gate pins at tolerance 0.0.
+
+        One row per cell in enumeration order:
+        ``[accuracy, hit1, hit3, detection_rate, n_draws]``.
+        """
+        return [
+            [
+                cell.accuracy,
+                cell.hit1,
+                cell.hit3,
+                cell.detection_rate,
+                float(cell.n_draws),
+            ]
+            for cell in self.cells()
+        ]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (deterministic: no wall-clock content)."""
+        payload = asdict(self)
+        payload["axes"] = [
+            {
+                "axis": axis["axis"],
+                "values": list(axis["values"]),
+                "cells": [asdict(cell) for cell in axis["cells"]],
+            }
+            for axis in self.axes
+        ]
+        return payload
+
+    def to_json(self) -> str:
+        """Canonical serialized form (sorted keys, trailing newline)."""
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n"
+
+    def write(self, path: str | Path) -> Path:
+        """Serialize to ``path``; parent directories are created."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RobustnessReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: for an unrecognised schema identifier.
+        """
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported robustness report schema {payload.get('schema')!r}"
+            )
+        axes = [
+            {
+                "axis": axis["axis"],
+                "values": list(axis["values"]),
+                "cells": [CellResult(**cell) for cell in axis["cells"]],
+            }
+            for axis in payload["axes"]
+        ]
+        return cls(
+            network=payload["network"],
+            seed=payload["seed"],
+            config=payload["config"],
+            sensors=list(payload["sensors"]),
+            nominal=CellResult(**payload["nominal"]),
+            axes=axes,
+            thresholds=dict(payload["thresholds"]),
+            checks=dict(payload["checks"]),
+            passed=bool(payload["passed"]),
+            convergence=dict(payload["convergence"]),
+        )
+
+    @classmethod
+    def read(cls, path: str | Path) -> "RobustnessReport":
+        """Load a serialized report from disk."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------
+    def lines(self) -> list[str]:
+        """Human-readable rendering, one cell per line."""
+        out = [
+            f"robustness report — network {self.network}, seed {self.seed} "
+            f"({self.schema})",
+            f"sensors: {len(self.sensors)} deployed, "
+            f"classifier {self.config.get('classifier')}, "
+            f"n_train {self.config.get('n_train')}",
+        ]
+        header = (
+            f"  {'axis':<14s} {'value':>7s} {'hit@1':>6s} {'hit@3':>6s} "
+            f"{'acc':>6s} {'detect':>6s} {'draws':>5s} {'ci±':>6s} conv"
+        )
+
+        def row(cell: CellResult) -> str:
+            return (
+                f"  {cell.axis:<14s} {cell.value:>7.3g} {cell.hit1:>6.3f} "
+                f"{cell.hit3:>6.3f} {cell.accuracy:>6.3f} "
+                f"{cell.detection_rate:>6.3f} {cell.n_draws:>5d} "
+                f"{cell.ci_halfwidth:>6.3f} {'yes' if cell.converged else 'CAP'}"
+            )
+
+        out.append(header)
+        out.append(row(self.nominal))
+        for axis in self.axes:
+            out.extend(row(cell) for cell in axis["cells"])
+        conv = self.convergence
+        out.append(
+            f"convergence: {conv.get('total_draws', 0)} draws "
+            f"({conv.get('failed_draws', 0)} failed), "
+            f"{conv.get('converged_cells', 0)}/{conv.get('n_cells', 0)} cells "
+            f"met the CI target"
+        )
+        for name, ok in sorted(self.checks.items()):
+            out.append(f"check {name}: {'PASS' if ok else 'FAIL'}")
+        out.append(f"overall: {'PASS' if self.passed else 'FAIL'}")
+        return out
+
+    def render_text(self) -> str:
+        """The :meth:`lines` rendering as one string."""
+        return "\n".join(self.lines())
+
+
+__all__ = ["SCHEMA", "CellResult", "RobustnessReport"]

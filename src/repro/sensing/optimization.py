@@ -81,33 +81,43 @@ def greedy_detection_placement(
     """Greedy max-coverage placement over simulated leak scenarios.
 
     Ties are broken toward the candidate with the larger total detection
-    count; once every scenario is covered, remaining picks maximise
-    redundancy (second-coverage), which helps localisation, not just
-    detection.
+    count, then toward the lowest candidate index — the selection is a
+    pure function of the detectability matrix, independent of iteration
+    order (it used to walk a ``set``, whose order is not guaranteed).
+    Once every scenario is covered, remaining picks maximise redundancy
+    (second-coverage), which helps localisation, not just detection;
+    candidates that detect nothing at all (zero-coverage rows, common on
+    dead-end links) rank below every detecting candidate but are still
+    legal picks when ``n_sensors`` exceeds the detecting pool.
 
     Raises:
-        ValueError: if ``n_sensors`` exceeds the candidate count.
+        ValueError: if ``n_sensors`` exceeds the candidate count
+            (|V| + |E|; note ``n_sensors`` may legitimately exceed the
+            *junction* count — flow candidates are placed on links).
     """
     candidates, matrix = detectability_matrix(network, n_scenarios, seed)
     if not 1 <= n_sensors <= len(candidates):
         raise ValueError(f"n_sensors must be in [1, {len(candidates)}]")
     coverage = np.zeros(matrix.shape[1], dtype=np.int64)
     chosen: list[int] = []
-    available = set(range(len(candidates)))
+    available = list(range(len(candidates)))
+    totals = matrix.sum(axis=1)
     for _ in range(n_sensors):
         best_index = -1
-        best_key: tuple[int, int] | None = None
+        best_key: tuple[int, int, int] | None = None
         for index in available:
             row = matrix[index]
-            # Primary: newly covered scenarios; secondary: redundancy gain.
+            # Primary: newly covered scenarios; secondary: redundancy
+            # gain; then total detection count.  Strict ``>`` over an
+            # ascending index walk makes the lowest index win exact ties.
             new_cover = int(np.sum(row & (coverage == 0)))
             redundancy = int(np.sum(row & (coverage == 1)))
-            key = (new_cover, redundancy)
+            key = (new_cover, redundancy, int(totals[index]))
             if best_key is None or key > best_key:
                 best_key = key
                 best_index = index
         chosen.append(best_index)
-        available.discard(best_index)
+        available.remove(best_index)
         coverage += matrix[best_index].astype(np.int64)
     chosen_sensors = [candidates[i] for i in sorted(chosen)]
     return SensorNetwork(chosen_sensors, seed=seed)

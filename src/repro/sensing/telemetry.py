@@ -364,6 +364,127 @@ class SteadyStateTelemetry:
                 )
         return deltas
 
+    def perturbed_deltas_batch(
+        self,
+        scenarios,
+        demand_factors,
+        elapsed_slots: int = 1,
+        pressure_noise: float = 0.05,
+        flow_noise: float = 2e-4,
+        rngs=None,
+        allow_failures: bool = False,
+    ) -> np.ndarray:
+        """Δ readings under per-draw multiplicative demand perturbation.
+
+        The robustness campaign's hydraulic kernel: each draw ``k``
+        scales every junction demand by ``demand_factors[k]`` (a
+        ``(S, n_junctions)`` matrix in ``GGASolver.junction_names``
+        order, e.g. lognormal factors modelling demand-forecast error),
+        which perturbs the *baseline* too — so both the before and the
+        after state must be re-solved.  All ``2 S`` states go through
+        ``BatchedGGASolver.solve_batch`` as one stack (before lanes
+        first, then after lanes), each warm-started from the cached
+        nominal baseline of its slot; the nominal baselines themselves
+        are solved through the same per-slot cache the unperturbed path
+        uses, so running a campaign never perturbs a concurrently built
+        dataset.
+
+        Noise is drawn per draw from ``rngs[k]`` in the sequential order
+        (nodes then links) with the same ``sqrt(1 + 1/n)`` window factor
+        as :meth:`candidate_deltas`.
+
+        Args:
+            scenarios: one :class:`~repro.failures.FailureScenario` per
+                draw.
+            demand_factors: ``(S, n_junctions)`` multiplicative factors.
+            elapsed_slots: the paper's ``n``.
+            pressure_noise: per-reading pressure noise std (m), already
+                scaled by any campaign noise factor.
+            flow_noise: per-reading flow noise std (m^3/s), ditto.
+            rngs: per-draw noise generators (defaults to the instance
+                RNG for every draw — campaigns always pass streams).
+            allow_failures: when True, a draw whose before or after
+                solve failed yields a NaN row instead of raising —
+                campaigns count such draws as failed and move on.
+
+        Returns:
+            ``(S, |V| + |E|)`` Δ matrix, nodes first then links.
+
+        Raises:
+            ConvergenceError: the first failing lane's error, unless
+                ``allow_failures``.
+            ValueError: if ``demand_factors`` is not ``(S, n_junctions)``.
+        """
+        scenarios = list(scenarios)
+        n_scenarios = len(scenarios)
+        n = len(self._junction_order)
+        n_candidates = self._n_nodes + self._n_links
+        factors = np.asarray(demand_factors, dtype=float)
+        if factors.shape != (n_scenarios, n):
+            raise ValueError(
+                f"demand_factors must be ({n_scenarios}, {n}), "
+                f"got {factors.shape}"
+            )
+        if n_scenarios == 0:
+            return np.zeros((0, n_candidates))
+        demand_stack = np.empty((2 * n_scenarios, n))
+        ec_stack = np.empty((2 * n_scenarios, n))
+        beta_stack = np.empty((2 * n_scenarios, n))
+        warm_rows = []
+        for k, scenario in enumerate(scenarios):
+            demand_stack[k] = self.slot_demand_array(scenario.start_slot - 1)
+            demand_stack[k] *= factors[k]
+            ec_stack[k] = self._background_ec
+            beta_stack[k] = self._background_beta
+            warm_rows.append(self._baseline(scenario.start_slot - 1))
+        for k, scenario in enumerate(scenarios):
+            after_slot = scenario.start_slot + elapsed_slots
+            row = n_scenarios + k
+            demand_stack[row] = self.slot_demand_array(after_slot)
+            demand_stack[row] *= factors[k]
+            ec_stack[row], beta_stack[row] = self._merged_emitter_arrays(scenario)
+            warm_rows.append(self._baseline(after_slot))
+        result = self.batched_solver.solve_batch(
+            demands=demand_stack,
+            emitters=(ec_stack, beta_stack),
+            warm_starts=warm_rows,
+            package=False,
+        )
+        if not allow_failures:
+            error = result.first_error()
+            if error is not None:
+                raise error
+        # Fixed-node pressure columns are inputs, identical in the
+        # before and after lanes of a draw, so they cancel to exactly
+        # 0.0 in the delta; seed both sides from one reference vector.
+        template = self._solution_vector(self._reference_solution())
+        vecs = np.tile(template, (2 * n_scenarios, 1))
+        pressures = result.heads - self._solver._elevation_arr
+        vecs[:, self._node_jpos] = pressures[:, self._node_jsrc]
+        vecs[:, self._n_nodes :] = result.flows[:, self._link_perm]
+        deltas = vecs[n_scenarios:] - vecs[:n_scenarios]
+        factor = np.sqrt(1.0 + 1.0 / max(elapsed_slots, 1))
+        for k in range(n_scenarios):
+            rng = self._rng if rngs is None else rngs[k]
+            if pressure_noise > 0:
+                deltas[k, : self._n_nodes] += rng.normal(
+                    0.0, pressure_noise * factor, size=self._n_nodes
+                )
+            if flow_noise > 0:
+                deltas[k, self._n_nodes :] += rng.normal(
+                    0.0, flow_noise * factor, size=self._n_links
+                )
+        if allow_failures:
+            failed = [
+                k
+                for k in range(n_scenarios)
+                if result.errors[k] is not None
+                or result.errors[n_scenarios + k] is not None
+            ]
+            if failed:
+                deltas[np.array(failed, dtype=np.int64)] = np.nan
+        return deltas
+
     def candidate_keys(self) -> list[str]:
         """Stable feature-column keys matching :meth:`candidate_deltas`."""
         keys = [f"pressure:{n}" for n in self.network.node_names()]

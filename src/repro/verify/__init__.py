@@ -18,7 +18,11 @@ bulk:
   differential oracles (array vs dict, warm vs cold, batched vs
   sequential, ``workers=N`` vs serial, ``n_jobs``/process backend vs
   serial, flattened tree kernel vs recursion, binned vs exact splits,
-  micro-batched serving vs direct inference);
+  micro-batched serving vs direct inference, pooled vs serial
+  robustness campaigns);
+* :mod:`~repro.verify.streams` — the SeedSequence spawning discipline
+  (case ``i`` is a pure function of ``(seed, i)``) shared by the fuzzer,
+  the dataset engine, the audit sweep and robustness campaigns;
 * :mod:`~repro.verify.golden` — committed, tolerance-checked snapshots of
   steady-state hydraulics and pipeline accuracy;
 * :mod:`~repro.verify.runner` — the ``repro verify`` sweep over the
@@ -30,6 +34,7 @@ from .differential import (
     diff_array_vs_dict,
     diff_batched_vs_sequential,
     diff_binned_vs_exact,
+    diff_campaign_workers,
     diff_cluster_vs_direct,
     diff_crf_vs_independent,
     diff_flattened_vs_recursive,
@@ -63,11 +68,14 @@ from .golden import (
     check_accuracy_golden,
     check_dataset_golden,
     check_multi_accuracy_golden,
+    check_robustness_golden,
     check_steady_golden,
     golden_dir,
+    robustness_config,
     update_accuracy_golden,
     update_dataset_golden,
     update_multi_accuracy_golden,
+    update_robustness_golden,
     update_steady_golden,
 )
 from .oracles import (
@@ -92,6 +100,7 @@ from .properties import (
     stock_properties,
 )
 from .runner import VerifyResult, run_verify
+from .streams import case_streams, stream_rng, substreams
 
 __all__ = [
     "BatchCase",
@@ -112,13 +121,16 @@ __all__ = [
     "VerifyResult",
     "audit_results",
     "audit_solution",
+    "case_streams",
     "check_accuracy_golden",
     "check_dataset_golden",
     "check_multi_accuracy_golden",
+    "check_robustness_golden",
     "check_steady_golden",
     "diff_array_vs_dict",
     "diff_batched_vs_sequential",
     "diff_binned_vs_exact",
+    "diff_campaign_workers",
     "diff_cluster_vs_direct",
     "diff_crf_vs_independent",
     "diff_flattened_vs_recursive",
@@ -142,14 +154,18 @@ __all__ = [
     "prop_warm_equals_cold",
     "random_batch_case",
     "random_case",
+    "robustness_config",
     "run_differential_oracles",
     "run_property",
     "run_verify",
     "shrink_case",
     "stock_properties",
+    "stream_rng",
+    "substreams",
     "tank_volume_report",
     "update_accuracy_golden",
     "update_dataset_golden",
     "update_multi_accuracy_golden",
+    "update_robustness_golden",
     "update_steady_golden",
 ]

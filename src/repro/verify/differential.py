@@ -35,6 +35,12 @@ The batched multi-scenario Newton kernel added one more:
   depends on solve order), including a chunked-lane replay of the same
   stack.
 
+The robustness campaign added one more:
+
+* ``CampaignRunner.run(workers=N)``  ≡  serial cell evaluation
+  (bit-identical reports — cells are SeedSequence-pure and the report
+  carries no wall-clock content).
+
 Each oracle here runs both sides on a deterministic workload and reports
 the worst disagreement.  ``repro verify`` runs them per network; the
 acceptance bar is bit-identical where the claim is bit-identity and
@@ -671,13 +677,66 @@ def diff_cluster_vs_direct(
     )
 
 
+def diff_campaign_workers(network: WaterNetwork, seed: int = 0) -> DiffReport:
+    """Robustness campaign through a process pool vs serial execution.
+
+    Campaign cells are SeedSequence-pure (cell ``i`` draws from child
+    ``i`` of the campaign seed; each adaptive batch rebuilds its
+    substreams by absolute draw index), so fanning cells across worker
+    processes must not change a single bit of the report.  The tiny
+    config uses ``batch_draws < max_draws`` deliberately: the claim
+    covers the batch-boundary substream rebuild, not just one-shot
+    cells.  The serialized reports must also be byte-equal — wall-clock
+    and worker counts are structurally excluded from the artifact.
+    """
+    from ..robustness import AxisSpec, CampaignRunner, quick_config, train_campaign_model
+
+    config = quick_config(
+        axes=(
+            AxisSpec("demand_sigma", (0.1,)),
+            AxisSpec("sensor_dropout", (0.25,)),
+            AxisSpec("leak_count", (1.0,)),
+        ),
+        n_train=12,
+        min_draws=4,
+        max_draws=4,
+        batch_draws=2,
+    )
+    profile = train_campaign_model(network, config, seed=seed)
+    serial = CampaignRunner(
+        network, profile, config=config, seed=seed, network_name=network.name
+    ).run(workers=1)
+    pooled = CampaignRunner(
+        network, profile, config=config, seed=seed, network_name=network.name
+    ).run(workers=2)
+    report = _compare(
+        "campaign_workers",
+        [(np.asarray(serial.grid()), np.asarray(pooled.grid()))],
+        tolerance=0.0,
+        detail=(
+            f"{network.name}, {len(serial.cells())} cells x 4 draws, "
+            f"2 batches/cell, workers=2 vs serial"
+        ),
+    )
+    if serial.to_json() != pooled.to_json():
+        from dataclasses import replace
+
+        report = replace(
+            report,
+            passed=False,
+            bit_identical=False,
+            detail=report.detail + ", serialized reports diverge",
+        )
+    return report
+
+
 def run_differential_oracles(
     network: WaterNetwork,
     seed: int = 0,
     quick: bool = False,
     workers: int = 4,
 ) -> list[DiffReport]:
-    """All twelve differential oracles on one network.
+    """All thirteen differential oracles on one network.
 
     Quick mode trims the workload (fewer scenarios, 2 workers) so the
     catalog sweep stays CI-sized; the claims checked are identical.
@@ -702,4 +761,5 @@ def run_differential_oracles(
         diff_cluster_vs_direct(
             network, seed=seed, n_samples=n_samples, n_requests=8 if quick else 12
         ),
+        diff_campaign_workers(network, seed=seed),
     ]

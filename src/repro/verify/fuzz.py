@@ -26,6 +26,7 @@ import numpy as np
 
 from ..failures import FailureScenario, LeakEvent
 from ..hydraulics import WaterNetwork
+from .streams import case_streams
 
 
 class SkipCase(Exception):
@@ -676,7 +677,7 @@ def run_property(
     name = getattr(prop, "__name__", repr(prop))
     factory = case_factory or getattr(prop, "case_factory", random_case)
     report = FuzzReport(property_name=name, seed=seed, n_cases=n_cases)
-    children = np.random.SeedSequence(seed).spawn(n_cases)
+    children = case_streams(seed, n_cases)
     for index, child in enumerate(children):
         case = factory(child, max_junctions=max_junctions, max_events=max_events)
         try:

@@ -14,8 +14,9 @@
    aggregation, micro-batched serving vs direct inference);
 4. checks the committed golden snapshots (steady heads/flows always —
    on the default dense path *and* re-solved through the forced-sparse
-   Schur core — plus the Phase-I/Phase-II accuracy goldens —
-   single-mode and multi-leak two-mode — in full mode);
+   Schur core — the fixed-draw robustness-campaign grid at tolerance
+   0.0 — plus the Phase-I/Phase-II accuracy goldens — single-mode and
+   multi-leak two-mode — in full mode);
 
 then fuzzes the stock properties on random small networks.  Quick mode
 trims scenario counts and skips the accuracy golden so the sweep stays
@@ -37,13 +38,16 @@ from .golden import (
     check_accuracy_golden,
     check_dataset_golden,
     check_multi_accuracy_golden,
+    check_robustness_golden,
     check_steady_golden,
     update_accuracy_golden,
     update_dataset_golden,
     update_multi_accuracy_golden,
+    update_robustness_golden,
     update_steady_golden,
 )
 from .oracles import InvariantAuditor, OracleReport, audit_results
+from .streams import case_streams
 
 #: Networks whose accuracy golden is maintained (full mode only; the
 #: pipeline run is too heavy to repeat for every catalog entry).
@@ -52,6 +56,10 @@ ACCURACY_NETWORKS = ("epanet",)
 #: Networks whose fixed-seed dataset golden (sequential ≡ batched
 #: engine, hashed) is maintained.
 DATASET_NETWORKS = ("epanet",)
+
+#: Networks whose fixed-draw robustness-campaign golden is maintained
+#: (checked in quick mode too — the fixed-draw campaign is CI-sized).
+ROBUSTNESS_NETWORKS = ("epanet",)
 
 #: EPS workload for the tank-volume oracle (seconds).
 EPS_DURATION = 4 * 3600.0
@@ -157,7 +165,7 @@ def _leak_scenarios(
     """Deterministic random leak-emitter batches for the audit sweep."""
     junctions = network.junction_names()
     scenarios = []
-    for child in np.random.SeedSequence(seed).spawn(n_scenarios):
+    for child in case_streams(seed, n_scenarios):
         rng = np.random.default_rng(child)
         n_leaks = int(rng.integers(1, 4))
         chosen = rng.choice(len(junctions), size=min(n_leaks, len(junctions)),
@@ -225,6 +233,8 @@ def run_verify(
             update_steady_golden(name)
             if name in DATASET_NETWORKS:
                 update_dataset_golden(name)
+            if name in ROBUSTNESS_NETWORKS:
+                update_robustness_golden(name)
             if not quick and name in ACCURACY_NETWORKS:
                 update_accuracy_golden(name)
                 update_multi_accuracy_golden(name)
@@ -238,6 +248,8 @@ def run_verify(
         ]
         if name in DATASET_NETWORKS:
             golden_reports.append(check_dataset_golden(name))
+        if name in ROBUSTNESS_NETWORKS:
+            golden_reports.append(check_robustness_golden(name))
         if not quick and name in ACCURACY_NETWORKS:
             golden_reports.append(check_accuracy_golden(name))
             golden_reports.append(check_multi_accuracy_golden(name))
@@ -269,6 +281,7 @@ def run_verify(
 __all__ = [
     "ACCURACY_NETWORKS",
     "DATASET_NETWORKS",
+    "ROBUSTNESS_NETWORKS",
     "NetworkVerifyReport",
     "VerifyResult",
     "run_verify",

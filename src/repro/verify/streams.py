@@ -1,0 +1,74 @@
+"""SeedSequence-pure case streams — one spawning discipline, shared.
+
+Every bulk randomized workload in the repo (the property fuzzer, the
+parallel dataset engine, the audit sweep, robustness campaigns) follows
+the same rule: draw case ``i`` from a child ``SeedSequence`` that is a
+pure function of ``(root seed, i)``, never from a shared stateful
+generator.  That is what makes ``workers=N`` runs bit-identical to
+serial ones and lets any single case be replayed in isolation.
+
+This module is that rule, written once:
+
+* :func:`case_streams` — the flat form: ``n`` children of one root,
+  exactly ``np.random.SeedSequence(seed).spawn(n)``;
+* :func:`substreams` — the nested form: children ``start .. start+count``
+  of an existing stream, *without* mutating it, so a caller drawing in
+  adaptive batches (a robustness cell topping up draws until its CI
+  converges) gets the same child ``j`` regardless of batch boundaries;
+* :func:`stream_rng` — the one-liner from stream to ``Generator``.
+
+``substreams`` reproduces ``SeedSequence.spawn`` exactly: NumPy gives
+child ``j`` the spawn key ``parent.spawn_key + (j,)``, so constructing
+children by index is equivalent to spawning them in order — but pure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["case_streams", "stream_rng", "substreams"]
+
+
+def case_streams(seed: int, n_cases: int) -> list[np.random.SeedSequence]:
+    """``n_cases`` independent child streams of one root seed.
+
+    Case ``i`` is a pure function of ``(seed, i)``: the fuzzer's case
+    ``i``, the dataset engine's scenario-noise stream ``i`` and a
+    campaign's cell ``i`` all reproduce individually, in any order, on
+    any worker.
+
+    Raises:
+        ValueError: for a negative case count.
+    """
+    if n_cases < 0:
+        raise ValueError(f"n_cases must be >= 0, got {n_cases}")
+    return np.random.SeedSequence(seed).spawn(n_cases)
+
+
+def substreams(
+    parent: np.random.SeedSequence, start: int, count: int
+) -> list[np.random.SeedSequence]:
+    """Children ``start .. start + count`` of ``parent``, by index.
+
+    Unlike ``parent.spawn(count)`` this does not advance the parent's
+    spawn counter: child ``j`` is rebuilt from the parent's entropy and
+    ``spawn_key + (j,)``, matching what an in-order ``spawn`` would have
+    produced.  Adaptive loops use it to extend a cell's draw sequence
+    across batches without the batch size leaking into the stream.
+
+    Raises:
+        ValueError: for a negative start index or count.
+    """
+    if start < 0 or count < 0:
+        raise ValueError(f"start and count must be >= 0, got {start}, {count}")
+    return [
+        np.random.SeedSequence(
+            entropy=parent.entropy, spawn_key=(*parent.spawn_key, start + j)
+        )
+        for j in range(count)
+    ]
+
+
+def stream_rng(stream: np.random.SeedSequence) -> np.random.Generator:
+    """A fresh :class:`~numpy.random.Generator` over one case stream."""
+    return np.random.default_rng(stream)

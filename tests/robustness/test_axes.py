@@ -1,0 +1,91 @@
+"""Perturbation-axis and campaign-config contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.robustness import (
+    AXIS_NAMES,
+    AxisSpec,
+    CampaignConfig,
+    DEFAULT_AXES,
+    NOMINAL_VALUES,
+    QUICK_AXES,
+    quick_config,
+)
+
+
+class TestAxisSpec:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown axis"):
+            AxisSpec("gremlins", (1.0,))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="empty value grid"):
+            AxisSpec("demand_sigma", ())
+
+    def test_leak_count_must_be_positive_integers(self):
+        with pytest.raises(ValueError, match="positive integers"):
+            AxisSpec("leak_count", (1.5,))
+        with pytest.raises(ValueError, match="positive integers"):
+            AxisSpec("leak_count", (0.0,))
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            AxisSpec("noise_scale", (-1.0,))
+
+    def test_nominal_covers_every_axis(self):
+        assert set(NOMINAL_VALUES) == set(AXIS_NAMES)
+
+
+class TestCampaignConfig:
+    def test_needs_three_axes(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            CampaignConfig(axes=DEFAULT_AXES[:2])
+
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignConfig(axes=(DEFAULT_AXES[0],) * 3)
+
+    def test_draw_bounds_validated(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(min_draws=10, max_draws=5)
+        with pytest.raises(ValueError):
+            CampaignConfig(batch_draws=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(ci_halfwidth=0.0)
+
+    def test_cells_enumeration_is_contiguous_and_nominal_first(self):
+        config = CampaignConfig()
+        cells = config.cells()
+        assert cells[0].axis == "nominal"
+        assert cells[0].values == NOMINAL_VALUES
+        assert [cell.index for cell in cells] == list(range(len(cells)))
+        assert len(cells) == 1 + sum(len(a.values) for a in config.axes)
+
+    def test_swept_cell_pins_other_axes_at_nominal(self):
+        cell = CampaignConfig().cells()[1]
+        assert cell.axis == "demand_sigma"
+        for name, value in cell.values.items():
+            if name != cell.axis:
+                assert value == NOMINAL_VALUES[name]
+
+    def test_as_dict_round_trips_axes(self):
+        payload = CampaignConfig().as_dict()
+        assert payload["axes"][0]["name"] == DEFAULT_AXES[0].name
+        assert payload["axes"][0]["values"] == list(DEFAULT_AXES[0].values)
+
+
+class TestQuickConfig:
+    def test_trims_axes_and_draws(self):
+        config = quick_config()
+        assert config.axes == QUICK_AXES
+        assert config.max_draws < CampaignConfig().max_draws
+
+    def test_shares_training_set_with_full_config(self):
+        # Same n_train => quick and full campaigns hit one dataset cache.
+        assert quick_config().n_train == CampaignConfig().n_train
+
+    def test_overrides_apply(self):
+        config = quick_config(min_draws=2, max_draws=2, n_train=9)
+        assert (config.min_draws, config.max_draws, config.n_train) == (2, 2, 9)

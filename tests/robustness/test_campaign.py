@@ -1,0 +1,212 @@
+"""Campaign runner: determinism contract, adaptive draws, reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.robustness import (
+    AxisSpec,
+    CampaignRunner,
+    NOMINAL_VALUES,
+    draw_case,
+    quick_config,
+    run_campaign,
+    train_campaign_model,
+)
+from repro.robustness.report import RobustnessReport, SCHEMA
+from repro.sensing import SteadyStateTelemetry
+from repro.robustness.campaign import _candidate_noise_std
+
+
+#: A 4-cell fixed-draw config small enough for per-test campaigns.
+def tiny_config(**overrides):
+    base = dict(
+        axes=(
+            AxisSpec("demand_sigma", (0.1,)),
+            AxisSpec("sensor_dropout", (0.5,)),
+            AxisSpec("leak_count", (1.0,)),
+        ),
+        n_train=12,
+        min_draws=4,
+        max_draws=4,
+        batch_draws=2,
+    )
+    base.update(overrides)
+    return quick_config(**base)
+
+
+@pytest.fixture(scope="module")
+def two_loop_campaign():
+    """One serial tiny-campaign report on the two-loop network."""
+    return run_campaign("two-loop", config=tiny_config(), seed=0)
+
+
+class TestDrawCase:
+    def setup_method(self):
+        from repro.networks import two_loop_test_network
+
+        self.network = two_loop_test_network()
+        self.telemetry = SteadyStateTelemetry(self.network)
+        self.noise_std = _candidate_noise_std(self.telemetry)
+        self.junctions = self.network.junction_names()
+        self.n_solver = self.telemetry.slot_demand_array(0).shape[0]
+
+    def draw(self, seed=0, **values):
+        merged = dict(NOMINAL_VALUES)
+        merged.update(values)
+        return draw_case(
+            np.random.default_rng(seed),
+            merged,
+            self.junctions,
+            self.n_solver,
+            self.noise_std,
+        )
+
+    def test_nominal_draw_has_no_perturbations(self):
+        case = self.draw(demand_sigma=0.0, sensor_dropout=0.0, sensor_bias=0.0)
+        assert np.array_equal(case.factors, np.ones(self.n_solver))
+        assert not case.dropped.any()
+        assert np.array_equal(case.bias, np.zeros(len(self.noise_std)))
+
+    def test_leak_count_exact_and_clamped(self):
+        assert len(self.draw(leak_count=3.0).scenario.events) == 3
+        clamped = self.draw(leak_count=100.0)
+        assert len(clamped.scenario.events) == len(self.junctions)
+
+    def test_perturbations_indexed_by_candidate_column(self):
+        case = self.draw(seed=5, sensor_dropout=0.5, sensor_bias=2.0)
+        assert case.dropped.shape == (len(self.noise_std),)
+        assert case.bias.shape == (len(self.noise_std),)
+        assert case.dropped.any() and not case.dropped.all()
+
+    def test_demand_factors_are_mean_preserving_lognormal(self):
+        rng = np.random.default_rng(0)
+        merged = dict(NOMINAL_VALUES, demand_sigma=0.2)
+        pooled = np.concatenate(
+            [
+                draw_case(
+                    rng, merged, self.junctions, self.n_solver, self.noise_std
+                ).factors
+                for _ in range(300)
+            ]
+        )
+        assert (pooled > 0).all()
+        assert abs(float(pooled.mean()) - 1.0) < 0.02
+
+    def test_same_stream_same_draw(self):
+        a, b = self.draw(seed=9, sensor_bias=1.0), self.draw(seed=9, sensor_bias=1.0)
+        assert a.scenario == b.scenario
+        assert np.array_equal(a.bias, b.bias)
+
+
+class TestCampaignDeterminism:
+    def test_serial_reruns_are_bit_identical(self, two_loop_campaign):
+        again = run_campaign("two-loop", config=tiny_config(), seed=0)
+        assert again.to_json() == two_loop_campaign.to_json()
+
+    def test_workers_bit_identical_to_serial(self, two_loop_campaign):
+        pooled = run_campaign(
+            "two-loop", config=tiny_config(), seed=0, workers=2
+        )
+        assert pooled.to_json() == two_loop_campaign.to_json()
+
+    def test_batch_size_does_not_change_draws(self, two_loop_campaign):
+        # Same draw budget split 2+2 vs 4-at-once: substreams rebuild by
+        # absolute index, so the accuracy grid cannot move.
+        one_shot = run_campaign(
+            "two-loop", config=tiny_config(batch_draws=4), seed=0
+        )
+        assert one_shot.grid() == two_loop_campaign.grid()
+
+    def test_seed_changes_the_campaign(self, two_loop_campaign):
+        other = run_campaign("two-loop", config=tiny_config(), seed=1)
+        assert other.to_json() != two_loop_campaign.to_json()
+
+
+class TestAdaptiveDraws:
+    def test_loose_ci_stops_at_min_draws(self):
+        report = run_campaign(
+            "two-loop",
+            config=tiny_config(min_draws=2, max_draws=8, ci_halfwidth=10.0),
+            seed=0,
+        )
+        assert all(cell.n_draws == 2 for cell in report.cells())
+        assert all(cell.converged for cell in report.cells())
+
+    def test_tight_ci_runs_to_cap(self):
+        report = run_campaign(
+            "two-loop",
+            config=tiny_config(min_draws=2, max_draws=6, ci_halfwidth=1e-6),
+            seed=0,
+        )
+        capped = [cell for cell in report.cells() if cell.n_draws == 6]
+        assert capped, "expected at least one cell to hit the draw cap"
+        # A cell that hit the cap without meeting the CI is not converged
+        # unless its estimate degenerated to half-width 0.
+        for cell in capped:
+            assert cell.converged == (cell.ci_halfwidth <= 1e-6)
+
+
+class TestReportStructure:
+    def test_schema_and_shape(self, two_loop_campaign):
+        report = two_loop_campaign
+        assert report.schema == SCHEMA
+        assert report.nominal.axis == "nominal"
+        assert len(report.axes) == 3
+        n_cells = len(report.cells())
+        assert n_cells == 4
+        grid = report.grid()
+        assert len(grid) == n_cells and all(len(row) == 5 for row in grid)
+
+    def test_convergence_metadata_per_cell(self, two_loop_campaign):
+        for cell in two_loop_campaign.cells():
+            assert cell.n_draws >= 1
+            assert cell.batches >= 1
+            assert cell.ci_halfwidth >= 0.0
+            assert isinstance(cell.converged, bool)
+
+    def test_checks_against_declared_thresholds(self, two_loop_campaign):
+        report = two_loop_campaign
+        assert set(report.checks) == {
+            "nominal_hit1",
+            "cell_accuracy",
+            "hydraulic_failures",
+        }
+        assert report.passed == all(report.checks.values())
+        assert report.thresholds["min_nominal_hit1"] == pytest.approx(
+            tiny_config().min_nominal_hit1
+        )
+
+    def test_no_wallclock_or_worker_fields(self, two_loop_campaign):
+        text = two_loop_campaign.to_json()
+        assert "wall" not in text and "workers" not in text
+
+    def test_json_round_trip(self, two_loop_campaign, tmp_path):
+        path = two_loop_campaign.write(tmp_path / "report.json")
+        loaded = RobustnessReport.read(path)
+        assert loaded.to_json() == two_loop_campaign.to_json()
+
+    def test_schema_mismatch_rejected(self, two_loop_campaign):
+        payload = two_loop_campaign.to_dict()
+        payload["schema"] = "repro.robustness/999"
+        with pytest.raises(ValueError, match="schema"):
+            RobustnessReport.from_dict(payload)
+
+    def test_render_text(self, two_loop_campaign):
+        text = two_loop_campaign.render_text()
+        assert "nominal" in text
+        assert "overall:" in text
+        for axis in ("demand_sigma", "sensor_dropout", "leak_count"):
+            assert axis in text
+
+
+class TestCampaignRunnerDirect:
+    def test_runner_accepts_prebuilt_network_and_profile(self, two_loop):
+        config = tiny_config()
+        profile = train_campaign_model(two_loop, config, seed=0)
+        report = CampaignRunner(
+            two_loop, profile, config=config, seed=0, network_name="two-loop"
+        ).run()
+        assert report.network == "two-loop"
+        assert report.sensors == profile.sensor_network.keys()

@@ -1,0 +1,82 @@
+"""Localization-aware greedy placement: guarantees and reproducibility."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.robustness import iterative_placement
+
+from .test_campaign import tiny_config
+
+
+@pytest.fixture(scope="module")
+def placement():
+    """One two-loop placement run shared by the assertions below."""
+    return iterative_placement(
+        "two-loop",
+        add=2,
+        config=tiny_config(),
+        seed=0,
+        iot_percent=20.0,
+        max_candidates=8,
+        draws_per_cell=4,
+    )
+
+
+class TestPlacementGuarantees:
+    def test_never_scores_below_start(self, placement):
+        _, trace = placement
+        assert trace.hit1_final >= trace.hit1_start
+
+    def test_adds_at_most_requested(self, placement):
+        deployment, trace = placement
+        assert len(trace.steps) <= trace.add_requested
+        assert len(trace.final_keys) == len(trace.start_keys) + len(trace.steps)
+        assert len(deployment) == len(trace.final_keys)
+
+    def test_additions_strictly_improve(self, placement):
+        _, trace = placement
+        for step in trace.steps:
+            assert step.hit1_after > step.hit1_before
+
+    def test_final_extends_start(self, placement):
+        _, trace = placement
+        assert set(trace.start_keys) <= set(trace.final_keys)
+        added = [step.added for step in trace.steps]
+        assert set(trace.final_keys) - set(trace.start_keys) == set(added)
+
+    def test_early_stop_is_flagged(self, placement):
+        _, trace = placement
+        if len(trace.steps) < trace.add_requested:
+            assert trace.stopped_early
+
+
+class TestPlacementReproducibility:
+    def test_trace_is_bit_reproducible(self, placement):
+        _, first = placement
+        _, again = iterative_placement(
+            "two-loop",
+            add=2,
+            config=tiny_config(),
+            seed=0,
+            iot_percent=20.0,
+            max_candidates=8,
+            draws_per_cell=4,
+        )
+        assert again.to_json() == first.to_json()
+
+    def test_trace_serializes(self, placement):
+        _, trace = placement
+        payload = json.loads(trace.to_json())
+        assert payload["network"] == "two-loop"
+        assert payload["add_requested"] == 2
+        text = trace.render_text()
+        assert "placement search" in text and "final:" in text
+
+
+class TestPlacementValidation:
+    def test_nonpositive_add_rejected(self):
+        with pytest.raises(ValueError, match="add"):
+            iterative_placement("two-loop", add=0, config=tiny_config())

@@ -49,3 +49,59 @@ class TestGreedyPlacement:
         a = greedy_detection_placement(two_loop, 4, n_scenarios=15, seed=3)
         b = greedy_detection_placement(two_loop, 4, n_scenarios=15, seed=3)
         assert a.keys() == b.keys()
+
+
+class TestGreedyPlacementEdgeCases:
+    """Regressions for the tie-break/zero-coverage/large-k fixes."""
+
+    def test_exact_ties_break_to_lowest_index(self, monkeypatch, two_loop):
+        import numpy as np
+
+        from repro.sensing import full_candidate_set
+        from repro.sensing import optimization as opt
+
+        candidates = full_candidate_set(two_loop)
+        # Every candidate identical => every selection round is an exact
+        # tie; the contract says the lowest remaining index wins.
+        matrix = np.ones((len(candidates), 6), dtype=bool)
+        monkeypatch.setattr(
+            opt, "detectability_matrix", lambda *a, **k: (candidates, matrix)
+        )
+        deployment = opt.greedy_detection_placement(two_loop, 3, n_scenarios=6)
+        expected = sorted(c.key for c in candidates[:3])
+        assert sorted(deployment.keys()) == expected
+
+    def test_zero_coverage_candidates_rank_last_but_are_legal(
+        self, monkeypatch, two_loop
+    ):
+        import numpy as np
+
+        from repro.sensing import full_candidate_set
+        from repro.sensing import optimization as opt
+
+        candidates = full_candidate_set(two_loop)
+        matrix = np.zeros((len(candidates), 4), dtype=bool)
+        matrix[2] = True  # exactly one candidate detects anything
+        monkeypatch.setattr(
+            opt, "detectability_matrix", lambda *a, **k: (candidates, matrix)
+        )
+        deployment = opt.greedy_detection_placement(two_loop, 2, n_scenarios=4)
+        keys = deployment.keys()
+        assert candidates[2].key in keys  # the detecting candidate first
+        assert len(keys) == 2  # plus one zero-coverage pick, still legal
+
+    def test_n_sensors_may_exceed_junction_count(self, two_loop):
+        n_junctions = len(two_loop.junction_names())
+        deployment = greedy_detection_placement(
+            two_loop, n_junctions + 3, n_scenarios=10, seed=0
+        )
+        assert len(deployment) == n_junctions + 3
+
+    def test_full_candidate_pool_is_the_bound(self, two_loop):
+        from repro.sensing import full_candidate_set
+
+        bound = len(full_candidate_set(two_loop))
+        deployment = greedy_detection_placement(two_loop, bound, n_scenarios=5)
+        assert len(deployment) == bound
+        with pytest.raises(ValueError):
+            greedy_detection_placement(two_loop, bound + 1, n_scenarios=5)

@@ -209,3 +209,71 @@ class TestStream:
         assert code == 0
         out = capsys.readouterr().out
         assert "2 feed(s)" in out
+
+
+class TestRobustness:
+    def test_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["robustness"])
+
+    def test_run_parser_defaults(self):
+        args = build_parser().parse_args(["robustness", "run"])
+        assert args.action == "run"
+        assert args.network == "epanet"
+        assert args.workers == 1 and not args.quick
+
+    def test_run_report_round_trip(self, capsys, tmp_path):
+        out = tmp_path / "rob.json"
+        code = main(
+            [
+                "robustness", "run", "--network", "two-loop",
+                "--quick", "--out", str(out),
+            ]
+        )
+        assert code in (0, 1)  # exit mirrors the report's pass/fail
+        text = capsys.readouterr().out
+        assert "robustness report" in text
+        assert "overall:" in text
+        assert out.exists()
+
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.robustness/1"
+        assert main(["robustness", "report", str(out)]) == code
+        rendered = capsys.readouterr().out
+        assert "robustness report" in rendered
+
+    def test_run_json_output(self, capsys, tmp_path):
+        code = main(
+            ["robustness", "run", "--network", "two-loop", "--quick", "--json"]
+        )
+        assert code in (0, 1)
+
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["network"] == "two-loop"
+
+    def test_place(self, capsys, tmp_path):
+        out = tmp_path / "place.json"
+        code = main(
+            [
+                "robustness", "place", "--network", "two-loop", "--quick",
+                "--add", "1", "--max-candidates", "4",
+                "--draws-per-cell", "2", "--iot-percent", "20",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "placement search" in text and "final:" in text
+
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["hit1_final"] >= payload["hit1_start"]
+
+    def test_bench_robustness_flag_parses(self):
+        args = build_parser().parse_args(["bench", "--robustness", "--quick"])
+        assert args.robustness and args.quick

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.networks",
     "repro.observations",
     "repro.platform",
+    "repro.robustness",
     "repro.sensing",
     "repro.serve",
     "repro.stream",

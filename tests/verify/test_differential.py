@@ -7,6 +7,7 @@ import numpy as np
 from repro.verify import (
     diff_array_vs_dict,
     diff_batched_vs_sequential,
+    diff_campaign_workers,
     diff_crf_vs_independent,
     diff_njobs_training,
     diff_cluster_vs_direct,
@@ -99,6 +100,13 @@ class TestOracles:
         assert report.bit_identical
         assert report.tolerance == 0.0
 
+    def test_campaign_workers_bit_identical(self, two_loop):
+        report = diff_campaign_workers(two_loop, seed=0)
+        assert report.passed, str(report)
+        assert report.bit_identical
+        assert report.tolerance == 0.0
+        assert "2 batches/cell" in report.detail
+
     def test_quick_sweep_all_pass(self, two_loop):
         reports = run_differential_oracles(two_loop, seed=0, quick=True)
         assert [r.name for r in reports] == [
@@ -114,5 +122,6 @@ class TestOracles:
             "crf_vs_independent",
             "serve_vs_direct",
             "cluster_vs_direct",
+            "campaign_workers",
         ]
         assert all(r.passed for r in reports), [str(r) for r in reports]

@@ -140,6 +140,48 @@ class TestDatasetGolden:
         assert "DIVERGED" in report.detail
 
 
+class TestRobustnessGolden:
+    def test_committed_golden_exists_with_current_config(self):
+        path = golden_dir() / "robustness-epanet.json"
+        assert path.exists()
+        snapshot = json.loads(path.read_text())
+        assert snapshot["config"] == golden_module.robustness_config().as_dict()
+        assert snapshot["passed"] is True
+        # Fixed-draw config: every cell carries exactly min_draws draws.
+        fixed = golden_module.robustness_config().min_draws
+        assert all(row[4] == fixed for row in snapshot["grid"])
+
+    def test_committed_golden_reproduces_bit_for_bit(self):
+        report = golden_module.check_robustness_golden("epanet")
+        assert report.passed, str(report)
+        assert report.max_abs_diff == 0.0
+        assert report.tolerance == 0.0
+
+    def test_missing_golden_fails(self, sandbox_golden):
+        report = golden_module.check_robustness_golden("epanet")
+        assert not report.passed
+        assert "no golden" in report.detail
+
+    def test_config_change_is_caught(self, sandbox_golden):
+        stale = golden_module.robustness_config().as_dict()
+        stale["max_draws"] = 999
+        (sandbox_golden / "robustness-epanet.json").write_text(
+            json.dumps({"network": "epanet", "config": stale, "grid": []})
+        )
+        report = golden_module.check_robustness_golden("epanet")
+        assert not report.passed
+        assert "config changed" in report.detail
+
+    def test_grid_drift_is_caught(self, sandbox_golden):
+        path = golden_module.update_robustness_golden("two-loop")
+        snapshot = json.loads(path.read_text())
+        snapshot["grid"][0][1] += 0.125
+        path.write_text(json.dumps(snapshot))
+        report = golden_module.check_robustness_golden("two-loop")
+        assert not report.passed
+        assert report.max_abs_diff == pytest.approx(0.125)
+
+
 class TestMultiAccuracyGolden:
     """Cheap failure paths only — both return before the pipeline runs."""
 

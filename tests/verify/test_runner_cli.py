@@ -20,7 +20,7 @@ class TestRunVerify:
         oracle_names = {r.name for r in report.oracle_reports}
         assert {"mass_balance", "energy", "emitter_law", "finiteness",
                 "tank_volume"} <= oracle_names
-        assert len(report.diff_reports) == 12
+        assert len(report.diff_reports) == 13
         # Dense + forced-sparse steady goldens; quick skips accuracy.
         assert len(report.golden_reports) == 2
         assert {g.name for g in report.golden_reports} == {

@@ -1,0 +1,70 @@
+"""The shared SeedSequence spawning discipline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.verify import case_streams, stream_rng, substreams
+
+
+class TestCaseStreams:
+    def test_matches_spawn(self):
+        children = case_streams(42, 5)
+        reference = np.random.SeedSequence(42).spawn(5)
+        for child, ref in zip(children, reference):
+            assert child.entropy == ref.entropy
+            assert child.spawn_key == ref.spawn_key
+
+    def test_case_is_pure_function_of_seed_and_index(self):
+        once = [stream_rng(s).random(3) for s in case_streams(7, 4)]
+        again = [stream_rng(s).random(3) for s in case_streams(7, 4)]
+        for a, b in zip(once, again):
+            assert np.array_equal(a, b)
+
+    def test_distinct_seeds_distinct_streams(self):
+        a = stream_rng(case_streams(0, 1)[0]).random(8)
+        b = stream_rng(case_streams(1, 1)[0]).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_zero_cases(self):
+        assert case_streams(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            case_streams(0, -1)
+
+
+class TestSubstreams:
+    def test_matches_in_order_spawn(self):
+        parent = case_streams(11, 3)[2]
+        spawned = np.random.SeedSequence(
+            entropy=parent.entropy, spawn_key=parent.spawn_key
+        ).spawn(6)
+        rebuilt = substreams(parent, 0, 6)
+        for ref, child in zip(spawned, rebuilt):
+            assert np.array_equal(
+                stream_rng(ref).random(4), stream_rng(child).random(4)
+            )
+
+    def test_batch_boundaries_do_not_leak(self):
+        parent = case_streams(5, 1)[0]
+        one_shot = substreams(parent, 0, 10)
+        batched = substreams(parent, 0, 4) + substreams(parent, 4, 6)
+        for a, b in zip(one_shot, batched):
+            assert np.array_equal(
+                stream_rng(a).random(4), stream_rng(b).random(4)
+            )
+
+    def test_does_not_mutate_parent(self):
+        parent = np.random.SeedSequence(3)
+        before = parent.n_children_spawned
+        substreams(parent, 0, 5)
+        assert parent.n_children_spawned == before
+
+    def test_negative_arguments_rejected(self):
+        parent = np.random.SeedSequence(0)
+        with pytest.raises(ValueError):
+            substreams(parent, -1, 2)
+        with pytest.raises(ValueError):
+            substreams(parent, 0, -2)
